@@ -1,0 +1,417 @@
+//! Breadth-first search, modelled on the high-performance math-library BFS
+//! the paper evaluates (Table 2: com-Orkut, 12 OpenMP threads).
+//!
+//! The graph is partitioned by vertex ranges across tasks; each round runs a
+//! real level-synchronous BFS from a new source vertex, and each task's
+//! access counts are measured from the traversal it actually performs:
+//! stream reads over its adjacency partition, random gathers into the shared
+//! `visited` array, stream writes to the frontier. Degree skew plus the
+//! "uneven graph partitioning approach" (§7.2) make the tasks imbalanced —
+//! and because the counts depend on the *source* (same sizes, different
+//! work), BFS is the hardest app for size-scaling predictors, matching its
+//! lowest Table 4 accuracy.
+
+use std::collections::BTreeMap;
+
+use merch_hm::page::PAGE_SIZE;
+use merch_hm::{HmConfig, HmSystem, ObjectAccess, ObjectSpec, Phase, TaskWork, Workload};
+use merch_patterns::{AccessPattern, AccessStmt, IndexExpr, KernelIr, LoopNest};
+
+use crate::gen::{rmat, row_partitions, symmetrize, Csr};
+use crate::HpcApp;
+
+/// Per-task counts measured from one full BFS.
+#[derive(Debug, Clone, Default)]
+struct TaskCounts {
+    /// Adjacency entries scanned (stream).
+    edges_scanned: u64,
+    /// Visited-array probes (random).
+    visited_probes: u64,
+    /// Frontier vertices produced (stream writes).
+    frontier_writes: u64,
+}
+
+/// The BFS application.
+pub struct BfsApp {
+    graph: Csr,
+    tasks: usize,
+    sources: Vec<u32>,
+    parts: Vec<std::ops::Range<usize>>,
+    /// Use Beamer's direction-optimising traversal (top-down / bottom-up
+    /// switching) instead of plain level-synchronous BFS.
+    pub direction_optimizing: bool,
+}
+
+impl BfsApp {
+    /// Build from an R-MAT graph with `rounds` BFS sources.
+    pub fn new(scale: u32, edges_per_vertex: usize, tasks: usize, rounds: usize, seed: u64) -> Self {
+        // com-Orkut is an undirected social graph: symmetrise the R-MAT
+        // sample (also required for the bottom-up traversal direction).
+        let graph = symmetrize(&rmat(scale, edges_per_vertex, seed));
+        // Deterministic sources with non-trivial degree (so BFS expands).
+        let mut sources = Vec::new();
+        let mut v = (seed as usize * 7919) % graph.n;
+        while sources.len() < rounds {
+            if graph.degree(v) > 2 {
+                sources.push(v as u32);
+            }
+            v = (v + 6151) % graph.n;
+        }
+        let parts = row_partitions(graph.n, tasks);
+        Self {
+            graph,
+            tasks,
+            sources,
+            parts,
+            direction_optimizing: false,
+        }
+    }
+
+    /// Default scaled input: 2^17 vertices, 24 edges/vertex, 12 threads,
+    /// 10 BFS rounds (the com-Orkut degree skew at ~1/1000 scale).
+    pub fn default_scaled(seed: u64) -> Self {
+        Self::new(17, 24, 12, 10, seed)
+    }
+
+    fn partition_of(&self, v: usize) -> usize {
+        // Contiguous equal ranges → integer division.
+        let chunk = self.graph.n.div_ceil(self.tasks);
+        (v / chunk).min(self.tasks - 1)
+    }
+
+    /// Run Beamer's direction-optimising BFS: top-down while the frontier
+    /// is small, bottom-up (scan unvisited vertices for a visited parent)
+    /// once the frontier's edge count passes `edges / 14` — the classic
+    /// heuristic. Bottom-up scans read the adjacency of the *unvisited*
+    /// partition-local vertices, which changes the per-task access mix.
+    fn run_dobfs(&self, source: u32, round: usize) -> Vec<TaskCounts> {
+        let alive = Self::edge_filter(round);
+        let mut counts = vec![TaskCounts::default(); self.tasks];
+        let mut visited = vec![false; self.graph.n];
+        let mut frontier: Vec<u32> = vec![source];
+        visited[source as usize] = true;
+        let total_edges = self.graph.nnz() as u64;
+        while !frontier.is_empty() {
+            let frontier_edges: u64 = frontier
+                .iter()
+                .map(|&u| self.graph.degree(u as usize) as u64)
+                .sum();
+            let bottom_up = frontier_edges > total_edges / 14;
+            let mut next = Vec::new();
+            if bottom_up {
+                // Mark the frontier for O(1) membership checks.
+                let mut in_frontier = vec![false; self.graph.n];
+                for &u in &frontier {
+                    in_frontier[u as usize] = true;
+                }
+                #[allow(clippy::needless_range_loop)] // v indexes three arrays
+                for v in 0..self.graph.n {
+                    if visited[v] {
+                        continue;
+                    }
+                    let t = self.partition_of(v);
+                    let c = &mut counts[t];
+                    for (u, _) in self.graph.row(v) {
+                        if !alive(u, v as u32) {
+                            continue;
+                        }
+                        c.edges_scanned += 1;
+                        c.visited_probes += 1;
+                        if in_frontier[u as usize] {
+                            visited[v] = true;
+                            c.frontier_writes += 1;
+                            next.push(v as u32);
+                            break; // found a parent: stop scanning
+                        }
+                    }
+                }
+            } else {
+                for &u in &frontier {
+                    let t = self.partition_of(u as usize);
+                    let c = &mut counts[t];
+                    for (w, _) in self.graph.row(u as usize) {
+                        if !alive(u, w) {
+                            continue;
+                        }
+                        c.edges_scanned += 1;
+                        c.visited_probes += 1;
+                        if !visited[w as usize] {
+                            visited[w as usize] = true;
+                            c.frontier_writes += 1;
+                            next.push(w);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        counts
+    }
+
+    /// The per-round edge filter (evolving graph snapshots).
+    fn edge_filter(round: usize) -> impl Fn(u32, u32) -> bool {
+        let keep_pct = 75 + ((round * 7) % 26) as u64; // 75..=100 %
+        move |u: u32, w: u32| -> bool {
+            // Symmetric filter: an undirected edge lives or dies as a whole.
+            let (a, b) = if u <= w { (u, w) } else { (w, u) };
+            let h = (a as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((b as u64).wrapping_mul(0xD1B54A32D192ED03))
+                .wrapping_add(round as u64 * 0x2545F4914F6CDD1D);
+            (h >> 33) % 100 < keep_pct
+        }
+    }
+
+    /// Run a real level-synchronous BFS from `source` on round `round`'s
+    /// graph snapshot, measuring per-task counts. Rounds see evolving
+    /// snapshots of the graph (a deterministic per-round edge filter), so
+    /// task instances genuinely differ in work — while the object sizes
+    /// stay constant, which is exactly what makes BFS the hardest app for
+    /// size-scaling predictors (its Table 4 accuracy is the lowest).
+    fn run_bfs(&self, source: u32, round: usize) -> Vec<TaskCounts> {
+        let alive = Self::edge_filter(round);
+        let mut counts = vec![TaskCounts::default(); self.tasks];
+        let mut visited = vec![false; self.graph.n];
+        let mut frontier = vec![source];
+        visited[source as usize] = true;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let t = self.partition_of(u as usize);
+                let c = &mut counts[t];
+                for (w, _) in self.graph.row(u as usize) {
+                    if !alive(u, w) {
+                        continue;
+                    }
+                    c.edges_scanned += 1;
+                    c.visited_probes += 1;
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        c.frontier_writes += 1;
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        counts
+    }
+}
+
+impl Workload for BfsApp {
+    fn name(&self) -> &str {
+        "BFS"
+    }
+
+    fn object_specs(&self) -> Vec<ObjectSpec> {
+        let mut specs = Vec::new();
+        for (t, p) in self.parts.iter().enumerate() {
+            let nnz: u64 = p.clone().map(|v| self.graph.degree(v) as u64).sum();
+            specs.push(
+                ObjectSpec::new(&format!("adj_part{t}"), (nnz * 4 + p.len() as u64 * 4).max(PAGE_SIZE))
+                    .owned_by(t),
+            );
+        }
+        // Shared visited array: random probes, strongly skewed by degree.
+        specs.push(
+            ObjectSpec::new("visited", (self.graph.n as u64 * 4).max(PAGE_SIZE)).with_skew(1.0),
+        );
+        specs.push(ObjectSpec::new(
+            "frontier",
+            (self.graph.n as u64 * 4).max(PAGE_SIZE),
+        ));
+        specs
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.tasks
+    }
+
+    fn num_instances(&self) -> usize {
+        self.sources.len()
+    }
+
+    fn instance(&mut self, round: usize, sys: &HmSystem) -> Vec<TaskWork> {
+        let r = round.min(self.sources.len() - 1);
+        let source = self.sources[r];
+        let counts = if self.direction_optimizing {
+            self.run_dobfs(source, r)
+        } else {
+            self.run_bfs(source, r)
+        };
+        let visited = sys.object_by_name("visited").unwrap();
+        let frontier = sys.object_by_name("frontier").unwrap();
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(t, c)| {
+                let adj = sys.object_by_name(&format!("adj_part{t}")).unwrap();
+                TaskWork::new(t).with_phase(
+                    Phase::new("traverse", c.edges_scanned as f64 * 0.25)
+                        .with_access(ObjectAccess::new(
+                            adj,
+                            c.edges_scanned as f64,
+                            4,
+                            AccessPattern::Stream,
+                            0.0,
+                        ))
+                        .with_access(ObjectAccess::new(
+                            visited,
+                            c.visited_probes as f64,
+                            4,
+                            AccessPattern::Random,
+                            0.3,
+                        ))
+                        .with_access(ObjectAccess::new(
+                            frontier,
+                            c.frontier_writes as f64,
+                            4,
+                            AccessPattern::Stream,
+                            1.0,
+                        )),
+                )
+            })
+            .collect()
+    }
+
+    fn kernel_ir(&self) -> KernelIr {
+        KernelIr::new("BFS").with_loop(LoopNest {
+            name: "traverse".into(),
+            depth: 2,
+            input_dependent_bounds: true,
+            body: vec![
+                AccessStmt::read("adj", IndexExpr::Affine { stride: 1, offset: 0 }, 4),
+                AccessStmt::read(
+                    "visited",
+                    IndexExpr::Indirect {
+                        index_object: "adj".into(),
+                    },
+                    4,
+                ),
+                AccessStmt::write("frontier", IndexExpr::Affine { stride: 1, offset: 0 }, 4),
+            ],
+        })
+    }
+
+    fn reuse_hints(&self) -> BTreeMap<String, f64> {
+        // Hub vertices are re-probed from many frontiers per traversal;
+        // adjacency rows are re-read across BFS rounds (paper: BFS ᾱ = 2.4).
+        [
+            ("visited".to_string(), 4.8),
+            ("adj".to_string(), 1.3),
+            ("frontier".to_string(), 1.1),
+        ]
+        .into()
+    }
+}
+
+impl HpcApp for BfsApp {
+    fn recommended_config(&self) -> HmConfig {
+        // Paper ratio: 731.9 GB vs 192 GB DRAM (≈ 3.8×).
+        let ws: u64 = self
+            .object_specs()
+            .iter()
+            .map(|s| s.size.div_ceil(PAGE_SIZE) * PAGE_SIZE)
+            .sum();
+        HmConfig::calibrated(ws / 4 + PAGE_SIZE, ws * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_hm::runtime::{Executor, StaticPolicy};
+    use merch_hm::Tier;
+
+    fn tiny() -> BfsApp {
+        BfsApp::new(10, 8, 4, 3, 11)
+    }
+
+    #[test]
+    fn bfs_visits_most_of_the_graph() {
+        let app = tiny();
+        let counts = app.run_bfs(app.sources[0], 0);
+        let visited: u64 = counts.iter().map(|c| c.frontier_writes).sum();
+        // R-MAT has a giant component; BFS should reach a good share.
+        assert!(
+            visited as f64 > app.graph.n as f64 * 0.3,
+            "visited {visited} of {}",
+            app.graph.n
+        );
+    }
+
+    #[test]
+    fn counts_differ_by_round_snapshot() {
+        let app = tiny();
+        let a = app.run_bfs(app.sources[0], 0);
+        let b = app.run_bfs(app.sources[1], 1);
+        let ta: u64 = a.iter().map(|c| c.edges_scanned).sum();
+        let tb: u64 = b.iter().map(|c| c.edges_scanned).sum();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn partitions_are_imbalanced() {
+        let app = tiny();
+        let counts = app.run_bfs(app.sources[0], 0);
+        let per: Vec<u64> = counts.iter().map(|c| c.edges_scanned).collect();
+        let max = *per.iter().max().unwrap() as f64;
+        let min = *per.iter().min().unwrap().max(&1) as f64;
+        assert!(max / min > 1.2, "edge spread {}", max / min);
+    }
+
+    #[test]
+    fn runs_on_emulated_hm() {
+        let app = tiny();
+        let cfg = app.recommended_config();
+        let report =
+            Executor::new(HmSystem::new(cfg, 2), app, StaticPolicy { tier: Tier::Pm }).run();
+        assert_eq!(report.rounds.len(), 3);
+        assert!(report.acv() > 0.05);
+    }
+
+    #[test]
+    fn dobfs_visits_same_vertex_set_as_level_sync() {
+        // Direction optimisation is an optimisation, not a different
+        // traversal: the visited set must be identical.
+        let app = tiny();
+        for round in 0..2 {
+            let td: u64 = app
+                .run_bfs(app.sources[round], round)
+                .iter()
+                .map(|c| c.frontier_writes)
+                .sum();
+            let bu: u64 = app
+                .run_dobfs(app.sources[round], round)
+                .iter()
+                .map(|c| c.frontier_writes)
+                .sum();
+            assert_eq!(td, bu, "round {round}: visited counts differ");
+        }
+    }
+
+    #[test]
+    fn dobfs_scans_fewer_edges_on_dense_frontiers() {
+        // The whole point of bottom-up: large frontiers stop early.
+        let app = tiny();
+        let td: u64 = app
+            .run_bfs(app.sources[0], 0)
+            .iter()
+            .map(|c| c.edges_scanned)
+            .sum();
+        let bu: u64 = app
+            .run_dobfs(app.sources[0], 0)
+            .iter()
+            .map(|c| c.edges_scanned)
+            .sum();
+        assert!(bu < td, "bottom-up {bu} should scan fewer than top-down {td}");
+    }
+
+    #[test]
+    fn table1_patterns_stream_and_random() {
+        let app = tiny();
+        let map = merch_patterns::classify_kernel(&app.kernel_ir());
+        let labels = merch_patterns::classify::distinct_labels(&map);
+        assert_eq!(labels, vec!["stream", "random"]);
+    }
+}

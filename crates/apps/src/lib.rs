@@ -1,0 +1,82 @@
+//! The five task-parallel HPC workloads of the paper's evaluation (Table 2),
+//! scaled to laptop size but algorithmically real: each workload executes
+//! its actual kernel on generated inputs and emits the measured per-object
+//! access counts as [`merch_hm::TaskWork`] for the emulated HM.
+//!
+//! | app | paper input | our input | patterns (Table 1) |
+//! |---|---|---|---|
+//! | SpGEMM | GAP-kron, 4.22e9 nnz | R-MAT, ~1e6 nnz | stream, random |
+//! | WarpX | 912³ cells plasma | 2-D PIC tile grid | strided, stencil |
+//! | BFS | com-Orkut | R-MAT graph | stream, random |
+//! | DMRG | Hubbard 2-D 320×320 | blocked sweeps, 6 ranks | stream, strided |
+//! | NWChem-TC | cytosine 400·400·58·58 | scaled 4-index contraction | stream, random |
+//!
+//! Every workload implements [`merch_hm::Workload`], provides its kernel IR
+//! for the Spindle-like classifier (Table 1), its blocking-reuse hints (α),
+//! and a recommended emulated-HM configuration whose DRAM : working-set
+//! ratio mirrors the paper's platform.
+
+pub mod bfs;
+pub mod dmrg;
+pub mod gen;
+pub mod nwchem;
+pub mod spgemm;
+pub mod warpx;
+
+pub use bfs::BfsApp;
+pub use dmrg::DmrgApp;
+pub use nwchem::NwchemTcApp;
+pub use spgemm::SpgemmApp;
+pub use warpx::WarpxApp;
+
+use merch_hm::{HmConfig, Workload};
+
+/// A workload plus the emulated-HM configuration it is meant to run on.
+pub trait HpcApp: Workload {
+    /// Emulated HM configuration sized for this workload: DRAM holds only a
+    /// fraction of the working set (as on the paper's machine), PM holds
+    /// everything.
+    fn recommended_config(&self) -> HmConfig;
+}
+
+/// Construct all five applications with their default scaled inputs.
+/// `seed` drives input generation.
+pub fn all_apps(seed: u64) -> Vec<Box<dyn HpcApp>> {
+    vec![
+        Box::new(SpgemmApp::default_scaled(seed)),
+        Box::new(WarpxApp::default_scaled(seed)),
+        Box::new(BfsApp::default_scaled(seed)),
+        Box::new(DmrgApp::default_scaled(seed)),
+        Box::new(NwchemTcApp::default_scaled(seed)),
+    ]
+}
+
+impl Workload for Box<dyn HpcApp> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn object_specs(&self) -> Vec<merch_hm::ObjectSpec> {
+        (**self).object_specs()
+    }
+    fn num_tasks(&self) -> usize {
+        (**self).num_tasks()
+    }
+    fn num_instances(&self) -> usize {
+        (**self).num_instances()
+    }
+    fn object_sizes(&self, round: usize) -> Vec<(String, u64)> {
+        (**self).object_sizes(round)
+    }
+    fn instance(&mut self, round: usize, sys: &merch_hm::HmSystem) -> Vec<merch_hm::TaskWork> {
+        (**self).instance(round, sys)
+    }
+    fn kernel_ir(&self) -> merch_patterns::KernelIr {
+        (**self).kernel_ir()
+    }
+    fn reuse_hints(&self) -> std::collections::BTreeMap<String, f64> {
+        (**self).reuse_hints()
+    }
+    fn hot_page_drift(&self, round: usize) -> Vec<(String, f64)> {
+        (**self).hot_page_drift(round)
+    }
+}

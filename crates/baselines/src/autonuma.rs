@@ -1,0 +1,184 @@
+//! AutoNUMA-style promotion (the paper cites it as the "other approach to
+//! NUMA scheduling", \[15\]).
+//!
+//! The kernel's NUMA balancing unmaps a random sample of pages each scan
+//! period; a subsequent access faults, and a page that faults in **two
+//! consecutive scan windows** is considered actively used and promoted to
+//! the fast node. The two-touch filter avoids promoting streaming pages
+//! that are touched once and never again — but it reacts slowly and, like
+//! all application-agnostic schemes, is blind to tasks.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use merch_hm::page::{PageId, PAGE_SIZE};
+use merch_hm::runtime::{PlacementPolicy, RoundReport};
+use merch_hm::{HmSystem, TaskWork, Tier};
+
+/// The AutoNUMA-like policy.
+pub struct AutoNumaPolicy {
+    rng: StdRng,
+    /// Pages unmapped (sampled) per scan window.
+    pub scan_batch: usize,
+    /// Pages that faulted in the previous window (candidates).
+    candidates: BTreeSet<PageId>,
+    /// DRAM head-room fraction.
+    pub reserve: f64,
+}
+
+impl AutoNumaPolicy {
+    /// New policy scanning `scan_batch` pages per round.
+    pub fn new(seed: u64, scan_batch: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            scan_batch,
+            candidates: BTreeSet::new(),
+            reserve: 0.02,
+        }
+    }
+}
+
+impl PlacementPolicy for AutoNumaPolicy {
+    fn name(&self) -> String {
+        "AutoNUMA".to_string()
+    }
+
+    fn on_allocate(&mut self, sys: &mut HmSystem) {
+        sys.place_everything(Tier::Pm);
+    }
+
+    fn after_round(&mut self, sys: &mut HmSystem, _round: usize, _report: &RoundReport) {
+        // Scan window: sample PM pages; an "accessed" bit plays the role of
+        // the hinting fault.
+        let mut pm_pages: Vec<PageId> = sys
+            .page_table()
+            .iter()
+            .filter(|(_, p)| p.tier == Tier::Pm)
+            .map(|(id, _)| id)
+            .collect();
+        pm_pages.shuffle(&mut self.rng);
+        pm_pages.truncate(self.scan_batch);
+
+        let mut faulted = BTreeSet::new();
+        for id in pm_pages {
+            let p = sys.page_table_mut().get_mut(id);
+            if p.accessed {
+                p.accessed = false;
+                faulted.insert(id);
+            }
+        }
+        // Two-touch promotion: pages faulting in consecutive windows move.
+        let promote: Vec<PageId> = faulted
+            .intersection(&self.candidates)
+            .copied()
+            .collect();
+        let reserve = (sys.config.dram.capacity as f64 * self.reserve) as u64;
+        for id in promote {
+            if sys.free_bytes(Tier::Dram) < reserve + PAGE_SIZE {
+                sys.evict_lfu_dram_pages(1, Some(id));
+            }
+            sys.migrate_pages([id], Tier::Dram);
+        }
+        self.candidates = faulted;
+    }
+}
+
+impl PlacementPolicy for &mut AutoNumaPolicy {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_allocate(&mut self, sys: &mut HmSystem) {
+        (**self).on_allocate(sys)
+    }
+    fn before_round(&mut self, sys: &mut HmSystem, round: usize, works: &[TaskWork]) {
+        (**self).before_round(sys, round, works)
+    }
+    fn after_round(&mut self, sys: &mut HmSystem, round: usize, report: &RoundReport) {
+        (**self).after_round(sys, round, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_hm::runtime::{Executor, StaticPolicy};
+    use merch_hm::workload::Workload;
+    use merch_hm::{HmConfig, ObjectAccess, ObjectSpec, Phase};
+    use merch_patterns::AccessPattern;
+
+    struct Recurring {
+        rounds: usize,
+    }
+    impl Workload for Recurring {
+        fn name(&self) -> &str {
+            "recurring"
+        }
+        fn object_specs(&self) -> Vec<ObjectSpec> {
+            vec![ObjectSpec::new("work", 256 * PAGE_SIZE).owned_by(0)]
+        }
+        fn num_tasks(&self) -> usize {
+            1
+        }
+        fn num_instances(&self) -> usize {
+            self.rounds
+        }
+        fn instance(&mut self, _round: usize, sys: &HmSystem) -> Vec<TaskWork> {
+            let w = sys.object_by_name("work").unwrap();
+            vec![TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(
+                ObjectAccess::new(w, 2e6, 8, AccessPattern::Random, 0.1),
+            ))]
+        }
+    }
+
+    fn config() -> HmConfig {
+        HmConfig::calibrated(512 * PAGE_SIZE, 8192 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn two_touch_promotion_needs_two_windows() {
+        let mut policy = AutoNumaPolicy::new(7, 256);
+        let mut ex = Executor::new(
+            HmSystem::new(config(), 7),
+            Recurring { rounds: 1 },
+            &mut policy,
+        );
+        ex.run();
+        // One round = one scan window: nothing promoted yet.
+        assert_eq!(ex.sys.page_table().bytes_in(Tier::Dram), 0);
+    }
+
+    #[test]
+    fn recurring_accesses_get_promoted_over_rounds() {
+        let mut ex = Executor::new(
+            HmSystem::new(config(), 7),
+            Recurring { rounds: 8 },
+            AutoNumaPolicy::new(7, 256),
+        );
+        let auto = ex.run();
+        assert!(ex.sys.page_table().bytes_in(Tier::Dram) > 0);
+        let pm = Executor::new(
+            HmSystem::new(config(), 7),
+            Recurring { rounds: 8 },
+            StaticPolicy { tier: Tier::Pm },
+        )
+        .run();
+        assert!(auto.total_time_ns() < pm.total_time_ns());
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut ex = Executor::new(
+            HmSystem::new(
+                HmConfig::calibrated(16 * PAGE_SIZE, 8192 * PAGE_SIZE),
+                7,
+            ),
+            Recurring { rounds: 6 },
+            AutoNumaPolicy::new(7, 512),
+        );
+        ex.run();
+        assert!(ex.sys.page_table().bytes_in(Tier::Dram) <= ex.sys.config.dram.capacity);
+    }
+}

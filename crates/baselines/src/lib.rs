@@ -1,0 +1,34 @@
+//! Placement baselines the paper compares against (§7 "Implementation and
+//! Comparison"):
+//!
+//! * **PM-only / DRAM-only** — re-exported [`StaticPolicy`] from the
+//!   runtime (the normalisation baseline and the upper bound);
+//! * [`memory_mode::MemoryModePolicy`] — the hardware solution: DRAM as a
+//!   direct-mapped write-back cache in front of PM, managed transparently;
+//! * [`memopt::MemoryOptimizerPolicy`] — the industry-quality software
+//!   solution (Intel MemoryOptimizer): periodic random-sampling hot-page
+//!   detection plus task-agnostic migration;
+//! * [`damon_tier::DamonTieringPolicy`] — DAMON-region-driven promotion
+//!   (bounded-overhead monitoring, coarse region moves);
+//! * [`autonuma::AutoNumaPolicy`] — kernel NUMA-balancing style two-touch
+//!   fault-driven promotion;
+//! * [`sparta::SpartaPolicy`] — the application-specific SpGEMM/sparse
+//!   solution: static object placement by access density, ignoring the
+//!   load balance across multiplications;
+//! * [`warpx_pm::WarpxPmPolicy`] — the manual WarpX placement driven by
+//!   object-lifetime analysis.
+
+pub mod autonuma;
+pub mod damon_tier;
+pub mod memopt;
+pub mod memory_mode;
+pub mod sparta;
+pub mod warpx_pm;
+
+pub use autonuma::AutoNumaPolicy;
+pub use damon_tier::DamonTieringPolicy;
+pub use memopt::MemoryOptimizerPolicy;
+pub use memory_mode::MemoryModePolicy;
+pub use merch_hm::runtime::StaticPolicy;
+pub use sparta::SpartaPolicy;
+pub use warpx_pm::WarpxPmPolicy;

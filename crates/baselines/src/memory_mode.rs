@@ -1,0 +1,204 @@
+//! Memory Mode: the hardware-based solution (§2).
+//!
+//! "With Memory Mode, DRAM works as a direct-mapped, write-back cache to
+//! PM, and is managed by hardware." No pages migrate; instead the policy
+//! models the steady state of a hardware-managed cache: the DRAM holds the
+//! most frequently touched pages (an LRU/LFU approximation at page
+//! granularity, refreshed from the observed access counters each interval),
+//! and an access hits with the probability that its page is resident,
+//! discounted by the pattern's line-level reuse and a direct-mapped
+//! conflict factor. The cache starts cold, adapts with no task awareness,
+//! and — per the paper's §7.1 observation 2 — captures little of the
+//! sparse/random applications, whose access streams have "bad locality in
+//! the hardware-managed cache".
+
+use merch_hm::page::PAGE_SIZE;
+use merch_hm::runtime::PlacementPolicy;
+use merch_hm::{HmSystem, ObjectAccess, TaskWork, Tier};
+
+/// The Memory Mode policy.
+#[derive(Debug, Clone)]
+pub struct MemoryModePolicy {
+    /// Efficiency lost to direct-mapped conflicts (1 = fully associative).
+    pub direct_mapped_efficiency: f64,
+    /// Per-object fraction of access mass whose pages are cache-resident,
+    /// recomputed each interval from the page counters.
+    resident_share: Vec<f64>,
+}
+
+impl Default for MemoryModePolicy {
+    fn default() -> Self {
+        Self {
+            direct_mapped_efficiency: 0.75,
+            resident_share: Vec::new(),
+        }
+    }
+}
+
+impl MemoryModePolicy {
+    /// Recompute the steady-state cache contents: the globally hottest
+    /// pages (by observed access count) up to the DRAM capacity are
+    /// resident; per object, record the share of its access mass they
+    /// carry.
+    fn refresh_cache_model(&mut self, sys: &HmSystem) {
+        let mut pages: Vec<(f64, u32, f64)> = sys
+            .page_table()
+            .iter()
+            .map(|(_, p)| (p.access_count, p.object.0, p.access_count))
+            .collect();
+        pages.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let cap_pages = (sys.config.dram.capacity / PAGE_SIZE) as usize;
+
+        let n_obj = sys.objects().len();
+        let mut resident = vec![0.0f64; n_obj];
+        let mut total = vec![0.0f64; n_obj];
+        for (rank, &(_, obj, count)) in pages.iter().enumerate() {
+            total[obj as usize] += count;
+            if rank < cap_pages && count > 0.0 {
+                resident[obj as usize] += count;
+            }
+        }
+        self.resident_share = (0..n_obj)
+            .map(|o| {
+                if total[o] > 0.0 {
+                    resident[o] / total[o]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+    }
+
+    /// Hit rate of one access stream in the DRAM cache.
+    pub fn hit_rate(&self, sys: &HmSystem, access: &ObjectAccess) -> f64 {
+        let _ = sys;
+        let share = self
+            .resident_share
+            .get(access.object.0 as usize)
+            .copied()
+            .unwrap_or(0.0);
+        // A resident page only yields hits when the pattern re-references
+        // its lines before eviction; direct mapping costs a further share.
+        (share * access.pattern.cache_locality().max(0.25) * self.direct_mapped_efficiency)
+            .clamp(0.0, 0.95)
+    }
+}
+
+impl PlacementPolicy for MemoryModePolicy {
+    fn name(&self) -> String {
+        "Memory Mode".to_string()
+    }
+
+    fn on_allocate(&mut self, sys: &mut HmSystem) {
+        // All pages live on PM; DRAM is the transparent cache (cold).
+        sys.place_everything(Tier::Pm);
+        self.resident_share = vec![0.0; sys.objects().len()];
+    }
+
+    fn before_round(&mut self, sys: &mut HmSystem, _round: usize, _works: &[TaskWork]) {
+        self.refresh_cache_model(sys);
+        // Hardware history ages quickly (set-granular replacement).
+        sys.age_access_counts(0.5);
+    }
+
+    fn dram_fraction_override(&self, sys: &HmSystem, access: &ObjectAccess) -> Option<f64> {
+        Some(self.hit_rate(sys, access))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_hm::runtime::{Executor, StaticPolicy};
+    use merch_hm::workload::Workload;
+    use merch_hm::{HmConfig, ObjectSpec, Phase};
+    use merch_patterns::AccessPattern;
+
+    struct SkewedShared {
+        rounds: usize,
+    }
+    impl Workload for SkewedShared {
+        fn name(&self) -> &str {
+            "mmtest"
+        }
+        fn object_specs(&self) -> Vec<ObjectSpec> {
+            vec![
+                ObjectSpec::new("hot", 256 * PAGE_SIZE).with_skew(1.2),
+                ObjectSpec::new("cold", 512 * PAGE_SIZE),
+            ]
+        }
+        fn num_tasks(&self) -> usize {
+            2
+        }
+        fn num_instances(&self) -> usize {
+            self.rounds
+        }
+        fn instance(&mut self, _round: usize, sys: &HmSystem) -> Vec<merch_hm::TaskWork> {
+            let hot = sys.object_by_name("hot").unwrap();
+            let cold = sys.object_by_name("cold").unwrap();
+            (0..2)
+                .map(|t| {
+                    merch_hm::TaskWork::new(t).with_phase(
+                        Phase::new("w", 0.0)
+                            .with_access(ObjectAccess::new(hot, 3e6, 8, AccessPattern::Random, 0.1))
+                            .with_access(ObjectAccess::new(cold, 3e5, 8, AccessPattern::Stream, 0.1)),
+                    )
+                })
+                .collect()
+        }
+    }
+
+    fn config() -> HmConfig {
+        HmConfig::calibrated(128 * PAGE_SIZE, 8192 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn cache_starts_cold_then_warms() {
+        let mut ex = Executor::new(
+            HmSystem::new(config(), 3),
+            SkewedShared { rounds: 4 },
+            MemoryModePolicy::default(),
+        );
+        let report = ex.run();
+        // Round 0 is cold (no DRAM traffic); later rounds hit.
+        let r0 = &report.rounds[0].tasks[0].cost;
+        let r3 = &report.rounds[3].tasks[0].cost;
+        assert_eq!(r0.dram_accesses, 0.0);
+        assert!(r3.dram_accesses > 0.0);
+    }
+
+    #[test]
+    fn memory_mode_beats_pm_only_on_skewed_data() {
+        let mm = Executor::new(
+            HmSystem::new(config(), 3),
+            SkewedShared { rounds: 6 },
+            MemoryModePolicy::default(),
+        )
+        .run();
+        let pm = Executor::new(
+            HmSystem::new(config(), 3),
+            SkewedShared { rounds: 6 },
+            StaticPolicy { tier: Tier::Pm },
+        )
+        .run();
+        assert!(mm.total_time_ns() < pm.total_time_ns());
+        // No pages physically migrate in Memory Mode.
+        assert_eq!(mm.total_migration_pages(), 0);
+    }
+
+    #[test]
+    fn hit_rate_bounded_and_zero_for_untouched() {
+        let mut sys = HmSystem::new(config(), 1);
+        let id = sys
+            .allocate(&ObjectSpec::new("x", 64 * PAGE_SIZE), Tier::Pm)
+            .unwrap();
+        let mut p = MemoryModePolicy::default();
+        p.refresh_cache_model(&sys);
+        let acc = ObjectAccess::new(id, 1e5, 8, AccessPattern::Stream, 0.0);
+        assert_eq!(p.hit_rate(&sys, &acc), 0.0);
+        sys.record_accesses(id, 1e5);
+        p.refresh_cache_model(&sys);
+        let h = p.hit_rate(&sys, &acc);
+        assert!((0.0..=0.95).contains(&h) && h > 0.0, "h = {h}");
+    }
+}

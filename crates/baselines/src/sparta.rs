@@ -1,0 +1,138 @@
+//! Sparta-like application-specific placement for sparse kernels
+//! (Liu et al., PPoPP'21 — "the only application-specific solution for
+//! sparse tensors or matrices on HM").
+//!
+//! Sparta places the randomly-gathered input tensor structures in fast
+//! memory because their accesses are the most latency-sensitive, deciding
+//! per *object* from algorithm knowledge. Crucially — and this is why the
+//! paper beats it by 17.3 % on SpGEMM — it "ignores the load balancing
+//! caused by multiple matrix multiplications": the placement is global and
+//! static per multiplication, never coordinated across tasks.
+
+use merch_hm::page::PAGE_SIZE;
+use merch_hm::runtime::PlacementPolicy;
+use merch_hm::{HmSystem, TaskWork, Tier};
+use merch_patterns::AccessPattern;
+
+/// Sparta-like static object-priority placement.
+pub struct SpartaPolicy {
+    /// DRAM head-room fraction.
+    pub reserve: f64,
+    placed: bool,
+}
+
+impl Default for SpartaPolicy {
+    fn default() -> Self {
+        Self {
+            reserve: 0.02,
+            placed: false,
+        }
+    }
+}
+
+impl SpartaPolicy {
+    /// Rank objects by algorithm knowledge and fill DRAM greedily. Objects
+    /// gathered randomly (the B matrix in C = A·B) come first; streamed
+    /// outputs last.
+    fn place(&mut self, sys: &mut HmSystem, works: &[TaskWork]) {
+        // Object priority = Σ accesses × pattern PM-penalty weight.
+        let mut score = vec![0.0f64; sys.objects().len()];
+        for w in works {
+            for ph in &w.phases {
+                for a in &ph.accesses {
+                    let weight = match a.pattern {
+                        AccessPattern::Random => 4.0,
+                        AccessPattern::Strided { .. } => 1.5,
+                        AccessPattern::Stencil { .. } => 1.5,
+                        AccessPattern::Stream => 1.0,
+                    };
+                    score[a.object.0 as usize] += a.accesses * weight;
+                }
+            }
+        }
+        // Density: score per byte (small hot structures first).
+        let mut order: Vec<usize> = (0..score.len()).collect();
+        order.sort_by(|&x, &y| {
+            let dx = score[x] / sys.objects()[x].size.max(1) as f64;
+            let dy = score[y] / sys.objects()[y].size.max(1) as f64;
+            dy.partial_cmp(&dx).unwrap()
+        });
+        let budget = (sys.config.dram.capacity as f64 * (1.0 - self.reserve)) as u64;
+        let mut used = 0u64;
+        for idx in order {
+            let o = &sys.objects()[idx];
+            let bytes = o.num_pages * PAGE_SIZE;
+            let id = o.id;
+            if used + bytes <= budget {
+                used += bytes;
+                sys.migrate_object_pages(id, Tier::Dram, u64::MAX);
+            } else if budget > used {
+                // Partial placement: Sparta knows the hot rows of the
+                // current multiplication and pins as many as fit — once.
+                let pages = (budget - used) / PAGE_SIZE;
+                let moved = sys.migrate_object_pages(id, Tier::Dram, pages).pages_moved;
+                used += moved * PAGE_SIZE;
+            }
+        }
+        self.placed = true;
+    }
+}
+
+impl PlacementPolicy for SpartaPolicy {
+    fn name(&self) -> String {
+        "Sparta".to_string()
+    }
+
+    fn before_round(&mut self, sys: &mut HmSystem, _round: usize, works: &[TaskWork]) {
+        // Static placement decided once from algorithm knowledge.
+        if !self.placed {
+            self.place(sys, works);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_apps::{HpcApp, SpgemmApp};
+    use merch_hm::runtime::{Executor, StaticPolicy};
+
+    #[test]
+    fn sparta_beats_pm_only_on_spgemm() {
+        let mk = || SpgemmApp::new(9, 8, 4, 3, 21);
+        let cfg = mk().recommended_config();
+        let pm = Executor::new(
+            HmSystem::new(cfg.clone(), 2),
+            mk(),
+            StaticPolicy { tier: Tier::Pm },
+        )
+        .run();
+        let sp = Executor::new(HmSystem::new(cfg, 2), mk(), SpartaPolicy::default()).run();
+        assert!(
+            sp.total_time_ns() < pm.total_time_ns(),
+            "sparta {} vs pm {}",
+            sp.total_time_ns(),
+            pm.total_time_ns()
+        );
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let app = SpgemmApp::new(9, 8, 4, 3, 22);
+        let cfg = app.recommended_config();
+        let mut ex = Executor::new(HmSystem::new(cfg, 3), app, SpartaPolicy::default());
+        let _ = ex.run();
+        assert!(ex.sys.page_table().bytes_in(Tier::Dram) <= ex.sys.config.dram.capacity);
+    }
+
+    #[test]
+    fn random_gathered_object_prioritised() {
+        let app = SpgemmApp::new(9, 8, 4, 3, 23);
+        let cfg = app.recommended_config();
+        let mut ex = Executor::new(HmSystem::new(cfg, 4), app, SpartaPolicy::default());
+        let _ = ex.run();
+        // B (random gathers, shared) should be (partly) in DRAM.
+        let b = ex.sys.object_by_name("B").unwrap();
+        assert!(ex.sys.dram_fraction(b) > 0.0);
+    }
+}

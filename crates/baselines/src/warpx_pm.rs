@@ -1,0 +1,127 @@
+//! WarpX-PM: the manual, application-specific WarpX placement (Ren et al.,
+//! ICS'21 — "Optimizing large-scale plasma simulations on persistent
+//! memory-based heterogeneous memory with effective data placement").
+//!
+//! The original work analyses the *lifetime* of every data object across
+//! the PIC loop by hand and pins the objects with the highest
+//! access-per-byte-per-lifetime density to DRAM. Because the analysis is
+//! manual and exact for this one application, the paper finds it slightly
+//! *better* than Merchandiser on WarpX (by 4.6 %): it effectively has
+//! oracle knowledge of per-phase access counts. We reproduce that by
+//! letting the policy read each round's true per-object access counts —
+//! oracle knowledge Merchandiser never gets — and re-balance DRAM across
+//! the per-tile field objects (the long-lived, stencil-reused arrays)
+//! every step.
+
+use merch_hm::page::PAGE_SIZE;
+use merch_hm::runtime::PlacementPolicy;
+use merch_hm::{HmSystem, TaskWork, Tier};
+
+/// Manual lifetime-driven placement for WarpX-like PIC codes.
+#[derive(Debug, Default)]
+pub struct WarpxPmPolicy {
+    /// DRAM head-room fraction.
+    pub reserve: f64,
+}
+
+impl WarpxPmPolicy {
+    /// New policy with 2 % head-room.
+    pub fn new() -> Self {
+        Self { reserve: 0.02 }
+    }
+}
+
+impl PlacementPolicy for WarpxPmPolicy {
+    fn name(&self) -> String {
+        "WarpX-PM".to_string()
+    }
+
+    fn before_round(&mut self, sys: &mut HmSystem, _round: usize, works: &[TaskWork]) {
+        // Oracle: exact per-object access mass of this step (the manual
+        // lifetime analysis gives the author this knowledge per kernel).
+        let mut mass = vec![0.0f64; sys.objects().len()];
+        for w in works {
+            for ph in &w.phases {
+                for a in &ph.accesses {
+                    mass[a.object.0 as usize] +=
+                        merch_hm::trace::memory_accesses(a, sys.object(a.object).size, sys.config.llc_bytes);
+                }
+            }
+        }
+        // Benefit density = accesses per byte; fill DRAM greedily, evicting
+        // whatever fell out of the cut.
+        let mut order: Vec<usize> = (0..mass.len()).collect();
+        order.sort_by(|&x, &y| {
+            let dx = mass[x] / sys.objects()[x].size.max(1) as f64;
+            let dy = mass[y] / sys.objects()[y].size.max(1) as f64;
+            dy.partial_cmp(&dx).unwrap()
+        });
+        let budget = (sys.config.dram.capacity as f64 * (1.0 - self.reserve)) as u64;
+        let mut used = 0u64;
+        let mut keep: Vec<bool> = vec![false; mass.len()];
+        for idx in &order {
+            let bytes = sys.objects()[*idx].num_pages * PAGE_SIZE;
+            if used + bytes <= budget && mass[*idx] > 0.0 {
+                used += bytes;
+                keep[*idx] = true;
+            }
+        }
+        // Demote losers first, then promote winners.
+        for (idx, k) in keep.iter().enumerate() {
+            if !k {
+                let id = sys.objects()[idx].id;
+                sys.migrate_object_pages(id, Tier::Pm, u64::MAX);
+            }
+        }
+        for (idx, k) in keep.iter().enumerate() {
+            if *k {
+                let id = sys.objects()[idx].id;
+                sys.migrate_object_pages(id, Tier::Dram, u64::MAX);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_apps::{HpcApp, WarpxApp};
+    use merch_hm::runtime::{Executor, StaticPolicy};
+
+    fn mk() -> WarpxApp {
+        WarpxApp::new(3, 2, 256, 20_000, 4, 13)
+    }
+
+    #[test]
+    fn warpx_pm_beats_pm_only() {
+        let cfg = mk().recommended_config();
+        let pm = Executor::new(
+            HmSystem::new(cfg.clone(), 2),
+            mk(),
+            StaticPolicy { tier: Tier::Pm },
+        )
+        .run();
+        let wp = Executor::new(HmSystem::new(cfg, 2), mk(), WarpxPmPolicy::new()).run();
+        assert!(wp.total_time_ns() < pm.total_time_ns());
+    }
+
+    #[test]
+    fn fields_prioritised_over_particles() {
+        let cfg = mk().recommended_config();
+        let mut ex = Executor::new(HmSystem::new(cfg, 2), mk(), WarpxPmPolicy::new());
+        let _ = ex.run();
+        // Field arrays (stencil-reused, dense access mass) should sit in
+        // DRAM ahead of the bulkier particle arrays.
+        let f0 = ex.sys.object_by_name("fields0").unwrap();
+        let p0 = ex.sys.object_by_name("part0").unwrap();
+        assert!(ex.sys.dram_fraction(f0) >= ex.sys.dram_fraction(p0));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let cfg = mk().recommended_config();
+        let mut ex = Executor::new(HmSystem::new(cfg, 2), mk(), WarpxPmPolicy::new());
+        let _ = ex.run();
+        assert!(ex.sys.page_table().bytes_in(Tier::Dram) <= ex.sys.config.dram.capacity);
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! Algorithm 1 step size, the migrate-or-not gate, α refinement, and the
+//! correlation function. Each variant runs the same DMRG workload; the
+//! quality numbers behind the wall times are printed by `repro ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use merch_bench::experiments as exp;
+use merchandiser::MerchandiserPolicy;
+use merch_apps::HpcApp;
+use merch_hm::{Executor, HmSystem};
+
+fn policy_for(app: &dyn HpcApp, model: &merchandiser::PerformanceModel, seed: u64) -> MerchandiserPolicy {
+    let map = merch_patterns::classify_kernel(&app.kernel_ir());
+    MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed)
+}
+
+/// Algorithm 1 step size: the paper uses 5 %; smaller steps plan more
+/// precisely but iterate longer.
+fn bench_step_size(c: &mut Criterion) {
+    let art = exp::offline(true, 42);
+    let mut g = c.benchmark_group("ablation_alg1_step");
+    g.sample_size(10);
+    for step in [0.01, 0.05, 0.10, 0.20] {
+        g.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &step| {
+            b.iter(|| {
+                let app = exp::AppKind::Dmrg.build(42);
+                let cfg = app.recommended_config();
+                let mut p = policy_for(app.as_ref(), &art.model, 42);
+                p.step = step;
+                std::hint::black_box(Executor::new(HmSystem::new(cfg, 42), app, p).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The migrate-or-not gate: horizon 0 never migrates, the default
+/// amortises over 5 instances, a huge horizon always migrates.
+fn bench_migration_gate(c: &mut Criterion) {
+    let art = exp::offline(true, 42);
+    let mut g = c.benchmark_group("ablation_migration_gate");
+    g.sample_size(10);
+    for (name, horizon) in [("never", 0.0), ("default", 5.0), ("always", 1e12)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let app = exp::AppKind::Dmrg.build(42);
+                let cfg = app.recommended_config();
+                let mut p = policy_for(app.as_ref(), &art.model, 42);
+                p.migration_horizon = horizon;
+                std::hint::black_box(Executor::new(HmSystem::new(cfg, 42), app, p).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// α refinement on/off.
+fn bench_alpha_refinement(c: &mut Criterion) {
+    let art = exp::offline(true, 42);
+    let mut g = c.benchmark_group("ablation_alpha_refinement");
+    g.sample_size(10);
+    for (name, on) in [("refined", true), ("fixed_alpha_1", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let app = exp::AppKind::NwchemTc.build(42);
+                let cfg = app.recommended_config();
+                let mut p = policy_for(app.as_ref(), &art.model, 42);
+                p.refine_alpha = on;
+                std::hint::black_box(Executor::new(HmSystem::new(cfg, 42), app, p).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_step_size,
+    bench_migration_gate,
+    bench_alpha_refinement
+);
+criterion_main!(ablations);

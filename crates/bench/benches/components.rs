@@ -1,0 +1,157 @@
+//! Micro-benchmarks of the system's hot components — including the §7.2
+//! overhead claims: the online prediction (paper: 0.031 ms) and the
+//! profiling passes (paper: < 0.1 % perturbation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use merch_hm::cost::{task_cost, UniformPlacement};
+use merch_hm::page::PAGE_SIZE;
+use merch_hm::{HmConfig, HmSystem, ObjectAccess, ObjectId, ObjectSpec, Phase, TaskWork, Tier};
+use merch_models::{GradientBoostedRegressor, Regressor};
+use merch_patterns::{stencil_alpha_microbench, AccessPattern};
+use merch_profiling::{PmcGenerator, SamplingHotPageProfiler, ThermostatProfiler};
+use merchandiser::{plan_dram_accesses, AllocatorInput, PerformanceModel, TaskInput};
+
+fn sample_work() -> TaskWork {
+    TaskWork::new(0)
+        .with_phase(
+            Phase::new("a", 1e6)
+                .with_access(ObjectAccess::new(ObjectId(0), 1e6, 8, AccessPattern::Stream, 0.2))
+                .with_access(ObjectAccess::new(ObjectId(1), 3e5, 8, AccessPattern::Random, 0.0)),
+        )
+        .with_phase(Phase::new("b", 5e5).with_access(ObjectAccess::new(
+            ObjectId(0),
+            4e5,
+            8,
+            AccessPattern::Strided {
+                stride: 4,
+                elem_bytes: 8,
+            },
+            0.5,
+        )))
+}
+
+/// The cost model itself: one task evaluation.
+fn bench_cost_model(c: &mut Criterion) {
+    let cfg = HmConfig::default();
+    let work = sample_work();
+    let view = UniformPlacement::new(vec![1 << 28, 1 << 26], 0.4);
+    c.bench_function("cost_model_task_eval", |b| {
+        b.iter(|| std::hint::black_box(task_cost(&cfg, &work, &view, 12)))
+    });
+}
+
+/// §7.2 overhead claim: Equation 2 prediction latency (paper: part of the
+/// 0.031 ms online pass).
+fn bench_eq2_prediction(c: &mut Criterion) {
+    let mut f = GradientBoostedRegressor::new(260, 0.08, 3, 0);
+    // Train on a small synthetic problem so the tree walk depth is real.
+    let x: Vec<Vec<f64>> = (0..500)
+        .map(|i| (0..9).map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| 0.5 + 0.4 * r[0] - 0.2 * r[8]).collect();
+    f.fit(&x, &y);
+    let model = PerformanceModel { f, num_events: 8 };
+    let ev = PmcGenerator::new(1).collect(
+        &HmConfig::default(),
+        &sample_work(),
+        &[1 << 28, 1 << 26],
+        12,
+    );
+    c.bench_function("eq2_single_prediction", |b| {
+        b.iter(|| std::hint::black_box(model.predict(10e6, 3e6, &ev, 0.35)))
+    });
+}
+
+/// Algorithm 1 planning latency for a 24-task application.
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut f = GradientBoostedRegressor::new(1, 0.1, 1, 0);
+    f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
+    let model = PerformanceModel { f, num_events: 8 };
+    let ev = PmcGenerator::new(1).collect(
+        &HmConfig::default(),
+        &sample_work(),
+        &[1 << 28, 1 << 26],
+        12,
+    );
+    let tasks: Vec<TaskInput> = (0..24)
+        .map(|i| TaskInput {
+            task: i,
+            d_pm_only_ns: 1e7 * (1.0 + i as f64 * 0.2),
+            d_dram_only_ns: 3e6 * (1.0 + i as f64 * 0.2),
+            events: ev.clone(),
+            total_accesses: 1e6,
+            bytes: 16 << 20,
+        })
+        .collect();
+    c.bench_function("algorithm1_plan_24_tasks", |b| {
+        b.iter(|| {
+            let input = AllocatorInput {
+                tasks: tasks.clone(),
+                dram_capacity: 128 << 20,
+                model: &model,
+                step: 0.05,
+            };
+            std::hint::black_box(plan_dram_accesses(&input))
+        })
+    });
+}
+
+/// Thermostat scan and MemoryOptimizer sampling over ~100k pages.
+fn bench_profilers(c: &mut Criterion) {
+    let mut sys = HmSystem::new(
+        HmConfig::calibrated(1 << 28, 1u64 << 30),
+        3,
+    );
+    for i in 0..8 {
+        let id = sys
+            .allocate(
+                &ObjectSpec::new(&format!("o{i}"), 16_000 * PAGE_SIZE).with_skew(0.8),
+                Tier::Pm,
+            )
+            .unwrap();
+        sys.record_accesses(id, 1e6);
+    }
+    let mut g = c.benchmark_group("profilers");
+    g.sample_size(20);
+    g.bench_function("thermostat_scan_128k_pages", |b| {
+        let mut p = ThermostatProfiler::new(1);
+        b.iter(|| std::hint::black_box(p.scan(&mut sys, Tier::Pm)))
+    });
+    g.bench_function("sampling_profiler_2048_budget", |b| {
+        let mut p = SamplingHotPageProfiler::new(1, 2048);
+        b.iter(|| std::hint::black_box(p.sample(&mut sys, Tier::Pm)))
+    });
+    g.finish();
+}
+
+/// PMC event synthesis for one task.
+fn bench_pmc(c: &mut Criterion) {
+    let cfg = HmConfig::default();
+    let gen = PmcGenerator::new(1);
+    let work = sample_work();
+    c.bench_function("pmc_event_collection", |b| {
+        b.iter(|| std::hint::black_box(gen.collect(&cfg, &work, &[1 << 28, 1 << 26], 12)))
+    });
+}
+
+/// The offline stencil α microbenchmark (cache-line simulator).
+fn bench_stencil_alpha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil_alpha_microbench");
+    g.sample_size(10);
+    g.bench_function("7pt_f64_64k", |b| {
+        b.iter(|| std::hint::black_box(stencil_alpha_microbench(7, 8, 1 << 16)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_cost_model,
+    bench_eq2_prediction,
+    bench_algorithm1,
+    bench_profilers,
+    bench_pmc,
+    bench_stencil_alpha
+);
+criterion_main!(components);

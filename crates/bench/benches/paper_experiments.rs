@@ -1,0 +1,152 @@
+//! One criterion benchmark per table/figure of the paper: each target runs
+//! the code that regenerates the corresponding result (on reduced inputs,
+//! so `cargo bench` stays tractable) and reports its wall time. The full
+//! rows/series are printed by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use merch_bench::experiments as exp;
+use merchandiser::training::{self, TrainingOptions};
+
+fn offline_quick() -> merchandiser::TrainingArtifacts {
+    exp::offline(true, 42)
+}
+
+/// Table 1: Spindle-like classification of all five applications.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("pattern_classification", |b| {
+        b.iter(|| std::hint::black_box(exp::table1(42)))
+    });
+    g.finish();
+}
+
+/// Table 3: train the winning correlation-function model (GBR) on the full
+/// feature set.
+fn bench_table3(c: &mut Criterion) {
+    let cfg = merch_hm::HmConfig::default();
+    let samples = training::generate_code_samples(60, 42);
+    let dataset = training::build_training_dataset(&cfg, &samples, 10, 42);
+    let opts = TrainingOptions {
+        include_mlp: false,
+        include_all_models: false,
+        selected_events: 8,
+        mlp_epochs: 10,
+    };
+    let mut g = c.benchmark_group("table3_model_training");
+    g.sample_size(10);
+    g.bench_function("gbr_correlation_function", |b| {
+        b.iter(|| std::hint::black_box(training::train_correlation_function(&dataset, &opts, 7)))
+    });
+    g.finish();
+}
+
+/// Figure 3: the NWChem-TC five-phase DRAM-ratio sweep.
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_nwchem_phases");
+    g.sample_size(10);
+    g.bench_function("phase_ratio_sweep", |b| {
+        b.iter(|| std::hint::black_box(exp::fig3(42)))
+    });
+    g.finish();
+}
+
+/// Figure 4: one app × the three generic policies (the full five-app sweep
+/// is `repro fig4`).
+fn bench_fig4(c: &mut Criterion) {
+    let art = offline_quick();
+    let mut g = c.benchmark_group("fig4_overall_performance");
+    g.sample_size(10);
+    for policy in [
+        exp::PolicyKind::PmOnly,
+        exp::PolicyKind::MemoryMode,
+        exp::PolicyKind::MemoryOptimizer,
+        exp::PolicyKind::Merchandiser,
+    ] {
+        g.bench_function(policy.name(), |b| {
+            b.iter_batched(
+                || (),
+                |()| std::hint::black_box(exp::run_app(exp::AppKind::Dmrg, policy, &art.model, 42)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: the task-variance statistics pipeline.
+fn bench_fig5(c: &mut Criterion) {
+    let art = offline_quick();
+    let report = exp::run_app(exp::AppKind::Dmrg, exp::PolicyKind::Merchandiser, &art.model, 42);
+    let times = report.normalized_task_times();
+    c.bench_function("fig5_boxplot_stats", |b| {
+        b.iter(|| std::hint::black_box(merch_bench::BoxStats::from(&times)))
+    });
+}
+
+/// Figure 6/7-style heavier pipelines keep a bounded sample count so a full
+/// `cargo bench` stays in the minutes range.
+#[allow(dead_code)]
+fn _sampling_note() {}
+
+/// Figure 6: bandwidth-timeline collection during a WarpX run.
+fn bench_fig6(c: &mut Criterion) {
+    let art = offline_quick();
+    let mut g = c.benchmark_group("fig6_bandwidth_timeline");
+    g.sample_size(10);
+    g.bench_function("warpx_memory_mode_telemetry", |b| {
+        b.iter(|| {
+            std::hint::black_box(exp::run_app(
+                exp::AppKind::Warpx,
+                exp::PolicyKind::MemoryMode,
+                &art.model,
+                42,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7: the top-k event accuracy curve (reduced sample count).
+fn bench_fig7(c: &mut Criterion) {
+    let art = offline_quick();
+    let mut g = c.benchmark_group("fig7_feature_selection");
+    g.sample_size(10);
+    g.bench_function("regular_irregular_eval", |b| {
+        b.iter(|| std::hint::black_box(exp::fig7(&art, 43)))
+    });
+    g.finish();
+}
+
+/// Table 4: whole-model prediction accuracy on one application.
+fn bench_table4(c: &mut Criterion) {
+    let art = offline_quick();
+    let mut g = c.benchmark_group("table4_model_accuracy");
+    g.sample_size(10);
+    g.bench_function("dmrg_prediction_accuracy", |b| {
+        b.iter(|| {
+            // The per-app accuracy computation subset of exp::table4.
+            std::hint::black_box(exp::run_app(
+                exp::AppKind::Dmrg,
+                exp::PolicyKind::Merchandiser,
+                &art.model,
+                42,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table1,
+    bench_table3,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_table4
+);
+criterion_main!(paper);

@@ -1,0 +1,375 @@
+//! `repro` — regenerate every table and figure of the Merchandiser paper.
+//!
+//! ```text
+//! repro [--seed N] [--quick] [--model-cache FILE] <experiment>...
+//! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead all
+//! ```
+//!
+//! Output is TSV on stdout, one block per experiment, in the same
+//! rows/series the paper reports. Seeds are fixed by default so runs are
+//! reproducible bit for bit.
+
+use std::io::Write;
+
+use merch_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut quick = false;
+    let mut model_cache: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--quick" => quick = true,
+            "--model-cache" => {
+                model_cache = Some(it.next().expect("--model-cache takes a path").into());
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: repro [--seed N] [--quick] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|all>..."
+        );
+        std::process::exit(2);
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "table4", "alpha",
+            "overhead", "ablation", "cxl", "landscape", "motivation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    // Experiments needing the trained correlation function.
+    let needs_model = wanted.iter().any(|w| {
+        matches!(
+            w.as_str(),
+            "table3" | "table4" | "fig4" | "fig5" | "fig6" | "fig7" | "alpha" | "overhead"
+                | "ablation" | "landscape" | "motivation"
+        )
+    });
+    // Experiments that need the full training artifacts (Table 3 rows,
+    // Figure 7 curve) cannot run from the model cache alone.
+    let needs_artifacts = wanted.iter().any(|w| matches!(w.as_str(), "table3" | "fig7"));
+    let artifacts = needs_model.then(|| {
+        if !needs_artifacts {
+            if let Some(path) = &model_cache {
+                if let Ok(model) = merchandiser::PerformanceModel::load(path) {
+                    eprintln!("[offline] loaded cached model from {}", path.display());
+                    return exp::artifacts_from_model(model);
+                }
+            }
+        }
+        eprintln!("[offline] training correlation function (quick={quick}) ...");
+        let art = exp::offline(quick, seed);
+        if let Some(path) = &model_cache {
+            match art.model.save(path) {
+                Ok(()) => eprintln!("[offline] cached model to {}", path.display()),
+                Err(e) => eprintln!("[offline] could not cache model: {e}"),
+            }
+        }
+        art
+    });
+
+    for w in &wanted {
+        match w.as_str() {
+            "table1" => {
+                writeln!(out, "# Table 1 — access patterns detected per application").unwrap();
+                writeln!(out, "application\tpatterns").unwrap();
+                for (app, labels) in exp::table1(seed) {
+                    writeln!(out, "{app}\t{}", labels.join(", ")).unwrap();
+                }
+            }
+            "table3" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(out, "\n# Table 3 — statistical models for f(·), held-out R²").unwrap();
+                writeln!(out, "model\tparameters\tR2").unwrap();
+                for m in &art.table3 {
+                    writeln!(out, "{}\t{}\t{:.3}", m.name, m.params, m.r2).unwrap();
+                }
+            }
+            "fig3" => {
+                writeln!(
+                    out,
+                    "\n# Figure 3 — NWChem-TC phase time vs DRAM-access ratio (normalised to PM-only)"
+                )
+                .unwrap();
+                writeln!(out, "phase\tratio_0%\tratio_50%\tratio_100%").unwrap();
+                for r in exp::fig3(seed) {
+                    writeln!(
+                        out,
+                        "{}\t{:.3}\t{:.3}\t{:.3}",
+                        r.phase, r.normalized[0], r.normalized[1], r.normalized[2]
+                    )
+                    .unwrap();
+                }
+            }
+            "fig4" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(out, "\n# Figure 4 — speedup over PM-only").unwrap();
+                writeln!(out, "application\tpolicy\tspeedup").unwrap();
+                let rows = exp::fig4(&art.model, seed);
+                for r in &rows {
+                    for (p, s) in &r.speedups {
+                        writeln!(out, "{}\t{}\t{:.3}", r.app, p, s).unwrap();
+                    }
+                }
+                summarize_fig4(&mut out, &rows);
+            }
+            "fig5" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(
+                    out,
+                    "\n# Figure 5 — normalised task time distribution and A.C.V"
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "application\tpolicy\tq1\tmedian\tq3\tlo_whisker\thi_whisker\toutliers\tACV"
+                )
+                .unwrap();
+                let rows = exp::fig5(&art.model, seed);
+                for r in &rows {
+                    writeln!(
+                        out,
+                        "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{:.3}",
+                        r.app,
+                        r.policy,
+                        r.stats.q1,
+                        r.stats.median,
+                        r.stats.q3,
+                        r.stats.lo_whisker,
+                        r.stats.hi_whisker,
+                        r.stats.outliers.len(),
+                        r.acv
+                    )
+                    .unwrap();
+                }
+                summarize_fig5(&mut out, &rows);
+            }
+            "fig6" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(out, "\n# Figure 6 — WarpX memory bandwidth over time").unwrap();
+                writeln!(out, "policy\tt_ms\tdram_gbps\tpm_gbps").unwrap();
+                for panel in exp::fig6(&art.model, seed) {
+                    for s in panel.samples.iter().filter(|s| s.dram_gbps + s.pm_gbps > 0.0) {
+                        writeln!(
+                            out,
+                            "{}\t{:.3}\t{:.2}\t{:.2}",
+                            panel.policy,
+                            s.t_ns / 1e6,
+                            s.dram_gbps,
+                            s.pm_gbps
+                        )
+                        .unwrap();
+                    }
+                    writeln!(
+                        out,
+                        "# {} averages: DRAM {:.2} GB/s, PM {:.2} GB/s",
+                        panel.policy, panel.avg_dram_gbps, panel.avg_pm_gbps
+                    )
+                    .unwrap();
+                }
+            }
+            "fig7" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(
+                    out,
+                    "\n# Figure 7 — correlation-function accuracy vs number of events"
+                )
+                .unwrap();
+                writeln!(out, "num_events\tR2_heldout").unwrap();
+                let f = exp::fig7(art, seed);
+                for (k, r2) in &f.curve {
+                    writeln!(out, "{k}\t{:.3}", r2).unwrap();
+                }
+                writeln!(
+                    out,
+                    "# regular apps:   top-8 accuracy {:.1}% (all events {:.1}%)",
+                    f.regular_top8 * 100.0,
+                    f.regular_all * 100.0
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "# irregular apps: top-8 accuracy {:.1}% (all events {:.1}%)",
+                    f.irregular_top8 * 100.0,
+                    f.irregular_all * 100.0
+                )
+                .unwrap();
+            }
+            "table4" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(out, "\n# Table 4 — whole performance-model accuracy").unwrap();
+                writeln!(out, "application\tprofiling_regression\tperformance_model").unwrap();
+                for r in exp::table4(&art.model, seed) {
+                    writeln!(
+                        out,
+                        "{}\t{:.1}%\t{:.1}%",
+                        r.app,
+                        r.regression_acc * 100.0,
+                        r.model_acc * 100.0
+                    )
+                    .unwrap();
+                }
+            }
+            "alpha" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(out, "\n# §7.3 — mean α per application").unwrap();
+                writeln!(out, "application\tmean_alpha").unwrap();
+                for (app, a) in exp::alpha_report(&art.model, seed) {
+                    writeln!(out, "{app}\t{a:.2}").unwrap();
+                }
+            }
+            "overhead" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(out, "\n# §7.2 — runtime overhead").unwrap();
+                writeln!(out, "application\tprediction_wall_ms\tpages_migrated").unwrap();
+                for (app, ns, pages) in exp::overhead_report(&art.model, seed) {
+                    writeln!(out, "{app}\t{:.4}\t{pages}", ns / 1e6).unwrap();
+                }
+            }
+            "ablation" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(out, "\n# Ablation study — design-choice impact").unwrap();
+                writeln!(out, "dimension\tvariant\tspeedup_vs_pm\tACV\tpages_migrated").unwrap();
+                for r in exp::ablation(exp::AppKind::Dmrg, &art.model, seed) {
+                    writeln!(
+                        out,
+                        "{}\t{}\t{:.3}\t{:.3}\t{}",
+                        r.dimension, r.variant, r.speedup, r.acv, r.pages
+                    )
+                    .unwrap();
+                }
+            }
+            "motivation" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(
+                    out,
+                    "\n# §1 motivation — task-agnostic HM management on the five apps"
+                )
+                .unwrap();
+                writeln!(out, "application\tpolicy\tvariance_change\tspeedup_vs_pm").unwrap();
+                let rows = exp::motivation(&art.model, seed);
+                for r in &rows {
+                    writeln!(
+                        out,
+                        "{}\t{}\t{:+.1}%\t{:.3}",
+                        r.app,
+                        r.policy,
+                        r.variance_change * 100.0,
+                        r.speedup
+                    )
+                    .unwrap();
+                }
+                let mean = |p: &str, f: &dyn Fn(&exp::MotivationRow) -> f64| {
+                    let v: Vec<f64> = rows.iter().filter(|r| r.policy == p).map(f).collect();
+                    v.iter().sum::<f64>() / v.len().max(1) as f64
+                };
+                writeln!(
+                    out,
+                    "# mean variance change: Memory Mode {:+.1}%, MemoryOptimizer {:+.1}% (paper: +16%, +17%)",
+                    mean("Memory Mode", &|r| r.variance_change) * 100.0,
+                    mean("MemoryOptimizer", &|r| r.variance_change) * 100.0
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "# mean speedup: Memory Mode {:.3}, MemoryOptimizer {:.3} (paper: 1.0371, 1.0432)",
+                    mean("Memory Mode", &|r| r.speedup),
+                    mean("MemoryOptimizer", &|r| r.speedup)
+                )
+                .unwrap();
+            }
+            "landscape" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(
+                    out,
+                    "\n# Policy landscape (beyond the paper) — speedup over PM-only"
+                )
+                .unwrap();
+                writeln!(out, "application\tpolicy\tspeedup").unwrap();
+                for r in exp::landscape(&art.model, seed) {
+                    for (p, s) in &r.speedups {
+                        writeln!(out, "{}\t{}\t{:.3}", r.app, p, s).unwrap();
+                    }
+                }
+            }
+            "cxl" => {
+                writeln!(
+                    out,
+                    "\n# §5.3 Extensibility — Merchandiser retargeted to a CXL-based HM"
+                )
+                .unwrap();
+                writeln!(out, "application\tpolicy\tspeedup_vs_cxl_only").unwrap();
+                for r in exp::cxl_extensibility(seed) {
+                    writeln!(out, "{}\t{}\t{:.3}", r.app, r.policy, r.speedup).unwrap();
+                }
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn summarize_fig4(out: &mut impl Write, rows: &[exp::Fig4Row]) {
+    let mean = |policy: &str| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.speedups.get(policy).copied())
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let merch = mean("Merchandiser");
+    let mm = mean("Memory Mode");
+    let mo = mean("MemoryOptimizer");
+    writeln!(
+        out,
+        "# mean speedup over PM-only: Merchandiser {merch:.3}, Memory Mode {mm:.3}, MemoryOptimizer {mo:.3}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# Merchandiser vs Memory Mode +{:.1}%, vs MemoryOptimizer +{:.1}% (paper: +17.1%, +15.4%)",
+        (merch / mm - 1.0) * 100.0,
+        (merch / mo - 1.0) * 100.0
+    )
+    .unwrap();
+}
+
+fn summarize_fig5(out: &mut impl Write, rows: &[exp::Fig5Row]) {
+    let mean_acv = |policy: &str| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.policy == policy)
+            .map(|r| r.acv)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let merch = mean_acv("Merchandiser");
+    let mm = mean_acv("Memory Mode");
+    let mo = mean_acv("MemoryOptimizer");
+    writeln!(
+        out,
+        "# mean A.C.V: Merchandiser {merch:.3} vs Memory Mode {mm:.3} (−{:.1}%) vs MemoryOptimizer {mo:.3} (−{:.1}%) (paper: −51.6%, −42.7%)",
+        (1.0 - merch / mm) * 100.0,
+        (1.0 - merch / mo) * 100.0
+    )
+    .unwrap();
+}

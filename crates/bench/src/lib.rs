@@ -1,0 +1,8 @@
+//! Experiment harness: one function per table/figure of the paper, shared
+//! by the `repro` binary, the criterion benches and the integration tests.
+
+pub mod experiments;
+pub mod stats;
+
+pub use experiments::*;
+pub use stats::BoxStats;

@@ -1,0 +1,294 @@
+//! Algorithm 1: the greedy load-balance heuristic deciding how many DRAM
+//! accesses each task gets (§6).
+//!
+//! Deciding the placement is a knapsack problem (DRAM capacity = knapsack
+//! weight, pages = items valued by predicted benefit), hence NP-hard; the
+//! paper's heuristic repeatedly takes the task with the longest predicted
+//! execution time and grows its DRAM accesses in 5 % steps until it drops
+//! below the second-longest task, stopping when DRAM is exhausted.
+
+use serde::{Deserialize, Serialize};
+
+use merch_profiling::PmcEvents;
+
+use crate::perfmodel::PerformanceModel;
+
+/// Per-task input of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct TaskInput {
+    /// Task index.
+    pub task: usize,
+    /// `D_i`: execution time using the PM-only configuration, ns (predicted
+    /// by §5.2 for the new input).
+    pub d_pm_only_ns: f64,
+    /// DRAM-only execution time for the new input, ns (the second bound of
+    /// Equation 2).
+    pub d_dram_only_ns: f64,
+    /// `PCs_i`: hardware events measured on the PM-only configuration.
+    pub events: PmcEvents,
+    /// `Total_Acc_i`: estimated total main-memory accesses (Equation 1).
+    pub total_accesses: f64,
+    /// Bytes of data the task touches (for `MAP_TO_PAGES`).
+    pub bytes: u64,
+}
+
+/// Full input of Algorithm 1.
+#[derive(Debug)]
+pub struct AllocatorInput<'m> {
+    /// Per-task information.
+    pub tasks: Vec<TaskInput>,
+    /// `DC`: total DRAM capacity available for placement, bytes.
+    pub dram_capacity: u64,
+    /// The Equation 2 performance model.
+    pub model: &'m PerformanceModel,
+    /// Step size of the inner loop (the paper uses 5 %).
+    pub step: f64,
+}
+
+/// Output of Algorithm 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocatorPlan {
+    /// `DRAM_Acc_i`: DRAM accesses granted to each task.
+    pub dram_accesses: Vec<f64>,
+    /// Predicted execution time of each task under the plan, ns.
+    pub predicted_ns: Vec<f64>,
+    /// `DC_i`: DRAM bytes mapped to each task (`MAP_TO_PAGES`).
+    pub dram_bytes: Vec<u64>,
+    /// Outer-loop iterations executed.
+    pub rounds: usize,
+}
+
+impl AllocatorPlan {
+    /// DRAM access fraction per task (`DRAM_Acc_i / Total_Acc_i`).
+    pub fn fractions(&self, tasks: &[TaskInput]) -> Vec<f64> {
+        self.dram_accesses
+            .iter()
+            .zip(tasks)
+            .map(|(&a, t)| {
+                if t.total_accesses > 0.0 {
+                    (a / t.total_accesses).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// `MAP_TO_PAGES` (Algorithm 1, line 18): the algorithm "assumes that the
+/// memory accesses are evenly distributed to memory pages of the task", so
+/// granting x % of accesses costs x % of the task's pages.
+fn map_to_pages(task: &TaskInput, dram_accesses: f64) -> u64 {
+    if task.total_accesses <= 0.0 {
+        return 0;
+    }
+    let frac = (dram_accesses / task.total_accesses).clamp(0.0, 1.0);
+    (task.bytes as f64 * frac).round() as u64
+}
+
+/// Run Algorithm 1.
+pub fn plan_dram_accesses(input: &AllocatorInput<'_>) -> AllocatorPlan {
+    let n = input.tasks.len();
+    let mut dram_acc = vec![0.0f64; n]; // DRAM_Acc_i ← 0  (line 7)
+    let mut dc = vec![0u64; n]; // DC_i ← 0        (line 6)
+    let mut d_prime: Vec<f64> = input.tasks.iter().map(|t| t.d_pm_only_ns).collect(); // line 8
+    let mut maxed = vec![false; n];
+    let mut rounds = 0usize;
+
+    let predict = |t: &TaskInput, acc: f64| -> f64 {
+        let r = if t.total_accesses > 0.0 {
+            (acc / t.total_accesses).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        input
+            .model
+            .predict(t.d_pm_only_ns, t.d_dram_only_ns, &t.events, r)
+    };
+
+    loop {
+        rounds += 1;
+        // Line 10: the longest task not yet at 100 % DRAM.
+        let Some(i) = (0..n)
+            .filter(|&k| !maxed[k])
+            .max_by(|&a, &b| d_prime[a].partial_cmp(&d_prime[b]).unwrap())
+        else {
+            break; // every task maxed out
+        };
+        // Line 11: the second longest execution time.
+        let second = (0..n)
+            .filter(|&k| k != i)
+            .map(|k| d_prime[k])
+            .fold(0.0f64, f64::max);
+
+        // Lines 12-16: grow DRAM accesses in `step` increments until the
+        // predicted time drops to the second-longest.
+        let t = &input.tasks[i];
+        let mut acc = dram_acc[i];
+        loop {
+            acc = (acc + input.step * t.total_accesses).min(t.total_accesses);
+            d_prime[i] = predict(t, acc);
+            if d_prime[i] <= second || acc >= t.total_accesses {
+                break;
+            }
+        }
+        if acc >= t.total_accesses {
+            maxed[i] = true;
+        }
+        dram_acc[i] = acc; // line 17
+        dc[i] = map_to_pages(t, acc); // line 18
+
+        // Line 19: stop when the DRAM capacity is reached. Scale the last
+        // grant back so the plan never over-commits.
+        let used: u64 = dc.iter().sum();
+        if used >= input.dram_capacity {
+            let overshoot = used - input.dram_capacity;
+            let trimmed_bytes = dc[i].saturating_sub(overshoot);
+            let trim_frac = if dc[i] > 0 {
+                trimmed_bytes as f64 / dc[i] as f64
+            } else {
+                0.0
+            };
+            dram_acc[i] *= trim_frac;
+            dc[i] = trimmed_bytes;
+            d_prime[i] = predict(t, dram_acc[i]);
+            break;
+        }
+        if maxed.iter().all(|&m| m) || rounds > 10 * n.max(1) * ((1.0 / input.step) as usize + 1) {
+            break;
+        }
+    }
+
+    AllocatorPlan {
+        dram_accesses: dram_acc,
+        predicted_ns: d_prime,
+        dram_bytes: dc,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_models::{GradientBoostedRegressor, Regressor};
+
+    /// A model whose f ≡ 1 (linear interpolation between the bounds) —
+    /// enough to test the allocator's control flow deterministically.
+    fn linear_model() -> PerformanceModel {
+        let mut f = GradientBoostedRegressor::new(1, 0.1, 1, 0);
+        f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
+        PerformanceModel { f, num_events: 8 }
+    }
+
+    fn task(i: usize, pm_ns: f64, accesses: f64, bytes: u64) -> TaskInput {
+        TaskInput {
+            task: i,
+            d_pm_only_ns: pm_ns,
+            d_dram_only_ns: pm_ns / 3.0,
+            events: PmcEvents { values: [0.5; 14] },
+            total_accesses: accesses,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn longest_task_gets_dram_first() {
+        let model = linear_model();
+        let input = AllocatorInput {
+            tasks: vec![
+                task(0, 10e6, 1e6, 1 << 24),
+                task(1, 30e6, 3e6, 1 << 24), // slowest
+                task(2, 12e6, 1e6, 1 << 24),
+            ],
+            dram_capacity: 8 << 20, // less than half of one task's bytes
+            model: &model,
+            step: 0.05,
+        };
+        let plan = plan_dram_accesses(&input);
+        assert!(plan.dram_accesses[1] > plan.dram_accesses[0]);
+        assert!(plan.dram_accesses[1] > plan.dram_accesses[2]);
+        let used: u64 = plan.dram_bytes.iter().sum();
+        assert!(used <= input.dram_capacity, "{used}");
+    }
+
+    #[test]
+    fn plan_reduces_imbalance() {
+        let model = linear_model();
+        let input = AllocatorInput {
+            tasks: vec![task(0, 10e6, 1e6, 1 << 24), task(1, 30e6, 3e6, 1 << 24)],
+            dram_capacity: 1 << 30, // plenty
+            model: &model,
+            step: 0.05,
+        };
+        let plan = plan_dram_accesses(&input);
+        // Before: the slow task needed 30 ms. With ample DRAM the allocator
+        // drives it fully into DRAM (its floor is d_dram_only = 10 ms), and
+        // the predicted makespan drops accordingly.
+        let makespan = plan
+            .predicted_ns
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert!(makespan <= 10e6 + 1e-6, "makespan {makespan}");
+        assert!((plan.fractions(&input.tasks)[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let model = linear_model();
+        for cap in [1u64 << 20, 8 << 20, 1 << 28] {
+            let input = AllocatorInput {
+                tasks: (0..6).map(|i| task(i, (i + 1) as f64 * 1e7, 1e6, 1 << 24)).collect(),
+                dram_capacity: cap,
+                model: &model,
+                step: 0.05,
+            };
+            let plan = plan_dram_accesses(&input);
+            assert!(plan.dram_bytes.iter().sum::<u64>() <= cap);
+        }
+    }
+
+    #[test]
+    fn balanced_tasks_share_evenly_ish() {
+        let model = linear_model();
+        let input = AllocatorInput {
+            tasks: (0..4).map(|i| task(i, 10e6, 1e6, 1 << 24)).collect(),
+            dram_capacity: 1 << 30,
+            model: &model,
+            step: 0.05,
+        };
+        let plan = plan_dram_accesses(&input);
+        // All equal → everyone eventually maxes out (capacity permitting).
+        let fr = plan.fractions(&input.tasks);
+        let min = fr.iter().cloned().fold(1.0, f64::min);
+        assert!(min > 0.9, "fractions {fr:?}");
+    }
+
+    #[test]
+    fn zero_access_task_gets_nothing() {
+        let model = linear_model();
+        let input = AllocatorInput {
+            tasks: vec![task(0, 1e7, 0.0, 1 << 24), task(1, 2e7, 1e6, 1 << 24)],
+            dram_capacity: 1 << 30,
+            model: &model,
+            step: 0.05,
+        };
+        let plan = plan_dram_accesses(&input);
+        assert_eq!(plan.dram_accesses[0], 0.0);
+        assert_eq!(plan.dram_bytes[0], 0);
+    }
+
+    #[test]
+    fn terminates_with_single_task() {
+        let model = linear_model();
+        let input = AllocatorInput {
+            tasks: vec![task(0, 1e7, 1e6, 1 << 24)],
+            dram_capacity: 1 << 30,
+            model: &model,
+            step: 0.05,
+        };
+        let plan = plan_dram_accesses(&input);
+        // Second-longest is 0 → the task maxes out at 100 % DRAM.
+        assert!((plan.fractions(&input.tasks)[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! The user-facing `LB_HM_config` API (§4).
+//!
+//! The paper exposes one C function:
+//!
+//! ```c
+//! void *LB_HM_config(void* objects, int* sizes)
+//! ```
+//!
+//! placed right before task execution, taking the data objects to manage and
+//! their sizes. In Rust the same contract is a builder the application calls
+//! per task instance: object names (matching the kernel IR) and their sizes
+//! for the upcoming input. "The user does not need any information on which
+//! data objects cause load imbalance when using the API."
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Registration of managed data objects for one task instance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LbHmConfig {
+    /// Object name → size in bytes for the upcoming input.
+    pub objects: BTreeMap<String, u64>,
+}
+
+impl LbHmConfig {
+    /// Empty registration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one object (builder style). Registering an existing name
+    /// updates its size — the call is made before *every* task execution
+    /// with the sizes of the new input.
+    pub fn with_object(mut self, name: &str, size: u64) -> Self {
+        self.objects.insert(name.to_string(), size);
+        self
+    }
+
+    /// Register from parallel name/size slices (mirrors the C signature's
+    /// `objects`/`sizes` arrays).
+    pub fn from_slices(names: &[&str], sizes: &[u64]) -> Self {
+        assert_eq!(
+            names.len(),
+            sizes.len(),
+            "objects and sizes arrays must have equal length"
+        );
+        let mut c = Self::new();
+        for (n, s) in names.iter().zip(sizes) {
+            c.objects.insert(n.to_string(), *s);
+        }
+        c
+    }
+
+    /// Size vector in name order (the input-similarity vector of §5.2:
+    /// "we build a vector and each element of the vector represents the
+    /// size of an input data object").
+    pub fn size_vector(&self) -> Vec<f64> {
+        self.objects.values().map(|&s| s as f64).collect()
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_slices_agree() {
+        let a = LbHmConfig::new().with_object("H", 100).with_object("PSI", 200);
+        let b = LbHmConfig::from_slices(&["H", "PSI"], &[100, 200]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn re_registration_updates_size() {
+        let c = LbHmConfig::new().with_object("PSI", 100).with_object("PSI", 300);
+        assert_eq!(c.objects["PSI"], 300);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn size_vector_in_name_order() {
+        let c = LbHmConfig::from_slices(&["b", "a"], &[2, 1]);
+        assert_eq!(c.size_vector(), vec![1.0, 2.0]); // BTreeMap: "a" first
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_slices_panic() {
+        LbHmConfig::from_slices(&["x"], &[1, 2]);
+    }
+}

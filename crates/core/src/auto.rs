@@ -1,0 +1,142 @@
+//! The automated workflow of §5.3 ("Putting all together"), bundled behind
+//! one call.
+//!
+//! "Merchandiser takes user feasibility into consideration. All steps are
+//! automated. ... The user only needs to insert the API into the
+//! application without changing application code." This module packages the
+//! offline steps (train f(·) once — reusable for any application; classify
+//! the kernel; collect reuse hints) and the online runtime into:
+//!
+//! ```
+//! use merchandiser::auto::Merchandiser;
+//! use merch_hm::workload::testutil::SkewedWorkload;
+//! use merch_hm::page::PAGE_SIZE;
+//!
+//! let app = SkewedWorkload { tasks: 2, rounds: 3, base_accesses: 1e5, obj_bytes: 16 * PAGE_SIZE };
+//! let config = merch_hm::HmConfig::calibrated(64 * PAGE_SIZE, 4096 * PAGE_SIZE);
+//! let merch = Merchandiser::quick_trained(7); // offline step, once per platform
+//! let report = merch.run(config, app, 7);     // online: profile, predict, place
+//! assert_eq!(report.rounds.len(), 3);
+//! ```
+
+use merch_hm::runtime::{Executor, RunReport};
+use merch_hm::{HmConfig, HmSystem, Workload};
+
+use crate::perfmodel::PerformanceModel;
+use crate::policy::MerchandiserPolicy;
+use crate::training::{
+    build_training_dataset, generate_code_samples, train_correlation_function, TrainingOptions,
+};
+
+/// A trained Merchandiser instance: the once-per-platform offline artifacts,
+/// ready to manage any application.
+#[derive(Debug, Clone)]
+pub struct Merchandiser {
+    /// The trained Equation 2 model.
+    pub model: PerformanceModel,
+}
+
+impl Merchandiser {
+    /// Wrap an already-trained model.
+    pub fn from_model(model: PerformanceModel) -> Self {
+        Self { model }
+    }
+
+    /// Offline workflow steps 1–4 with a reduced sample count — suitable
+    /// for tests and interactive use (a few seconds). The full offline run
+    /// (281 samples, all six Table 3 models) lives in
+    /// [`crate::training::train_correlation_function`].
+    pub fn quick_trained(seed: u64) -> Self {
+        let samples = generate_code_samples(90, seed);
+        let dataset = build_training_dataset(&HmConfig::default(), &samples, 10, seed ^ 0xAA);
+        let opts = TrainingOptions {
+            include_mlp: false,
+            include_all_models: false,
+            selected_events: 8,
+            mlp_epochs: 10,
+        };
+        Self {
+            model: train_correlation_function(&dataset, &opts, seed ^ 0xBB).model,
+        }
+    }
+
+    /// Offline training against a *specific* platform configuration —
+    /// the §5.3 extensibility path ("the training data is collected to
+    /// reflect the performance sensitivity of the application to different
+    /// memories; the scaling function is re-constructed").
+    pub fn trained_for(config: &HmConfig, samples: usize, seed: u64) -> Self {
+        let code = generate_code_samples(samples, seed);
+        let dataset = build_training_dataset(config, &code, 10, seed ^ 0xAA);
+        let opts = TrainingOptions {
+            include_mlp: false,
+            include_all_models: false,
+            selected_events: 8,
+            mlp_epochs: 10,
+        };
+        Self {
+            model: train_correlation_function(&dataset, &opts, seed ^ 0xBB).model,
+        }
+    }
+
+    /// Build the runtime policy for `app`: classifies the kernel IR
+    /// (offline step 3) and picks up the app's blocking-reuse hints.
+    pub fn policy_for<W: Workload>(&self, app: &W, seed: u64) -> MerchandiserPolicy {
+        let map = merch_patterns::classify_kernel(&app.kernel_ir());
+        MerchandiserPolicy::new(self.model.clone(), map, app.reuse_hints(), seed)
+    }
+
+    /// Run `app` under Merchandiser on an emulated HM with `config`.
+    pub fn run<W: Workload>(&self, config: HmConfig, app: W, seed: u64) -> RunReport {
+        let policy = self.policy_for(&app, seed);
+        Executor::new(HmSystem::new(config, seed), app, policy).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_hm::page::PAGE_SIZE;
+    use merch_hm::runtime::StaticPolicy;
+    use merch_hm::workload::testutil::SkewedWorkload;
+    use merch_hm::Tier;
+
+    fn app() -> SkewedWorkload {
+        SkewedWorkload {
+            tasks: 4,
+            rounds: 5,
+            base_accesses: 1e6,
+            obj_bytes: 128 * PAGE_SIZE,
+        }
+    }
+
+    fn config() -> HmConfig {
+        HmConfig::calibrated(256 * PAGE_SIZE, 8192 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn one_call_workflow_beats_pm_only() {
+        let merch = Merchandiser::quick_trained(11);
+        let report = merch.run(config(), app(), 11);
+        let pm = Executor::new(
+            HmSystem::new(config(), 11),
+            app(),
+            StaticPolicy { tier: Tier::Pm },
+        )
+        .run();
+        assert!(report.total_time_ns() < pm.total_time_ns());
+    }
+
+    #[test]
+    fn trained_for_cxl_also_works() {
+        let cxl = HmConfig::cxl_calibrated(256 * PAGE_SIZE, 8192 * PAGE_SIZE);
+        let merch = Merchandiser::trained_for(&cxl, 40, 12);
+        let report = merch.run(cxl.clone(), app(), 12);
+        let pm = Executor::new(
+            HmSystem::new(cxl, 12),
+            app(),
+            StaticPolicy { tier: Tier::Pm },
+        )
+        .run();
+        assert!(report.total_time_ns() < pm.total_time_ns());
+    }
+}

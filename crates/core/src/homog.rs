@@ -1,0 +1,80 @@
+//! Execution-time prediction on homogeneous memory (§5.2):
+//! `T_new_pm_only` and `T_new_dram_only`.
+//!
+//! Offline, input-independent basic blocks (our phases) are timed on each
+//! tier ([`merch_profiling::BasicBlockTable`]); online, the base-input
+//! execution counts are scaled by the similarity between the base and new
+//! input size vectors and summed with the per-tier unit times.
+
+use serde::{Deserialize, Serialize};
+
+use merch_hm::Tier;
+use merch_profiling::{similarity_scale, BasicBlockTable};
+
+/// Homogeneous-memory predictor for one task.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HomogeneousPredictor {
+    /// Per-basic-block timing and counting (offline + base input).
+    pub table: BasicBlockTable,
+    /// Base-input object-size vector (name order fixed by the API).
+    pub base_sizes: Vec<f64>,
+}
+
+impl HomogeneousPredictor {
+    /// Build from an offline-measured table and the base input sizes.
+    pub fn new(table: BasicBlockTable, base_sizes: Vec<f64>) -> Self {
+        Self { table, base_sizes }
+    }
+
+    /// Scale factor for a new input (cosine similarity × magnitude).
+    pub fn scale_for(&self, new_sizes: &[f64]) -> f64 {
+        similarity_scale(&self.base_sizes, new_sizes)
+    }
+
+    /// Predicted PM-only execution time for the new input, ns.
+    pub fn predict_pm_only(&self, new_sizes: &[f64]) -> f64 {
+        self.table.predict(Tier::Pm, self.scale_for(new_sizes))
+    }
+
+    /// Predicted DRAM-only execution time for the new input, ns.
+    pub fn predict_dram_only(&self, new_sizes: &[f64]) -> f64 {
+        self.table.predict(Tier::Dram, self.scale_for(new_sizes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_hm::{HmConfig, ObjectAccess, ObjectId, Phase, TaskWork};
+    use merch_patterns::AccessPattern;
+
+    fn predictor() -> HomogeneousPredictor {
+        let cfg = HmConfig::default();
+        let work = TaskWork::new(0).with_phase(Phase::new("sweep", 1e5).with_access(
+            ObjectAccess::new(ObjectId(0), 1e6, 8, AccessPattern::Stream, 0.1),
+        ));
+        let table = BasicBlockTable::measure(&cfg, &work, &[1 << 28], 8);
+        HomogeneousPredictor::new(table, vec![(1u64 << 28) as f64])
+    }
+
+    #[test]
+    fn pm_prediction_exceeds_dram() {
+        let p = predictor();
+        let sizes = vec![(1u64 << 28) as f64];
+        assert!(p.predict_pm_only(&sizes) > p.predict_dram_only(&sizes));
+    }
+
+    #[test]
+    fn larger_input_longer_prediction() {
+        let p = predictor();
+        let base = p.predict_pm_only(&[(1u64 << 28) as f64]);
+        let double = p.predict_pm_only(&[(1u64 << 29) as f64]);
+        assert!((double - 2.0 * base).abs() / base < 1e-9);
+    }
+
+    #[test]
+    fn same_input_scale_one() {
+        let p = predictor();
+        assert!((p.scale_for(&[(1u64 << 28) as f64]) - 1.0).abs() < 1e-12);
+    }
+}

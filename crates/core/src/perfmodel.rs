@@ -1,0 +1,145 @@
+//! The Equation 2 performance model (§5):
+//!
+//! ```text
+//! T_new_hybrid = T_new_pm_only · (1 − r_dram_acc) · f(PMCs, r_dram_acc)
+//!              + T_new_dram_only · r_dram_acc
+//! ```
+//!
+//! with `r_dram_acc = dram_acc / esti_mem_acc`. The `(1 − r)` term alone
+//! cannot capture the correlation between the hybrid and PM-only times
+//! (pipelining, memory-level parallelism — Figure 3), so f(·) is a learned
+//! statistical model over hardware events plus `r`.
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use merch_models::persist::Portable;
+use merch_models::{GradientBoostedRegressor, Regressor};
+use merch_profiling::PmcEvents;
+
+/// The trained performance model: Equation 2 plus its correlation function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerformanceModel {
+    /// The correlation function f(·) (GBR, the Table 3 winner).
+    pub f: GradientBoostedRegressor,
+    /// How many events (in importance order) the model consumes.
+    pub num_events: usize,
+}
+
+impl PerformanceModel {
+    /// Persist the trained model (offline step: "the construction of f(·)
+    /// happens only once", §5.3).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "perfmodel v1 {}", self.num_events)?;
+        self.f.write_portable(&mut f)?;
+        f.flush()
+    }
+
+    /// Load a previously saved model.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 3 || parts[0] != "perfmodel" || parts[1] != "v1" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad perfmodel header",
+            ));
+        }
+        let num_events: usize = parts[2]
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad num_events"))?;
+        let f = GradientBoostedRegressor::read_portable(&mut r)?;
+        Ok(Self { f, num_events })
+    }
+
+    /// Assemble the feature vector `[events[..k], r]`.
+    pub fn features(events: &PmcEvents, num_events: usize, r: f64) -> Vec<f64> {
+        let mut v = events.features(num_events);
+        v.push(r);
+        v
+    }
+
+    /// The target value of f(·) implied by a measured/known triple — the
+    /// inversion of Equation 2 used both to generate training labels and as
+    /// the "golden output" when evaluating accuracy (§7.3):
+    /// `f = (T_hybrid − T_dram·r) / (T_pm·(1−r))`.
+    /// Returns `None` where the denominator degenerates (r → 1).
+    pub fn f_target(t_pm: f64, t_dram: f64, t_hybrid: f64, r: f64) -> Option<f64> {
+        let denom = t_pm * (1.0 - r);
+        if denom <= 1e-9 {
+            return None;
+        }
+        Some((t_hybrid - t_dram * r) / denom)
+    }
+
+    /// Equation 2: predict the hybrid execution time.
+    pub fn predict(&self, t_pm: f64, t_dram: f64, events: &PmcEvents, r: f64) -> f64 {
+        let r = r.clamp(0.0, 1.0);
+        if r >= 1.0 {
+            return t_dram;
+        }
+        let feats = Self::features(events, self.num_events, r);
+        let f_val = self.f.predict_one(&feats).max(0.0);
+        t_pm * (1.0 - r) * f_val + t_dram * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_target_inverts_equation_two() {
+        let (t_pm, t_dram, r) = (10.0, 4.0, 0.5);
+        let f = 0.8;
+        let t_hybrid = t_pm * (1.0 - r) * f + t_dram * r;
+        let back = PerformanceModel::f_target(t_pm, t_dram, t_hybrid, r).unwrap();
+        assert!((back - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_target_degenerate_at_r_one() {
+        assert!(PerformanceModel::f_target(10.0, 4.0, 4.0, 1.0).is_none());
+        assert!(PerformanceModel::f_target(0.0, 4.0, 4.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut f = GradientBoostedRegressor::new(30, 0.1, 3, 1);
+        let x: Vec<Vec<f64>> = (0..80)
+            .map(|i| (0..9).map(|j| ((i + j * 3) % 10) as f64).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 0.5 + 0.05 * r[0]).collect();
+        f.fit(&x, &y);
+        let m = PerformanceModel { f, num_events: 8 };
+        let dir = std::env::temp_dir().join("merch_model_test.txt");
+        m.save(&dir).unwrap();
+        let back = PerformanceModel::load(&dir).unwrap();
+        let ev = PmcEvents { values: [0.5; 14] };
+        for r in [0.0, 0.3, 0.7] {
+            assert_eq!(m.predict(10.0, 4.0, &ev, r), back.predict(10.0, 4.0, &ev, r));
+        }
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn endpoints_recover_bounds() {
+        // With a constant f ≡ 1 the model reduces to linear interpolation;
+        // at the endpoints Equation 2 must return the homogeneous bounds
+        // regardless of f.
+        let mut f = GradientBoostedRegressor::new(1, 0.1, 1, 0);
+        // Fit on a trivial constant problem so predict_one works.
+        f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
+        let m = PerformanceModel { f, num_events: 8 };
+        let ev = PmcEvents { values: [0.5; 14] };
+        assert!((m.predict(10.0, 4.0, &ev, 1.0) - 4.0).abs() < 1e-12);
+        let at0 = m.predict(10.0, 4.0, &ev, 0.0);
+        // At r = 0 the prediction is T_pm · f(·, 0); with f ≈ 1 that's T_pm.
+        assert!((at0 - 10.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Emulated two-tier heterogeneous memory (HM) and task-parallel runtime.
+//!
+//! The paper evaluates on a two-socket server with 192 GB DRAM + 1.5 TB
+//! Intel Optane PM in App Direct mode. This crate replaces that hardware
+//! with a software emulation whose *relative* performance is calibrated to
+//! the published Optane-vs-DRAM characterisation the paper cites in §2:
+//! sequential/random read latency 2.08×/3.77× longer on PM, read/write peak
+//! bandwidth 3.87×/4.74× lower on PM, and the peak lines of Figure 6
+//! (DRAM ≈ 180 GB/s, PM ≈ 52 GB/s).
+//!
+//! Components:
+//!
+//! * [`config`] — tier parameters and the calibrated defaults;
+//! * [`object`]/[`page`] — data objects, 4 KiB pages, per-page access
+//!   weights and counters (the emulated PTE accessed bits);
+//! * [`system`] — [`system::HmSystem`]: allocation, placement, migration
+//!   with capacity management, page-level profiling state;
+//! * [`trace`] — phase-level access summaries emitted by workloads and the
+//!   program-access → main-memory-access model (caching effect);
+//! * [`cost`] — the roofline-style execution-time model (latency, bandwidth,
+//!   MLP, compute overlap) that converts a placement into task time;
+//! * [`telemetry`] — per-tier bandwidth timelines (Figure 6);
+//! * [`workload`] — the [`workload::Workload`] trait task-parallel
+//!   applications implement;
+//! * [`runtime`] — [`runtime::PlacementPolicy`] and the executor that runs
+//!   task instances in parallel rounds with a synchronisation barrier.
+
+pub mod config;
+pub mod cost;
+pub mod object;
+pub mod page;
+pub mod runtime;
+pub mod system;
+pub mod telemetry;
+pub mod trace;
+pub mod workload;
+
+/// Cache-line size of the emulated machine (bytes).
+pub const CACHE_LINE_BYTES: usize = merch_patterns::CACHE_LINE;
+
+pub use config::{HmConfig, Tier, TierParams};
+pub use object::{DataObject, ObjectId, ObjectSpec};
+pub use page::{PageId, PageInfo, PageTable, PAGE_SIZE};
+pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult};
+pub use cost::{phase_cost_detail, PhaseCostDetail, Regime};
+pub use system::HmSystem;
+pub use telemetry::BandwidthTimeline;
+pub use trace::{memory_accesses, ObjectAccess, Phase, TaskWork};
+pub use workload::{TaskId, Workload};

@@ -1,0 +1,98 @@
+//! Data objects: the unit the user API registers for management.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque handle to an allocated data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+/// Specification of an object to allocate: what the `LB_HM_config` user API
+/// conveys ("*objects points to a list of user-specified data objects ...
+/// and *sizes points to a list of their sizes", §4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectSpec {
+    /// Name matching the kernel IR's object references.
+    pub name: String,
+    /// Size in bytes for the current input.
+    pub size: u64,
+    /// Which task owns/accesses the object, when task-private (None for
+    /// shared objects such as SpGEMM's B matrix).
+    pub owner_task: Option<usize>,
+    /// Skew of per-page access weights: 0 = uniform (stream-like objects),
+    /// larger values concentrate accesses on few pages (random-pattern
+    /// objects with hot entries). Used to seed page weights.
+    pub hot_page_skew: f64,
+}
+
+impl ObjectSpec {
+    /// Uniform-access object.
+    pub fn new(name: &str, size: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            size,
+            owner_task: None,
+            hot_page_skew: 0.0,
+        }
+    }
+
+    /// Set the owning task.
+    pub fn owned_by(mut self, task: usize) -> Self {
+        self.owner_task = Some(task);
+        self
+    }
+
+    /// Set hot-page skew.
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.hot_page_skew = skew;
+        self
+    }
+}
+
+/// An allocated data object: spec plus its page range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataObject {
+    /// Handle.
+    pub id: ObjectId,
+    /// Name from the spec.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// First page (global page id).
+    pub first_page: u64,
+    /// Number of 4 KiB pages.
+    pub num_pages: u64,
+    /// Owning task, if private.
+    pub owner_task: Option<usize>,
+}
+
+impl DataObject {
+    /// Global page ids backing this object.
+    pub fn pages(&self) -> std::ops::Range<u64> {
+        self.first_page..self.first_page + self.num_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders() {
+        let s = ObjectSpec::new("PSI", 4096).owned_by(3).with_skew(1.2);
+        assert_eq!(s.owner_task, Some(3));
+        assert!((s.hot_page_skew - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn page_range() {
+        let o = DataObject {
+            id: ObjectId(0),
+            name: "H".into(),
+            size: 10_000,
+            first_page: 5,
+            num_pages: 3,
+            owner_task: None,
+        };
+        assert_eq!(o.pages(), 5..8);
+    }
+}

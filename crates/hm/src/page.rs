@@ -1,0 +1,227 @@
+//! Pages and the emulated page table.
+//!
+//! Each 4 KiB page carries the state real tiering systems read and write:
+//! current tier, an *accessed* bit (the PTE bit profilers scan and reset),
+//! and a saturating access counter. A per-page *weight* models how the
+//! object's accesses distribute over its pages (uniform for streaming
+//! objects, skewed for random-pattern objects with hot entries) — this is
+//! what makes hot-page detection meaningful in the emulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Tier;
+use crate::object::ObjectId;
+
+/// Page size of the emulated system (4 KiB, as in the paper's profilers).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Pages per 2 MiB huge region (Thermostat samples one 4 KiB page per 2 MiB).
+pub const PAGES_PER_HUGE_REGION: u64 = (2 << 20) / PAGE_SIZE;
+
+/// Global page identifier.
+pub type PageId = u64;
+
+/// Per-page metadata (an emulated PTE plus profiling counters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageInfo {
+    /// Object the page belongs to.
+    pub object: ObjectId,
+    /// Tier the page currently resides on.
+    pub tier: Tier,
+    /// Fraction of the object's accesses that land on this page (sums to 1
+    /// over the object's pages).
+    pub weight: f64,
+    /// Emulated PTE accessed bit; set by execution, cleared by profilers.
+    pub accessed: bool,
+    /// Accumulated access count since the last profiler reset.
+    pub access_count: f64,
+    /// Lifetime migration count (for overhead accounting / tests).
+    pub migrations: u32,
+}
+
+/// The emulated page table: flat vector of [`PageInfo`] indexed by
+/// [`PageId`].
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct PageTable {
+    pages: Vec<PageInfo>,
+}
+
+impl PageTable {
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Append pages for a new object; returns the first new page id.
+    pub fn extend_for_object(
+        &mut self,
+        object: ObjectId,
+        tier: Tier,
+        weights: impl IntoIterator<Item = f64>,
+    ) -> PageId {
+        let first = self.pages.len() as PageId;
+        for w in weights {
+            self.pages.push(PageInfo {
+                object,
+                tier,
+                weight: w,
+                accessed: false,
+                access_count: 0.0,
+                migrations: 0,
+            });
+        }
+        first
+    }
+
+    /// Immutable page lookup.
+    pub fn get(&self, id: PageId) -> &PageInfo {
+        &self.pages[id as usize]
+    }
+
+    /// Mutable page lookup.
+    pub fn get_mut(&mut self, id: PageId) -> &mut PageInfo {
+        &mut self.pages[id as usize]
+    }
+
+    /// Iterate over `(PageId, &PageInfo)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &PageInfo)> {
+        self.pages.iter().enumerate().map(|(i, p)| (i as PageId, p))
+    }
+
+    /// Record `accesses` object-level accesses over the page range
+    /// `range`, distributing them by page weight. The accessed bit is only
+    /// set when at least half an access is expected to land on the page
+    /// this interval — a page touched once every hundred rounds does not
+    /// have its PTE bit set every round on real hardware.
+    pub fn record_accesses(&mut self, range: std::ops::Range<PageId>, accesses: f64) {
+        for id in range {
+            let p = &mut self.pages[id as usize];
+            let share = accesses * p.weight;
+            if share > 0.0 {
+                p.access_count += share;
+                if share >= 0.5 {
+                    p.accessed = true;
+                }
+            }
+        }
+    }
+
+    /// Weighted fraction of the range currently resident in `tier`.
+    pub fn weighted_fraction_in(&self, range: std::ops::Range<PageId>, tier: Tier) -> f64 {
+        let mut total = 0.0;
+        let mut in_tier = 0.0;
+        for id in range {
+            let p = &self.pages[id as usize];
+            total += p.weight;
+            if p.tier == tier {
+                in_tier += p.weight;
+            }
+        }
+        if total > 0.0 {
+            in_tier / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Bytes of the whole table resident in `tier`.
+    pub fn bytes_in(&self, tier: Tier) -> u64 {
+        self.pages.iter().filter(|p| p.tier == tier).count() as u64 * PAGE_SIZE
+    }
+}
+
+/// Generate per-page weights for an object of `num_pages` pages with the
+/// given skew: weight(page k) ∝ 1 / (k_rank + 1)^skew (Zipf-like), with rank
+/// order shuffled deterministically by `seed` so hot pages are not simply
+/// the object's prefix. Skew 0 yields uniform weights.
+pub fn page_weights(num_pages: u64, skew: f64, seed: u64) -> Vec<f64> {
+    let n = num_pages.max(1) as usize;
+    if skew <= 0.0 {
+        return vec![1.0 / n as f64; n];
+    }
+    let mut raw: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(skew)).collect();
+    // Deterministic Fisher-Yates shuffle with a splitmix64 stream.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        raw.swap(i, j);
+    }
+    let sum: f64 = raw.iter().sum();
+    raw.iter_mut().for_each(|w| *w /= sum);
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one_and_uniform_without_skew() {
+        let w = page_weights(10, 0.0, 7);
+        assert_eq!(w.len(), 10);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| (x - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn skewed_weights_concentrate() {
+        let w = page_weights(100, 1.1, 42);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut sorted = w.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top10: f64 = sorted[..10].iter().sum();
+        assert!(top10 > 0.35, "top-10 share {top10}");
+    }
+
+    #[test]
+    fn weights_deterministic_per_seed() {
+        assert_eq!(page_weights(32, 0.9, 5), page_weights(32, 0.9, 5));
+        assert_ne!(page_weights(32, 0.9, 5), page_weights(32, 0.9, 6));
+    }
+
+    #[test]
+    fn record_and_fraction() {
+        let mut pt = PageTable::default();
+        let first = pt.extend_for_object(ObjectId(0), Tier::Pm, vec![0.5, 0.3, 0.2]);
+        assert_eq!(first, 0);
+        pt.record_accesses(0..3, 100.0);
+        assert!((pt.get(0).access_count - 50.0).abs() < 1e-12);
+        assert!(pt.get(1).accessed);
+        pt.get_mut(1).tier = Tier::Dram;
+        let f = pt.weighted_fraction_in(0..3, Tier::Dram);
+        assert!((f - 0.3).abs() < 1e-12);
+        assert_eq!(pt.bytes_in(Tier::Dram), PAGE_SIZE);
+    }
+
+    #[test]
+    fn zero_weight_pages_not_marked_accessed() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Pm, vec![1.0, 0.0]);
+        pt.record_accesses(0..2, 10.0);
+        assert!(pt.get(0).accessed);
+        assert!(!pt.get(1).accessed);
+    }
+
+    #[test]
+    fn barely_touched_pages_keep_bit_clear_but_count() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Pm, vec![0.5, 0.5]);
+        pt.record_accesses(0..2, 0.4); // 0.2 expected accesses per page
+        assert!(!pt.get(0).accessed);
+        assert!(pt.get(0).access_count > 0.0);
+        pt.record_accesses(0..2, 10.0);
+        assert!(pt.get(0).accessed);
+    }
+}

@@ -1,0 +1,515 @@
+//! The task-parallel runtime: placement policies and the round executor.
+//!
+//! The executor runs an application round by round (task instance by task
+//! instance). Within a round every task executes in parallel on real worker
+//! threads and the round ends at the synchronisation barrier — so the round
+//! time is the *slowest* task's time plus migration overhead, which is
+//! exactly the quantity the paper's load-balance argument is about ("the
+//! overall performance is hindered by the slowest task", §1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Tier;
+use crate::cost::{migration_time_ns, task_cost, PhaseCost, PlacementView};
+use crate::object::ObjectId;
+use crate::system::HmSystem;
+use crate::telemetry::BandwidthTimeline;
+use crate::trace::{ObjectAccess, TaskWork};
+use crate::workload::Workload;
+
+/// A data-placement policy driving the emulated HM during a run.
+///
+/// Software policies (MemoryOptimizer, Merchandiser) migrate pages through
+/// [`HmSystem`]; the hardware policy (Memory Mode) instead overrides the
+/// effective DRAM fraction per access with its cache model.
+pub trait PlacementPolicy: Send {
+    /// Policy name for reports.
+    fn name(&self) -> String;
+
+    /// One-time hook after objects are allocated: set the initial placement.
+    /// Default: leave everything where the executor allocated it (PM).
+    fn on_allocate(&mut self, sys: &mut HmSystem) {
+        let _ = sys;
+    }
+
+    /// Hook before each round, after logical sizes are updated and the
+    /// round's [`TaskWork`] is known. Page migrations performed here are
+    /// charged as round overhead.
+    fn before_round(&mut self, sys: &mut HmSystem, round: usize, works: &[TaskWork]) {
+        let _ = (sys, round, works);
+    }
+
+    /// Hook after each round with the observed report (profiling counters
+    /// are still live at this point). Migrations here are charged to the
+    /// *next* round's start.
+    fn after_round(&mut self, sys: &mut HmSystem, round: usize, report: &RoundReport) {
+        let _ = (sys, round, report);
+    }
+
+    /// Override the effective DRAM fraction for one access stream
+    /// (hardware-managed caching). `None` = use the page table placement.
+    fn dram_fraction_override(&self, sys: &HmSystem, access: &ObjectAccess) -> Option<f64> {
+        let _ = (sys, access);
+        None
+    }
+}
+
+impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_allocate(&mut self, sys: &mut HmSystem) {
+        (**self).on_allocate(sys)
+    }
+    fn before_round(&mut self, sys: &mut HmSystem, round: usize, works: &[TaskWork]) {
+        (**self).before_round(sys, round, works)
+    }
+    fn after_round(&mut self, sys: &mut HmSystem, round: usize, report: &RoundReport) {
+        (**self).after_round(sys, round, report)
+    }
+    fn dram_fraction_override(&self, sys: &HmSystem, access: &ObjectAccess) -> Option<f64> {
+        (**self).dram_fraction_override(sys, access)
+    }
+}
+
+/// The trivial policy: everything stays on the tier chosen at allocation.
+#[derive(Debug, Clone)]
+pub struct StaticPolicy {
+    /// Tier every page is placed on at start.
+    pub tier: Tier,
+}
+
+impl PlacementPolicy for StaticPolicy {
+    fn name(&self) -> String {
+        match self.tier {
+            Tier::Pm => "PM-only".to_string(),
+            Tier::Dram => "DRAM-only".to_string(),
+        }
+    }
+    fn on_allocate(&mut self, sys: &mut HmSystem) {
+        sys.place_everything(self.tier);
+    }
+}
+
+/// Result of one task in one round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Task index.
+    pub task: usize,
+    /// Simulated execution time, ns.
+    pub time_ns: f64,
+    /// Cost breakdown.
+    pub cost: PhaseCost,
+}
+
+/// Result of one round (one task instance per task).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index.
+    pub round: usize,
+    /// Per-task results.
+    pub tasks: Vec<TaskResult>,
+    /// Pages migrated by the policy for this round.
+    pub migration_pages: u64,
+    /// Migration overhead, ns.
+    pub migration_ns: f64,
+    /// Round wall time: slowest task + migration overhead, ns.
+    pub round_time_ns: f64,
+}
+
+impl RoundReport {
+    /// Coefficient of variation of task times within the round (std/mean) —
+    /// the per-round ingredient of the paper's A.C.V load-balance metric.
+    pub fn cv(&self) -> f64 {
+        let n = self.tasks.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.tasks.iter().map(|t| t.time_ns).sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .tasks
+            .iter()
+            .map(|t| (t.time_ns - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+
+    /// Slowest task time, ns.
+    pub fn max_task_ns(&self) -> f64 {
+        self.tasks.iter().map(|t| t.time_ns).fold(0.0, f64::max)
+    }
+}
+
+/// Full run report: all rounds under one policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Per-round reports.
+    pub rounds: Vec<RoundReport>,
+    /// Bandwidth telemetry of the run.
+    pub timeline_samples: Vec<crate::telemetry::BandwidthSample>,
+    /// Average DRAM bandwidth over the run, GB/s.
+    pub avg_dram_gbps: f64,
+    /// Average PM bandwidth over the run, GB/s.
+    pub avg_pm_gbps: f64,
+}
+
+impl RunReport {
+    /// Total simulated time, ns.
+    pub fn total_time_ns(&self) -> f64 {
+        self.rounds.iter().map(|r| r.round_time_ns).sum()
+    }
+
+    /// Average coefficient of variation of task times across rounds — the
+    /// paper's A.C.V metric (§7.2).
+    pub fn acv(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.cv()).sum::<f64>() / self.rounds.len() as f64
+    }
+
+    /// All task times normalised to the slowest task of each round —
+    /// the distribution Figure 5 plots.
+    pub fn normalized_task_times(&self) -> Vec<f64> {
+        let mut v = Vec::new();
+        for r in &self.rounds {
+            let m = r.max_task_ns();
+            if m > 0.0 {
+                v.extend(r.tasks.iter().map(|t| t.time_ns / m));
+            }
+        }
+        v
+    }
+
+    /// Total pages migrated over the run.
+    pub fn total_migration_pages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.migration_pages).sum()
+    }
+}
+
+/// View combining the page table placement with a policy override.
+struct PolicyView<'a> {
+    sys: &'a HmSystem,
+    policy: &'a dyn PolicyViewSource,
+}
+
+/// Object-safe subset of [`PlacementPolicy`] needed while tasks execute.
+trait PolicyViewSource: Sync {
+    fn override_fraction(&self, sys: &HmSystem, access: &ObjectAccess) -> Option<f64>;
+}
+
+struct PolicyRef<'p, P: PlacementPolicy + ?Sized>(&'p P);
+
+impl<P: PlacementPolicy + Sync + ?Sized> PolicyViewSource for PolicyRef<'_, P> {
+    fn override_fraction(&self, sys: &HmSystem, access: &ObjectAccess) -> Option<f64> {
+        self.0.dram_fraction_override(sys, access)
+    }
+}
+
+impl PlacementView for PolicyView<'_> {
+    fn object_size(&self, object: ObjectId) -> u64 {
+        self.sys.object(object).size
+    }
+    fn dram_fraction(&self, access: &ObjectAccess) -> f64 {
+        self.policy
+            .override_fraction(self.sys, access)
+            .unwrap_or_else(|| self.sys.dram_fraction(access.object))
+    }
+}
+
+/// Runs a workload under a policy on an emulated HM system.
+///
+/// ```
+/// use merch_hm::runtime::{Executor, StaticPolicy};
+/// use merch_hm::workload::testutil::SkewedWorkload;
+/// use merch_hm::page::PAGE_SIZE;
+/// use merch_hm::{HmConfig, HmSystem, Tier};
+///
+/// let app = SkewedWorkload { tasks: 2, rounds: 3, base_accesses: 1e5, obj_bytes: 8 * PAGE_SIZE };
+/// let sys = HmSystem::new(HmConfig::calibrated(64 * PAGE_SIZE, 1024 * PAGE_SIZE), 1);
+/// let report = Executor::new(sys, app, StaticPolicy { tier: Tier::Pm }).run();
+/// assert_eq!(report.rounds.len(), 3);
+/// assert!(report.total_time_ns() > 0.0);
+/// ```
+pub struct Executor<W, P> {
+    /// The emulated memory system.
+    pub sys: HmSystem,
+    /// The application.
+    pub workload: W,
+    /// The placement policy.
+    pub policy: P,
+    /// Bandwidth telemetry (100 µs bins by default).
+    pub timeline: BandwidthTimeline,
+}
+
+impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
+    /// Allocate the workload's objects on PM (the software-solution default:
+    /// big-memory allocations land on the capacity tier and are migrated up)
+    /// and let the policy adjust the initial placement.
+    pub fn new(mut sys: HmSystem, workload: W, mut policy: P) -> Self {
+        let specs = workload.object_specs();
+        sys.allocate_all(&specs, Tier::Pm)
+            .expect("PM capacity must hold the workload working set");
+        policy.on_allocate(&mut sys);
+        Self {
+            sys,
+            workload,
+            policy,
+            timeline: BandwidthTimeline::new(100_000.0),
+        }
+    }
+
+    /// Run every task instance and return the report.
+    pub fn run(&mut self) -> RunReport {
+        let rounds = self.workload.num_instances();
+        let mut reports = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            reports.push(self.run_round(round));
+        }
+        RunReport {
+            workload: self.workload.name().to_string(),
+            policy: self.policy.name(),
+            rounds: reports,
+            timeline_samples: self.timeline.samples(),
+            avg_dram_gbps: self.timeline.avg_dram_gbps(),
+            avg_pm_gbps: self.timeline.avg_pm_gbps(),
+        }
+    }
+
+    /// Run a single round; exposed for policies that need fine-grained
+    /// control in tests.
+    pub fn run_round(&mut self, round: usize) -> RoundReport {
+        // New input: update logical object sizes and re-draw drifting
+        // hot-page distributions.
+        for (name, size) in self.workload.object_sizes(round) {
+            if let Ok(id) = self.sys.object_by_name(&name) {
+                self.sys.set_logical_size(id, size);
+            }
+        }
+        for (name, skew) in self.workload.hot_page_drift(round) {
+            if let Ok(id) = self.sys.object_by_name(&name) {
+                let seed = (round as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ id.0 as u64;
+                self.sys.reassign_page_weights(id, skew, seed);
+            }
+        }
+        let works = self.workload.instance(round, &self.sys);
+        let concurrency = works.len();
+
+        // Policy decisions + migrations before the barrier opens.
+        let migrations_before = self.sys.total_migrations;
+        self.policy.before_round(&mut self.sys, round, &works);
+        let migration_pages = self.sys.total_migrations - migrations_before;
+        let migration_ns = migration_time_ns(&self.sys.config, migration_pages);
+
+        // Execute all tasks in parallel (real threads, simulated time).
+        let results = execute_tasks(&self.sys, &self.policy, &works, concurrency);
+
+        // Record page-level accesses for the profilers.
+        for (work, res) in works.iter().zip(&results) {
+            debug_assert_eq!(work.task, res.task);
+            for phase in &work.phases {
+                for a in &phase.accesses {
+                    let size = self.sys.object(a.object).size;
+                    let mem = crate::trace::memory_accesses(a, size, self.sys.config.llc_bytes);
+                    self.sys.record_accesses(a.object, mem);
+                }
+            }
+        }
+
+        // Telemetry: tasks start together after migration overhead.
+        let start = self.timeline.clock_ns + migration_ns;
+        let mut max_time: f64 = 0.0;
+        for r in &results {
+            self.timeline
+                .record_interval(start, r.time_ns, r.cost.dram_bytes, r.cost.pm_bytes);
+            max_time = max_time.max(r.time_ns);
+        }
+        let round_time = max_time + migration_ns;
+        self.timeline.advance(round_time);
+
+        let report = RoundReport {
+            round,
+            tasks: results,
+            migration_pages,
+            migration_ns,
+            round_time_ns: round_time,
+        };
+        self.policy.after_round(&mut self.sys, round, &report);
+        report
+    }
+}
+
+/// Evaluate all task costs in parallel on real worker threads.
+fn execute_tasks<P: PlacementPolicy + Sync>(
+    sys: &HmSystem,
+    policy: &P,
+    works: &[TaskWork],
+    concurrency: usize,
+) -> Vec<TaskResult> {
+    let policy_ref = PolicyRef(policy);
+    let view = PolicyView {
+        sys,
+        policy: &policy_ref,
+    };
+    let mut results: Vec<Option<TaskResult>> = (0..works.len()).map(|_| None).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(works.len().max(1));
+    let chunk = works.len().div_ceil(threads.max(1));
+    crossbeam::thread::scope(|s| {
+        for (w_chunk, r_chunk) in works.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let view = &view;
+            s.spawn(move |_| {
+                for (w, slot) in w_chunk.iter().zip(r_chunk.iter_mut()) {
+                    let cost = task_cost(&sys.config, w, view, concurrency);
+                    *slot = Some(TaskResult {
+                        task: w.task,
+                        time_ns: cost.time_ns,
+                        cost,
+                    });
+                }
+            });
+        }
+    })
+    .expect("task execution threads must not panic");
+    results.into_iter().map(|r| r.expect("all tasks executed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HmConfig;
+    use crate::page::PAGE_SIZE;
+    use crate::workload::testutil::SkewedWorkload;
+
+    fn run_with(tier: Tier) -> RunReport {
+        let sys = HmSystem::new(
+            HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE),
+            1,
+        );
+        let w = SkewedWorkload {
+            tasks: 4,
+            rounds: 3,
+            base_accesses: 2e6,
+            obj_bytes: 64 * PAGE_SIZE,
+        };
+        Executor::new(sys, w, StaticPolicy { tier }).run()
+    }
+
+    #[test]
+    fn dram_only_faster_than_pm_only() {
+        let pm = run_with(Tier::Pm);
+        let dram = run_with(Tier::Dram);
+        assert!(pm.total_time_ns() > dram.total_time_ns());
+        assert_eq!(pm.rounds.len(), 3);
+        assert_eq!(pm.rounds[0].tasks.len(), 4);
+    }
+
+    #[test]
+    fn round_time_is_slowest_task() {
+        let pm = run_with(Tier::Pm);
+        for r in &pm.rounds {
+            assert!((r.round_time_ns - (r.max_task_ns() + r.migration_ns)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn skewed_workload_has_load_imbalance() {
+        let pm = run_with(Tier::Pm);
+        // Task 3 does 4× the accesses of task 0.
+        let r = &pm.rounds[0];
+        assert!(r.tasks[3].time_ns > 2.0 * r.tasks[0].time_ns);
+        assert!(pm.acv() > 0.2, "A.C.V = {}", pm.acv());
+    }
+
+    #[test]
+    fn normalized_times_at_most_one() {
+        let pm = run_with(Tier::Pm);
+        let v = pm.normalized_task_times();
+        assert_eq!(v.len(), 12);
+        assert!(v.iter().all(|&x| x > 0.0 && x <= 1.0 + 1e-12));
+        assert!(v.iter().any(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn telemetry_records_bytes() {
+        let pm = run_with(Tier::Pm);
+        assert!(pm.avg_pm_gbps > 0.0);
+        assert_eq!(pm.avg_dram_gbps, 0.0);
+        let dram = run_with(Tier::Dram);
+        assert!(dram.avg_dram_gbps > 0.0);
+        assert_eq!(dram.avg_pm_gbps, 0.0);
+    }
+
+    #[test]
+    fn profiling_counters_populated() {
+        let sys = HmSystem::new(
+            HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE),
+            1,
+        );
+        let w = SkewedWorkload {
+            tasks: 2,
+            rounds: 1,
+            base_accesses: 1e5,
+            obj_bytes: 16 * PAGE_SIZE,
+        };
+        let mut ex = Executor::new(sys, w, StaticPolicy { tier: Tier::Pm });
+        ex.run();
+        let touched = ex
+            .sys
+            .page_table()
+            .iter()
+            .filter(|(_, p)| p.accessed)
+            .count();
+        assert!(touched > 0);
+    }
+
+    /// Policy that overrides every access to 100 % DRAM without migrating.
+    struct FakeCache;
+    impl PlacementPolicy for FakeCache {
+        fn name(&self) -> String {
+            "fake-cache".into()
+        }
+        fn dram_fraction_override(&self, _: &HmSystem, _: &ObjectAccess) -> Option<f64> {
+            Some(1.0)
+        }
+    }
+
+    #[test]
+    fn override_beats_page_table() {
+        let sys = HmSystem::new(
+            HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE),
+            1,
+        );
+        let w = SkewedWorkload {
+            tasks: 2,
+            rounds: 1,
+            base_accesses: 2e6,
+            obj_bytes: 64 * PAGE_SIZE,
+        };
+        let fake = Executor::new(
+            HmSystem::new(sys.config.clone(), 1),
+            SkewedWorkload {
+                tasks: 2,
+                rounds: 1,
+                base_accesses: 2e6,
+                obj_bytes: 64 * PAGE_SIZE,
+            },
+            FakeCache,
+        )
+        .run();
+        let pm = Executor::new(sys, w, StaticPolicy { tier: Tier::Pm }).run();
+        assert!(fake.total_time_ns() < pm.total_time_ns());
+        // The override routes bytes to DRAM in telemetry too.
+        assert!(fake.avg_dram_gbps > 0.0);
+    }
+}

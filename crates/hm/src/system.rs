@@ -1,0 +1,372 @@
+//! The emulated heterogeneous memory system: allocation, placement,
+//! migration with capacity management, and page-level profiling state.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{HmConfig, Tier};
+use crate::object::{DataObject, ObjectId, ObjectSpec};
+use crate::page::{page_weights, PageId, PageTable, PAGE_SIZE};
+
+/// Error type for system operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HmError {
+    /// The requested tier lacks capacity for the allocation/migration.
+    OutOfCapacity {
+        /// Tier that overflowed.
+        tier: Tier,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// Unknown object name.
+    NoSuchObject(String),
+}
+
+impl std::fmt::Display for HmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HmError::OutOfCapacity {
+                tier,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of {tier} capacity: requested {requested} B, available {available} B"
+            ),
+            HmError::NoSuchObject(n) => write!(f, "no such object: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for HmError {}
+
+/// Outcome of one migration request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// Pages actually moved toward the requested tier.
+    pub pages_moved: u64,
+    /// Pages evicted from DRAM to make room (least-frequently-accessed
+    /// eviction, §6 "DRAM space management").
+    pub pages_evicted: u64,
+}
+
+/// The emulated HM system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HmSystem {
+    /// Configuration (tier parameters, caching model).
+    pub config: HmConfig,
+    page_table: PageTable,
+    objects: Vec<DataObject>,
+    by_name: BTreeMap<String, ObjectId>,
+    /// Cumulative pages migrated (both directions), for overhead accounting.
+    pub total_migrations: u64,
+    seed: u64,
+}
+
+impl HmSystem {
+    /// Create a system with the given configuration. `seed` drives the
+    /// deterministic page-weight assignment for skewed objects.
+    pub fn new(config: HmConfig, seed: u64) -> Self {
+        Self {
+            config,
+            page_table: PageTable::default(),
+            objects: Vec::new(),
+            by_name: BTreeMap::new(),
+            total_migrations: 0,
+            seed,
+        }
+    }
+
+    /// Allocate an object on `tier` (software solutions allocate on PM and
+    /// migrate up; DRAM-only allocates on DRAM).
+    pub fn allocate(&mut self, spec: &ObjectSpec, tier: Tier) -> Result<ObjectId, HmError> {
+        let num_pages = spec.size.div_ceil(PAGE_SIZE).max(1);
+        let bytes = num_pages * PAGE_SIZE;
+        let available = self.free_bytes(tier);
+        if bytes > available {
+            return Err(HmError::OutOfCapacity {
+                tier,
+                requested: bytes,
+                available,
+            });
+        }
+        let id = ObjectId(self.objects.len() as u32);
+        let weights = page_weights(num_pages, spec.hot_page_skew, self.seed ^ (id.0 as u64) << 17);
+        let first_page = self.page_table.extend_for_object(id, tier, weights);
+        self.objects.push(DataObject {
+            id,
+            name: spec.name.clone(),
+            size: spec.size,
+            first_page,
+            num_pages,
+            owner_task: spec.owner_task,
+        });
+        self.by_name.insert(spec.name.clone(), id);
+        Ok(id)
+    }
+
+    /// Allocate a full workload object list on `tier`.
+    pub fn allocate_all(&mut self, specs: &[ObjectSpec], tier: Tier) -> Result<Vec<ObjectId>, HmError> {
+        specs.iter().map(|s| self.allocate(s, tier)).collect()
+    }
+
+    /// Object metadata by id.
+    pub fn object(&self, id: ObjectId) -> &DataObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Object id by name.
+    pub fn object_by_name(&self, name: &str) -> Result<ObjectId, HmError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| HmError::NoSuchObject(name.to_string()))
+    }
+
+    /// All objects.
+    pub fn objects(&self) -> &[DataObject] {
+        &self.objects
+    }
+
+    /// The page table (profilers scan this).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable page table access for profilers (resetting accessed bits).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// Free bytes on `tier`.
+    pub fn free_bytes(&self, tier: Tier) -> u64 {
+        let cap = self.config.tier(tier).capacity;
+        cap.saturating_sub(self.page_table.bytes_in(tier))
+    }
+
+    /// Weighted fraction of `object`'s accesses served from `tier` under the
+    /// current placement.
+    pub fn dram_fraction(&self, object: ObjectId) -> f64 {
+        let o = self.object(object);
+        self.page_table.weighted_fraction_in(o.pages(), Tier::Dram)
+    }
+
+    /// Record `accesses` object-level accesses against `object`'s pages
+    /// (sets accessed bits, bumps counters).
+    pub fn record_accesses(&mut self, object: ObjectId, accesses: f64) {
+        let range = self.object(object).pages();
+        self.page_table.record_accesses(range, accesses);
+    }
+
+    /// Migrate up to `max_pages` of `object`'s pages to `to`, hottest-first
+    /// (by page weight — the access distribution a perfect profiler would
+    /// see). If DRAM is full, evict the least-frequently-accessed DRAM
+    /// pages to PM first (§6 "DRAM space management"). Returns how many
+    /// pages moved.
+    pub fn migrate_object_pages(
+        &mut self,
+        object: ObjectId,
+        to: Tier,
+        max_pages: u64,
+    ) -> MigrationOutcome {
+        let range = self.object(object).pages();
+        let mut candidates: Vec<(PageId, f64)> = range
+            .filter(|&id| self.page_table.get(id).tier != to)
+            .map(|id| (id, self.page_table.get(id).weight))
+            .collect();
+        // Hottest first when promoting to DRAM; coldest first when demoting.
+        match to {
+            Tier::Dram => candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap()),
+            Tier::Pm => candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap()),
+        }
+        candidates.truncate(max_pages as usize);
+        self.migrate_pages(candidates.iter().map(|&(id, _)| id), to)
+    }
+
+    /// Migrate an explicit page list to `to`, evicting LFU DRAM pages when
+    /// promoting into a full DRAM.
+    pub fn migrate_pages(
+        &mut self,
+        pages: impl IntoIterator<Item = PageId>,
+        to: Tier,
+    ) -> MigrationOutcome {
+        let mut outcome = MigrationOutcome::default();
+        for id in pages {
+            if self.page_table.get(id).tier == to {
+                continue;
+            }
+            if to == Tier::Dram && self.free_bytes(Tier::Dram) < PAGE_SIZE {
+                let evicted = self.evict_lfu_dram_pages(1, Some(id));
+                outcome.pages_evicted += evicted;
+                if self.free_bytes(Tier::Dram) < PAGE_SIZE {
+                    break; // nothing evictable; stop migrating
+                }
+            }
+            let p = self.page_table.get_mut(id);
+            p.tier = to;
+            p.migrations += 1;
+            self.total_migrations += 1;
+            outcome.pages_moved += 1;
+        }
+        outcome
+    }
+
+    /// Evict `n` least-frequently-accessed DRAM pages to PM ("the least
+    /// frequently accessed pages in DRAM are migrated to PM", §6).
+    /// `protect` optionally shields one page from eviction.
+    pub fn evict_lfu_dram_pages(&mut self, n: u64, protect: Option<PageId>) -> u64 {
+        let mut dram_pages: Vec<(PageId, f64)> = self
+            .page_table
+            .iter()
+            .filter(|(id, p)| p.tier == Tier::Dram && Some(*id) != protect)
+            .map(|(id, p)| (id, p.access_count))
+            .collect();
+        dram_pages.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let mut evicted = 0;
+        for (id, _) in dram_pages.into_iter().take(n as usize) {
+            let p = self.page_table.get_mut(id);
+            p.tier = Tier::Pm;
+            p.migrations += 1;
+            self.total_migrations += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Move every page of every object to `tier` (used by the PM-only /
+    /// DRAM-only baselines). Ignores capacity errors on purpose: baseline
+    /// setup is all-or-nothing and checked by the caller via `free_bytes`.
+    pub fn place_everything(&mut self, tier: Tier) {
+        let all: Vec<PageId> = self.page_table.iter().map(|(id, _)| id).collect();
+        self.migrate_pages(all, tier);
+    }
+
+    /// Re-draw the hot-page weight distribution of `object` with a new
+    /// seed and skew. Models inputs whose hot entries move between task
+    /// instances (e.g. a different sparse matrix every main-loop iteration
+    /// in SpGEMM): page *identities* stay, their access shares change.
+    pub fn reassign_page_weights(&mut self, object: ObjectId, skew: f64, seed: u64) {
+        let o = &self.objects[object.0 as usize];
+        let weights = crate::page::page_weights(o.num_pages, skew, seed);
+        let first = o.first_page;
+        for (k, w) in weights.into_iter().enumerate() {
+            self.page_table.get_mut(first + k as u64).weight = w;
+        }
+    }
+
+    /// Update the logical size of `object` for the current input (the
+    /// paper: "the data object sizes are known right before task execution
+    /// during runtime"). Pages stay allocated at the envelope size; the
+    /// logical size drives the caching-effect model and Equation 1.
+    pub fn set_logical_size(&mut self, object: ObjectId, size: u64) {
+        self.objects[object.0 as usize].size = size;
+    }
+
+    /// Multiply every page's access counter by `factor` (hotness aging, as
+    /// tiering daemons do when they periodically clear PTE bits).
+    pub fn age_access_counts(&mut self, factor: f64) {
+        for id in 0..self.page_table.len() as PageId {
+            self.page_table.get_mut(id).access_count *= factor;
+        }
+    }
+
+    /// Clear all page access counters and accessed bits (between rounds).
+    pub fn reset_profiling_counters(&mut self) {
+        for id in 0..self.page_table.len() as PageId {
+            let p = self.page_table.get_mut(id);
+            p.accessed = false;
+            p.access_count = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_system() -> HmSystem {
+        // 16 pages of DRAM, 128 pages of PM.
+        HmSystem::new(
+            HmConfig::calibrated(16 * PAGE_SIZE, 128 * PAGE_SIZE),
+            42,
+        )
+    }
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut sys = tiny_system();
+        let id = sys
+            .allocate(&ObjectSpec::new("H", 3 * PAGE_SIZE + 1), Tier::Pm)
+            .unwrap();
+        assert_eq!(sys.object(id).num_pages, 4);
+        assert_eq!(sys.object_by_name("H").unwrap(), id);
+        assert!(sys.object_by_name("nope").is_err());
+        assert_eq!(sys.dram_fraction(id), 0.0);
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut sys = tiny_system();
+        let err = sys
+            .allocate(&ObjectSpec::new("big", 17 * PAGE_SIZE), Tier::Dram)
+            .unwrap_err();
+        assert!(matches!(err, HmError::OutOfCapacity { tier: Tier::Dram, .. }));
+    }
+
+    #[test]
+    fn migrate_hottest_first() {
+        let mut sys = tiny_system();
+        let id = sys
+            .allocate(
+                &ObjectSpec::new("T", 8 * PAGE_SIZE).with_skew(1.5),
+                Tier::Pm,
+            )
+            .unwrap();
+        let out = sys.migrate_object_pages(id, Tier::Dram, 2);
+        assert_eq!(out.pages_moved, 2);
+        // The two hottest pages carry more than 2/8 of the weight.
+        assert!(sys.dram_fraction(id) > 0.25);
+    }
+
+    #[test]
+    fn promotion_evicts_lfu_when_full() {
+        let mut sys = tiny_system();
+        let a = sys
+            .allocate(&ObjectSpec::new("A", 16 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        let b = sys.allocate(&ObjectSpec::new("B", PAGE_SIZE), Tier::Pm).unwrap();
+        // Mark A's pages as accessed so eviction has counts to compare;
+        // page 0 coldest.
+        sys.record_accesses(a, 100.0);
+        let out = sys.migrate_object_pages(b, Tier::Dram, 1);
+        assert_eq!(out.pages_moved, 1);
+        assert_eq!(out.pages_evicted, 1);
+        assert_eq!(sys.dram_fraction(b), 1.0);
+        assert!(sys.dram_fraction(a) < 1.0);
+    }
+
+    #[test]
+    fn place_everything_moves_all() {
+        let mut sys = tiny_system();
+        let id = sys.allocate(&ObjectSpec::new("X", 4 * PAGE_SIZE), Tier::Pm).unwrap();
+        sys.place_everything(Tier::Dram);
+        assert_eq!(sys.dram_fraction(id), 1.0);
+        sys.place_everything(Tier::Pm);
+        assert_eq!(sys.dram_fraction(id), 0.0);
+        assert_eq!(sys.total_migrations, 8);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut sys = tiny_system();
+        let id = sys.allocate(&ObjectSpec::new("X", 2 * PAGE_SIZE), Tier::Pm).unwrap();
+        sys.record_accesses(id, 50.0);
+        assert!(sys.page_table().get(0).accessed);
+        sys.reset_profiling_counters();
+        assert!(!sys.page_table().get(0).accessed);
+        assert_eq!(sys.page_table().get(0).access_count, 0.0);
+    }
+}

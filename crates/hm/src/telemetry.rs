@@ -1,0 +1,155 @@
+//! Per-tier bandwidth timelines — the instrumentation behind Figure 6.
+//!
+//! The paper measures runtime DRAM/PM bandwidth with Intel PCM. The
+//! emulation reconstructs the same series: each task contributes its bytes
+//! uniformly over its execution interval, and the timeline bins the sum.
+
+use serde::{Deserialize, Serialize};
+
+/// A recorded bandwidth sample.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BandwidthSample {
+    /// Bin start time, ns (simulated).
+    pub t_ns: f64,
+    /// DRAM bandwidth during the bin, GB/s.
+    pub dram_gbps: f64,
+    /// PM bandwidth during the bin, GB/s.
+    pub pm_gbps: f64,
+}
+
+/// Accumulates byte flows into fixed-width time bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthTimeline {
+    bin_ns: f64,
+    dram_bytes: Vec<f64>,
+    pm_bytes: Vec<f64>,
+    /// Simulated time offset at which the current round started, ns.
+    pub clock_ns: f64,
+}
+
+impl BandwidthTimeline {
+    /// New timeline with `bin_ns`-wide bins.
+    pub fn new(bin_ns: f64) -> Self {
+        assert!(bin_ns > 0.0);
+        Self {
+            bin_ns,
+            dram_bytes: Vec::new(),
+            pm_bytes: Vec::new(),
+            clock_ns: 0.0,
+        }
+    }
+
+    fn ensure(&mut self, bin: usize) {
+        if bin >= self.dram_bytes.len() {
+            self.dram_bytes.resize(bin + 1, 0.0);
+            self.pm_bytes.resize(bin + 1, 0.0);
+        }
+    }
+
+    /// Record a task that ran on `[start_ns, start_ns + dur_ns)` moving
+    /// `dram_bytes` from DRAM and `pm_bytes` from PM, spread uniformly.
+    pub fn record_interval(&mut self, start_ns: f64, dur_ns: f64, dram_bytes: f64, pm_bytes: f64) {
+        if dur_ns <= 0.0 {
+            return;
+        }
+        let first = (start_ns / self.bin_ns).floor() as usize;
+        let last = ((start_ns + dur_ns) / self.bin_ns).ceil() as usize;
+        self.ensure(last.saturating_sub(1).max(first));
+        let per_ns_d = dram_bytes / dur_ns;
+        let per_ns_p = pm_bytes / dur_ns;
+        for bin in first..last {
+            let lo = (bin as f64 * self.bin_ns).max(start_ns);
+            let hi = ((bin + 1) as f64 * self.bin_ns).min(start_ns + dur_ns);
+            let span = (hi - lo).max(0.0);
+            self.dram_bytes[bin] += per_ns_d * span;
+            self.pm_bytes[bin] += per_ns_p * span;
+        }
+    }
+
+    /// Advance the round clock by `dur_ns`.
+    pub fn advance(&mut self, dur_ns: f64) {
+        self.clock_ns += dur_ns;
+    }
+
+    /// Produce the sampled series (GB/s per bin; GB/s == bytes/ns).
+    pub fn samples(&self) -> Vec<BandwidthSample> {
+        self.dram_bytes
+            .iter()
+            .zip(&self.pm_bytes)
+            .enumerate()
+            .map(|(i, (&d, &p))| BandwidthSample {
+                t_ns: i as f64 * self.bin_ns,
+                dram_gbps: d / self.bin_ns,
+                pm_gbps: p / self.bin_ns,
+            })
+            .collect()
+    }
+
+    /// Average DRAM bandwidth over the non-empty prefix, GB/s.
+    pub fn avg_dram_gbps(&self) -> f64 {
+        avg(&self.dram_bytes, self.bin_ns)
+    }
+
+    /// Average PM bandwidth over the non-empty prefix, GB/s.
+    pub fn avg_pm_gbps(&self) -> f64 {
+        avg(&self.pm_bytes, self.bin_ns)
+    }
+}
+
+fn avg(bytes: &[f64], bin_ns: f64) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = bytes.iter().sum();
+    total / (bytes.len() as f64 * bin_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spread_over_bins() {
+        let mut t = BandwidthTimeline::new(100.0);
+        t.record_interval(0.0, 200.0, 2000.0, 0.0); // 10 B/ns over 2 bins
+        let s = t.samples();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].dram_gbps - 10.0).abs() < 1e-9);
+        assert!((s[1].dram_gbps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_bin_overlap() {
+        let mut t = BandwidthTimeline::new(100.0);
+        t.record_interval(50.0, 100.0, 1000.0, 1000.0); // spans halves of 2 bins
+        let s = t.samples();
+        assert!((s[0].dram_gbps - 5.0).abs() < 1e-9);
+        assert!((s[1].pm_gbps - 5.0).abs() < 1e-9);
+        // Total bytes conserved.
+        let total: f64 = s.iter().map(|x| x.dram_gbps * 100.0).sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averages() {
+        let mut t = BandwidthTimeline::new(10.0);
+        t.record_interval(0.0, 20.0, 200.0, 100.0);
+        assert!((t.avg_dram_gbps() - 10.0).abs() < 1e-9);
+        assert!((t.avg_pm_gbps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_ignored() {
+        let mut t = BandwidthTimeline::new(10.0);
+        t.record_interval(0.0, 0.0, 100.0, 100.0);
+        assert!(t.samples().is_empty());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut t = BandwidthTimeline::new(10.0);
+        t.advance(50.0);
+        t.advance(25.0);
+        assert!((t.clock_ns - 75.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-validation and permutation importance.
+//!
+//! The paper validates the correlation function with a 70/30 split; these
+//! utilities extend that with k-fold cross-validation (for the honest model
+//! comparison of Table 3) and permutation importance (a model-agnostic
+//! check on the Gini-importance feature ranking of §5.1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+use crate::metrics::r2_score;
+use crate::Regressor;
+
+/// k-fold cross-validated R² scores for a model factory.
+pub fn cross_validate<R: Regressor>(
+    d: &Dataset,
+    k: usize,
+    seed: u64,
+    mut make: impl FnMut() -> R,
+) -> Vec<f64> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(d.len() >= k, "need at least one sample per fold");
+    let mut idx: Vec<usize> = (0..d.len()).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let fold_size = d.len().div_ceil(k);
+    let mut scores = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * fold_size;
+        let hi = ((f + 1) * fold_size).min(d.len());
+        if lo >= hi {
+            break;
+        }
+        let test: Vec<usize> = idx[lo..hi].to_vec();
+        let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        let tx: Vec<Vec<f64>> = train.iter().map(|&i| d.x[i].clone()).collect();
+        let ty: Vec<f64> = train.iter().map(|&i| d.y[i]).collect();
+        let vx: Vec<Vec<f64>> = test.iter().map(|&i| d.x[i].clone()).collect();
+        let vy: Vec<f64> = test.iter().map(|&i| d.y[i]).collect();
+        let mut m = make();
+        m.fit(&tx, &ty);
+        scores.push(r2_score(&vy, &m.predict(&vx)));
+    }
+    scores
+}
+
+/// Mean of cross-validation scores.
+pub fn cv_mean(scores: &[f64]) -> f64 {
+    scores.iter().sum::<f64>() / scores.len().max(1) as f64
+}
+
+/// Permutation importance: drop in held-out R² when each feature column is
+/// shuffled. Model-agnostic counterpart of the Gini importance used for
+/// event selection.
+pub fn permutation_importance<R: Regressor>(
+    model: &R,
+    x: &[Vec<f64>],
+    y: &[f64],
+    seed: u64,
+) -> Vec<f64> {
+    assert!(!x.is_empty());
+    let baseline = r2_score(y, &model.predict(x));
+    let d = x[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..d)
+        .map(|j| {
+            let mut col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+            col.shuffle(&mut rng);
+            let shuffled: Vec<Vec<f64>> = x
+                .iter()
+                .zip(&col)
+                .map(|(r, &v)| {
+                    let mut r = r.clone();
+                    r[j] = v;
+                    r
+                })
+                .collect();
+            baseline - r2_score(y, &model.predict(&shuffled))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearRegressor;
+    use crate::tree::DecisionTreeRegressor;
+    use rand::Rng;
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "noise".into()]);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let y = 3.0 * row[0] + row[1];
+            d.push(row, y);
+        }
+        d
+    }
+
+    #[test]
+    fn cv_scores_high_for_learnable_target() {
+        let d = dataset(200, 1);
+        let scores = cross_validate(&d, 5, 2, || LinearRegressor::new(0.0));
+        assert_eq!(scores.len(), 5);
+        assert!(cv_mean(&scores) > 0.99, "{scores:?}");
+    }
+
+    #[test]
+    fn cv_scores_low_for_random_target() {
+        let mut d = dataset(100, 3);
+        // Destroy the relationship.
+        let mut rng = StdRng::seed_from_u64(9);
+        for y in &mut d.y {
+            *y = rng.gen_range(0.0..1.0);
+        }
+        let scores = cross_validate(&d, 4, 4, || DecisionTreeRegressor::new(6));
+        assert!(cv_mean(&scores) < 0.3, "{scores:?}");
+    }
+
+    #[test]
+    fn permutation_importance_ranks_features() {
+        let d = dataset(300, 5);
+        let mut m = LinearRegressor::new(0.0);
+        m.fit(&d.x, &d.y);
+        let imp = permutation_importance(&m, &d.x, &d.y, 6);
+        assert_eq!(imp.len(), 3);
+        assert!(imp[0] > imp[1], "a should dominate b: {imp:?}");
+        assert!(imp[1] > imp[2], "b should dominate noise: {imp:?}");
+        assert!(imp[2].abs() < 0.05, "noise importance ~0: {imp:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn cv_requires_two_folds() {
+        let d = dataset(10, 7);
+        let _ = cross_validate(&d, 1, 0, || LinearRegressor::new(0.0));
+    }
+}

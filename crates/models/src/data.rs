@@ -1,0 +1,122 @@
+//! Datasets and train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A feature matrix with targets and named columns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature rows (n × d).
+    pub x: Vec<Vec<f64>>,
+    /// Targets (n).
+    pub y: Vec<f64>,
+    /// Column names (d).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// New dataset with named columns.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Self {
+            x: Vec::new(),
+            y: Vec::new(),
+            feature_names,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Vec<f64>, target: f64) {
+        debug_assert_eq!(row.len(), self.num_features());
+        self.x.push(row);
+        self.y.push(target);
+    }
+
+    /// A copy keeping only the feature columns in `keep` (indices).
+    pub fn select_features(&self, keep: &[usize]) -> Dataset {
+        Dataset {
+            x: self
+                .x
+                .iter()
+                .map(|row| keep.iter().map(|&j| row[j]).collect())
+                .collect(),
+            y: self.y.clone(),
+            feature_names: keep
+                .iter()
+                .map(|&j| self.feature_names[j].clone())
+                .collect(),
+        }
+    }
+}
+
+/// Shuffle-split into `(train, test)` with `train_fraction` of the rows in
+/// the training set (the paper uses 70/30).
+pub fn train_test_split(d: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    let mut idx: Vec<usize> = (0..d.len()).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_train = ((d.len() as f64) * train_fraction).round() as usize;
+    let mk = |ids: &[usize]| Dataset {
+        x: ids.iter().map(|&i| d.x[i].clone()).collect(),
+        y: ids.iter().map(|&i| d.y[i]).collect(),
+        feature_names: d.feature_names.clone(),
+    };
+    (mk(&idx[..n_train]), mk(&idx[n_train..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..n {
+            d.push(vec![i as f64, (i * 2) as f64], i as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn split_sizes() {
+        let d = dataset(100);
+        let (tr, te) = train_test_split(&d, 0.7, 1);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+        assert_eq!(tr.num_features(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let d = dataset(50);
+        let (tr1, _) = train_test_split(&d, 0.5, 9);
+        let (tr2, te2) = train_test_split(&d, 0.5, 9);
+        assert_eq!(tr1.y, tr2.y);
+        let mut all: Vec<f64> = tr2.y.iter().chain(te2.y.iter()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..50).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_features_projects() {
+        let d = dataset(3);
+        let s = d.select_features(&[1]);
+        assert_eq!(s.feature_names, vec!["b"]);
+        assert_eq!(s.x[2], vec![4.0]);
+        assert_eq!(s.y, d.y);
+    }
+}

@@ -1,0 +1,154 @@
+//! Random forest: bagged CART trees with feature subsampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::tree::DecisionTreeRegressor;
+use crate::Regressor;
+
+/// Random Forest Regressor (the paper's RFR; Table 3:
+/// `n_estimators=20, max_depth=10`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    /// Seed for bootstrap sampling and feature subsampling.
+    pub seed: u64,
+    trees: Vec<DecisionTreeRegressor>,
+    num_features: usize,
+}
+
+impl Default for RandomForestRegressor {
+    fn default() -> Self {
+        Self::new(20, 10, 0)
+    }
+}
+
+impl RandomForestRegressor {
+    /// New forest.
+    pub fn new(n_estimators: usize, max_depth: usize, seed: u64) -> Self {
+        Self {
+            n_estimators,
+            max_depth,
+            seed,
+            trees: Vec::new(),
+            num_features: 0,
+        }
+    }
+
+    /// Mean normalised importance across trees.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.num_features];
+        for t in &self.trees {
+            for (a, v) in acc.iter_mut().zip(t.feature_importances()) {
+                *a += v;
+            }
+        }
+        let s: f64 = acc.iter().sum();
+        if s > 0.0 {
+            acc.iter_mut().for_each(|v| *v /= s);
+        }
+        acc
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty());
+        let n = x.len();
+        let d = x[0].len();
+        self.num_features = d;
+        self.trees.clear();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // sqrt(d) features per split, the usual forest default.
+        let max_features = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
+        for t in 0..self.n_estimators {
+            // Bootstrap sample.
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let mut tree = DecisionTreeRegressor::new(self.max_depth);
+            tree.max_features = Some(max_features);
+            tree.seed = self.seed.wrapping_add(t as u64 * 7919);
+            tree.fit(&bx, &by);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn friedman_like(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let row: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let target = 10.0 * (row[0] * row[1]).sin() + 5.0 * row[2] + row[3].powi(2);
+            x.push(row);
+            y.push(target);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_nonlinear_function() {
+        let (x, y) = friedman_like(400, 3);
+        let mut f = RandomForestRegressor::new(20, 10, 1);
+        f.fit(&x, &y);
+        let (xt, yt) = friedman_like(100, 4);
+        let r2 = r2_score(&yt, &f.predict(&xt));
+        assert!(r2 > 0.7, "R² = {r2}");
+    }
+
+    #[test]
+    fn forest_smoother_than_single_tree_out_of_sample() {
+        let (x, y) = friedman_like(200, 5);
+        let (xt, yt) = friedman_like(100, 6);
+        let mut f = RandomForestRegressor::new(20, 10, 1);
+        f.fit(&x, &y);
+        let mut t = crate::tree::DecisionTreeRegressor::new(10);
+        t.fit(&x, &y);
+        let rf = r2_score(&yt, &f.predict(&xt));
+        let dt = r2_score(&yt, &t.predict(&xt));
+        assert!(rf >= dt - 0.05, "forest {rf} vs tree {dt}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (x, y) = friedman_like(100, 7);
+        let mut a = RandomForestRegressor::new(5, 6, 9);
+        let mut b = RandomForestRegressor::new(5, 6, 9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_one(&x[0]), b.predict_one(&x[0]));
+    }
+
+    #[test]
+    fn importances_normalised() {
+        let (x, y) = friedman_like(150, 8);
+        let mut f = RandomForestRegressor::new(8, 8, 2);
+        f.fit(&x, &y);
+        let imp = f.feature_importances();
+        assert_eq!(imp.len(), 4);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

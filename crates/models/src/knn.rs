@@ -1,0 +1,137 @@
+//! k-nearest-neighbours regression with feature standardisation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Regressor;
+
+/// K-Neighbors Regressor (the paper's KNR; Table 3: `n_neighbors=8`).
+/// Features are standardised on fit so distances are scale-free.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KNeighborsRegressor {
+    /// Number of neighbours averaged.
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Default for KNeighborsRegressor {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl KNeighborsRegressor {
+    /// New regressor with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            x: Vec::new(),
+            y: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+        }
+    }
+
+    fn standardize(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+}
+
+impl Regressor for KNeighborsRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty());
+        let d = x[0].len();
+        let n = x.len() as f64;
+        self.mean = (0..d)
+            .map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n)
+            .collect();
+        self.std = (0..d)
+            .map(|j| {
+                let m = self.mean[j];
+                let v = x.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / n;
+                v.sqrt().max(1e-12)
+            })
+            .collect();
+        self.x = x
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(self.mean.iter().zip(&self.std))
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        self.y = y.to_vec();
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(!self.x.is_empty(), "predict before fit");
+        let q = self.standardize(row);
+        let mut dist: Vec<(f64, f64)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(r, &t)| {
+                let d2: f64 = r.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                (d2, t)
+            })
+            .collect();
+        let k = self.k.min(dist.len());
+        dist.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).unwrap());
+        dist[..k].iter().map(|&(_, t)| t).sum::<f64>() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn exact_neighbour_recovered_with_k1() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![10.0, 20.0, 30.0];
+        let mut m = KNeighborsRegressor::new(1);
+        m.fit(&x, &y);
+        assert_eq!(m.predict_one(&[1.05]), 20.0);
+    }
+
+    #[test]
+    fn k_larger_than_n_averages_all() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let mut m = KNeighborsRegressor::new(10);
+        m.fit(&x, &y);
+        assert!((m.predict_one(&[0.5]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardisation_makes_scales_comparable() {
+        // Feature 1 is informative but tiny; feature 0 is huge noise.
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![((i * 7919) % 100) as f64 * 1e6, (i % 10) as f64 * 1e-3])
+            .collect();
+        let y: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let mut m = KNeighborsRegressor::new(3);
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(r2_score(&y, &pred) > 0.5);
+    }
+
+    #[test]
+    fn smooth_function_interpolation() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].sin()).collect();
+        let mut m = KNeighborsRegressor::new(4);
+        m.fit(&x, &y);
+        let q = vec![vec![3.33], vec![7.77]];
+        let p = m.predict(&q);
+        assert!((p[0] - 3.33f64.sin()).abs() < 0.1);
+        assert!((p[1] - 7.77f64.sin()).abs() < 0.1);
+    }
+}

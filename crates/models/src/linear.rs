@@ -1,0 +1,188 @@
+//! Ordinary least squares and ridge regression (normal equations solved by
+//! Cholesky). These serve as transparent baselines next to the non-linear
+//! families of Table 3, and as the backbone of the "profiling-based
+//! regression" comparison model of Table 4 (Barnes et al.'s
+//! regression-based scalability prediction, \[8\] in the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Regressor;
+
+/// Linear regressor `y = w·x + b`, optionally ridge-regularised.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegressor {
+    /// L2 penalty (0 = OLS).
+    pub lambda: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Default for LinearRegressor {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+impl LinearRegressor {
+    /// New regressor with ridge penalty `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        Self {
+            lambda,
+            weights: Vec::new(),
+            intercept: 0.0,
+            mean: Vec::new(),
+            std: Vec::new(),
+        }
+    }
+
+    /// Fitted coefficients in standardised feature space.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Solve `A x = b` for symmetric positive-definite `A` (row-major, n×n),
+/// in place, via Cholesky.
+fn spd_solve(a: &mut [f64], b: &mut [f64], n: usize) {
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                a[i * n + j] = s.max(1e-12).sqrt();
+            } else {
+                a[i * n + j] = s / a[j * n + j];
+            }
+        }
+    }
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= a[i * n + k] * b[k];
+        }
+        b[i] = s / a[i * n + i];
+    }
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in i + 1..n {
+            s -= a[k * n + i] * b[k];
+        }
+        b[i] = s / a[i * n + i];
+    }
+}
+
+impl Regressor for LinearRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty());
+        let n = x.len();
+        let d = x[0].len();
+        let nf = n as f64;
+        self.mean = (0..d).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / nf).collect();
+        self.std = (0..d)
+            .map(|j| {
+                let m = self.mean[j];
+                (x.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / nf)
+                    .sqrt()
+                    .max(1e-12)
+            })
+            .collect();
+        let y_mean = y.iter().sum::<f64>() / nf;
+
+        // Normal equations on standardised features: (XᵀX + λI) w = Xᵀy.
+        let xs: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(self.mean.iter().zip(&self.std))
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        let mut xtx = vec![0.0f64; d * d];
+        let mut xty = vec![0.0f64; d];
+        for (row, &t) in xs.iter().zip(y) {
+            for i in 0..d {
+                xty[i] += row[i] * (t - y_mean);
+                for j in 0..=i {
+                    xtx[i * d + j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i + 1..d {
+                xtx[i * d + j] = xtx[j * d + i];
+            }
+            xtx[i * d + i] += self.lambda.max(0.0) + 1e-9;
+        }
+        spd_solve(&mut xtx, &mut xty, d);
+        self.weights = xty;
+        self.intercept = y_mean;
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        self.intercept
+            + row
+                .iter()
+                .zip(self.mean.iter().zip(&self.std))
+                .map(|(v, (m, s))| (v - m) / s)
+                .zip(&self.weights)
+                .map(|(z, w)| z * w)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 4.0 * r[0] - 1.5 * r[1] + 2.0).collect();
+        let mut m = LinearRegressor::new(0.0);
+        m.fit(&x, &y);
+        assert!(r2_score(&y, &m.predict(&x)) > 0.9999);
+        assert!((m.predict_one(&[1.0, 1.0]) - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0]).collect();
+        let mut ols = LinearRegressor::new(0.0);
+        let mut ridge = LinearRegressor::new(100.0);
+        ols.fit(&x, &y);
+        ridge.fit(&x, &y);
+        assert!(ridge.coefficients()[0].abs() < ols.coefficients()[0].abs());
+    }
+
+    #[test]
+    fn handles_collinear_features() {
+        // Two identical columns: OLS with the tiny ridge floor must not blow up.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| 2.0 * i as f64).collect();
+        let mut m = LinearRegressor::new(0.0);
+        m.fit(&x, &y);
+        let p = m.predict_one(&[10.0, 10.0]);
+        assert!((p - 20.0).abs() < 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn nonlinear_target_gets_low_r2() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0 - 5.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let mut m = LinearRegressor::new(0.0);
+        m.fit(&x, &y);
+        assert!(r2_score(&y, &m.predict(&x)) < 0.3);
+    }
+}

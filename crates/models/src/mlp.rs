@@ -1,0 +1,272 @@
+//! A small multilayer-perceptron regressor trained with Adam — the paper's
+//! ANN row (Table 3: `alpha=1e-6, hidden_layer=(200, 20)`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::Regressor;
+
+/// One dense layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    w: Vec<f64>, // out × in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / n_in as f64).sqrt();
+        Self {
+            w: (0..n_in * n_out)
+                .map(|_| rng.gen_range(-1.0..1.0) * scale)
+                .collect(),
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let mut s = self.b[o];
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            for (wi, xi) in row.iter().zip(x) {
+                s += wi * xi;
+            }
+            out.push(s);
+        }
+    }
+}
+
+/// MLP regressor with ReLU hidden layers, L2 penalty and Adam optimiser.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    /// Hidden layer widths (the paper uses (200, 20)).
+    pub hidden: Vec<usize>,
+    /// L2 penalty (scikit-learn's `alpha`).
+    pub alpha: f64,
+    /// Learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Seed.
+    pub seed: u64,
+    layers: Vec<Layer>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Default for MlpRegressor {
+    fn default() -> Self {
+        Self::new(vec![200, 20], 1e-6, 0)
+    }
+}
+
+impl MlpRegressor {
+    /// New MLP.
+    pub fn new(hidden: Vec<usize>, alpha: f64, seed: u64) -> Self {
+        Self {
+            hidden,
+            alpha,
+            lr: 3e-3,
+            epochs: 150,
+            batch: 32,
+            seed,
+            layers: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    fn standardize(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Forward pass returning activations of every layer (post-ReLU for
+    /// hidden layers, linear for the output).
+    fn forward(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = vec![x.to_vec()];
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().unwrap(), &mut buf);
+            if li + 1 < self.layers.len() {
+                for v in buf.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            acts.push(buf.clone());
+        }
+        acts
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty());
+        let n = x.len();
+        let d = x[0].len();
+        let nf = n as f64;
+        self.mean = (0..d).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / nf).collect();
+        self.std = (0..d)
+            .map(|j| {
+                let m = self.mean[j];
+                (x.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / nf)
+                    .sqrt()
+                    .max(1e-12)
+            })
+            .collect();
+        self.y_mean = y.iter().sum::<f64>() / nf;
+        self.y_std = (y.iter().map(|v| (v - self.y_mean).powi(2)).sum::<f64>() / nf)
+            .sqrt()
+            .max(1e-12);
+        let xs: Vec<Vec<f64>> = x.iter().map(|r| self.standardize(r)).collect();
+        let ys: Vec<f64> = y.iter().map(|v| (v - self.y_mean) / self.y_std).collect();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dims = vec![d];
+        dims.extend(&self.hidden);
+        dims.push(1);
+        self.layers = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        // Adam state.
+        let mut mw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut vw = mw.clone();
+        let mut mb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut vb = mb.clone();
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut step = 0usize;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for _epoch in 0..self.epochs {
+            // Shuffle minibatch order.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(self.batch) {
+                step += 1;
+                // Accumulate gradients over the batch.
+                let mut gw: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+                let mut gb: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                for &i in chunk {
+                    let acts = self.forward(&xs[i]);
+                    let pred = acts.last().unwrap()[0];
+                    let mut delta = vec![2.0 * (pred - ys[i])];
+                    for li in (0..self.layers.len()).rev() {
+                        let input = &acts[li];
+                        let l = &self.layers[li];
+                        for o in 0..l.n_out {
+                            gb[li][o] += delta[o];
+                            for (k, inp) in input.iter().enumerate() {
+                                gw[li][o * l.n_in + k] += delta[o] * inp;
+                            }
+                        }
+                        if li > 0 {
+                            let mut next = vec![0.0; l.n_in];
+                            for (o, d) in delta.iter().enumerate() {
+                                for (k, nx) in next.iter_mut().enumerate() {
+                                    *nx += d * l.w[o * l.n_in + k];
+                                }
+                            }
+                            // ReLU derivative on the hidden activation.
+                            for (nx, a) in next.iter_mut().zip(&acts[li]) {
+                                if *a <= 0.0 {
+                                    *nx = 0.0;
+                                }
+                            }
+                            delta = next;
+                        }
+                    }
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                let lr_t =
+                    self.lr * (1.0 - b2.powi(step as i32)).sqrt() / (1.0 - b1.powi(step as i32));
+                for li in 0..self.layers.len() {
+                    for k in 0..self.layers[li].w.len() {
+                        let g = gw[li][k] * inv + self.alpha * self.layers[li].w[k];
+                        mw[li][k] = b1 * mw[li][k] + (1.0 - b1) * g;
+                        vw[li][k] = b2 * vw[li][k] + (1.0 - b2) * g * g;
+                        self.layers[li].w[k] -= lr_t * mw[li][k] / (vw[li][k].sqrt() + eps);
+                    }
+                    for k in 0..self.layers[li].b.len() {
+                        let g = gb[li][k] * inv;
+                        mb[li][k] = b1 * mb[li][k] + (1.0 - b1) * g;
+                        vb[li][k] = b2 * vb[li][k] + (1.0 - b2) * g * g;
+                        self.layers[li].b[k] -= lr_t * mb[li][k] / (vb[li][k].sqrt() + eps);
+                    }
+                }
+            }
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(!self.layers.is_empty(), "predict before fit");
+        let xs = self.standardize(row);
+        let acts = self.forward(&xs);
+        acts.last().unwrap()[0] * self.y_std + self.y_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn learns_linear_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0).collect();
+        let mut m = MlpRegressor::new(vec![16], 1e-6, 0);
+        m.epochs = 200;
+        m.fit(&x, &y);
+        assert!(r2_score(&y, &m.predict(&x)) > 0.98);
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<Vec<f64>> = (0..400).map(|_| vec![rng.gen_range(-2.0..2.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].abs()).collect();
+        let mut m = MlpRegressor::new(vec![32, 8], 1e-6, 3);
+        m.epochs = 250;
+        m.fit(&x, &y);
+        let r2 = r2_score(&y, &m.predict(&x));
+        assert!(r2 > 0.95, "R² = {r2}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
+        let mut a = MlpRegressor::new(vec![8], 1e-6, 7);
+        a.epochs = 20;
+        let mut b = a.clone();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_one(&[0.4]), b.predict_one(&[0.4]));
+    }
+}

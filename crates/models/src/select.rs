@@ -1,0 +1,128 @@
+//! Feature selection: Gini importance and recursive feature elimination —
+//! the §5.1 procedure that reduces 14 collectable events to the 8 used
+//! workload characteristics.
+
+use crate::data::{train_test_split, Dataset};
+use crate::gbr::GradientBoostedRegressor;
+use crate::metrics::r2_score;
+use crate::Regressor;
+
+/// Gini-style impurity importance of every feature, measured by fitting a
+/// gradient-boosted model on `d` ("We quantify the importance of hardware
+/// events using ... the Gini importance").
+pub fn gini_importance(d: &Dataset, seed: u64) -> Vec<f64> {
+    let mut g = GradientBoostedRegressor::new(120, 0.1, 3, seed);
+    g.fit(&d.x, &d.y);
+    g.feature_importances()
+}
+
+/// Result of one elimination step.
+#[derive(Debug, Clone)]
+pub struct EliminationStep {
+    /// Feature indices (into the original dataset) still kept.
+    pub kept: Vec<usize>,
+    /// Held-out R² of the model trained on `kept`.
+    pub r2: f64,
+}
+
+/// Recursive feature elimination (§5.1): train on all features, drop the
+/// least Gini-important one, retrain, repeat down to a single feature.
+/// Returns one [`EliminationStep`] per model size, largest first.
+///
+/// The paper's stopping rule ("until the model accuracy after removing the
+/// least important features is worse than the second best model") is
+/// applied by the caller over the returned curve; returning the full curve
+/// also regenerates Figure 7.
+pub fn recursive_feature_elimination(d: &Dataset, seed: u64) -> Vec<EliminationStep> {
+    let mut kept: Vec<usize> = (0..d.num_features()).collect();
+    let mut steps = Vec::new();
+    while !kept.is_empty() {
+        let sub = d.select_features(&kept);
+        let (train, test) = train_test_split(&sub, 0.7, seed);
+        let mut g = GradientBoostedRegressor::new(120, 0.1, 3, seed);
+        g.fit(&train.x, &train.y);
+        let r2 = r2_score(&test.y, &g.predict(&test.x));
+        steps.push(EliminationStep {
+            kept: kept.clone(),
+            r2,
+        });
+        if kept.len() == 1 {
+            break;
+        }
+        // Importance on the full training data of this subset.
+        let mut full = GradientBoostedRegressor::new(120, 0.1, 3, seed);
+        full.fit(&sub.x, &sub.y);
+        let imp = full.feature_importances();
+        let (drop_pos, _) = imp
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty");
+        kept.remove(drop_pos);
+    }
+    steps
+}
+
+/// Pick the subset the paper's stopping rule selects: the smallest feature
+/// set whose R² is within `tolerance` of the best step.
+pub fn select_by_tolerance(steps: &[EliminationStep], tolerance: f64) -> &EliminationStep {
+    let best = steps.iter().map(|s| s.r2).fold(f64::NEG_INFINITY, f64::max);
+    steps
+        .iter()
+        .filter(|s| s.r2 >= best - tolerance)
+        .min_by_key(|s| s.kept.len())
+        .expect("at least one step")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Dataset where features 0 and 1 matter, 2..5 are noise.
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new((0..6).map(|i| format!("f{i}")).collect());
+        for _ in 0..n {
+            let row: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let y = 5.0 * row[0] + 3.0 * (row[1] * 6.0).sin();
+            d.push(row, y);
+        }
+        d
+    }
+
+    #[test]
+    fn importance_ranks_informative_features() {
+        let d = dataset(400, 1);
+        let imp = gini_importance(&d, 0);
+        assert_eq!(imp.len(), 6);
+        let noise_max = imp[2..].iter().cloned().fold(0.0, f64::max);
+        assert!(imp[0] > noise_max && imp[1] > noise_max, "{imp:?}");
+    }
+
+    #[test]
+    fn elimination_curve_monotone_shape() {
+        let d = dataset(400, 2);
+        let steps = recursive_feature_elimination(&d, 0);
+        assert_eq!(steps.len(), 6);
+        assert_eq!(steps[0].kept.len(), 6);
+        assert_eq!(steps.last().unwrap().kept.len(), 1);
+        // Dropping down to 2 informative features keeps accuracy; the last
+        // step (1 feature) must lose accuracy.
+        let two = steps.iter().find(|s| s.kept.len() == 2).unwrap();
+        let one = steps.iter().find(|s| s.kept.len() == 1).unwrap();
+        assert!(two.r2 > 0.8, "2-feature R² = {}", two.r2);
+        assert!(one.r2 < two.r2);
+        // The two survivors are the informative ones.
+        assert_eq!(two.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn tolerance_selection_prefers_small_sets() {
+        let d = dataset(300, 3);
+        let steps = recursive_feature_elimination(&d, 0);
+        let sel = select_by_tolerance(&steps, 0.05);
+        assert!(sel.kept.len() <= 3, "selected {:?}", sel.kept);
+    }
+}

@@ -1,0 +1,189 @@
+//! RBF kernel ridge regression — the stand-in for the paper's SVR.
+//!
+//! scikit-learn's `SVR(kernel='rbf')` solves an ε-insensitive-loss problem;
+//! kernel ridge regression uses the same RBF feature space with a squared
+//! loss, has a closed-form solution, and behaves near-identically for dense
+//! regression problems — so we implement that (documented substitution).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Regressor;
+
+/// RBF kernel ridge regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRidgeRegressor {
+    /// RBF width: k(a,b) = exp(−gamma · ‖a−b‖²). `None` = 1/d heuristic.
+    pub gamma: Option<f64>,
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    y_mean: f64,
+    gamma_eff: f64,
+}
+
+impl Default for KernelRidgeRegressor {
+    fn default() -> Self {
+        Self::new(None, 1e-3)
+    }
+}
+
+impl KernelRidgeRegressor {
+    /// New regressor.
+    pub fn new(gamma: Option<f64>, lambda: f64) -> Self {
+        Self {
+            gamma,
+            lambda,
+            x: Vec::new(),
+            alpha: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+            y_mean: 0.0,
+            gamma_eff: 1.0,
+        }
+    }
+
+    fn standardize(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+        (-self.gamma_eff * d2).exp()
+    }
+}
+
+/// Solve the symmetric positive-definite system `A·x = b` in place via
+/// Cholesky decomposition. `A` is row-major n×n.
+fn cholesky_solve(a: &mut [f64], b: &mut [f64], n: usize) {
+    // Decompose A = L·Lᵀ (lower triangle stored in-place).
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                a[i * n + j] = s.max(1e-12).sqrt();
+            } else {
+                a[i * n + j] = s / a[j * n + j];
+            }
+        }
+    }
+    // Forward substitution L·y = b.
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= a[i * n + k] * b[k];
+        }
+        b[i] = s / a[i * n + i];
+    }
+    // Back substitution Lᵀ·x = y.
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in i + 1..n {
+            s -= a[k * n + i] * b[k];
+        }
+        b[i] = s / a[i * n + i];
+    }
+}
+
+impl Regressor for KernelRidgeRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty());
+        let n = x.len();
+        let d = x[0].len();
+        let nf = n as f64;
+        self.mean = (0..d).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / nf).collect();
+        self.std = (0..d)
+            .map(|j| {
+                let m = self.mean[j];
+                (x.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / nf)
+                    .sqrt()
+                    .max(1e-12)
+            })
+            .collect();
+        self.x = x.iter().map(|r| self.standardize(r)).collect();
+        self.gamma_eff = self.gamma.unwrap_or(1.0 / d as f64);
+        self.y_mean = y.iter().sum::<f64>() / nf;
+
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel(&self.x[i], &self.x[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+            k[i * n + i] += self.lambda;
+        }
+        let mut rhs: Vec<f64> = y.iter().map(|v| v - self.y_mean).collect();
+        cholesky_solve(&mut k, &mut rhs, n);
+        self.alpha = rhs;
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        let q = self.standardize(row);
+        self.y_mean
+            + self
+                .x
+                .iter()
+                .zip(&self.alpha)
+                .map(|(r, &a)| a * self.kernel(r, &q))
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cholesky_solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        cholesky_solve(&mut a, &mut b, 2);
+        assert!((b[0] - 3.0).abs() < 1e-9 && (b[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2].
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let mut b = vec![10.0, 9.0];
+        cholesky_solve(&mut a, &mut b, 2);
+        assert!((b[0] - 1.5).abs() < 1e-9 && (b[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen_range(0.0..6.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].sin()).collect();
+        let mut m = KernelRidgeRegressor::new(Some(2.0), 1e-4);
+        m.fit(&x, &y);
+        let xt: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 * 0.1 + 0.3]).collect();
+        let yt: Vec<f64> = xt.iter().map(|r| r[0].sin()).collect();
+        assert!(r2_score(&yt, &m.predict(&xt)) > 0.95);
+    }
+
+    #[test]
+    fn regularisation_controls_fit() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i % 2) as f64).collect(); // noisy
+        let mut tight = KernelRidgeRegressor::new(Some(5.0), 1e-6);
+        let mut loose = KernelRidgeRegressor::new(Some(5.0), 10.0);
+        tight.fit(&x, &y);
+        loose.fit(&x, &y);
+        let rt = r2_score(&y, &tight.predict(&x));
+        let rl = r2_score(&y, &loose.predict(&x));
+        assert!(rt > rl, "tight {rt} loose {rl}");
+    }
+}

@@ -1,0 +1,377 @@
+//! The Spindle-like classifier: [`KernelIr`] → object-level pattern map.
+//!
+//! Classification rules follow §4 directly:
+//!
+//! * `A[i]` (affine, stride 1) → **stream** — also covers delta, reduction
+//!   and transpose forms, which all step linearly through the array;
+//! * `A[i*s]`, s > 1 → **strided**;
+//! * `{A[i-1], A[i], A[i+1]}` neighbourhoods → **stencil** (input-dependent
+//!   if the surrounding loop has input-dependent bounds);
+//! * `A[B[i]]` / scatter / opaque → **random**; the *index* array `B` itself
+//!   is read as a stream.
+//!
+//! When an object is touched by several loops with different patterns, the
+//! most penalising pattern wins (random > large-stride > stencil > strided >
+//! stream): the paper manages one pattern per object, and the conservative
+//! choice keeps the α refinement path available.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{IndexExpr, KernelIr, LoopNest};
+use crate::pattern::{AccessPattern, LatencyClass};
+
+/// Map from object name to its classified access pattern.
+pub type ObjectPatternMap = BTreeMap<String, AccessPattern>;
+
+/// Severity rank used to merge patterns when an object appears under several
+/// loops. Higher = more penalising on heterogeneous memory.
+fn severity(p: &AccessPattern) -> u32 {
+    match p {
+        AccessPattern::Stream => 0,
+        AccessPattern::Strided { .. } => match p.latency_class() {
+            LatencyClass::Sequential => 1,
+            LatencyClass::Random => 3,
+        },
+        AccessPattern::Stencil { .. } => 2,
+        AccessPattern::Random => 4,
+    }
+}
+
+fn classify_stmt(loop_nest: &LoopNest, index: &IndexExpr, elem_bytes: u32) -> AccessPattern {
+    match index {
+        IndexExpr::Affine { stride, .. } => {
+            let s = stride.unsigned_abs() as u32;
+            if s <= 1 {
+                AccessPattern::Stream
+            } else {
+                AccessPattern::Strided {
+                    stride: s,
+                    elem_bytes,
+                }
+            }
+        }
+        IndexExpr::Affine2D { col_stride, .. } => {
+            // The innermost induction variable dominates: unit column
+            // stride streams through rows; anything else walks the leading
+            // dimension with that stride.
+            let s = col_stride.unsigned_abs() as u32;
+            if s <= 1 {
+                AccessPattern::Stream
+            } else {
+                AccessPattern::Strided {
+                    stride: s,
+                    elem_bytes,
+                }
+            }
+        }
+        IndexExpr::Neighborhood { offsets } => AccessPattern::Stencil {
+            points: offsets.len() as u32,
+            input_dependent: loop_nest.input_dependent_bounds,
+        },
+        IndexExpr::Indirect { .. } | IndexExpr::Opaque => AccessPattern::Random,
+    }
+}
+
+/// Classify every object referenced by `ir`, returning the object → pattern
+/// map the rest of the system consumes (the analogue of Spindle's output).
+///
+/// ```
+/// use merch_patterns::{classify_kernel, AccessPattern, AccessStmt, IndexExpr, KernelIr, LoopNest};
+///
+/// // for i { A[i] = B[C[i]] } — the paper's gather example.
+/// let ir = KernelIr::new("gather").with_loop(LoopNest {
+///     name: "l".into(),
+///     depth: 1,
+///     input_dependent_bounds: false,
+///     body: vec![
+///         AccessStmt::write("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+///         AccessStmt::read("B", IndexExpr::Indirect { index_object: "C".into() }, 8),
+///     ],
+/// });
+/// let map = classify_kernel(&ir);
+/// assert_eq!(map["A"], AccessPattern::Stream);
+/// assert_eq!(map["B"], AccessPattern::Random);
+/// assert_eq!(map["C"], AccessPattern::Stream); // the index array streams
+/// ```
+pub fn classify_kernel(ir: &KernelIr) -> ObjectPatternMap {
+    let mut map = ObjectPatternMap::new();
+    for l in &ir.loops {
+        for stmt in &l.body {
+            let pat = classify_stmt(l, &stmt.index, stmt.elem_bytes);
+            merge(&mut map, &stmt.object, pat);
+            // The array supplying indices for a gather/scatter is itself
+            // walked sequentially: `C` in `A[i] = B[C[i]]` is a stream.
+            if let IndexExpr::Indirect { index_object } = &stmt.index {
+                merge(&mut map, index_object, AccessPattern::Stream);
+            }
+        }
+    }
+    map
+}
+
+fn merge(map: &mut ObjectPatternMap, object: &str, pat: AccessPattern) {
+    map.entry(object.to_string())
+        .and_modify(|existing| {
+            if severity(&pat) > severity(existing) {
+                *existing = pat;
+            }
+        })
+        .or_insert(pat);
+}
+
+/// Look up the pattern for a concrete (possibly per-task) object name.
+/// Falls back from the exact name to its stem before the first `_`, so the
+/// kernel IR can name the logical array (`A`) while the runtime allocates
+/// per-task instances (`A_bin3`).
+pub fn lookup_pattern(map: &ObjectPatternMap, name: &str) -> Option<AccessPattern> {
+    if let Some(p) = map.get(name) {
+        return Some(*p);
+    }
+    // Per-task instances are suffixed either with `_k` or with a bare
+    // index: `A_bin3`, `fields0`, `Atile17`.
+    let stem = name.split('_').next().unwrap_or(name);
+    if let Some(p) = map.get(stem) {
+        return Some(*p);
+    }
+    let trimmed = stem.trim_end_matches(|c: char| c.is_ascii_digit());
+    if trimmed.is_empty() || trimmed == stem {
+        return None;
+    }
+    map.get(trimmed).copied()
+}
+
+/// Summarise a pattern map into the distinct pattern labels present, ordered
+/// stream < strided < stencil < random — the form Table 1 reports per
+/// application.
+pub fn distinct_labels(map: &ObjectPatternMap) -> Vec<&'static str> {
+    let mut pats: Vec<(u32, &'static str)> = map
+        .values()
+        .map(|p| {
+            let rank = match p {
+                AccessPattern::Stream => 0,
+                AccessPattern::Strided { .. } => 1,
+                AccessPattern::Stencil { .. } => 2,
+                AccessPattern::Random => 3,
+            };
+            (rank, p.label())
+        })
+        .collect();
+    pats.sort();
+    pats.dedup();
+    pats.into_iter().map(|(_, l)| l).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::AccessStmt;
+
+    fn one_loop(body: Vec<AccessStmt>, input_dep: bool) -> KernelIr {
+        KernelIr::new("k").with_loop(LoopNest {
+            name: "l0".into(),
+            depth: 1,
+            input_dependent_bounds: input_dep,
+            body,
+        })
+    }
+
+    #[test]
+    fn stream_pattern_from_unit_stride() {
+        // A[i] = B[i] + C[i]
+        let ir = one_loop(
+            vec![
+                AccessStmt::write("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read("B", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read("C", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+            ],
+            false,
+        );
+        let m = classify_kernel(&ir);
+        for o in ["A", "B", "C"] {
+            assert_eq!(m[o], AccessPattern::Stream, "object {o}");
+        }
+    }
+
+    #[test]
+    fn strided_pattern_records_stride_and_dtype() {
+        // A[i*stride] = B[i*stride]
+        let ir = one_loop(
+            vec![
+                AccessStmt::write("A", IndexExpr::Affine { stride: 16, offset: 0 }, 4),
+                AccessStmt::read("B", IndexExpr::Affine { stride: -16, offset: 2 }, 4),
+            ],
+            false,
+        );
+        let m = classify_kernel(&ir);
+        assert_eq!(
+            m["A"],
+            AccessPattern::Strided {
+                stride: 16,
+                elem_bytes: 4
+            }
+        );
+        // Negative stride walks are strided too (absolute value).
+        assert_eq!(
+            m["B"],
+            AccessPattern::Strided {
+                stride: 16,
+                elem_bytes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn stencil_pattern_from_neighborhood() {
+        // A[i] = A[i-1] + A[i+1]
+        let ir = one_loop(
+            vec![AccessStmt::read(
+                "A",
+                IndexExpr::Neighborhood {
+                    offsets: vec![-1, 0, 1],
+                },
+                8,
+            )],
+            false,
+        );
+        let m = classify_kernel(&ir);
+        assert_eq!(
+            m["A"],
+            AccessPattern::Stencil {
+                points: 3,
+                input_dependent: false
+            }
+        );
+    }
+
+    #[test]
+    fn stencil_under_input_dependent_loop_is_input_dependent() {
+        let ir = one_loop(
+            vec![AccessStmt::read(
+                "A",
+                IndexExpr::Neighborhood {
+                    offsets: vec![-1, 0, 1, -10, 10],
+                },
+                8,
+            )],
+            true,
+        );
+        assert_eq!(
+            classify_kernel(&ir)["A"],
+            AccessPattern::Stencil {
+                points: 5,
+                input_dependent: true
+            }
+        );
+    }
+
+    #[test]
+    fn gather_marks_target_random_and_index_stream() {
+        // A[i] = B[C[i]]
+        let ir = one_loop(
+            vec![
+                AccessStmt::write("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read(
+                    "B",
+                    IndexExpr::Indirect {
+                        index_object: "C".into(),
+                    },
+                    8,
+                ),
+            ],
+            false,
+        );
+        let m = classify_kernel(&ir);
+        assert_eq!(m["A"], AccessPattern::Stream);
+        assert_eq!(m["B"], AccessPattern::Random);
+        assert_eq!(m["C"], AccessPattern::Stream);
+    }
+
+    #[test]
+    fn affine2d_row_major_streams_col_major_strides() {
+        // AT[i][j] = B[j][i]: the write walks row-major (stream), the read
+        // walks column-major with the leading dimension as stride.
+        let ir = one_loop(
+            vec![
+                AccessStmt::write(
+                    "AT",
+                    IndexExpr::Affine2D {
+                        row_stride: 1024,
+                        col_stride: 1,
+                    },
+                    8,
+                ),
+                AccessStmt::read(
+                    "B",
+                    IndexExpr::Affine2D {
+                        row_stride: 1,
+                        col_stride: 1024,
+                    },
+                    8,
+                ),
+            ],
+            false,
+        );
+        let m = classify_kernel(&ir);
+        assert_eq!(m["AT"], AccessPattern::Stream);
+        assert_eq!(
+            m["B"],
+            AccessPattern::Strided {
+                stride: 1024,
+                elem_bytes: 8
+            }
+        );
+    }
+
+    #[test]
+    fn opaque_is_random() {
+        let ir = one_loop(vec![AccessStmt::read("X", IndexExpr::Opaque, 8)], false);
+        assert_eq!(classify_kernel(&ir)["X"], AccessPattern::Random);
+    }
+
+    #[test]
+    fn worst_pattern_wins_across_loops() {
+        let ir = KernelIr::new("k")
+            .with_loop(LoopNest {
+                name: "a".into(),
+                depth: 1,
+                input_dependent_bounds: false,
+                body: vec![AccessStmt::read(
+                    "X",
+                    IndexExpr::Affine { stride: 1, offset: 0 },
+                    8,
+                )],
+            })
+            .with_loop(LoopNest {
+                name: "b".into(),
+                depth: 1,
+                input_dependent_bounds: false,
+                body: vec![AccessStmt::read(
+                    "X",
+                    IndexExpr::Indirect {
+                        index_object: "idx".into(),
+                    },
+                    8,
+                )],
+            });
+        assert_eq!(classify_kernel(&ir)["X"], AccessPattern::Random);
+    }
+
+    #[test]
+    fn distinct_labels_ordered() {
+        let ir = one_loop(
+            vec![
+                AccessStmt::read("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read(
+                    "B",
+                    IndexExpr::Indirect {
+                        index_object: "A".into(),
+                    },
+                    8,
+                ),
+            ],
+            false,
+        );
+        let m = classify_kernel(&ir);
+        assert_eq!(distinct_labels(&m), vec!["stream", "random"]);
+    }
+}

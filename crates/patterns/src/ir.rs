@@ -1,0 +1,164 @@
+//! A minimal loop-nest IR standing in for Spindle's LLVM-level view.
+//!
+//! Spindle classifies accesses "by extracting structural information relevant
+//! to memory access instructions" (§4). Our applications carry that structural
+//! information explicitly: each hot loop nest is described as a
+//! [`LoopNest`] whose body is a list of [`AccessStmt`]s, where the index
+//! expression of each access is an [`IndexExpr`]. The classifier in
+//! [`crate::classify`] pattern-matches index expressions exactly the way the
+//! paper's four patterns are defined.
+
+use serde::{Deserialize, Serialize};
+
+/// Index expression of a memory access inside a loop over induction
+/// variable `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IndexExpr {
+    /// `A[i * stride + offset]` — stride 1 is the stream pattern, stride > 1
+    /// the strided pattern.
+    Affine { stride: i64, offset: i64 },
+    /// `A[i * row_stride + j * col_stride]` over a 2-D loop nest (`i` outer,
+    /// `j` inner). Row-major walks (`col_stride` = 1) stream; column-major
+    /// walks (`col_stride` = leading dimension) are strided with the
+    /// leading dimension as the stride — the transpose case §4 mentions.
+    Affine2D { row_stride: i64, col_stride: i64 },
+    /// A set of affine neighbours of `i` accessed in the same iteration,
+    /// e.g. `{A[i-1], A[i], A[i+1]}` — the stencil pattern. Offsets are
+    /// relative to `i`.
+    Neighborhood { offsets: Vec<i64> },
+    /// `A[B[i]]` — indirect addressing through another object (gather /
+    /// scatter / pointer chase) — the random pattern. `index_object` names
+    /// the object supplying the indices.
+    Indirect { index_object: String },
+    /// Structure the front-end could not analyse. Treated as random (§4,
+    /// "Handling unknown patterns").
+    Opaque,
+}
+
+/// One load or store to a named data object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessStmt {
+    /// Name of the data object accessed (matches the name registered through
+    /// the `LB_HM_config` user API).
+    pub object: String,
+    /// Index expression in terms of the innermost induction variable.
+    pub index: IndexExpr,
+    /// True for stores.
+    pub is_write: bool,
+    /// Element size in bytes (data type of the access).
+    pub elem_bytes: u32,
+}
+
+impl AccessStmt {
+    /// Convenience constructor for a read.
+    pub fn read(object: &str, index: IndexExpr, elem_bytes: u32) -> Self {
+        Self {
+            object: object.to_string(),
+            index,
+            is_write: false,
+            elem_bytes,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(object: &str, index: IndexExpr, elem_bytes: u32) -> Self {
+        Self {
+            object: object.to_string(),
+            index,
+            is_write: true,
+            elem_bytes,
+        }
+    }
+}
+
+/// A (possibly nested) counted loop with memory accesses in its innermost
+/// body. `input_dependent_bounds` marks loops whose trip structure changes
+/// with the input (e.g. CSR row loops); stencils under such loops are
+/// classified input-dependent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Human-readable name ("numeric_phase", "davidson", ...). Doubles as a
+    /// basic-block label for the §5.2 predictor.
+    pub name: String,
+    /// Nesting depth of the innermost loop (1 = single loop).
+    pub depth: u32,
+    /// Whether loop bounds depend on input values rather than sizes only.
+    pub input_dependent_bounds: bool,
+    /// Accesses in the innermost body.
+    pub body: Vec<AccessStmt>,
+}
+
+/// IR for one task's kernel: the hot loop nests Spindle would analyse.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelIr {
+    /// Name of the task/kernel.
+    pub name: String,
+    /// Hot loop nests in program order.
+    pub loops: Vec<LoopNest>,
+}
+
+impl KernelIr {
+    /// New empty kernel IR.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            loops: Vec::new(),
+        }
+    }
+
+    /// Add a loop nest (builder style).
+    pub fn with_loop(mut self, l: LoopNest) -> Self {
+        self.loops.push(l);
+        self
+    }
+
+    /// All distinct object names referenced by the kernel.
+    pub fn objects(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .loops
+            .iter()
+            .flat_map(|l| l.body.iter().map(|a| a.object.clone()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ir() -> KernelIr {
+        KernelIr::new("spgemm_numeric").with_loop(LoopNest {
+            name: "gustavson".into(),
+            depth: 2,
+            input_dependent_bounds: true,
+            body: vec![
+                AccessStmt::read("A_vals", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read(
+                    "B_vals",
+                    IndexExpr::Indirect {
+                        index_object: "A_cols".into(),
+                    },
+                    8,
+                ),
+                AccessStmt::write("C_vals", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+            ],
+        })
+    }
+
+    #[test]
+    fn objects_are_deduped_and_sorted() {
+        let ir = sample_ir();
+        assert_eq!(ir.objects(), vec!["A_vals", "B_vals", "C_vals"]);
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let r = AccessStmt::read("X", IndexExpr::Opaque, 4);
+        let w = AccessStmt::write("X", IndexExpr::Opaque, 4);
+        assert!(!r.is_write);
+        assert!(w.is_write);
+    }
+}

@@ -1,0 +1,35 @@
+//! Object-level memory access pattern analysis for Merchandiser.
+//!
+//! The paper uses Spindle (an LLVM static-analysis tool) to classify the
+//! accesses a task makes to each user-registered data object into four
+//! patterns — *stream*, *strided*, *stencil*, and *random* (§4). This crate
+//! reproduces that component without LLVM: applications describe their hot
+//! loops in a small explicit IR ([`ir::KernelIr`]) and [`classify`] derives
+//! the same object → pattern map Spindle would emit.
+//!
+//! The crate also implements the paper's α parameter of Equation 1
+//! (`esti_mem_acc = S_new / (S_base · α) · prof_mem_acc`):
+//!
+//! * [`alpha::AlphaTable`] — offline α values for stream/strided patterns,
+//!   enumerated over stride lengths and data types exactly as §4 describes;
+//! * [`alpha::stencil_alpha_microbench`] — the offline stencil
+//!   microbenchmark (a real stencil sweep measured against a small
+//!   cache-line simulator);
+//! * [`alpha::AlphaRefiner`] — the online iterative refinement used for
+//!   input-dependent stencil and random patterns.
+
+pub mod alpha;
+pub mod classify;
+pub mod ir;
+pub mod pattern;
+pub mod stats;
+
+pub use alpha::{stencil_alpha_microbench, AlphaRefiner, AlphaTable};
+pub use classify::{classify_kernel, lookup_pattern, ObjectPatternMap};
+pub use ir::{AccessStmt, IndexExpr, KernelIr, LoopNest};
+pub use pattern::{AccessPattern, LatencyClass};
+pub use stats::{irregular_access_share, PatternStats};
+
+/// Cache line size assumed throughout the suite (bytes). Matches the paper's
+/// worked example in §4 ("assuming that the cache line size is 64 bytes").
+pub const CACHE_LINE: usize = 64;

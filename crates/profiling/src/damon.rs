@@ -1,0 +1,269 @@
+//! DAMON-style adaptive region profiling.
+//!
+//! The Linux kernel's DAMON (Data Access MONitor, Park et al. — the paper
+//! cites its authors' profiling work as \[60\]) keeps profiling overhead
+//! *independent of memory size* by tracking a bounded number of address
+//! *regions* instead of individual pages: each sampling interval checks one
+//! random page per region, and an aggregation step splits hot regions and
+//! merges adjacent regions with similar access counts. This module
+//! implements that scheme against the emulated page table, providing a
+//! third profiling mechanism beside the Thermostat scan and the
+//! MemoryOptimizer sampler — and the substrate for the DAMON-tiering
+//! baseline policy.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use merch_hm::page::PageId;
+use merch_hm::HmSystem;
+
+/// A monitored address region: a contiguous page range with an access
+/// estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// First page of the region (inclusive).
+    pub start: PageId,
+    /// One past the last page (exclusive).
+    pub end: PageId,
+    /// Number of sampling checks that found the region accessed since the
+    /// last aggregation.
+    pub nr_accesses: u32,
+}
+
+impl Region {
+    /// Pages covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True for degenerate regions.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// The adaptive region monitor.
+#[derive(Debug, Clone)]
+pub struct DamonProfiler {
+    /// Lower bound on the number of regions kept.
+    pub min_regions: usize,
+    /// Upper bound on the number of regions kept (bounds the overhead).
+    pub max_regions: usize,
+    /// Sampling checks per aggregation step.
+    pub samples_per_aggregation: usize,
+    /// Merge regions whose access counts differ by at most this.
+    pub merge_threshold: u32,
+    regions: Vec<Region>,
+    rng: StdRng,
+}
+
+impl DamonProfiler {
+    /// New monitor covering the whole page table of `sys`.
+    pub fn new(sys: &HmSystem, min_regions: usize, max_regions: usize, seed: u64) -> Self {
+        assert!(min_regions >= 1 && max_regions >= min_regions);
+        let n = sys.page_table().len() as PageId;
+        let mut p = Self {
+            min_regions,
+            max_regions,
+            samples_per_aggregation: 20,
+            merge_threshold: 2,
+            regions: vec![Region {
+                start: 0,
+                end: n.max(1),
+                nr_accesses: 0,
+            }],
+            rng: StdRng::seed_from_u64(seed),
+        };
+        // Start from min_regions even splits, as DAMON does.
+        while p.regions.len() < min_regions {
+            p.split_largest();
+        }
+        p
+    }
+
+    /// Current regions, hottest first.
+    pub fn regions(&self) -> Vec<Region> {
+        let mut r = self.regions.clone();
+        r.sort_by_key(|x| std::cmp::Reverse(x.nr_accesses));
+        r
+    }
+
+    fn split_largest(&mut self) {
+        if let Some(pos) = (0..self.regions.len()).max_by_key(|&i| self.regions[i].len()) {
+            let r = self.regions[pos].clone();
+            if r.len() < 2 {
+                return;
+            }
+            // Split at a random interior point (DAMON splits randomly so
+            // hot sub-ranges eventually isolate).
+            let cut = r.start + 1 + self.rng.gen_range(0..r.len() - 1);
+            self.regions[pos] = Region {
+                start: r.start,
+                end: cut,
+                nr_accesses: r.nr_accesses,
+            };
+            self.regions.insert(
+                pos + 1,
+                Region {
+                    start: cut,
+                    end: r.end,
+                    nr_accesses: r.nr_accesses,
+                },
+            );
+        }
+    }
+
+    /// One sampling interval: check one random page per region (its
+    /// emulated PTE accessed bit), bump the region counter, reset the bit.
+    pub fn sample(&mut self, sys: &mut HmSystem) {
+        let n = sys.page_table().len() as PageId;
+        for r in &mut self.regions {
+            if r.is_empty() || r.start >= n {
+                continue;
+            }
+            let end = r.end.min(n);
+            let page = r.start + self.rng.gen_range(0..(end - r.start).max(1));
+            let info = sys.page_table_mut().get_mut(page);
+            if info.accessed {
+                r.nr_accesses = r.nr_accesses.saturating_add(1);
+                info.accessed = false;
+            }
+        }
+    }
+
+    /// One aggregation step: `samples_per_aggregation` sampling intervals,
+    /// then merge similar neighbours and split until the region budget is
+    /// used. Returns the regions, hottest first.
+    pub fn aggregate(&mut self, sys: &mut HmSystem) -> Vec<Region> {
+        for _ in 0..self.samples_per_aggregation {
+            self.sample(sys);
+        }
+        let snapshot = self.regions();
+
+        // Merge adjacent regions with similar hotness.
+        let min_regions = self.min_regions;
+        let mut merged: Vec<Region> = Vec::with_capacity(self.regions.len());
+        for r in self.regions.drain(..) {
+            let can_merge = merged.len() > min_regions
+                && merged.last().is_some_and(|last| {
+                    last.end == r.start
+                        && last.nr_accesses.abs_diff(r.nr_accesses) <= self.merge_threshold
+                });
+            if can_merge {
+                let last = merged.last_mut().expect("checked non-empty");
+                last.end = r.end;
+                last.nr_accesses = last.nr_accesses.max(r.nr_accesses);
+            } else {
+                merged.push(r);
+            }
+        }
+        self.regions = merged;
+
+        // Split until the budget is reached (prefer the largest regions so
+        // resolution concentrates where the address space is coarse).
+        while self.regions.len() < self.max_regions {
+            let before = self.regions.len();
+            self.split_largest();
+            if self.regions.len() == before {
+                break;
+            }
+        }
+        // New epoch: decay counters so the monitor tracks shifts.
+        for r in &mut self.regions {
+            r.nr_accesses /= 2;
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_hm::page::PAGE_SIZE;
+    use merch_hm::{HmConfig, ObjectSpec, Tier};
+
+    fn system() -> (HmSystem, merch_hm::ObjectId, merch_hm::ObjectId) {
+        let mut sys = HmSystem::new(
+            HmConfig::calibrated(512 * PAGE_SIZE, 8192 * PAGE_SIZE),
+            1,
+        );
+        let hot = sys
+            .allocate(&ObjectSpec::new("hot", 128 * PAGE_SIZE), Tier::Pm)
+            .unwrap();
+        let cold = sys
+            .allocate(&ObjectSpec::new("cold", 1024 * PAGE_SIZE), Tier::Pm)
+            .unwrap();
+        (sys, hot, cold)
+    }
+
+    #[test]
+    fn regions_cover_address_space_without_overlap() {
+        let (mut sys, hot, _) = system();
+        let mut d = DamonProfiler::new(&sys, 8, 64, 3);
+        for _ in 0..5 {
+            sys.record_accesses(hot, 1e5);
+            d.aggregate(&mut sys);
+        }
+        let mut regions = d.regions.clone();
+        regions.sort_by_key(|r| r.start);
+        assert_eq!(regions.first().unwrap().start, 0);
+        assert_eq!(regions.last().unwrap().end as usize, sys.page_table().len());
+        for w in regions.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap or overlap");
+        }
+    }
+
+    #[test]
+    fn region_count_respects_budget() {
+        let (mut sys, hot, _) = system();
+        let mut d = DamonProfiler::new(&sys, 4, 32, 5);
+        for _ in 0..10 {
+            sys.record_accesses(hot, 1e4);
+            d.aggregate(&mut sys);
+            assert!(d.regions.len() >= d.min_regions);
+            assert!(d.regions.len() <= d.max_regions);
+        }
+    }
+
+    #[test]
+    fn hot_object_regions_rank_first() {
+        let (mut sys, hot, cold) = system();
+        let mut d = DamonProfiler::new(&sys, 16, 128, 7);
+        let mut last = Vec::new();
+        for _ in 0..12 {
+            sys.record_accesses(hot, 1e6);
+            sys.record_accesses(cold, 10.0);
+            last = d.aggregate(&mut sys);
+        }
+        // The hottest region should overlap the hot object's page range.
+        let hot_range = sys.object(hot).pages();
+        let top = &last[0];
+        assert!(
+            top.start < hot_range.end && top.end > hot_range.start,
+            "top region {top:?} misses hot range {hot_range:?}"
+        );
+    }
+
+    #[test]
+    fn overhead_is_bounded_by_region_budget() {
+        // Sampling touches max_regions pages per interval regardless of
+        // memory size — the DAMON property.
+        let (mut sys, _, _) = system();
+        let mut d = DamonProfiler::new(&sys, 8, 16, 9);
+        d.sample(&mut sys); // must not touch more than 16 PTEs: implied by regions.len()
+        assert!(d.regions.len() <= 16);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (mut sys_a, hot_a, _) = system();
+        let (mut sys_b, hot_b, _) = system();
+        let mut da = DamonProfiler::new(&sys_a, 8, 64, 11);
+        let mut db = DamonProfiler::new(&sys_b, 8, 64, 11);
+        sys_a.record_accesses(hot_a, 1e5);
+        sys_b.record_accesses(hot_b, 1e5);
+        assert_eq!(da.aggregate(&mut sys_a), db.aggregate(&mut sys_b));
+    }
+}

@@ -1,0 +1,28 @@
+//! Memory profiling on the emulated HM.
+//!
+//! Reproduces the three profiling mechanisms the paper builds on:
+//!
+//! * [`pte::ThermostatProfiler`] — the DRAM-side profiler (§4): samples one
+//!   4 KiB page per 2 MiB region by manipulating PTEs, scales the sampled
+//!   count to the region, and identifies cold pages;
+//! * [`pte::SamplingHotPageProfiler`] — the PM-side profiler (the
+//!   MemoryOptimizer method): random page sampling bounded to a fixed
+//!   budget per interval, which keeps overhead small but *is the source of
+//!   the paper's load-imbalance problem* — it can over-sample one task's
+//!   pages;
+//! * [`pmc::PmcGenerator`] — PEBS/IBS-style hardware-event collection. The
+//!   emulation derives the event values from the task's workload
+//!   composition (pattern mix, memory-boundedness, write share), which is
+//!   the information content the paper's models consume;
+//! * [`bbtimer`] — offline per-basic-block timing on each homogeneous tier
+//!   plus execution counting, the ingredients of the §5.2 predictor.
+
+pub mod bbtimer;
+pub mod damon;
+pub mod pmc;
+pub mod pte;
+
+pub use bbtimer::{similarity_scale, BasicBlockTable};
+pub use damon::{DamonProfiler, Region};
+pub use pmc::{PmcEvents, PmcGenerator, ALL_EVENTS, TOP8_EVENTS};
+pub use pte::{PageSample, SamplingHotPageProfiler, TaskAccessEstimate, ThermostatProfiler};

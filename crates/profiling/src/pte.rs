@@ -1,0 +1,282 @@
+//! PTE-manipulation profilers (§2, §4).
+//!
+//! Both profilers read the emulated page table's access counters / accessed
+//! bits and reset them, exactly like the real systems repeatedly scan PTEs
+//! or intercept protection faults.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use merch_hm::page::{PageId, PAGES_PER_HUGE_REGION};
+use merch_hm::{HmSystem, ObjectId, Tier};
+
+/// A profiled page with its (possibly scaled) access estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageSample {
+    /// Page id.
+    pub page: PageId,
+    /// Object owning the page.
+    pub object: ObjectId,
+    /// Estimated accesses since the last scan.
+    pub estimated_accesses: f64,
+}
+
+/// Per-task access estimates derived from a profiling pass: the *task
+/// semantics* Merchandiser adds to profiling (accesses are associated with
+/// the tasks owning the objects they hit).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskAccessEstimate {
+    /// `estimates[task]` = estimated accesses attributable to `task`.
+    pub per_task: Vec<f64>,
+    /// Accesses to shared (unowned) objects.
+    pub shared: f64,
+}
+
+/// Thermostat-style profiler (§4): chooses one 4 KiB page out of each 2 MiB
+/// region and scales its count to represent the region. Accurate and able to
+/// identify cold pages, but too slow for TB-scale PM — the paper uses it on
+/// DRAM only.
+#[derive(Debug, Clone)]
+pub struct ThermostatProfiler {
+    rng: StdRng,
+}
+
+impl ThermostatProfiler {
+    /// New profiler with a deterministic sampling seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Scan the pages of `tier`: sample one page per 2 MiB region, scale the
+    /// sampled access count by the region size, and reset the sampled
+    /// page's counter (PTE bit reset). Returns per-region estimates
+    /// attributed to the sampled page.
+    pub fn scan(&mut self, sys: &mut HmSystem, tier: Tier) -> Vec<PageSample> {
+        use rand::Rng;
+        let region = PAGES_PER_HUGE_REGION;
+        let n_pages = sys.page_table().len() as PageId;
+        let mut samples = Vec::new();
+        let mut start = 0;
+        while start < n_pages {
+            let end = (start + region).min(n_pages);
+            // Pick one page of the region uniformly.
+            let pick = start + self.rng.gen_range(0..(end - start));
+            let info = sys.page_table().get(pick);
+            if info.tier == tier {
+                let scale = (end - start) as f64;
+                samples.push(PageSample {
+                    page: pick,
+                    object: info.object,
+                    estimated_accesses: info.access_count * scale,
+                });
+                let p = sys.page_table_mut().get_mut(pick);
+                p.accessed = false;
+                p.access_count = 0.0;
+            }
+            start = end;
+        }
+        samples
+    }
+
+    /// Identify the coldest sampled pages of `tier` (eviction candidates:
+    /// "this profiling method ... can be used to identify cold pages to
+    /// eliminate out of DRAM").
+    pub fn cold_pages(&mut self, sys: &mut HmSystem, tier: Tier, n: usize) -> Vec<PageId> {
+        let mut s = self.scan(sys, tier);
+        s.sort_by(|a, b| a.estimated_accesses.partial_cmp(&b.estimated_accesses).unwrap());
+        s.truncate(n);
+        s.into_iter().map(|x| x.page).collect()
+    }
+}
+
+/// MemoryOptimizer-style sampling profiler: each interval samples a bounded
+/// random subset of PM pages and reports the hottest among them. Random,
+/// task-agnostic sampling is cheap — and is the mechanism the paper blames
+/// for load imbalance ("it may collect many memory accesses from one task",
+/// §1).
+#[derive(Debug, Clone)]
+pub struct SamplingHotPageProfiler {
+    rng: StdRng,
+    /// Number of pages sampled per interval.
+    pub budget: usize,
+}
+
+impl SamplingHotPageProfiler {
+    /// New profiler sampling `budget` pages per interval.
+    pub fn new(seed: u64, budget: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            budget,
+        }
+    }
+
+    /// Sample up to `budget` random pages of `tier`, returning those with a
+    /// set accessed bit sorted hottest-first, and reset the sampled PTE
+    /// state.
+    pub fn sample(&mut self, sys: &mut HmSystem, tier: Tier) -> Vec<PageSample> {
+        let candidates: Vec<PageId> = sys
+            .page_table()
+            .iter()
+            .filter(|(_, p)| p.tier == tier)
+            .map(|(id, _)| id)
+            .collect();
+        let mut picked = candidates;
+        picked.shuffle(&mut self.rng);
+        picked.truncate(self.budget);
+        let mut out = Vec::new();
+        for id in picked {
+            let info = sys.page_table().get(id);
+            if info.accessed {
+                out.push(PageSample {
+                    page: id,
+                    object: info.object,
+                    estimated_accesses: info.access_count,
+                });
+            }
+            let p = sys.page_table_mut().get_mut(id);
+            p.accessed = false;
+            p.access_count = 0.0;
+        }
+        out.sort_by(|a, b| {
+            b.estimated_accesses
+                .partial_cmp(&a.estimated_accesses)
+                .unwrap()
+        });
+        out
+    }
+}
+
+/// Associate page samples with tasks through object ownership — the task
+/// semantics Merchandiser introduces during profiling (§3).
+pub fn attribute_to_tasks(
+    sys: &HmSystem,
+    samples: &[PageSample],
+    num_tasks: usize,
+) -> TaskAccessEstimate {
+    let mut est = TaskAccessEstimate {
+        per_task: vec![0.0; num_tasks],
+        shared: 0.0,
+    };
+    for s in samples {
+        match sys.object(s.object).owner_task {
+            Some(t) if t < num_tasks => est.per_task[t] += s.estimated_accesses,
+            _ => est.shared += s.estimated_accesses,
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merch_hm::page::PAGE_SIZE;
+    use merch_hm::{HmConfig, ObjectSpec};
+
+    fn system_with_objects() -> (HmSystem, ObjectId, ObjectId) {
+        let mut sys = HmSystem::new(
+            HmConfig::calibrated(1024 * PAGE_SIZE, 8192 * PAGE_SIZE),
+            7,
+        );
+        let a = sys
+            .allocate(&ObjectSpec::new("hot", 600 * PAGE_SIZE).owned_by(0), Tier::Pm)
+            .unwrap();
+        let b = sys
+            .allocate(&ObjectSpec::new("cold", 600 * PAGE_SIZE).owned_by(1), Tier::Pm)
+            .unwrap();
+        sys.record_accesses(a, 1_000_000.0);
+        sys.record_accesses(b, 1_000.0);
+        (sys, a, b)
+    }
+
+    #[test]
+    fn thermostat_scales_to_region() {
+        let (mut sys, _, _) = system_with_objects();
+        let mut prof = ThermostatProfiler::new(1);
+        let samples = prof.scan(&mut sys, Tier::Pm);
+        // 1200 pages = 3 regions (512 pages each) → 3 samples.
+        assert_eq!(samples.len(), 3);
+        let total: f64 = samples.iter().map(|s| s.estimated_accesses).sum();
+        // The scaled estimate should be the right order of magnitude
+        // (1.001 M true accesses; sampling noise allowed).
+        assert!(total > 1e4 && total < 1e8, "total {total}");
+    }
+
+    #[test]
+    fn thermostat_resets_sampled_pages() {
+        let (mut sys, _, _) = system_with_objects();
+        let mut prof = ThermostatProfiler::new(1);
+        let samples = prof.scan(&mut sys, Tier::Pm);
+        for s in &samples {
+            assert_eq!(sys.page_table().get(s.page).access_count, 0.0);
+        }
+    }
+
+    #[test]
+    fn sampler_finds_hot_pages_more_often() {
+        let (mut sys, a, _) = system_with_objects();
+        let mut prof = SamplingHotPageProfiler::new(3, 200);
+        let samples = prof.sample(&mut sys, Tier::Pm);
+        assert!(!samples.is_empty());
+        // Sorted hottest first.
+        for w in samples.windows(2) {
+            assert!(w[0].estimated_accesses >= w[1].estimated_accesses);
+        }
+        // The hottest sample should come from the hot object.
+        assert_eq!(samples[0].object, a);
+    }
+
+    #[test]
+    fn sampler_respects_budget() {
+        let (mut sys, _, _) = system_with_objects();
+        let mut prof = SamplingHotPageProfiler::new(3, 10);
+        let samples = prof.sample(&mut sys, Tier::Pm);
+        assert!(samples.len() <= 10);
+    }
+
+    #[test]
+    fn sampling_is_task_biased_sometimes() {
+        // The core phenomenon: random sampling attributes very different
+        // access mass to equally-sized tasks.
+        let (mut sys, _, _) = system_with_objects();
+        let mut prof = SamplingHotPageProfiler::new(3, 50);
+        let samples = prof.sample(&mut sys, Tier::Pm);
+        let est = attribute_to_tasks(&sys, &samples, 2);
+        assert!(est.per_task[0] > est.per_task[1]);
+    }
+
+    #[test]
+    fn cold_page_identification() {
+        let (mut sys, _, b) = system_with_objects();
+        // Move everything to DRAM so the DRAM-side profiler sees it.
+        sys.place_everything(Tier::Dram);
+        let mut prof = ThermostatProfiler::new(5);
+        let cold = prof.cold_pages(&mut sys, Tier::Dram, 1);
+        assert_eq!(cold.len(), 1);
+        // The coldest sampled page should belong to the cold object most of
+        // the time; with seed 5 this is deterministic.
+        assert_eq!(sys.page_table().get(cold[0]).object, b);
+    }
+
+    #[test]
+    fn attribute_shared_objects() {
+        let mut sys = HmSystem::new(
+            HmConfig::calibrated(1024 * PAGE_SIZE, 8192 * PAGE_SIZE),
+            7,
+        );
+        let shared = sys
+            .allocate(&ObjectSpec::new("B", 10 * PAGE_SIZE), Tier::Pm)
+            .unwrap();
+        let samples = vec![PageSample {
+            page: 0,
+            object: shared,
+            estimated_accesses: 42.0,
+        }];
+        let est = attribute_to_tasks(&sys, &samples, 4);
+        assert_eq!(est.shared, 42.0);
+        assert!(est.per_task.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,82 @@
+//! DMRG sweeps: the paper's Figure 1.a scenario (MPI-rank tasks with uneven
+//! Hamiltonian blocks, PSI growing sweep over sweep).
+//!
+//! Demonstrates the input-aware access estimation (Equation 1): the bond
+//! dimension — and hence PSI's size — changes every sweep, and Merchandiser
+//! re-plans the placement for each new input while the per-task α values
+//! converge.
+//!
+//! ```text
+//! cargo run --release --example dmrg_sweep
+//! ```
+
+use merchandiser_suite::apps::{DmrgApp, HpcApp};
+use merchandiser_suite::core::training::{self, TrainingOptions};
+use merchandiser_suite::core::MerchandiserPolicy;
+use merchandiser_suite::hm::runtime::StaticPolicy;
+use merchandiser_suite::hm::{Executor, HmConfig, HmSystem, Tier, Workload};
+use merchandiser_suite::patterns::classify_kernel;
+
+const SEED: u64 = 320;
+
+fn app() -> DmrgApp {
+    DmrgApp::new(vec![360, 420, 500, 560, 470, 390], 64, 10, SEED)
+}
+
+fn main() {
+    let cfg = app().recommended_config();
+    println!(
+        "DMRG: 6 MPI ranks, uneven Hubbard blocks; DRAM holds 1/6 of the working set ({:.1} MB)",
+        cfg.dram.capacity as f64 / 1e6
+    );
+
+    println!("training f(·) ...");
+    let samples = training::generate_code_samples(100, SEED);
+    let dataset = training::build_training_dataset(&HmConfig::default(), &samples, 10, SEED);
+    let opts = TrainingOptions {
+        include_mlp: false,
+        include_all_models: false,
+        ..Default::default()
+    };
+    let artifacts = training::train_correlation_function(&dataset, &opts, SEED);
+
+    let pm = Executor::new(
+        HmSystem::new(cfg.clone(), SEED),
+        app(),
+        StaticPolicy { tier: Tier::Pm },
+    )
+    .run();
+
+    let a = app();
+    let map = classify_kernel(&a.kernel_ir());
+    let policy = MerchandiserPolicy::new(artifacts.model, map, a.reuse_hints(), SEED);
+    let mut ex = Executor::new(HmSystem::new(cfg, SEED), a, policy);
+    let merch = ex.run();
+
+    println!("\nsweep-by-sweep (PSI grows ~12 % per sweep):");
+    println!(
+        "{:>5} {:>14} {:>14} {:>10} {:>8}",
+        "sweep", "PM-only (ms)", "Merch (ms)", "migrated", "cv"
+    );
+    for (p, m) in pm.rounds.iter().zip(&merch.rounds) {
+        println!(
+            "{:>5} {:>14.2} {:>14.2} {:>10} {:>8.3}",
+            p.round,
+            p.round_time_ns / 1e6,
+            m.round_time_ns / 1e6,
+            m.migration_pages,
+            m.cv()
+        );
+    }
+    println!(
+        "\ntotal: {:.1} ms → {:.1} ms ({:.2}× speedup); mean α = {:.2} (paper's DMRG ᾱ = 5.7)",
+        pm.total_time_ns() / 1e6,
+        merch.total_time_ns() / 1e6,
+        pm.total_time_ns() / merch.total_time_ns(),
+        ex.policy.mean_alpha()
+    );
+    println!(
+        "online prediction overhead: {:.3} ms per instance (paper: 0.031 ms)",
+        ex.policy.last_prediction_wall_ns / 1e6
+    );
+}

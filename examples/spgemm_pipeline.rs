@@ -1,0 +1,102 @@
+//! SpGEMM pipeline: the paper's Figure 1.b scenario end to end.
+//!
+//! Runs the real two-phase Gustavson SpGEMM workload (R-MAT input, 12
+//! OpenMP-style tasks) under every policy the paper compares — PM-only,
+//! Memory Mode, MemoryOptimizer, Sparta and Merchandiser — and prints the
+//! per-policy speedups and load-balance metrics.
+//!
+//! ```text
+//! cargo run --release --example spgemm_pipeline
+//! ```
+
+use merchandiser_suite::apps::{HpcApp, SpgemmApp};
+use merchandiser_suite::baselines::{MemoryModePolicy, MemoryOptimizerPolicy, SpartaPolicy};
+use merchandiser_suite::core::training::{self, TrainingOptions};
+use merchandiser_suite::core::MerchandiserPolicy;
+use merchandiser_suite::hm::runtime::{RunReport, StaticPolicy};
+use merchandiser_suite::hm::{Executor, HmConfig, HmSystem, Tier, Workload};
+use merchandiser_suite::patterns::classify_kernel;
+
+const SEED: u64 = 2023;
+
+fn app() -> SpgemmApp {
+    // Scale 2^12 keeps this example fast; the benchmark harness uses 2^13.
+    SpgemmApp::new(12, 10, 12, 8, SEED)
+}
+
+fn run(policy_name: &str, report: &RunReport) {
+    println!(
+        "{:<18} total {:>9.1} ms   A.C.V {:>5.3}   pages migrated {:>7}",
+        policy_name,
+        report.total_time_ns() / 1e6,
+        report.acv(),
+        report.total_migration_pages(),
+    );
+}
+
+fn main() {
+    let cfg: HmConfig = app().recommended_config();
+    println!(
+        "emulated HM: DRAM {:.1} MB / PM {:.1} MB / LLC {} KiB; 12 tasks × 8 multiplications\n",
+        cfg.dram.capacity as f64 / 1e6,
+        cfg.pm.capacity as f64 / 1e6,
+        cfg.llc_bytes / 1024
+    );
+
+    println!("offline training ...");
+    let samples = training::generate_code_samples(100, SEED);
+    let dataset = training::build_training_dataset(&HmConfig::default(), &samples, 10, SEED);
+    let opts = TrainingOptions {
+        include_mlp: false,
+        include_all_models: false,
+        ..Default::default()
+    };
+    let artifacts = training::train_correlation_function(&dataset, &opts, SEED);
+
+    let pm = Executor::new(
+        HmSystem::new(cfg.clone(), SEED),
+        app(),
+        StaticPolicy { tier: Tier::Pm },
+    )
+    .run();
+    run("PM-only", &pm);
+
+    let mm = Executor::new(
+        HmSystem::new(cfg.clone(), SEED),
+        app(),
+        MemoryModePolicy::default(),
+    )
+    .run();
+    run("Memory Mode", &mm);
+
+    let mo = Executor::new(
+        HmSystem::new(cfg.clone(), SEED),
+        app(),
+        MemoryOptimizerPolicy::new(SEED, 2048),
+    )
+    .run();
+    run("MemoryOptimizer", &mo);
+
+    let sparta = Executor::new(
+        HmSystem::new(cfg.clone(), SEED),
+        app(),
+        SpartaPolicy::default(),
+    )
+    .run();
+    run("Sparta", &sparta);
+
+    let a = app();
+    let map = classify_kernel(&a.kernel_ir());
+    let policy = MerchandiserPolicy::new(artifacts.model, map, a.reuse_hints(), SEED);
+    let merch = Executor::new(HmSystem::new(cfg, SEED), a, policy).run();
+    run("Merchandiser", &merch);
+
+    println!("\nspeedup over PM-only:");
+    for r in [&mm, &mo, &sparta, &merch] {
+        println!(
+            "  {:<18} {:>5.2}×",
+            r.policy,
+            pm.total_time_ns() / r.total_time_ns()
+        );
+    }
+}

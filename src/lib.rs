@@ -1,0 +1,23 @@
+//! Merchandiser suite — façade crate.
+//!
+//! Re-exports every crate of the workspace so examples, integration tests
+//! and downstream users can depend on a single package:
+//!
+//! * [`hm`] — emulated two-tier heterogeneous memory and the task-parallel
+//!   runtime;
+//! * [`patterns`] — kernel IR, access-pattern classification, α machinery;
+//! * [`profiling`] — PTE-scan / sampling profilers and synthetic PMC events;
+//! * [`models`] — from-scratch statistical regressors;
+//! * [`core`] — the Merchandiser system itself (estimator, performance
+//!   model, greedy allocator, runtime policy);
+//! * [`apps`] — the five task-parallel HPC workloads of the evaluation;
+//! * [`baselines`] — PM-only / DRAM-only / Memory Mode / MemoryOptimizer /
+//!   application-specific placement policies.
+
+pub use merch_apps as apps;
+pub use merch_baselines as baselines;
+pub use merch_hm as hm;
+pub use merch_models as models;
+pub use merch_patterns as patterns;
+pub use merch_profiling as profiling;
+pub use merchandiser as core;

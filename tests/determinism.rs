@@ -1,0 +1,67 @@
+//! Reproducibility: every stochastic component is seeded, so identical
+//! seeds must give bit-identical results, and different seeds must diverge.
+
+use merchandiser_suite::apps::{BfsApp, HpcApp, NwchemTcApp, WarpxApp};
+use merchandiser_suite::baselines::MemoryOptimizerPolicy;
+use merchandiser_suite::core::training;
+use merchandiser_suite::hm::runtime::StaticPolicy;
+use merchandiser_suite::hm::{Executor, HmConfig, HmSystem, Tier, Workload};
+
+#[test]
+fn pm_only_runs_are_bit_identical() {
+    let run = |seed| {
+        let app = BfsApp::new(10, 8, 4, 3, seed);
+        let cfg = app.recommended_config();
+        Executor::new(HmSystem::new(cfg, seed), app, StaticPolicy { tier: Tier::Pm }).run()
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a.total_time_ns(), b.total_time_ns());
+    assert_eq!(a.acv(), b.acv());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        for (ta, tb) in ra.tasks.iter().zip(&rb.tasks) {
+            assert_eq!(ta.time_ns, tb.time_ns);
+        }
+    }
+    let c = run(6);
+    assert_ne!(a.total_time_ns(), c.total_time_ns());
+}
+
+#[test]
+fn sampling_daemon_is_deterministic_per_seed() {
+    let run = |seed| {
+        let app = NwchemTcApp::new(4, 48, 48, 64, 12, 4, 3);
+        let cfg = app.recommended_config();
+        Executor::new(
+            HmSystem::new(cfg, 3),
+            app,
+            MemoryOptimizerPolicy::new(seed, 256),
+        )
+        .run()
+    };
+    assert_eq!(run(9).total_time_ns(), run(9).total_time_ns());
+}
+
+#[test]
+fn training_dataset_is_deterministic() {
+    let cfg = HmConfig::default();
+    let mk = || {
+        let samples = training::generate_code_samples(20, 11);
+        training::build_training_dataset(&cfg, &samples, 5, 12)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.y, b.y);
+    assert_eq!(a.x, b.x);
+}
+
+#[test]
+fn workload_construction_deterministic() {
+    let a = WarpxApp::new(2, 2, 64, 5_000, 2, 4);
+    let b = WarpxApp::new(2, 2, 64, 5_000, 2, 4);
+    assert_eq!(a.object_specs().len(), b.object_specs().len());
+    for (sa, sb) in a.object_specs().iter().zip(b.object_specs().iter()) {
+        assert_eq!(sa.name, sb.name);
+        assert_eq!(sa.size, sb.size);
+    }
+}

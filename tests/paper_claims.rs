@@ -1,0 +1,127 @@
+//! Cross-crate checks of the specific claims the paper makes, independent
+//! of the benchmark harness.
+
+use merchandiser_suite::apps::all_apps;
+use merchandiser_suite::core::perfmodel::PerformanceModel;
+use merchandiser_suite::core::{plan_dram_accesses, AllocatorInput, TaskInput};
+use merchandiser_suite::hm::cost::{phase_cost, UniformPlacement};
+use merchandiser_suite::hm::{HmConfig, ObjectAccess, ObjectId, Phase};
+use merchandiser_suite::models::{GradientBoostedRegressor, Regressor};
+use merchandiser_suite::patterns::{classify::distinct_labels, classify_kernel, AccessPattern};
+use merchandiser_suite::profiling::PmcEvents;
+
+/// Table 1 verbatim: the detected pattern pairs per application.
+#[test]
+fn table1_patterns_match_paper() {
+    let expected: &[(&str, &[&str])] = &[
+        ("SpGEMM", &["stream", "random"]),
+        ("WarpX", &["strided", "stencil"]),
+        ("BFS", &["stream", "random"]),
+        ("DMRG", &["stream", "strided"]),
+        ("NWChem-TC", &["stream", "random"]),
+    ];
+    let apps = all_apps(1);
+    for (name, labels) in expected {
+        let app = apps.iter().find(|a| a.name() == *name).unwrap();
+        let map = classify_kernel(&app.kernel_ir());
+        assert_eq!(&distinct_labels(&map), labels, "{name}");
+    }
+}
+
+/// §2: the paper's Optane characterisation ratios hold in the emulation.
+#[test]
+fn platform_ratios_match_section_2() {
+    let c = HmConfig::default();
+    assert!((c.pm.latency_seq_ns / c.dram.latency_seq_ns - 2.08).abs() < 1e-9);
+    assert!((c.pm.latency_rand_ns / c.dram.latency_rand_ns - 3.77).abs() < 1e-9);
+    assert!((c.dram.read_bw_gbps / c.pm.read_bw_gbps - 3.87).abs() < 1e-9);
+    assert!((c.dram.write_bw_gbps / c.pm.write_bw_gbps - 4.74).abs() < 1e-9);
+}
+
+/// §5 rationale (1): the hybrid time is bounded by the PM-only and
+/// DRAM-only times; rationale (2): more DRAM accesses never slow a task.
+#[test]
+fn equation_2_rationale_holds_in_the_emulator() {
+    let cfg = HmConfig::default();
+    for (pattern, n) in [
+        (AccessPattern::Stream, 3e6),
+        (AccessPattern::Random, 5e5),
+        (
+            AccessPattern::Stencil {
+                points: 5,
+                input_dependent: false,
+            },
+            3e6,
+        ),
+    ] {
+        let phase = Phase::new("p", 1e5)
+            .with_access(ObjectAccess::new(ObjectId(0), n, 8, pattern, 0.2));
+        let sizes = vec![1u64 << 30];
+        let t_pm = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), 0.0), 8).time_ns;
+        let t_dram =
+            phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), 1.0), 8).time_ns;
+        let mut last = f64::INFINITY;
+        for i in 0..=20 {
+            let r = i as f64 / 20.0;
+            let t =
+                phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), r), 8).time_ns;
+            assert!(t <= t_pm * (1.0 + 1e-9) && t >= t_dram * (1.0 - 1e-9), "{pattern}: bounds");
+            assert!(t <= last * (1.0 + 1e-9) + 1.0, "{pattern}: monotonicity at r={r}");
+            last = t;
+        }
+    }
+}
+
+/// The f-target inversion and Equation 2 round-trip.
+#[test]
+fn equation_2_round_trip() {
+    let mut f = GradientBoostedRegressor::new(5, 0.2, 2, 0);
+    // Train f ≡ 0.7 on trivial data.
+    f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[0.7, 0.7]);
+    let m = PerformanceModel { f, num_events: 8 };
+    let ev = PmcEvents { values: [0.4; 14] };
+    let (t_pm, t_dram) = (100.0, 30.0);
+    for r in [0.0, 0.25, 0.5, 0.75] {
+        let t = m.predict(t_pm, t_dram, &ev, r);
+        let back = PerformanceModel::f_target(t_pm, t_dram, t, r).unwrap();
+        assert!((back - 0.7).abs() < 1e-9);
+    }
+    assert_eq!(m.predict(t_pm, t_dram, &ev, 1.0), t_dram);
+}
+
+/// Algorithm 1's contract: the slowest task receives DRAM first, capacity
+/// is a hard bound, and the plan's makespan never exceeds the PM-only one.
+#[test]
+fn algorithm_1_contract() {
+    let mut f = GradientBoostedRegressor::new(1, 0.1, 1, 0);
+    f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
+    let model = PerformanceModel { f, num_events: 8 };
+    let mk = |i, pm: f64| TaskInput {
+        task: i,
+        d_pm_only_ns: pm,
+        d_dram_only_ns: pm / 3.0,
+        events: PmcEvents { values: [0.4; 14] },
+        total_accesses: 1e6,
+        bytes: 8 << 20,
+    };
+    let input = AllocatorInput {
+        tasks: vec![mk(0, 10e6), mk(1, 40e6), mk(2, 25e6)],
+        dram_capacity: 12 << 20,
+        model: &model,
+        step: 0.05,
+    };
+    let plan = plan_dram_accesses(&input);
+    assert!(plan.dram_accesses[1] >= plan.dram_accesses[2]);
+    assert!(plan.dram_accesses[2] >= plan.dram_accesses[0]);
+    assert!(plan.dram_bytes.iter().sum::<u64>() <= 12 << 20);
+    let makespan = plan.predicted_ns.iter().cloned().fold(0.0f64, f64::max);
+    assert!(makespan <= 40e6 + 1e-6);
+}
+
+/// §7.2: the emulated machine exposes the bandwidth peaks Figure 6 plots.
+#[test]
+fn figure6_peaks() {
+    let c = HmConfig::default();
+    assert!((c.dram.read_bw_gbps - 180.0).abs() < 1e-9);
+    assert!((c.pm.read_bw_gbps - 180.0 / 3.87).abs() < 1e-9);
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on Algorithm 1, the telemetry and the classifier.
+
+use proptest::prelude::*;
+
+use merchandiser_suite::core::perfmodel::PerformanceModel;
+use merchandiser_suite::core::{plan_dram_accesses, AllocatorInput, TaskInput};
+use merchandiser_suite::hm::telemetry::BandwidthTimeline;
+use merchandiser_suite::models::{GradientBoostedRegressor, Regressor};
+use merchandiser_suite::patterns::{classify_kernel, AccessStmt, IndexExpr, KernelIr, LoopNest};
+use merchandiser_suite::profiling::PmcEvents;
+
+fn linear_model() -> PerformanceModel {
+    let mut f = GradientBoostedRegressor::new(1, 0.1, 1, 0);
+    f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
+    PerformanceModel { f, num_events: 8 }
+}
+
+fn arb_tasks() -> impl Strategy<Value = Vec<TaskInput>> {
+    proptest::collection::vec(
+        (1e5f64..1e8, 1.5f64..6.0, 1e4f64..1e7, (1u64 << 16)..(1 << 28)),
+        1..12,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pm, ratio, acc, bytes))| TaskInput {
+                task: i,
+                d_pm_only_ns: pm,
+                d_dram_only_ns: pm / ratio,
+                events: PmcEvents { values: [0.5; 14] },
+                total_accesses: acc,
+                bytes,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 never over-commits DRAM, never grants more accesses than
+    /// a task has, and never predicts worse than PM-only.
+    #[test]
+    fn algorithm1_invariants(tasks in arb_tasks(), cap_shift in 16u32..30) {
+        let model = linear_model();
+        let input = AllocatorInput {
+            tasks,
+            dram_capacity: 1u64 << cap_shift,
+            model: &model,
+            step: 0.05,
+        };
+        let plan = plan_dram_accesses(&input);
+        prop_assert!(plan.dram_bytes.iter().sum::<u64>() <= input.dram_capacity);
+        for (i, t) in input.tasks.iter().enumerate() {
+            prop_assert!(plan.dram_accesses[i] <= t.total_accesses * (1.0 + 1e-9));
+            prop_assert!(plan.dram_accesses[i] >= 0.0);
+            prop_assert!(plan.predicted_ns[i] <= t.d_pm_only_ns * (1.0 + 1e-9));
+            prop_assert!(plan.predicted_ns[i] >= t.d_dram_only_ns * (1.0 - 1e-9));
+        }
+    }
+
+    /// More DRAM capacity never yields a worse predicted makespan.
+    #[test]
+    fn algorithm1_monotone_in_capacity(tasks in arb_tasks()) {
+        let model = linear_model();
+        let mut last = f64::INFINITY;
+        for cap_shift in [18u32, 22, 26, 30] {
+            let input = AllocatorInput {
+                tasks: tasks.clone(),
+                dram_capacity: 1u64 << cap_shift,
+                model: &model,
+                step: 0.05,
+            };
+            let plan = plan_dram_accesses(&input);
+            let makespan = plan.predicted_ns.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(makespan <= last * (1.0 + 1e-9), "cap 2^{cap_shift}: {makespan} > {last}");
+            last = makespan;
+        }
+    }
+
+    /// The bandwidth timeline conserves bytes regardless of interval layout.
+    #[test]
+    fn timeline_conserves_bytes(
+        intervals in proptest::collection::vec(
+            (0.0f64..1e6, 1.0f64..1e6, 0.0f64..1e9, 0.0f64..1e9),
+            1..20,
+        ),
+    ) {
+        let mut t = BandwidthTimeline::new(1000.0);
+        let mut total_d = 0.0;
+        let mut total_p = 0.0;
+        for (start, dur, d, p) in intervals {
+            t.record_interval(start, dur, d, p);
+            total_d += d;
+            total_p += p;
+        }
+        let recovered_d: f64 = t.samples().iter().map(|s| s.dram_gbps * 1000.0).sum();
+        let recovered_p: f64 = t.samples().iter().map(|s| s.pm_gbps * 1000.0).sum();
+        prop_assert!((recovered_d - total_d).abs() <= total_d.max(1.0) * 1e-6);
+        prop_assert!((recovered_p - total_p).abs() <= total_p.max(1.0) * 1e-6);
+    }
+
+    /// Classification is deterministic and stable under loop duplication
+    /// (re-analysing the same loop twice must not change any verdict).
+    #[test]
+    fn classifier_idempotent_under_duplication(
+        stride in 1i64..64,
+        offsets in proptest::collection::vec(-8i64..8, 1..6),
+        input_dep in any::<bool>(),
+    ) {
+        let l = LoopNest {
+            name: "l".into(),
+            depth: 1,
+            input_dependent_bounds: input_dep,
+            body: vec![
+                AccessStmt::read("A", IndexExpr::Affine { stride, offset: 0 }, 8),
+                AccessStmt::read("S", IndexExpr::Neighborhood { offsets: offsets.clone() }, 8),
+                AccessStmt::read("B", IndexExpr::Indirect { index_object: "A".into() }, 8),
+            ],
+        };
+        let once = classify_kernel(&KernelIr::new("k").with_loop(l.clone()));
+        let twice = classify_kernel(&KernelIr::new("k").with_loop(l.clone()).with_loop(l));
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) on the core invariants of the emulated
+//! HM and the Merchandiser components.
+
+use proptest::prelude::*;
+
+use merchandiser_suite::core::estimator::AccessEstimator;
+use merchandiser_suite::hm::cost::{phase_cost, UniformPlacement};
+use merchandiser_suite::hm::page::{page_weights, PAGE_SIZE};
+use merchandiser_suite::hm::trace::{memory_accesses, random_hit_rate};
+use merchandiser_suite::hm::{
+    HmConfig, HmSystem, ObjectAccess, ObjectId, ObjectSpec, Phase, Tier,
+};
+use merchandiser_suite::models::{r2_score, DecisionTreeRegressor, Regressor};
+use merchandiser_suite::patterns::{
+    alpha::{lines_for_affine, round_up},
+    AccessPattern, AlphaTable,
+};
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Stream),
+        (1u32..128, prop_oneof![Just(4u32), Just(8u32)])
+            .prop_map(|(stride, elem_bytes)| AccessPattern::Strided { stride, elem_bytes }),
+        (1u32..12, any::<bool>()).prop_map(|(points, dep)| AccessPattern::Stencil {
+            points,
+            input_dependent: dep
+        }),
+        Just(AccessPattern::Random),
+    ]
+}
+
+proptest! {
+    /// Page weights always form a probability distribution.
+    #[test]
+    fn page_weights_are_distribution(n in 1u64..2000, skew in 0.0f64..2.0, seed in any::<u64>()) {
+        let w = page_weights(n, skew, seed);
+        prop_assert_eq!(w.len(), n as usize);
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    /// Memory accesses never exceed program accesses and are non-negative.
+    #[test]
+    fn memory_accesses_bounded(
+        pattern in arb_pattern(),
+        accesses in 0.0f64..1e8,
+        elem in prop_oneof![Just(1u32), Just(4), Just(8)],
+        size in 1u64..(1 << 32),
+        reuse in 1.0f64..8.0,
+    ) {
+        let a = ObjectAccess::new(ObjectId(0), accesses, elem, pattern, 0.3).with_reuse(reuse);
+        let m = memory_accesses(&a, size, 32 << 20);
+        prop_assert!(m >= 0.0);
+        prop_assert!(m <= accesses + 1e-9, "mem {m} > program {accesses}");
+    }
+
+    /// The random-pattern hit rate is a probability and shrinks as the
+    /// object grows.
+    #[test]
+    fn random_hit_rate_monotone(llc in (1u64 << 16)..(1 << 28), size in 1u64..(1 << 36)) {
+        let h = random_hit_rate(size, llc);
+        prop_assert!((0.0..=1.0).contains(&h));
+        let h2 = random_hit_rate(size.saturating_mul(2).max(size), llc);
+        prop_assert!(h2 <= h + 1e-12);
+    }
+
+    /// Phase cost: time positive, bounded by endpoints, monotone in r.
+    #[test]
+    fn phase_cost_sane(
+        pattern in arb_pattern(),
+        n in 1e3f64..1e7,
+        wf in 0.0f64..1.0,
+        r in 0.0f64..1.0,
+        compute in 0.0f64..1e7,
+    ) {
+        let cfg = HmConfig::default();
+        let phase = Phase::new("p", compute)
+            .with_access(ObjectAccess::new(ObjectId(0), n, 8, pattern, wf));
+        let sizes = vec![1u64 << 28];
+        let t = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), r), 8).time_ns;
+        let t_pm = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), 0.0), 8).time_ns;
+        let t_dram = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes, 1.0), 8).time_ns;
+        prop_assert!(t > 0.0);
+        prop_assert!(t <= t_pm * (1.0 + 1e-9));
+        prop_assert!(t >= t_dram * (1.0 - 1e-9));
+        prop_assert!(t >= compute * (1.0 - 1e-9), "time below pure compute");
+    }
+
+    /// Migration conserves pages: capacity bounds hold for arbitrary
+    /// migrate/evict sequences.
+    #[test]
+    fn migration_respects_capacity(
+        objs in proptest::collection::vec(1u64..64, 1..6),
+        ops in proptest::collection::vec((0usize..6, 0u64..64), 0..20),
+    ) {
+        let total_pages: u64 = objs.iter().sum();
+        let mut sys = HmSystem::new(
+            HmConfig::calibrated(8 * PAGE_SIZE, (total_pages + 1) * PAGE_SIZE),
+            1,
+        );
+        let ids: Vec<_> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                sys.allocate(&ObjectSpec::new(&format!("o{i}"), p * PAGE_SIZE), Tier::Pm)
+                    .unwrap()
+            })
+            .collect();
+        for (which, pages) in ops {
+            let id = ids[which % ids.len()];
+            let to = if pages % 2 == 0 { Tier::Dram } else { Tier::Pm };
+            sys.migrate_object_pages(id, to, pages);
+            prop_assert!(sys.page_table().bytes_in(Tier::Dram) <= sys.config.dram.capacity);
+            prop_assert_eq!(
+                sys.page_table().bytes_in(Tier::Dram) + sys.page_table().bytes_in(Tier::Pm),
+                total_pages * PAGE_SIZE
+            );
+        }
+    }
+
+    /// Equation 1 is exactly linear in the new size for offline-α patterns.
+    #[test]
+    fn estimator_linear_scaling(prof in 1.0f64..1e7, s_base in 64u64..(1 << 24), k in 1u64..16) {
+        let mut est = AccessEstimator::new();
+        est.register("x", AccessPattern::Stream, s_base, prof, 1.0, &mut AlphaTable::new());
+        let e1 = est.estimate("x", s_base).unwrap();
+        let ek = est.estimate("x", s_base * k).unwrap();
+        prop_assert!((ek - e1 * k as f64).abs() / ek.max(1e-9) < 1e-9);
+    }
+
+    /// Cache-line rounding invariants of §4.
+    #[test]
+    fn rounding_and_line_counts(size in 1u64..(1 << 30), stride in 1u32..256) {
+        let r = round_up(size, 64);
+        prop_assert!(r >= size && r < size + 64 && r.is_multiple_of(64));
+        let lines = lines_for_affine(size, stride, 8);
+        // A walk can never touch more lines than the object holds.
+        prop_assert!(lines <= round_up(size, 64) / 64 + 1);
+    }
+
+    /// A regression tree's predictions stay within the training target
+    /// range (it predicts leaf means).
+    #[test]
+    fn tree_predictions_within_target_range(
+        points in proptest::collection::vec((0.0f64..10.0, -5.0f64..5.0), 5..60),
+        probe in 0.0f64..10.0,
+    ) {
+        let x: Vec<Vec<f64>> = points.iter().map(|&(a, _)| vec![a]).collect();
+        let y: Vec<f64> = points.iter().map(|&(_, b)| b).collect();
+        let mut t = DecisionTreeRegressor::new(6);
+        t.fit(&x, &y);
+        let p = t.predict_one(&[probe]);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        // And it fits the training data at least as well as the mean.
+        let r2 = r2_score(&y, &t.predict(&x));
+        prop_assert!(r2 >= -1e-9);
+    }
+}

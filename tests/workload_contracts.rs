@@ -1,0 +1,130 @@
+//! Contract tests every application must satisfy for the runtime to be
+//! well-defined, checked across all five paper workloads at reduced scale.
+
+use merchandiser_suite::apps::{BfsApp, DmrgApp, HpcApp, NwchemTcApp, SpgemmApp, WarpxApp};
+use merchandiser_suite::hm::{HmSystem, Tier, Workload};
+use merchandiser_suite::patterns::{classify_kernel, PatternStats};
+
+fn small_apps() -> Vec<Box<dyn HpcApp>> {
+    vec![
+        Box::new(SpgemmApp::new(9, 8, 4, 3, 5)),
+        Box::new(WarpxApp::new(3, 2, 256, 20_000, 3, 5)),
+        Box::new(BfsApp::new(10, 8, 4, 3, 5)),
+        Box::new(DmrgApp::new(vec![120, 160, 200, 140], 32, 3, 5)),
+        Box::new(NwchemTcApp::new(6, 60, 60, 80, 12, 3, 5)),
+    ]
+}
+
+#[test]
+fn object_sizes_stay_within_allocation_envelope() {
+    for app in small_apps() {
+        let specs = app.object_specs();
+        for round in 0..app.num_instances() {
+            for (name, size) in app.object_sizes(round) {
+                let spec = specs
+                    .iter()
+                    .find(|s| s.name == name)
+                    .unwrap_or_else(|| panic!("{}: size entry {name} has no spec", app.name()));
+                assert!(
+                    spec.size >= size,
+                    "{}: {name} round {round}: {size} exceeds envelope {}",
+                    app.name(),
+                    spec.size
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_access_targets_an_allocated_object() {
+    for mut app in small_apps() {
+        let cfg = app.recommended_config();
+        let mut sys = HmSystem::new(cfg, 5);
+        sys.allocate_all(&app.object_specs(), Tier::Pm).unwrap();
+        let n_objects = sys.objects().len();
+        for round in 0..app.num_instances() {
+            let works = app.instance(round, &sys);
+            assert_eq!(works.len(), app.num_tasks(), "{}", app.name());
+            for (t, w) in works.iter().enumerate() {
+                assert_eq!(w.task, t, "{}: task indices in order", app.name());
+                for ph in &w.phases {
+                    for a in &ph.accesses {
+                        assert!(
+                            (a.object.0 as usize) < n_objects,
+                            "{}: access to unallocated object",
+                            app.name()
+                        );
+                        assert!(a.accesses.is_finite() && a.accesses >= 0.0);
+                        assert!((0.0..=1.0).contains(&a.write_fraction));
+                        assert!(a.reuse >= 1.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn owned_objects_are_only_accessed_by_their_owner() {
+    for mut app in small_apps() {
+        let cfg = app.recommended_config();
+        let mut sys = HmSystem::new(cfg, 5);
+        sys.allocate_all(&app.object_specs(), Tier::Pm).unwrap();
+        let works = app.instance(0, &sys);
+        for w in &works {
+            for ph in &w.phases {
+                for a in &ph.accesses {
+                    if let Some(owner) = sys.object(a.object).owner_task {
+                        assert_eq!(
+                            owner,
+                            w.task,
+                            "{}: task {} touched task {}'s private object {}",
+                            app.name(),
+                            w.task,
+                            owner,
+                            sys.object(a.object).name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn classification_covers_nearly_all_footprint() {
+    // Table 2's footnote: the four patterns cover ≥ 98 % of the memory
+    // consumption of every application.
+    for app in small_apps() {
+        let map = classify_kernel(&app.kernel_ir());
+        let sizes: Vec<(String, u64)> = app.object_sizes(0);
+        let stats = PatternStats::compute(&map, &sizes);
+        assert!(
+            stats.coverage() > 0.98,
+            "{}: classified coverage {:.3}",
+            app.name(),
+            stats.coverage()
+        );
+    }
+}
+
+#[test]
+fn hot_page_drift_names_resolve() {
+    for mut app in small_apps() {
+        let cfg = app.recommended_config();
+        let mut sys = HmSystem::new(cfg, 5);
+        sys.allocate_all(&app.object_specs(), Tier::Pm).unwrap();
+        let _ = app.instance(0, &sys);
+        for round in 0..app.num_instances() {
+            for (name, skew) in app.hot_page_drift(round) {
+                assert!(
+                    sys.object_by_name(&name).is_ok(),
+                    "{}: drift names unknown object {name}",
+                    app.name()
+                );
+                assert!(skew >= 0.0);
+            }
+        }
+    }
+}
