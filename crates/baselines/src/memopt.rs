@@ -66,7 +66,7 @@ impl MemoryOptimizerPolicy {
             .filter(|(_, p)| p.tier == Tier::Dram)
             .map(|(id, p)| (id, p.access_count))
             .collect();
-        dram_cold.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap()); // pop() = coldest
+        dram_cold.sort_by(|a, b| b.1.total_cmp(&a.1)); // pop() = coldest
         for s in samples.iter().take(self.migrate_batch) {
             if sys.free_bytes(Tier::Dram) >= reserve + PAGE_SIZE {
                 sys.migrate_pages([s.page], Tier::Dram);

@@ -46,7 +46,7 @@ impl MemoryModePolicy {
             .iter()
             .map(|(_, p)| (p.access_count, p.object.0, p.access_count))
             .collect();
-        pages.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        pages.sort_by(|a, b| b.0.total_cmp(&a.0));
         let cap_pages = (sys.config.dram.capacity / PAGE_SIZE) as usize;
 
         let n_obj = sys.objects().len();

@@ -54,7 +54,7 @@ impl PlacementPolicy for WarpxPmPolicy {
         order.sort_by(|&x, &y| {
             let dx = mass[x] / sys.objects()[x].size.max(1) as f64;
             let dy = mass[y] / sys.objects()[y].size.max(1) as f64;
-            dy.partial_cmp(&dx).unwrap()
+            dy.total_cmp(&dx)
         });
         let budget = (sys.config.dram.capacity as f64 * (1.0 - self.reserve)) as u64;
         let mut used = 0u64;

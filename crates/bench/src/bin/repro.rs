@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! repro [--seed N] [--quick] [--model-cache FILE] <experiment>...
-//! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead all
+//! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead
+//!              ablation cxl landscape motivation faults all
 //! ```
+//!
+//! `faults` (not part of `all`, whose output is kept stable) sweeps
+//! injected migration-failure and sample-dropout rates and reports how
+//! gracefully Merchandiser degrades.
 //!
 //! Output is TSV on stdout, one block per experiment, in the same
 //! rows/series the paper reports. Seeds are fixed by default so runs are
@@ -23,21 +28,30 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed takes an integer");
+                seed = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("error: --seed takes an integer");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--quick" => quick = true,
             "--model-cache" => {
-                model_cache = Some(it.next().expect("--model-cache takes a path").into());
+                model_cache = match it.next() {
+                    Some(p) => Some(p.into()),
+                    None => {
+                        eprintln!("error: --model-cache takes a path");
+                        std::process::exit(2);
+                    }
+                };
             }
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--quick] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|all>..."
+            "usage: repro [--seed N] [--quick] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|all>..."
         );
         std::process::exit(2);
     }
@@ -59,7 +73,7 @@ fn main() {
         matches!(
             w.as_str(),
             "table3" | "table4" | "fig4" | "fig5" | "fig6" | "fig7" | "alpha" | "overhead"
-                | "ablation" | "landscape" | "motivation"
+                | "ablation" | "landscape" | "motivation" | "faults"
         )
     });
     // Experiments that need the full training artifacts (Table 3 rows,
@@ -308,6 +322,50 @@ fn main() {
                         writeln!(out, "{}\t{}\t{:.3}", r.app, p, s).unwrap();
                     }
                 }
+            }
+            "faults" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(
+                    out,
+                    "\n# Fault injection — graceful degradation under migration failures and sample dropout"
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "application\tfail_rate\tdropout\tspeedup_vs_pm\tslowdown_vs_clean\tretries\tfailed_pages\tdropped_pte\tdropped_pmc\tdegraded_rounds"
+                )
+                .unwrap();
+                let rows = exp::faults(&art.model, seed);
+                for r in &rows {
+                    writeln!(
+                        out,
+                        "{}\t{:.2}\t{:.2}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{}",
+                        r.app,
+                        r.migration_fail_rate,
+                        r.sample_dropout,
+                        r.speedup_vs_pm,
+                        r.slowdown_vs_clean,
+                        r.migration_retries,
+                        r.failed_pages,
+                        r.dropped_pte_samples,
+                        r.dropped_pmc_events,
+                        r.degraded_rounds
+                    )
+                    .unwrap();
+                }
+                let worst_slowdown = rows
+                    .iter()
+                    .map(|r| r.slowdown_vs_clean)
+                    .fold(0.0f64, f64::max);
+                let min_speedup = rows
+                    .iter()
+                    .map(|r| r.speedup_vs_pm)
+                    .fold(f64::INFINITY, f64::min);
+                writeln!(
+                    out,
+                    "# worst slowdown vs fault-free Merchandiser: {worst_slowdown:.3}×; minimum speedup over PM-only: {min_speedup:.3}"
+                )
+                .unwrap();
             }
             "cxl" => {
                 writeln!(

@@ -185,6 +185,86 @@ pub fn run_app(app_kind: AppKind, policy_kind: PolicyKind, model: &PerformanceMo
     Executor::new(HmSystem::new(cfg, seed), app, policy).run()
 }
 
+/// Like [`run_app`], but with a fault plan armed on the memory system
+/// before the run starts.
+pub fn run_app_with_faults(
+    app_kind: AppKind,
+    policy_kind: PolicyKind,
+    model: &PerformanceModel,
+    seed: u64,
+    plan: &merch_hm::FaultPlan,
+) -> RunReport {
+    let app = app_kind.build(seed);
+    let cfg = app.recommended_config();
+    let policy = build_policy(policy_kind, model, app.as_ref(), seed);
+    let mut sys = HmSystem::new(cfg, seed);
+    sys.set_fault_plan(plan.clone()).expect("fault plan must validate");
+    Executor::new(sys, app, policy).run()
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection sweep — graceful degradation under injected failures.
+// ---------------------------------------------------------------------------
+
+/// One row of the fault sweep: an (app, fault level) cell.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Application.
+    pub app: String,
+    /// Probability that a single page-migration attempt fails.
+    pub migration_fail_rate: f64,
+    /// Probability that a PTE sample or PMC event read is lost.
+    pub sample_dropout: f64,
+    /// Faulted Merchandiser speedup over the equally-faulted PM-only run.
+    pub speedup_vs_pm: f64,
+    /// Faulted Merchandiser time relative to its own fault-free run
+    /// (1.0 = no slowdown).
+    pub slowdown_vs_clean: f64,
+    /// Migration retries the run absorbed.
+    pub migration_retries: u64,
+    /// Pages abandoned after exhausting retries.
+    pub failed_pages: u64,
+    /// PTE samples lost in transit.
+    pub dropped_pte_samples: u64,
+    /// PMC event reads lost during base profiling.
+    pub dropped_pmc_events: u64,
+    /// Rounds the policy ran on a degradation-ladder rung.
+    pub degraded_rounds: u64,
+}
+
+/// Sweep migration-failure and sample-dropout rates over all five apps,
+/// comparing faulted Merchandiser against the equally-faulted PM-only run
+/// and against its own fault-free run. Shows the degradation ladder keeps
+/// the slowdown bounded and the speedup over PM-only positive.
+pub fn faults(model: &PerformanceModel, seed: u64) -> Vec<FaultRow> {
+    let sweep = [(0.0, 0.0), (0.05, 0.1), (0.10, 0.2), (0.25, 0.4), (0.5, 0.6)];
+    let mut rows = Vec::new();
+    for &app in &AppKind::all() {
+        let clean = run_app(app, PolicyKind::Merchandiser, model, seed).total_time_ns();
+        for &(fail, dropout) in &sweep {
+            let plan = merch_hm::FaultPlan::none()
+                .with_seed(seed ^ 0xFA17)
+                .with_migration_failures(fail, 2)
+                .with_sample_dropout(dropout, dropout);
+            let pm = run_app_with_faults(app, PolicyKind::PmOnly, model, seed, &plan);
+            let merch = run_app_with_faults(app, PolicyKind::Merchandiser, model, seed, &plan);
+            rows.push(FaultRow {
+                app: app.name().to_string(),
+                migration_fail_rate: fail,
+                sample_dropout: dropout,
+                speedup_vs_pm: pm.total_time_ns() / merch.total_time_ns(),
+                slowdown_vs_clean: merch.total_time_ns() / clean,
+                migration_retries: merch.fault.migration_retries,
+                failed_pages: merch.fault.failed_pages,
+                dropped_pte_samples: merch.fault.dropped_pte_samples,
+                dropped_pmc_events: merch.fault.dropped_pmc_events,
+                degraded_rounds: merch.fault.degraded_rounds,
+            });
+        }
+    }
+    rows
+}
+
 // ---------------------------------------------------------------------------
 // Table 1 — access patterns detected per application.
 // ---------------------------------------------------------------------------

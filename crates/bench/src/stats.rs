@@ -40,7 +40,7 @@ impl BoxStats {
     pub fn from(samples: &[f64]) -> BoxStats {
         assert!(!samples.is_empty(), "boxplot of an empty sample");
         let mut s = samples.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(|a, b| a.total_cmp(b));
         let q1 = percentile(&s, 0.25);
         let median = percentile(&s, 0.5);
         let q3 = percentile(&s, 0.75);

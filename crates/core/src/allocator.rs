@@ -111,7 +111,7 @@ pub fn plan_dram_accesses(input: &AllocatorInput<'_>) -> AllocatorPlan {
         // Line 10: the longest task not yet at 100 % DRAM.
         let Some(i) = (0..n)
             .filter(|&k| !maxed[k])
-            .max_by(|&a, &b| d_prime[a].partial_cmp(&d_prime[b]).unwrap())
+            .max_by(|&a, &b| d_prime[a].total_cmp(&d_prime[b]))
         else {
             break; // every task maxed out
         };

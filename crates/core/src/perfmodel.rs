@@ -78,12 +78,21 @@ impl PerformanceModel {
     }
 
     /// Equation 2: predict the hybrid execution time.
+    ///
+    /// Degradation ladder: when any consumed event is missing (NaN-marked
+    /// by PMC sample dropout), f(·) cannot be evaluated — the prediction
+    /// falls back to plain linear interpolation (f ≡ 1), which is exactly
+    /// the `(1 − r)` model the paper shows f(·) improves on. Biased but
+    /// bounded, and never NaN.
     pub fn predict(&self, t_pm: f64, t_dram: f64, events: &PmcEvents, r: f64) -> f64 {
         let r = r.clamp(0.0, 1.0);
         if r >= 1.0 {
             return t_dram;
         }
         let feats = Self::features(events, self.num_events, r);
+        if feats.iter().any(|v| !v.is_finite()) {
+            return t_pm * (1.0 - r) + t_dram * r;
+        }
         let f_val = self.f.predict_one(&feats).max(0.0);
         t_pm * (1.0 - r) * f_val + t_dram * r
     }
@@ -125,6 +134,35 @@ mod tests {
             assert_eq!(m.predict(10.0, 4.0, &ev, r), back.predict(10.0, 4.0, &ev, r));
         }
         std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn missing_events_fall_back_to_linear_interpolation() {
+        // Train a model whose f(·) is clearly ≠ 1 so the fallback is
+        // observable.
+        let mut f = GradientBoostedRegressor::new(30, 0.3, 2, 1);
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| (0..9).map(|j| ((i * 7 + j) % 10) as f64 / 10.0).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|_| 0.5).collect();
+        f.fit(&x, &y);
+        let m = PerformanceModel { f, num_events: 8 };
+        let complete = PmcEvents { values: [0.5; 14] };
+        let mut partial = complete.clone();
+        partial.mark_missing(2); // within the consumed prefix
+        let (t_pm, t_dram, r) = (10.0, 4.0, 0.4);
+        let with_f = m.predict(t_pm, t_dram, &complete, r);
+        let degraded = m.predict(t_pm, t_dram, &partial, r);
+        // The degraded path is exactly linear interpolation (f ≡ 1) …
+        let linear = t_pm * (1.0 - r) + t_dram * r;
+        assert_eq!(degraded, linear);
+        // … never NaN, and distinguishable from the learned prediction.
+        assert!(degraded.is_finite());
+        assert!((with_f - degraded).abs() > 1e-6);
+        // Missing events outside the consumed prefix don't trigger it.
+        let mut tail_missing = complete.clone();
+        tail_missing.mark_missing(13);
+        assert_eq!(m.predict(t_pm, t_dram, &tail_missing, r), with_f);
     }
 
     #[test]

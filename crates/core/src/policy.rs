@@ -103,6 +103,10 @@ pub struct MerchandiserPolicy {
     state: Vec<TaskState>,
     base_works: Vec<TaskWork>,
     seed: u64,
+    /// Did the last round run on a degradation-ladder rung (profile
+    /// fallback, missing PMC events, or a quota shortfall from failed
+    /// migrations)?
+    degraded: bool,
 }
 
 impl MerchandiserPolicy {
@@ -130,6 +134,7 @@ impl MerchandiserPolicy {
             state: Vec::new(),
             base_works: Vec::new(),
             seed,
+            degraded: false,
         }
     }
 
@@ -150,7 +155,7 @@ impl MerchandiserPolicy {
     }
 
     /// Build base-input state from the executed round-0 works.
-    fn collect_base(&mut self, sys: &HmSystem, concurrency: usize) {
+    fn collect_base(&mut self, sys: &mut HmSystem, concurrency: usize) {
         let pmc = PmcGenerator::new(self.seed ^ 0x50C0);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xBA5E);
         let all_sizes: Vec<u64> = sys.objects().iter().map(|o| o.size).collect();
@@ -191,7 +196,17 @@ impl MerchandiserPolicy {
                     .collect();
                 let table = BasicBlockTable::measure(&sys.config, work, &all_sizes, concurrency);
                 let predictor = HomogeneousPredictor::new(table, base_sizes);
-                let events = pmc.collect(&sys.config, work, &all_sizes, concurrency);
+                let mut events = pmc.collect(&sys.config, work, &all_sizes, concurrency);
+                // Injected PMC dropout: individual counters fail to read
+                // back. Mark them missing (NaN sentinel) so Equation 2
+                // degrades to linear interpolation for this task.
+                if let Some(inj) = sys.fault_injector_mut() {
+                    for e in 0..merch_profiling::pmc::NUM_EVENTS {
+                        if inj.drop_pmc_event(work.task, e) {
+                            events.mark_missing(e);
+                        }
+                    }
+                }
                 TaskState {
                     estimator,
                     predictor,
@@ -311,7 +326,7 @@ impl MerchandiserPolicy {
                 shared_pages.push((id, esti * w));
             }
         }
-        shared_pages.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        shared_pages.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut pool = shared_pool as u64;
         for (id, _) in shared_pages {
             if pool < PAGE_SIZE || claimed_bytes + PAGE_SIZE > capacity {
@@ -343,7 +358,7 @@ impl MerchandiserPolicy {
                     pages.push((id, esti * w));
                 }
             }
-            pages.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            pages.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (id, _) in pages {
                 if budget < PAGE_SIZE || claimed_bytes + PAGE_SIZE > capacity {
                     break;
@@ -385,6 +400,59 @@ impl MerchandiserPolicy {
             })
             .count() as u64
     }
+
+    /// Task-agnostic hot-page placement: promote the hottest pages (by
+    /// weight, what a sampling profiler would find) until the reserved DRAM
+    /// budget is full. Serves two roles: the round-0 bootstrap — Merchandiser
+    /// extends the MemoryOptimizer infrastructure (§6), so its hot-page
+    /// placement is active while the base instance is profiled — and the
+    /// bottom rung of the degradation ladder when task profiles are missing
+    /// or stale.
+    fn hot_page_fallback(&self, sys: &mut HmSystem) {
+        let capacity = ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64;
+        let mut pages: Vec<(u64, f64)> = sys
+            .page_table()
+            .iter()
+            .map(|(id, p)| (id, p.weight / sys.object(p.object).num_pages.max(1) as f64))
+            .collect();
+        pages.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let take = (capacity / merch_hm::page::PAGE_SIZE) as usize;
+        let promote: Vec<u64> = pages.into_iter().take(take).map(|(id, _)| id).collect();
+        sys.migrate_pages(promote, Tier::Dram);
+    }
+
+    /// Reconcile the Algorithm 1 quotas against the pages that actually
+    /// moved: failed migrations leave claimed pages stranded on PM, so each
+    /// task's granted DRAM accesses shrink by the realised fraction of its
+    /// claim. Returns whether any quota had to be cut (a degraded round).
+    fn reconcile_quotas(
+        &self,
+        sys: &HmSystem,
+        plan: &mut AllocatorPlan,
+        claimed: &std::collections::BTreeSet<u64>,
+    ) -> bool {
+        let mut shortfall = false;
+        for (i, ts) in self.state.iter().enumerate() {
+            let (mut claimed_pages, mut resident) = (0u64, 0u64);
+            for (oid, _) in &ts.objects {
+                for id in sys.object(*oid).pages() {
+                    if claimed.contains(&id) {
+                        claimed_pages += 1;
+                        if sys.page_table().get(id).tier == Tier::Dram {
+                            resident += 1;
+                        }
+                    }
+                }
+            }
+            if claimed_pages > 0 && resident < claimed_pages {
+                let realised = resident as f64 / claimed_pages as f64;
+                plan.dram_accesses[i] *= realised;
+                plan.dram_bytes[i] = (plan.dram_bytes[i] as f64 * realised) as u64;
+                shortfall = true;
+            }
+        }
+        shortfall
+    }
 }
 
 impl PlacementPolicy for MerchandiserPolicy {
@@ -392,7 +460,12 @@ impl PlacementPolicy for MerchandiserPolicy {
         "Merchandiser".to_string()
     }
 
+    fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     fn before_round(&mut self, sys: &mut HmSystem, round: usize, works: &[TaskWork]) {
+        self.degraded = false;
         if round == 0 || self.state.is_empty() {
             // Base input: stash the works so after_round can profile them
             // with task semantics. Merchandiser extends the MemoryOptimizer
@@ -402,30 +475,31 @@ impl PlacementPolicy for MerchandiserPolicy {
             // profiler would find), task-agnostically. The base
             // measurements themselves are tier-normalised and unaffected.
             self.base_works = works.to_vec();
-            let capacity =
-                ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64;
-            let mut pages: Vec<(u64, f64)> = sys
-                .page_table()
-                .iter()
-                .map(|(id, p)| (id, p.weight / sys.object(p.object).num_pages.max(1) as f64))
-                .collect();
-            pages.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            let take = (capacity / merch_hm::page::PAGE_SIZE) as usize;
-            let promote: Vec<u64> = pages.into_iter().take(take).map(|(id, _)| id).collect();
-            sys.migrate_pages(promote, Tier::Dram);
+            self.hot_page_fallback(sys);
             return;
         }
+        // Degradation ladder, top rung: a stale profile (the task count
+        // changed since the base input was profiled) would misattribute
+        // every quota — fall back to task-agnostic hot-page placement
+        // instead of panicking on mismatched indices, and flag the round.
+        if self.state.len() != works.len() {
+            self.degraded = true;
+            self.hot_page_fallback(sys);
+            return;
+        }
+        // Missing PMC events (sample dropout during base profiling)
+        // silently downgrade Equation 2 to linear interpolation for the
+        // affected tasks; surface that in the round report.
+        if self.state.iter().any(|ts| !ts.events.is_complete()) {
+            self.degraded = true;
+        }
         let t0 = Instant::now();
-        let (plan, _task_inputs) = self.plan(sys);
+        let (mut plan, _task_inputs) = self.plan(sys);
         self.last_prediction_wall_ns = t0.elapsed().as_nanos() as f64;
 
         // Longest predicted tasks claim their pages first.
         let mut order: Vec<usize> = (0..self.state.len()).collect();
-        order.sort_by(|&a, &b| {
-            plan.predicted_ns[b]
-                .partial_cmp(&plan.predicted_ns[a])
-                .unwrap()
-        });
+        order.sort_by(|&a, &b| plan.predicted_ns[b].total_cmp(&plan.predicted_ns[a]));
         let claimed = self.claim_pages(sys, &plan, &order);
 
         // Predicted time of every task under a given placement: the
@@ -482,6 +556,12 @@ impl PlacementPolicy for MerchandiserPolicy {
         let cost = merch_hm::cost::migration_time_ns(&sys.config, moves);
         if (current_makespan - planned_makespan) * self.migration_horizon > cost {
             Self::apply_claims(sys, &claimed);
+            // Failed migrations strand claimed pages on PM: reconcile the
+            // quotas with what actually moved (a no-op on fault-free runs)
+            // and flag the shortfall.
+            if self.reconcile_quotas(sys, &mut plan, &claimed) {
+                self.degraded = true;
+            }
         }
         // Log the prediction for the placement actually in effect this
         // round (Table 4 evaluates these against the measured times).
@@ -659,6 +739,92 @@ mod tests {
         let obj = st.objects.get("a").expect("object registered");
         assert!(obj.refiner.is_some());
         assert!(obj.refiner.as_ref().unwrap().observations > 0);
+    }
+
+    #[test]
+    fn faulted_run_degrades_without_panicking() {
+        use merch_hm::FaultPlan;
+        let clean = Executor::new(
+            HmSystem::new(small_config(), 3),
+            TwoTasks { rounds: 4 },
+            MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3),
+        )
+        .run();
+
+        let mut sys = HmSystem::new(small_config(), 3);
+        sys.set_fault_plan(
+            FaultPlan::none()
+                .with_seed(17)
+                .with_migration_failures(0.3, 2)
+                .with_sample_dropout(0.2, 0.5),
+        )
+        .unwrap();
+        let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
+        let faulted = Executor::new(sys, TwoTasks { rounds: 4 }, policy).run();
+
+        // The run completes, accounts for its faults, and stays bounded.
+        assert!(faulted.fault.dropped_pmc_events > 0 || faulted.fault.failed_pages > 0);
+        assert!(faulted.total_time_ns().is_finite());
+        // Missing PMC events flag the post-base rounds as degraded.
+        if faulted.fault.dropped_pmc_events > 0 {
+            assert!(faulted.fault.degraded_rounds > 0);
+        }
+        assert_eq!(clean.fault.degraded_rounds, 0);
+        assert_eq!(clean.fault.failed_pages, 0);
+    }
+
+    #[test]
+    fn task_count_mismatch_falls_back_to_hot_pages() {
+        // Profile on two tasks, then present a three-task round: the policy
+        // must not panic and must flag the round as degraded.
+        struct GrowingTasks;
+        impl Workload for GrowingTasks {
+            fn name(&self) -> &str {
+                "growing"
+            }
+            fn object_specs(&self) -> Vec<ObjectSpec> {
+                vec![
+                    ObjectSpec::new("a", 64 * PAGE_SIZE).owned_by(0),
+                    ObjectSpec::new("b", 64 * PAGE_SIZE).owned_by(1),
+                ]
+            }
+            fn num_tasks(&self) -> usize {
+                2
+            }
+            fn num_instances(&self) -> usize {
+                3
+            }
+            fn instance(&mut self, round: usize, sys: &HmSystem) -> Vec<TaskWork> {
+                let a = sys.object_by_name("a").unwrap();
+                let b = sys.object_by_name("b").unwrap();
+                let mut works = vec![
+                    TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(
+                        ObjectAccess::new(a, 1e5, 8, AccessPattern::Random, 0.1),
+                    )),
+                    TaskWork::new(1).with_phase(Phase::new("w", 0.0).with_access(
+                        ObjectAccess::new(b, 1e5, 8, AccessPattern::Random, 0.1),
+                    )),
+                ];
+                if round == 2 {
+                    works.push(TaskWork::new(2).with_phase(
+                        Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                            a,
+                            1e4,
+                            8,
+                            AccessPattern::Random,
+                            0.1,
+                        )),
+                    ));
+                }
+                works
+            }
+        }
+        let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
+        let run = Executor::new(HmSystem::new(small_config(), 3), GrowingTasks, policy).run();
+        assert_eq!(run.rounds.len(), 3);
+        assert!(run.rounds[2].degraded, "mismatched round must be degraded");
+        assert!(!run.rounds[1].degraded);
+        assert_eq!(run.fault.degraded_rounds, 1);
     }
 
     #[test]

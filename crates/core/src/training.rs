@@ -284,7 +284,7 @@ pub fn train_correlation_function(
     let imp = gbr.feature_importances();
     let n_events = dataset.num_features() - 1;
     let mut ranking: Vec<usize> = (0..n_events).collect();
-    ranking.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).unwrap());
+    ranking.sort_by(|&a, &b| imp[b].total_cmp(&imp[a]));
 
     // Figure 7 curve: accuracy with the top-k events + r.
     let mut accuracy_by_k = Vec::new();

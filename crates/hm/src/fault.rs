@@ -1,0 +1,413 @@
+//! Deterministic fault injection for the emulated HM system.
+//!
+//! Real heterogeneous-memory deployments misbehave in ways the clean
+//! emulation never shows: page migrations fail transiently (NUMA races,
+//! `move_pages` returning `-EBUSY`), PTE-scan and PMC samples get lost
+//! under load, co-tenants steal DRAM capacity, and telemetry collectors
+//! drop bins. This module injects those faults *reproducibly*: every
+//! decision is a pure function of the plan seed and the identity of the
+//! event (round, page, attempt, task, event index, bin), so the same
+//! [`FaultPlan`] replays bit-identically and [`FaultPlan::none`] leaves
+//! the simulation byte-for-byte untouched.
+//!
+//! The runtime and the Merchandiser policy respond with a graceful-
+//! degradation ladder rather than panics; see `DESIGN.md` ("Failure model
+//! & degradation ladder").
+
+use serde::{Deserialize, Serialize};
+
+use crate::page::PageId;
+use crate::system::HmError;
+
+/// splitmix64 finalizer: the one-way mixer behind every fault decision.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decision domains keep the per-event hash streams independent so e.g.
+/// enabling PMC dropout never perturbs migration-failure draws.
+mod domain {
+    pub const MIGRATION: u64 = 0x4D49_4752; // "MIGR"
+    pub const PTE: u64 = 0x5054_4520; // "PTE "
+    pub const PMC: u64 = 0x504D_4320; // "PMC "
+    pub const TELEMETRY: u64 = 0x5445_4C45; // "TELE"
+}
+
+/// Declarative description of the faults to inject into one run.
+///
+/// All rates are probabilities in `[0, 1]`. The default plan (and
+/// [`FaultPlan::none`]) injects nothing, and the runtime skips every fault
+/// hook in that case, keeping the no-fault fast path bit-identical to a
+/// build without this module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions (independent of the workload seed).
+    pub seed: u64,
+    /// Probability that one migration *attempt* of one page fails.
+    pub migration_fail_rate: f64,
+    /// Retries after a failed attempt before the page is abandoned for
+    /// the round (each attempt is charged as migration overhead).
+    pub migration_max_retries: u32,
+    /// Probability that a PTE-scan sample (accessed-bit read) is lost.
+    pub pte_sample_dropout: f64,
+    /// Probability that one PMC event counter of one task profile is lost.
+    pub pmc_event_dropout: f64,
+    /// DRAM bytes transiently claimed by a simulated co-tenant.
+    pub dram_pressure_bytes: u64,
+    /// Co-tenant duty cycle: pressure is applied on rounds `r` with
+    /// `r % period < ceil(period / 2)`. `0` means constant pressure.
+    pub pressure_period_rounds: u64,
+    /// Probability that a finished telemetry bin is blacked out (zeroed).
+    pub telemetry_blackout: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing fails, nothing is dropped.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            migration_fail_rate: 0.0,
+            migration_max_retries: 2,
+            pte_sample_dropout: 0.0,
+            pmc_event_dropout: 0.0,
+            dram_pressure_bytes: 0,
+            pressure_period_rounds: 0,
+            telemetry_blackout: 0.0,
+        }
+    }
+
+    /// True when the plan injects no fault at all.
+    pub fn is_none(&self) -> bool {
+        self.migration_fail_rate == 0.0
+            && self.pte_sample_dropout == 0.0
+            && self.pmc_event_dropout == 0.0
+            && self.dram_pressure_bytes == 0
+            && self.telemetry_blackout == 0.0
+    }
+
+    /// Set the fault seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fail each migration attempt with probability `rate`, retrying up to
+    /// `retries` times per page.
+    pub fn with_migration_failures(mut self, rate: f64, retries: u32) -> Self {
+        self.migration_fail_rate = rate;
+        self.migration_max_retries = retries;
+        self
+    }
+
+    /// Drop PTE-scan samples and PMC event counters with the given
+    /// probabilities.
+    pub fn with_sample_dropout(mut self, pte: f64, pmc: f64) -> Self {
+        self.pte_sample_dropout = pte;
+        self.pmc_event_dropout = pmc;
+        self
+    }
+
+    /// Apply `bytes` of co-tenant DRAM pressure with duty period `period`
+    /// (rounds; `0` = constant).
+    pub fn with_dram_pressure(mut self, bytes: u64, period: u64) -> Self {
+        self.dram_pressure_bytes = bytes;
+        self.pressure_period_rounds = period;
+        self
+    }
+
+    /// Black out finished telemetry bins with probability `rate`.
+    pub fn with_telemetry_blackout(mut self, rate: f64) -> Self {
+        self.telemetry_blackout = rate;
+        self
+    }
+
+    /// Check that every rate is a probability and the plan is physically
+    /// meaningful.
+    pub fn validate(&self) -> Result<(), HmError> {
+        for (name, rate) in [
+            ("migration_fail_rate", self.migration_fail_rate),
+            ("pte_sample_dropout", self.pte_sample_dropout),
+            ("pmc_event_dropout", self.pmc_event_dropout),
+            ("telemetry_blackout", self.telemetry_blackout),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(HmError::InvalidConfig(format!(
+                    "fault plan: {name} = {rate} is not a probability"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters of the faults actually injected (and survived) so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Migration attempts that were failed by injection.
+    pub migration_retries: u64,
+    /// Pages abandoned after exhausting the retry budget.
+    pub failed_pages: u64,
+    /// PTE-scan samples lost.
+    pub dropped_pte_samples: u64,
+    /// PMC event counters lost.
+    pub dropped_pmc_events: u64,
+    /// Telemetry bins zeroed.
+    pub blacked_out_bins: u64,
+    /// DRAM pages evicted to make room for co-tenant pressure.
+    pub pressure_evictions: u64,
+}
+
+/// Fault accounting carried by a `RunReport`: the injector's counters plus
+/// how the policy coped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Total migration attempts (equals pages moved when nothing fails).
+    pub migration_attempts: u64,
+    /// Attempts failed by injection and retried.
+    pub migration_retries: u64,
+    /// Pages abandoned after exhausting retries.
+    pub failed_pages: u64,
+    /// PTE-scan samples lost.
+    pub dropped_pte_samples: u64,
+    /// PMC event counters lost.
+    pub dropped_pmc_events: u64,
+    /// Telemetry bins zeroed.
+    pub blacked_out_bins: u64,
+    /// DRAM pages evicted for co-tenant pressure.
+    pub pressure_evictions: u64,
+    /// Rounds the policy ran in a degraded mode (fallback placement).
+    pub degraded_rounds: u64,
+}
+
+/// Stateful injector owned by the `HmSystem`. Holds the plan, the current
+/// round, and running [`FaultStats`]. Every decision method is
+/// deterministic in (plan seed, event identity); the only mutable state is
+/// the statistics and a per-round PTE draw counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    round: u64,
+    pte_draws: u64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Injector for `plan` (validate first: see [`FaultPlan::validate`]).
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            round: 0,
+            pte_draws: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Enter `round`: resets the per-round PTE draw counter so replays are
+    /// independent of how many rounds ran before.
+    pub fn begin_round(&mut self, round: u64) {
+        self.round = round;
+        self.pte_draws = 0;
+    }
+
+    /// Deterministic Bernoulli draw keyed on (seed, domain, a, b).
+    fn chance(&self, p: f64, dom: u64, a: u64, b: u64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let h = mix64(self.plan.seed ^ mix64(dom ^ mix64(a) ^ a.rotate_left(17) ^ b));
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Does this migration attempt of `page` fail? Records the retry /
+    /// abandoned-page statistics as a side effect.
+    pub fn migration_attempt_fails(&mut self, page: PageId, attempt: u32) -> bool {
+        let fails = self.chance(
+            self.plan.migration_fail_rate,
+            domain::MIGRATION,
+            page,
+            (self.round << 8) | attempt as u64,
+        );
+        if fails {
+            self.stats.migration_retries += 1;
+        }
+        fails
+    }
+
+    /// Retry budget per page.
+    pub fn max_retries(&self) -> u32 {
+        self.plan.migration_max_retries
+    }
+
+    /// Record a page abandoned after exhausting its retry budget.
+    pub fn note_failed_page(&mut self) {
+        self.stats.failed_pages += 1;
+    }
+
+    /// Is the next PTE-scan sample lost? Draws are numbered per round, so
+    /// a scan issued at the same point of the same round always sees the
+    /// same answer.
+    pub fn drop_pte_sample(&mut self) -> bool {
+        let n = self.pte_draws;
+        self.pte_draws += 1;
+        let dropped = self.chance(self.plan.pte_sample_dropout, domain::PTE, self.round, n);
+        if dropped {
+            self.stats.dropped_pte_samples += 1;
+        }
+        dropped
+    }
+
+    /// Is PMC event `event` of `task`'s profile lost this round?
+    pub fn drop_pmc_event(&mut self, task: usize, event: usize) -> bool {
+        let dropped = self.chance(
+            self.plan.pmc_event_dropout,
+            domain::PMC,
+            ((task as u64) << 16) ^ self.round,
+            event as u64,
+        );
+        if dropped {
+            self.stats.dropped_pmc_events += 1;
+        }
+        dropped
+    }
+
+    /// Is telemetry bin `bin` blacked out?
+    pub fn blackout_bin(&mut self, bin: usize) -> bool {
+        let out = self.chance(self.plan.telemetry_blackout, domain::TELEMETRY, bin as u64, 0);
+        if out {
+            self.stats.blacked_out_bins += 1;
+        }
+        out
+    }
+
+    /// DRAM bytes the simulated co-tenant claims during the current round.
+    pub fn current_pressure(&self) -> u64 {
+        if self.plan.dram_pressure_bytes == 0 {
+            return 0;
+        }
+        let period = self.plan.pressure_period_rounds;
+        if period == 0 || self.round % period < period.div_ceil(2) {
+            self.plan.dram_pressure_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Record DRAM pages evicted to honour co-tenant pressure.
+    pub fn note_pressure_evictions(&mut self, pages: u64) {
+        self.stats.pressure_evictions += pages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        plan.validate().unwrap();
+        let mut inj = FaultInjector::new(plan);
+        inj.begin_round(3);
+        assert!(!inj.migration_attempt_fails(7, 0));
+        assert!(!inj.drop_pte_sample());
+        assert!(!inj.drop_pmc_event(0, 5));
+        assert!(!inj.blackout_bin(9));
+        assert_eq!(inj.current_pressure(), 0);
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn decisions_replay_bit_identically() {
+        let plan = FaultPlan::none()
+            .with_seed(99)
+            .with_migration_failures(0.3, 2)
+            .with_sample_dropout(0.2, 0.25)
+            .with_telemetry_blackout(0.15);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for round in 0..5 {
+            a.begin_round(round);
+            b.begin_round(round);
+            for page in 0..50u64 {
+                for attempt in 0..3 {
+                    assert_eq!(
+                        a.migration_attempt_fails(page, attempt),
+                        b.migration_attempt_fails(page, attempt)
+                    );
+                }
+            }
+            for _ in 0..100 {
+                assert_eq!(a.drop_pte_sample(), b.drop_pte_sample());
+            }
+            for task in 0..4 {
+                for ev in 0..14 {
+                    assert_eq!(a.drop_pmc_event(task, ev), b.drop_pmc_event(task, ev));
+                }
+            }
+            for bin in 0..20 {
+                assert_eq!(a.blackout_bin(bin), b.blackout_bin(bin));
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        // And the rates actually bite somewhere.
+        assert!(a.stats().migration_retries > 0);
+        assert!(a.stats().dropped_pte_samples > 0);
+        assert!(a.stats().dropped_pmc_events > 0);
+        assert!(a.stats().blacked_out_bins > 0);
+    }
+
+    #[test]
+    fn pressure_duty_cycle() {
+        let constant = FaultInjector::new(FaultPlan::none().with_dram_pressure(4096, 0));
+        assert_eq!(constant.current_pressure(), 4096);
+        let mut duty = FaultInjector::new(FaultPlan::none().with_dram_pressure(4096, 4));
+        let on: Vec<bool> = (0..8)
+            .map(|r| {
+                duty.begin_round(r);
+                duty.current_pressure() > 0
+            })
+            .collect();
+        // period 4 => pressure on rounds 0,1 and off rounds 2,3 of each cycle.
+        assert_eq!(on, vec![true, true, false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let bad = FaultPlan::none().with_sample_dropout(1.5, 0.0);
+        assert!(matches!(bad.validate(), Err(HmError::InvalidConfig(_))));
+        let nan = FaultPlan::none().with_telemetry_blackout(f64::NAN);
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::none().with_seed(5).with_sample_dropout(0.2, 0.0),
+        );
+        inj.begin_round(0);
+        let dropped = (0..10_000).filter(|_| inj.drop_pte_sample()).count();
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.03, "observed dropout {rate}");
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod fault;
 pub mod object;
 pub mod page;
 pub mod runtime;
@@ -39,6 +40,7 @@ pub mod workload;
 pub const CACHE_LINE_BYTES: usize = merch_patterns::CACHE_LINE;
 
 pub use config::{HmConfig, Tier, TierParams};
+pub use fault::{FaultInjector, FaultPlan, FaultStats, FaultSummary};
 pub use object::{DataObject, ObjectId, ObjectSpec};
 pub use page::{PageId, PageInfo, PageTable, PAGE_SIZE};
 pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult};

@@ -180,7 +180,7 @@ mod tests {
         let w = page_weights(100, 1.1, 42);
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let mut sorted = w.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| b.total_cmp(a));
         let top10: f64 = sorted[..10].iter().sum();
         assert!(top10 > 0.35, "top-10 share {top10}");
     }

@@ -52,6 +52,13 @@ pub trait PlacementPolicy: Send {
         let _ = (sys, access);
         None
     }
+
+    /// Did the policy run its *last* round in a degraded mode (fallback
+    /// placement because profiles or samples were missing)? Recorded per
+    /// round in [`RoundReport::degraded`].
+    fn degraded(&self) -> bool {
+        false
+    }
 }
 
 impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
@@ -69,6 +76,9 @@ impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
     }
     fn dram_fraction_override(&self, sys: &HmSystem, access: &ObjectAccess) -> Option<f64> {
         (**self).dram_fraction_override(sys, access)
+    }
+    fn degraded(&self) -> bool {
+        (**self).degraded()
     }
 }
 
@@ -111,6 +121,14 @@ pub struct RoundReport {
     pub tasks: Vec<TaskResult>,
     /// Pages migrated by the policy for this round.
     pub migration_pages: u64,
+    /// Migration *attempts* for this round, including retries of failed
+    /// attempts. Equals `migration_pages` when no faults are injected;
+    /// overhead is charged per attempt so retries cost wall time.
+    pub migration_attempts: u64,
+    /// Pages whose migration was abandoned after exhausting retries.
+    pub failed_pages: u64,
+    /// Did the policy place this round in a degraded (fallback) mode?
+    pub degraded: bool,
     /// Migration overhead, ns.
     pub migration_ns: f64,
     /// Round wall time: slowest task + migration overhead, ns.
@@ -159,6 +177,9 @@ pub struct RunReport {
     pub avg_dram_gbps: f64,
     /// Average PM bandwidth over the run, GB/s.
     pub avg_pm_gbps: f64,
+    /// Fault accounting: injected faults survived and how the run coped.
+    /// All-zero when no fault plan is armed.
+    pub fault: crate::fault::FaultSummary,
 }
 
 impl RunReport {
@@ -248,23 +269,33 @@ pub struct Executor<W, P> {
     pub policy: P,
     /// Bandwidth telemetry (100 µs bins by default).
     pub timeline: BandwidthTimeline,
+    /// First telemetry bin not yet considered for blackout injection.
+    blackout_cursor: usize,
 }
 
 impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
     /// Allocate the workload's objects on PM (the software-solution default:
     /// big-memory allocations land on the capacity tier and are migrated up)
-    /// and let the policy adjust the initial placement.
-    pub fn new(mut sys: HmSystem, workload: W, mut policy: P) -> Self {
+    /// and let the policy adjust the initial placement. Panics if PM cannot
+    /// hold the working set; use [`Executor::try_new`] to handle that.
+    pub fn new(sys: HmSystem, workload: W, policy: P) -> Self {
+        Self::try_new(sys, workload, policy)
+            .expect("PM capacity must hold the workload working set")
+    }
+
+    /// Fallible constructor: returns `OutOfCapacity` instead of panicking
+    /// when the workload's working set does not fit on PM.
+    pub fn try_new(mut sys: HmSystem, workload: W, mut policy: P) -> Result<Self, crate::system::HmError> {
         let specs = workload.object_specs();
-        sys.allocate_all(&specs, Tier::Pm)
-            .expect("PM capacity must hold the workload working set");
+        sys.allocate_all(&specs, Tier::Pm)?;
         policy.on_allocate(&mut sys);
-        Self {
+        Ok(Self {
             sys,
             workload,
             policy,
             timeline: BandwidthTimeline::new(100_000.0),
-        }
+            blackout_cursor: 0,
+        })
     }
 
     /// Run every task instance and return the report.
@@ -274,6 +305,17 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         for round in 0..rounds {
             reports.push(self.run_round(round));
         }
+        let stats = self.sys.fault_stats();
+        let fault = crate::fault::FaultSummary {
+            migration_attempts: self.sys.total_migration_attempts,
+            migration_retries: stats.migration_retries,
+            failed_pages: stats.failed_pages,
+            dropped_pte_samples: stats.dropped_pte_samples,
+            dropped_pmc_events: stats.dropped_pmc_events,
+            blacked_out_bins: stats.blacked_out_bins,
+            pressure_evictions: stats.pressure_evictions,
+            degraded_rounds: reports.iter().filter(|r| r.degraded).count() as u64,
+        };
         RunReport {
             workload: self.workload.name().to_string(),
             policy: self.policy.name(),
@@ -281,6 +323,7 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             timeline_samples: self.timeline.samples(),
             avg_dram_gbps: self.timeline.avg_dram_gbps(),
             avg_pm_gbps: self.timeline.avg_pm_gbps(),
+            fault,
         }
     }
 
@@ -303,11 +346,21 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         let works = self.workload.instance(round, &self.sys);
         let concurrency = works.len();
 
-        // Policy decisions + migrations before the barrier opens.
+        // Policy decisions + migrations before the barrier opens. Fault
+        // injection (co-tenant pressure, failed-attempt retries) happens
+        // inside this window, so its page traffic is charged as round
+        // overhead alongside the policy's own migrations: overhead is
+        // charged per *attempt*, which equals pages moved when no faults
+        // are injected.
         let migrations_before = self.sys.total_migrations;
+        let attempts_before = self.sys.total_migration_attempts;
+        let failed_before = self.sys.fault_stats().failed_pages;
+        self.sys.begin_round(round as u64);
         self.policy.before_round(&mut self.sys, round, &works);
         let migration_pages = self.sys.total_migrations - migrations_before;
-        let migration_ns = migration_time_ns(&self.sys.config, migration_pages);
+        let migration_attempts = self.sys.total_migration_attempts - attempts_before;
+        let failed_pages = self.sys.fault_stats().failed_pages - failed_before;
+        let migration_ns = migration_time_ns(&self.sys.config, migration_attempts);
 
         // Execute all tasks in parallel (real threads, simulated time).
         let results = execute_tasks(&self.sys, &self.policy, &works, concurrency);
@@ -335,10 +388,29 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         let round_time = max_time + migration_ns;
         self.timeline.advance(round_time);
 
+        // Telemetry blackout: bins completed by this round may be lost.
+        if self.sys.fault_plan().is_some_and(|p| p.telemetry_blackout > 0.0) {
+            let end_bin = ((self.timeline.clock_ns / self.timeline.bin_ns()).floor() as usize)
+                .min(self.timeline.num_bins());
+            for bin in self.blackout_cursor..end_bin {
+                let lost = self
+                    .sys
+                    .fault_injector_mut()
+                    .is_some_and(|f| f.blackout_bin(bin));
+                if lost {
+                    self.timeline.blackout_bin(bin);
+                }
+            }
+            self.blackout_cursor = end_bin;
+        }
+
         let report = RoundReport {
             round,
             tasks: results,
             migration_pages,
+            migration_attempts,
+            failed_pages,
+            degraded: self.policy.degraded(),
             migration_ns,
             round_time_ns: round_time,
         };

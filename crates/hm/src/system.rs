@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{HmConfig, Tier};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::object::{DataObject, ObjectId, ObjectSpec};
 use crate::page::{page_weights, PageId, PageTable, PAGE_SIZE};
 
@@ -23,6 +24,15 @@ pub enum HmError {
     },
     /// Unknown object name.
     NoSuchObject(String),
+    /// A page migration kept failing after exhausting its retry budget.
+    MigrationFailed {
+        /// The page that could not be moved.
+        page: PageId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A configuration value is out of its legal domain.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for HmError {
@@ -37,6 +47,10 @@ impl std::fmt::Display for HmError {
                 "out of {tier} capacity: requested {requested} B, available {available} B"
             ),
             HmError::NoSuchObject(n) => write!(f, "no such object: {n}"),
+            HmError::MigrationFailed { page, attempts } => {
+                write!(f, "migration of page {page} failed after {attempts} attempts")
+            }
+            HmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -51,6 +65,9 @@ pub struct MigrationOutcome {
     /// Pages evicted from DRAM to make room (least-frequently-accessed
     /// eviction, §6 "DRAM space management").
     pub pages_evicted: u64,
+    /// Pages abandoned after their migration attempts kept failing
+    /// (injected faults; zero without a fault plan).
+    pub pages_failed: u64,
 }
 
 /// The emulated HM system.
@@ -63,7 +80,12 @@ pub struct HmSystem {
     by_name: BTreeMap<String, ObjectId>,
     /// Cumulative pages migrated (both directions), for overhead accounting.
     pub total_migrations: u64,
+    /// Cumulative migration *attempts* including failed ones. Equals
+    /// `total_migrations` when no faults are injected; the runtime charges
+    /// migration overhead by attempts so retries cost wall time.
+    pub total_migration_attempts: u64,
     seed: u64,
+    fault: Option<FaultInjector>,
 }
 
 impl HmSystem {
@@ -76,8 +98,64 @@ impl HmSystem {
             objects: Vec::new(),
             by_name: BTreeMap::new(),
             total_migrations: 0,
+            total_migration_attempts: 0,
             seed,
+            fault: None,
         }
+    }
+
+    /// Arm fault injection for this system. A [`FaultPlan::none`] plan
+    /// removes the injector entirely, restoring the exact no-fault code
+    /// path. Returns `InvalidConfig` for out-of-domain rates.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), HmError> {
+        plan.validate()?;
+        self.fault = if plan.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+        Ok(())
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan())
+    }
+
+    /// Fault statistics accumulated so far (zero when no plan is armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
+    /// Mutable access to the injector for profilers (sample-dropout draws).
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.fault.as_mut()
+    }
+
+    /// Start round `round`: advance the injector's clock and apply
+    /// co-tenant DRAM pressure by evicting LFU pages until the pressure
+    /// reservation fits. Returns pages evicted for pressure (charged as
+    /// migration overhead by the caller via `total_migration_attempts`).
+    pub fn begin_round(&mut self, round: u64) -> u64 {
+        let Some(fault) = self.fault.as_mut() else {
+            return 0;
+        };
+        fault.begin_round(round);
+        let pressure = fault.current_pressure();
+        if pressure == 0 {
+            return 0;
+        }
+        let budget = self.config.dram.capacity.saturating_sub(pressure);
+        let used = self.page_table.bytes_in(Tier::Dram);
+        let overflow_pages = used.saturating_sub(budget).div_ceil(PAGE_SIZE);
+        if overflow_pages == 0 {
+            return 0;
+        }
+        let evicted = self.evict_lfu_dram_pages(overflow_pages, None);
+        if let Some(fault) = self.fault.as_mut() {
+            fault.note_pressure_evictions(evicted);
+        }
+        evicted
     }
 
     /// Allocate an object on `tier` (software solutions allocate on PM and
@@ -141,9 +219,15 @@ impl HmSystem {
         &mut self.page_table
     }
 
-    /// Free bytes on `tier`.
+    /// Free bytes on `tier`. DRAM capacity shrinks by any co-tenant
+    /// pressure the fault plan applies during the current round.
     pub fn free_bytes(&self, tier: Tier) -> u64 {
-        let cap = self.config.tier(tier).capacity;
+        let mut cap = self.config.tier(tier).capacity;
+        if tier == Tier::Dram {
+            if let Some(fault) = &self.fault {
+                cap = cap.saturating_sub(fault.current_pressure());
+            }
+        }
         cap.saturating_sub(self.page_table.bytes_in(tier))
     }
 
@@ -178,9 +262,10 @@ impl HmSystem {
             .map(|id| (id, self.page_table.get(id).weight))
             .collect();
         // Hottest first when promoting to DRAM; coldest first when demoting.
+        // total_cmp: page weights are runtime data, a NaN must not panic.
         match to {
-            Tier::Dram => candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap()),
-            Tier::Pm => candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap()),
+            Tier::Dram => candidates.sort_by(|a, b| b.1.total_cmp(&a.1)),
+            Tier::Pm => candidates.sort_by(|a, b| a.1.total_cmp(&b.1)),
         }
         candidates.truncate(max_pages as usize);
         self.migrate_pages(candidates.iter().map(|&(id, _)| id), to)
@@ -188,6 +273,11 @@ impl HmSystem {
 
     /// Migrate an explicit page list to `to`, evicting LFU DRAM pages when
     /// promoting into a full DRAM.
+    ///
+    /// With a fault plan armed, each page move may take several attempts
+    /// (all charged to `total_migration_attempts`); a page that still
+    /// fails after the retry budget is abandoned for this request and
+    /// counted in `pages_failed`.
     pub fn migrate_pages(
         &mut self,
         pages: impl IntoIterator<Item = PageId>,
@@ -205,13 +295,43 @@ impl HmSystem {
                     break; // nothing evictable; stop migrating
                 }
             }
-            let p = self.page_table.get_mut(id);
-            p.tier = to;
-            p.migrations += 1;
-            self.total_migrations += 1;
-            outcome.pages_moved += 1;
+            match self.try_migrate_page(id, to) {
+                Ok(()) => outcome.pages_moved += 1,
+                Err(HmError::MigrationFailed { .. }) => outcome.pages_failed += 1,
+                Err(_) => unreachable!("try_migrate_page only fails with MigrationFailed"),
+            }
         }
         outcome
+    }
+
+    /// Move one page to `to` with bounded retry under fault injection.
+    /// Every attempt (failed or not) is charged to
+    /// `total_migration_attempts`; without an injector the single attempt
+    /// always succeeds.
+    pub fn try_migrate_page(&mut self, id: PageId, to: Tier) -> Result<(), HmError> {
+        let max_retries = self.fault.as_ref().map(|f| f.max_retries()).unwrap_or(0);
+        let mut attempt = 0u32;
+        loop {
+            self.total_migration_attempts += 1;
+            let failed = self
+                .fault
+                .as_mut()
+                .is_some_and(|f| f.migration_attempt_fails(id, attempt));
+            if !failed {
+                let p = self.page_table.get_mut(id);
+                p.tier = to;
+                p.migrations += 1;
+                self.total_migrations += 1;
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt > max_retries {
+                if let Some(f) = self.fault.as_mut() {
+                    f.note_failed_page();
+                }
+                return Err(HmError::MigrationFailed { page: id, attempts: attempt });
+            }
+        }
     }
 
     /// Evict `n` least-frequently-accessed DRAM pages to PM ("the least
@@ -224,13 +344,14 @@ impl HmSystem {
             .filter(|(id, p)| p.tier == Tier::Dram && Some(*id) != protect)
             .map(|(id, p)| (id, p.access_count))
             .collect();
-        dram_pages.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        dram_pages.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut evicted = 0;
         for (id, _) in dram_pages.into_iter().take(n as usize) {
             let p = self.page_table.get_mut(id);
             p.tier = Tier::Pm;
             p.migrations += 1;
             self.total_migrations += 1;
+            self.total_migration_attempts += 1;
             evicted += 1;
         }
         evicted

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::system::HmError;
+
 /// A recorded bandwidth sample.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct BandwidthSample {
@@ -28,14 +30,44 @@ pub struct BandwidthTimeline {
 }
 
 impl BandwidthTimeline {
-    /// New timeline with `bin_ns`-wide bins.
+    /// New timeline with `bin_ns`-wide bins. Panics on a non-positive bin
+    /// width; use [`BandwidthTimeline::try_new`] to handle that as an error.
     pub fn new(bin_ns: f64) -> Self {
-        assert!(bin_ns > 0.0);
-        Self {
+        Self::try_new(bin_ns).expect("telemetry bin width must be positive")
+    }
+
+    /// Fallible constructor: rejects non-positive or non-finite bin widths
+    /// instead of panicking.
+    pub fn try_new(bin_ns: f64) -> Result<Self, HmError> {
+        if !(bin_ns > 0.0 && bin_ns.is_finite()) {
+            return Err(HmError::InvalidConfig(format!(
+                "telemetry bin width must be positive and finite, got {bin_ns}"
+            )));
+        }
+        Ok(Self {
             bin_ns,
             dram_bytes: Vec::new(),
             pm_bytes: Vec::new(),
             clock_ns: 0.0,
+        })
+    }
+
+    /// Bin width, ns.
+    pub fn bin_ns(&self) -> f64 {
+        self.bin_ns
+    }
+
+    /// Number of bins materialised so far.
+    pub fn num_bins(&self) -> usize {
+        self.dram_bytes.len()
+    }
+
+    /// Zero the byte counters of bin `bin` (telemetry blackout fault:
+    /// the collector lost that sampling interval).
+    pub fn blackout_bin(&mut self, bin: usize) {
+        if bin < self.dram_bytes.len() {
+            self.dram_bytes[bin] = 0.0;
+            self.pm_bytes[bin] = 0.0;
         }
     }
 
@@ -151,5 +183,27 @@ mod tests {
         t.advance(50.0);
         t.advance(25.0);
         assert!((t.clock_ns - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_widths() {
+        assert!(BandwidthTimeline::try_new(0.0).is_err());
+        assert!(BandwidthTimeline::try_new(-5.0).is_err());
+        assert!(BandwidthTimeline::try_new(f64::NAN).is_err());
+        assert!(BandwidthTimeline::try_new(f64::INFINITY).is_err());
+        assert!(BandwidthTimeline::try_new(10.0).is_ok());
+    }
+
+    #[test]
+    fn blackout_zeroes_one_bin() {
+        let mut t = BandwidthTimeline::new(100.0);
+        t.record_interval(0.0, 200.0, 2000.0, 400.0);
+        assert_eq!(t.num_bins(), 2);
+        t.blackout_bin(0);
+        let s = t.samples();
+        assert_eq!(s[0].dram_gbps, 0.0);
+        assert_eq!(s[0].pm_gbps, 0.0);
+        assert!(s[1].dram_gbps > 0.0);
+        t.blackout_bin(99); // out of range: no-op
     }
 }

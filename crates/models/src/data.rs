@@ -107,7 +107,7 @@ mod tests {
         let (tr2, te2) = train_test_split(&d, 0.5, 9);
         assert_eq!(tr1.y, tr2.y);
         let mut all: Vec<f64> = tr2.y.iter().chain(te2.y.iter()).copied().collect();
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(all, (0..50).map(|i| i as f64).collect::<Vec<_>>());
     }
 

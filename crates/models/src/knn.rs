@@ -82,7 +82,7 @@ impl Regressor for KNeighborsRegressor {
             })
             .collect();
         let k = self.k.min(dist.len());
-        dist.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).unwrap());
+        dist.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         dist[..k].iter().map(|&(_, t)| t).sum::<f64>() / k as f64
     }
 }

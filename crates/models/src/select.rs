@@ -56,7 +56,7 @@ pub fn recursive_feature_elimination(d: &Dataset, seed: u64) -> Vec<EliminationS
         let (drop_pos, _) = imp
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty");
         kept.remove(drop_pos);
     }

@@ -110,7 +110,7 @@ impl DecisionTreeRegressor {
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         let mut sorted = idx.to_vec();
         for &f in &features {
-            sorted.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
+            sorted.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
             let mut lsum = 0.0;
             let mut lsq = 0.0;
             for (k, &i) in sorted.iter().enumerate().take(n - 1) {

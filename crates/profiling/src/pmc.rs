@@ -48,6 +48,25 @@ impl PmcEvents {
         self.values[..k.min(NUM_EVENTS)].to_vec()
     }
 
+    /// Mark event `i` as lost (sample dropout). Missing events are the NaN
+    /// sentinel so existing event vectors stay plain `[f64; 14]` arrays;
+    /// the performance model detects them and degrades its prediction.
+    pub fn mark_missing(&mut self, i: usize) {
+        if i < NUM_EVENTS {
+            self.values[i] = f64::NAN;
+        }
+    }
+
+    /// True when no event was lost.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// Number of lost (non-finite) events.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_finite()).count()
+    }
+
     /// The paper's 8-event feature vector.
     pub fn top8(&self) -> Vec<f64> {
         self.features(8)
@@ -250,6 +269,21 @@ mod tests {
         assert_eq!(a, b);
         let other = PmcGenerator::new(10).collect(&cfg, &w, &sizes, 4);
         assert_ne!(a, other);
+    }
+
+    #[test]
+    fn missing_event_helpers() {
+        let cfg = HmConfig::default();
+        let gen = PmcGenerator::new(2);
+        let mut ev = gen.collect(&cfg, &work(AccessPattern::Stream, 1e5, 0.0), &[1 << 20], 4);
+        assert!(ev.is_complete());
+        assert_eq!(ev.missing_count(), 0);
+        ev.mark_missing(1);
+        ev.mark_missing(12);
+        ev.mark_missing(999); // out of range: no-op
+        assert!(!ev.is_complete());
+        assert_eq!(ev.missing_count(), 2);
+        assert!(ev.get("IPC").unwrap().is_nan());
     }
 
     #[test]

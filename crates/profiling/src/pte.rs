@@ -68,11 +68,20 @@ impl ThermostatProfiler {
             let info = sys.page_table().get(pick);
             if info.tier == tier {
                 let scale = (end - start) as f64;
-                samples.push(PageSample {
+                let sample = PageSample {
                     page: pick,
                     object: info.object,
                     estimated_accesses: info.access_count * scale,
-                });
+                };
+                // Injected sample dropout: the PTE read is lost in transit
+                // (the scan still resets the bit, the estimate never
+                // reaches the policy).
+                let dropped = sys
+                    .fault_injector_mut()
+                    .is_some_and(|f| f.drop_pte_sample());
+                if !dropped {
+                    samples.push(sample);
+                }
                 let p = sys.page_table_mut().get_mut(pick);
                 p.accessed = false;
                 p.access_count = 0.0;
@@ -87,7 +96,7 @@ impl ThermostatProfiler {
     /// eliminate out of DRAM").
     pub fn cold_pages(&mut self, sys: &mut HmSystem, tier: Tier, n: usize) -> Vec<PageId> {
         let mut s = self.scan(sys, tier);
-        s.sort_by(|a, b| a.estimated_accesses.partial_cmp(&b.estimated_accesses).unwrap());
+        s.sort_by(|a, b| a.estimated_accesses.total_cmp(&b.estimated_accesses));
         s.truncate(n);
         s.into_iter().map(|x| x.page).collect()
     }
@@ -131,21 +140,23 @@ impl SamplingHotPageProfiler {
         for id in picked {
             let info = sys.page_table().get(id);
             if info.accessed {
-                out.push(PageSample {
+                let sample = PageSample {
                     page: id,
                     object: info.object,
                     estimated_accesses: info.access_count,
-                });
+                };
+                let dropped = sys
+                    .fault_injector_mut()
+                    .is_some_and(|f| f.drop_pte_sample());
+                if !dropped {
+                    out.push(sample);
+                }
             }
             let p = sys.page_table_mut().get_mut(id);
             p.accessed = false;
             p.access_count = 0.0;
         }
-        out.sort_by(|a, b| {
-            b.estimated_accesses
-                .partial_cmp(&a.estimated_accesses)
-                .unwrap()
-        });
+        out.sort_by(|a, b| b.estimated_accesses.total_cmp(&a.estimated_accesses));
         out
     }
 }
@@ -259,6 +270,31 @@ mod tests {
         // The coldest sampled page should belong to the cold object most of
         // the time; with seed 5 this is deterministic.
         assert_eq!(sys.page_table().get(cold[0]).object, b);
+    }
+
+    #[test]
+    fn sample_dropout_loses_samples_deterministically() {
+        use merch_hm::FaultPlan;
+        let run = |dropout: f64| {
+            let (mut sys, _, _) = system_with_objects();
+            sys.set_fault_plan(
+                FaultPlan::none().with_seed(11).with_sample_dropout(dropout, 0.0),
+            )
+            .unwrap();
+            sys.begin_round(0);
+            let mut prof = SamplingHotPageProfiler::new(3, 400);
+            let n = prof.sample(&mut sys, Tier::Pm).len();
+            (n, sys.fault_stats().dropped_pte_samples)
+        };
+        let (clean, d0) = run(0.0);
+        assert_eq!(d0, 0);
+        let (faulted_a, da) = run(0.5);
+        let (faulted_b, db) = run(0.5);
+        assert!(faulted_a < clean, "dropout should lose samples");
+        assert!(da > 0);
+        // Deterministic replay: identical counts for identical plans.
+        assert_eq!(faulted_a, faulted_b);
+        assert_eq!(da, db);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Fault-injection properties: determinism of the injected fault streams
+//! and the capacity invariants the degradation ladder must preserve.
+
+use proptest::prelude::*;
+
+use merchandiser_suite::core::perfmodel::PerformanceModel;
+use merchandiser_suite::core::policy::MerchandiserPolicy;
+use merchandiser_suite::hm::page::PAGE_SIZE;
+use merchandiser_suite::hm::runtime::Executor;
+use merchandiser_suite::hm::workload::testutil::SkewedWorkload;
+use merchandiser_suite::hm::{
+    FaultInjector, FaultPlan, HmConfig, HmSystem, ObjectSpec, Tier,
+};
+use merchandiser_suite::models::{GradientBoostedRegressor, Regressor};
+use merchandiser_suite::patterns::ObjectPatternMap;
+
+fn linear_model() -> PerformanceModel {
+    let mut f = GradientBoostedRegressor::new(1, 0.1, 1, 0);
+    f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
+    PerformanceModel { f, num_events: 8 }
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0f64..0.6,
+        0u32..4,
+        0.0f64..0.6,
+        0.0f64..0.6,
+        0u64..(64 * PAGE_SIZE),
+        0u64..6,
+        0.0f64..0.5,
+    )
+        .prop_map(
+            |(seed, fail, retries, pte, pmc, pressure, period, blackout)| {
+                FaultPlan::none()
+                    .with_seed(seed)
+                    .with_migration_failures(fail, retries)
+                    .with_sample_dropout(pte, pmc)
+                    .with_dram_pressure(pressure, period)
+                    .with_telemetry_blackout(blackout)
+            },
+        )
+}
+
+fn faulted_run(plan: &FaultPlan, seed: u64) -> String {
+    let app = SkewedWorkload {
+        tasks: 2,
+        rounds: 3,
+        base_accesses: 1e5,
+        obj_bytes: 32 * PAGE_SIZE,
+    };
+    let mut sys = HmSystem::new(
+        HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE),
+        seed,
+    );
+    sys.set_fault_plan(plan.clone()).unwrap();
+    let policy = MerchandiserPolicy::new(linear_model(), ObjectPatternMap::new(), Default::default(), seed);
+    let report = Executor::new(sys, app, policy).run();
+    format!("{report:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same fault plan produces bit-identical runs: every fault
+    /// decision is a pure function of (plan seed, event identity), so two
+    /// executions replay the same failures, dropouts and reports.
+    #[test]
+    fn same_fault_seed_reproduces_run_reports(plan in arb_plan(), seed in 0u64..1000) {
+        let a = faulted_run(&plan, seed);
+        let b = faulted_run(&plan, seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two injectors built from equal plans emit identical decision
+    /// streams, in any interleaving of the query kinds.
+    #[test]
+    fn injector_decision_stream_is_deterministic(
+        seed in any::<u64>(),
+        fail in 0.0f64..1.0,
+        pmc in 0.0f64..1.0,
+        blackout in 0.0f64..1.0,
+        queries in proptest::collection::vec((0u64..512, 0u64..4, 0u64..8), 1..80),
+    ) {
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            .with_migration_failures(fail, 2)
+            .with_sample_dropout(0.3, pmc)
+            .with_telemetry_blackout(blackout);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for round in 0..3u64 {
+            a.begin_round(round);
+            b.begin_round(round);
+            for &(x, attempt, kind) in &queries {
+                let (da, db) = match kind % 4 {
+                    0 => (
+                        a.migration_attempt_fails(x, attempt as u32),
+                        b.migration_attempt_fails(x, attempt as u32),
+                    ),
+                    1 => (a.drop_pte_sample(), b.drop_pte_sample()),
+                    2 => (
+                        a.drop_pmc_event(x as usize, attempt as usize),
+                        b.drop_pmc_event(x as usize, attempt as usize),
+                    ),
+                    _ => (a.blackout_bin(x as usize), b.blackout_bin(x as usize)),
+                };
+                prop_assert_eq!(da, db);
+            }
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// DRAM bytes-in-tier never exceed capacity, under co-tenant pressure
+    /// and partial migration failure combined.
+    #[test]
+    fn dram_capacity_holds_under_pressure_and_failures(
+        seed in any::<u64>(),
+        fail in 0.0f64..0.9,
+        pressure_pages in 0u64..48,
+        period in 0u64..5,
+        objs in proptest::collection::vec(4u64..32, 1..5),
+        rounds in 1u64..6,
+    ) {
+        let dram_pages = 32u64;
+        let total_pages: u64 = objs.iter().sum();
+        let mut sys = HmSystem::new(
+            HmConfig::calibrated(dram_pages * PAGE_SIZE, (total_pages + 1) * PAGE_SIZE),
+            1,
+        );
+        sys.set_fault_plan(
+            FaultPlan::none()
+                .with_seed(seed)
+                .with_migration_failures(fail, 2)
+                .with_dram_pressure(pressure_pages * PAGE_SIZE, period),
+        )
+        .unwrap();
+        let ids: Vec<_> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                sys.allocate(&ObjectSpec::new(&format!("o{i}"), p * PAGE_SIZE), Tier::Pm)
+                    .unwrap()
+            })
+            .collect();
+        for round in 0..rounds {
+            sys.begin_round(round);
+            // The co-tenant's reservation shrinks what the tier reports free.
+            prop_assert!(sys.free_bytes(Tier::Dram) <= sys.config.dram.capacity);
+            for &id in &ids {
+                sys.migrate_object_pages(id, Tier::Dram, 16);
+                prop_assert!(
+                    sys.page_table().bytes_in(Tier::Dram) <= sys.config.dram.capacity,
+                    "DRAM over capacity: {} > {}",
+                    sys.page_table().bytes_in(Tier::Dram),
+                    sys.config.dram.capacity
+                );
+            }
+            // Pages are conserved regardless of failed attempts.
+            prop_assert_eq!(
+                sys.page_table().bytes_in(Tier::Dram) + sys.page_table().bytes_in(Tier::Pm),
+                total_pages * PAGE_SIZE
+            );
+        }
+    }
+}
+
+/// `FaultPlan::none()` arms nothing: the injector is absent and the run is
+/// byte-for-byte the same as never calling `set_fault_plan` at all.
+#[test]
+fn none_plan_is_byte_identical_to_no_plan() {
+    let run = |arm_none: bool| {
+        let app = SkewedWorkload {
+            tasks: 2,
+            rounds: 3,
+            base_accesses: 1e5,
+            obj_bytes: 32 * PAGE_SIZE,
+        };
+        let mut sys = HmSystem::new(
+            HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE),
+            7,
+        );
+        if arm_none {
+            sys.set_fault_plan(FaultPlan::none()).unwrap();
+        }
+        let policy =
+            MerchandiserPolicy::new(linear_model(), ObjectPatternMap::new(), Default::default(), 7);
+        format!("{:?}", Executor::new(sys, app, policy).run())
+    };
+    assert_eq!(run(true), run(false));
+}

@@ -24,6 +24,9 @@ fn round(times: &[f64]) -> RoundReport {
         round: 0,
         tasks: times.iter().enumerate().map(|(t, &ns)| task(t, ns)).collect(),
         migration_pages: 0,
+        migration_attempts: 0,
+        failed_pages: 0,
+        degraded: false,
         migration_ns: 0.0,
         round_time_ns: times.iter().cloned().fold(0.0, f64::max),
     }
@@ -49,6 +52,7 @@ fn run_report_aggregates() {
         timeline_samples: vec![],
         avg_dram_gbps: 0.0,
         avg_pm_gbps: 0.0,
+        fault: Default::default(),
     };
     assert_eq!(report.total_time_ns(), 6.0);
     // Both rounds have the same 1:2 spread → acv equals either round's cv.
@@ -66,6 +70,7 @@ fn empty_run_report_is_zero() {
         timeline_samples: vec![],
         avg_dram_gbps: 0.0,
         avg_pm_gbps: 0.0,
+        fault: Default::default(),
     };
     assert_eq!(report.total_time_ns(), 0.0);
     assert_eq!(report.acv(), 0.0);

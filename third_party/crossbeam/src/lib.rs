@@ -1,0 +1,67 @@
+//! Offline stand-in for the `crossbeam::thread::scope` API, backed by
+//! `std::thread::scope` (stabilised in Rust 1.63, after crossbeam's scoped
+//! threads were designed). Only the surface the workspace uses is provided:
+//! `crossbeam::thread::scope(|s| { s.spawn(move |_| ...); })`.
+
+/// Scoped threads.
+pub mod thread {
+    /// Result type matching crossbeam's `thread::scope` return. With the
+    /// std backend a panicking child propagates at join instead of being
+    /// captured, so the error arm is never constructed — callers that
+    /// `.expect(...)` the result behave identically.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; children spawned through it are joined before
+    /// [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread. The closure receives the scope handle
+        /// (crossbeam convention), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let handle = Scope { inner };
+                f(&handle)
+            })
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing children can be spawned; all
+    /// children are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (d, o) in data.chunks(2).zip(out.chunks_mut(2)) {
+                s.spawn(move |_| {
+                    for (x, y) in d.iter().zip(o.iter_mut()) {
+                        *y = x * 10;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

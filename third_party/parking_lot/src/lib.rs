@@ -1,0 +1,67 @@
+//! Offline stand-in for `parking_lot`: thin wrappers over the std sync
+//! primitives with parking_lot's non-poisoning, non-Result API.
+
+/// Mutex with parking_lot's infallible `lock`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// New mutex holding `t`.
+    pub fn new(t: T) -> Self {
+        Self(std::sync::Mutex::new(t))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Lock, ignoring poisoning (parking_lot has none).
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RwLock with parking_lot's infallible `read`/`write`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// New lock holding `t`.
+    pub fn new(t: T) -> Self {
+        Self(std::sync::RwLock::new(t))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Shared lock, ignoring poisoning.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive lock, ignoring poisoning.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mutex_and_rwlock_round_trip() {
+        let m = super::Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 2);
+        let rw = super::RwLock::new(5u32);
+        assert_eq!(*rw.read(), 5);
+        *rw.write() = 6;
+        assert_eq!(rw.into_inner(), 6);
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never actually serialises anything (reports are printed as TSV/Debug).
+//! With no registry access, this crate supplies the two trait names as
+//! blanket-implemented markers plus no-op derive macros, so every
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{...}` in the tree
+//! compiles unchanged.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// `serde::de` namespace subset.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace subset.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stand-in. The real
+//! traits are blanket-implemented markers, so the derives have nothing to
+//! generate — they only need to exist so `#[derive(Serialize, Deserialize)]`
+//! parses.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the marker trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the marker trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
