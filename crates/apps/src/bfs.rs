@@ -44,7 +44,13 @@ pub struct BfsApp {
 
 impl BfsApp {
     /// Build from an R-MAT graph with `rounds` BFS sources.
-    pub fn new(scale: u32, edges_per_vertex: usize, tasks: usize, rounds: usize, seed: u64) -> Self {
+    pub fn new(
+        scale: u32,
+        edges_per_vertex: usize,
+        tasks: usize,
+        rounds: usize,
+        seed: u64,
+    ) -> Self {
         // com-Orkut is an undirected social graph: symmetrise the R-MAT
         // sample (also required for the bottom-up traversal direction).
         let graph = symmetrize(&rmat(scale, edges_per_vertex, seed));
@@ -208,8 +214,11 @@ impl Workload for BfsApp {
         for (t, p) in self.parts.iter().enumerate() {
             let nnz: u64 = p.clone().map(|v| self.graph.degree(v) as u64).sum();
             specs.push(
-                ObjectSpec::new(&format!("adj_part{t}"), (nnz * 4 + p.len() as u64 * 4).max(PAGE_SIZE))
-                    .owned_by(t),
+                ObjectSpec::new(
+                    &format!("adj_part{t}"),
+                    (nnz * 4 + p.len() as u64 * 4).max(PAGE_SIZE),
+                )
+                .owned_by(t),
             );
         }
         // Shared visited array: random probes, strongly skewed by degree.
@@ -280,7 +289,14 @@ impl Workload for BfsApp {
             depth: 2,
             input_dependent_bounds: true,
             body: vec![
-                AccessStmt::read("adj", IndexExpr::Affine { stride: 1, offset: 0 }, 4),
+                AccessStmt::read(
+                    "adj",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    4,
+                ),
                 AccessStmt::read(
                     "visited",
                     IndexExpr::Indirect {
@@ -288,7 +304,14 @@ impl Workload for BfsApp {
                     },
                     4,
                 ),
-                AccessStmt::write("frontier", IndexExpr::Affine { stride: 1, offset: 0 }, 4),
+                AccessStmt::write(
+                    "frontier",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    4,
+                ),
             ],
         })
     }
@@ -404,7 +427,10 @@ mod tests {
             .iter()
             .map(|c| c.edges_scanned)
             .sum();
-        assert!(bu < td, "bottom-up {bu} should scan fewer than top-down {td}");
+        assert!(
+            bu < td,
+            "bottom-up {bu} should scan fewer than top-down {td}"
+        );
     }
 
     #[test]

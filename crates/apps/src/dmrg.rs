@@ -143,7 +143,13 @@ impl Workload for DmrgApp {
 
                 // S1: construct — stream assembly of the projected problem.
                 let construct = Phase::new("construct", d * m * 2.0)
-                    .with_access(ObjectAccess::new(h, d * d * 0.5, 8, AccessPattern::Stream, 0.1))
+                    .with_access(ObjectAccess::new(
+                        h,
+                        d * d * 0.5,
+                        8,
+                        AccessPattern::Stream,
+                        0.1,
+                    ))
                     .with_access(ObjectAccess::new(psi, d * m, 8, AccessPattern::Stream, 0.2));
 
                 // S2: Davidson — iterated blocked mat-vec H·psi: strided
@@ -169,8 +175,20 @@ impl Workload for DmrgApp {
 
                 // S3: SVD update — stream rewrite of PSI and H boundary.
                 let svd = Phase::new("svd_update", d * m * 6.0)
-                    .with_access(ObjectAccess::new(psi, d * m * 2.0, 8, AccessPattern::Stream, 0.6))
-                    .with_access(ObjectAccess::new(h, d * d * 0.2, 8, AccessPattern::Stream, 0.5));
+                    .with_access(ObjectAccess::new(
+                        psi,
+                        d * m * 2.0,
+                        8,
+                        AccessPattern::Stream,
+                        0.6,
+                    ))
+                    .with_access(ObjectAccess::new(
+                        h,
+                        d * d * 0.2,
+                        8,
+                        AccessPattern::Stream,
+                        0.5,
+                    ));
 
                 TaskWork::new(r)
                     .with_phase(construct)
@@ -187,8 +205,22 @@ impl Workload for DmrgApp {
                 depth: 2,
                 input_dependent_bounds: false,
                 body: vec![
-                    AccessStmt::read("H", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
-                    AccessStmt::read("PSI", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                    AccessStmt::read(
+                        "H",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
+                    AccessStmt::read(
+                        "PSI",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
                 ],
             })
             .with_loop(LoopNest {
@@ -196,8 +228,22 @@ impl Workload for DmrgApp {
                 depth: 3,
                 input_dependent_bounds: false,
                 body: vec![
-                    AccessStmt::read("H", IndexExpr::Affine { stride: 2, offset: 0 }, 8),
-                    AccessStmt::write("PSI", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                    AccessStmt::read(
+                        "H",
+                        IndexExpr::Affine {
+                            stride: 2,
+                            offset: 0,
+                        },
+                        8,
+                    ),
+                    AccessStmt::write(
+                        "PSI",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
                 ],
             })
     }

@@ -43,13 +43,23 @@ pub struct NwchemTcApp {
 impl NwchemTcApp {
     /// Build with `tasks` workers over a tensor of extents
     /// `(na, nb, ncd)`, tiled at `tile` with a skewed tile assignment.
-    pub fn new(tasks: usize, na: usize, nb: usize, ncd: usize, tile: usize, rounds: usize, seed: u64) -> Self {
+    pub fn new(
+        tasks: usize,
+        na: usize,
+        nb: usize,
+        ncd: usize,
+        tile: usize,
+        rounds: usize,
+        seed: u64,
+    ) -> Self {
         // Enumerate tiles and deal them task by task, but give low-index
         // tasks the thicker boundary tiles (the inequable assignment).
         let mut all = Vec::new();
         let mut s = seed;
         let mut nexts = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as usize
         };
         for a0 in (0..na).step_by(tile) {
@@ -65,7 +75,11 @@ impl NwchemTcApp {
         for (i, t) in all.into_iter().enumerate() {
             // Skewed deal: task k receives tiles at positions ≡ k (mod n)
             // plus an extra share for small k.
-            let k = if i % 7 == 0 { i % (tasks / 2).max(1) } else { i % tasks };
+            let k = if i % 7 == 0 {
+                i % (tasks / 2).max(1)
+            } else {
+                i % tasks
+            };
             tiles[k].push(t);
         }
         // Tensor slices grow slowly over the run (a ramp with a small
@@ -128,20 +142,22 @@ impl Workload for NwchemTcApp {
     }
 
     fn object_specs(&self) -> Vec<ObjectSpec> {
-        let max_scale = self
-            .round_scale
-            .iter()
-            .cloned()
-            .fold(1.0f64, f64::max);
+        let max_scale = self.round_scale.iter().cloned().fold(1.0f64, f64::max);
         let mut specs = Vec::new();
         for t in 0..self.tiles.len() {
             specs.push(
-                ObjectSpec::new(&format!("Atile{t}"), self.a_bytes(t, max_scale).max(PAGE_SIZE))
-                    .owned_by(t),
+                ObjectSpec::new(
+                    &format!("Atile{t}"),
+                    self.a_bytes(t, max_scale).max(PAGE_SIZE),
+                )
+                .owned_by(t),
             );
             specs.push(
-                ObjectSpec::new(&format!("Btile{t}"), self.b_bytes(t, max_scale).max(PAGE_SIZE))
-                    .owned_by(t),
+                ObjectSpec::new(
+                    &format!("Btile{t}"),
+                    self.b_bytes(t, max_scale).max(PAGE_SIZE),
+                )
+                .owned_by(t),
             );
             specs.push(
                 ObjectSpec::new(&format!("Ctile{t}"), self.c_bytes(t).max(PAGE_SIZE)).owned_by(t),
@@ -188,15 +204,14 @@ impl Workload for NwchemTcApp {
                 let input = Phase::new("input_processing", flops * 0.02)
                     .with_access(ObjectAccess::new(a, a_elems, 8, AccessPattern::Stream, 0.0))
                     .with_access(ObjectAccess::new(b, b_elems, 8, AccessPattern::Stream, 0.0));
-                let index = Phase::new("index_search", flops * 0.01).with_access(
-                    ObjectAccess::new(
+                let index =
+                    Phase::new("index_search", flops * 0.01).with_access(ObjectAccess::new(
                         index_map,
                         (a_elems + b_elems) * 0.12,
                         8,
                         AccessPattern::Random,
                         0.0,
-                    ),
-                );
+                    ));
                 let accum = Phase::new("accumulation", flops * 0.8)
                     .with_access(
                         ObjectAccess::new(a, flops / 48.0, 8, AccessPattern::Stream, 0.0)
@@ -232,8 +247,22 @@ impl Workload for NwchemTcApp {
                 depth: 1,
                 input_dependent_bounds: false,
                 body: vec![
-                    AccessStmt::read("Atile", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
-                    AccessStmt::read("Btile", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                    AccessStmt::read(
+                        "Atile",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
+                    AccessStmt::read(
+                        "Btile",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
                 ],
             })
             .with_loop(LoopNest {
@@ -253,7 +282,14 @@ impl Workload for NwchemTcApp {
                 depth: 3,
                 input_dependent_bounds: true,
                 body: vec![
-                    AccessStmt::read("Atile", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                    AccessStmt::read(
+                        "Atile",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
                     AccessStmt::read(
                         "Btile",
                         IndexExpr::Indirect {
@@ -261,7 +297,14 @@ impl Workload for NwchemTcApp {
                         },
                         8,
                     ),
-                    AccessStmt::write("Ctile", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                    AccessStmt::write(
+                        "Ctile",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
                 ],
             })
     }
@@ -310,7 +353,9 @@ mod tests {
     #[test]
     fn tile_assignment_is_skewed() {
         let app = tiny();
-        let flops: Vec<f64> = (0..app.num_tasks()).map(|t| app.task_flops(t, 1.0)).collect();
+        let flops: Vec<f64> = (0..app.num_tasks())
+            .map(|t| app.task_flops(t, 1.0))
+            .collect();
         let max = flops.iter().cloned().fold(0.0f64, f64::max);
         let min = flops.iter().cloned().fold(f64::INFINITY, f64::min).max(1.0);
         assert!(max / min > 1.5, "flop spread {}", max / min);
@@ -344,7 +389,11 @@ mod tests {
         let mut sys = HmSystem::new(cfg, 1);
         sys.allocate_all(&app.object_specs(), Tier::Pm).unwrap();
         let works = app.instance(0, &sys);
-        let wb = works[0].phases.iter().find(|p| p.name == "writeback").unwrap();
+        let wb = works[0]
+            .phases
+            .iter()
+            .find(|p| p.name == "writeback")
+            .unwrap();
         assert!(wb.accesses[0].write_fraction > 0.8);
     }
 

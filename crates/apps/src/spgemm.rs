@@ -111,7 +111,13 @@ impl SpgemmApp {
     /// runs SpGEMMs on *different* A and B, so sizes vary per round) and
     /// measure all bins by running the symbolic kernel. Inputs come from
     /// the Kronecker generator (the paper's GAP-kron family).
-    pub fn new(scale: u32, edges_per_vertex: usize, tasks: usize, rounds: usize, seed: u64) -> Self {
+    pub fn new(
+        scale: u32,
+        edges_per_vertex: usize,
+        tasks: usize,
+        rounds: usize,
+        seed: u64,
+    ) -> Self {
         let parts_rounds: Vec<RoundData> = (0..rounds)
             .map(|r| {
                 // Round inputs differ in sparsity (and thus all object
@@ -183,8 +189,7 @@ impl Workload for SpgemmApp {
         }
         // B is gathered randomly by every task: hot rows → skewed pages.
         specs.push(
-            ObjectSpec::new("B", self.max_over_rounds(|r| r.b_bytes).max(PAGE_SIZE))
-                .with_skew(1.1),
+            ObjectSpec::new("B", self.max_over_rounds(|r| r.b_bytes).max(PAGE_SIZE)).with_skew(1.1),
         );
         specs
     }
@@ -286,7 +291,14 @@ impl Workload for SpgemmApp {
                 depth: 3,
                 input_dependent_bounds: true,
                 body: vec![
-                    AccessStmt::read("A", IndexExpr::Affine { stride: 1, offset: 0 }, 4),
+                    AccessStmt::read(
+                        "A",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        4,
+                    ),
                     AccessStmt::read(
                         "B",
                         IndexExpr::Indirect {
@@ -294,7 +306,14 @@ impl Workload for SpgemmApp {
                         },
                         4,
                     ),
-                    AccessStmt::write("C", IndexExpr::Affine { stride: 1, offset: 0 }, 4),
+                    AccessStmt::write(
+                        "C",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        4,
+                    ),
                 ],
             })
             .with_loop(LoopNest {
@@ -302,7 +321,14 @@ impl Workload for SpgemmApp {
                 depth: 3,
                 input_dependent_bounds: true,
                 body: vec![
-                    AccessStmt::read("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                    AccessStmt::read(
+                        "A",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
                     AccessStmt::read(
                         "B",
                         IndexExpr::Indirect {
@@ -318,7 +344,14 @@ impl Workload for SpgemmApp {
                         },
                         8,
                     ),
-                    AccessStmt::write("C", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                    AccessStmt::write(
+                        "C",
+                        IndexExpr::Affine {
+                            stride: 1,
+                            offset: 0,
+                        },
+                        8,
+                    ),
                 ],
             })
     }
@@ -444,15 +477,15 @@ mod tests {
     fn runs_on_emulated_hm() {
         let app = tiny();
         let cfg = app.recommended_config();
-        let report = Executor::new(
-            HmSystem::new(cfg, 1),
-            app,
-            StaticPolicy { tier: Tier::Pm },
-        )
-        .run();
+        let report =
+            Executor::new(HmSystem::new(cfg, 1), app, StaticPolicy { tier: Tier::Pm }).run();
         assert_eq!(report.rounds.len(), 3);
         assert!(report.total_time_ns() > 0.0);
-        assert!(report.acv() > 0.05, "SpGEMM should be imbalanced: {}", report.acv());
+        assert!(
+            report.acv() > 0.05,
+            "SpGEMM should be imbalanced: {}",
+            report.acv()
+        );
     }
 
     #[test]

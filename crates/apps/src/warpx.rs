@@ -132,7 +132,8 @@ impl Workload for WarpxApp {
         for t in 0..self.num_tiles() {
             // Particle arrays: x, y, vx, vy, weight… ≈ 40 B/particle.
             specs.push(
-                ObjectSpec::new(&format!("part{t}"), (max_per_tile * 40).max(PAGE_SIZE)).owned_by(t),
+                ObjectSpec::new(&format!("part{t}"), (max_per_tile * 40).max(PAGE_SIZE))
+                    .owned_by(t),
             );
             // Field arrays E, B, J: 3 components × 8 B per cell each.
             specs.push(
@@ -164,18 +165,16 @@ impl Workload for WarpxApp {
                 let fields = sys.object_by_name(&format!("fields{t}")).unwrap();
                 let cells = self.cells_per_tile as f64;
                 let npf = np as f64;
-                let solve = Phase::new("field_solve", cells * 30.0).with_access(
-                    ObjectAccess::new(
-                        fields,
-                        cells * 5.0 * 3.0, // 5-point stencil on 3 components
-                        8,
-                        AccessPattern::Stencil {
-                            points: 5,
-                            input_dependent: false,
-                        },
-                        0.35,
-                    ),
-                );
+                let solve = Phase::new("field_solve", cells * 30.0).with_access(ObjectAccess::new(
+                    fields,
+                    cells * 5.0 * 3.0, // 5-point stencil on 3 components
+                    8,
+                    AccessPattern::Stencil {
+                        points: 5,
+                        input_dependent: false,
+                    },
+                    0.35,
+                ));
                 let deposit = Phase::new("deposit", npf * 12.0)
                     .with_access(ObjectAccess::new(
                         part,
@@ -245,8 +244,22 @@ impl Workload for WarpxApp {
                 depth: 1,
                 input_dependent_bounds: false,
                 body: vec![
-                    AccessStmt::read("part", IndexExpr::Affine { stride: 5, offset: 0 }, 8),
-                    AccessStmt::write("part", IndexExpr::Affine { stride: 5, offset: 2 }, 8),
+                    AccessStmt::read(
+                        "part",
+                        IndexExpr::Affine {
+                            stride: 5,
+                            offset: 0,
+                        },
+                        8,
+                    ),
+                    AccessStmt::write(
+                        "part",
+                        IndexExpr::Affine {
+                            stride: 5,
+                            offset: 2,
+                        },
+                        8,
+                    ),
                 ],
             })
     }

@@ -71,10 +71,7 @@ impl PlacementPolicy for AutoNumaPolicy {
             }
         }
         // Two-touch promotion: pages faulting in consecutive windows move.
-        let promote: Vec<PageId> = faulted
-            .intersection(&self.candidates)
-            .copied()
-            .collect();
+        let promote: Vec<PageId> = faulted.intersection(&self.candidates).copied().collect();
         let reserve = (sys.config.dram.capacity as f64 * self.reserve) as u64;
         for id in promote {
             if sys.free_bytes(Tier::Dram) < reserve + PAGE_SIZE {
@@ -127,9 +124,15 @@ mod tests {
         }
         fn instance(&mut self, _round: usize, sys: &HmSystem) -> Vec<TaskWork> {
             let w = sys.object_by_name("work").unwrap();
-            vec![TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(
-                ObjectAccess::new(w, 2e6, 8, AccessPattern::Random, 0.1),
-            ))]
+            vec![
+                TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                    w,
+                    2e6,
+                    8,
+                    AccessPattern::Random,
+                    0.1,
+                ))),
+            ]
         }
     }
 
@@ -171,10 +174,7 @@ mod tests {
     #[test]
     fn capacity_respected() {
         let mut ex = Executor::new(
-            HmSystem::new(
-                HmConfig::calibrated(16 * PAGE_SIZE, 8192 * PAGE_SIZE),
-                7,
-            ),
+            HmSystem::new(HmConfig::calibrated(16 * PAGE_SIZE, 8192 * PAGE_SIZE), 7),
             Recurring { rounds: 6 },
             AutoNumaPolicy::new(7, 512),
         );

@@ -66,8 +66,7 @@ impl PlacementPolicy for DamonTieringPolicy {
             used += bytes;
             promoted.push(r.start..r.end);
         }
-        let in_promoted =
-            |id: PageId| promoted.iter().any(|range| range.contains(&id));
+        let in_promoted = |id: PageId| promoted.iter().any(|range| range.contains(&id));
         let demote: Vec<PageId> = sys
             .page_table()
             .iter()
@@ -120,12 +119,20 @@ mod tests {
             let hot = sys.object_by_name("hot").unwrap();
             let cold = sys.object_by_name("cold").unwrap();
             vec![
-                TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(
-                    ObjectAccess::new(hot, 3e6, 8, AccessPattern::Random, 0.1),
-                )),
-                TaskWork::new(1).with_phase(Phase::new("w", 0.0).with_access(
-                    ObjectAccess::new(cold, 3e4, 8, AccessPattern::Stream, 0.1),
-                )),
+                TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                    hot,
+                    3e6,
+                    8,
+                    AccessPattern::Random,
+                    0.1,
+                ))),
+                TaskWork::new(1).with_phase(Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                    cold,
+                    3e4,
+                    8,
+                    AccessPattern::Stream,
+                    0.1,
+                ))),
             ]
         }
     }

@@ -50,8 +50,7 @@ impl MemoryOptimizerPolicy {
 
     fn daemon_tick(&mut self, sys: &mut HmSystem) {
         if let Some(f) = self.budget_fraction {
-            self.profiler.budget =
-                ((sys.page_table().len() as f64 * f) as usize).max(64);
+            self.profiler.budget = ((sys.page_table().len() as f64 * f) as usize).max(64);
         }
         self.migrate_batch = self.profiler.budget / 2;
         let samples = self.profiler.sample(sys, Tier::Pm);
@@ -119,10 +118,10 @@ impl PlacementPolicy for MemoryOptimizerPolicy {
 mod tests {
     use super::*;
     use merch_hm::runtime::{Executor, StaticPolicy};
-    use merch_hm::{HmConfig, ObjectSpec};
-    use merch_patterns::AccessPattern;
-    use merch_hm::{ObjectAccess, Phase};
     use merch_hm::workload::Workload;
+    use merch_hm::{HmConfig, ObjectSpec};
+    use merch_hm::{ObjectAccess, Phase};
+    use merch_patterns::AccessPattern;
 
     /// Two equal tasks on skewed shared data: sampling should promote hot
     /// pages over rounds.

@@ -141,7 +141,13 @@ mod tests {
                     merch_hm::TaskWork::new(t).with_phase(
                         Phase::new("w", 0.0)
                             .with_access(ObjectAccess::new(hot, 3e6, 8, AccessPattern::Random, 0.1))
-                            .with_access(ObjectAccess::new(cold, 3e5, 8, AccessPattern::Stream, 0.1)),
+                            .with_access(ObjectAccess::new(
+                                cold,
+                                3e5,
+                                8,
+                                AccessPattern::Stream,
+                                0.1,
+                            )),
                     )
                 })
                 .collect()

@@ -43,8 +43,11 @@ impl PlacementPolicy for WarpxPmPolicy {
         for w in works {
             for ph in &w.phases {
                 for a in &ph.accesses {
+                    let Ok(size) = sys.try_object(a.object).map(|o| o.size) else {
+                        continue;
+                    };
                     mass[a.object.0 as usize] +=
-                        merch_hm::trace::memory_accesses(a, sys.object(a.object).size, sys.config.llc_bytes);
+                        merch_hm::trace::memory_accesses(a, size, sys.config.llc_bytes);
                 }
             }
         }

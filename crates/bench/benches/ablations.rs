@@ -5,12 +5,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use merch_bench::experiments as exp;
-use merchandiser::MerchandiserPolicy;
 use merch_apps::HpcApp;
+use merch_bench::experiments as exp;
 use merch_hm::{Executor, HmSystem};
+use merchandiser::MerchandiserPolicy;
 
-fn policy_for(app: &dyn HpcApp, model: &merchandiser::PerformanceModel, seed: u64) -> MerchandiserPolicy {
+fn policy_for(
+    app: &dyn HpcApp,
+    model: &merchandiser::PerformanceModel,
+    seed: u64,
+) -> MerchandiserPolicy {
     let map = merch_patterns::classify_kernel(&app.kernel_ir());
     MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed)
 }

@@ -16,8 +16,20 @@ fn sample_work() -> TaskWork {
     TaskWork::new(0)
         .with_phase(
             Phase::new("a", 1e6)
-                .with_access(ObjectAccess::new(ObjectId(0), 1e6, 8, AccessPattern::Stream, 0.2))
-                .with_access(ObjectAccess::new(ObjectId(1), 3e5, 8, AccessPattern::Random, 0.0)),
+                .with_access(ObjectAccess::new(
+                    ObjectId(0),
+                    1e6,
+                    8,
+                    AccessPattern::Stream,
+                    0.2,
+                ))
+                .with_access(ObjectAccess::new(
+                    ObjectId(1),
+                    3e5,
+                    8,
+                    AccessPattern::Random,
+                    0.0,
+                )),
         )
         .with_phase(Phase::new("b", 5e5).with_access(ObjectAccess::new(
             ObjectId(0),
@@ -47,7 +59,11 @@ fn bench_eq2_prediction(c: &mut Criterion) {
     let mut f = GradientBoostedRegressor::new(260, 0.08, 3, 0);
     // Train on a small synthetic problem so the tree walk depth is real.
     let x: Vec<Vec<f64>> = (0..500)
-        .map(|i| (0..9).map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0).collect())
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0)
+                .collect()
+        })
         .collect();
     let y: Vec<f64> = x.iter().map(|r| 0.5 + 0.4 * r[0] - 0.2 * r[8]).collect();
     f.fit(&x, &y);
@@ -99,10 +115,7 @@ fn bench_algorithm1(c: &mut Criterion) {
 
 /// Thermostat scan and MemoryOptimizer sampling over ~100k pages.
 fn bench_profilers(c: &mut Criterion) {
-    let mut sys = HmSystem::new(
-        HmConfig::calibrated(1 << 28, 1u64 << 30),
-        3,
-    );
+    let mut sys = HmSystem::new(HmConfig::calibrated(1 << 28, 1u64 << 30), 3);
     for i in 0..8 {
         let id = sys
             .allocate(

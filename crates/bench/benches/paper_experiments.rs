@@ -78,7 +78,12 @@ fn bench_fig4(c: &mut Criterion) {
 /// Figure 5: the task-variance statistics pipeline.
 fn bench_fig5(c: &mut Criterion) {
     let art = offline_quick();
-    let report = exp::run_app(exp::AppKind::Dmrg, exp::PolicyKind::Merchandiser, &art.model, 42);
+    let report = exp::run_app(
+        exp::AppKind::Dmrg,
+        exp::PolicyKind::Merchandiser,
+        &art.model,
+        42,
+    );
     let times = report.normalized_task_times();
     c.bench_function("fig5_boxplot_stats", |b| {
         b.iter(|| std::hint::black_box(merch_bench::BoxStats::from(&times)))

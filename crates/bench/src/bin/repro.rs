@@ -3,12 +3,15 @@
 //! ```text
 //! repro [--seed N] [--quick] [--model-cache FILE] <experiment>...
 //! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead
-//!              ablation cxl landscape motivation faults all
+//!              ablation cxl landscape motivation faults recover all
 //! ```
 //!
 //! `faults` (not part of `all`, whose output is kept stable) sweeps
 //! injected migration-failure and sample-dropout rates and reports how
-//! gracefully Merchandiser degrades.
+//! gracefully Merchandiser degrades. `recover` (also not part of `all`)
+//! crashes each app mid-run, restores from the WAL, and verifies the
+//! resumed run is bit-identical to an uninterrupted one; it exits non-zero
+//! on any mismatch.
 //!
 //! Output is TSV on stdout, one block per experiment, in the same
 //! rows/series the paper reports. Seeds are fixed by default so runs are
@@ -51,14 +54,26 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--quick] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|all>..."
+            "usage: repro [--seed N] [--quick] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|all>..."
         );
         std::process::exit(2);
     }
     if wanted.iter().any(|w| w == "all") {
         wanted = [
-            "table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "table4", "alpha",
-            "overhead", "ablation", "cxl", "landscape", "motivation",
+            "table1",
+            "table3",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "table4",
+            "alpha",
+            "overhead",
+            "ablation",
+            "cxl",
+            "landscape",
+            "motivation",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -72,13 +87,26 @@ fn main() {
     let needs_model = wanted.iter().any(|w| {
         matches!(
             w.as_str(),
-            "table3" | "table4" | "fig4" | "fig5" | "fig6" | "fig7" | "alpha" | "overhead"
-                | "ablation" | "landscape" | "motivation" | "faults"
+            "table3"
+                | "table4"
+                | "fig4"
+                | "fig5"
+                | "fig6"
+                | "fig7"
+                | "alpha"
+                | "overhead"
+                | "ablation"
+                | "landscape"
+                | "motivation"
+                | "faults"
+                | "recover"
         )
     });
     // Experiments that need the full training artifacts (Table 3 rows,
     // Figure 7 curve) cannot run from the model cache alone.
-    let needs_artifacts = wanted.iter().any(|w| matches!(w.as_str(), "table3" | "fig7"));
+    let needs_artifacts = wanted
+        .iter()
+        .any(|w| matches!(w.as_str(), "table3" | "fig7"));
     let artifacts = needs_model.then(|| {
         if !needs_artifacts {
             if let Some(path) = &model_cache {
@@ -110,7 +138,11 @@ fn main() {
             }
             "table3" => {
                 let art = artifacts.as_ref().unwrap();
-                writeln!(out, "\n# Table 3 — statistical models for f(·), held-out R²").unwrap();
+                writeln!(
+                    out,
+                    "\n# Table 3 — statistical models for f(·), held-out R²"
+                )
+                .unwrap();
                 writeln!(out, "model\tparameters\tR2").unwrap();
                 for m in &art.table3 {
                     writeln!(out, "{}\t{}\t{:.3}", m.name, m.params, m.r2).unwrap();
@@ -180,7 +212,11 @@ fn main() {
                 writeln!(out, "\n# Figure 6 — WarpX memory bandwidth over time").unwrap();
                 writeln!(out, "policy\tt_ms\tdram_gbps\tpm_gbps").unwrap();
                 for panel in exp::fig6(&art.model, seed) {
-                    for s in panel.samples.iter().filter(|s| s.dram_gbps + s.pm_gbps > 0.0) {
+                    for s in panel
+                        .samples
+                        .iter()
+                        .filter(|s| s.dram_gbps + s.pm_gbps > 0.0)
+                    {
                         writeln!(
                             out,
                             "{}\t{:.3}\t{:.2}\t{:.2}",
@@ -260,7 +296,11 @@ fn main() {
             "ablation" => {
                 let art = artifacts.as_ref().unwrap();
                 writeln!(out, "\n# Ablation study — design-choice impact").unwrap();
-                writeln!(out, "dimension\tvariant\tspeedup_vs_pm\tACV\tpages_migrated").unwrap();
+                writeln!(
+                    out,
+                    "dimension\tvariant\tspeedup_vs_pm\tACV\tpages_migrated"
+                )
+                .unwrap();
                 for r in exp::ablation(exp::AppKind::Dmrg, &art.model, seed) {
                     writeln!(
                         out,
@@ -364,6 +404,45 @@ fn main() {
                 writeln!(
                     out,
                     "# worst slowdown vs fault-free Merchandiser: {worst_slowdown:.3}×; minimum speedup over PM-only: {min_speedup:.3}"
+                )
+                .unwrap();
+            }
+            "recover" => {
+                let art = artifacts.as_ref().unwrap();
+                writeln!(
+                    out,
+                    "\n# Checkpoint/recovery — crash, restore from WAL, replay to completion"
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "application\tscenario\tcrash_round\trounds_recovered\twal_records\tresumed_total_ms\tidentical"
+                )
+                .unwrap();
+                let rows = exp::recover(&art.model, seed);
+                for r in &rows {
+                    writeln!(
+                        out,
+                        "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}",
+                        r.app,
+                        r.scenario,
+                        r.crash_round,
+                        r.rounds_recovered,
+                        r.wal_records,
+                        r.resumed_total_ns / 1e6,
+                        if r.identical { "yes" } else { "MISMATCH" }
+                    )
+                    .unwrap();
+                }
+                let mismatches = rows.iter().filter(|r| !r.identical).count();
+                if mismatches > 0 {
+                    writeln!(out, "# RECOVERY MISMATCH in {mismatches} cell(s)").unwrap();
+                    std::process::exit(1);
+                }
+                writeln!(
+                    out,
+                    "# all {} crash/recover cells replay bit-identically",
+                    rows.len()
                 )
                 .unwrap();
             }

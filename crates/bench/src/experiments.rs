@@ -178,7 +178,12 @@ pub trait PolicyObj: PlacementPolicy + Sync {}
 impl<T: PlacementPolicy + Sync> PolicyObj for T {}
 
 /// Run one (app, policy) combination end to end.
-pub fn run_app(app_kind: AppKind, policy_kind: PolicyKind, model: &PerformanceModel, seed: u64) -> RunReport {
+pub fn run_app(
+    app_kind: AppKind,
+    policy_kind: PolicyKind,
+    model: &PerformanceModel,
+    seed: u64,
+) -> RunReport {
     let app = app_kind.build(seed);
     let cfg = app.recommended_config();
     let policy = build_policy(policy_kind, model, app.as_ref(), seed);
@@ -198,7 +203,8 @@ pub fn run_app_with_faults(
     let cfg = app.recommended_config();
     let policy = build_policy(policy_kind, model, app.as_ref(), seed);
     let mut sys = HmSystem::new(cfg, seed);
-    sys.set_fault_plan(plan.clone()).expect("fault plan must validate");
+    sys.set_fault_plan(plan.clone())
+        .expect("fault plan must validate");
     Executor::new(sys, app, policy).run()
 }
 
@@ -237,7 +243,13 @@ pub struct FaultRow {
 /// and against its own fault-free run. Shows the degradation ladder keeps
 /// the slowdown bounded and the speedup over PM-only positive.
 pub fn faults(model: &PerformanceModel, seed: u64) -> Vec<FaultRow> {
-    let sweep = [(0.0, 0.0), (0.05, 0.1), (0.10, 0.2), (0.25, 0.4), (0.5, 0.6)];
+    let sweep = [
+        (0.0, 0.0),
+        (0.05, 0.1),
+        (0.10, 0.2),
+        (0.25, 0.4),
+        (0.5, 0.6),
+    ];
     let mut rows = Vec::new();
     for &app in &AppKind::all() {
         let clean = run_app(app, PolicyKind::Merchandiser, model, seed).total_time_ns();
@@ -259,6 +271,117 @@ pub fn faults(model: &PerformanceModel, seed: u64) -> Vec<FaultRow> {
                 dropped_pte_samples: merch.fault.dropped_pte_samples,
                 dropped_pmc_events: merch.fault.dropped_pmc_events,
                 degraded_rounds: merch.fault.degraded_rounds,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/recovery sweep — crash → restore → replay equivalence.
+// ---------------------------------------------------------------------------
+
+/// One row of the recovery sweep: an (app, crash scenario) cell.
+#[derive(Debug, Clone)]
+pub struct RecoverRow {
+    /// Application.
+    pub app: String,
+    /// `boundary` (between rounds) or `midmig` (inside a migration batch).
+    pub scenario: &'static str,
+    /// Round the scripted crash hits.
+    pub crash_round: u64,
+    /// Rounds already durable in the WAL when the crash hit.
+    pub rounds_recovered: usize,
+    /// Checkpoint records the WAL held at crash time.
+    pub wal_records: u64,
+    /// Total time of the crash→restore→replay run, ns.
+    pub resumed_total_ns: f64,
+    /// Resumed RunReport is bit-identical to the uninterrupted run's.
+    pub identical: bool,
+}
+
+/// Crash every app mid-run — once at a round boundary, once inside a
+/// migration batch — recover from the WAL's last durable checkpoint, and
+/// verify the resumed run reproduces the uninterrupted [`RunReport`] bit
+/// for bit (`Debug` equality covers every numeric field exactly).
+pub fn recover(model: &PerformanceModel, seed: u64) -> Vec<RecoverRow> {
+    use merch_hm::{CrashPoint, FaultKind, Wal};
+    let mut rows = Vec::new();
+    for &app in &AppKind::all() {
+        let baseline = run_app(app, PolicyKind::Merchandiser, model, seed);
+        let baseline_dbg = format!("{baseline:?}");
+        let mid = (baseline.rounds.len() as u64 / 2).max(1);
+        // Mid-migration crashes target round 1: the first planned round,
+        // where Merchandiser applies its initial Algorithm 1 placement and
+        // is all but guaranteed to batch-migrate pages. Later rounds may
+        // legitimately skip migration (the migrate-or-not gate), which
+        // would leave the scripted crash point unreached.
+        let scenarios = [
+            ("boundary", mid, CrashPoint::BetweenRounds),
+            ("midmig", 1, CrashPoint::MidMigration { after_attempts: 1 }),
+        ];
+        for (name, crash_round, point) in scenarios {
+            let wal_path = std::env::temp_dir().join(format!(
+                "merch-recover-{}-{}-{}-{}.wal",
+                std::process::id(),
+                app.name(),
+                name,
+                seed
+            ));
+            // Phase 1: run under WAL supervision until the scripted crash.
+            let workload = app.build(seed);
+            let cfg = workload.recommended_config();
+            let policy = build_policy(PolicyKind::Merchandiser, model, workload.as_ref(), seed);
+            let mut sys = HmSystem::new(cfg, seed);
+            sys.set_fault_plan(merch_hm::FaultPlan::none().with_seed(seed).with_fault(
+                FaultKind::Crash {
+                    round: crash_round,
+                    point,
+                },
+            ))
+            .expect("fault plan must validate");
+            let mut wal = Wal::create(&wal_path).expect("WAL must be creatable");
+            let mut ex = Executor::new(sys, workload, policy);
+            let outcome = ex.run_supervised(&mut wal);
+            let wal_records = wal.stats.records_appended;
+            drop(ex);
+            drop(wal);
+            let (resumed_dbg, resumed_total_ns, rounds_recovered) = match outcome {
+                // The scripted point was never reached (no migration batch
+                // in that round): the supervised run completed and must
+                // already match the uninterrupted one.
+                Ok(report) => {
+                    let total = report.total_time_ns();
+                    let n = report.rounds.len();
+                    (format!("{report:?}"), total, n)
+                }
+                // Phase 2: restore the last durable checkpoint into a
+                // fresh executor (fresh workload + policy, as after a real
+                // restart) and replay to completion.
+                Err(_) => {
+                    let ck = Wal::latest(&wal_path)
+                        .expect("WAL must be readable")
+                        .expect("WAL must hold a checkpoint");
+                    let rounds_recovered = ck.completed.len();
+                    let workload = app.build(seed);
+                    let policy =
+                        build_policy(PolicyKind::Merchandiser, model, workload.as_ref(), seed);
+                    let mut ex =
+                        Executor::resume(ck, workload, policy).expect("resume must succeed");
+                    let resumed = ex.try_run().expect("resumed run must complete");
+                    let total = resumed.total_time_ns();
+                    (format!("{resumed:?}"), total, rounds_recovered)
+                }
+            };
+            let _ = std::fs::remove_file(&wal_path);
+            rows.push(RecoverRow {
+                app: app.name().to_string(),
+                scenario: name,
+                crash_round,
+                rounds_recovered,
+                wal_records,
+                resumed_total_ns,
+                identical: resumed_dbg == baseline_dbg,
             });
         }
     }
@@ -495,19 +618,21 @@ pub fn fig7(artifacts: &TrainingArtifacts, seed: u64) -> Fig7 {
 
     let acc = |pred: &[f64], truth: &[f64]| mean_relative_accuracy(truth, pred);
     let eval_top8 = |d: &merch_models::Dataset| {
-        let pred: Vec<f64> = d
-            .x
-            .iter()
-            .map(|row| {
-                let mut feats: Vec<f64> = row[..artifacts.model.num_events].to_vec();
-                feats.push(*row.last().unwrap());
-                artifacts.model.f.predict_one(&feats).max(0.0)
-            })
-            .collect();
+        let pred: Vec<f64> =
+            d.x.iter()
+                .map(|row| {
+                    let mut feats: Vec<f64> = row[..artifacts.model.num_events].to_vec();
+                    feats.push(*row.last().unwrap());
+                    artifacts.model.f.predict_one(&feats).max(0.0)
+                })
+                .collect();
         acc(&pred, &d.y)
     };
     let eval_all = |d: &merch_models::Dataset| {
-        let pred: Vec<f64> = d.x.iter().map(|row| all_model.predict_one(row).max(0.0)).collect();
+        let pred: Vec<f64> =
+            d.x.iter()
+                .map(|row| all_model.predict_one(row).max(0.0))
+                .collect();
         acc(&pred, &d.y)
     };
 
@@ -842,11 +967,11 @@ pub fn ablation(default_app: AppKind, model: &PerformanceModel, seed: u64) -> Ve
     let mut rows = Vec::new();
     let mut pm_cache: BTreeMap<&'static str, f64> = BTreeMap::new();
     let push = |rows: &mut Vec<AblationRow>,
-                    pm_cache: &mut BTreeMap<&'static str, f64>,
-                    app: AppKind,
-                    dimension,
-                    variant: String,
-                    report: RunReport| {
+                pm_cache: &mut BTreeMap<&'static str, f64>,
+                app: AppKind,
+                dimension,
+                variant: String,
+                report: RunReport| {
         let pm = *pm_cache
             .entry(app.name())
             .or_insert_with(|| run_app(app, PolicyKind::PmOnly, model, seed).total_time_ns());
@@ -862,32 +987,78 @@ pub fn ablation(default_app: AppKind, model: &PerformanceModel, seed: u64) -> Ve
     // 1. Algorithm 1 step size (paper: 5 %).
     for step in [0.01, 0.05, 0.10, 0.20] {
         let r = merchandiser_variant(default_app, model, seed, |p| p.step = step);
-        push(&mut rows, &mut pm_cache, default_app, "alg1_step", format!("{:.0}%", step * 100.0), r);
+        push(
+            &mut rows,
+            &mut pm_cache,
+            default_app,
+            "alg1_step",
+            format!("{:.0}%", step * 100.0),
+            r,
+        );
     }
     // 2. Migrate-or-not gate horizon.
-    for (label, h) in [("never_migrate", 0.0), ("horizon_5", 5.0), ("always_migrate", 1e12)] {
+    for (label, h) in [
+        ("never_migrate", 0.0),
+        ("horizon_5", 5.0),
+        ("always_migrate", 1e12),
+    ] {
         let r = merchandiser_variant(default_app, model, seed, |p| p.migration_horizon = h);
-        push(&mut rows, &mut pm_cache, default_app, "migration_gate", label.to_string(), r);
+        push(
+            &mut rows,
+            &mut pm_cache,
+            default_app,
+            "migration_gate",
+            label.to_string(),
+            r,
+        );
     }
     // 3. α refinement (irregular app: random patterns need the refiner).
     for (label, on) in [("refined", true), ("fixed_alpha_1", false)] {
         let r = merchandiser_variant(AppKind::NwchemTc, model, seed, |p| p.refine_alpha = on);
-        push(&mut rows, &mut pm_cache, AppKind::NwchemTc, "alpha_refinement", label.to_string(), r);
+        push(
+            &mut rows,
+            &mut pm_cache,
+            AppKind::NwchemTc,
+            "alpha_refinement",
+            label.to_string(),
+            r,
+        );
     }
     // 4. Correlation function: trained GBR vs linear interpolation (f ≡ 1).
     {
         let r = merchandiser_variant(AppKind::NwchemTc, model, seed, |_| {});
-        push(&mut rows, &mut pm_cache, AppKind::NwchemTc, "correlation_fn", "gbr".to_string(), r);
+        push(
+            &mut rows,
+            &mut pm_cache,
+            AppKind::NwchemTc,
+            "correlation_fn",
+            "gbr".to_string(),
+            r,
+        );
         let mut f = merch_models::GradientBoostedRegressor::new(1, 0.1, 1, 0);
         f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
         let linear = PerformanceModel { f, num_events: 8 };
         let r = merchandiser_variant(AppKind::NwchemTc, &linear, seed, |_| {});
-        push(&mut rows, &mut pm_cache, AppKind::NwchemTc, "correlation_fn", "linear_interpolation".to_string(), r);
+        push(
+            &mut rows,
+            &mut pm_cache,
+            AppKind::NwchemTc,
+            "correlation_fn",
+            "linear_interpolation".to_string(),
+            r,
+        );
     }
     // 5. Base-profiling noise sensitivity (skewed-bin app).
     for noise in [0.0, 0.08, 0.3] {
         let r = merchandiser_variant(AppKind::Spgemm, model, seed, |p| p.profiling_noise = noise);
-        push(&mut rows, &mut pm_cache, AppKind::Spgemm, "profiling_noise", format!("{:.0}%", noise * 100.0), r);
+        push(
+            &mut rows,
+            &mut pm_cache,
+            AppKind::Spgemm,
+            "profiling_noise",
+            format!("{:.0}%", noise * 100.0),
+            r,
+        );
     }
     rows
 }

@@ -224,11 +224,7 @@ mod tests {
         // Before: the slow task needed 30 ms. With ample DRAM the allocator
         // drives it fully into DRAM (its floor is d_dram_only = 10 ms), and
         // the predicted makespan drops accordingly.
-        let makespan = plan
-            .predicted_ns
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let makespan = plan.predicted_ns.iter().cloned().fold(0.0f64, f64::max);
         assert!(makespan <= 10e6 + 1e-6, "makespan {makespan}");
         assert!((plan.fractions(&input.tasks)[1] - 1.0).abs() < 1e-9);
     }
@@ -238,7 +234,9 @@ mod tests {
         let model = linear_model();
         for cap in [1u64 << 20, 8 << 20, 1 << 28] {
             let input = AllocatorInput {
-                tasks: (0..6).map(|i| task(i, (i + 1) as f64 * 1e7, 1e6, 1 << 24)).collect(),
+                tasks: (0..6)
+                    .map(|i| task(i, (i + 1) as f64 * 1e7, 1e6, 1 << 24))
+                    .collect(),
                 dram_capacity: cap,
                 model: &model,
                 step: 0.05,

@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn builder_and_slices_agree() {
-        let a = LbHmConfig::new().with_object("H", 100).with_object("PSI", 200);
+        let a = LbHmConfig::new()
+            .with_object("H", 100)
+            .with_object("PSI", 200);
         let b = LbHmConfig::from_slices(&["H", "PSI"], &[100, 200]);
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
@@ -84,7 +86,9 @@ mod tests {
 
     #[test]
     fn re_registration_updates_size() {
-        let c = LbHmConfig::new().with_object("PSI", 100).with_object("PSI", 300);
+        let c = LbHmConfig::new()
+            .with_object("PSI", 100)
+            .with_object("PSI", 300);
         assert_eq!(c.objects["PSI"], 300);
         assert_eq!(c.len(), 1);
     }

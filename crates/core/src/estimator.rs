@@ -110,10 +110,7 @@ impl AccessEstimator {
     /// `esti_mem_acc` is "an accumulation of estimated numbers of memory
     /// accesses across all data objects" (§5).
     pub fn estimate_total(&self, sizes: &BTreeMap<String, u64>) -> f64 {
-        sizes
-            .iter()
-            .filter_map(|(n, &s)| self.estimate(n, s))
-            .sum()
+        sizes.iter().filter_map(|(n, &s)| self.estimate(n, s)).sum()
     }
 
     /// Online refinement (§4): after a task instance with input size
@@ -204,8 +201,7 @@ mod tests {
         let mut est = AccessEstimator::new();
         est.register("A", AccessPattern::Stream, 100, 10.0, 1.0, &mut table());
         est.register("B", AccessPattern::Stream, 100, 20.0, 1.0, &mut table());
-        let sizes: BTreeMap<String, u64> =
-            [("A".to_string(), 200), ("B".to_string(), 100)].into();
+        let sizes: BTreeMap<String, u64> = [("A".to_string(), 200), ("B".to_string(), 100)].into();
         assert!((est.estimate_total(&sizes) - 40.0).abs() < 1e-9);
     }
 

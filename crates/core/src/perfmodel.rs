@@ -131,7 +131,10 @@ mod tests {
         let back = PerformanceModel::load(&dir).unwrap();
         let ev = PmcEvents { values: [0.5; 14] };
         for r in [0.0, 0.3, 0.7] {
-            assert_eq!(m.predict(10.0, 4.0, &ev, r), back.predict(10.0, 4.0, &ev, r));
+            assert_eq!(
+                m.predict(10.0, 4.0, &ev, r),
+                back.predict(10.0, 4.0, &ev, r)
+            );
         }
         std::fs::remove_file(&dir).ok();
     }

@@ -23,10 +23,12 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use merch_hm::checkpoint::{esc, p_bool, p_f64, p_u32, p_u64, p_usize, unesc, Reader};
 use merch_hm::runtime::{PlacementPolicy, RoundReport};
+use merch_hm::system::HmError;
 use merch_hm::trace::memory_accesses;
 use merch_hm::{HmSystem, ObjectId, TaskWork, Tier};
-use merch_patterns::{AccessPattern, AlphaTable, ObjectPatternMap};
+use merch_patterns::{AccessPattern, AlphaRefiner, AlphaTable, ObjectPatternMap};
 use merch_profiling::{BasicBlockTable, PmcEvents, PmcGenerator};
 
 use crate::allocator::{plan_dram_accesses, AllocatorInput, AllocatorPlan, TaskInput};
@@ -56,7 +58,7 @@ fn lookup_hint(map: &BTreeMap<String, f64>, name: &str) -> Option<f64> {
 fn current_sizes(sys: &HmSystem, ts: &TaskState) -> Vec<f64> {
     ts.objects
         .iter()
-        .map(|(oid, _)| sys.object(*oid).size as f64)
+        .map(|(oid, _)| sys.try_object(*oid).map(|o| o.size as f64).unwrap_or(0.0))
         .collect()
 }
 
@@ -91,6 +93,11 @@ pub struct MerchandiserPolicy {
     pub migration_horizon: f64,
     /// Enable online α refinement (§4). Disabled only by the ablation study.
     pub refine_alpha: bool,
+    /// Straggler strikes a task may accumulate before the watchdog stops
+    /// emergency re-planning and escalates to the degradation ladder.
+    pub watchdog_strike_limit: u32,
+    /// Rounds spent on the hot-page rung after a watchdog escalation.
+    pub watchdog_fallback_span: u32,
     /// Most recent Algorithm 1 plan (inspection / tests).
     pub last_plan: Option<AllocatorPlan>,
     /// Per-round predicted task times (round index, ns per task) — used to
@@ -103,6 +110,10 @@ pub struct MerchandiserPolicy {
     state: Vec<TaskState>,
     base_works: Vec<TaskWork>,
     seed: u64,
+    /// Per-task straggler strike counters (watchdog hysteresis).
+    watchdog_strikes: BTreeMap<usize, u32>,
+    /// Remaining rounds of watchdog-forced hot-page fallback.
+    watchdog_fallback_rounds: u32,
     /// Did the last round run on a degradation-ladder rung (profile
     /// fallback, missing PMC events, or a quota shortfall from failed
     /// migrations)?
@@ -127,6 +138,8 @@ impl MerchandiserPolicy {
             profiling_noise: 0.08,
             migration_horizon: 5.0,
             refine_alpha: true,
+            watchdog_strike_limit: 3,
+            watchdog_fallback_span: 2,
             last_plan: None,
             prediction_log: Vec::new(),
             last_prediction_wall_ns: 0.0,
@@ -134,6 +147,8 @@ impl MerchandiserPolicy {
             state: Vec::new(),
             base_works: Vec::new(),
             seed,
+            watchdog_strikes: BTreeMap::new(),
+            watchdog_fallback_rounds: 0,
             degraded: false,
         }
     }
@@ -151,7 +166,11 @@ impl MerchandiserPolicy {
         if self.state.is_empty() {
             return 0.0;
         }
-        self.state.iter().map(|t| t.estimator.mean_alpha()).sum::<f64>() / self.state.len() as f64
+        self.state
+            .iter()
+            .map(|t| t.estimator.mean_alpha())
+            .sum::<f64>()
+            / self.state.len() as f64
     }
 
     /// Build base-input state from the executed round-0 works.
@@ -168,16 +187,20 @@ impl MerchandiserPolicy {
                 let mut per_object: BTreeMap<ObjectId, f64> = BTreeMap::new();
                 for ph in &work.phases {
                     for a in &ph.accesses {
-                        let size = sys.object(a.object).size;
+                        let Ok(o) = sys.try_object(a.object) else {
+                            continue;
+                        };
+                        let size = o.size;
                         *per_object.entry(a.object).or_insert(0.0) +=
                             memory_accesses(a, size, sys.config.llc_bytes);
                     }
                 }
                 for (oid, mem) in per_object {
-                    let o = sys.object(oid);
+                    let Ok(o) = sys.try_object(oid) else {
+                        continue;
+                    };
                     // Sampling profilers observe a noisy estimate.
-                    let noisy =
-                        mem * (1.0 + rng.gen_range(-1.0..1.0) * self.profiling_noise);
+                    let noisy = mem * (1.0 + rng.gen_range(-1.0..1.0) * self.profiling_noise);
                     let pattern = self.pattern_of(&o.name);
                     let reuse = lookup_hint(&self.reuse_hints, &o.name).unwrap_or(1.0);
                     estimator.register(
@@ -192,7 +215,7 @@ impl MerchandiserPolicy {
                 }
                 let base_sizes: Vec<f64> = objects
                     .iter()
-                    .map(|(oid, _)| sys.object(*oid).size as f64)
+                    .map(|(oid, _)| sys.try_object(*oid).map(|o| o.size as f64).unwrap_or(0.0))
                     .collect();
                 let table = BasicBlockTable::measure(&sys.config, work, &all_sizes, concurrency);
                 let predictor = HomogeneousPredictor::new(table, base_sizes);
@@ -228,19 +251,21 @@ impl MerchandiserPolicy {
                 let new_sizes_map: BTreeMap<String, u64> = ts
                     .objects
                     .iter()
-                    .map(|(oid, name)| (name.clone(), sys.object(*oid).size))
+                    .filter_map(|(oid, name)| {
+                        sys.try_object(*oid).ok().map(|o| (name.clone(), o.size))
+                    })
                     .collect();
                 let new_sizes_vec: Vec<f64> = ts
                     .objects
                     .iter()
-                    .map(|(oid, _)| sys.object(*oid).size as f64)
+                    .map(|(oid, _)| sys.try_object(*oid).map(|o| o.size as f64).unwrap_or(0.0))
                     .collect();
                 let total = ts.estimator.estimate_total(&new_sizes_map).max(1.0);
                 let bytes: u64 = ts
                     .objects
                     .iter()
                     .map(|(oid, name)| {
-                        let sz = sys.object(*oid).size;
+                        let sz = sys.try_object(*oid).map(|o| o.size).unwrap_or(0);
                         // Shared objects cost each task a proportional slice.
                         let sharers = self.sharer_count(name);
                         sz / sharers.max(1) as u64
@@ -300,7 +325,9 @@ impl MerchandiserPolicy {
             let mut private_e = 0.0f64;
             let mut shared_e = 0.0f64;
             for (oid, name) in &ts.objects {
-                let size = sys.object(*oid).size;
+                let Ok(size) = sys.try_object(*oid).map(|o| o.size) else {
+                    continue;
+                };
                 let e = ts.estimator.estimate(name, size).unwrap_or(0.0);
                 if self.sharer_count(name) > 1 {
                     shared_e += e;
@@ -321,7 +348,10 @@ impl MerchandiserPolicy {
         // pages first (total expected accesses × page weight).
         let mut shared_pages: Vec<(u64, f64)> = Vec::new();
         for (&oid, &esti) in &shared_esti {
-            for id in sys.object(oid).pages() {
+            let Ok(o) = sys.try_object(oid) else {
+                continue;
+            };
+            for id in o.pages() {
                 let w = sys.page_table().get(id).weight;
                 shared_pages.push((id, esti * w));
             }
@@ -348,12 +378,14 @@ impl MerchandiserPolicy {
                 if self.sharer_count(name) > 1 {
                     continue;
                 }
-                let size = sys.object(*oid).size;
+                let Ok(o) = sys.try_object(*oid) else {
+                    continue;
+                };
                 let esti = self.state[i]
                     .estimator
-                    .estimate(name, size)
+                    .estimate(name, o.size)
                     .unwrap_or(0.0);
-                for id in sys.object(*oid).pages() {
+                for id in o.pages() {
                     let w = sys.page_table().get(id).weight;
                     pages.push((id, esti * w));
                 }
@@ -413,7 +445,10 @@ impl MerchandiserPolicy {
         let mut pages: Vec<(u64, f64)> = sys
             .page_table()
             .iter()
-            .map(|(id, p)| (id, p.weight / sys.object(p.object).num_pages.max(1) as f64))
+            .map(|(id, p)| {
+                let num_pages = sys.try_object(p.object).map(|o| o.num_pages).unwrap_or(1);
+                (id, p.weight / num_pages.max(1) as f64)
+            })
             .collect();
         pages.sort_by(|a, b| b.1.total_cmp(&a.1));
         let take = (capacity / merch_hm::page::PAGE_SIZE) as usize;
@@ -435,7 +470,10 @@ impl MerchandiserPolicy {
         for (i, ts) in self.state.iter().enumerate() {
             let (mut claimed_pages, mut resident) = (0u64, 0u64);
             for (oid, _) in &ts.objects {
-                for id in sys.object(*oid).pages() {
+                let Ok(o) = sys.try_object(*oid) else {
+                    continue;
+                };
+                for id in o.pages() {
                     if claimed.contains(&id) {
                         claimed_pages += 1;
                         if sys.page_table().get(id).tier == Tier::Dram {
@@ -452,6 +490,178 @@ impl MerchandiserPolicy {
             }
         }
         shortfall
+    }
+
+    /// Serialize one task's base-input profile for a checkpoint. Names are
+    /// percent-escaped; floats use `{:?}` (shortest round-trip, preserves
+    /// the NaN sentinels of dropped PMC events).
+    fn encode_task(out: &mut String, idx: usize, ts: &TaskState) {
+        use std::fmt::Write as _;
+        writeln!(out, "task {} {}", idx, ts.objects.len()).expect("writing to String cannot fail");
+        for (oid, name) in &ts.objects {
+            writeln!(out, "obj {} {}", oid.0, esc(name)).expect("writing to String cannot fail");
+        }
+        out.push_str("events");
+        for v in &ts.events.values {
+            write!(out, " {v:?}").expect("writing to String cannot fail");
+        }
+        out.push('\n');
+        writeln!(out, "est {}", ts.estimator.objects.len()).expect("writing to String cannot fail");
+        for (name, e) in &ts.estimator.objects {
+            let pattern = match e.pattern {
+                AccessPattern::Stream => "stream".to_string(),
+                AccessPattern::Strided { stride, elem_bytes } => {
+                    format!("strided {stride} {elem_bytes}")
+                }
+                AccessPattern::Stencil {
+                    points,
+                    input_dependent,
+                } => format!("stencil {points} {}", u8::from(input_dependent)),
+                AccessPattern::Random => "random".to_string(),
+            };
+            let refiner = match &e.refiner {
+                None => "none".to_string(),
+                Some(r) => format!("ref {:?} {:?} {}", r.alpha, r.eta, r.observations),
+            };
+            writeln!(
+                out,
+                "e {} {} {:?} {:?} {:?} {} {}",
+                esc(name),
+                e.s_base,
+                e.prof_mem_acc,
+                e.alpha,
+                e.caching_ratio,
+                pattern,
+                refiner
+            )
+            .expect("writing to String cannot fail");
+        }
+        let table = &ts.predictor.table;
+        writeln!(
+            out,
+            "bbt {} {} {}",
+            table.unit_times.len(),
+            table.base_counts.len(),
+            ts.predictor.base_sizes.len()
+        )
+        .expect("writing to String cannot fail");
+        for (name, (d, p)) in &table.unit_times {
+            writeln!(out, "u {} {d:?} {p:?}", esc(name)).expect("writing to String cannot fail");
+        }
+        for (name, c) in &table.base_counts {
+            writeln!(out, "c {} {c:?}", esc(name)).expect("writing to String cannot fail");
+        }
+        out.push_str("bsizes");
+        for v in &ts.predictor.base_sizes {
+            write!(out, " {v:?}").expect("writing to String cannot fail");
+        }
+        out.push('\n');
+    }
+
+    /// Inverse of [`encode_task`](Self::encode_task).
+    fn decode_task(r: &mut Reader<'_>) -> Result<TaskState, HmError> {
+        use merch_hm::checkpoint::corrupt;
+        use merch_profiling::pmc::NUM_EVENTS;
+        let t = r.line("task", 2)?;
+        let nobj = p_usize(t[1])?;
+        let mut objects = Vec::with_capacity(nobj);
+        for _ in 0..nobj {
+            let t = r.line("obj", 2)?;
+            objects.push((ObjectId(p_u32(t[0])?), unesc(t[1])?));
+        }
+        let t = r.line("events", NUM_EVENTS)?;
+        let mut values = [0.0f64; NUM_EVENTS];
+        for (v, tok) in values.iter_mut().zip(&t) {
+            *v = p_f64(tok)?;
+        }
+        let events = PmcEvents { values };
+        let t = r.line("est", 1)?;
+        let n = p_usize(t[0])?;
+        let mut estimator = AccessEstimator::new();
+        for _ in 0..n {
+            let t = r.line("e", 7)?;
+            let tok = |i: usize| -> Result<&str, HmError> {
+                t.get(i)
+                    .copied()
+                    .ok_or_else(|| corrupt("truncated estimator entry"))
+            };
+            let name = unesc(t[0])?;
+            let (s_base, prof, alpha, caching) =
+                (p_u64(t[1])?, p_f64(t[2])?, p_f64(t[3])?, p_f64(t[4])?);
+            let mut i = 5;
+            let pattern = match tok(i)? {
+                "stream" => {
+                    i += 1;
+                    AccessPattern::Stream
+                }
+                "random" => {
+                    i += 1;
+                    AccessPattern::Random
+                }
+                "strided" => {
+                    let p = AccessPattern::Strided {
+                        stride: p_u32(tok(i + 1)?)?,
+                        elem_bytes: p_u32(tok(i + 2)?)?,
+                    };
+                    i += 3;
+                    p
+                }
+                "stencil" => {
+                    let p = AccessPattern::Stencil {
+                        points: p_u32(tok(i + 1)?)?,
+                        input_dependent: p_bool(tok(i + 2)?)?,
+                    };
+                    i += 3;
+                    p
+                }
+                other => return Err(corrupt(&format!("unknown pattern token {other:?}"))),
+            };
+            let refiner = match tok(i)? {
+                "none" => None,
+                "ref" => Some(AlphaRefiner {
+                    alpha: p_f64(tok(i + 1)?)?,
+                    eta: p_f64(tok(i + 2)?)?,
+                    observations: p_u64(tok(i + 3)?)?,
+                }),
+                other => return Err(corrupt(&format!("unknown refiner token {other:?}"))),
+            };
+            estimator.objects.insert(
+                name,
+                crate::estimator::ObjectEstimate {
+                    pattern,
+                    s_base,
+                    prof_mem_acc: prof,
+                    alpha,
+                    caching_ratio: caching,
+                    refiner,
+                },
+            );
+        }
+        let t = r.line("bbt", 3)?;
+        let (nu, nc, ns) = (p_usize(t[0])?, p_usize(t[1])?, p_usize(t[2])?);
+        let mut table = BasicBlockTable::default();
+        for _ in 0..nu {
+            let t = r.line("u", 3)?;
+            table
+                .unit_times
+                .insert(unesc(t[0])?, (p_f64(t[1])?, p_f64(t[2])?));
+        }
+        for _ in 0..nc {
+            let t = r.line("c", 2)?;
+            table.base_counts.insert(unesc(t[0])?, p_f64(t[1])?);
+        }
+        let t = r.line("bsizes", ns)?;
+        let base_sizes = t
+            .iter()
+            .take(ns)
+            .map(|s| p_f64(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TaskState {
+            estimator,
+            predictor: HomogeneousPredictor::new(table, base_sizes),
+            events,
+            objects,
+        })
     }
 }
 
@@ -475,6 +685,15 @@ impl PlacementPolicy for MerchandiserPolicy {
             // profiler would find), task-agnostically. The base
             // measurements themselves are tier-normalised and unaffected.
             self.base_works = works.to_vec();
+            self.hot_page_fallback(sys);
+            return;
+        }
+        // Watchdog escalation: repeated straggler strikes mean the task
+        // profiles are stale — ride the hot-page rung for a few rounds
+        // instead of planning on predictions that keep missing.
+        if self.watchdog_fallback_rounds > 0 {
+            self.watchdog_fallback_rounds -= 1;
+            self.degraded = true;
             self.hot_page_fallback(sys);
             return;
         }
@@ -514,7 +733,9 @@ impl PlacementPolicy for MerchandiserPolicy {
                     .map(|ts| {
                         let (mut acc, mut tot) = (0.0, 0.0);
                         for (oid, name) in &ts.objects {
-                            let size = sys.object(*oid).size;
+                            let Ok(size) = sys.try_object(*oid).map(|o| o.size) else {
+                                continue;
+                            };
                             let e = ts.estimator.estimate(name, size).unwrap_or(0.0);
                             acc += e * frac_of(sys, *oid);
                             tot += e;
@@ -535,7 +756,9 @@ impl PlacementPolicy for MerchandiserPolicy {
         // placement beats the migration cost (amortised over the horizon).
         let current = predict_with(sys, &|s, oid| s.dram_fraction(oid));
         let planned = predict_with(sys, &|s, oid| {
-            let o = s.object(oid);
+            let Ok(o) = s.try_object(oid) else {
+                return 0.0;
+            };
             let (mut w_in, mut w_tot) = (0.0, 0.0);
             for id in o.pages() {
                 let w = s.page_table().get(id).weight;
@@ -583,7 +806,7 @@ impl PlacementPolicy for MerchandiserPolicy {
             sys.reset_profiling_counters();
             return;
         }
-        let measured: Vec<(ObjectId, f64)> = sys
+        let measured: Vec<(ObjectId, String, u64, f64)> = sys
             .objects()
             .iter()
             .map(|o| {
@@ -591,12 +814,10 @@ impl PlacementPolicy for MerchandiserPolicy {
                     .pages()
                     .map(|id| sys.page_table().get(id).access_count)
                     .sum();
-                (o.id, count)
+                (o.id, o.name.clone(), o.size, count)
             })
             .collect();
-        for (oid, count) in measured {
-            let name = sys.object(oid).name.clone();
-            let size = sys.object(oid).size;
+        for (oid, name, size, count) in measured {
             let sharers = self.sharer_count(&name).max(1);
             let share = count / sharers as f64;
             if share > 0.0 {
@@ -608,6 +829,244 @@ impl PlacementPolicy for MerchandiserPolicy {
             }
         }
         sys.reset_profiling_counters();
+    }
+
+    fn save_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("merchpolicy 1\n");
+        writeln!(out, "degraded {}", u8::from(self.degraded))
+            .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "wd {} {}",
+            self.watchdog_fallback_rounds,
+            self.watchdog_strikes.len()
+        )
+        .expect("writing to String cannot fail");
+        for (task, strikes) in &self.watchdog_strikes {
+            writeln!(out, "strike {task} {strikes}").expect("writing to String cannot fail");
+        }
+        writeln!(out, "predlog {}", self.prediction_log.len())
+            .expect("writing to String cannot fail");
+        for (round, preds) in &self.prediction_log {
+            write!(out, "pred {} {}", round, preds.len()).expect("writing to String cannot fail");
+            for v in preds {
+                write!(out, " {v:?}").expect("writing to String cannot fail");
+            }
+            out.push('\n');
+        }
+        match &self.last_plan {
+            None => out.push_str("plan none\n"),
+            Some(p) => {
+                writeln!(out, "plan {} {}", p.rounds, p.dram_accesses.len())
+                    .expect("writing to String cannot fail");
+                out.push_str("pacc");
+                for v in &p.dram_accesses {
+                    write!(out, " {v:?}").expect("writing to String cannot fail");
+                }
+                out.push_str("\npns");
+                for v in &p.predicted_ns {
+                    write!(out, " {v:?}").expect("writing to String cannot fail");
+                }
+                out.push_str("\npbytes");
+                for v in &p.dram_bytes {
+                    write!(out, " {v}").expect("writing to String cannot fail");
+                }
+                out.push('\n');
+            }
+        }
+        writeln!(out, "tasks {}", self.state.len()).expect("writing to String cannot fail");
+        for (i, ts) in self.state.iter().enumerate() {
+            Self::encode_task(&mut out, i, ts);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    fn restore_state(&mut self, blob: &str) -> Result<(), HmError> {
+        use merch_hm::checkpoint::corrupt;
+        if blob.trim().is_empty() {
+            // Checkpoint written by a stateless policy: keep the fresh state.
+            return Ok(());
+        }
+        let mut r = Reader::new(blob);
+        let t = r.line("merchpolicy", 1)?;
+        let version = p_u32(t[0])?;
+        if version != 1 {
+            return Err(corrupt(&format!(
+                "unsupported merchandiser state version {version}"
+            )));
+        }
+        let t = r.line("degraded", 1)?;
+        let degraded = p_bool(t[0])?;
+        let t = r.line("wd", 2)?;
+        let (fallback, nstrikes) = (p_u32(t[0])?, p_usize(t[1])?);
+        let mut strikes = BTreeMap::new();
+        for _ in 0..nstrikes {
+            let t = r.line("strike", 2)?;
+            strikes.insert(p_usize(t[0])?, p_u32(t[1])?);
+        }
+        let t = r.line("predlog", 1)?;
+        let n = p_usize(t[0])?;
+        let mut prediction_log = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = r.line("pred", 2)?;
+            let (round, k) = (p_usize(t[0])?, p_usize(t[1])?);
+            if t.len() < 2 + k {
+                return Err(corrupt("truncated prediction entry"));
+            }
+            let preds = t[2..2 + k]
+                .iter()
+                .map(|s| p_f64(s))
+                .collect::<Result<Vec<_>, _>>()?;
+            prediction_log.push((round, preds));
+        }
+        let t = r.line("plan", 1)?;
+        let last_plan = if t[0] == "none" {
+            None
+        } else {
+            let rounds = p_usize(t[0])?;
+            let k = p_usize(
+                t.get(1)
+                    .copied()
+                    .ok_or_else(|| corrupt("truncated plan header"))?,
+            )?;
+            let t = r.line("pacc", k)?;
+            let dram_accesses = t
+                .iter()
+                .take(k)
+                .map(|s| p_f64(s))
+                .collect::<Result<Vec<_>, _>>()?;
+            let t = r.line("pns", k)?;
+            let predicted_ns = t
+                .iter()
+                .take(k)
+                .map(|s| p_f64(s))
+                .collect::<Result<Vec<_>, _>>()?;
+            let t = r.line("pbytes", k)?;
+            let dram_bytes = t
+                .iter()
+                .take(k)
+                .map(|s| p_u64(s))
+                .collect::<Result<Vec<_>, _>>()?;
+            Some(AllocatorPlan {
+                dram_accesses,
+                predicted_ns,
+                dram_bytes,
+                rounds,
+            })
+        };
+        let t = r.line("tasks", 1)?;
+        let n = p_usize(t[0])?;
+        let mut state = Vec::with_capacity(n);
+        for _ in 0..n {
+            state.push(Self::decode_task(&mut r)?);
+        }
+        r.line("end", 0)?;
+        self.degraded = degraded;
+        self.watchdog_fallback_rounds = fallback;
+        self.watchdog_strikes = strikes;
+        self.prediction_log = prediction_log;
+        self.last_plan = last_plan;
+        self.state = state;
+        self.base_works.clear();
+        Ok(())
+    }
+
+    fn round_deadlines_ns(&self, round: usize) -> Option<Vec<f64>> {
+        // A deadline only exists when this round went through the full
+        // prediction + planning path (the log's last entry is for it).
+        self.prediction_log
+            .last()
+            .filter(|(r, _)| *r == round)
+            .map(|(_, preds)| preds.clone())
+    }
+
+    fn on_straggler(
+        &mut self,
+        sys: &mut HmSystem,
+        _round: usize,
+        task: usize,
+        observed_ns: f64,
+        deadline_ns: f64,
+    ) -> bool {
+        use merch_hm::page::PAGE_SIZE;
+        let strikes = self.watchdog_strikes.entry(task).or_insert(0);
+        *strikes += 1;
+        if *strikes >= self.watchdog_strike_limit {
+            // Hysteresis: a task that keeps overrunning has a stale profile
+            // — stop thrashing on emergency migrations and escalate to the
+            // degradation ladder for the next rounds.
+            *strikes = 0;
+            self.watchdog_fallback_rounds = self.watchdog_fallback_span;
+            return false;
+        }
+        let Some(ts) = self.state.get(task) else {
+            return false;
+        };
+        // Emergency re-run of Algorithm 1 restricted to the straggler: fold
+        // the observed miss ratio into its homogeneous predictions and give
+        // it the DRAM it already holds plus whatever is free.
+        let miss = (observed_ns / deadline_ns.max(1e-9)).max(1.0);
+        let sizes = current_sizes(sys, ts);
+        let new_sizes_map: BTreeMap<String, u64> = ts
+            .objects
+            .iter()
+            .filter_map(|(oid, name)| sys.try_object(*oid).ok().map(|o| (name.clone(), o.size)))
+            .collect();
+        let total = ts.estimator.estimate_total(&new_sizes_map).max(1.0);
+        let (mut bytes, mut resident) = (0u64, 0u64);
+        for (oid, _) in &ts.objects {
+            let Ok(o) = sys.try_object(*oid) else {
+                continue;
+            };
+            bytes += o.size;
+            for id in o.pages() {
+                if sys.page_table().get(id).tier == Tier::Dram {
+                    resident += PAGE_SIZE;
+                }
+            }
+        }
+        let input = AllocatorInput {
+            tasks: vec![TaskInput {
+                task: 0,
+                d_pm_only_ns: ts.predictor.predict_pm_only(&sizes) * miss,
+                d_dram_only_ns: ts.predictor.predict_dram_only(&sizes) * miss,
+                events: ts.events.clone(),
+                total_accesses: total,
+                bytes,
+            }],
+            dram_capacity: resident + sys.free_bytes(Tier::Dram),
+            model: &self.model,
+            step: self.step,
+        };
+        let plan = plan_dram_accesses(&input);
+        let budget = plan.dram_bytes[0].saturating_sub(resident);
+        if budget < PAGE_SIZE {
+            return false;
+        }
+        // Promote the straggler's hottest PM pages up to the emergency quota.
+        let mut pages: Vec<(u64, f64)> = Vec::new();
+        for (oid, name) in &ts.objects {
+            let Ok(o) = sys.try_object(*oid) else {
+                continue;
+            };
+            let esti = ts.estimator.estimate(name, o.size).unwrap_or(0.0);
+            for id in o.pages() {
+                let p = sys.page_table().get(id);
+                if p.tier == Tier::Pm {
+                    pages.push((id, esti * p.weight));
+                }
+            }
+        }
+        pages.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let take = (budget / PAGE_SIZE) as usize;
+        let promote: Vec<u64> = pages.into_iter().take(take).map(|(id, _)| id).collect();
+        if promote.is_empty() {
+            return false;
+        }
+        sys.migrate_pages(promote, Tier::Dram).pages_moved > 0
     }
 }
 
@@ -691,7 +1150,12 @@ mod tests {
         .run();
 
         let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
-        let run_m = Executor::new(HmSystem::new(small_config(), 3), TwoTasks { rounds: 4 }, policy).run();
+        let run_m = Executor::new(
+            HmSystem::new(small_config(), 3),
+            TwoTasks { rounds: 4 },
+            policy,
+        )
+        .run();
 
         assert!(
             run_m.total_time_ns() < run_pm.total_time_ns(),
@@ -708,7 +1172,11 @@ mod tests {
     #[test]
     fn slow_task_gets_larger_dram_fraction() {
         let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
-        let mut ex = Executor::new(HmSystem::new(small_config(), 3), TwoTasks { rounds: 3 }, policy);
+        let mut ex = Executor::new(
+            HmSystem::new(small_config(), 3),
+            TwoTasks { rounds: 3 },
+            policy,
+        );
         let _ = ex.run();
         let plan = ex.policy.last_plan.as_ref().expect("plan produced");
         // Task 1 (4× accesses) must get more DRAM accesses than task 0.
@@ -722,7 +1190,11 @@ mod tests {
     #[test]
     fn prediction_overhead_is_measured_and_small() {
         let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
-        let mut ex = Executor::new(HmSystem::new(small_config(), 3), TwoTasks { rounds: 3 }, policy);
+        let mut ex = Executor::new(
+            HmSystem::new(small_config(), 3),
+            TwoTasks { rounds: 3 },
+            policy,
+        );
         let _ = ex.run();
         let ns = ex.policy.last_prediction_wall_ns;
         assert!(ns > 0.0);
@@ -733,7 +1205,11 @@ mod tests {
     #[test]
     fn alpha_refined_for_random_objects() {
         let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
-        let mut ex = Executor::new(HmSystem::new(small_config(), 3), TwoTasks { rounds: 4 }, policy);
+        let mut ex = Executor::new(
+            HmSystem::new(small_config(), 3),
+            TwoTasks { rounds: 4 },
+            policy,
+        );
         let _ = ex.run();
         let st = &ex.policy.state[0].estimator;
         let obj = st.objects.get("a").expect("object registered");
@@ -798,12 +1274,24 @@ mod tests {
                 let a = sys.object_by_name("a").unwrap();
                 let b = sys.object_by_name("b").unwrap();
                 let mut works = vec![
-                    TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(
-                        ObjectAccess::new(a, 1e5, 8, AccessPattern::Random, 0.1),
-                    )),
-                    TaskWork::new(1).with_phase(Phase::new("w", 0.0).with_access(
-                        ObjectAccess::new(b, 1e5, 8, AccessPattern::Random, 0.1),
-                    )),
+                    TaskWork::new(0).with_phase(
+                        Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                            a,
+                            1e5,
+                            8,
+                            AccessPattern::Random,
+                            0.1,
+                        )),
+                    ),
+                    TaskWork::new(1).with_phase(
+                        Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                            b,
+                            1e5,
+                            8,
+                            AccessPattern::Random,
+                            0.1,
+                        )),
+                    ),
                 ];
                 if round == 2 {
                     works.push(TaskWork::new(2).with_phase(
@@ -830,7 +1318,11 @@ mod tests {
     #[test]
     fn dram_capacity_respected() {
         let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
-        let mut ex = Executor::new(HmSystem::new(small_config(), 3), TwoTasks { rounds: 3 }, policy);
+        let mut ex = Executor::new(
+            HmSystem::new(small_config(), 3),
+            TwoTasks { rounds: 3 },
+            policy,
+        );
         let _ = ex.run();
         assert!(ex.sys.free_bytes(Tier::Dram) <= ex.sys.config.dram.capacity);
         // Never negative (u64 saturation) and some DRAM actually used.

@@ -20,8 +20,8 @@ use rand::SeedableRng;
 use merch_hm::cost::{task_cost, UniformPlacement};
 use merch_hm::{HmConfig, ObjectAccess, ObjectId, Phase, TaskWork};
 use merch_models::{
-    train_test_split, Dataset, GradientBoostedRegressor, KNeighborsRegressor,
-    KernelRidgeRegressor, MlpRegressor, RandomForestRegressor, Regressor,
+    train_test_split, Dataset, GradientBoostedRegressor, KNeighborsRegressor, KernelRidgeRegressor,
+    MlpRegressor, RandomForestRegressor, Regressor,
 };
 use merch_patterns::AccessPattern;
 use merch_profiling::{PmcGenerator, ALL_EVENTS};

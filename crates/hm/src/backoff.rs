@@ -1,0 +1,123 @@
+//! Bounded retry with deterministic jitter.
+//!
+//! PR 1 gave page migration a bounded retry loop; the checkpoint WAL needs
+//! the same discipline for transient write failures. [`Backoff`] unifies
+//! the two: a retry budget, an attempt counter, and an exponential backoff
+//! delay whose jitter is a pure function of the run seed and the attempt
+//! index — so two executions of the same plan charge bit-identical delays
+//! and the retry schedule replays exactly under checkpoint/restart.
+
+use serde::{Deserialize, Serialize};
+
+/// splitmix64 finalizer (same mixer the fault injector uses), local so the
+/// jitter stream never couples to fault-decision draws.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded-retry state machine with deterministic jitter.
+///
+/// ```
+/// use merch_hm::backoff::Backoff;
+///
+/// let mut b = Backoff::new(2, 42); // 2 retries after the first attempt
+/// assert_eq!(b.attempt(), 0);
+/// assert!(b.retry());  // attempt 1
+/// assert!(b.retry());  // attempt 2
+/// assert!(!b.retry()); // budget exhausted
+/// assert_eq!(b.attempt(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backoff {
+    max_retries: u32,
+    attempt: u32,
+    seed: u64,
+}
+
+/// Base delay of the exponential backoff schedule, ns (one page-fault
+/// round trip; doubles every retry).
+pub const BACKOFF_BASE_NS: f64 = 1_000.0;
+
+impl Backoff {
+    /// A fresh schedule: one initial attempt plus up to `max_retries`
+    /// retries. `seed` should mix the run seed with the identity of the
+    /// retried operation (page id, WAL record index, ...).
+    pub fn new(max_retries: u32, seed: u64) -> Self {
+        Self {
+            max_retries,
+            attempt: 0,
+            seed,
+        }
+    }
+
+    /// Index of the current attempt (0 = first try).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Register a failed attempt. Returns `true` when another attempt is
+    /// allowed, `false` when the retry budget is exhausted (the attempt
+    /// counter then equals total attempts made).
+    pub fn retry(&mut self) -> bool {
+        self.attempt += 1;
+        self.attempt <= self.max_retries
+    }
+
+    /// Simulated delay before the *current* attempt, ns: exponential in the
+    /// attempt index with a deterministic jitter factor in `[0.5, 1.5)`
+    /// drawn from (seed, attempt). The first attempt waits nothing.
+    pub fn delay_ns(&self) -> f64 {
+        if self.attempt == 0 {
+            return 0.0;
+        }
+        let h = mix64(self.seed ^ ((self.attempt as u64) << 32));
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        BACKOFF_BASE_NS * (1u64 << (self.attempt - 1).min(16)) as f64 * (0.5 + u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_initial_attempt_plus_retries() {
+        let mut b = Backoff::new(0, 1);
+        assert_eq!(b.attempt(), 0);
+        assert!(!b.retry());
+        assert_eq!(b.attempt(), 1);
+    }
+
+    #[test]
+    fn delay_is_deterministic_and_grows() {
+        let mk = |attempts: u32| {
+            let mut b = Backoff::new(10, 7);
+            for _ in 0..attempts {
+                b.retry();
+            }
+            b.delay_ns()
+        };
+        assert_eq!(mk(0), 0.0);
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+        // Exponential envelope: attempt 4's floor beats attempt 1's ceiling.
+        assert!(mk(4) > BACKOFF_BASE_NS * 4.0);
+        for a in 1..6 {
+            let d = mk(a);
+            let scale = BACKOFF_BASE_NS * (1u64 << (a - 1)) as f64;
+            assert!(d >= 0.5 * scale && d < 1.5 * scale, "attempt {a}: {d}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_jitter() {
+        let mut a = Backoff::new(5, 1);
+        let mut b = Backoff::new(5, 2);
+        a.retry();
+        b.retry();
+        assert_ne!(a.delay_ns(), b.delay_ns());
+    }
+}

@@ -420,8 +420,7 @@ mod tests {
         let sizes = vec![1 << 30];
         let phase = stream_phase(3e7);
         let solo = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), 0.0), 1).time_ns;
-        let crowded =
-            phase_cost(&cfg, &phase, &UniformPlacement::new(sizes, 0.0), 24).time_ns;
+        let crowded = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes, 0.0), 24).time_ns;
         assert!(crowded > solo);
     }
 
@@ -438,7 +437,13 @@ mod tests {
                 wf,
             ))
         };
-        let rd = phase_cost(&cfg, &mk(0.0), &UniformPlacement::new(sizes.clone(), 0.0), 12).time_ns;
+        let rd = phase_cost(
+            &cfg,
+            &mk(0.0),
+            &UniformPlacement::new(sizes.clone(), 0.0),
+            12,
+        )
+        .time_ns;
         let wr = phase_cost(&cfg, &mk(1.0), &UniformPlacement::new(sizes, 0.0), 12).time_ns;
         assert!(wr > rd * 1.5, "write {wr} vs read {rd}");
     }
@@ -454,7 +459,9 @@ mod tests {
         let p0 = phase_cost(&cfg, &w.phases[0], &view, 4);
         let p1 = phase_cost(&cfg, &w.phases[1], &view, 4);
         assert!((total.time_ns - (p0.time_ns + p1.time_ns)).abs() < 1e-6);
-        assert!((total.total_accesses() - (p0.total_accesses() + p1.total_accesses())).abs() < 1e-6);
+        assert!(
+            (total.total_accesses() - (p0.total_accesses() + p1.total_accesses())).abs() < 1e-6
+        );
     }
 
     #[test]

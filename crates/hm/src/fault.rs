@@ -34,6 +34,36 @@ mod domain {
     pub const PTE: u64 = 0x5054_4520; // "PTE "
     pub const PMC: u64 = 0x504D_4320; // "PMC "
     pub const TELEMETRY: u64 = 0x5445_4C45; // "TELE"
+    pub const CHECKPOINT: u64 = 0x434B_5054; // "CKPT"
+}
+
+/// Where inside a round a [`FaultKind::Crash`] strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashPoint {
+    /// At the round boundary, before the round's first mutation (the
+    /// process died between two task instances).
+    BetweenRounds,
+    /// Inside the round's migration batch, after this many page-migration
+    /// attempts have been charged (the process died mid-`move_pages`).
+    MidMigration {
+        /// Attempts completed before the crash fires.
+        after_attempts: u64,
+    },
+}
+
+/// A terminal fault: the process hosting the runtime dies. Unlike the
+/// rate-based faults, a crash is a single scripted event; the run stops
+/// with [`HmError::Crashed`](crate::system::HmError::Crashed) and is
+/// continued via `Executor::resume` from the latest checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Kill the process at `point` of `round`.
+    Crash {
+        /// Round the crash strikes in.
+        round: u64,
+        /// Position within the round.
+        point: CrashPoint,
+    },
 }
 
 /// Declarative description of the faults to inject into one run.
@@ -62,6 +92,13 @@ pub struct FaultPlan {
     pub pressure_period_rounds: u64,
     /// Probability that a finished telemetry bin is blacked out (zeroed).
     pub telemetry_blackout: f64,
+    /// Probability that one checkpoint-WAL write attempt fails (retried
+    /// with [`Backoff`](crate::backoff::Backoff); accounted in `WalStats`,
+    /// never in [`FaultStats`], so a supervised run's report stays
+    /// bit-identical to an unsupervised one).
+    pub checkpoint_write_fail_rate: f64,
+    /// Scripted terminal fault, if any (see [`FaultKind`]).
+    pub crash: Option<FaultKind>,
 }
 
 impl Default for FaultPlan {
@@ -82,6 +119,8 @@ impl FaultPlan {
             dram_pressure_bytes: 0,
             pressure_period_rounds: 0,
             telemetry_blackout: 0.0,
+            checkpoint_write_fail_rate: 0.0,
+            crash: None,
         }
     }
 
@@ -92,6 +131,8 @@ impl FaultPlan {
             && self.pmc_event_dropout == 0.0
             && self.dram_pressure_bytes == 0
             && self.telemetry_blackout == 0.0
+            && self.checkpoint_write_fail_rate == 0.0
+            && self.crash.is_none()
     }
 
     /// Set the fault seed.
@@ -130,6 +171,18 @@ impl FaultPlan {
         self
     }
 
+    /// Fail each checkpoint-WAL write attempt with probability `rate`.
+    pub fn with_checkpoint_write_failures(mut self, rate: f64) -> Self {
+        self.checkpoint_write_fail_rate = rate;
+        self
+    }
+
+    /// Arm a scripted terminal fault (currently: [`FaultKind::Crash`]).
+    pub fn with_fault(mut self, kind: FaultKind) -> Self {
+        self.crash = Some(kind);
+        self
+    }
+
     /// Check that every rate is a probability and the plan is physically
     /// meaningful.
     pub fn validate(&self) -> Result<(), HmError> {
@@ -138,6 +191,10 @@ impl FaultPlan {
             ("pte_sample_dropout", self.pte_sample_dropout),
             ("pmc_event_dropout", self.pmc_event_dropout),
             ("telemetry_blackout", self.telemetry_blackout),
+            (
+                "checkpoint_write_fail_rate",
+                self.checkpoint_write_fail_rate,
+            ),
         ] {
             if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
                 return Err(HmError::InvalidConfig(format!(
@@ -197,6 +254,11 @@ pub struct FaultInjector {
     plan: FaultPlan,
     round: u64,
     pte_draws: u64,
+    /// Page-migration attempts charged this round (drives
+    /// [`CrashPoint::MidMigration`]).
+    migration_calls: u64,
+    /// The scripted crash has fired; the system is dead until resumed.
+    crashed: bool,
     stats: FaultStats,
 }
 
@@ -207,6 +269,8 @@ impl FaultInjector {
             plan,
             round: 0,
             pte_draws: 0,
+            migration_calls: 0,
+            crashed: false,
             stats: FaultStats::default(),
         }
     }
@@ -226,6 +290,79 @@ impl FaultInjector {
     pub fn begin_round(&mut self, round: u64) {
         self.round = round;
         self.pte_draws = 0;
+        self.migration_calls = 0;
+    }
+
+    /// The round the injector's clock currently sits in.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Has the scripted crash fired? A crashed system makes no further
+    /// progress; its post-crash state is discarded and recovery replays
+    /// from the latest checkpoint.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Disarm the scripted crash (recovery: the resumed process must not
+    /// die at the same point again).
+    pub fn disarm_crash(&mut self) {
+        self.plan.crash = None;
+        self.crashed = false;
+    }
+
+    /// Does the scripted crash fire at the boundary before `round`?
+    /// One-shot: fires at most once, then latches [`crashed`](Self::crashed).
+    pub fn crash_at_round_start(&mut self, round: u64) -> bool {
+        if self.crashed {
+            return true;
+        }
+        if let Some(FaultKind::Crash {
+            round: r,
+            point: CrashPoint::BetweenRounds,
+        }) = self.plan.crash
+        {
+            if r == round {
+                self.crashed = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Does the scripted crash fire before the next page-migration attempt
+    /// of the current round? Counts attempts as a side effect.
+    pub fn crash_before_migration_attempt(&mut self) -> bool {
+        if self.crashed {
+            return true;
+        }
+        let done = self.migration_calls;
+        self.migration_calls += 1;
+        if let Some(FaultKind::Crash {
+            round: r,
+            point: CrashPoint::MidMigration { after_attempts },
+        }) = self.plan.crash
+        {
+            if r == self.round && done >= after_attempts {
+                self.crashed = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Does WAL-write attempt `attempt` of checkpoint record `record`
+    /// fail? Pure in (plan seed, record, attempt); deliberately not
+    /// recorded in [`FaultStats`] — checkpointing is supervision overhead,
+    /// and its accounting (in `WalStats`) must not perturb the run report.
+    pub fn checkpoint_write_fails(&self, record: u64, attempt: u32) -> bool {
+        self.chance(
+            self.plan.checkpoint_write_fail_rate,
+            domain::CHECKPOINT,
+            record,
+            attempt as u64,
+        )
     }
 
     /// Deterministic Bernoulli draw keyed on (seed, domain, a, b).
@@ -292,7 +429,12 @@ impl FaultInjector {
 
     /// Is telemetry bin `bin` blacked out?
     pub fn blackout_bin(&mut self, bin: usize) -> bool {
-        let out = self.chance(self.plan.telemetry_blackout, domain::TELEMETRY, bin as u64, 0);
+        let out = self.chance(
+            self.plan.telemetry_blackout,
+            domain::TELEMETRY,
+            bin as u64,
+            0,
+        );
         if out {
             self.stats.blacked_out_bins += 1;
         }
@@ -315,6 +457,109 @@ impl FaultInjector {
     /// Record DRAM pages evicted to honour co-tenant pressure.
     pub fn note_pressure_evictions(&mut self, pages: u64) {
         self.stats.pressure_evictions += pages;
+    }
+
+    /// Serialize the injector for a checkpoint: the plan, the round clock,
+    /// the per-round draw cursors, the crash latch, and the statistics.
+    pub fn encode_state(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let p = &self.plan;
+        let crash = match p.crash {
+            None => "none".to_string(),
+            Some(FaultKind::Crash {
+                round,
+                point: CrashPoint::BetweenRounds,
+            }) => format!("boundary {round}"),
+            Some(FaultKind::Crash {
+                round,
+                point: CrashPoint::MidMigration { after_attempts },
+            }) => format!("midmig {round} {after_attempts}"),
+        };
+        writeln!(
+            out,
+            "faultplan {} {:?} {} {:?} {:?} {} {} {:?} {:?} {crash}",
+            p.seed,
+            p.migration_fail_rate,
+            p.migration_max_retries,
+            p.pte_sample_dropout,
+            p.pmc_event_dropout,
+            p.dram_pressure_bytes,
+            p.pressure_period_rounds,
+            p.telemetry_blackout,
+            p.checkpoint_write_fail_rate,
+        )
+        .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "faultstate {} {} {} {}",
+            self.round, self.pte_draws, self.migration_calls, self.crashed as u8
+        )
+        .expect("writing to String cannot fail");
+        let s = &self.stats;
+        writeln!(
+            out,
+            "faultstats {} {} {} {} {} {}",
+            s.migration_retries,
+            s.failed_pages,
+            s.dropped_pte_samples,
+            s.dropped_pmc_events,
+            s.blacked_out_bins,
+            s.pressure_evictions
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Restore an injector serialized by [`encode_state`](Self::encode_state).
+    pub fn decode_state(r: &mut crate::checkpoint::Reader<'_>) -> Result<Self, HmError> {
+        use crate::checkpoint::{corrupt, p_bool, p_f64, p_u32, p_u64};
+        let t = r.line("faultplan", 9)?;
+        let crash = match &t[9..] {
+            ["none"] => None,
+            ["boundary", round] => Some(FaultKind::Crash {
+                round: p_u64(round)?,
+                point: CrashPoint::BetweenRounds,
+            }),
+            ["midmig", round, after] => Some(FaultKind::Crash {
+                round: p_u64(round)?,
+                point: CrashPoint::MidMigration {
+                    after_attempts: p_u64(after)?,
+                },
+            }),
+            _ => return Err(corrupt("bad crash spec in faultplan")),
+        };
+        let plan = FaultPlan {
+            seed: p_u64(t[0])?,
+            migration_fail_rate: p_f64(t[1])?,
+            migration_max_retries: p_u32(t[2])?,
+            pte_sample_dropout: p_f64(t[3])?,
+            pmc_event_dropout: p_f64(t[4])?,
+            dram_pressure_bytes: p_u64(t[5])?,
+            pressure_period_rounds: p_u64(t[6])?,
+            telemetry_blackout: p_f64(t[7])?,
+            checkpoint_write_fail_rate: p_f64(t[8])?,
+            crash,
+        };
+        plan.validate()?;
+        let t = r.line("faultstate", 4)?;
+        let (round, pte_draws, migration_calls, crashed) =
+            (p_u64(t[0])?, p_u64(t[1])?, p_u64(t[2])?, p_bool(t[3])?);
+        let t = r.line("faultstats", 6)?;
+        let stats = FaultStats {
+            migration_retries: p_u64(t[0])?,
+            failed_pages: p_u64(t[1])?,
+            dropped_pte_samples: p_u64(t[2])?,
+            dropped_pmc_events: p_u64(t[3])?,
+            blacked_out_bins: p_u64(t[4])?,
+            pressure_evictions: p_u64(t[5])?,
+        };
+        Ok(Self {
+            plan,
+            round,
+            pte_draws,
+            migration_calls,
+            crashed,
+            stats,
+        })
     }
 }
 
@@ -402,9 +647,8 @@ mod tests {
 
     #[test]
     fn rates_are_roughly_honoured() {
-        let mut inj = FaultInjector::new(
-            FaultPlan::none().with_seed(5).with_sample_dropout(0.2, 0.0),
-        );
+        let mut inj =
+            FaultInjector::new(FaultPlan::none().with_seed(5).with_sample_dropout(0.2, 0.0));
         inj.begin_round(0);
         let dropped = (0..10_000).filter(|_| inj.drop_pte_sample()).count();
         let rate = dropped as f64 / 10_000.0;

@@ -23,8 +23,16 @@
 //! * [`workload`] — the [`workload::Workload`] trait task-parallel
 //!   applications implement;
 //! * [`runtime`] — [`runtime::PlacementPolicy`] and the executor that runs
-//!   task instances in parallel rounds with a synchronisation barrier.
+//!   task instances in parallel rounds with a synchronisation barrier;
+//! * [`checkpoint`] — round-granular checkpoint/WAL for supervised runs
+//!   (crash→restore→replay is bit-identical to an uninterrupted run);
+//! * [`backoff`] — bounded retry with deterministic jitter, shared by page
+//!   migration and checkpoint writes;
+//! * [`fault`] — deterministic fault injection (migration failures, sample
+//!   dropout, co-tenant pressure, telemetry blackout, scripted crashes).
 
+pub mod backoff;
+pub mod checkpoint;
 pub mod config;
 pub mod cost;
 pub mod fault;
@@ -39,12 +47,14 @@ pub mod workload;
 /// Cache-line size of the emulated machine (bytes).
 pub const CACHE_LINE_BYTES: usize = merch_patterns::CACHE_LINE;
 
+pub use backoff::Backoff;
+pub use checkpoint::{Checkpoint, Wal, WalStats, CHECKPOINT_VERSION};
 pub use config::{HmConfig, Tier, TierParams};
-pub use fault::{FaultInjector, FaultPlan, FaultStats, FaultSummary};
+pub use cost::{phase_cost_detail, PhaseCostDetail, Regime};
+pub use fault::{CrashPoint, FaultInjector, FaultKind, FaultPlan, FaultStats, FaultSummary};
 pub use object::{DataObject, ObjectId, ObjectSpec};
 pub use page::{PageId, PageInfo, PageTable, PAGE_SIZE};
-pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult};
-pub use cost::{phase_cost_detail, PhaseCostDetail, Regime};
+pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult, WatchdogConfig};
 pub use system::HmSystem;
 pub use telemetry::BandwidthTimeline;
 pub use trace::{memory_accesses, ObjectAccess, Phase, TaskWork};

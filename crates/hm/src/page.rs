@@ -78,6 +78,12 @@ impl PageTable {
         first
     }
 
+    /// Append one fully-specified page (checkpoint restore only; normal
+    /// allocation goes through [`extend_for_object`](Self::extend_for_object)).
+    pub fn push_raw(&mut self, page: PageInfo) {
+        self.pages.push(page);
+    }
+
     /// Immutable page lookup.
     pub fn get(&self, id: PageId) -> &PageInfo {
         &self.pages[id as usize]

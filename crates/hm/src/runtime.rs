@@ -59,6 +59,48 @@ pub trait PlacementPolicy: Send {
     fn degraded(&self) -> bool {
         false
     }
+
+    /// Serialize the policy's state for a checkpoint (quotas, refined α
+    /// values, degradation level, ...). The blob is opaque to the WAL and
+    /// fed back through [`restore_state`](Self::restore_state) on resume.
+    /// Default: empty (stateless policy).
+    fn save_state(&self) -> String {
+        String::new()
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state). Default:
+    /// accept anything (stateless policy).
+    fn restore_state(&mut self, blob: &str) -> Result<(), crate::system::HmError> {
+        let _ = blob;
+        Ok(())
+    }
+
+    /// Per-task predicted times for the round just planned (the §5
+    /// `T_hybrid` predictions), indexed by task id — the straggler
+    /// watchdog's deadlines. `None` disables the watchdog for the round
+    /// (no prediction available: round 0, degraded mode, ...).
+    fn round_deadlines_ns(&self, round: usize) -> Option<Vec<f64>> {
+        let _ = round;
+        None
+    }
+
+    /// A task overran its predicted deadline mid-round. The policy may
+    /// re-run its placement algorithm restricted to the straggler's
+    /// objects (emergency re-planning) and migrate pages; return `true`
+    /// when it changed placement so the executor re-costs the remainder of
+    /// the straggler. Return `false` to let the round finish as observed
+    /// (e.g. hysteresis escalated to the degradation ladder instead).
+    fn on_straggler(
+        &mut self,
+        sys: &mut HmSystem,
+        round: usize,
+        task: usize,
+        observed_ns: f64,
+        deadline_ns: f64,
+    ) -> bool {
+        let _ = (sys, round, task, observed_ns, deadline_ns);
+        false
+    }
 }
 
 impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
@@ -79,6 +121,25 @@ impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
     }
     fn degraded(&self) -> bool {
         (**self).degraded()
+    }
+    fn save_state(&self) -> String {
+        (**self).save_state()
+    }
+    fn restore_state(&mut self, blob: &str) -> Result<(), crate::system::HmError> {
+        (**self).restore_state(blob)
+    }
+    fn round_deadlines_ns(&self, round: usize) -> Option<Vec<f64>> {
+        (**self).round_deadlines_ns(round)
+    }
+    fn on_straggler(
+        &mut self,
+        sys: &mut HmSystem,
+        round: usize,
+        task: usize,
+        observed_ns: f64,
+        deadline_ns: f64,
+    ) -> bool {
+        (**self).on_straggler(sys, round, task, observed_ns, deadline_ns)
     }
 }
 
@@ -129,6 +190,13 @@ pub struct RoundReport {
     pub failed_pages: u64,
     /// Did the policy place this round in a degraded (fallback) mode?
     pub degraded: bool,
+    /// Straggler-watchdog firings this round (0 or 1: the watchdog
+    /// corrects the single worst overrun per round).
+    pub straggler_events: u64,
+    /// Page-migration attempts spent by the watchdog's emergency
+    /// re-planning (charged to the straggler's corrected time, not to
+    /// `migration_ns`).
+    pub watchdog_pages: u64,
     /// Migration overhead, ns.
     pub migration_ns: f64,
     /// Round wall time: slowest task + migration overhead, ns.
@@ -237,7 +305,7 @@ impl<P: PlacementPolicy + Sync + ?Sized> PolicyViewSource for PolicyRef<'_, P> {
 
 impl PlacementView for PolicyView<'_> {
     fn object_size(&self, object: ObjectId) -> u64 {
-        self.sys.object(object).size
+        self.sys.try_object(object).map(|o| o.size).unwrap_or(0)
     }
     fn dram_fraction(&self, access: &ObjectAccess) -> f64 {
         self.policy
@@ -271,6 +339,28 @@ pub struct Executor<W, P> {
     pub timeline: BandwidthTimeline,
     /// First telemetry bin not yet considered for blackout injection.
     blackout_cursor: usize,
+    /// Reports of the rounds already driven by `try_run`/`run_supervised`.
+    completed: Vec<RoundReport>,
+    /// Next round `try_run`/`run_supervised` will execute.
+    next_round: usize,
+    /// Straggler watchdog; `None` (the default) disables it entirely and
+    /// keeps every existing output byte-stable.
+    watchdog: Option<WatchdogConfig>,
+}
+
+/// Configuration of the straggler watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Overrun tolerance: a task is a straggler when its simulated time
+    /// exceeds `deadline × slack` (the §5 `T_hybrid` prediction scaled by
+    /// this factor).
+    pub slack: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { slack: 1.25 }
+    }
 }
 
 impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
@@ -285,7 +375,11 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
 
     /// Fallible constructor: returns `OutOfCapacity` instead of panicking
     /// when the workload's working set does not fit on PM.
-    pub fn try_new(mut sys: HmSystem, workload: W, mut policy: P) -> Result<Self, crate::system::HmError> {
+    pub fn try_new(
+        mut sys: HmSystem,
+        workload: W,
+        mut policy: P,
+    ) -> Result<Self, crate::system::HmError> {
         let specs = workload.object_specs();
         sys.allocate_all(&specs, Tier::Pm)?;
         policy.on_allocate(&mut sys);
@@ -295,16 +389,132 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             policy,
             timeline: BandwidthTimeline::new(100_000.0),
             blackout_cursor: 0,
+            completed: Vec::new(),
+            next_round: 0,
+            watchdog: None,
         })
     }
 
-    /// Run every task instance and return the report.
-    pub fn run(&mut self) -> RunReport {
-        let rounds = self.workload.num_instances();
-        let mut reports = Vec::with_capacity(rounds);
-        for round in 0..rounds {
-            reports.push(self.run_round(round));
+    /// Enable the straggler watchdog.
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
+    /// Rebuild an executor from a [`Checkpoint`]: the placement state,
+    /// telemetry, and completed rounds come from the snapshot (no
+    /// re-allocation, no `on_allocate`); the policy is restored from the
+    /// opaque blob; the workload — rebuilt by the caller with the same
+    /// constructor seed — is fast-forwarded by replaying its `instance`
+    /// calls for the completed rounds (stateful workloads like WarpX
+    /// advance internal cursors there). The scripted crash is disarmed so
+    /// the resumed run does not die at the same point again.
+    pub fn resume(
+        checkpoint: crate::checkpoint::Checkpoint,
+        mut workload: W,
+        mut policy: P,
+    ) -> Result<Self, crate::system::HmError> {
+        let crate::checkpoint::Checkpoint {
+            next_round,
+            blackout_cursor,
+            mut sys,
+            timeline,
+            completed,
+            policy_state,
+        } = checkpoint;
+        policy.restore_state(&policy_state)?;
+        for round in 0..next_round {
+            let _ = workload.instance(round, &sys);
         }
+        sys.disarm_crash();
+        Ok(Self {
+            sys,
+            workload,
+            policy,
+            timeline,
+            blackout_cursor,
+            completed,
+            next_round,
+            watchdog: None,
+        })
+    }
+
+    /// The next round `try_run`/`run_supervised` will execute.
+    pub fn next_round(&self) -> usize {
+        self.next_round
+    }
+
+    /// Snapshot the full supervised-execution state at the current round
+    /// boundary.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            next_round: self.next_round,
+            blackout_cursor: self.blackout_cursor,
+            sys: self.sys.clone(),
+            timeline: self.timeline.clone(),
+            completed: self.completed.clone(),
+            policy_state: self.policy.save_state(),
+        }
+    }
+
+    /// Run every task instance and return the report. Panics if a scripted
+    /// crash fault fires; arm crashes only under [`try_run`](Self::try_run)
+    /// or [`run_supervised`](Self::run_supervised).
+    pub fn run(&mut self) -> RunReport {
+        self.try_run()
+            .expect("run failed; use try_run/run_supervised with crash fault plans")
+    }
+
+    /// Run every remaining task instance; `Err(HmError::Crashed)` when a
+    /// scripted crash fault fires mid-run.
+    pub fn try_run(&mut self) -> Result<RunReport, crate::system::HmError> {
+        let rounds = self.workload.num_instances();
+        while self.next_round < rounds {
+            let report = self.run_round(self.next_round)?;
+            if self.sys.crashed() {
+                // The crash latched inside `after_round` migrations: the
+                // process died before this round's report was persisted.
+                return Err(crate::system::HmError::Crashed {
+                    round: self.next_round as u64,
+                });
+            }
+            self.completed.push(report);
+            self.next_round += 1;
+        }
+        Ok(self.report())
+    }
+
+    /// Supervised run: append a checkpoint record to `wal` at every round
+    /// boundary (including the initial one, so a crash inside round 0
+    /// recovers too). Checkpoint-write faults are retried with
+    /// [`Backoff`](crate::backoff::Backoff) and skipped on exhaustion — see
+    /// [`Wal::append`](crate::checkpoint::Wal::append); WAL accounting
+    /// stays in `wal.stats` so the returned report is bit-identical to an
+    /// unsupervised run of the same plan.
+    pub fn run_supervised(
+        &mut self,
+        wal: &mut crate::checkpoint::Wal,
+    ) -> Result<RunReport, crate::system::HmError> {
+        let rounds = self.workload.num_instances();
+        let ck = self.checkpoint();
+        wal.append(&ck, self.sys.fault_injector())?;
+        while self.next_round < rounds {
+            let report = self.run_round(self.next_round)?;
+            if self.sys.crashed() {
+                return Err(crate::system::HmError::Crashed {
+                    round: self.next_round as u64,
+                });
+            }
+            self.completed.push(report);
+            self.next_round += 1;
+            let ck = self.checkpoint();
+            wal.append(&ck, self.sys.fault_injector())?;
+        }
+        Ok(self.report())
+    }
+
+    /// Assemble the [`RunReport`] from the rounds completed so far.
+    fn report(&self) -> RunReport {
         let stats = self.sys.fault_stats();
         let fault = crate::fault::FaultSummary {
             migration_attempts: self.sys.total_migration_attempts,
@@ -314,12 +524,12 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             dropped_pmc_events: stats.dropped_pmc_events,
             blacked_out_bins: stats.blacked_out_bins,
             pressure_evictions: stats.pressure_evictions,
-            degraded_rounds: reports.iter().filter(|r| r.degraded).count() as u64,
+            degraded_rounds: self.completed.iter().filter(|r| r.degraded).count() as u64,
         };
         RunReport {
             workload: self.workload.name().to_string(),
             policy: self.policy.name(),
-            rounds: reports,
+            rounds: self.completed.clone(),
             timeline_samples: self.timeline.samples(),
             avg_dram_gbps: self.timeline.avg_dram_gbps(),
             avg_pm_gbps: self.timeline.avg_pm_gbps(),
@@ -328,8 +538,16 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
     }
 
     /// Run a single round; exposed for policies that need fine-grained
-    /// control in tests.
-    pub fn run_round(&mut self, round: usize) -> RoundReport {
+    /// control in tests. `Err(HmError::Crashed)` when a scripted crash
+    /// fault fires at this round's boundary or inside its migration batch.
+    pub fn run_round(&mut self, round: usize) -> Result<RoundReport, crate::system::HmError> {
+        // Scripted boundary crash: the process dies before any of this
+        // round's mutations, so recovery replays the round from scratch.
+        if self.sys.crash_at_round_start(round as u64) {
+            return Err(crate::system::HmError::Crashed {
+                round: round as u64,
+            });
+        }
         // New input: update logical object sizes and re-draw drifting
         // hot-page distributions.
         for (name, size) in self.workload.object_sizes(round) {
@@ -357,22 +575,99 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         let failed_before = self.sys.fault_stats().failed_pages;
         self.sys.begin_round(round as u64);
         self.policy.before_round(&mut self.sys, round, &works);
+        if self.sys.crashed() {
+            // Scripted mid-migration crash: the batch died partway; the
+            // post-crash state is discarded by recovery.
+            return Err(crate::system::HmError::Crashed {
+                round: round as u64,
+            });
+        }
         let migration_pages = self.sys.total_migrations - migrations_before;
         let migration_attempts = self.sys.total_migration_attempts - attempts_before;
         let failed_pages = self.sys.fault_stats().failed_pages - failed_before;
         let migration_ns = migration_time_ns(&self.sys.config, migration_attempts);
 
         // Execute all tasks in parallel (real threads, simulated time).
-        let results = execute_tasks(&self.sys, &self.policy, &works, concurrency);
+        let mut results = execute_tasks(&self.sys, &self.policy, &works, concurrency);
 
         // Record page-level accesses for the profilers.
         for (work, res) in works.iter().zip(&results) {
             debug_assert_eq!(work.task, res.task);
             for phase in &work.phases {
                 for a in &phase.accesses {
-                    let size = self.sys.object(a.object).size;
+                    let size = match self.sys.try_object(a.object) {
+                        Ok(o) => o.size,
+                        Err(_) => continue,
+                    };
                     let mem = crate::trace::memory_accesses(a, size, self.sys.config.llc_bytes);
                     self.sys.record_accesses(a.object, mem);
+                }
+            }
+        }
+
+        // Straggler watchdog: compare each task's simulated time against
+        // its predicted T_hybrid deadline (×slack). On the worst overrun,
+        // give the policy one in-round correction shot (emergency re-run
+        // of Algorithm 1 restricted to the straggler's objects); if it
+        // migrated pages, charge the correction and re-cost the remainder
+        // of the straggler under the new placement.
+        let mut straggler_events = 0u64;
+        let mut watchdog_pages = 0u64;
+        if let Some(wd) = self.watchdog {
+            if let Some(deadlines) = self.policy.round_deadlines_ns(round) {
+                let mut worst: Option<(usize, f64)> = None;
+                for (i, r) in results.iter().enumerate() {
+                    let Some(&deadline) = deadlines.get(r.task) else {
+                        continue;
+                    };
+                    if deadline > 0.0 && r.time_ns > deadline * wd.slack {
+                        let ratio = r.time_ns / deadline;
+                        if worst.is_none_or(|(_, w)| ratio > w) {
+                            worst = Some((i, ratio));
+                        }
+                    }
+                }
+                if let Some((i, _)) = worst {
+                    straggler_events = 1;
+                    let task = results[i].task;
+                    let observed = results[i].time_ns;
+                    let deadline = deadlines[task];
+                    let attempts_before = self.sys.total_migration_attempts;
+                    let acted =
+                        self.policy
+                            .on_straggler(&mut self.sys, round, task, observed, deadline);
+                    watchdog_pages = self.sys.total_migration_attempts - attempts_before;
+                    if acted && watchdog_pages > 0 {
+                        let correction_ns = migration_time_ns(&self.sys.config, watchdog_pages);
+                        let new_cost = {
+                            let policy_ref = PolicyRef(&self.policy);
+                            let view = PolicyView {
+                                sys: &self.sys,
+                                policy: &policy_ref,
+                            };
+                            task_cost(&self.sys.config, &works[i], &view, concurrency)
+                        };
+                        // The straggler ran `detect_ns` before the watchdog
+                        // fired; the remaining fraction re-runs at the
+                        // corrected placement's speed.
+                        let detect_ns = deadline * wd.slack;
+                        let frac_done = (detect_ns / observed).min(1.0);
+                        let corrected =
+                            detect_ns + correction_ns + (1.0 - frac_done) * new_cost.time_ns;
+                        if corrected < observed {
+                            let old = results[i].cost;
+                            let blend = |o: f64, n: f64| frac_done * o + (1.0 - frac_done) * n;
+                            results[i].time_ns = corrected;
+                            results[i].cost = PhaseCost {
+                                time_ns: corrected,
+                                dram_bytes: blend(old.dram_bytes, new_cost.dram_bytes),
+                                pm_bytes: blend(old.pm_bytes, new_cost.pm_bytes),
+                                dram_accesses: blend(old.dram_accesses, new_cost.dram_accesses),
+                                pm_accesses: blend(old.pm_accesses, new_cost.pm_accesses),
+                                compute_ns: blend(old.compute_ns, new_cost.compute_ns),
+                            };
+                        }
+                    }
                 }
             }
         }
@@ -389,7 +684,11 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         self.timeline.advance(round_time);
 
         // Telemetry blackout: bins completed by this round may be lost.
-        if self.sys.fault_plan().is_some_and(|p| p.telemetry_blackout > 0.0) {
+        if self
+            .sys
+            .fault_plan()
+            .is_some_and(|p| p.telemetry_blackout > 0.0)
+        {
             let end_bin = ((self.timeline.clock_ns / self.timeline.bin_ns()).floor() as usize)
                 .min(self.timeline.num_bins());
             for bin in self.blackout_cursor..end_bin {
@@ -411,11 +710,13 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             migration_attempts,
             failed_pages,
             degraded: self.policy.degraded(),
+            straggler_events,
+            watchdog_pages,
             migration_ns,
             round_time_ns: round_time,
         };
         self.policy.after_round(&mut self.sys, round, &report);
-        report
+        Ok(report)
     }
 }
 
@@ -453,7 +754,10 @@ fn execute_tasks<P: PlacementPolicy + Sync>(
         }
     })
     .expect("task execution threads must not panic");
-    results.into_iter().map(|r| r.expect("all tasks executed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all tasks executed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -464,10 +768,7 @@ mod tests {
     use crate::workload::testutil::SkewedWorkload;
 
     fn run_with(tier: Tier) -> RunReport {
-        let sys = HmSystem::new(
-            HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE),
-            1,
-        );
+        let sys = HmSystem::new(HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE), 1);
         let w = SkewedWorkload {
             tasks: 4,
             rounds: 3,
@@ -524,10 +825,7 @@ mod tests {
 
     #[test]
     fn profiling_counters_populated() {
-        let sys = HmSystem::new(
-            HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE),
-            1,
-        );
+        let sys = HmSystem::new(HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE), 1);
         let w = SkewedWorkload {
             tasks: 2,
             rounds: 1,
@@ -558,10 +856,7 @@ mod tests {
 
     #[test]
     fn override_beats_page_table() {
-        let sys = HmSystem::new(
-            HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE),
-            1,
-        );
+        let sys = HmSystem::new(HmConfig::calibrated(4096 * PAGE_SIZE, 32768 * PAGE_SIZE), 1);
         let w = SkewedWorkload {
             tasks: 2,
             rounds: 1,

@@ -33,6 +33,20 @@ pub enum HmError {
     },
     /// A configuration value is out of its legal domain.
     InvalidConfig(String),
+    /// An [`ObjectId`] that does not name an allocated object reached a
+    /// lookup (stale handle, profile from a different run).
+    UnknownObject(ObjectId),
+    /// The scripted crash fault fired: the process hosting the runtime
+    /// died during `round`. Continue via `Executor::resume`.
+    Crashed {
+        /// Round the crash struck in.
+        round: u64,
+    },
+    /// A checkpoint record failed validation (bad header, checksum
+    /// mismatch, or malformed payload).
+    CheckpointCorrupt(String),
+    /// Checkpoint I/O kept failing after exhausting its retry budget.
+    CheckpointIo(String),
 }
 
 impl std::fmt::Display for HmError {
@@ -48,9 +62,18 @@ impl std::fmt::Display for HmError {
             ),
             HmError::NoSuchObject(n) => write!(f, "no such object: {n}"),
             HmError::MigrationFailed { page, attempts } => {
-                write!(f, "migration of page {page} failed after {attempts} attempts")
+                write!(
+                    f,
+                    "migration of page {page} failed after {attempts} attempts"
+                )
             }
             HmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HmError::UnknownObject(id) => write!(f, "unknown object id: {}", id.0),
+            HmError::Crashed { round } => {
+                write!(f, "scripted crash fired during round {round}")
+            }
+            HmError::CheckpointCorrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            HmError::CheckpointIo(msg) => write!(f, "checkpoint I/O failed: {msg}"),
         }
     }
 }
@@ -84,6 +107,9 @@ pub struct HmSystem {
     /// `total_migrations` when no faults are injected; the runtime charges
     /// migration overhead by attempts so retries cost wall time.
     pub total_migration_attempts: u64,
+    /// Cumulative simulated backoff delay (ns) spent between migration
+    /// retry attempts (zero without injected failures).
+    pub total_backoff_ns: f64,
     seed: u64,
     fault: Option<FaultInjector>,
 }
@@ -99,9 +125,16 @@ impl HmSystem {
             by_name: BTreeMap::new(),
             total_migrations: 0,
             total_migration_attempts: 0,
+            total_backoff_ns: 0.0,
             seed,
             fault: None,
         }
+    }
+
+    /// The page-weight seed this system was created with (also keys the
+    /// deterministic jitter of checkpoint-write retries).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Arm fault injection for this system. A [`FaultPlan::none`] plan
@@ -130,6 +163,32 @@ impl HmSystem {
     /// Mutable access to the injector for profilers (sample-dropout draws).
     pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
         self.fault.as_mut()
+    }
+
+    /// Shared access to the injector (checkpoint serialization).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Has the scripted crash fault fired?
+    pub fn crashed(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.crashed())
+    }
+
+    /// Does the scripted crash strike at the boundary before `round`?
+    /// Latches [`crashed`](Self::crashed) when it does.
+    pub fn crash_at_round_start(&mut self, round: u64) -> bool {
+        self.fault
+            .as_mut()
+            .is_some_and(|f| f.crash_at_round_start(round))
+    }
+
+    /// Disarm the scripted crash after recovery so the resumed run does
+    /// not die at the same point again.
+    pub fn disarm_crash(&mut self) {
+        if let Some(f) = self.fault.as_mut() {
+            f.disarm_crash();
+        }
     }
 
     /// Start round `round`: advance the injector's clock and apply
@@ -172,7 +231,11 @@ impl HmSystem {
             });
         }
         let id = ObjectId(self.objects.len() as u32);
-        let weights = page_weights(num_pages, spec.hot_page_skew, self.seed ^ (id.0 as u64) << 17);
+        let weights = page_weights(
+            num_pages,
+            spec.hot_page_skew,
+            self.seed ^ (id.0 as u64) << 17,
+        );
         let first_page = self.page_table.extend_for_object(id, tier, weights);
         self.objects.push(DataObject {
             id,
@@ -187,13 +250,26 @@ impl HmSystem {
     }
 
     /// Allocate a full workload object list on `tier`.
-    pub fn allocate_all(&mut self, specs: &[ObjectSpec], tier: Tier) -> Result<Vec<ObjectId>, HmError> {
+    pub fn allocate_all(
+        &mut self,
+        specs: &[ObjectSpec],
+        tier: Tier,
+    ) -> Result<Vec<ObjectId>, HmError> {
         specs.iter().map(|s| self.allocate(s, tier)).collect()
     }
 
-    /// Object metadata by id.
+    /// Object metadata by id. Panics on a stale id; policy-reachable code
+    /// should use [`try_object`](Self::try_object) instead.
     pub fn object(&self, id: ObjectId) -> &DataObject {
         &self.objects[id.0 as usize]
+    }
+
+    /// Fallible object lookup: `Err(HmError::UnknownObject)` for an id
+    /// that no allocation produced (stale handle, foreign profile).
+    pub fn try_object(&self, id: ObjectId) -> Result<&DataObject, HmError> {
+        self.objects
+            .get(id.0 as usize)
+            .ok_or(HmError::UnknownObject(id))
     }
 
     /// Object id by name.
@@ -234,14 +310,19 @@ impl HmSystem {
     /// Weighted fraction of `object`'s accesses served from `tier` under the
     /// current placement.
     pub fn dram_fraction(&self, object: ObjectId) -> f64 {
-        let o = self.object(object);
+        let Ok(o) = self.try_object(object) else {
+            return 0.0;
+        };
         self.page_table.weighted_fraction_in(o.pages(), Tier::Dram)
     }
 
     /// Record `accesses` object-level accesses against `object`'s pages
-    /// (sets accessed bits, bumps counters).
+    /// (sets accessed bits, bumps counters). A stale id records nothing.
     pub fn record_accesses(&mut self, object: ObjectId, accesses: f64) {
-        let range = self.object(object).pages();
+        let Ok(o) = self.try_object(object) else {
+            return;
+        };
+        let range = o.pages();
         self.page_table.record_accesses(range, accesses);
     }
 
@@ -256,7 +337,10 @@ impl HmSystem {
         to: Tier,
         max_pages: u64,
     ) -> MigrationOutcome {
-        let range = self.object(object).pages();
+        let Ok(o) = self.try_object(object) else {
+            return MigrationOutcome::default();
+        };
+        let range = o.pages();
         let mut candidates: Vec<(PageId, f64)> = range
             .filter(|&id| self.page_table.get(id).tier != to)
             .map(|id| (id, self.page_table.get(id).weight))
@@ -298,7 +382,10 @@ impl HmSystem {
             match self.try_migrate_page(id, to) {
                 Ok(()) => outcome.pages_moved += 1,
                 Err(HmError::MigrationFailed { .. }) => outcome.pages_failed += 1,
-                Err(_) => unreachable!("try_migrate_page only fails with MigrationFailed"),
+                // Scripted crash: the batch dies mid-flight; the pages not
+                // reached stay put and the caller observes `crashed()`.
+                Err(HmError::Crashed { .. }) => break,
+                Err(_) => unreachable!("try_migrate_page fails with MigrationFailed or Crashed"),
             }
         }
         outcome
@@ -310,13 +397,19 @@ impl HmSystem {
     /// always succeeds.
     pub fn try_migrate_page(&mut self, id: PageId, to: Tier) -> Result<(), HmError> {
         let max_retries = self.fault.as_ref().map(|f| f.max_retries()).unwrap_or(0);
-        let mut attempt = 0u32;
+        let mut backoff = crate::backoff::Backoff::new(max_retries, self.seed ^ id.rotate_left(23));
         loop {
+            if let Some(f) = self.fault.as_mut() {
+                if f.crash_before_migration_attempt() {
+                    return Err(HmError::Crashed { round: f.round() });
+                }
+            }
             self.total_migration_attempts += 1;
+            self.total_backoff_ns += backoff.delay_ns();
             let failed = self
                 .fault
                 .as_mut()
-                .is_some_and(|f| f.migration_attempt_fails(id, attempt));
+                .is_some_and(|f| f.migration_attempt_fails(id, backoff.attempt()));
             if !failed {
                 let p = self.page_table.get_mut(id);
                 p.tier = to;
@@ -324,12 +417,14 @@ impl HmSystem {
                 self.total_migrations += 1;
                 return Ok(());
             }
-            attempt += 1;
-            if attempt > max_retries {
+            if !backoff.retry() {
                 if let Some(f) = self.fault.as_mut() {
                     f.note_failed_page();
                 }
-                return Err(HmError::MigrationFailed { page: id, attempts: attempt });
+                return Err(HmError::MigrationFailed {
+                    page: id,
+                    attempts: backoff.attempt(),
+                });
             }
         }
     }
@@ -370,7 +465,9 @@ impl HmSystem {
     /// instances (e.g. a different sparse matrix every main-loop iteration
     /// in SpGEMM): page *identities* stay, their access shares change.
     pub fn reassign_page_weights(&mut self, object: ObjectId, skew: f64, seed: u64) {
-        let o = &self.objects[object.0 as usize];
+        let Some(o) = self.objects.get(object.0 as usize) else {
+            return;
+        };
         let weights = crate::page::page_weights(o.num_pages, skew, seed);
         let first = o.first_page;
         for (k, w) in weights.into_iter().enumerate() {
@@ -383,7 +480,9 @@ impl HmSystem {
     /// during runtime"). Pages stay allocated at the envelope size; the
     /// logical size drives the caching-effect model and Equation 1.
     pub fn set_logical_size(&mut self, object: ObjectId, size: u64) {
-        self.objects[object.0 as usize].size = size;
+        if let Some(o) = self.objects.get_mut(object.0 as usize) {
+            o.size = size;
+        }
     }
 
     /// Multiply every page's access counter by `factor` (hotness aging, as
@@ -402,6 +501,169 @@ impl HmSystem {
             p.access_count = 0.0;
         }
     }
+
+    /// Serialize the full placement state for a checkpoint: configuration,
+    /// objects, every page's tier/weight/counters, the migration counters,
+    /// and the fault injector (plan + cursors + stats) when armed. Floats
+    /// use `{:?}` (shortest round-trip), so decode restores them bit-exact.
+    pub fn encode_state(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let c = &self.config;
+        writeln!(
+            out,
+            "hmconfig {} {:?} {:?} {:?} {:?}",
+            c.llc_bytes,
+            c.per_task_bw_cap,
+            c.tier_overlap,
+            c.page_migration_ns,
+            c.migration_parallelism
+        )
+        .expect("writing to String cannot fail");
+        for (tag, t) in [("D", &c.dram), ("P", &c.pm)] {
+            writeln!(
+                out,
+                "tier {tag} {:?} {:?} {:?} {:?} {}",
+                t.latency_seq_ns, t.latency_rand_ns, t.read_bw_gbps, t.write_bw_gbps, t.capacity
+            )
+            .expect("writing to String cannot fail");
+        }
+        writeln!(
+            out,
+            "syscounters {} {} {:?} {}",
+            self.total_migrations, self.total_migration_attempts, self.total_backoff_ns, self.seed
+        )
+        .expect("writing to String cannot fail");
+        writeln!(out, "objects {}", self.objects.len()).expect("writing to String cannot fail");
+        for o in &self.objects {
+            let owner = o.owner_task.map(|t| t as i64).unwrap_or(-1);
+            writeln!(
+                out,
+                "object {} {} {} {} {} {owner}",
+                o.id.0,
+                crate::checkpoint::esc(&o.name),
+                o.size,
+                o.first_page,
+                o.num_pages
+            )
+            .expect("writing to String cannot fail");
+        }
+        writeln!(out, "pages {}", self.page_table.len()).expect("writing to String cannot fail");
+        for (_, p) in self.page_table.iter() {
+            let tier = if p.tier == Tier::Dram { "D" } else { "P" };
+            writeln!(
+                out,
+                "p {} {tier} {:?} {} {:?} {}",
+                p.object.0, p.weight, p.accessed as u8, p.access_count, p.migrations
+            )
+            .expect("writing to String cannot fail");
+        }
+        match &self.fault {
+            None => writeln!(out, "fault 0").expect("writing to String cannot fail"),
+            Some(inj) => {
+                writeln!(out, "fault 1").expect("writing to String cannot fail");
+                inj.encode_state(out);
+            }
+        }
+    }
+
+    /// Restore a system serialized by [`encode_state`](Self::encode_state).
+    pub fn decode_state(r: &mut crate::checkpoint::Reader<'_>) -> Result<Self, HmError> {
+        use crate::checkpoint::{corrupt, p_bool, p_f64, p_u32, p_u64, p_usize, unesc};
+        use crate::config::TierParams;
+        let t = r.line("hmconfig", 5)?;
+        let (llc_bytes, per_task_bw_cap, tier_overlap, page_migration_ns, migration_parallelism) = (
+            p_u64(t[0])?,
+            p_f64(t[1])?,
+            p_f64(t[2])?,
+            p_f64(t[3])?,
+            p_f64(t[4])?,
+        );
+        let mut tier_params = |tag: &str| -> Result<TierParams, HmError> {
+            let t = r.line("tier", 6)?;
+            if t[0] != tag {
+                return Err(corrupt("tier lines out of order"));
+            }
+            Ok(TierParams {
+                latency_seq_ns: p_f64(t[1])?,
+                latency_rand_ns: p_f64(t[2])?,
+                read_bw_gbps: p_f64(t[3])?,
+                write_bw_gbps: p_f64(t[4])?,
+                capacity: p_u64(t[5])?,
+            })
+        };
+        let dram = tier_params("D")?;
+        let pm = tier_params("P")?;
+        let config = HmConfig {
+            dram,
+            pm,
+            llc_bytes,
+            per_task_bw_cap,
+            tier_overlap,
+            page_migration_ns,
+            migration_parallelism,
+        };
+        let t = r.line("syscounters", 4)?;
+        let (total_migrations, total_migration_attempts, total_backoff_ns, seed) =
+            (p_u64(t[0])?, p_u64(t[1])?, p_f64(t[2])?, p_u64(t[3])?);
+        let t = r.line("objects", 1)?;
+        let num_objects = p_usize(t[0])?;
+        let mut objects = Vec::with_capacity(num_objects);
+        let mut by_name = BTreeMap::new();
+        for k in 0..num_objects {
+            let t = r.line("object", 6)?;
+            let id = ObjectId(p_u32(t[0])?);
+            if id.0 as usize != k {
+                return Err(corrupt("object ids not dense"));
+            }
+            let name = unesc(t[1])?;
+            let owner: i64 = t[5].parse().map_err(|_| corrupt("bad owner_task"))?;
+            by_name.insert(name.clone(), id);
+            objects.push(DataObject {
+                id,
+                name,
+                size: p_u64(t[2])?,
+                first_page: p_u64(t[3])?,
+                num_pages: p_u64(t[4])?,
+                owner_task: (owner >= 0).then_some(owner as usize),
+            });
+        }
+        let t = r.line("pages", 1)?;
+        let num_pages = p_usize(t[0])?;
+        let mut page_table = PageTable::default();
+        for _ in 0..num_pages {
+            let t = r.line("p", 6)?;
+            let tier = match t[1] {
+                "D" => Tier::Dram,
+                "P" => Tier::Pm,
+                _ => return Err(corrupt("bad page tier")),
+            };
+            page_table.push_raw(crate::page::PageInfo {
+                object: ObjectId(p_u32(t[0])?),
+                tier,
+                weight: p_f64(t[2])?,
+                accessed: p_bool(t[3])?,
+                access_count: p_f64(t[4])?,
+                migrations: p_u32(t[5])?,
+            });
+        }
+        let t = r.line("fault", 1)?;
+        let fault = if p_bool(t[0])? {
+            Some(FaultInjector::decode_state(r)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            config,
+            page_table,
+            objects,
+            by_name,
+            total_migrations,
+            total_migration_attempts,
+            total_backoff_ns,
+            seed,
+            fault,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -410,10 +672,7 @@ mod tests {
 
     fn tiny_system() -> HmSystem {
         // 16 pages of DRAM, 128 pages of PM.
-        HmSystem::new(
-            HmConfig::calibrated(16 * PAGE_SIZE, 128 * PAGE_SIZE),
-            42,
-        )
+        HmSystem::new(HmConfig::calibrated(16 * PAGE_SIZE, 128 * PAGE_SIZE), 42)
     }
 
     #[test]
@@ -434,7 +693,13 @@ mod tests {
         let err = sys
             .allocate(&ObjectSpec::new("big", 17 * PAGE_SIZE), Tier::Dram)
             .unwrap_err();
-        assert!(matches!(err, HmError::OutOfCapacity { tier: Tier::Dram, .. }));
+        assert!(matches!(
+            err,
+            HmError::OutOfCapacity {
+                tier: Tier::Dram,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -458,7 +723,9 @@ mod tests {
         let a = sys
             .allocate(&ObjectSpec::new("A", 16 * PAGE_SIZE), Tier::Dram)
             .unwrap();
-        let b = sys.allocate(&ObjectSpec::new("B", PAGE_SIZE), Tier::Pm).unwrap();
+        let b = sys
+            .allocate(&ObjectSpec::new("B", PAGE_SIZE), Tier::Pm)
+            .unwrap();
         // Mark A's pages as accessed so eviction has counts to compare;
         // page 0 coldest.
         sys.record_accesses(a, 100.0);
@@ -472,7 +739,9 @@ mod tests {
     #[test]
     fn place_everything_moves_all() {
         let mut sys = tiny_system();
-        let id = sys.allocate(&ObjectSpec::new("X", 4 * PAGE_SIZE), Tier::Pm).unwrap();
+        let id = sys
+            .allocate(&ObjectSpec::new("X", 4 * PAGE_SIZE), Tier::Pm)
+            .unwrap();
         sys.place_everything(Tier::Dram);
         assert_eq!(sys.dram_fraction(id), 1.0);
         sys.place_everything(Tier::Pm);
@@ -483,7 +752,9 @@ mod tests {
     #[test]
     fn reset_clears_counters() {
         let mut sys = tiny_system();
-        let id = sys.allocate(&ObjectSpec::new("X", 2 * PAGE_SIZE), Tier::Pm).unwrap();
+        let id = sys
+            .allocate(&ObjectSpec::new("X", 2 * PAGE_SIZE), Tier::Pm)
+            .unwrap();
         sys.record_accesses(id, 50.0);
         assert!(sys.page_table().get(0).accessed);
         sys.reset_profiling_counters();

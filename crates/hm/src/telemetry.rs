@@ -126,6 +126,40 @@ impl BandwidthTimeline {
     pub fn avg_pm_gbps(&self) -> f64 {
         avg(&self.pm_bytes, self.bin_ns)
     }
+
+    /// Serialize the timeline for a checkpoint (bin width, clock, every
+    /// bin's byte counters — `{:?}` floats round-trip bit-exact).
+    pub fn encode_state(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        writeln!(
+            out,
+            "timeline {:?} {:?} {}",
+            self.bin_ns,
+            self.clock_ns,
+            self.dram_bytes.len()
+        )
+        .expect("writing to String cannot fail");
+        for (d, p) in self.dram_bytes.iter().zip(&self.pm_bytes) {
+            writeln!(out, "bin {d:?} {p:?}").expect("writing to String cannot fail");
+        }
+    }
+
+    /// Restore a timeline serialized by [`encode_state`](Self::encode_state).
+    pub fn decode_state(r: &mut crate::checkpoint::Reader<'_>) -> Result<Self, HmError> {
+        use crate::checkpoint::{p_f64, p_usize};
+        let t = r.line("timeline", 3)?;
+        let (bin_ns, clock_ns, n) = (p_f64(t[0])?, p_f64(t[1])?, p_usize(t[2])?);
+        let mut tl = Self::try_new(bin_ns)?;
+        tl.clock_ns = clock_ns;
+        tl.dram_bytes.reserve(n);
+        tl.pm_bytes.reserve(n);
+        for _ in 0..n {
+            let t = r.line("bin", 2)?;
+            tl.dram_bytes.push(p_f64(t[0])?);
+            tl.pm_bytes.push(p_f64(t[1])?);
+        }
+        Ok(tl)
+    }
 }
 
 fn avg(bytes: &[f64], bin_ns: f64) -> f64 {

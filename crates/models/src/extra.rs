@@ -14,8 +14,15 @@ use crate::Regressor;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,7 +56,10 @@ impl ExtraTree {
         for _ in 0..k_features {
             let f = rng.gen_range(0..d);
             let lo = idx.iter().map(|&i| x[i][f]).fold(f64::INFINITY, f64::min);
-            let hi = idx.iter().map(|&i| x[i][f]).fold(f64::NEG_INFINITY, f64::max);
+            let hi = idx
+                .iter()
+                .map(|&i| x[i][f])
+                .fold(f64::NEG_INFINITY, f64::max);
             if hi <= lo {
                 continue;
             }
@@ -86,7 +96,12 @@ impl ExtraTree {
         nodes.push(Node::Leaf { value: mean });
         let l = Self::build(x, y, &left, depth + 1, max_depth, k_features, rng, nodes);
         let r = Self::build(x, y, &right, depth + 1, max_depth, k_features, rng, nodes);
-        nodes[slot] = Node::Split { feature: f, threshold: thr, left: l, right: r };
+        nodes[slot] = Node::Split {
+            feature: f,
+            threshold: thr,
+            left: l,
+            right: r,
+        };
         slot
     }
 
@@ -95,8 +110,17 @@ impl ExtraTree {
         loop {
             match &self.nodes[cur] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    cur = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

@@ -122,12 +122,7 @@ impl Regressor for GradientBoostedRegressor {
 
     fn predict_one(&self, row: &[f64]) -> f64 {
         self.base_prediction
-            + self.learning_rate
-                * self
-                    .stages
-                    .iter()
-                    .map(|t| t.predict_one(row))
-                    .sum::<f64>()
+            + self.learning_rate * self.stages.iter().map(|t| t.predict_one(row)).sum::<f64>()
     }
 }
 

@@ -22,9 +22,9 @@ pub mod cv;
 pub mod data;
 pub mod extra;
 pub mod forest;
-pub mod linear;
 pub mod gbr;
 pub mod knn;
+pub mod linear;
 pub mod metrics;
 pub mod mlp;
 pub mod persist;
@@ -35,10 +35,10 @@ pub mod tree;
 pub use cv::{cross_validate, cv_mean, permutation_importance};
 pub use data::{train_test_split, Dataset};
 pub use extra::ExtraTreesRegressor;
-pub use linear::LinearRegressor;
 pub use forest::RandomForestRegressor;
 pub use gbr::GradientBoostedRegressor;
 pub use knn::KNeighborsRegressor;
+pub use linear::LinearRegressor;
 pub use metrics::{mae, mse, r2_score};
 pub use mlp::MlpRegressor;
 pub use persist::Portable;

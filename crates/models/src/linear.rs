@@ -81,7 +81,9 @@ impl Regressor for LinearRegressor {
         let n = x.len();
         let d = x[0].len();
         let nf = n as f64;
-        self.mean = (0..d).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / nf).collect();
+        self.mean = (0..d)
+            .map(|j| x.iter().map(|r| r[j]).sum::<f64>() / nf)
+            .collect();
         self.std = (0..d)
             .map(|j| {
                 let m = self.mean[j];

@@ -185,7 +185,9 @@ impl AlphaTable {
     /// ("We enumerate various stride lengths and data types, and then
     /// calculate corresponding α offline").
     pub fn new() -> Self {
-        Self { stencil: Vec::new() }
+        Self {
+            stencil: Vec::new(),
+        }
     }
 
     /// Precompute the stencil α grid for common point counts and data types.
@@ -350,7 +352,7 @@ mod tests {
     #[test]
     fn cache_sim_lru_eviction() {
         let mut c = LineCacheSim::new(1 << 12, 2); // 32 sets × 2 ways
-        // Three lines mapping to set 0: lines 0, 32, 64.
+                                                   // Three lines mapping to set 0: lines 0, 32, 64.
         let l = |i: u64| i * 32 * 64;
         assert!(c.touch(l(0)));
         assert!(c.touch(l(1)));

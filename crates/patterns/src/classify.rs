@@ -180,9 +180,30 @@ mod tests {
         // A[i] = B[i] + C[i]
         let ir = one_loop(
             vec![
-                AccessStmt::write("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
-                AccessStmt::read("B", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
-                AccessStmt::read("C", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::write(
+                    "A",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
+                AccessStmt::read(
+                    "B",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
+                AccessStmt::read(
+                    "C",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
             ],
             false,
         );
@@ -197,8 +218,22 @@ mod tests {
         // A[i*stride] = B[i*stride]
         let ir = one_loop(
             vec![
-                AccessStmt::write("A", IndexExpr::Affine { stride: 16, offset: 0 }, 4),
-                AccessStmt::read("B", IndexExpr::Affine { stride: -16, offset: 2 }, 4),
+                AccessStmt::write(
+                    "A",
+                    IndexExpr::Affine {
+                        stride: 16,
+                        offset: 0,
+                    },
+                    4,
+                ),
+                AccessStmt::read(
+                    "B",
+                    IndexExpr::Affine {
+                        stride: -16,
+                        offset: 2,
+                    },
+                    4,
+                ),
             ],
             false,
         );
@@ -269,7 +304,14 @@ mod tests {
         // A[i] = B[C[i]]
         let ir = one_loop(
             vec![
-                AccessStmt::write("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::write(
+                    "A",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
                 AccessStmt::read(
                     "B",
                     IndexExpr::Indirect {
@@ -337,7 +379,10 @@ mod tests {
                 input_dependent_bounds: false,
                 body: vec![AccessStmt::read(
                     "X",
-                    IndexExpr::Affine { stride: 1, offset: 0 },
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
                     8,
                 )],
             })
@@ -360,7 +405,14 @@ mod tests {
     fn distinct_labels_ordered() {
         let ir = one_loop(
             vec![
-                AccessStmt::read("A", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read(
+                    "A",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
                 AccessStmt::read(
                     "B",
                     IndexExpr::Indirect {

@@ -135,7 +135,14 @@ mod tests {
             depth: 2,
             input_dependent_bounds: true,
             body: vec![
-                AccessStmt::read("A_vals", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read(
+                    "A_vals",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
                 AccessStmt::read(
                     "B_vals",
                     IndexExpr::Indirect {
@@ -143,7 +150,14 @@ mod tests {
                     },
                     8,
                 ),
-                AccessStmt::write("C_vals", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::write(
+                    "C_vals",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
             ],
         })
     }

@@ -156,7 +156,10 @@ mod tests {
 
     #[test]
     fn stream_is_sequential_and_prefetchable() {
-        assert_eq!(AccessPattern::Stream.latency_class(), LatencyClass::Sequential);
+        assert_eq!(
+            AccessPattern::Stream.latency_class(),
+            LatencyClass::Sequential
+        );
         assert!(AccessPattern::Stream.prefetch_coverage() > 0.9);
         assert!(AccessPattern::Stream.effective_mlp() > AccessPattern::Random.effective_mlp());
     }

@@ -52,12 +52,7 @@ impl BasicBlockTable {
     ///
     /// A "per-execution" time is the phase's time for the base input; counts
     /// are 1 per round per phase and grow with repeated executions.
-    pub fn measure(
-        config: &HmConfig,
-        work: &TaskWork,
-        sizes: &[u64],
-        concurrency: usize,
-    ) -> Self {
+    pub fn measure(config: &HmConfig, work: &TaskWork, sizes: &[u64], concurrency: usize) -> Self {
         let dram = UniformPlacement::new(sizes.to_vec(), 1.0);
         let pm = UniformPlacement::new(sizes.to_vec(), 0.0);
         let mut t = Self::default();

@@ -185,10 +185,7 @@ mod tests {
     use merch_hm::{HmConfig, ObjectSpec, Tier};
 
     fn system() -> (HmSystem, merch_hm::ObjectId, merch_hm::ObjectId) {
-        let mut sys = HmSystem::new(
-            HmConfig::calibrated(512 * PAGE_SIZE, 8192 * PAGE_SIZE),
-            1,
-        );
+        let mut sys = HmSystem::new(HmConfig::calibrated(512 * PAGE_SIZE, 8192 * PAGE_SIZE), 1);
         let hot = sys
             .allocate(&ObjectSpec::new("hot", 128 * PAGE_SIZE), Tier::Pm)
             .unwrap();

@@ -26,13 +26,32 @@ pub const NUM_EVENTS: usize = 14;
 /// All event names, stored in the paper's decreasing-importance order for
 /// the first eight, followed by the six auxiliary events.
 pub const ALL_EVENTS: [&str; NUM_EVENTS] = [
-    "LLC_MPKI", "IPC", "PRF_Miss", "MEM_WCY", "L2_LD_Miss", "BR_MSP", "VEC_INS", "L3_LD_Miss",
-    "L1_LD_Miss", "TLB_Miss", "UOPS_Retired", "CYC_Stall", "RD_BW", "Page_Faults",
+    "LLC_MPKI",
+    "IPC",
+    "PRF_Miss",
+    "MEM_WCY",
+    "L2_LD_Miss",
+    "BR_MSP",
+    "VEC_INS",
+    "L3_LD_Miss",
+    "L1_LD_Miss",
+    "TLB_Miss",
+    "UOPS_Retired",
+    "CYC_Stall",
+    "RD_BW",
+    "Page_Faults",
 ];
 
 /// The paper's selected 8 events (§5.1).
 pub const TOP8_EVENTS: [&str; 8] = [
-    "LLC_MPKI", "IPC", "PRF_Miss", "MEM_WCY", "L2_LD_Miss", "BR_MSP", "VEC_INS", "L3_LD_Miss",
+    "LLC_MPKI",
+    "IPC",
+    "PRF_Miss",
+    "MEM_WCY",
+    "L2_LD_Miss",
+    "BR_MSP",
+    "VEC_INS",
+    "L3_LD_Miss",
 ];
 
 /// One collected event vector.
@@ -159,13 +178,24 @@ impl PmcGenerator {
         let uops = instructions * 1.3 / cycles;
         let mem_time = cost.time_ns - cost.compute_ns.min(cost.time_ns);
         let cyc_stall = (mem_time / cost.time_ns.max(1e-9)).clamp(0.0, 1.0);
-        let rd_bw = (cost.dram_bytes + cost.pm_bytes) * (1.0 - write_frac)
-            / cost.time_ns.max(1e-9);
+        let rd_bw = (cost.dram_bytes + cost.pm_bytes) * (1.0 - write_frac) / cost.time_ns.max(1e-9);
         let page_faults = (sizes.iter().sum::<u64>() as f64 / 4096.0).ln().max(0.0);
 
         let mut values = [
-            llc_mpki, ipc, prf_miss, mem_wcy, l2_ld_miss, br_msp, vec_ins, l3_ld_miss,
-            l1_ld_miss, tlb_miss, uops, cyc_stall, rd_bw, page_faults,
+            llc_mpki,
+            ipc,
+            prf_miss,
+            mem_wcy,
+            l2_ld_miss,
+            br_msp,
+            vec_ins,
+            l3_ld_miss,
+            l1_ld_miss,
+            tlb_miss,
+            uops,
+            cyc_stall,
+            rd_bw,
+            page_faults,
         ];
 
         // Deterministic multiplicative measurement noise.
@@ -206,15 +236,13 @@ mod tests {
     use merch_hm::{ObjectAccess, ObjectId, Phase};
 
     fn work(pattern: AccessPattern, n: f64, compute_ns: f64) -> TaskWork {
-        TaskWork::new(0).with_phase(
-            Phase::new("k", compute_ns).with_access(ObjectAccess::new(
-                ObjectId(0),
-                n,
-                8,
-                pattern,
-                0.1,
-            )),
-        )
+        TaskWork::new(0).with_phase(Phase::new("k", compute_ns).with_access(ObjectAccess::new(
+            ObjectId(0),
+            n,
+            8,
+            pattern,
+            0.1,
+        )))
     }
 
     #[test]
@@ -290,7 +318,19 @@ mod tests {
     fn event_values_finite_and_sane() {
         let cfg = HmConfig::default();
         let gen = PmcGenerator::new(2);
-        let ev = gen.collect(&cfg, &work(AccessPattern::Stencil { points: 7, input_dependent: false }, 1e6, 1e6), &[1 << 26], 12);
+        let ev = gen.collect(
+            &cfg,
+            &work(
+                AccessPattern::Stencil {
+                    points: 7,
+                    input_dependent: false,
+                },
+                1e6,
+                1e6,
+            ),
+            &[1 << 26],
+            12,
+        );
         for (name, v) in ALL_EVENTS.iter().zip(ev.values.iter()) {
             assert!(v.is_finite(), "{name} = {v}");
             assert!(*v >= 0.0, "{name} = {v}");

@@ -173,7 +173,9 @@ pub fn attribute_to_tasks(
         shared: 0.0,
     };
     for s in samples {
-        match sys.object(s.object).owner_task {
+        // Stale samples may outlive their object (resized workloads): they
+        // attribute to the shared bucket instead of panicking.
+        match sys.try_object(s.object).ok().and_then(|o| o.owner_task) {
             Some(t) if t < num_tasks => est.per_task[t] += s.estimated_accesses,
             _ => est.shared += s.estimated_accesses,
         }
@@ -188,15 +190,18 @@ mod tests {
     use merch_hm::{HmConfig, ObjectSpec};
 
     fn system_with_objects() -> (HmSystem, ObjectId, ObjectId) {
-        let mut sys = HmSystem::new(
-            HmConfig::calibrated(1024 * PAGE_SIZE, 8192 * PAGE_SIZE),
-            7,
-        );
+        let mut sys = HmSystem::new(HmConfig::calibrated(1024 * PAGE_SIZE, 8192 * PAGE_SIZE), 7);
         let a = sys
-            .allocate(&ObjectSpec::new("hot", 600 * PAGE_SIZE).owned_by(0), Tier::Pm)
+            .allocate(
+                &ObjectSpec::new("hot", 600 * PAGE_SIZE).owned_by(0),
+                Tier::Pm,
+            )
             .unwrap();
         let b = sys
-            .allocate(&ObjectSpec::new("cold", 600 * PAGE_SIZE).owned_by(1), Tier::Pm)
+            .allocate(
+                &ObjectSpec::new("cold", 600 * PAGE_SIZE).owned_by(1),
+                Tier::Pm,
+            )
             .unwrap();
         sys.record_accesses(a, 1_000_000.0);
         sys.record_accesses(b, 1_000.0);
@@ -278,7 +283,9 @@ mod tests {
         let run = |dropout: f64| {
             let (mut sys, _, _) = system_with_objects();
             sys.set_fault_plan(
-                FaultPlan::none().with_seed(11).with_sample_dropout(dropout, 0.0),
+                FaultPlan::none()
+                    .with_seed(11)
+                    .with_sample_dropout(dropout, 0.0),
             )
             .unwrap();
             sys.begin_round(0);
@@ -299,10 +306,7 @@ mod tests {
 
     #[test]
     fn attribute_shared_objects() {
-        let mut sys = HmSystem::new(
-            HmConfig::calibrated(1024 * PAGE_SIZE, 8192 * PAGE_SIZE),
-            7,
-        );
+        let mut sys = HmSystem::new(HmConfig::calibrated(1024 * PAGE_SIZE, 8192 * PAGE_SIZE), 7);
         let shared = sys
             .allocate(&ObjectSpec::new("B", 10 * PAGE_SIZE), Tier::Pm)
             .unwrap();

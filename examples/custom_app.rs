@@ -40,7 +40,9 @@ impl JoinPipeline {
     fn new(rounds: usize) -> Self {
         Self {
             rounds,
-            shard_rows: (0..WORKERS).map(|w| 2e5 as u64 * (1 + w as u64 % 4)).collect(),
+            shard_rows: (0..WORKERS)
+                .map(|w| 2e5 as u64 * (1 + w as u64 % 4))
+                .collect(),
         }
     }
 
@@ -100,9 +102,21 @@ impl Workload for JoinPipeline {
                 let rows = self.shard_rows[w] as f64 * scale;
                 TaskWork::new(w).with_phase(
                     Phase::new("scan_join", rows * 6.0)
-                        .with_access(ObjectAccess::new(shard, rows * 4.0, 8, AccessPattern::Stream, 0.0))
+                        .with_access(ObjectAccess::new(
+                            shard,
+                            rows * 4.0,
+                            8,
+                            AccessPattern::Stream,
+                            0.0,
+                        ))
                         .with_access(ObjectAccess::new(dict, rows, 8, AccessPattern::Random, 0.0))
-                        .with_access(ObjectAccess::new(out, rows * 2.0, 8, AccessPattern::Stream, 1.0)),
+                        .with_access(ObjectAccess::new(
+                            out,
+                            rows * 2.0,
+                            8,
+                            AccessPattern::Stream,
+                            1.0,
+                        )),
                 )
             })
             .collect()
@@ -115,7 +129,14 @@ impl Workload for JoinPipeline {
             depth: 1,
             input_dependent_bounds: false,
             body: vec![
-                AccessStmt::read("shard", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read(
+                    "shard",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
                 AccessStmt::read(
                     "dict",
                     IndexExpr::Indirect {
@@ -123,7 +144,14 @@ impl Workload for JoinPipeline {
                     },
                     8,
                 ),
-                AccessStmt::write("out", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::write(
+                    "out",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
             ],
         })
     }

@@ -14,7 +14,9 @@ use merchandiser_suite::hm::runtime::StaticPolicy;
 use merchandiser_suite::hm::{
     Executor, HmConfig, HmSystem, ObjectAccess, ObjectSpec, Phase, TaskWork, Tier, Workload,
 };
-use merchandiser_suite::patterns::{classify_kernel, AccessPattern, AccessStmt, IndexExpr, KernelIr, LoopNest};
+use merchandiser_suite::patterns::{
+    classify_kernel, AccessPattern, AccessStmt, IndexExpr, KernelIr, LoopNest,
+};
 
 /// A minimal task-parallel application: four tasks, each streaming over a
 /// private array and gathering from it, with task 3 doing 4× the work of
@@ -65,7 +67,14 @@ impl Workload for MiniApp {
             depth: 1,
             input_dependent_bounds: false,
             body: vec![
-                AccessStmt::read("data", IndexExpr::Affine { stride: 1, offset: 0 }, 8),
+                AccessStmt::read(
+                    "data",
+                    IndexExpr::Affine {
+                        stride: 1,
+                        offset: 0,
+                    },
+                    8,
+                ),
                 AccessStmt::read(
                     "data",
                     IndexExpr::Indirect {
@@ -94,7 +103,12 @@ fn main() {
     let artifacts = training::train_correlation_function(&dataset, &opts, 7);
     println!(
         "  GBR held-out R² = {:.3}",
-        artifacts.table3.iter().find(|m| m.name == "GBR").unwrap().r2
+        artifacts
+            .table3
+            .iter()
+            .find(|m| m.name == "GBR")
+            .unwrap()
+            .r2
     );
 
     // 2. Baseline: everything on PM.

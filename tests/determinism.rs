@@ -12,7 +12,12 @@ fn pm_only_runs_are_bit_identical() {
     let run = |seed| {
         let app = BfsApp::new(10, 8, 4, 3, seed);
         let cfg = app.recommended_config();
-        Executor::new(HmSystem::new(cfg, seed), app, StaticPolicy { tier: Tier::Pm }).run()
+        Executor::new(
+            HmSystem::new(cfg, seed),
+            app,
+            StaticPolicy { tier: Tier::Pm },
+        )
+        .run()
     };
     let a = run(5);
     let b = run(5);

@@ -157,9 +157,15 @@ impl Workload for ShrinkingApp {
     fn instance(&mut self, round: usize, sys: &HmSystem) -> Vec<TaskWork> {
         let x = sys.object_by_name("x").unwrap();
         let n = if round == 0 { 1e5 } else { 10.0 };
-        vec![TaskWork::new(0).with_phase(Phase::new("p", 0.0).with_access(
-            ObjectAccess::new(x, n, 8, AccessPattern::Stream, 0.0),
-        ))]
+        vec![
+            TaskWork::new(0).with_phase(Phase::new("p", 0.0).with_access(ObjectAccess::new(
+                x,
+                n,
+                8,
+                AccessPattern::Stream,
+                0.0,
+            ))),
+        ]
     }
 }
 

@@ -8,9 +8,7 @@ use merchandiser_suite::core::policy::MerchandiserPolicy;
 use merchandiser_suite::hm::page::PAGE_SIZE;
 use merchandiser_suite::hm::runtime::Executor;
 use merchandiser_suite::hm::workload::testutil::SkewedWorkload;
-use merchandiser_suite::hm::{
-    FaultInjector, FaultPlan, HmConfig, HmSystem, ObjectSpec, Tier,
-};
+use merchandiser_suite::hm::{FaultInjector, FaultPlan, HmConfig, HmSystem, ObjectSpec, Tier};
 use merchandiser_suite::models::{GradientBoostedRegressor, Regressor};
 use merchandiser_suite::patterns::ObjectPatternMap;
 
@@ -50,12 +48,14 @@ fn faulted_run(plan: &FaultPlan, seed: u64) -> String {
         base_accesses: 1e5,
         obj_bytes: 32 * PAGE_SIZE,
     };
-    let mut sys = HmSystem::new(
-        HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE),
+    let mut sys = HmSystem::new(HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE), seed);
+    sys.set_fault_plan(plan.clone()).unwrap();
+    let policy = MerchandiserPolicy::new(
+        linear_model(),
+        ObjectPatternMap::new(),
+        Default::default(),
         seed,
     );
-    sys.set_fault_plan(plan.clone()).unwrap();
-    let policy = MerchandiserPolicy::new(linear_model(), ObjectPatternMap::new(), Default::default(), seed);
     let report = Executor::new(sys, app, policy).run();
     format!("{report:?}")
 }
@@ -181,15 +181,16 @@ fn none_plan_is_byte_identical_to_no_plan() {
             base_accesses: 1e5,
             obj_bytes: 32 * PAGE_SIZE,
         };
-        let mut sys = HmSystem::new(
-            HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE),
-            7,
-        );
+        let mut sys = HmSystem::new(HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE), 7);
         if arm_none {
             sys.set_fault_plan(FaultPlan::none()).unwrap();
         }
-        let policy =
-            MerchandiserPolicy::new(linear_model(), ObjectPatternMap::new(), Default::default(), 7);
+        let policy = MerchandiserPolicy::new(
+            linear_model(),
+            ObjectPatternMap::new(),
+            Default::default(),
+            7,
+        );
         format!("{:?}", Executor::new(sys, app, policy).run())
     };
     assert_eq!(run(true), run(false));

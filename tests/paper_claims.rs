@@ -54,8 +54,8 @@ fn equation_2_rationale_holds_in_the_emulator() {
             3e6,
         ),
     ] {
-        let phase = Phase::new("p", 1e5)
-            .with_access(ObjectAccess::new(ObjectId(0), n, 8, pattern, 0.2));
+        let phase =
+            Phase::new("p", 1e5).with_access(ObjectAccess::new(ObjectId(0), n, 8, pattern, 0.2));
         let sizes = vec![1u64 << 30];
         let t_pm = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), 0.0), 8).time_ns;
         let t_dram =
@@ -63,10 +63,15 @@ fn equation_2_rationale_holds_in_the_emulator() {
         let mut last = f64::INFINITY;
         for i in 0..=20 {
             let r = i as f64 / 20.0;
-            let t =
-                phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), r), 8).time_ns;
-            assert!(t <= t_pm * (1.0 + 1e-9) && t >= t_dram * (1.0 - 1e-9), "{pattern}: bounds");
-            assert!(t <= last * (1.0 + 1e-9) + 1.0, "{pattern}: monotonicity at r={r}");
+            let t = phase_cost(&cfg, &phase, &UniformPlacement::new(sizes.clone(), r), 8).time_ns;
+            assert!(
+                t <= t_pm * (1.0 + 1e-9) && t >= t_dram * (1.0 - 1e-9),
+                "{pattern}: bounds"
+            );
+            assert!(
+                t <= last * (1.0 + 1e-9) + 1.0,
+                "{pattern}: monotonicity at r={r}"
+            );
             last = t;
         }
     }

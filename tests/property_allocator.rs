@@ -17,7 +17,12 @@ fn linear_model() -> PerformanceModel {
 
 fn arb_tasks() -> impl Strategy<Value = Vec<TaskInput>> {
     proptest::collection::vec(
-        (1e5f64..1e8, 1.5f64..6.0, 1e4f64..1e7, (1u64 << 16)..(1 << 28)),
+        (
+            1e5f64..1e8,
+            1.5f64..6.0,
+            1e4f64..1e7,
+            (1u64 << 16)..(1 << 28),
+        ),
         1..12,
     )
     .prop_map(|specs| {

@@ -7,9 +7,7 @@ use merchandiser_suite::core::estimator::AccessEstimator;
 use merchandiser_suite::hm::cost::{phase_cost, UniformPlacement};
 use merchandiser_suite::hm::page::{page_weights, PAGE_SIZE};
 use merchandiser_suite::hm::trace::{memory_accesses, random_hit_rate};
-use merchandiser_suite::hm::{
-    HmConfig, HmSystem, ObjectAccess, ObjectId, ObjectSpec, Phase, Tier,
-};
+use merchandiser_suite::hm::{HmConfig, HmSystem, ObjectAccess, ObjectId, ObjectSpec, Phase, Tier};
 use merchandiser_suite::models::{r2_score, DecisionTreeRegressor, Regressor};
 use merchandiser_suite::patterns::{
     alpha::{lines_for_affine, round_up},

@@ -22,11 +22,17 @@ fn task(t: usize, ns: f64) -> TaskResult {
 fn round(times: &[f64]) -> RoundReport {
     RoundReport {
         round: 0,
-        tasks: times.iter().enumerate().map(|(t, &ns)| task(t, ns)).collect(),
+        tasks: times
+            .iter()
+            .enumerate()
+            .map(|(t, &ns)| task(t, ns))
+            .collect(),
         migration_pages: 0,
         migration_attempts: 0,
         failed_pages: 0,
         degraded: false,
+        straggler_events: 0,
+        watchdog_pages: 0,
         migration_ns: 0.0,
         round_time_ns: times.iter().cloned().fold(0.0, f64::max),
     }

@@ -27,12 +27,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Id from a function name and a parameter.
     pub fn new(name: impl Display, param: impl Display) -> Self {
-        Self { id: format!("{name}/{param}") }
+        Self {
+            id: format!("{name}/{param}"),
+        }
     }
 
     /// Id from a parameter alone.
     pub fn from_parameter(param: impl Display) -> Self {
-        Self { id: param.to_string() }
+        Self {
+            id: param.to_string(),
+        }
     }
 }
 
@@ -76,7 +80,10 @@ impl Bencher {
 }
 
 fn run_one(group: Option<&str>, id: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { iters, elapsed_ns: 0.0 };
+    let mut b = Bencher {
+        iters,
+        elapsed_ns: 0.0,
+    };
     f(&mut b);
     let label = match group {
         Some(g) => format!("{g}/{id}"),
@@ -109,7 +116,11 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), iters: self.iters, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
     }
 }
 
@@ -137,7 +148,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run a parameterised benchmark inside this group.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

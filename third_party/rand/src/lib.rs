@@ -68,20 +68,30 @@ impl StandardSample for u32 {
 /// integer-literal type inference exactly like the real crate.
 pub trait SampleUniform: Sized {
     /// Uniform draw from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
-    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 impl SampleUniform for f64 {
     fn sample_between<R: RngCore + ?Sized>(lo: f64, hi: f64, inclusive: bool, rng: &mut R) -> f64 {
-        assert!(if inclusive { lo <= hi } else { lo < hi }, "empty gen_range");
+        assert!(
+            if inclusive { lo <= hi } else { lo < hi },
+            "empty gen_range"
+        );
         lo + f64::sample(rng) * (hi - lo)
     }
 }
 
 impl SampleUniform for f32 {
     fn sample_between<R: RngCore + ?Sized>(lo: f32, hi: f32, inclusive: bool, rng: &mut R) -> f32 {
-        assert!(if inclusive { lo <= hi } else { lo < hi }, "empty gen_range");
+        assert!(
+            if inclusive { lo <= hi } else { lo < hi },
+            "empty gen_range"
+        );
         lo + f32::sample(rng) * (hi - lo)
     }
 }
