@@ -56,7 +56,7 @@ impl PlacementPolicy for AutoNumaPolicy {
         let mut pm_pages: Vec<PageId> = sys
             .page_table()
             .iter()
-            .filter(|(_, p)| p.tier == Tier::Pm)
+            .filter(|(_, p)| p.tier() == Tier::Pm)
             .map(|(id, _)| id)
             .collect();
         pm_pages.shuffle(&mut self.rng);

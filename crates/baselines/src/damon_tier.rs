@@ -70,7 +70,7 @@ impl PlacementPolicy for DamonTieringPolicy {
         let demote: Vec<PageId> = sys
             .page_table()
             .iter()
-            .filter(|(id, p)| p.tier == Tier::Dram && !in_promoted(*id))
+            .filter(|(id, p)| p.tier() == Tier::Dram && !in_promoted(*id))
             .map(|(id, _)| id)
             .collect();
         sys.migrate_pages(demote, Tier::Pm);
@@ -78,7 +78,7 @@ impl PlacementPolicy for DamonTieringPolicy {
             .iter()
             .flat_map(|r| r.clone())
             .filter(|&id| (id as usize) < sys.page_table().len())
-            .filter(|&id| sys.page_table().get(id).tier == Tier::Pm)
+            .filter(|&id| sys.page_table().get(id).tier() == Tier::Pm)
             .collect();
         sys.migrate_pages(promote, Tier::Dram);
     }

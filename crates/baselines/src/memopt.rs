@@ -59,13 +59,14 @@ impl MemoryOptimizerPolicy {
         // DRAM is full. A PM page only displaces a DRAM page when it is
         // clearly hotter — real daemons throttle this way to avoid
         // migration thrash.
-        let mut dram_cold: Vec<(u64, f64)> = sys
+        let dram_cold: Vec<(u64, f64)> = sys
             .page_table()
             .iter()
-            .filter(|(_, p)| p.tier == Tier::Dram)
+            .filter(|(_, p)| p.tier() == Tier::Dram)
             .map(|(id, p)| (id, p.access_count))
             .collect();
-        dram_cold.sort_by(|a, b| b.1.total_cmp(&a.1)); // pop() = coldest
+        let n = dram_cold.len();
+        let mut dram_cold = merch_hm::hot_pages_top_k(dram_cold, n); // pop() = coldest
         for s in samples.iter().take(self.migrate_batch) {
             if sys.free_bytes(Tier::Dram) >= reserve + PAGE_SIZE {
                 sys.migrate_pages([s.page], Tier::Dram);

@@ -1,0 +1,275 @@
+//! Page-engine micro-benchmarks backing the DESIGN.md §10 hot-path
+//! complexity budgets: the incremental tier/weight accounting and the
+//! shared top-k page selection, each measured against the full-scan /
+//! full-sort baseline it replaced, at 10^4–10^6 pages.
+//!
+//! `harness = false`: plain main with its own timing loop so the measured
+//! means can be written to `BENCH_page_engine.json` (the serde stub cannot
+//! serialise, so the JSON is hand-formatted). `--smoke` (or
+//! `MERCH_BENCH_SMOKE=1`) shrinks the sizes for the CI compile-and-run
+//! check and skips the JSON unless `MERCH_BENCH_OUT` is set, so a smoke
+//! run never clobbers the committed full-run numbers.
+
+use std::time::Instant;
+
+use merch_hm::{
+    hot_pages_top_k, HmConfig, HmSystem, ObjectId, ObjectSpec, PageId, Tier, PAGE_SIZE,
+};
+
+/// One engine-vs-baseline comparison at one page count.
+struct Row {
+    name: &'static str,
+    pages: u64,
+    baseline_us: f64,
+    engine_us: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.baseline_us / self.engine_us.max(1e-9)
+    }
+}
+
+/// Mean microseconds per iteration (one warmup, then `iters` timed).
+fn time_us<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// splitmix64-scored candidate list in ascending page-id order, as every
+/// converted call site builds it.
+fn pseudo_items(n: u64) -> Vec<(PageId, f64)> {
+    (0..n)
+        .map(|id| {
+            let mut z = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            (id, (z % 1_000_000) as f64 / 1_000_000.0)
+        })
+        .collect()
+}
+
+/// One `n_pages`-page object on PM with skewed per-page weights.
+fn build_system(n_pages: u64, seed: u64) -> (HmSystem, ObjectId) {
+    // The default (scaled-down) tiers hold 2 GiB; size them to the bench.
+    let mut cfg = HmConfig::default();
+    cfg.pm.capacity = (n_pages + 16) * PAGE_SIZE;
+    cfg.dram.capacity = (n_pages + 16) * PAGE_SIZE;
+    let mut sys = HmSystem::new(cfg, seed);
+    let oid = sys
+        .allocate(
+            &ObjectSpec {
+                name: "bench".to_string(),
+                size: n_pages * PAGE_SIZE,
+                owner_task: None,
+                hot_page_skew: 1.5,
+            },
+            Tier::Pm,
+        )
+        .expect("bench object must fit");
+    (sys, oid)
+}
+
+/// Top-k hot-page selection vs the full stable sort it replaced
+/// (k = 1 % of the pages, the promote-batch regime).
+fn bench_topk(n: u64, iters: u32) -> Row {
+    let items = pseudo_items(n);
+    let k = (n as usize / 100).max(1);
+    // The helper must select the exact sequence the old sort produced.
+    let mut full = items.clone();
+    full.sort_by(|a, b| b.1.total_cmp(&a.1));
+    full.truncate(k);
+    assert_eq!(hot_pages_top_k(items.clone(), k), full);
+    let baseline_us = time_us(iters, || {
+        let mut v = items.clone();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v.truncate(k);
+        std::hint::black_box(&v);
+    });
+    let engine_us = time_us(iters, || {
+        std::hint::black_box(hot_pages_top_k(items.clone(), k));
+    });
+    Row {
+        name: "topk_hot_1pct",
+        pages: n,
+        baseline_us,
+        engine_us,
+    }
+}
+
+/// Migrate a 1 % batch and answer the per-tier byte query: incremental
+/// counters (O(1) query) vs the full page-table recount the old
+/// `bytes_in` did.
+fn bench_migrate(n: u64, iters: u32) -> Row {
+    let (mut sys, _oid) = build_system(n, 7);
+    let batch: Vec<PageId> = (0..(n / 100).max(1)).collect();
+    assert_eq!(
+        sys.page_table().bytes_in(Tier::Pm),
+        sys.page_table().recount_bytes_in(Tier::Pm)
+    );
+    let engine_us = time_us(iters, || {
+        let pt = sys.page_table_mut();
+        for &id in &batch {
+            pt.set_tier(id, Tier::Dram);
+        }
+        pt.flush_aggregates();
+        std::hint::black_box(pt.bytes_in(Tier::Dram));
+        for &id in &batch {
+            pt.set_tier(id, Tier::Pm);
+        }
+        pt.flush_aggregates();
+    });
+    let baseline_us = time_us(iters, || {
+        let pt = sys.page_table_mut();
+        for &id in &batch {
+            pt.set_tier(id, Tier::Dram);
+        }
+        pt.flush_aggregates();
+        std::hint::black_box(pt.recount_bytes_in(Tier::Dram));
+        for &id in &batch {
+            pt.set_tier(id, Tier::Pm);
+        }
+        pt.flush_aggregates();
+    });
+    Row {
+        name: "migrate_1pct_bytes_query",
+        pages: n,
+        baseline_us,
+        engine_us,
+    }
+}
+
+/// Re-weight a 1 % batch and answer the weighted-DRAM-fraction query:
+/// per-object aggregates (O(1) on the clean fast path) vs the full range
+/// scan the old `weighted_fraction_in` always did.
+fn bench_record(n: u64, iters: u32) -> Row {
+    let (mut sys, oid) = build_system(n, 11);
+    let range = sys.object(oid).pages();
+    let batch: Vec<PageId> = (0..(n / 100).max(1)).collect();
+    let scan = |sys: &HmSystem| {
+        let pt = sys.page_table();
+        let (mut total, mut inn) = (0.0f64, 0.0f64);
+        for id in range.clone() {
+            let p = pt.get(id);
+            total += p.weight();
+            if p.tier() == Tier::Dram {
+                inn += p.weight();
+            }
+        }
+        if total <= 0.0 {
+            0.0
+        } else {
+            inn / total
+        }
+    };
+    {
+        let r = range.clone();
+        let pt = sys.page_table_mut();
+        pt.flush_aggregates();
+        assert_eq!(
+            pt.weighted_fraction_in(r, Tier::Dram).to_bits(),
+            scan(&sys).to_bits(),
+            "fast path must be bitwise identical to the scan"
+        );
+    }
+    let mut w = 0u64;
+    let engine_us = time_us(iters, || {
+        let pt = sys.page_table_mut();
+        for &id in &batch {
+            w = w.wrapping_add(1).max(1);
+            pt.set_weight(id, (w % 97) as f64 + 0.5);
+        }
+        pt.flush_aggregates();
+        std::hint::black_box(pt.weighted_fraction_in(range.clone(), Tier::Dram));
+    });
+    let baseline_us = time_us(iters, || {
+        let pt = sys.page_table_mut();
+        for &id in &batch {
+            w = w.wrapping_add(1).max(1);
+            pt.set_weight(id, (w % 97) as f64 + 0.5);
+        }
+        pt.flush_aggregates();
+        std::hint::black_box(scan(&sys));
+    });
+    Row {
+        name: "record_1pct_fraction_query",
+        pages: n,
+        baseline_us,
+        engine_us,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("MERCH_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let sizes: &[u64] = if smoke {
+        &[2_000, 20_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let iters = if smoke { 3 } else { 7 };
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        rows.push(bench_topk(n, iters));
+        rows.push(bench_migrate(n, iters));
+        rows.push(bench_record(n, iters));
+    }
+
+    println!(
+        "{:<28} {:>10} {:>14} {:>14} {:>9}",
+        "benchmark", "pages", "baseline_us", "engine_us", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>10} {:>14.2} {:>14.2} {:>8.1}x",
+            r.name,
+            r.pages,
+            r.baseline_us,
+            r.engine_us,
+            r.speedup()
+        );
+    }
+    // The PR's acceptance gate: >= 5x on top-k selection at 10^5+ pages.
+    for r in rows.iter().filter(|r| r.name == "topk_hot_1pct") {
+        if r.pages >= 100_000 && !smoke {
+            assert!(
+                r.speedup() >= 5.0,
+                "top-k speedup {:.1}x below the 5x budget at {} pages",
+                r.speedup(),
+                r.pages
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"page_engine\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pages\": {}, \"baseline_us\": {:.3}, \"engine_us\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.pages,
+            r.baseline_us,
+            r.engine_us,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("MERCH_BENCH_OUT").ok().map(Into::into).or({
+        if smoke {
+            None
+        } else {
+            Some(
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../../BENCH_page_engine.json"),
+            )
+        }
+    });
+    if let Some(path) = out {
+        std::fs::write(&path, json).expect("bench JSON must be writable");
+        eprintln!("wrote {}", path.display());
+    }
+}

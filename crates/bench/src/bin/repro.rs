@@ -1,10 +1,15 @@
 //! `repro` — regenerate every table and figure of the Merchandiser paper.
 //!
 //! ```text
-//! repro [--seed N] [--quick] [--model-cache FILE] <experiment>...
+//! repro [--seed N] [--quick] [--jobs N] [--model-cache FILE] <experiment>...
 //! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead
 //!              ablation cxl landscape motivation faults recover all
 //! ```
+//!
+//! Sweeps run their independent (app × policy × seed) cells on a worker
+//! pool sized by `--jobs` (default: all cores; `--jobs 1` forces a
+//! sequential sweep). Results are emitted in input order, so the output is
+//! byte-identical at any worker count.
 //!
 //! `faults` (not part of `all`, whose output is kept stable) sweeps
 //! injected migration-failure and sample-dropout rates and reports how
@@ -40,6 +45,15 @@ fn main() {
                 };
             }
             "--quick" => quick = true,
+            "--jobs" => {
+                match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => merch_bench::par::set_sweep_jobs(n),
+                    _ => {
+                        eprintln!("error: --jobs takes an integer >= 1");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--model-cache" => {
                 model_cache = match it.next() {
                     Some(p) => Some(p.into()),
@@ -54,7 +68,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--quick] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|all>..."
+            "usage: repro [--seed N] [--quick] [--jobs N] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|all>..."
         );
         std::process::exit(2);
     }

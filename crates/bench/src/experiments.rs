@@ -250,31 +250,37 @@ pub fn faults(model: &PerformanceModel, seed: u64) -> Vec<FaultRow> {
         (0.25, 0.4),
         (0.5, 0.6),
     ];
-    let mut rows = Vec::new();
-    for &app in &AppKind::all() {
-        let clean = run_app(app, PolicyKind::Merchandiser, model, seed).total_time_ns();
-        for &(fail, dropout) in &sweep {
-            let plan = merch_hm::FaultPlan::none()
-                .with_seed(seed ^ 0xFA17)
-                .with_migration_failures(fail, 2)
-                .with_sample_dropout(dropout, dropout);
-            let pm = run_app_with_faults(app, PolicyKind::PmOnly, model, seed, &plan);
-            let merch = run_app_with_faults(app, PolicyKind::Merchandiser, model, seed, &plan);
-            rows.push(FaultRow {
-                app: app.name().to_string(),
-                migration_fail_rate: fail,
-                sample_dropout: dropout,
-                speedup_vs_pm: pm.total_time_ns() / merch.total_time_ns(),
-                slowdown_vs_clean: merch.total_time_ns() / clean,
-                migration_retries: merch.fault.migration_retries,
-                failed_pages: merch.fault.failed_pages,
-                dropped_pte_samples: merch.fault.dropped_pte_samples,
-                dropped_pmc_events: merch.fault.dropped_pmc_events,
-                degraded_rounds: merch.fault.degraded_rounds,
-            });
+    // Stage 1: fault-free Merchandiser reference per app.
+    let clean: Vec<f64> = crate::par::par_map(AppKind::all().to_vec(), |app| {
+        run_app(app, PolicyKind::Merchandiser, model, seed).total_time_ns()
+    });
+    // Stage 2: every (app × fault level) cell independently.
+    let cells: Vec<(usize, f64, f64)> = AppKind::all()
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, _)| sweep.iter().map(move |&(f, d)| (ai, f, d)))
+        .collect();
+    crate::par::par_map(cells, |(ai, fail, dropout)| {
+        let app = AppKind::all()[ai];
+        let plan = merch_hm::FaultPlan::none()
+            .with_seed(seed ^ 0xFA17)
+            .with_migration_failures(fail, 2)
+            .with_sample_dropout(dropout, dropout);
+        let pm = run_app_with_faults(app, PolicyKind::PmOnly, model, seed, &plan);
+        let merch = run_app_with_faults(app, PolicyKind::Merchandiser, model, seed, &plan);
+        FaultRow {
+            app: app.name().to_string(),
+            migration_fail_rate: fail,
+            sample_dropout: dropout,
+            speedup_vs_pm: pm.total_time_ns() / merch.total_time_ns(),
+            slowdown_vs_clean: merch.total_time_ns() / clean[ai],
+            migration_retries: merch.fault.migration_retries,
+            failed_pages: merch.fault.failed_pages,
+            dropped_pte_samples: merch.fault.dropped_pte_samples,
+            dropped_pmc_events: merch.fault.dropped_pmc_events,
+            degraded_rounds: merch.fault.degraded_rounds,
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -306,21 +312,29 @@ pub struct RecoverRow {
 /// for bit (`Debug` equality covers every numeric field exactly).
 pub fn recover(model: &PerformanceModel, seed: u64) -> Vec<RecoverRow> {
     use merch_hm::{CrashPoint, FaultKind, Wal};
-    let mut rows = Vec::new();
-    for &app in &AppKind::all() {
+    // Stage 1: uninterrupted reference run per app.
+    let baselines: Vec<(String, u64)> = crate::par::par_map(AppKind::all().to_vec(), |app| {
         let baseline = run_app(app, PolicyKind::Merchandiser, model, seed);
-        let baseline_dbg = format!("{baseline:?}");
         let mid = (baseline.rounds.len() as u64 / 2).max(1);
+        (format!("{baseline:?}"), mid)
+    });
+    // Stage 2: every (app × crash scenario) cell independently — each cell
+    // runs against its own WAL file, keyed by pid/app/scenario/seed.
+    let cells: Vec<(usize, &'static str)> = (0..AppKind::all().len())
+        .flat_map(|ai| [(ai, "boundary"), (ai, "midmig")])
+        .collect();
+    crate::par::par_map(cells, |(ai, name)| {
+        let app = AppKind::all()[ai];
         // Mid-migration crashes target round 1: the first planned round,
         // where Merchandiser applies its initial Algorithm 1 placement and
         // is all but guaranteed to batch-migrate pages. Later rounds may
         // legitimately skip migration (the migrate-or-not gate), which
         // would leave the scripted crash point unreached.
-        let scenarios = [
-            ("boundary", mid, CrashPoint::BetweenRounds),
-            ("midmig", 1, CrashPoint::MidMigration { after_attempts: 1 }),
-        ];
-        for (name, crash_round, point) in scenarios {
+        let (crash_round, point) = match name {
+            "boundary" => (baselines[ai].1, CrashPoint::BetweenRounds),
+            _ => (1, CrashPoint::MidMigration { after_attempts: 1 }),
+        };
+        {
             let wal_path = std::env::temp_dir().join(format!(
                 "merch-recover-{}-{}-{}-{}.wal",
                 std::process::id(),
@@ -374,18 +388,17 @@ pub fn recover(model: &PerformanceModel, seed: u64) -> Vec<RecoverRow> {
                 }
             };
             let _ = std::fs::remove_file(&wal_path);
-            rows.push(RecoverRow {
+            RecoverRow {
                 app: app.name().to_string(),
                 scenario: name,
                 crash_round,
                 rounds_recovered,
                 wal_records,
                 resumed_total_ns,
-                identical: resumed_dbg == baseline_dbg,
-            });
+                identical: resumed_dbg == baselines[ai].0,
+            }
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -475,12 +488,12 @@ pub struct Fig4Row {
 /// Figure 4: speedups of Memory Mode, MemoryOptimizer and Merchandiser over
 /// PM-only, plus the application-specific baselines where they exist.
 pub fn fig4(model: &PerformanceModel, seed: u64) -> Vec<Fig4Row> {
-    AppKind::all()
+    let per_app: Vec<Vec<PolicyKind>> = AppKind::all()
         .iter()
         .map(|&app| {
-            let pm = run_app(app, PolicyKind::PmOnly, model, seed).total_time_ns();
-            let mut speedups = BTreeMap::new();
+            // PM-only first: it normalises the rest of the app's row.
             let mut policies = vec![
+                PolicyKind::PmOnly,
                 PolicyKind::MemoryMode,
                 PolicyKind::MemoryOptimizer,
                 PolicyKind::Merchandiser,
@@ -491,16 +504,43 @@ pub fn fig4(model: &PerformanceModel, seed: u64) -> Vec<Fig4Row> {
             if app == AppKind::Warpx {
                 policies.push(PolicyKind::WarpxPm);
             }
-            for p in policies {
-                let t = run_app(app, p, model, seed).total_time_ns();
+            policies
+        })
+        .collect();
+    speedup_rows(&per_app, model, seed)
+}
+
+/// Run every (app × policy) cell of `per_app` (PM-only must be each row's
+/// first entry) on the worker pool and fold the times into per-app
+/// speedups-over-PM-only rows, in app-major order.
+fn speedup_rows(per_app: &[Vec<PolicyKind>], model: &PerformanceModel, seed: u64) -> Vec<Fig4Row> {
+    let cells: Vec<(AppKind, PolicyKind)> = AppKind::all()
+        .iter()
+        .zip(per_app)
+        .flat_map(|(&app, ps)| ps.iter().map(move |&p| (app, p)))
+        .collect();
+    let times = crate::par::par_map(cells, |(app, p)| {
+        run_app(app, p, model, seed).total_time_ns()
+    });
+    let mut rows = Vec::new();
+    let mut k = 0;
+    for (&app, policies) in AppKind::all().iter().zip(per_app) {
+        debug_assert_eq!(policies[0], PolicyKind::PmOnly);
+        let pm = times[k];
+        let mut speedups = BTreeMap::new();
+        for &p in policies {
+            let t = times[k];
+            k += 1;
+            if p != PolicyKind::PmOnly {
                 speedups.insert(p.name().to_string(), pm / t);
             }
-            Fig4Row {
-                app: app.name().to_string(),
-                speedups,
-            }
-        })
-        .collect()
+        }
+        rows.push(Fig4Row {
+            app: app.name().to_string(),
+            speedups,
+        });
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -522,25 +562,29 @@ pub struct Fig5Row {
 
 /// Figure 5: normalised task-time distributions per app × policy.
 pub fn fig5(model: &PerformanceModel, seed: u64) -> Vec<Fig5Row> {
-    let mut rows = Vec::new();
-    for &app in &AppKind::all() {
-        for &policy in &[
-            PolicyKind::PmOnly,
-            PolicyKind::MemoryMode,
-            PolicyKind::MemoryOptimizer,
-            PolicyKind::Merchandiser,
-        ] {
-            let report = run_app(app, policy, model, seed);
-            let times = report.normalized_task_times();
-            rows.push(Fig5Row {
-                app: app.name().to_string(),
-                policy: policy.name().to_string(),
-                stats: BoxStats::from(&times),
-                acv: report.acv(),
-            });
+    let cells: Vec<(AppKind, PolicyKind)> = AppKind::all()
+        .iter()
+        .flat_map(|&app| {
+            [
+                PolicyKind::PmOnly,
+                PolicyKind::MemoryMode,
+                PolicyKind::MemoryOptimizer,
+                PolicyKind::Merchandiser,
+            ]
+            .into_iter()
+            .map(move |policy| (app, policy))
+        })
+        .collect();
+    crate::par::par_map(cells, |(app, policy)| {
+        let report = run_app(app, policy, model, seed);
+        let times = report.normalized_task_times();
+        Fig5Row {
+            app: app.name().to_string(),
+            policy: policy.name().to_string(),
+            stats: BoxStats::from(&times),
+            acv: report.acv(),
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -563,13 +607,12 @@ pub struct Fig6Panel {
 /// Figure 6: memory-bandwidth usage of WarpX under Memory Mode,
 /// MemoryOptimizer and Merchandiser.
 pub fn fig6(model: &PerformanceModel, seed: u64) -> Vec<Fig6Panel> {
-    [
+    let panels = vec![
         PolicyKind::MemoryMode,
         PolicyKind::MemoryOptimizer,
         PolicyKind::Merchandiser,
-    ]
-    .iter()
-    .map(|&p| {
+    ];
+    crate::par::par_map(panels, |p| {
         let report = run_app(AppKind::Warpx, p, model, seed);
         Fig6Panel {
             policy: p.name().to_string(),
@@ -578,7 +621,6 @@ pub fn fig6(model: &PerformanceModel, seed: u64) -> Vec<Fig6Panel> {
             avg_pm_gbps: report.avg_pm_gbps,
         }
     })
-    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -669,41 +711,37 @@ pub struct Table4Row {
 /// Table 4: prediction accuracy over all task instances, Merchandiser's
 /// model vs the size-ratio regression baseline.
 pub fn table4(model: &PerformanceModel, seed: u64) -> Vec<Table4Row> {
-    AppKind::all()
-        .iter()
-        .map(|&kind| {
-            let app = kind.build(seed);
-            let cfg = app.recommended_config();
-            let map = merch_patterns::classify_kernel(&app.kernel_ir());
-            let policy =
-                MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed ^ 0x3E);
-            // Per-round total object size for the regression baseline.
-            let sizes_per_round: Vec<f64> = (0..app.num_instances())
-                .map(|r| app.object_sizes(r).iter().map(|(_, s)| *s as f64).sum())
-                .collect();
-            let mut ex = Executor::new(HmSystem::new(cfg, seed), app, policy);
-            let report = ex.run();
+    crate::par::par_map(AppKind::all().to_vec(), |kind| {
+        let app = kind.build(seed);
+        let cfg = app.recommended_config();
+        let map = merch_patterns::classify_kernel(&app.kernel_ir());
+        let policy = MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed ^ 0x3E);
+        // Per-round total object size for the regression baseline.
+        let sizes_per_round: Vec<f64> = (0..app.num_instances())
+            .map(|r| app.object_sizes(r).iter().map(|(_, s)| *s as f64).sum())
+            .collect();
+        let mut ex = Executor::new(HmSystem::new(cfg, seed), app, policy);
+        let report = ex.run();
 
-            let mut pred_model = Vec::new();
-            let mut pred_regr = Vec::new();
-            let mut actual = Vec::new();
-            let base_round = &report.rounds[0];
-            for (round, predicted) in &ex.policy.prediction_log {
-                let rr = &report.rounds[*round];
-                let ratio = sizes_per_round[*round] / sizes_per_round[0];
-                for (t, task_res) in rr.tasks.iter().enumerate() {
-                    actual.push(task_res.time_ns);
-                    pred_model.push(predicted[t]);
-                    pred_regr.push(base_round.tasks[t].time_ns * ratio);
-                }
+        let mut pred_model = Vec::new();
+        let mut pred_regr = Vec::new();
+        let mut actual = Vec::new();
+        let base_round = &report.rounds[0];
+        for (round, predicted) in &ex.policy.prediction_log {
+            let rr = &report.rounds[*round];
+            let ratio = sizes_per_round[*round] / sizes_per_round[0];
+            for (t, task_res) in rr.tasks.iter().enumerate() {
+                actual.push(task_res.time_ns);
+                pred_model.push(predicted[t]);
+                pred_regr.push(base_round.tasks[t].time_ns * ratio);
             }
-            Table4Row {
-                app: kind.name().to_string(),
-                regression_acc: mean_relative_accuracy(&actual, &pred_regr),
-                model_acc: mean_relative_accuracy(&actual, &pred_model),
-            }
-        })
-        .collect()
+        }
+        Table4Row {
+            app: kind.name().to_string(),
+            regression_acc: mean_relative_accuracy(&actual, &pred_regr),
+            model_acc: mean_relative_accuracy(&actual, &pred_model),
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -712,40 +750,32 @@ pub fn table4(model: &PerformanceModel, seed: u64) -> Vec<Table4Row> {
 
 /// Mean α per application after a full Merchandiser run (§7.3).
 pub fn alpha_report(model: &PerformanceModel, seed: u64) -> Vec<(String, f64)> {
-    AppKind::all()
-        .iter()
-        .map(|&kind| {
-            let app = kind.build(seed);
-            let cfg = app.recommended_config();
-            let map = merch_patterns::classify_kernel(&app.kernel_ir());
-            let policy =
-                MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed ^ 0x3E);
-            let mut ex = Executor::new(HmSystem::new(cfg, seed), app, policy);
-            let _ = ex.run();
-            (kind.name().to_string(), ex.policy.mean_alpha())
-        })
-        .collect()
+    crate::par::par_map(AppKind::all().to_vec(), |kind| {
+        let app = kind.build(seed);
+        let cfg = app.recommended_config();
+        let map = merch_patterns::classify_kernel(&app.kernel_ir());
+        let policy = MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed ^ 0x3E);
+        let mut ex = Executor::new(HmSystem::new(cfg, seed), app, policy);
+        let _ = ex.run();
+        (kind.name().to_string(), ex.policy.mean_alpha())
+    })
 }
 
 /// §7.2 runtime overhead: online prediction wall time and pages migrated.
 pub fn overhead_report(model: &PerformanceModel, seed: u64) -> Vec<(String, f64, u64)> {
-    AppKind::all()
-        .iter()
-        .map(|&kind| {
-            let app = kind.build(seed);
-            let cfg = app.recommended_config();
-            let map = merch_patterns::classify_kernel(&app.kernel_ir());
-            let policy =
-                MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed ^ 0x3E);
-            let mut ex = Executor::new(HmSystem::new(cfg, seed), app, policy);
-            let report = ex.run();
-            (
-                kind.name().to_string(),
-                ex.policy.last_prediction_wall_ns,
-                report.total_migration_pages(),
-            )
-        })
-        .collect()
+    crate::par::par_map(AppKind::all().to_vec(), |kind| {
+        let app = kind.build(seed);
+        let cfg = app.recommended_config();
+        let map = merch_patterns::classify_kernel(&app.kernel_ir());
+        let policy = MerchandiserPolicy::new(model.clone(), map, app.reuse_hints(), seed ^ 0x3E);
+        let mut ex = Executor::new(HmSystem::new(cfg, seed), app, policy);
+        let report = ex.run();
+        (
+            kind.name().to_string(),
+            ex.policy.last_prediction_wall_ns,
+            report.total_migration_pages(),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -813,20 +843,29 @@ pub struct MotivationRow {
 /// difference among tasks" and "performance improvement is minimal after
 /// using MemoryOptimizer and Memory Mode".
 pub fn motivation(model: &PerformanceModel, seed: u64) -> Vec<MotivationRow> {
-    let mut rows = Vec::new();
-    for &app in &AppKind::all() {
-        let pm = run_app(app, PolicyKind::PmOnly, model, seed);
-        for policy in [PolicyKind::MemoryMode, PolicyKind::MemoryOptimizer] {
-            let r = run_app(app, policy, model, seed);
-            rows.push(MotivationRow {
-                app: app.name().to_string(),
-                policy: policy.name().to_string(),
-                variance_change: r.acv() / pm.acv().max(1e-12) - 1.0,
-                speedup: pm.total_time_ns() / r.total_time_ns(),
-            });
+    // Stage 1: the homogeneous reference per app.
+    let pm: Vec<RunReport> = crate::par::par_map(AppKind::all().to_vec(), |app| {
+        run_app(app, PolicyKind::PmOnly, model, seed)
+    });
+    // Stage 2: every (app × HM policy) cell.
+    let cells: Vec<(usize, PolicyKind)> = (0..AppKind::all().len())
+        .flat_map(|ai| {
+            [
+                (ai, PolicyKind::MemoryMode),
+                (ai, PolicyKind::MemoryOptimizer),
+            ]
+        })
+        .collect();
+    crate::par::par_map(cells, |(ai, policy)| {
+        let app = AppKind::all()[ai];
+        let r = run_app(app, policy, model, seed);
+        MotivationRow {
+            app: app.name().to_string(),
+            policy: policy.name().to_string(),
+            variance_change: r.acv() / pm[ai].acv().max(1e-12) - 1.0,
+            speedup: pm[ai].total_time_ns() / r.total_time_ns(),
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -836,27 +875,20 @@ pub fn motivation(model: &PerformanceModel, seed: u64) -> Vec<MotivationRow> {
 /// Speedups of *every* implemented policy over PM-only, per application —
 /// extends Figure 4 with the DAMON-tiering and AutoNUMA baselines.
 pub fn landscape(model: &PerformanceModel, seed: u64) -> Vec<Fig4Row> {
-    AppKind::all()
+    let per_app: Vec<Vec<PolicyKind>> = AppKind::all()
         .iter()
-        .map(|&app| {
-            let pm = run_app(app, PolicyKind::PmOnly, model, seed).total_time_ns();
-            let mut speedups = BTreeMap::new();
-            for p in [
+        .map(|_| {
+            vec![
+                PolicyKind::PmOnly,
                 PolicyKind::MemoryMode,
                 PolicyKind::MemoryOptimizer,
                 PolicyKind::DamonTier,
                 PolicyKind::AutoNuma,
                 PolicyKind::Merchandiser,
-            ] {
-                let t = run_app(app, p, model, seed).total_time_ns();
-                speedups.insert(p.name().to_string(), pm / t);
-            }
-            Fig4Row {
-                app: app.name().to_string(),
-                speedups,
-            }
+            ]
         })
-        .collect()
+        .collect();
+    speedup_rows(&per_app, model, seed)
 }
 
 // ---------------------------------------------------------------------------

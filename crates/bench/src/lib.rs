@@ -2,6 +2,7 @@
 //! by the `repro` binary, the criterion benches and the integration tests.
 
 pub mod experiments;
+pub mod par;
 pub mod stats;
 
 pub use experiments::*;

@@ -1,0 +1,115 @@
+//! Deterministic worker pool for the sweep driver.
+//!
+//! Every sweep in [`crate::experiments`] is a cross product of independent
+//! (application × policy × seed) cells: each cell builds its own
+//! [`merch_hm::HmSystem`], workload and policy from the seed, so cells share
+//! no mutable state and their results do not depend on scheduling.
+//! [`par_map`] runs the cells on a pool of worker threads and returns the
+//! results **in input order**, so the emitted tables are byte-identical to a
+//! sequential sweep no matter how the OS interleaves the workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 = auto (one worker per available core).
+static SWEEP_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the sweep worker count (`repro --jobs N`). `0` restores the
+/// auto setting; `1` forces a sequential sweep.
+pub fn set_sweep_jobs(n: usize) {
+    SWEEP_JOBS.store(n, Ordering::SeqCst);
+}
+
+/// Effective sweep worker count.
+pub fn sweep_jobs() -> usize {
+    match SWEEP_JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` on the sweep worker pool, returning results in
+/// input order regardless of completion order.
+///
+/// Workers pull cells from a shared cursor, so a straggler cell (a slow
+/// application run) never idles the rest of the pool. With one worker (or
+/// one item) this degenerates to a plain in-place map.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = sweep_jobs().min(items.len());
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::SeqCst);
+                if i >= work.len() {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each cell is claimed exactly once");
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker must not panic");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell was computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(items.clone(), |i| {
+            // Make early cells slow so completion order differs from
+            // input order.
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * 3
+        });
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        assert_eq!(par_map(Vec::<u32>::new(), |i| i), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_override_roundtrips() {
+        let before = sweep_jobs();
+        set_sweep_jobs(1);
+        assert_eq!(sweep_jobs(), 1);
+        let out = par_map(vec![1u32, 2, 3], |i| i * i);
+        assert_eq!(out, vec![1, 4, 9]);
+        set_sweep_jobs(0);
+        assert!(sweep_jobs() >= 1);
+        let _ = before;
+    }
+}

@@ -63,6 +63,10 @@ impl ObjectEstimate {
 pub struct AccessEstimator {
     /// Per-object state.
     pub objects: BTreeMap<String, ObjectEstimate>,
+    /// Bumped whenever `register`/`observe` changes an estimate, so
+    /// callers can memoise estimator outputs keyed on (sizes, version)
+    /// and skip re-quantification while nothing changed.
+    version: u64,
 }
 
 impl AccessEstimator {
@@ -88,6 +92,7 @@ impl AccessEstimator {
             None => (1.0, Some(AlphaRefiner::new())), // α initialised as 1, refined online
         };
         let caching_ratio = alpha_table.caching_ratio(&pattern, blocking_reuse);
+        self.version = self.version.wrapping_add(1);
         self.objects.insert(
             name.to_string(),
             ObjectEstimate {
@@ -120,8 +125,14 @@ impl AccessEstimator {
         if let Some(o) = self.objects.get_mut(name) {
             if let Some(r) = o.refiner.as_mut() {
                 o.alpha = r.observe(o.s_base, s_new, o.prof_mem_acc, measured);
+                self.version = self.version.wrapping_add(1);
             }
         }
+    }
+
+    /// Monotone change counter for memoising estimator outputs.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Mean caching-effect α over all objects — the per-application

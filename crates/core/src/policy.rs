@@ -62,6 +62,34 @@ fn current_sizes(sys: &HmSystem, ts: &TaskState) -> Vec<f64> {
         .collect()
 }
 
+/// FNV-1a over the bit patterns of a size vector, keying the per-task
+/// quantification cache. A collision would silently reuse a stale
+/// prediction; with a 64-bit digest over a handful of doubles that is
+/// vanishingly unlikely.
+fn hash_sizes(sizes: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in sizes {
+        for b in s.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Memoised estimator/predictor outputs for one task, keyed on the inputs
+/// they are pure functions of: the logical size vector and the estimator
+/// version. Transient — never checkpointed, rebuilt on first use after a
+/// restore (the values are pure, so replay stays bit-identical).
+#[derive(Debug, Clone)]
+struct QuantEntry {
+    sizes_hash: u64,
+    est_version: u64,
+    pm_only_ns: f64,
+    dram_only_ns: f64,
+    total_accesses: f64,
+}
+
 /// Per-task state built from the base input.
 #[derive(Debug, Clone)]
 struct TaskState {
@@ -70,6 +98,8 @@ struct TaskState {
     events: PmcEvents,
     /// Objects the task touches (id, name).
     objects: Vec<(ObjectId, String)>,
+    /// Cached quantification outputs for the current (sizes, α) inputs.
+    quant: Option<QuantEntry>,
 }
 
 /// The Merchandiser placement policy.
@@ -235,52 +265,71 @@ impl MerchandiserPolicy {
                     predictor,
                     events,
                     objects,
+                    quant: None,
                 }
             })
             .collect();
     }
 
+    /// Equation 1 totals and the homogeneous PM-/DRAM-only predictions for
+    /// task `i` under the current logical sizes, memoised on (size-vector
+    /// hash, estimator version): while neither the sizes nor any α changed
+    /// since the last round, re-quantification is skipped entirely.
+    /// Returns `(d_pm_only_ns, d_dram_only_ns, total_accesses)`.
+    fn quantify(&mut self, sys: &HmSystem, i: usize) -> (f64, f64, f64) {
+        let ts = &self.state[i];
+        let sizes = current_sizes(sys, ts);
+        let hash = hash_sizes(&sizes);
+        let version = ts.estimator.version();
+        if let Some(q) = &ts.quant {
+            if q.sizes_hash == hash && q.est_version == version {
+                return (q.pm_only_ns, q.dram_only_ns, q.total_accesses);
+            }
+        }
+        let new_sizes_map: BTreeMap<String, u64> = ts
+            .objects
+            .iter()
+            .filter_map(|(oid, name)| sys.try_object(*oid).ok().map(|o| (name.clone(), o.size)))
+            .collect();
+        let total = ts.estimator.estimate_total(&new_sizes_map);
+        let pm_only_ns = ts.predictor.predict_pm_only(&sizes);
+        let dram_only_ns = ts.predictor.predict_dram_only(&sizes);
+        self.state[i].quant = Some(QuantEntry {
+            sizes_hash: hash,
+            est_version: version,
+            pm_only_ns,
+            dram_only_ns,
+            total_accesses: total,
+        });
+        (pm_only_ns, dram_only_ns, total)
+    }
+
     /// Run the online prediction + Algorithm 1 and return the per-task DRAM
     /// fractions plus per-object placement targets.
     fn plan(&mut self, sys: &HmSystem) -> (AllocatorPlan, Vec<TaskInput>) {
-        let tasks: Vec<TaskInput> = self
-            .state
-            .iter()
-            .enumerate()
-            .map(|(i, ts)| {
-                let new_sizes_map: BTreeMap<String, u64> = ts
-                    .objects
-                    .iter()
-                    .filter_map(|(oid, name)| {
-                        sys.try_object(*oid).ok().map(|o| (name.clone(), o.size))
-                    })
-                    .collect();
-                let new_sizes_vec: Vec<f64> = ts
-                    .objects
-                    .iter()
-                    .map(|(oid, _)| sys.try_object(*oid).map(|o| o.size as f64).unwrap_or(0.0))
-                    .collect();
-                let total = ts.estimator.estimate_total(&new_sizes_map).max(1.0);
-                let bytes: u64 = ts
-                    .objects
-                    .iter()
-                    .map(|(oid, name)| {
-                        let sz = sys.try_object(*oid).map(|o| o.size).unwrap_or(0);
-                        // Shared objects cost each task a proportional slice.
-                        let sharers = self.sharer_count(name);
-                        sz / sharers.max(1) as u64
-                    })
-                    .sum();
-                TaskInput {
-                    task: i,
-                    d_pm_only_ns: ts.predictor.predict_pm_only(&new_sizes_vec),
-                    d_dram_only_ns: ts.predictor.predict_dram_only(&new_sizes_vec),
-                    events: ts.events.clone(),
-                    total_accesses: total,
-                    bytes,
-                }
-            })
-            .collect();
+        let mut tasks: Vec<TaskInput> = Vec::with_capacity(self.state.len());
+        for i in 0..self.state.len() {
+            let (pm_only_ns, dram_only_ns, total) = self.quantify(sys, i);
+            let ts = &self.state[i];
+            let bytes: u64 = ts
+                .objects
+                .iter()
+                .map(|(oid, name)| {
+                    let sz = sys.try_object(*oid).map(|o| o.size).unwrap_or(0);
+                    // Shared objects cost each task a proportional slice.
+                    let sharers = self.sharer_count(name);
+                    sz / sharers.max(1) as u64
+                })
+                .sum();
+            tasks.push(TaskInput {
+                task: i,
+                d_pm_only_ns: pm_only_ns,
+                d_dram_only_ns: dram_only_ns,
+                events: ts.events.clone(),
+                total_accesses: total.max(1.0),
+                bytes,
+            });
+        }
         let input = AllocatorInput {
             tasks,
             dram_capacity: ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64,
@@ -352,11 +401,15 @@ impl MerchandiserPolicy {
                 continue;
             };
             for id in o.pages() {
-                let w = sys.page_table().get(id).weight;
+                let w = sys.page_table().get(id).weight();
                 shared_pages.push((id, esti * w));
             }
         }
-        shared_pages.sort_by(|a, b| b.1.total_cmp(&a.1));
+        // The claim loop consumes at most pool/PAGE_SIZE pages (every page
+        // is unique, every claim costs one page from both budgets), so a
+        // bounded top-k selection replaces the full sort.
+        let kmax = ((shared_pool as u64) / PAGE_SIZE).min(capacity / PAGE_SIZE) as usize;
+        let shared_pages = merch_hm::topk::hot_pages_top_k(shared_pages, kmax);
         let mut pool = shared_pool as u64;
         for (id, _) in shared_pages {
             if pool < PAGE_SIZE || claimed_bytes + PAGE_SIZE > capacity {
@@ -386,11 +439,16 @@ impl MerchandiserPolicy {
                     .estimate(name, o.size)
                     .unwrap_or(0.0);
                 for id in o.pages() {
-                    let w = sys.page_table().get(id).weight;
+                    let w = sys.page_table().get(id).weight();
                     pages.push((id, esti * w));
                 }
             }
-            pages.sort_by(|a, b| b.1.total_cmp(&a.1));
+            // Private pages are this task's alone, so at most
+            // budget/PAGE_SIZE of them (and no more than the remaining
+            // capacity) can be claimed — top-k again suffices.
+            let kmax = (budget / PAGE_SIZE).min(capacity.saturating_sub(claimed_bytes) / PAGE_SIZE)
+                as usize;
+            let pages = merch_hm::topk::hot_pages_top_k(pages, kmax);
             for (id, _) in pages {
                 if budget < PAGE_SIZE || claimed_bytes + PAGE_SIZE > capacity {
                     break;
@@ -410,14 +468,14 @@ impl MerchandiserPolicy {
         let demote: Vec<u64> = sys
             .page_table()
             .iter()
-            .filter(|(id, p)| p.tier == Tier::Dram && !claimed.contains(id))
+            .filter(|(id, p)| p.tier() == Tier::Dram && !claimed.contains(id))
             .map(|(id, _)| id)
             .collect();
         sys.migrate_pages(demote, Tier::Pm);
         let promote: Vec<u64> = claimed
             .iter()
             .copied()
-            .filter(|&id| sys.page_table().get(id).tier == Tier::Pm)
+            .filter(|&id| sys.page_table().get(id).tier() == Tier::Pm)
             .collect();
         sys.migrate_pages(promote, Tier::Dram);
     }
@@ -427,8 +485,8 @@ impl MerchandiserPolicy {
         sys.page_table()
             .iter()
             .filter(|(id, p)| {
-                (p.tier == Tier::Dram && !claimed.contains(id))
-                    || (p.tier == Tier::Pm && claimed.contains(id))
+                (p.tier() == Tier::Dram && !claimed.contains(id))
+                    || (p.tier() == Tier::Pm && claimed.contains(id))
             })
             .count() as u64
     }
@@ -442,17 +500,19 @@ impl MerchandiserPolicy {
     /// or stale.
     fn hot_page_fallback(&self, sys: &mut HmSystem) {
         let capacity = ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64;
-        let mut pages: Vec<(u64, f64)> = sys
+        let pages: Vec<(u64, f64)> = sys
             .page_table()
             .iter()
             .map(|(id, p)| {
                 let num_pages = sys.try_object(p.object).map(|o| o.num_pages).unwrap_or(1);
-                (id, p.weight / num_pages.max(1) as f64)
+                (id, p.weight() / num_pages.max(1) as f64)
             })
             .collect();
-        pages.sort_by(|a, b| b.1.total_cmp(&a.1));
         let take = (capacity / merch_hm::page::PAGE_SIZE) as usize;
-        let promote: Vec<u64> = pages.into_iter().take(take).map(|(id, _)| id).collect();
+        let promote: Vec<u64> = merch_hm::topk::hot_pages_top_k(pages, take)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
         sys.migrate_pages(promote, Tier::Dram);
     }
 
@@ -476,7 +536,7 @@ impl MerchandiserPolicy {
                 for id in o.pages() {
                     if claimed.contains(&id) {
                         claimed_pages += 1;
-                        if sys.page_table().get(id).tier == Tier::Dram {
+                        if sys.page_table().get(id).tier() == Tier::Dram {
                             resident += 1;
                         }
                     }
@@ -661,6 +721,7 @@ impl MerchandiserPolicy {
             predictor: HomogeneousPredictor::new(table, base_sizes),
             events,
             objects,
+            quant: None,
         })
     }
 }
@@ -721,6 +782,29 @@ impl PlacementPolicy for MerchandiserPolicy {
         order.sort_by(|&a, &b| plan.predicted_ns[b].total_cmp(&plan.predicted_ns[a]));
         let claimed = self.claim_pages(sys, &plan, &order);
 
+        // Per-task quantities reused by every placement scoring below: the
+        // per-object Equation 1 estimates and the homogeneous endpoint
+        // predictions depend only on the current sizes (just cached by
+        // plan()), not on the placement being scored — compute them once
+        // instead of once per scoring pass.
+        type TaskQuant = (Vec<(ObjectId, f64)>, f64, f64);
+        let quants: Vec<TaskQuant> = self
+            .state
+            .iter()
+            .map(|ts| {
+                let est: Vec<(ObjectId, f64)> = ts
+                    .objects
+                    .iter()
+                    .filter_map(|(oid, name)| {
+                        let size = sys.try_object(*oid).ok()?.size;
+                        Some((*oid, ts.estimator.estimate(name, size).unwrap_or(0.0)))
+                    })
+                    .collect();
+                let q = ts.quant.as_ref().expect("plan() fills the quant cache");
+                (est, q.pm_only_ns, q.dram_only_ns)
+            })
+            .collect();
+
         // Predicted time of every task under a given placement: the
         // effective DRAM access fraction weights each object's Equation 1
         // estimate by the weighted share of its pages in DRAM — the claimed
@@ -730,23 +814,16 @@ impl PlacementPolicy for MerchandiserPolicy {
             |sys: &HmSystem, frac_of: &dyn Fn(&HmSystem, ObjectId) -> f64| -> Vec<f64> {
                 self.state
                     .iter()
-                    .map(|ts| {
+                    .zip(&quants)
+                    .map(|(ts, (est, pm_only_ns, dram_only_ns))| {
                         let (mut acc, mut tot) = (0.0, 0.0);
-                        for (oid, name) in &ts.objects {
-                            let Ok(size) = sys.try_object(*oid).map(|o| o.size) else {
-                                continue;
-                            };
-                            let e = ts.estimator.estimate(name, size).unwrap_or(0.0);
-                            acc += e * frac_of(sys, *oid);
+                        for &(oid, e) in est {
+                            acc += e * frac_of(sys, oid);
                             tot += e;
                         }
                         let r = if tot > 0.0 { acc / tot } else { 0.0 };
-                        self.model.predict(
-                            ts.predictor.predict_pm_only(&current_sizes(sys, ts)),
-                            ts.predictor.predict_dram_only(&current_sizes(sys, ts)),
-                            &ts.events,
-                            r,
-                        )
+                        self.model
+                            .predict(*pm_only_ns, *dram_only_ns, &ts.events, r)
                     })
                     .collect()
             };
@@ -761,7 +838,7 @@ impl PlacementPolicy for MerchandiserPolicy {
             };
             let (mut w_in, mut w_tot) = (0.0, 0.0);
             for id in o.pages() {
-                let w = s.page_table().get(id).weight;
+                let w = s.page_table().get(id).weight();
                 w_tot += w;
                 if claimed.contains(&id) {
                     w_in += w;
@@ -777,7 +854,8 @@ impl PlacementPolicy for MerchandiserPolicy {
         let planned_makespan = planned.iter().cloned().fold(0.0f64, f64::max);
         let moves = Self::count_moves(sys, &claimed);
         let cost = merch_hm::cost::migration_time_ns(&sys.config, moves);
-        if (current_makespan - planned_makespan) * self.migration_horizon > cost {
+        let migrate = (current_makespan - planned_makespan) * self.migration_horizon > cost;
+        if migrate {
             Self::apply_claims(sys, &claimed);
             // Failed migrations strand claimed pages on PM: reconcile the
             // quotas with what actually moved (a no-op on fault-free runs)
@@ -787,8 +865,14 @@ impl PlacementPolicy for MerchandiserPolicy {
             }
         }
         // Log the prediction for the placement actually in effect this
-        // round (Table 4 evaluates these against the measured times).
-        let effective = predict_with(sys, &|s, oid| s.dram_fraction(oid));
+        // round (Table 4 evaluates these against the measured times). When
+        // nothing migrated the placement is unchanged, so the `current`
+        // scoring already is that prediction — skip the third pass.
+        let effective = if migrate {
+            predict_with(sys, &|s, oid| s.dram_fraction(oid))
+        } else {
+            current.clone()
+        };
         self.prediction_log.push((round, effective));
         self.last_plan = Some(plan);
     }
@@ -1002,20 +1086,16 @@ impl PlacementPolicy for MerchandiserPolicy {
             self.watchdog_fallback_rounds = self.watchdog_fallback_span;
             return false;
         }
-        let Some(ts) = self.state.get(task) else {
+        if task >= self.state.len() {
             return false;
-        };
+        }
         // Emergency re-run of Algorithm 1 restricted to the straggler: fold
         // the observed miss ratio into its homogeneous predictions and give
-        // it the DRAM it already holds plus whatever is free.
+        // it the DRAM it already holds plus whatever is free. The base
+        // quantification comes from the per-task cache.
         let miss = (observed_ns / deadline_ns.max(1e-9)).max(1.0);
-        let sizes = current_sizes(sys, ts);
-        let new_sizes_map: BTreeMap<String, u64> = ts
-            .objects
-            .iter()
-            .filter_map(|(oid, name)| sys.try_object(*oid).ok().map(|o| (name.clone(), o.size)))
-            .collect();
-        let total = ts.estimator.estimate_total(&new_sizes_map).max(1.0);
+        let (pm_only_ns, dram_only_ns, total) = self.quantify(sys, task);
+        let ts = &self.state[task];
         let (mut bytes, mut resident) = (0u64, 0u64);
         for (oid, _) in &ts.objects {
             let Ok(o) = sys.try_object(*oid) else {
@@ -1023,7 +1103,7 @@ impl PlacementPolicy for MerchandiserPolicy {
             };
             bytes += o.size;
             for id in o.pages() {
-                if sys.page_table().get(id).tier == Tier::Dram {
+                if sys.page_table().get(id).tier() == Tier::Dram {
                     resident += PAGE_SIZE;
                 }
             }
@@ -1031,10 +1111,10 @@ impl PlacementPolicy for MerchandiserPolicy {
         let input = AllocatorInput {
             tasks: vec![TaskInput {
                 task: 0,
-                d_pm_only_ns: ts.predictor.predict_pm_only(&sizes) * miss,
-                d_dram_only_ns: ts.predictor.predict_dram_only(&sizes) * miss,
+                d_pm_only_ns: pm_only_ns * miss,
+                d_dram_only_ns: dram_only_ns * miss,
                 events: ts.events.clone(),
-                total_accesses: total,
+                total_accesses: total.max(1.0),
                 bytes,
             }],
             dram_capacity: resident + sys.free_bytes(Tier::Dram),
@@ -1055,14 +1135,16 @@ impl PlacementPolicy for MerchandiserPolicy {
             let esti = ts.estimator.estimate(name, o.size).unwrap_or(0.0);
             for id in o.pages() {
                 let p = sys.page_table().get(id);
-                if p.tier == Tier::Pm {
-                    pages.push((id, esti * p.weight));
+                if p.tier() == Tier::Pm {
+                    pages.push((id, esti * p.weight()));
                 }
             }
         }
-        pages.sort_by(|a, b| b.1.total_cmp(&a.1));
         let take = (budget / PAGE_SIZE) as usize;
-        let promote: Vec<u64> = pages.into_iter().take(take).map(|(id, _)| id).collect();
+        let promote: Vec<u64> = merch_hm::topk::hot_pages_top_k(pages, take)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
         if promote.is_empty() {
             return false;
         }

@@ -26,6 +26,8 @@
 //!   task instances in parallel rounds with a synchronisation barrier;
 //! * [`checkpoint`] — round-granular checkpoint/WAL for supervised runs
 //!   (crash→restore→replay is bit-identical to an uninterrupted run);
+//! * [`topk`] — deterministic top-k hot/cold page selection shared by
+//!   migration, eviction, and every policy ranking;
 //! * [`backoff`] — bounded retry with deterministic jitter, shared by page
 //!   migration and checkpoint writes;
 //! * [`fault`] — deterministic fault injection (migration failures, sample
@@ -41,6 +43,7 @@ pub mod page;
 pub mod runtime;
 pub mod system;
 pub mod telemetry;
+pub mod topk;
 pub mod trace;
 pub mod workload;
 
@@ -57,5 +60,6 @@ pub use page::{PageId, PageInfo, PageTable, PAGE_SIZE};
 pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult, WatchdogConfig};
 pub use system::HmSystem;
 pub use telemetry::BandwidthTimeline;
+pub use topk::{cold_pages_top_k, hot_pages_top_k};
 pub use trace::{memory_accesses, ObjectAccess, Phase, TaskWork};
 pub use workload::{TaskId, Workload};

@@ -6,6 +6,14 @@
 //! object's accesses distribute over its pages (uniform for streaming
 //! objects, skewed for random-pattern objects with hot entries) — this is
 //! what makes hot-page detection meaningful in the emulation.
+//!
+//! The table keeps incremental accounting alongside the flat page vector:
+//! exact per-tier page counters (so `bytes_in` is O(1)) and per-object
+//! weighted-residency aggregates (so `weighted_fraction_in` over a whole
+//! object is O(1) between placement changes). Tier and weight are therefore
+//! private — all writes go through [`PageTable::set_tier`] /
+//! [`PageTable::set_weight`] so the aggregates can never silently drift
+//! from the pages.
 
 use serde::{Deserialize, Serialize};
 
@@ -21,16 +29,25 @@ pub const PAGES_PER_HUGE_REGION: u64 = (2 << 20) / PAGE_SIZE;
 /// Global page identifier.
 pub type PageId = u64;
 
+fn tier_idx(tier: Tier) -> usize {
+    match tier {
+        Tier::Dram => 0,
+        Tier::Pm => 1,
+    }
+}
+
 /// Per-page metadata (an emulated PTE plus profiling counters).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PageInfo {
     /// Object the page belongs to.
     pub object: ObjectId,
-    /// Tier the page currently resides on.
-    pub tier: Tier,
+    /// Tier the page currently resides on. Private: tier changes must go
+    /// through [`PageTable::set_tier`] to keep the tier counters exact.
+    tier: Tier,
     /// Fraction of the object's accesses that land on this page (sums to 1
-    /// over the object's pages).
-    pub weight: f64,
+    /// over the object's pages). Private: weight changes must go through
+    /// [`PageTable::set_weight`] to invalidate the object aggregate.
+    weight: f64,
     /// Emulated PTE accessed bit; set by execution, cleared by profilers.
     pub accessed: bool,
     /// Accumulated access count since the last profiler reset.
@@ -39,11 +56,75 @@ pub struct PageInfo {
     pub migrations: u32,
 }
 
+impl PageInfo {
+    /// Tier the page currently resides on.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Fraction of the object's accesses landing on this page.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Rebuild a fully-specified page (checkpoint restore only; normal
+    /// allocation goes through
+    /// [`extend_for_object`](PageTable::extend_for_object)).
+    pub fn restore(
+        object: ObjectId,
+        tier: Tier,
+        weight: f64,
+        accessed: bool,
+        access_count: f64,
+        migrations: u32,
+    ) -> Self {
+        Self {
+            object,
+            tier,
+            weight,
+            accessed,
+            access_count,
+            migrations,
+        }
+    }
+}
+
+/// Per-object weighted-residency aggregate: the running sums
+/// `weighted_fraction_in` needs, maintained incrementally so whole-object
+/// queries skip the page scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ObjAgg {
+    /// First page of the object's range.
+    first_page: PageId,
+    /// Pages in the object's range.
+    num_pages: u64,
+    /// Sum of page weights over the range, accumulated in page-id order.
+    weight_total: f64,
+    /// Per-tier weight sums (indexed by `tier_idx`), each accumulated in
+    /// page-id order over the pages of that tier — bitwise identical to
+    /// the sums a fresh range scan produces.
+    weight_in: [f64; 2],
+    /// True when a tier/weight write invalidated the float sums.
+    dirty: bool,
+}
+
 /// The emulated page table: flat vector of [`PageInfo`] indexed by
-/// [`PageId`].
+/// [`PageId`], plus incremental tier accounting.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct PageTable {
     pages: Vec<PageInfo>,
+    /// Pages resident per tier (indexed by `tier_idx`). Exact integers,
+    /// updated eagerly on every tier change — `bytes_in` never scans.
+    tier_pages: [u64; 2],
+    /// Per-object aggregates, indexed by `ObjectId`.
+    aggs: Vec<ObjAgg>,
+    /// Objects whose aggregate needs recomputation (deduplicated via the
+    /// per-aggregate `dirty` flag).
+    dirty: Vec<u32>,
+    /// Set when pages were appended in a layout the per-object aggregates
+    /// cannot represent (non-dense object ids). All fraction queries then
+    /// take the scan path; tier counters stay exact regardless.
+    irregular: bool,
 }
 
 impl PageTable {
@@ -65,6 +146,7 @@ impl PageTable {
         weights: impl IntoIterator<Item = f64>,
     ) -> PageId {
         let first = self.pages.len() as PageId;
+        let mut weight_total = 0.0;
         for w in weights {
             self.pages.push(PageInfo {
                 object,
@@ -74,13 +156,52 @@ impl PageTable {
                 access_count: 0.0,
                 migrations: 0,
             });
+            weight_total += w;
+        }
+        let num_pages = self.pages.len() as PageId - first;
+        self.tier_pages[tier_idx(tier)] += num_pages;
+        if object.0 as usize == self.aggs.len() {
+            // All pages start on one tier, so that tier's in-order sum is
+            // exactly the in-order total.
+            let mut weight_in = [0.0; 2];
+            weight_in[tier_idx(tier)] = weight_total;
+            self.aggs.push(ObjAgg {
+                first_page: first,
+                num_pages,
+                weight_total,
+                weight_in,
+                dirty: false,
+            });
+        } else {
+            self.irregular = true;
         }
         first
     }
 
     /// Append one fully-specified page (checkpoint restore only; normal
     /// allocation goes through [`extend_for_object`](Self::extend_for_object)).
+    /// Call [`flush_aggregates`](Self::flush_aggregates) once after the
+    /// last page so whole-object queries regain their O(1) path.
     pub fn push_raw(&mut self, page: PageInfo) {
+        let id = self.pages.len() as PageId;
+        self.tier_pages[tier_idx(page.tier)] += 1;
+        let oi = page.object.0 as usize;
+        if oi == self.aggs.len() {
+            self.aggs.push(ObjAgg {
+                first_page: id,
+                num_pages: 1,
+                weight_total: 0.0,
+                weight_in: [0.0; 2],
+                dirty: true,
+            });
+            self.dirty.push(page.object.0);
+        } else if oi + 1 == self.aggs.len()
+            && self.aggs[oi].first_page + self.aggs[oi].num_pages == id
+        {
+            self.aggs[oi].num_pages += 1;
+        } else {
+            self.irregular = true;
+        }
         self.pages.push(page);
     }
 
@@ -89,7 +210,9 @@ impl PageTable {
         &self.pages[id as usize]
     }
 
-    /// Mutable page lookup.
+    /// Mutable page lookup (profiling state only — tier and weight are
+    /// private and writable solely through [`set_tier`](Self::set_tier) /
+    /// [`set_weight`](Self::set_weight)).
     pub fn get_mut(&mut self, id: PageId) -> &mut PageInfo {
         &mut self.pages[id as usize]
     }
@@ -97,6 +220,64 @@ impl PageTable {
     /// Iterate over `(PageId, &PageInfo)`.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, &PageInfo)> {
         self.pages.iter().enumerate().map(|(i, p)| (i as PageId, p))
+    }
+
+    fn mark_dirty(&mut self, object: ObjectId) {
+        match self.aggs.get_mut(object.0 as usize) {
+            Some(a) if !a.dirty => {
+                a.dirty = true;
+                self.dirty.push(object.0);
+            }
+            Some(_) => {}
+            None => self.irregular = true,
+        }
+    }
+
+    /// Move page `id` to `to`, keeping the tier counters exact and marking
+    /// the owning object's aggregate for recomputation.
+    pub fn set_tier(&mut self, id: PageId, to: Tier) {
+        let p = &mut self.pages[id as usize];
+        if p.tier == to {
+            return;
+        }
+        self.tier_pages[tier_idx(p.tier)] -= 1;
+        self.tier_pages[tier_idx(to)] += 1;
+        p.tier = to;
+        let object = p.object;
+        self.mark_dirty(object);
+    }
+
+    /// Overwrite page `id`'s weight, marking the owning object's aggregate
+    /// for recomputation.
+    pub fn set_weight(&mut self, id: PageId, weight: f64) {
+        let p = &mut self.pages[id as usize];
+        p.weight = weight;
+        let object = p.object;
+        self.mark_dirty(object);
+    }
+
+    /// Recompute every dirty object aggregate by rescanning its range in
+    /// page-id order. Batched callers (migration loops) call this once at
+    /// the end; a query against a still-dirty object falls back to the
+    /// scan and stays correct either way.
+    pub fn flush_aggregates(&mut self) {
+        while let Some(oi) = self.dirty.pop() {
+            let Some(a) = self.aggs.get(oi as usize) else {
+                continue;
+            };
+            let (first, num) = (a.first_page, a.num_pages);
+            let mut weight_total = 0.0;
+            let mut weight_in = [0.0; 2];
+            for id in first..first + num {
+                let p = &self.pages[id as usize];
+                weight_total += p.weight;
+                weight_in[tier_idx(p.tier)] += p.weight;
+            }
+            let a = &mut self.aggs[oi as usize];
+            a.weight_total = weight_total;
+            a.weight_in = weight_in;
+            a.dirty = false;
+        }
     }
 
     /// Record `accesses` object-level accesses over the page range
@@ -117,8 +298,25 @@ impl PageTable {
         }
     }
 
-    /// Weighted fraction of the range currently resident in `tier`.
+    /// Weighted fraction of the range currently resident in `tier`. O(1)
+    /// when the range is exactly one object with a clean aggregate (the
+    /// policy's per-object queries); otherwise falls back to the scan,
+    /// which accumulates in the same page-id order and therefore returns
+    /// the bitwise-identical value.
     pub fn weighted_fraction_in(&self, range: std::ops::Range<PageId>, tier: Tier) -> f64 {
+        if !self.irregular && range.start < range.end && (range.start as usize) < self.pages.len() {
+            let oi = self.pages[range.start as usize].object.0 as usize;
+            if let Some(a) = self.aggs.get(oi) {
+                if !a.dirty && a.first_page == range.start && a.num_pages == range.end - range.start
+                {
+                    return if a.weight_total > 0.0 {
+                        a.weight_in[tier_idx(tier)] / a.weight_total
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
         let mut total = 0.0;
         let mut in_tier = 0.0;
         for id in range {
@@ -135,8 +333,16 @@ impl PageTable {
         }
     }
 
-    /// Bytes of the whole table resident in `tier`.
+    /// Bytes of the whole table resident in `tier`. O(1) from the
+    /// incremental tier counters.
     pub fn bytes_in(&self, tier: Tier) -> u64 {
+        self.tier_pages[tier_idx(tier)] * PAGE_SIZE
+    }
+
+    /// From-scratch recount of [`bytes_in`](Self::bytes_in) — the O(n)
+    /// scan the incremental counters replaced, kept for verification
+    /// (proptests, benches).
+    pub fn recount_bytes_in(&self, tier: Tier) -> u64 {
         self.pages.iter().filter(|p| p.tier == tier).count() as u64 * PAGE_SIZE
     }
 }
@@ -205,10 +411,58 @@ mod tests {
         pt.record_accesses(0..3, 100.0);
         assert!((pt.get(0).access_count - 50.0).abs() < 1e-12);
         assert!(pt.get(1).accessed);
-        pt.get_mut(1).tier = Tier::Dram;
+        pt.set_tier(1, Tier::Dram);
         let f = pt.weighted_fraction_in(0..3, Tier::Dram);
         assert!((f - 0.3).abs() < 1e-12);
         assert_eq!(pt.bytes_in(Tier::Dram), PAGE_SIZE);
+    }
+
+    #[test]
+    fn fast_path_matches_scan_after_flush() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Pm, vec![0.4, 0.1, 0.25, 0.25]);
+        pt.extend_for_object(ObjectId(1), Tier::Pm, vec![0.7, 0.3]);
+        pt.set_tier(0, Tier::Dram);
+        pt.set_tier(2, Tier::Dram);
+        pt.set_tier(5, Tier::Dram);
+        // Dirty: the query takes the scan path.
+        let dirty_f = pt.weighted_fraction_in(0..4, Tier::Dram);
+        pt.flush_aggregates();
+        // Clean: the aggregate path must return the bit-identical value.
+        let clean_f = pt.weighted_fraction_in(0..4, Tier::Dram);
+        assert_eq!(dirty_f.to_bits(), clean_f.to_bits());
+        assert_eq!(
+            pt.weighted_fraction_in(4..6, Tier::Dram).to_bits(),
+            0.3f64.to_bits()
+        );
+        // Counters always exact, flushed or not.
+        assert_eq!(pt.bytes_in(Tier::Dram), pt.recount_bytes_in(Tier::Dram));
+        assert_eq!(pt.bytes_in(Tier::Pm), pt.recount_bytes_in(Tier::Pm));
+    }
+
+    #[test]
+    fn partial_range_takes_scan_path() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Pm, vec![0.5, 0.3, 0.2]);
+        pt.set_tier(0, Tier::Dram);
+        pt.flush_aggregates();
+        // A sub-range never matches an aggregate; the scan must serve it.
+        let f = pt.weighted_fraction_in(0..2, Tier::Dram);
+        assert!((f - 0.5 / 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_weight_invalidates_aggregate() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Pm, vec![0.5, 0.5]);
+        pt.set_tier(0, Tier::Dram);
+        pt.flush_aggregates();
+        assert_eq!(pt.weighted_fraction_in(0..2, Tier::Dram), 0.5);
+        pt.set_weight(0, 0.9);
+        pt.set_weight(1, 0.1);
+        assert_eq!(pt.weighted_fraction_in(0..2, Tier::Dram), 0.9);
+        pt.flush_aggregates();
+        assert_eq!(pt.weighted_fraction_in(0..2, Tier::Dram), 0.9);
     }
 
     #[test]
@@ -229,5 +483,16 @@ mod tests {
         assert!(pt.get(0).access_count > 0.0);
         pt.record_accesses(0..2, 10.0);
         assert!(pt.get(0).accessed);
+    }
+
+    #[test]
+    fn irregular_layout_falls_back_to_scan() {
+        let mut pt = PageTable::default();
+        // Out-of-order object id: aggregates disabled, queries still work.
+        pt.extend_for_object(ObjectId(3), Tier::Pm, vec![0.5, 0.5]);
+        pt.set_tier(1, Tier::Dram);
+        pt.flush_aggregates();
+        assert_eq!(pt.weighted_fraction_in(0..2, Tier::Dram), 0.5);
+        assert_eq!(pt.bytes_in(Tier::Dram), PAGE_SIZE);
     }
 }

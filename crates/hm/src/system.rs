@@ -341,17 +341,16 @@ impl HmSystem {
             return MigrationOutcome::default();
         };
         let range = o.pages();
-        let mut candidates: Vec<(PageId, f64)> = range
-            .filter(|&id| self.page_table.get(id).tier != to)
-            .map(|id| (id, self.page_table.get(id).weight))
+        let candidates: Vec<(PageId, f64)> = range
+            .filter(|&id| self.page_table.get(id).tier() != to)
+            .map(|id| (id, self.page_table.get(id).weight()))
             .collect();
         // Hottest first when promoting to DRAM; coldest first when demoting.
         // total_cmp: page weights are runtime data, a NaN must not panic.
-        match to {
-            Tier::Dram => candidates.sort_by(|a, b| b.1.total_cmp(&a.1)),
-            Tier::Pm => candidates.sort_by(|a, b| a.1.total_cmp(&b.1)),
-        }
-        candidates.truncate(max_pages as usize);
+        let candidates = match to {
+            Tier::Dram => crate::topk::hot_pages_top_k(candidates, max_pages as usize),
+            Tier::Pm => crate::topk::cold_pages_top_k(candidates, max_pages as usize),
+        };
         self.migrate_pages(candidates.iter().map(|&(id, _)| id), to)
     }
 
@@ -369,25 +368,26 @@ impl HmSystem {
     ) -> MigrationOutcome {
         let mut outcome = MigrationOutcome::default();
         for id in pages {
-            if self.page_table.get(id).tier == to {
+            if self.page_table.get(id).tier() == to {
                 continue;
             }
             if to == Tier::Dram && self.free_bytes(Tier::Dram) < PAGE_SIZE {
-                let evicted = self.evict_lfu_dram_pages(1, Some(id));
+                let evicted = self.evict_lfu_inner(1, Some(id));
                 outcome.pages_evicted += evicted;
                 if self.free_bytes(Tier::Dram) < PAGE_SIZE {
                     break; // nothing evictable; stop migrating
                 }
             }
-            match self.try_migrate_page(id, to) {
+            match self.migrate_page_inner(id, to) {
                 Ok(()) => outcome.pages_moved += 1,
                 Err(HmError::MigrationFailed { .. }) => outcome.pages_failed += 1,
                 // Scripted crash: the batch dies mid-flight; the pages not
                 // reached stay put and the caller observes `crashed()`.
                 Err(HmError::Crashed { .. }) => break,
-                Err(_) => unreachable!("try_migrate_page fails with MigrationFailed or Crashed"),
+                Err(_) => unreachable!("migrate_page_inner fails with MigrationFailed or Crashed"),
             }
         }
+        self.page_table.flush_aggregates();
         outcome
     }
 
@@ -396,6 +396,14 @@ impl HmSystem {
     /// `total_migration_attempts`; without an injector the single attempt
     /// always succeeds.
     pub fn try_migrate_page(&mut self, id: PageId, to: Tier) -> Result<(), HmError> {
+        let r = self.migrate_page_inner(id, to);
+        self.page_table.flush_aggregates();
+        r
+    }
+
+    /// [`try_migrate_page`](Self::try_migrate_page) without the aggregate
+    /// flush — batched callers flush once after the whole batch.
+    fn migrate_page_inner(&mut self, id: PageId, to: Tier) -> Result<(), HmError> {
         let max_retries = self.fault.as_ref().map(|f| f.max_retries()).unwrap_or(0);
         let mut backoff = crate::backoff::Backoff::new(max_retries, self.seed ^ id.rotate_left(23));
         loop {
@@ -411,9 +419,8 @@ impl HmSystem {
                 .as_mut()
                 .is_some_and(|f| f.migration_attempt_fails(id, backoff.attempt()));
             if !failed {
-                let p = self.page_table.get_mut(id);
-                p.tier = to;
-                p.migrations += 1;
+                self.page_table.set_tier(id, to);
+                self.page_table.get_mut(id).migrations += 1;
                 self.total_migrations += 1;
                 return Ok(());
             }
@@ -433,18 +440,24 @@ impl HmSystem {
     /// frequently accessed pages in DRAM are migrated to PM", §6).
     /// `protect` optionally shields one page from eviction.
     pub fn evict_lfu_dram_pages(&mut self, n: u64, protect: Option<PageId>) -> u64 {
-        let mut dram_pages: Vec<(PageId, f64)> = self
+        let evicted = self.evict_lfu_inner(n, protect);
+        self.page_table.flush_aggregates();
+        evicted
+    }
+
+    /// [`evict_lfu_dram_pages`](Self::evict_lfu_dram_pages) without the
+    /// aggregate flush, for use inside migration batches.
+    fn evict_lfu_inner(&mut self, n: u64, protect: Option<PageId>) -> u64 {
+        let dram_pages: Vec<(PageId, f64)> = self
             .page_table
             .iter()
-            .filter(|(id, p)| p.tier == Tier::Dram && Some(*id) != protect)
+            .filter(|(id, p)| p.tier() == Tier::Dram && Some(*id) != protect)
             .map(|(id, p)| (id, p.access_count))
             .collect();
-        dram_pages.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut evicted = 0;
-        for (id, _) in dram_pages.into_iter().take(n as usize) {
-            let p = self.page_table.get_mut(id);
-            p.tier = Tier::Pm;
-            p.migrations += 1;
+        for (id, _) in crate::topk::cold_pages_top_k(dram_pages, n as usize) {
+            self.page_table.set_tier(id, Tier::Pm);
+            self.page_table.get_mut(id).migrations += 1;
             self.total_migrations += 1;
             self.total_migration_attempts += 1;
             evicted += 1;
@@ -471,8 +484,9 @@ impl HmSystem {
         let weights = crate::page::page_weights(o.num_pages, skew, seed);
         let first = o.first_page;
         for (k, w) in weights.into_iter().enumerate() {
-            self.page_table.get_mut(first + k as u64).weight = w;
+            self.page_table.set_weight(first + k as u64, w);
         }
+        self.page_table.flush_aggregates();
     }
 
     /// Update the logical size of `object` for the current input (the
@@ -549,11 +563,15 @@ impl HmSystem {
         }
         writeln!(out, "pages {}", self.page_table.len()).expect("writing to String cannot fail");
         for (_, p) in self.page_table.iter() {
-            let tier = if p.tier == Tier::Dram { "D" } else { "P" };
+            let tier = if p.tier() == Tier::Dram { "D" } else { "P" };
             writeln!(
                 out,
                 "p {} {tier} {:?} {} {:?} {}",
-                p.object.0, p.weight, p.accessed as u8, p.access_count, p.migrations
+                p.object.0,
+                p.weight(),
+                p.accessed as u8,
+                p.access_count,
+                p.migrations
             )
             .expect("writing to String cannot fail");
         }
@@ -637,15 +655,16 @@ impl HmSystem {
                 "P" => Tier::Pm,
                 _ => return Err(corrupt("bad page tier")),
             };
-            page_table.push_raw(crate::page::PageInfo {
-                object: ObjectId(p_u32(t[0])?),
+            page_table.push_raw(crate::page::PageInfo::restore(
+                ObjectId(p_u32(t[0])?),
                 tier,
-                weight: p_f64(t[2])?,
-                accessed: p_bool(t[3])?,
-                access_count: p_f64(t[4])?,
-                migrations: p_u32(t[5])?,
-            });
+                p_f64(t[2])?,
+                p_bool(t[3])?,
+                p_f64(t[4])?,
+                p_u32(t[5])?,
+            ));
         }
+        page_table.flush_aggregates();
         let t = r.line("fault", 1)?;
         let fault = if p_bool(t[0])? {
             Some(FaultInjector::decode_state(r)?)

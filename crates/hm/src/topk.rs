@@ -1,0 +1,124 @@
+//! Deterministic top-k page selection.
+//!
+//! Every hot/cold page ranking in the suite (promotion candidates,
+//! LFU eviction, shared-page credit, the hot-page fallback rung) selects
+//! the k most extreme pages from an id-ordered candidate list. A full
+//! `sort_by` is O(n log n) in the candidate count; these helpers use
+//! `select_nth_unstable_by` for an O(n + k log k) bound while producing
+//! the *exact* sequence the old stable sorts produced: the comparator is a
+//! total order (`total_cmp` on the score, ascending [`PageId`] tiebreak),
+//! so the selected prefix is unique regardless of partition internals —
+//! bit-identical replay is preserved.
+
+use crate::page::PageId;
+
+type Cmp = fn(&(PageId, f64), &(PageId, f64)) -> std::cmp::Ordering;
+
+fn hotter(a: &(PageId, f64), b: &(PageId, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+fn colder(a: &(PageId, f64), b: &(PageId, f64)) -> std::cmp::Ordering {
+    a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0))
+}
+
+fn select(mut items: Vec<(PageId, f64)>, k: usize, cmp: Cmp) -> Vec<(PageId, f64)> {
+    if k == 0 {
+        items.clear();
+        return items;
+    }
+    if k < items.len() {
+        items.select_nth_unstable_by(k, cmp);
+        items.truncate(k);
+    }
+    items.sort_unstable_by(cmp);
+    items
+}
+
+/// The `k` hottest pages (largest score first; ties break toward the
+/// smaller page id, as the old id-ordered stable sorts did). `k >= len`
+/// returns the whole list, sorted.
+pub fn hot_pages_top_k(items: Vec<(PageId, f64)>, k: usize) -> Vec<(PageId, f64)> {
+    select(items, k, hotter)
+}
+
+/// The `k` coldest pages (smallest score first; same id tiebreak).
+pub fn cold_pages_top_k(items: Vec<(PageId, f64)>, k: usize) -> Vec<(PageId, f64)> {
+    select(items, k, colder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_hot(mut items: Vec<(PageId, f64)>, k: usize) -> Vec<(PageId, f64)> {
+        // The pattern the helper replaced: id-ordered input, stable full
+        // sort by score, truncate.
+        items.sort_by(|a, b| b.1.total_cmp(&a.1));
+        items.truncate(k);
+        items
+    }
+
+    fn baseline_cold(mut items: Vec<(PageId, f64)>, k: usize) -> Vec<(PageId, f64)> {
+        items.sort_by(|a, b| a.1.total_cmp(&b.1));
+        items.truncate(k);
+        items
+    }
+
+    fn pseudo_items(n: u64, dup_every: u64) -> Vec<(PageId, f64)> {
+        (0..n)
+            .map(|id| {
+                let mut z = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                let score = if dup_every > 0 && id % dup_every == 0 {
+                    0.25 // forced ties
+                } else {
+                    (z % 10_000) as f64 / 10_000.0
+                };
+                (id, score)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_stable_sort_including_ties() {
+        for n in [0u64, 1, 7, 100, 1000] {
+            for k in [0usize, 1, 3, 50, 2000] {
+                let items = pseudo_items(n, 5);
+                assert_eq!(
+                    hot_pages_top_k(items.clone(), k),
+                    baseline_hot(items.clone(), k),
+                    "hot n={n} k={k}"
+                );
+                assert_eq!(
+                    cold_pages_top_k(items.clone(), k),
+                    baseline_cold(items, k),
+                    "cold n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_and_order_deterministically() {
+        let mut items = pseudo_items(64, 0);
+        items[10].1 = f64::NAN;
+        items[40].1 = f64::NAN;
+        let a = hot_pages_top_k(items.clone(), 16);
+        let b = hot_pages_top_k(items, 16);
+        // total_cmp gives NaN a definite rank; repeated runs agree.
+        // (NaN != NaN, so compare ids and score bit patterns, not floats.)
+        assert_eq!(a.len(), 16);
+        let bits = |v: &[(PageId, f64)]| -> Vec<(PageId, u64)> {
+            v.iter().map(|&(id, s)| (id, s.to_bits())).collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn k_larger_than_input_sorts_everything() {
+        let items = pseudo_items(10, 3);
+        let out = hot_pages_top_k(items.clone(), usize::MAX);
+        assert_eq!(out, baseline_hot(items, 10));
+    }
+}

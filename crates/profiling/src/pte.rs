@@ -66,7 +66,7 @@ impl ThermostatProfiler {
             // Pick one page of the region uniformly.
             let pick = start + self.rng.gen_range(0..(end - start));
             let info = sys.page_table().get(pick);
-            if info.tier == tier {
+            if info.tier() == tier {
                 let scale = (end - start) as f64;
                 let sample = PageSample {
                     page: pick,
@@ -130,7 +130,7 @@ impl SamplingHotPageProfiler {
         let candidates: Vec<PageId> = sys
             .page_table()
             .iter()
-            .filter(|(_, p)| p.tier == tier)
+            .filter(|(_, p)| p.tier() == tier)
             .map(|(id, _)| id)
             .collect();
         let mut picked = candidates;

@@ -1,0 +1,198 @@
+//! Property-based tests for the incremental page-engine accounting: after
+//! *any* interleaving of allocate / migrate / evict / age / record /
+//! re-weight / crash-replay operations, the O(1) per-tier byte counters
+//! must equal a from-scratch recount, and the per-object weighted-fraction
+//! fast path must be bitwise identical to the full range scan it replaced
+//! — both before a flush (dirty aggregates fall back to the scan) and
+//! after one (the fast path actually fires).
+
+use proptest::prelude::*;
+
+use merchandiser_suite::hm::checkpoint::Reader;
+use merchandiser_suite::hm::{HmConfig, HmSystem, ObjectSpec, Tier, PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a fresh object (PM first, like the apps do).
+    Allocate { pages: u64, skew_centi: u16 },
+    /// Object-granular migration of up to `max_pages` hottest/coldest.
+    MigrateObject {
+        obj: u8,
+        to_dram: bool,
+        max_pages: u8,
+    },
+    /// Page-granular batch migration (with LFU eviction when DRAM fills).
+    MigratePages { lo: u16, n: u8, to_dram: bool },
+    /// Direct LFU eviction sweep.
+    Evict { n: u8 },
+    /// Record accesses against an object (touches counters + accessed bits).
+    Record { obj: u8, accesses_deci: u32 },
+    /// Reassign per-page weights of an object (input change between rounds).
+    Reweight { obj: u8, skew_centi: u16, seed: u16 },
+    /// Exponential aging of the LFU counters.
+    Age,
+    /// Crash: encode the full state, decode into a fresh system.
+    CrashReplay,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..40, 0u16..250).prop_map(|(pages, skew_centi)| Op::Allocate { pages, skew_centi }),
+        (any::<u8>(), any::<bool>(), 1u8..32).prop_map(|(obj, to_dram, max_pages)| {
+            Op::MigrateObject {
+                obj,
+                to_dram,
+                max_pages,
+            }
+        }),
+        (any::<u16>(), 1u8..32, any::<bool>()).prop_map(|(lo, n, to_dram)| Op::MigratePages {
+            lo,
+            n,
+            to_dram
+        }),
+        (1u8..24).prop_map(|n| Op::Evict { n }),
+        (any::<u8>(), 1u32..5000)
+            .prop_map(|(obj, accesses_deci)| Op::Record { obj, accesses_deci }),
+        (any::<u8>(), 0u16..250, any::<u16>()).prop_map(|(obj, skew_centi, seed)| Op::Reweight {
+            obj,
+            skew_centi,
+            seed
+        }),
+        Just(Op::Age),
+        Just(Op::CrashReplay),
+    ]
+}
+
+/// The scan `weighted_fraction_in` performed before the per-object
+/// aggregates existed, replicated exactly (same accumulation order).
+fn scan_fraction(sys: &HmSystem, range: std::ops::Range<u64>, tier: Tier) -> f64 {
+    let pt = sys.page_table();
+    let (mut total, mut inn) = (0.0f64, 0.0f64);
+    for id in range {
+        let p = pt.get(id);
+        total += p.weight();
+        if p.tier() == tier {
+            inn += p.weight();
+        }
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        inn / total
+    }
+}
+
+/// Counters == recount, and fraction fast path == scan (bitwise).
+fn check_invariants(sys: &mut HmSystem, label: &str) {
+    // Dirty-aggregate path: queries must be right even before a flush.
+    for tier in [Tier::Dram, Tier::Pm] {
+        assert_eq!(
+            sys.page_table().bytes_in(tier),
+            sys.page_table().recount_bytes_in(tier),
+            "{label}: tier byte counter diverged ({tier:?})"
+        );
+    }
+    let ranges: Vec<std::ops::Range<u64>> = sys.objects().iter().map(|o| o.pages()).collect();
+    for r in &ranges {
+        for tier in [Tier::Dram, Tier::Pm] {
+            let got = sys.page_table().weighted_fraction_in(r.clone(), tier);
+            let want = scan_fraction(sys, r.clone(), tier);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{label}: pre-flush fraction {got} != scan {want} ({tier:?}, {r:?})"
+            );
+        }
+    }
+    // Clean-aggregate path: flush, then the O(1) fast path must fire with
+    // the identical bits.
+    sys.page_table_mut().flush_aggregates();
+    for r in &ranges {
+        for tier in [Tier::Dram, Tier::Pm] {
+            let got = sys.page_table().weighted_fraction_in(r.clone(), tier);
+            let want = scan_fraction(sys, r.clone(), tier);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{label}: post-flush fraction {got} != scan {want} ({tier:?}, {r:?})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental counters always equal a from-scratch recount after
+    /// arbitrary operation interleavings, including crash-replay.
+    #[test]
+    fn incremental_accounting_matches_recount(ops in proptest::collection::vec(arb_op(), 1..40), seed in any::<u64>()) {
+        let mut cfg = HmConfig::default();
+        // Small tiers so eviction pressure and OutOfCapacity paths trigger.
+        cfg.dram.capacity = 64 * PAGE_SIZE;
+        cfg.pm.capacity = 2048 * PAGE_SIZE;
+        let mut sys = HmSystem::new(cfg, seed);
+        let mut n_alloc = 0u32;
+        for (step, op) in ops.iter().cloned().enumerate() {
+            match op {
+                Op::Allocate { pages, skew_centi } => {
+                    let spec = ObjectSpec {
+                        name: format!("o{n_alloc}"),
+                        size: pages * PAGE_SIZE - PAGE_SIZE / 2, // non-multiple sizes
+                        owner_task: None,
+                        hot_page_skew: skew_centi as f64 / 100.0,
+                    };
+                    n_alloc += 1;
+                    let _ = sys.allocate(&spec, Tier::Pm);
+                }
+                Op::MigrateObject { obj, to_dram, max_pages } => {
+                    if !sys.objects().is_empty() {
+                        let oid = sys.objects()[obj as usize % sys.objects().len()].id;
+                        let to = if to_dram { Tier::Dram } else { Tier::Pm };
+                        let _ = sys.migrate_object_pages(oid, to, max_pages as u64);
+                    }
+                }
+                Op::MigratePages { lo, n, to_dram } => {
+                    let len = sys.page_table().len() as u64;
+                    if len > 0 {
+                        let lo = lo as u64 % len;
+                        let hi = (lo + n as u64).min(len);
+                        let to = if to_dram { Tier::Dram } else { Tier::Pm };
+                        let _ = sys.migrate_pages(lo..hi, to);
+                    }
+                }
+                Op::Evict { n } => {
+                    let _ = sys.evict_lfu_dram_pages(n as u64, None);
+                }
+                Op::Record { obj, accesses_deci } => {
+                    if !sys.objects().is_empty() {
+                        let oid = sys.objects()[obj as usize % sys.objects().len()].id;
+                        sys.record_accesses(oid, accesses_deci as f64 / 10.0);
+                    }
+                }
+                Op::Reweight { obj, skew_centi, seed } => {
+                    if !sys.objects().is_empty() {
+                        let oid = sys.objects()[obj as usize % sys.objects().len()].id;
+                        sys.reassign_page_weights(oid, skew_centi as f64 / 100.0, seed as u64);
+                    }
+                }
+                Op::Age => sys.age_access_counts(0.5),
+                Op::CrashReplay => {
+                    let mut text = String::new();
+                    sys.encode_state(&mut text);
+                    let mut r = Reader::new(&text);
+                    let restored = HmSystem::decode_state(&mut r).expect("state must round-trip");
+                    // The replay must resurrect identical counters too.
+                    for tier in [Tier::Dram, Tier::Pm] {
+                        prop_assert_eq!(
+                            restored.page_table().bytes_in(tier),
+                            sys.page_table().bytes_in(tier)
+                        );
+                    }
+                    sys = restored;
+                }
+            }
+            check_invariants(&mut sys, &format!("step {step}"));
+        }
+    }
+}
