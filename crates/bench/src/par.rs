@@ -7,7 +7,14 @@
 //! [`par_map`] runs the cells on a pool of worker threads and returns the
 //! results **in input order**, so the emitted tables are byte-identical to a
 //! sequential sweep no matter how the OS interleaves the workers.
+//!
+//! A panic inside a cell aborts the sweep, but not anonymously: the pool
+//! catches it, stops handing out further cells, and re-raises a panic that
+//! names the failing cell index and carries the original message — a
+//! `repro` run that dies in cell 37 of a 200-cell sweep says so, instead of
+//! "a scoped thread panicked".
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -30,12 +37,38 @@ pub fn sweep_jobs() -> usize {
     }
 }
 
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// format string yields `String`, with a literal yields `&str`).
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one cell, converting a panic into one that names the cell.
+fn run_cell<T, R>(i: usize, item: T, f: &(impl Fn(T) -> R + Sync)) -> R {
+    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+        Ok(r) => r,
+        Err(p) => panic!("sweep cell {i} panicked: {}", payload_msg(p.as_ref())),
+    }
+}
+
 /// Map `f` over `items` on the sweep worker pool, returning results in
 /// input order regardless of completion order.
 ///
 /// Workers pull cells from a shared cursor, so a straggler cell (a slow
 /// application run) never idles the rest of the pool. With one worker (or
 /// one item) this degenerates to a plain in-place map.
+///
+/// # Panics
+///
+/// If a cell's `f` panics, the pool stops dispatching new cells, waits for
+/// in-flight cells, and panics with `sweep cell <index> panicked: <original
+/// message>`. The first failing cell (by dispatch order) wins.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -44,11 +77,16 @@ where
 {
     let jobs = sweep_jobs().min(items.len());
     if jobs <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| run_cell(i, t, &f))
+            .collect();
     }
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
     crossbeam::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|_| loop {
@@ -61,12 +99,26 @@ where
                     .expect("work slot poisoned")
                     .take()
                     .expect("each cell is claimed exactly once");
-                let r = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => *slots[i].lock().expect("result slot poisoned") = Some(r),
+                    Err(p) => {
+                        let mut fail = failure.lock().expect("failure slot poisoned");
+                        if fail.is_none() {
+                            *fail = Some((i, payload_msg(p.as_ref())));
+                        }
+                        // Park the cursor past the end so no worker starts
+                        // another cell of a doomed sweep.
+                        cursor.store(work.len(), Ordering::SeqCst);
+                        break;
+                    }
+                }
             });
         }
     })
-    .expect("sweep worker must not panic");
+    .expect("workers catch cell panics, so the scope itself cannot fail");
+    if let Some((i, msg)) = failure.into_inner().expect("failure slot poisoned") {
+        panic!("sweep cell {i} panicked: {msg}");
+    }
     slots
         .into_iter()
         .map(|m| {
@@ -80,6 +132,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serialises tests that mutate the process-global `SWEEP_JOBS`.
+    static JOBS_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn preserves_input_order() {
@@ -103,13 +158,48 @@ mod tests {
 
     #[test]
     fn jobs_override_roundtrips() {
-        let before = sweep_jobs();
+        let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         set_sweep_jobs(1);
         assert_eq!(sweep_jobs(), 1);
         let out = par_map(vec![1u32, 2, 3], |i| i * i);
         assert_eq!(out, vec![1, 4, 9]);
         set_sweep_jobs(0);
         assert!(sweep_jobs() >= 1);
-        let _ = before;
+    }
+
+    #[test]
+    fn pool_panic_names_the_failing_cell() {
+        let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_sweep_jobs(4);
+        let r = catch_unwind(|| {
+            par_map((0u32..8).collect(), |i| {
+                if i == 5 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        });
+        set_sweep_jobs(0);
+        let msg = payload_msg(r.expect_err("the cell panic must propagate").as_ref());
+        assert!(msg.contains("sweep cell 5 panicked"), "{msg}");
+        assert!(msg.contains("boom 5"), "{msg}");
+    }
+
+    #[test]
+    fn sequential_panic_names_the_failing_cell() {
+        let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_sweep_jobs(1);
+        let r = catch_unwind(|| {
+            par_map(vec![1u32, 2], |i| {
+                if i == 2 {
+                    panic!("kapow");
+                }
+                i
+            })
+        });
+        set_sweep_jobs(0);
+        let msg = payload_msg(r.expect_err("the cell panic must propagate").as_ref());
+        assert!(msg.contains("sweep cell 1 panicked"), "{msg}");
+        assert!(msg.contains("kapow"), "{msg}");
     }
 }

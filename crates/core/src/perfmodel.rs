@@ -16,8 +16,62 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use merch_models::persist::Portable;
-use merch_models::{GradientBoostedRegressor, Regressor};
+use merch_models::{CompiledEnsemble, GradientBoostedRegressor, Regressor};
 use merch_profiling::PmcEvents;
+
+/// An Equation 2 evaluator the planner can consume — implemented by the
+/// interpreted [`PerformanceModel`] and its compiled fast-path twin
+/// [`CompiledPerformanceModel`]. The contract: both implementations return
+/// **bitwise identical** predictions for the same inputs, and equal
+/// [`fingerprint`](Eq2Model::fingerprint)s exactly when their predictions
+/// are interchangeable (so caches keyed on the fingerprint survive swapping
+/// evaluators).
+pub trait Eq2Model: std::fmt::Debug {
+    /// Equation 2: predict the hybrid execution time.
+    fn predict(&self, t_pm: f64, t_dram: f64, events: &PmcEvents, r: f64) -> f64;
+    /// Structural digest of f(·) plus the consumed-event count.
+    fn fingerprint(&self) -> u64;
+}
+
+/// The shared Equation 2 evaluation skeleton: clamping, the r = 1 endpoint,
+/// the missing-event linear-interpolation rung, and the final combination —
+/// identical between the interpreted and compiled paths, with only the
+/// f(·) traversal abstracted out.
+#[inline]
+fn eq2_predict(
+    t_pm: f64,
+    t_dram: f64,
+    events: &PmcEvents,
+    r: f64,
+    num_events: usize,
+    f: impl FnOnce(&[f64]) -> f64,
+) -> f64 {
+    let r = r.clamp(0.0, 1.0);
+    if r >= 1.0 {
+        return t_dram;
+    }
+    let feats = PerformanceModel::features(events, num_events, r);
+    if feats.iter().any(|v| !v.is_finite()) {
+        return t_pm * (1.0 - r) + t_dram * r;
+    }
+    let f_val = f(&feats).max(0.0);
+    t_pm * (1.0 - r) * f_val + t_dram * r
+}
+
+/// FNV-1a combining the f(·) structure digest with the consumed-event
+/// count — the shared fingerprint of both [`Eq2Model`] implementations.
+fn eq2_fingerprint(ensemble_fp: u64, num_events: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in ensemble_fp
+        .to_le_bytes()
+        .into_iter()
+        .chain((num_events as u64).to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// The trained performance model: Equation 2 plus its correlation function.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,16 +139,61 @@ impl PerformanceModel {
     /// the `(1 − r)` model the paper shows f(·) improves on. Biased but
     /// bounded, and never NaN.
     pub fn predict(&self, t_pm: f64, t_dram: f64, events: &PmcEvents, r: f64) -> f64 {
-        let r = r.clamp(0.0, 1.0);
-        if r >= 1.0 {
-            return t_dram;
+        eq2_predict(t_pm, t_dram, events, r, self.num_events, |feats| {
+            self.f.predict_one(feats)
+        })
+    }
+
+    /// Compile f(·) into the flattened fast-inference form. The compiled
+    /// model predicts bitwise identically (planner bench `--smoke` asserts
+    /// this at runtime).
+    pub fn compile(&self) -> CompiledPerformanceModel {
+        CompiledPerformanceModel {
+            f: CompiledEnsemble::compile(&self.f),
+            num_events: self.num_events,
         }
-        let feats = Self::features(events, self.num_events, r);
-        if feats.iter().any(|v| !v.is_finite()) {
-            return t_pm * (1.0 - r) + t_dram * r;
-        }
-        let f_val = self.f.predict_one(&feats).max(0.0);
-        t_pm * (1.0 - r) * f_val + t_dram * r
+    }
+}
+
+impl Eq2Model for PerformanceModel {
+    fn predict(&self, t_pm: f64, t_dram: f64, events: &PmcEvents, r: f64) -> f64 {
+        PerformanceModel::predict(self, t_pm, t_dram, events, r)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        eq2_fingerprint(CompiledEnsemble::fingerprint_of(&self.f), self.num_events)
+    }
+}
+
+/// [`PerformanceModel`] with f(·) compiled to the structure-of-arrays form
+/// ([`CompiledEnsemble`]) — the planner's inference fast path. Built once
+/// per trained model via [`PerformanceModel::compile`]; predictions are
+/// bitwise identical to the interpreted original.
+#[derive(Debug, Clone)]
+pub struct CompiledPerformanceModel {
+    /// The compiled correlation function.
+    pub f: CompiledEnsemble,
+    /// How many events (in importance order) the model consumes.
+    pub num_events: usize,
+}
+
+impl CompiledPerformanceModel {
+    /// Equation 2 through the compiled traversal (see
+    /// [`PerformanceModel::predict`] for the semantics).
+    pub fn predict(&self, t_pm: f64, t_dram: f64, events: &PmcEvents, r: f64) -> f64 {
+        eq2_predict(t_pm, t_dram, events, r, self.num_events, |feats| {
+            self.f.predict_one(feats)
+        })
+    }
+}
+
+impl Eq2Model for CompiledPerformanceModel {
+    fn predict(&self, t_pm: f64, t_dram: f64, events: &PmcEvents, r: f64) -> f64 {
+        CompiledPerformanceModel::predict(self, t_pm, t_dram, events, r)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        eq2_fingerprint(self.f.fingerprint(), self.num_events)
     }
 }
 
@@ -166,6 +265,34 @@ mod tests {
         let mut tail_missing = complete.clone();
         tail_missing.mark_missing(13);
         assert_eq!(m.predict(t_pm, t_dram, &tail_missing, r), with_f);
+    }
+
+    #[test]
+    fn compiled_model_predicts_bitwise_identically() {
+        let mut f = GradientBoostedRegressor::new(60, 0.1, 3, 5);
+        let x: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                (0..9)
+                    .map(|j| ((i * 13 + j * 7) % 17) as f64 / 17.0)
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 0.4 + 0.3 * r[0] + 0.2 * r[8]).collect();
+        f.fit(&x, &y);
+        let m = PerformanceModel { f, num_events: 8 };
+        let c = m.compile();
+        assert_eq!(Eq2Model::fingerprint(&m), Eq2Model::fingerprint(&c));
+        let complete = PmcEvents { values: [0.4; 14] };
+        let mut partial = complete.clone();
+        partial.mark_missing(1);
+        for r in [0.0, 0.05, 0.35, 0.85, 1.0] {
+            for ev in [&complete, &partial] {
+                assert_eq!(
+                    m.predict(12.0, 5.0, ev, r).to_bits(),
+                    c.predict(12.0, 5.0, ev, r).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,10 +31,13 @@ use merch_hm::{HmSystem, ObjectId, TaskWork, Tier};
 use merch_patterns::{AccessPattern, AlphaRefiner, AlphaTable, ObjectPatternMap};
 use merch_profiling::{BasicBlockTable, PmcEvents, PmcGenerator};
 
-use crate::allocator::{plan_dram_accesses, AllocatorInput, AllocatorPlan, TaskInput};
+use crate::allocator::{
+    plan_dram_accesses, plan_dram_accesses_cached, AllocatorInput, AllocatorPlan, CurveCache,
+    TaskInput,
+};
 use crate::estimator::AccessEstimator;
 use crate::homog::HomogeneousPredictor;
-use crate::perfmodel::PerformanceModel;
+use crate::perfmodel::{CompiledPerformanceModel, Eq2Model, PerformanceModel};
 
 /// Look up a per-object hint by exact name, by the stem before the first
 /// `_`, or by the stem with a trailing task index removed (`fields0` →
@@ -148,6 +151,14 @@ pub struct MerchandiserPolicy {
     /// fallback, missing PMC events, or a quota shortfall from failed
     /// migrations)?
     degraded: bool,
+    /// Compiled f(·) for the planner fast path, rebuilt whenever its
+    /// fingerprint stops matching [`model`](Self::model). Transient — never
+    /// checkpointed; predictions are bitwise identical to the interpreted
+    /// model, so replay after a restore is unaffected.
+    compiled: Option<CompiledPerformanceModel>,
+    /// Cross-round memo of per-task time curves (self-validating via
+    /// per-task keys). Transient, like the quantification cache.
+    curve_cache: CurveCache,
 }
 
 impl MerchandiserPolicy {
@@ -180,7 +191,32 @@ impl MerchandiserPolicy {
             watchdog_strikes: BTreeMap::new(),
             watchdog_fallback_rounds: 0,
             degraded: false,
+            compiled: None,
+            curve_cache: CurveCache::default(),
         }
+    }
+
+    /// The compiled Equation 2 model, recompiling when the interpreted
+    /// model changed underneath it (the fingerprint covers every bit a
+    /// prediction depends on).
+    fn ensure_compiled(&mut self) -> &CompiledPerformanceModel {
+        let want = Eq2Model::fingerprint(&self.model);
+        if self
+            .compiled
+            .as_ref()
+            .is_none_or(|c| Eq2Model::fingerprint(c) != want)
+        {
+            self.compiled = Some(self.model.compile());
+        }
+        self.compiled.as_ref().expect("just compiled")
+    }
+
+    /// Fingerprint of the compiled f(·) currently backing the planner, or
+    /// `None` before the first plan (and after a restore — the compilation
+    /// is transient and rebuilt on demand). Tests use this to assert that
+    /// replayed runs really went through the compiled fast path.
+    pub fn compiled_fingerprint(&self) -> Option<u64> {
+        self.compiled.as_ref().map(Eq2Model::fingerprint)
     }
 
     /// Pattern of `name` (exact or by stem for per-task instances),
@@ -305,7 +341,9 @@ impl MerchandiserPolicy {
     }
 
     /// Run the online prediction + Algorithm 1 and return the per-task DRAM
-    /// fractions plus per-object placement targets.
+    /// fractions plus per-object placement targets. Uses the planner fast
+    /// path — compiled f(·) plus the cross-round curve cache — which emits
+    /// plans bitwise identical to the interpreted reference.
     fn plan(&mut self, sys: &HmSystem) -> (AllocatorPlan, Vec<TaskInput>) {
         let mut tasks: Vec<TaskInput> = Vec::with_capacity(self.state.len());
         for i in 0..self.state.len() {
@@ -330,13 +368,18 @@ impl MerchandiserPolicy {
                 bytes,
             });
         }
+        self.ensure_compiled();
+        // The cache is taken out for the call so the allocator can borrow
+        // both it (mutably) and the compiled model (immutably) at once.
+        let mut cache = std::mem::take(&mut self.curve_cache);
         let input = AllocatorInput {
             tasks,
             dram_capacity: ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64,
-            model: &self.model,
+            model: self.compiled.as_ref().expect("ensure_compiled filled it"),
             step: self.step,
         };
-        let plan = plan_dram_accesses(&input);
+        let plan = plan_dram_accesses_cached(&input, &mut cache);
+        self.curve_cache = cache;
         (plan, input.tasks)
     }
 
@@ -828,27 +871,40 @@ impl PlacementPolicy for MerchandiserPolicy {
                     .collect()
             };
 
+        // The planned-placement fraction of an object depends only on the
+        // claimed set, not on which task asks — hoist the page walk out of
+        // the scoring closure so every object is scanned once, not once per
+        // sharer task.
+        let mut planned_frac: BTreeMap<ObjectId, f64> = BTreeMap::new();
+        for (est, _, _) in &quants {
+            for &(oid, _) in est {
+                planned_frac.entry(oid).or_insert_with(|| {
+                    let Ok(o) = sys.try_object(oid) else {
+                        return 0.0;
+                    };
+                    let (mut w_in, mut w_tot) = (0.0, 0.0);
+                    for id in o.pages() {
+                        let w = sys.page_table().get(id).weight();
+                        w_tot += w;
+                        if claimed.contains(&id) {
+                            w_in += w;
+                        }
+                    }
+                    if w_tot > 0.0 {
+                        w_in / w_tot
+                    } else {
+                        0.0
+                    }
+                });
+            }
+        }
+
         // The runtime "decides if data migration should happen" (§3): move
         // only when the predicted makespan improvement over the current
         // placement beats the migration cost (amortised over the horizon).
         let current = predict_with(sys, &|s, oid| s.dram_fraction(oid));
-        let planned = predict_with(sys, &|s, oid| {
-            let Ok(o) = s.try_object(oid) else {
-                return 0.0;
-            };
-            let (mut w_in, mut w_tot) = (0.0, 0.0);
-            for id in o.pages() {
-                let w = s.page_table().get(id).weight();
-                w_tot += w;
-                if claimed.contains(&id) {
-                    w_in += w;
-                }
-            }
-            if w_tot > 0.0 {
-                w_in / w_tot
-            } else {
-                0.0
-            }
+        let planned = predict_with(sys, &|_, oid| {
+            planned_frac.get(&oid).copied().unwrap_or(0.0)
         });
         let current_makespan = current.iter().cloned().fold(0.0f64, f64::max);
         let planned_makespan = planned.iter().cloned().fold(0.0f64, f64::max);
@@ -869,6 +925,14 @@ impl PlacementPolicy for MerchandiserPolicy {
         // nothing migrated the placement is unchanged, so the `current`
         // scoring already is that prediction — skip the third pass.
         let effective = if migrate {
+            // `apply_claims` went through `migrate_pages`, which flushes
+            // the per-object aggregates once per batch — so every
+            // `dram_fraction` below resolves through the PageTable O(1)
+            // aggregate path, never a per-task page scan.
+            debug_assert!(
+                sys.page_table().aggregates_clean(),
+                "apply_claims must leave page-table aggregates flushed"
+            );
             predict_with(sys, &|s, oid| s.dram_fraction(oid))
         } else {
             current.clone()
@@ -1095,6 +1159,7 @@ impl PlacementPolicy for MerchandiserPolicy {
         // quantification comes from the per-task cache.
         let miss = (observed_ns / deadline_ns.max(1e-9)).max(1.0);
         let (pm_only_ns, dram_only_ns, total) = self.quantify(sys, task);
+        self.ensure_compiled();
         let ts = &self.state[task];
         let (mut bytes, mut resident) = (0u64, 0u64);
         for (oid, _) in &ts.objects {
@@ -1118,9 +1183,11 @@ impl PlacementPolicy for MerchandiserPolicy {
                 bytes,
             }],
             dram_capacity: resident + sys.free_bytes(Tier::Dram),
-            model: &self.model,
+            model: self.compiled.as_ref().expect("ensure_compiled filled it"),
             step: self.step,
         };
+        // A throwaway cache: the miss-scaled single-task input would only
+        // thrash the cross-round cache's slot 0.
         let plan = plan_dram_accesses(&input);
         let budget = plan.dram_bytes[0].saturating_sub(resident);
         if budget < PAGE_SIZE {

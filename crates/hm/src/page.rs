@@ -280,6 +280,16 @@ impl PageTable {
         }
     }
 
+    /// True when every per-object aggregate is valid: no pending dirty
+    /// entries and a regular (dense object id) layout. Whole-object
+    /// [`weighted_fraction_in`](Self::weighted_fraction_in) queries then
+    /// all take the O(1) aggregate path. Batched mutators uphold this by
+    /// flushing once per batch; fraction-heavy callers assert it in debug
+    /// builds.
+    pub fn aggregates_clean(&self) -> bool {
+        self.dirty.is_empty() && !self.irregular
+    }
+
     /// Record `accesses` object-level accesses over the page range
     /// `range`, distributing them by page weight. The accessed bit is only
     /// set when at least half an access is expected to land on the page

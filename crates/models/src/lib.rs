@@ -18,6 +18,7 @@
 //! ([`metrics`]), and Gini-importance-driven recursive feature elimination
 //! ([`select`]) used to pick the 8 workload-characteristic events (§5.1).
 
+pub mod compiled;
 pub mod cv;
 pub mod data;
 pub mod extra;
@@ -32,6 +33,7 @@ pub mod select;
 pub mod svr;
 pub mod tree;
 
+pub use compiled::CompiledEnsemble;
 pub use cv::{cross_validate, cv_mean, permutation_importance};
 pub use data::{train_test_split, Dataset};
 pub use extra::ExtraTreesRegressor;

@@ -198,6 +198,31 @@ mod tests {
     }
 
     #[test]
+    fn compiled_ensemble_round_trips_bit_exact() {
+        // Compile → portable text → recompile must preserve every
+        // prediction bit (and the structural fingerprint), so a planner
+        // restored from a persisted model replays identically.
+        use crate::compiled::CompiledEnsemble;
+        let (g, x) = trained_gbr();
+        let compiled = CompiledEnsemble::compile(&g);
+        let mut buf = Vec::new();
+        g.write_portable(&mut buf).unwrap();
+        let back = GradientBoostedRegressor::read_portable(&mut buf.as_slice()).unwrap();
+        let recompiled = CompiledEnsemble::compile(&back);
+        assert_eq!(compiled.fingerprint(), recompiled.fingerprint());
+        for row in &x {
+            assert_eq!(
+                compiled.predict_one(row).to_bits(),
+                recompiled.predict_one(row).to_bits()
+            );
+            assert_eq!(
+                recompiled.predict_one(row).to_bits(),
+                g.predict_one(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn corrupt_input_rejected() {
         for garbage in ["", "tree x", "gbr v2 1 2 3 4 5 6", "leaf 1.0"] {
             assert!(

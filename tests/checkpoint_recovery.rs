@@ -174,6 +174,48 @@ fn midmig_crash_recovers_exactly() {
     assert_eq!(format!("{resumed:?}"), format!("{reference:?}"));
 }
 
+/// Restore drops the transient compiled ensemble (it is never part of the
+/// state blob), and the resumed replay rebuilds it on the first plan: after
+/// recovery the policy's compiled fingerprint matches the interpreted
+/// model's, proving the bit-identical replay really ran through the
+/// compiled fast path rather than silently falling back.
+#[test]
+fn recovery_replays_through_compiled_inference() {
+    use merchandiser_suite::core::perfmodel::Eq2Model;
+
+    let seed = 13;
+    let plan = FaultPlan::none().with_seed(seed);
+    let reference = Executor::new(system(&plan, seed), app(), policy(seed)).run();
+
+    let crash_plan = plan.clone().with_fault(FaultKind::Crash {
+        round: 1,
+        point: CrashPoint::BetweenRounds,
+    });
+    let path = wal_path();
+    let mut wal = Wal::create(&path).unwrap();
+    let mut ex = Executor::new(system(&crash_plan, seed), app(), policy(seed));
+    ex.run_supervised(&mut wal).unwrap_err();
+    drop(wal);
+
+    let ck = Wal::latest(&path).unwrap().expect("checkpoint durable");
+    let restored = policy(seed);
+    assert_eq!(
+        restored.compiled_fingerprint(),
+        None,
+        "a freshly restored policy has no compilation yet"
+    );
+    let mut ex = Executor::resume(ck, app(), restored).unwrap();
+    let resumed = ex.try_run().unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        ex.policy.compiled_fingerprint(),
+        Some(Eq2Model::fingerprint(&linear_model())),
+        "the replay must have planned through the compiled ensemble"
+    );
+    assert_eq!(format!("{resumed:?}"), format!("{reference:?}"));
+}
+
 /// The straggler watchdog (tight slack) fires on the skewed workload,
 /// re-plans in-round, and the run still completes with finite times.
 #[test]

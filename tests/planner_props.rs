@@ -1,0 +1,159 @@
+//! Property-based equivalence of the planner fast path.
+//!
+//! The heap-driven, curve-cached Algorithm 1 on the compiled ensemble must
+//! produce **bitwise identical** plans to the retained scan reference on
+//! the interpreted model — same DRAM-access grants, same predicted times,
+//! same byte quotas, same round count — across random task populations,
+//! capacities and step sizes, including the degenerate exits (everything
+//! fits → maxed-out break; nothing fits → capacity trim; tiny steps →
+//! round-cap). Warm re-plans through the same cache must stay identical
+//! and evaluate the model zero times.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use merchandiser_suite::core::allocator::{
+    plan_dram_accesses_cached, plan_dram_accesses_reference, AllocatorInput, AllocatorPlan,
+    CurveCache, TaskInput,
+};
+use merchandiser_suite::core::perfmodel::{CompiledPerformanceModel, PerformanceModel};
+use merchandiser_suite::models::{GradientBoostedRegressor, Regressor};
+use merchandiser_suite::profiling::PmcEvents;
+
+/// One trained non-trivial ensemble shared across all cases (fitting is the
+/// slow part; the properties quantify over inputs, not over models).
+fn models() -> &'static (PerformanceModel, CompiledPerformanceModel) {
+    static MODELS: OnceLock<(PerformanceModel, CompiledPerformanceModel)> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| (0..9).map(|j| ((i * 9 + j) % 97) as f64 / 97.0).collect())
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 0.8 + 0.4 * r[8] + 0.2 * r[0] * r[3])
+            .collect();
+        let mut f = GradientBoostedRegressor::new(30, 0.1, 3, 7);
+        f.fit(&x, &y);
+        let model = PerformanceModel { f, num_events: 8 };
+        let compiled = model.compile();
+        (model, compiled)
+    })
+}
+
+fn arb_tasks() -> impl Strategy<Value = Vec<TaskInput>> {
+    proptest::collection::vec(
+        (
+            1e5f64..1e8,
+            1.5f64..6.0,
+            1e4f64..1e7,
+            (1u64 << 16)..(1 << 28),
+            0.0f64..1.0,
+        ),
+        1..12,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pm, ratio, acc, bytes, ev))| TaskInput {
+                task: i,
+                d_pm_only_ns: pm,
+                d_dram_only_ns: pm / ratio,
+                events: PmcEvents { values: [ev; 14] },
+                total_accesses: acc,
+                bytes,
+            })
+            .collect()
+    })
+}
+
+fn assert_bit_identical(a: &AllocatorPlan, b: &AllocatorPlan) {
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.dram_bytes, b.dram_bytes);
+    assert_eq!(a.dram_accesses.len(), b.dram_accesses.len());
+    for (x, y) in a.dram_accesses.iter().zip(&b.dram_accesses) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    for (x, y) in a.predicted_ns.iter().zip(&b.predicted_ns) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fast path == reference, bit for bit, cold and warm, at capacities
+    /// spanning "nothing fits" through "everything fits" (the latter drives
+    /// the all-tasks-maxed exit) and step sizes down to the round-cap edge.
+    #[test]
+    fn fast_path_is_bit_identical_to_reference(
+        tasks in arb_tasks(),
+        cap_shift in 14u32..34,
+        step_idx in 0usize..4,
+    ) {
+        let (model, compiled) = models();
+        let step = [0.05, 0.1, 0.25, 0.5][step_idx];
+        let reference = plan_dram_accesses_reference(&AllocatorInput {
+            tasks: tasks.clone(),
+            dram_capacity: 1u64 << cap_shift,
+            model,
+            step,
+        });
+        let fast_input = AllocatorInput {
+            tasks,
+            dram_capacity: 1u64 << cap_shift,
+            model: compiled,
+            step,
+        };
+        let mut cache = CurveCache::default();
+        let cold = plan_dram_accesses_cached(&fast_input, &mut cache);
+        assert_bit_identical(&cold, &reference);
+        // Steady state: unchanged inputs re-planned through the warmed
+        // cache must replay the plan without touching the model.
+        let evals = cache.evals();
+        let warm = plan_dram_accesses_cached(&fast_input, &mut cache);
+        prop_assert_eq!(cache.evals(), evals, "warm plan re-evaluated the model");
+        assert_bit_identical(&warm, &reference);
+    }
+
+    /// Perturbing one task between plans through a shared cache must not
+    /// leak stale curve points: the incremental re-plan equals a
+    /// from-scratch reference on the new inputs.
+    #[test]
+    fn cache_reuse_across_input_changes_stays_exact(
+        tasks in arb_tasks(),
+        cap_shift in 16u32..30,
+        victim_seed in 0usize..32,
+        scale in 1.1f64..3.0,
+    ) {
+        let (model, compiled) = models();
+        let mut cache = CurveCache::default();
+        let input = AllocatorInput {
+            tasks: tasks.clone(),
+            dram_capacity: 1u64 << cap_shift,
+            model: compiled,
+            step: 0.05,
+        };
+        plan_dram_accesses_cached(&input, &mut cache); // warm on original inputs
+        let mut changed = tasks;
+        let victim = victim_seed % changed.len();
+        changed[victim].d_pm_only_ns *= scale;
+        let reference = plan_dram_accesses_reference(&AllocatorInput {
+            tasks: changed.clone(),
+            dram_capacity: 1u64 << cap_shift,
+            model,
+            step: 0.05,
+        });
+        let replanned = plan_dram_accesses_cached(
+            &AllocatorInput {
+                tasks: changed,
+                dram_capacity: 1u64 << cap_shift,
+                model: compiled,
+                step: 0.05,
+            },
+            &mut cache,
+        );
+        assert_bit_identical(&replanned, &reference);
+    }
+}
