@@ -1,9 +1,10 @@
 //! `repro` — regenerate every table and figure of the Merchandiser paper.
 //!
 //! ```text
-//! repro [--seed N] [--quick] [--jobs N] [--model-cache FILE] <experiment>...
+//! repro [--seed N] [--quick] [--jobs N] [--model-cache FILE]
+//!       [--replay FILE] <experiment>...
 //! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead
-//!              ablation cxl landscape motivation faults recover all
+//!              ablation cxl landscape motivation faults recover soak all
 //! ```
 //!
 //! Sweeps run their independent (app × policy × seed) cells on a worker
@@ -16,11 +17,17 @@
 //! gracefully Merchandiser degrades. `recover` (also not part of `all`)
 //! crashes each app mid-run, restores from the WAL, and verifies the
 //! resumed run is bit-identical to an uninterrupted one; it exits non-zero
-//! on any mismatch.
+//! on any mismatch. `soak` (also not part of `all`) runs seeded randomized
+//! fault schedules through the invariant oracle; on a violation it writes a
+//! minimized reproducer file and exits non-zero, and `--replay <file>` runs
+//! such a reproducer back.
 //!
 //! Output is TSV on stdout, one block per experiment, in the same
 //! rows/series the paper reports. Seeds are fixed by default so runs are
-//! reproducible bit for bit.
+//! reproducible bit for bit. If an experiment panics, the driver flushes
+//! whatever ordered output already completed, appends an `# aborted:` marker
+//! line (so a truncated table never parses as a clean run) and exits
+//! non-zero.
 
 use std::io::Write;
 
@@ -31,6 +38,7 @@ fn main() {
     let mut seed = 42u64;
     let mut quick = false;
     let mut model_cache: Option<std::path::PathBuf> = None;
+    let mut replay: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -63,12 +71,21 @@ fn main() {
                     }
                 };
             }
+            "--replay" => {
+                replay = match it.next() {
+                    Some(p) => Some(p.into()),
+                    None => {
+                        eprintln!("error: --replay takes a path to a soak reproducer file");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--quick] [--jobs N] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|all>..."
+            "usage: repro [--seed N] [--quick] [--jobs N] [--replay FILE] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|soak|all>..."
         );
         std::process::exit(2);
     }
@@ -114,6 +131,7 @@ fn main() {
                 | "motivation"
                 | "faults"
                 | "recover"
+                | "soak"
         )
     });
     // Experiments that need the full training artifacts (Table 3 rows,
@@ -142,341 +160,463 @@ fn main() {
     });
 
     for w in &wanted {
-        match w.as_str() {
-            "table1" => {
-                writeln!(out, "# Table 1 — access patterns detected per application").unwrap();
-                writeln!(out, "application\tpatterns").unwrap();
-                for (app, labels) in exp::table1(seed) {
-                    writeln!(out, "{app}\t{}", labels.join(", ")).unwrap();
+        // A panicking experiment must not take already-emitted ordered
+        // output down with it: flush what completed, leave an `# aborted:`
+        // marker so the truncation is machine-visible, and exit non-zero.
+        let dispatch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match w.as_str() {
+                "table1" => {
+                    writeln!(out, "# Table 1 — access patterns detected per application").unwrap();
+                    writeln!(out, "application\tpatterns").unwrap();
+                    for (app, labels) in exp::table1(seed) {
+                        writeln!(out, "{app}\t{}", labels.join(", ")).unwrap();
+                    }
                 }
-            }
-            "table3" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(
-                    out,
-                    "\n# Table 3 — statistical models for f(·), held-out R²"
-                )
-                .unwrap();
-                writeln!(out, "model\tparameters\tR2").unwrap();
-                for m in &art.table3 {
-                    writeln!(out, "{}\t{}\t{:.3}", m.name, m.params, m.r2).unwrap();
+                "table3" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(
+                        out,
+                        "\n# Table 3 — statistical models for f(·), held-out R²"
+                    )
+                    .unwrap();
+                    writeln!(out, "model\tparameters\tR2").unwrap();
+                    for m in &art.table3 {
+                        writeln!(out, "{}\t{}\t{:.3}", m.name, m.params, m.r2).unwrap();
+                    }
                 }
-            }
-            "fig3" => {
-                writeln!(
+                "fig3" => {
+                    writeln!(
                     out,
                     "\n# Figure 3 — NWChem-TC phase time vs DRAM-access ratio (normalised to PM-only)"
                 )
                 .unwrap();
-                writeln!(out, "phase\tratio_0%\tratio_50%\tratio_100%").unwrap();
-                for r in exp::fig3(seed) {
-                    writeln!(
-                        out,
-                        "{}\t{:.3}\t{:.3}\t{:.3}",
-                        r.phase, r.normalized[0], r.normalized[1], r.normalized[2]
-                    )
-                    .unwrap();
-                }
-            }
-            "fig4" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(out, "\n# Figure 4 — speedup over PM-only").unwrap();
-                writeln!(out, "application\tpolicy\tspeedup").unwrap();
-                let rows = exp::fig4(&art.model, seed);
-                for r in &rows {
-                    for (p, s) in &r.speedups {
-                        writeln!(out, "{}\t{}\t{:.3}", r.app, p, s).unwrap();
-                    }
-                }
-                summarize_fig4(&mut out, &rows);
-            }
-            "fig5" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(
-                    out,
-                    "\n# Figure 5 — normalised task time distribution and A.C.V"
-                )
-                .unwrap();
-                writeln!(
-                    out,
-                    "application\tpolicy\tq1\tmedian\tq3\tlo_whisker\thi_whisker\toutliers\tACV"
-                )
-                .unwrap();
-                let rows = exp::fig5(&art.model, seed);
-                for r in &rows {
-                    writeln!(
-                        out,
-                        "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{:.3}",
-                        r.app,
-                        r.policy,
-                        r.stats.q1,
-                        r.stats.median,
-                        r.stats.q3,
-                        r.stats.lo_whisker,
-                        r.stats.hi_whisker,
-                        r.stats.outliers.len(),
-                        r.acv
-                    )
-                    .unwrap();
-                }
-                summarize_fig5(&mut out, &rows);
-            }
-            "fig6" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(out, "\n# Figure 6 — WarpX memory bandwidth over time").unwrap();
-                writeln!(out, "policy\tt_ms\tdram_gbps\tpm_gbps").unwrap();
-                for panel in exp::fig6(&art.model, seed) {
-                    for s in panel
-                        .samples
-                        .iter()
-                        .filter(|s| s.dram_gbps + s.pm_gbps > 0.0)
-                    {
+                    writeln!(out, "phase\tratio_0%\tratio_50%\tratio_100%").unwrap();
+                    for r in exp::fig3(seed) {
                         writeln!(
                             out,
-                            "{}\t{:.3}\t{:.2}\t{:.2}",
-                            panel.policy,
-                            s.t_ns / 1e6,
-                            s.dram_gbps,
-                            s.pm_gbps
+                            "{}\t{:.3}\t{:.3}\t{:.3}",
+                            r.phase, r.normalized[0], r.normalized[1], r.normalized[2]
                         )
                         .unwrap();
                     }
+                }
+                "fig4" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(out, "\n# Figure 4 — speedup over PM-only").unwrap();
+                    writeln!(out, "application\tpolicy\tspeedup").unwrap();
+                    let rows = exp::fig4(&art.model, seed);
+                    for r in &rows {
+                        for (p, s) in &r.speedups {
+                            writeln!(out, "{}\t{}\t{:.3}", r.app, p, s).unwrap();
+                        }
+                    }
+                    summarize_fig4(&mut out, &rows);
+                }
+                "fig5" => {
+                    let art = artifacts.as_ref().unwrap();
                     writeln!(
                         out,
-                        "# {} averages: DRAM {:.2} GB/s, PM {:.2} GB/s",
-                        panel.policy, panel.avg_dram_gbps, panel.avg_pm_gbps
+                        "\n# Figure 5 — normalised task time distribution and A.C.V"
+                    )
+                    .unwrap();
+                    writeln!(
+                    out,
+                    "application\tpolicy\tq1\tmedian\tq3\tlo_whisker\thi_whisker\toutliers\tACV"
+                )
+                    .unwrap();
+                    let rows = exp::fig5(&art.model, seed);
+                    for r in &rows {
+                        writeln!(
+                            out,
+                            "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}\t{:.3}",
+                            r.app,
+                            r.policy,
+                            r.stats.q1,
+                            r.stats.median,
+                            r.stats.q3,
+                            r.stats.lo_whisker,
+                            r.stats.hi_whisker,
+                            r.stats.outliers.len(),
+                            r.acv
+                        )
+                        .unwrap();
+                    }
+                    summarize_fig5(&mut out, &rows);
+                }
+                "fig6" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(out, "\n# Figure 6 — WarpX memory bandwidth over time").unwrap();
+                    writeln!(out, "policy\tt_ms\tdram_gbps\tpm_gbps").unwrap();
+                    for panel in exp::fig6(&art.model, seed) {
+                        for s in panel
+                            .samples
+                            .iter()
+                            .filter(|s| s.dram_gbps + s.pm_gbps > 0.0)
+                        {
+                            writeln!(
+                                out,
+                                "{}\t{:.3}\t{:.2}\t{:.2}",
+                                panel.policy,
+                                s.t_ns / 1e6,
+                                s.dram_gbps,
+                                s.pm_gbps
+                            )
+                            .unwrap();
+                        }
+                        writeln!(
+                            out,
+                            "# {} averages: DRAM {:.2} GB/s, PM {:.2} GB/s",
+                            panel.policy, panel.avg_dram_gbps, panel.avg_pm_gbps
+                        )
+                        .unwrap();
+                    }
+                }
+                "fig7" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(
+                        out,
+                        "\n# Figure 7 — correlation-function accuracy vs number of events"
+                    )
+                    .unwrap();
+                    writeln!(out, "num_events\tR2_heldout").unwrap();
+                    let f = exp::fig7(art, seed);
+                    for (k, r2) in &f.curve {
+                        writeln!(out, "{k}\t{:.3}", r2).unwrap();
+                    }
+                    writeln!(
+                        out,
+                        "# regular apps:   top-8 accuracy {:.1}% (all events {:.1}%)",
+                        f.regular_top8 * 100.0,
+                        f.regular_all * 100.0
+                    )
+                    .unwrap();
+                    writeln!(
+                        out,
+                        "# irregular apps: top-8 accuracy {:.1}% (all events {:.1}%)",
+                        f.irregular_top8 * 100.0,
+                        f.irregular_all * 100.0
                     )
                     .unwrap();
                 }
-            }
-            "fig7" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(
-                    out,
-                    "\n# Figure 7 — correlation-function accuracy vs number of events"
-                )
-                .unwrap();
-                writeln!(out, "num_events\tR2_heldout").unwrap();
-                let f = exp::fig7(art, seed);
-                for (k, r2) in &f.curve {
-                    writeln!(out, "{k}\t{:.3}", r2).unwrap();
+                "table4" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(out, "\n# Table 4 — whole performance-model accuracy").unwrap();
+                    writeln!(out, "application\tprofiling_regression\tperformance_model").unwrap();
+                    for r in exp::table4(&art.model, seed) {
+                        writeln!(
+                            out,
+                            "{}\t{:.1}%\t{:.1}%",
+                            r.app,
+                            r.regression_acc * 100.0,
+                            r.model_acc * 100.0
+                        )
+                        .unwrap();
+                    }
                 }
-                writeln!(
-                    out,
-                    "# regular apps:   top-8 accuracy {:.1}% (all events {:.1}%)",
-                    f.regular_top8 * 100.0,
-                    f.regular_all * 100.0
-                )
-                .unwrap();
-                writeln!(
-                    out,
-                    "# irregular apps: top-8 accuracy {:.1}% (all events {:.1}%)",
-                    f.irregular_top8 * 100.0,
-                    f.irregular_all * 100.0
-                )
-                .unwrap();
-            }
-            "table4" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(out, "\n# Table 4 — whole performance-model accuracy").unwrap();
-                writeln!(out, "application\tprofiling_regression\tperformance_model").unwrap();
-                for r in exp::table4(&art.model, seed) {
+                "alpha" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(out, "\n# §7.3 — mean α per application").unwrap();
+                    writeln!(out, "application\tmean_alpha").unwrap();
+                    for (app, a) in exp::alpha_report(&art.model, seed) {
+                        writeln!(out, "{app}\t{a:.2}").unwrap();
+                    }
+                }
+                "overhead" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(out, "\n# §7.2 — runtime overhead").unwrap();
+                    writeln!(out, "application\tprediction_wall_ms\tpages_migrated").unwrap();
+                    for (app, ns, pages) in exp::overhead_report(&art.model, seed) {
+                        writeln!(out, "{app}\t{:.4}\t{pages}", ns / 1e6).unwrap();
+                    }
+                }
+                "ablation" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(out, "\n# Ablation study — design-choice impact").unwrap();
                     writeln!(
                         out,
-                        "{}\t{:.1}%\t{:.1}%",
-                        r.app,
-                        r.regression_acc * 100.0,
-                        r.model_acc * 100.0
+                        "dimension\tvariant\tspeedup_vs_pm\tACV\tpages_migrated"
                     )
                     .unwrap();
+                    for r in exp::ablation(exp::AppKind::Dmrg, &art.model, seed) {
+                        writeln!(
+                            out,
+                            "{}\t{}\t{:.3}\t{:.3}\t{}",
+                            r.dimension, r.variant, r.speedup, r.acv, r.pages
+                        )
+                        .unwrap();
+                    }
                 }
-            }
-            "alpha" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(out, "\n# §7.3 — mean α per application").unwrap();
-                writeln!(out, "application\tmean_alpha").unwrap();
-                for (app, a) in exp::alpha_report(&art.model, seed) {
-                    writeln!(out, "{app}\t{a:.2}").unwrap();
-                }
-            }
-            "overhead" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(out, "\n# §7.2 — runtime overhead").unwrap();
-                writeln!(out, "application\tprediction_wall_ms\tpages_migrated").unwrap();
-                for (app, ns, pages) in exp::overhead_report(&art.model, seed) {
-                    writeln!(out, "{app}\t{:.4}\t{pages}", ns / 1e6).unwrap();
-                }
-            }
-            "ablation" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(out, "\n# Ablation study — design-choice impact").unwrap();
-                writeln!(
-                    out,
-                    "dimension\tvariant\tspeedup_vs_pm\tACV\tpages_migrated"
-                )
-                .unwrap();
-                for r in exp::ablation(exp::AppKind::Dmrg, &art.model, seed) {
+                "motivation" => {
+                    let art = artifacts.as_ref().unwrap();
                     writeln!(
                         out,
-                        "{}\t{}\t{:.3}\t{:.3}\t{}",
-                        r.dimension, r.variant, r.speedup, r.acv, r.pages
+                        "\n# §1 motivation — task-agnostic HM management on the five apps"
                     )
                     .unwrap();
-                }
-            }
-            "motivation" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(
-                    out,
-                    "\n# §1 motivation — task-agnostic HM management on the five apps"
-                )
-                .unwrap();
-                writeln!(out, "application\tpolicy\tvariance_change\tspeedup_vs_pm").unwrap();
-                let rows = exp::motivation(&art.model, seed);
-                for r in &rows {
+                    writeln!(out, "application\tpolicy\tvariance_change\tspeedup_vs_pm").unwrap();
+                    let rows = exp::motivation(&art.model, seed);
+                    for r in &rows {
+                        writeln!(
+                            out,
+                            "{}\t{}\t{:+.1}%\t{:.3}",
+                            r.app,
+                            r.policy,
+                            r.variance_change * 100.0,
+                            r.speedup
+                        )
+                        .unwrap();
+                    }
+                    let mean = |p: &str, f: &dyn Fn(&exp::MotivationRow) -> f64| {
+                        let v: Vec<f64> = rows.iter().filter(|r| r.policy == p).map(f).collect();
+                        v.iter().sum::<f64>() / v.len().max(1) as f64
+                    };
                     writeln!(
-                        out,
-                        "{}\t{}\t{:+.1}%\t{:.3}",
-                        r.app,
-                        r.policy,
-                        r.variance_change * 100.0,
-                        r.speedup
-                    )
-                    .unwrap();
-                }
-                let mean = |p: &str, f: &dyn Fn(&exp::MotivationRow) -> f64| {
-                    let v: Vec<f64> = rows.iter().filter(|r| r.policy == p).map(f).collect();
-                    v.iter().sum::<f64>() / v.len().max(1) as f64
-                };
-                writeln!(
                     out,
                     "# mean variance change: Memory Mode {:+.1}%, MemoryOptimizer {:+.1}% (paper: +16%, +17%)",
                     mean("Memory Mode", &|r| r.variance_change) * 100.0,
                     mean("MemoryOptimizer", &|r| r.variance_change) * 100.0
                 )
                 .unwrap();
-                writeln!(
+                    writeln!(
                     out,
                     "# mean speedup: Memory Mode {:.3}, MemoryOptimizer {:.3} (paper: 1.0371, 1.0432)",
                     mean("Memory Mode", &|r| r.speedup),
                     mean("MemoryOptimizer", &|r| r.speedup)
                 )
                 .unwrap();
-            }
-            "landscape" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(
-                    out,
-                    "\n# Policy landscape (beyond the paper) — speedup over PM-only"
-                )
-                .unwrap();
-                writeln!(out, "application\tpolicy\tspeedup").unwrap();
-                for r in exp::landscape(&art.model, seed) {
-                    for (p, s) in &r.speedups {
-                        writeln!(out, "{}\t{}\t{:.3}", r.app, p, s).unwrap();
+                }
+                "landscape" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(
+                        out,
+                        "\n# Policy landscape (beyond the paper) — speedup over PM-only"
+                    )
+                    .unwrap();
+                    writeln!(out, "application\tpolicy\tspeedup").unwrap();
+                    for r in exp::landscape(&art.model, seed) {
+                        for (p, s) in &r.speedups {
+                            writeln!(out, "{}\t{}\t{:.3}", r.app, p, s).unwrap();
+                        }
                     }
                 }
-            }
-            "faults" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(
+                "faults" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(
                     out,
                     "\n# Fault injection — graceful degradation under migration failures and sample dropout"
                 )
                 .unwrap();
-                writeln!(
+                    writeln!(
                     out,
                     "application\tfail_rate\tdropout\tspeedup_vs_pm\tslowdown_vs_clean\tretries\tfailed_pages\tdropped_pte\tdropped_pmc\tdegraded_rounds"
                 )
                 .unwrap();
-                let rows = exp::faults(&art.model, seed);
-                for r in &rows {
+                    let rows = exp::faults(&art.model, seed);
+                    for r in &rows {
+                        writeln!(
+                            out,
+                            "{}\t{:.2}\t{:.2}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{}",
+                            r.app,
+                            r.migration_fail_rate,
+                            r.sample_dropout,
+                            r.speedup_vs_pm,
+                            r.slowdown_vs_clean,
+                            r.migration_retries,
+                            r.failed_pages,
+                            r.dropped_pte_samples,
+                            r.dropped_pmc_events,
+                            r.degraded_rounds
+                        )
+                        .unwrap();
+                    }
+                    let worst_slowdown = rows
+                        .iter()
+                        .map(|r| r.slowdown_vs_clean)
+                        .fold(0.0f64, f64::max);
+                    let min_speedup = rows
+                        .iter()
+                        .map(|r| r.speedup_vs_pm)
+                        .fold(f64::INFINITY, f64::min);
                     writeln!(
-                        out,
-                        "{}\t{:.2}\t{:.2}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{}",
-                        r.app,
-                        r.migration_fail_rate,
-                        r.sample_dropout,
-                        r.speedup_vs_pm,
-                        r.slowdown_vs_clean,
-                        r.migration_retries,
-                        r.failed_pages,
-                        r.dropped_pte_samples,
-                        r.dropped_pmc_events,
-                        r.degraded_rounds
-                    )
-                    .unwrap();
-                }
-                let worst_slowdown = rows
-                    .iter()
-                    .map(|r| r.slowdown_vs_clean)
-                    .fold(0.0f64, f64::max);
-                let min_speedup = rows
-                    .iter()
-                    .map(|r| r.speedup_vs_pm)
-                    .fold(f64::INFINITY, f64::min);
-                writeln!(
                     out,
                     "# worst slowdown vs fault-free Merchandiser: {worst_slowdown:.3}×; minimum speedup over PM-only: {min_speedup:.3}"
                 )
                 .unwrap();
-            }
-            "recover" => {
-                let art = artifacts.as_ref().unwrap();
-                writeln!(
-                    out,
-                    "\n# Checkpoint/recovery — crash, restore from WAL, replay to completion"
-                )
-                .unwrap();
-                writeln!(
+                }
+                "recover" => {
+                    let art = artifacts.as_ref().unwrap();
+                    writeln!(
+                        out,
+                        "\n# Checkpoint/recovery — crash, restore from WAL, replay to completion"
+                    )
+                    .unwrap();
+                    writeln!(
                     out,
                     "application\tscenario\tcrash_round\trounds_recovered\twal_records\tresumed_total_ms\tidentical"
                 )
                 .unwrap();
-                let rows = exp::recover(&art.model, seed);
-                for r in &rows {
+                    let rows = exp::recover(&art.model, seed);
+                    for r in &rows {
+                        writeln!(
+                            out,
+                            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}",
+                            r.app,
+                            r.scenario,
+                            r.crash_round,
+                            r.rounds_recovered,
+                            r.wal_records,
+                            r.resumed_total_ns / 1e6,
+                            if r.identical { "yes" } else { "MISMATCH" }
+                        )
+                        .unwrap();
+                    }
+                    let mismatches = rows.iter().filter(|r| !r.identical).count();
+                    if mismatches > 0 {
+                        writeln!(out, "# RECOVERY MISMATCH in {mismatches} cell(s)").unwrap();
+                        std::process::exit(1);
+                    }
                     writeln!(
                         out,
-                        "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}",
-                        r.app,
-                        r.scenario,
-                        r.crash_round,
-                        r.rounds_recovered,
-                        r.wal_records,
-                        r.resumed_total_ns / 1e6,
-                        if r.identical { "yes" } else { "MISMATCH" }
+                        "# all {} crash/recover cells replay bit-identically",
+                        rows.len()
                     )
                     .unwrap();
                 }
-                let mismatches = rows.iter().filter(|r| !r.identical).count();
-                if mismatches > 0 {
-                    writeln!(out, "# RECOVERY MISMATCH in {mismatches} cell(s)").unwrap();
-                    std::process::exit(1);
+                "soak" => {
+                    let art = artifacts.as_ref().unwrap();
+                    if let Some(path) = &replay {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("error: cannot read reproducer {}: {e}", path.display());
+                                std::process::exit(2);
+                            }
+                        };
+                        writeln!(out, "\n# Chaos soak — replaying {}", path.display()).unwrap();
+                        match merch_bench::soak::soak_replay(&text, &art.model) {
+                            Ok(row) => {
+                                write_soak_header(&mut out);
+                                write_soak_row(&mut out, &row);
+                                writeln!(out, "# reproducer no longer violates any invariant")
+                                    .unwrap();
+                            }
+                            Err(msg) => {
+                                writeln!(out, "# SOAK VIOLATION (replay): {msg}").unwrap();
+                                out.flush().unwrap();
+                                std::process::exit(1);
+                            }
+                        }
+                    } else {
+                        let cases = if quick { 6 } else { 24 };
+                        writeln!(
+                        out,
+                        "\n# Chaos soak — {cases} seeded fault schedules through the invariant oracle"
+                    )
+                    .unwrap();
+                        write_soak_header(&mut out);
+                        let outcome = merch_bench::soak::soak(&art.model, seed, cases);
+                        for row in &outcome.rows {
+                            write_soak_row(&mut out, row);
+                        }
+                        if let Some(f) = &outcome.failure {
+                            let path = format!("soak-repro-{seed}.txt");
+                            if let Err(e) = std::fs::write(&path, f.reproducer()) {
+                                eprintln!("error: cannot write reproducer {path}: {e}");
+                            }
+                            writeln!(
+                                out,
+                                "# SOAK VIOLATION: invariant `{}` in case {} (round {}) — {}",
+                                f.violation.invariant,
+                                f.violation.case,
+                                f.violation
+                                    .round
+                                    .map(|r| r.to_string())
+                                    .unwrap_or_else(|| "-".to_string()),
+                                f.violation.detail
+                            )
+                            .unwrap();
+                            writeln!(
+                            out,
+                            "# minimized reproducer written to {path}; replay with: repro --replay {path} soak"
+                        )
+                        .unwrap();
+                            out.flush().unwrap();
+                            std::process::exit(1);
+                        }
+                        writeln!(
+                            out,
+                            "# all {} soak cases hold every invariant",
+                            outcome.rows.len()
+                        )
+                        .unwrap();
+                    }
                 }
-                writeln!(
-                    out,
-                    "# all {} crash/recover cells replay bit-identically",
-                    rows.len()
-                )
-                .unwrap();
-            }
-            "cxl" => {
-                writeln!(
-                    out,
-                    "\n# §5.3 Extensibility — Merchandiser retargeted to a CXL-based HM"
-                )
-                .unwrap();
-                writeln!(out, "application\tpolicy\tspeedup_vs_cxl_only").unwrap();
-                for r in exp::cxl_extensibility(seed) {
-                    writeln!(out, "{}\t{}\t{:.3}", r.app, r.policy, r.speedup).unwrap();
+                "cxl" => {
+                    writeln!(
+                        out,
+                        "\n# §5.3 Extensibility — Merchandiser retargeted to a CXL-based HM"
+                    )
+                    .unwrap();
+                    writeln!(out, "application\tpolicy\tspeedup_vs_cxl_only").unwrap();
+                    for r in exp::cxl_extensibility(seed) {
+                        writeln!(out, "{}\t{}\t{:.3}", r.app, r.policy, r.speedup).unwrap();
+                    }
+                }
+                other => {
+                    eprintln!("unknown experiment: {other}");
+                    std::process::exit(2);
                 }
             }
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+        }));
+        if let Err(p) = dispatch {
+            let msg = merch_bench::par::payload_msg(p.as_ref());
+            let _ = writeln!(out, "# aborted: {msg}");
+            let _ = out.flush();
+            eprintln!("error: experiment `{w}` aborted: {msg}");
+            std::process::exit(1);
         }
     }
+}
+
+fn write_soak_header(out: &mut impl Write) {
+    writeln!(
+        out,
+        "case\tapp\tseed\tfail_rate\tretries\tpte_dropout\tpmc_dropout\tpressure_kib\tperiod\tblackout\tcrash\trounds\tdegraded_rounds\tepoch_commits\tepoch_rollbacks\tmig_retries\tfailed_pages\trecovered"
+    )
+    .unwrap();
+}
+
+fn write_soak_row(out: &mut impl Write, r: &merch_bench::soak::SoakRow) {
+    let s = &r.schedule;
+    writeln!(
+        out,
+        "{}\t{}\t{}\t{:.2}\t{}\t{:.2}\t{:.2}\t{}\t{}\t{:.2}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        s.case,
+        s.app.name(),
+        s.seed,
+        s.fail_rate,
+        s.retries,
+        s.pte_dropout,
+        s.pmc_dropout,
+        s.pressure_bytes / 1024,
+        s.pressure_period,
+        s.blackout,
+        s.crash
+            .map(|c| c.label())
+            .unwrap_or_else(|| "-".to_string()),
+        r.rounds,
+        r.degraded_rounds,
+        r.epoch_commits,
+        r.epoch_rollbacks,
+        r.migration_retries,
+        r.failed_pages,
+        match r.crash_recovered {
+            None => "-",
+            Some(true) => "yes",
+            Some(false) => "unfired",
+        }
+    )
+    .unwrap();
 }
 
 fn summarize_fig4(out: &mut impl Write, rows: &[exp::Fig4Row]) {

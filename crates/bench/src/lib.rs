@@ -3,6 +3,7 @@
 
 pub mod experiments;
 pub mod par;
+pub mod soak;
 pub mod stats;
 
 pub use experiments::*;

@@ -39,7 +39,7 @@ pub fn sweep_jobs() -> usize {
 
 /// Best-effort extraction of a panic payload's message (`panic!` with a
 /// format string yields `String`, with a literal yields `&str`).
-fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+pub fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -49,27 +49,32 @@ fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Run one cell, converting a panic into one that names the cell.
-fn run_cell<T, R>(i: usize, item: T, f: &(impl Fn(T) -> R + Sync)) -> R {
-    match catch_unwind(AssertUnwindSafe(|| f(item))) {
-        Ok(r) => r,
-        Err(p) => panic!("sweep cell {i} panicked: {}", payload_msg(p.as_ref())),
+/// The first failing cell of an aborted sweep: its input index and the
+/// original panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepAbort {
+    /// Input index of the failing cell (first by dispatch order).
+    pub cell: usize,
+    /// The cell's original panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep cell {} panicked: {}", self.cell, self.message)
     }
 }
 
 /// Map `f` over `items` on the sweep worker pool, returning results in
-/// input order regardless of completion order.
+/// input order regardless of completion order — or, if a cell panics, the
+/// per-cell results that *did* complete (in input order, `None` for cells
+/// never finished) plus the [`SweepAbort`] naming the failing cell.
 ///
-/// Workers pull cells from a shared cursor, so a straggler cell (a slow
-/// application run) never idles the rest of the pool. With one worker (or
-/// one item) this degenerates to a plain in-place map.
-///
-/// # Panics
-///
-/// If a cell's `f` panics, the pool stops dispatching new cells, waits for
-/// in-flight cells, and panics with `sweep cell <index> panicked: <original
-/// message>`. The first failing cell (by dispatch order) wins.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// This is the non-panicking surface behind [`par_map`]: callers that emit
+/// ordered output incrementally (the `repro` sweep driver, the soak
+/// harness) use it to flush the completed prefix and a marker line instead
+/// of losing every finished cell to an unwinding panic.
+pub fn try_par_map<T, R, F>(items: Vec<T>, f: F) -> Result<Vec<R>, (Vec<Option<R>>, SweepAbort)>
 where
     T: Send,
     R: Send,
@@ -77,11 +82,23 @@ where
 {
     let jobs = sweep_jobs().min(items.len());
     if jobs <= 1 {
-        return items
+        let mut done: Vec<Option<R>> = Vec::with_capacity(items.len());
+        for (i, item) in items.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => done.push(Some(r)),
+                Err(p) => {
+                    let abort = SweepAbort {
+                        cell: i,
+                        message: payload_msg(p.as_ref()),
+                    };
+                    return Err((done, abort));
+                }
+            }
+        }
+        return Ok(done
             .into_iter()
-            .enumerate()
-            .map(|(i, t)| run_cell(i, t, &f))
-            .collect();
+            .map(|r| r.expect("no cell failed"))
+            .collect());
     }
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
@@ -116,17 +133,43 @@ where
         }
     })
     .expect("workers catch cell panics, so the scope itself cannot fail");
-    if let Some((i, msg)) = failure.into_inner().expect("failure slot poisoned") {
-        panic!("sweep cell {i} panicked: {msg}");
-    }
-    slots
+    let done: Vec<Option<R>> = slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every cell was computed")
-        })
-        .collect()
+        .map(|m| m.into_inner().expect("result slot poisoned"))
+        .collect();
+    match failure.into_inner().expect("failure slot poisoned") {
+        Some((cell, message)) => Err((done, SweepAbort { cell, message })),
+        None => Ok(done
+            .into_iter()
+            .map(|r| r.expect("no cell failed"))
+            .collect()),
+    }
+}
+
+/// Map `f` over `items` on the sweep worker pool, returning results in
+/// input order regardless of completion order.
+///
+/// Workers pull cells from a shared cursor, so a straggler cell (a slow
+/// application run) never idles the rest of the pool. With one worker (or
+/// one item) this degenerates to a plain in-place map.
+///
+/// # Panics
+///
+/// If a cell's `f` panics, the pool stops dispatching new cells, waits for
+/// in-flight cells, and panics with `sweep cell <index> panicked: <original
+/// message>`. The first failing cell (by dispatch order) wins. Callers
+/// that must survive a cell failure (to flush partial ordered output) use
+/// [`try_par_map`] instead.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    match try_par_map(items, f) {
+        Ok(out) => out,
+        Err((_, abort)) => panic!("{abort}"),
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +226,60 @@ mod tests {
         let msg = payload_msg(r.expect_err("the cell panic must propagate").as_ref());
         assert!(msg.contains("sweep cell 5 panicked"), "{msg}");
         assert!(msg.contains("boom 5"), "{msg}");
+    }
+
+    #[test]
+    fn try_par_map_returns_completed_prefix_sequentially() {
+        let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_sweep_jobs(1);
+        let r = try_par_map((0u32..8).collect(), |i| {
+            if i == 5 {
+                panic!("boom {i}");
+            }
+            i * 10
+        });
+        set_sweep_jobs(0);
+        let (done, abort) = r.expect_err("cell 5 must abort the sweep");
+        assert_eq!(abort.cell, 5);
+        assert_eq!(abort.message, "boom 5");
+        // Sequential dispatch: exactly the cells before the failure completed.
+        assert_eq!(done, vec![Some(0), Some(10), Some(20), Some(30), Some(40)]);
+        assert_eq!(abort.to_string(), "sweep cell 5 panicked: boom 5");
+    }
+
+    #[test]
+    fn try_par_map_pool_abort_names_cell_and_keeps_finished_cells() {
+        let _g = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_sweep_jobs(4);
+        let r = try_par_map((0u32..32).collect(), |i| {
+            if i == 9 {
+                panic!("kaboom");
+            }
+            i
+        });
+        set_sweep_jobs(0);
+        let (done, abort) = r.expect_err("cell 9 must abort the sweep");
+        assert_eq!(abort.cell, 9);
+        assert_eq!(abort.message, "kaboom");
+        assert_eq!(done.len(), 32);
+        assert!(done[9].is_none(), "the failing cell has no result");
+        // Whatever completed is in its input-order slot with the right value.
+        for (i, slot) in done.iter().enumerate() {
+            if let Some(v) = slot {
+                assert_eq!(*v as usize, i);
+            }
+        }
+        // With 4 workers at least the cells dispatched before the failure
+        // window produced results.
+        assert!(done.iter().flatten().count() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_clean_sweep_matches_par_map() {
+        let items: Vec<u64> = (0..37).collect();
+        let a = try_par_map(items.clone(), |i| i * 7).expect("no cell fails");
+        let b = par_map(items, |i| i * 7);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,823 @@
+//! Chaos-soak harness: seeded randomized fault schedules, a per-round
+//! invariant oracle, and minimized reproducers.
+//!
+//! `repro soak` generates a batch of [`SoakSchedule`]s — each composes the
+//! existing fault dimensions (migration failures, PTE/PMC sample dropout,
+//! co-tenant DRAM pressure, telemetry blackout, optionally a scripted
+//! crash) over one application — and drives every schedule through
+//! `Executor::step`, checking the system invariants between rounds:
+//!
+//! 1. DRAM residency never exceeds the configured capacity;
+//! 2. the O(1) tier counters equal a from-scratch recount, on both tiers;
+//! 3. the per-object residency aggregates are clean and the O(1)
+//!    fast-path `weighted_fraction_in` equals the page scan bit for bit;
+//! 4. every task time and round time is finite and non-negative;
+//! 5. each round runs at most one migration epoch (commits + rollbacks ≤ 1);
+//! 6. an identical re-run reproduces the `RunReport` bit for bit, and a
+//!    schedule with a scripted crash recovers through the WAL to the same
+//!    report (replay determinism).
+//!
+//! On a violation the harness *shrinks* the schedule — dropping fault
+//! dimensions that are not needed to reproduce, then bisecting the
+//! surviving rates down — and dumps the minimal schedule as a reproducer
+//! file that `repro soak --replay <file>` runs back.
+
+use std::fmt::Write as _;
+
+use merch_hm::page::PAGE_SIZE;
+use merch_hm::runtime::{Executor, RoundReport};
+use merch_hm::{CrashPoint, FaultKind, FaultPlan, HmSystem, Tier, Wal};
+use merchandiser::PerformanceModel;
+
+use crate::experiments::{build_policy, AppKind, PolicyKind};
+
+/// splitmix64 step: the deterministic stream behind schedule generation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The scripted crash of a schedule, in reproducer-file terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoakCrash {
+    /// Die at the boundary before `round`.
+    Boundary {
+        /// Round whose boundary the crash strikes at.
+        round: u64,
+    },
+    /// Die inside `round`'s migration batch after `after_attempts` attempts.
+    MidMigration {
+        /// Round the crash strikes in.
+        round: u64,
+        /// Attempts completed before the crash.
+        after_attempts: u64,
+    },
+}
+
+impl SoakCrash {
+    fn fault(self) -> FaultKind {
+        match self {
+            SoakCrash::Boundary { round } => FaultKind::Crash {
+                round,
+                point: CrashPoint::BetweenRounds,
+            },
+            SoakCrash::MidMigration {
+                round,
+                after_attempts,
+            } => FaultKind::Crash {
+                round,
+                point: CrashPoint::MidMigration { after_attempts },
+            },
+        }
+    }
+
+    /// Short display used in the soak TSV.
+    pub fn label(self) -> String {
+        match self {
+            SoakCrash::Boundary { round } => format!("boundary@{round}"),
+            SoakCrash::MidMigration { round, .. } => format!("midmig@{round}"),
+        }
+    }
+}
+
+/// One seeded soak case: an application plus a composition of fault
+/// dimensions. Everything the case does is a pure function of this struct,
+/// so the encoded form *is* the reproducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakSchedule {
+    /// Case index within the soak batch (also salts the seed).
+    pub case: u64,
+    /// Workload / system / fault seed.
+    pub seed: u64,
+    /// Application under test.
+    pub app: AppKind,
+    /// Probability one migration attempt fails.
+    pub fail_rate: f64,
+    /// Retry budget per page.
+    pub retries: u32,
+    /// PTE-scan sample dropout probability.
+    pub pte_dropout: f64,
+    /// PMC event dropout probability.
+    pub pmc_dropout: f64,
+    /// Co-tenant DRAM pressure, bytes.
+    pub pressure_bytes: u64,
+    /// Pressure duty period, rounds (0 = constant).
+    pub pressure_period: u64,
+    /// Telemetry bin blackout probability.
+    pub blackout: f64,
+    /// Scripted crash, if the case soaks the WAL recovery path too.
+    pub crash: Option<SoakCrash>,
+}
+
+impl SoakSchedule {
+    /// Deterministically generate case `case` of the soak batch seeded by
+    /// `master_seed`. Every third case arms a scripted crash so the WAL
+    /// recovery path soaks alongside the rate faults.
+    pub fn generate(master_seed: u64, case: u64) -> Self {
+        let mut state = master_seed ^ mix64(case.wrapping_add(0x50AC));
+        let mut next = move || {
+            state = mix64(state);
+            state
+        };
+        let apps = AppKind::all();
+        let app = apps[(next() % apps.len() as u64) as usize];
+        let rate = |x: u64, hi: f64| (x % 101) as f64 / 100.0 * hi;
+        let crash = if case % 3 == 2 {
+            let round = 1 + next() % 2;
+            Some(if next() % 2 == 0 {
+                SoakCrash::Boundary { round }
+            } else {
+                SoakCrash::MidMigration {
+                    round,
+                    after_attempts: next() % 3,
+                }
+            })
+        } else {
+            None
+        };
+        Self {
+            case,
+            seed: master_seed ^ mix64(case),
+            app,
+            fail_rate: rate(next(), 0.5),
+            retries: (next() % 3) as u32,
+            pte_dropout: rate(next(), 0.5),
+            pmc_dropout: rate(next(), 0.5),
+            pressure_bytes: (next() % 9) * 64 * PAGE_SIZE,
+            pressure_period: next() % 5,
+            blackout: rate(next(), 0.3),
+            crash,
+        }
+    }
+
+    /// The fault plan of this schedule *without* the scripted crash (the
+    /// oracle run and the replay-determinism run use this; the crash is
+    /// armed separately for the supervised recovery leg).
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::none()
+            .with_seed(self.seed ^ 0x50AC_50AC)
+            .with_migration_failures(self.fail_rate, self.retries)
+            .with_sample_dropout(self.pte_dropout, self.pmc_dropout)
+            .with_dram_pressure(self.pressure_bytes, self.pressure_period)
+            .with_telemetry_blackout(self.blackout)
+    }
+
+    /// Serialize as a reproducer file.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "merchsoak 1").expect("writing to String cannot fail");
+        writeln!(out, "case {}", self.case).expect("writing to String cannot fail");
+        writeln!(out, "seed {}", self.seed).expect("writing to String cannot fail");
+        writeln!(out, "app {}", self.app.name()).expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "faults {:?} {} {:?} {:?} {} {} {:?}",
+            self.fail_rate,
+            self.retries,
+            self.pte_dropout,
+            self.pmc_dropout,
+            self.pressure_bytes,
+            self.pressure_period,
+            self.blackout
+        )
+        .expect("writing to String cannot fail");
+        match self.crash {
+            None => writeln!(out, "crash none"),
+            Some(SoakCrash::Boundary { round }) => writeln!(out, "crash boundary {round}"),
+            Some(SoakCrash::MidMigration {
+                round,
+                after_attempts,
+            }) => writeln!(out, "crash midmig {round} {after_attempts}"),
+        }
+        .expect("writing to String cannot fail");
+        out
+    }
+
+    /// Parse a reproducer file written by [`encode`](Self::encode). Lines
+    /// starting with `#` (the violation context the dumper appends) and
+    /// blank lines are ignored.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let mut field = |tag: &str, n: usize| -> Result<Vec<String>, String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("missing `{tag}` line"))?;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.first() != Some(&tag) || toks.len() < n + 1 {
+                return Err(format!("expected `{tag}` with {n} field(s), got `{line}`"));
+            }
+            Ok(toks[1..].iter().map(|s| s.to_string()).collect())
+        };
+        let p_u64 = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad integer {s}: {e}"))
+        };
+        let p_f64 = |s: &str| s.parse::<f64>().map_err(|e| format!("bad float {s}: {e}"));
+        let header = field("merchsoak", 1)?;
+        if header[0] != "1" {
+            return Err(format!("unsupported soak reproducer version {}", header[0]));
+        }
+        let case = p_u64(&field("case", 1)?[0])?;
+        let seed = p_u64(&field("seed", 1)?[0])?;
+        let app_name = field("app", 1)?[0].clone();
+        let app = *AppKind::all()
+            .iter()
+            .find(|a| a.name() == app_name)
+            .ok_or_else(|| format!("unknown app {app_name}"))?;
+        let f = field("faults", 7)?;
+        let crash_toks = field("crash", 1)?;
+        let crash = match crash_toks[0].as_str() {
+            "none" => None,
+            "boundary" => Some(SoakCrash::Boundary {
+                round: p_u64(crash_toks.get(1).ok_or("boundary needs a round")?)?,
+            }),
+            "midmig" => Some(SoakCrash::MidMigration {
+                round: p_u64(crash_toks.get(1).ok_or("midmig needs a round")?)?,
+                after_attempts: p_u64(crash_toks.get(2).ok_or("midmig needs attempts")?)?,
+            }),
+            other => return Err(format!("bad crash spec `{other}`")),
+        };
+        Ok(Self {
+            case,
+            seed,
+            app,
+            fail_rate: p_f64(&f[0])?,
+            retries: p_u64(&f[1])? as u32,
+            pte_dropout: p_f64(&f[2])?,
+            pmc_dropout: p_f64(&f[3])?,
+            pressure_bytes: p_u64(&f[4])?,
+            pressure_period: p_u64(&f[5])?,
+            blackout: p_f64(&f[6])?,
+            crash,
+        })
+    }
+}
+
+/// One invariant violation, pinned to the schedule and round that showed it.
+#[derive(Debug, Clone)]
+pub struct SoakViolation {
+    /// Case index of the violating schedule.
+    pub case: u64,
+    /// Round the per-round oracle tripped in (`None` for whole-run
+    /// invariants such as replay determinism).
+    pub round: Option<u64>,
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Statistics of one surviving soak case.
+#[derive(Debug, Clone)]
+pub struct SoakRow {
+    /// The schedule the case ran.
+    pub schedule: SoakSchedule,
+    /// Rounds completed.
+    pub rounds: usize,
+    /// Rounds the policy spent on a degradation-ladder rung.
+    pub degraded_rounds: u64,
+    /// Committed migration epochs.
+    pub epoch_commits: u64,
+    /// Rolled-back migration epochs.
+    pub epoch_rollbacks: u64,
+    /// Migration attempts failed by injection.
+    pub migration_retries: u64,
+    /// Pages abandoned after exhausting retries.
+    pub failed_pages: u64,
+    /// `Some(true)` when the scripted crash fired and the WAL recovery
+    /// replayed bit-identically; `Some(false)` when the crash point was
+    /// never reached (the supervised run completed); `None` for crash-free
+    /// schedules.
+    pub crash_recovered: Option<bool>,
+}
+
+fn violation(
+    sched: &SoakSchedule,
+    round: Option<u64>,
+    invariant: &'static str,
+    detail: String,
+) -> SoakViolation {
+    SoakViolation {
+        case: sched.case,
+        round,
+        invariant,
+        detail,
+    }
+}
+
+/// Check the between-round invariants on the live system.
+fn check_round(
+    sched: &SoakSchedule,
+    round: &RoundReport,
+    sys: &HmSystem,
+) -> Result<(), SoakViolation> {
+    let r = Some(round.round as u64);
+    let dram = sys.page_table().bytes_in(Tier::Dram);
+    if dram > sys.config.dram.capacity {
+        return Err(violation(
+            sched,
+            r,
+            "dram_capacity",
+            format!(
+                "{dram} B resident > {} B capacity",
+                sys.config.dram.capacity
+            ),
+        ));
+    }
+    for tier in [Tier::Dram, Tier::Pm] {
+        let fast = sys.page_table().bytes_in(tier);
+        let scan = sys.page_table().recount_bytes_in(tier);
+        if fast != scan {
+            return Err(violation(
+                sched,
+                r,
+                "tier_counters",
+                format!("{tier:?} counter {fast} B != recount {scan} B"),
+            ));
+        }
+    }
+    if !sys.page_table().aggregates_clean() {
+        return Err(violation(
+            sched,
+            r,
+            "aggregates_clean",
+            "dirty residency aggregates at a round boundary".to_string(),
+        ));
+    }
+    for o in sys.objects() {
+        let fast = sys.page_table().weighted_fraction_in(o.pages(), Tier::Dram);
+        let mut total = 0.0;
+        let mut in_tier = 0.0;
+        for id in o.pages() {
+            let p = sys.page_table().get(id);
+            total += p.weight();
+            if p.tier() == Tier::Dram {
+                in_tier += p.weight();
+            }
+        }
+        let scan = if total > 0.0 { in_tier / total } else { 0.0 };
+        if fast.to_bits() != scan.to_bits() {
+            return Err(violation(
+                sched,
+                r,
+                "fraction_fast_path",
+                format!("object {}: aggregate {fast} != scan {scan}", o.name),
+            ));
+        }
+    }
+    for t in &round.tasks {
+        if !t.time_ns.is_finite() || t.time_ns < 0.0 {
+            return Err(violation(
+                sched,
+                r,
+                "finite_task_times",
+                format!("task {} time {} ns", t.task, t.time_ns),
+            ));
+        }
+    }
+    if !round.round_time_ns.is_finite() {
+        return Err(violation(
+            sched,
+            r,
+            "finite_task_times",
+            format!("round time {} ns", round.round_time_ns),
+        ));
+    }
+    if round.epoch_commits + round.epoch_rollbacks > 1 {
+        return Err(violation(
+            sched,
+            r,
+            "one_epoch_per_round",
+            format!(
+                "commits {} + rollbacks {}",
+                round.epoch_commits, round.epoch_rollbacks
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn fresh_executor(
+    sched: &SoakSchedule,
+    model: &PerformanceModel,
+    plan: &FaultPlan,
+) -> Executor<Box<dyn merch_apps::HpcApp>, Box<dyn crate::experiments::PolicyObj>> {
+    let workload = sched.app.build(sched.seed);
+    let policy = build_policy(
+        PolicyKind::Merchandiser,
+        model,
+        workload.as_ref(),
+        sched.seed,
+    );
+    let mut sys = HmSystem::new(workload.recommended_config(), sched.seed);
+    sys.set_fault_plan(plan.clone())
+        .expect("generated plans are always valid");
+    Executor::new(sys, workload, policy)
+}
+
+/// Drive one schedule round by round with the invariant oracle, then check
+/// the whole-run invariants (replay determinism; crash recovery when the
+/// schedule arms one).
+pub fn run_schedule(
+    sched: &SoakSchedule,
+    model: &PerformanceModel,
+) -> Result<SoakRow, SoakViolation> {
+    let plan = sched.plan();
+    let mut ex = fresh_executor(sched, model, &plan);
+    loop {
+        let round = match ex.step() {
+            Ok(Some(r)) => r.clone(),
+            Ok(None) => break,
+            Err(e) => {
+                return Err(violation(
+                    sched,
+                    None,
+                    "no_unscripted_crash",
+                    format!("step failed without a scripted crash: {e}"),
+                ))
+            }
+        };
+        check_round(sched, &round, &ex.sys)?;
+    }
+    let reference = ex.report();
+    let reference_dbg = format!("{reference:?}");
+
+    // Whole-run invariant: an identical re-run is bit-identical.
+    let replay = fresh_executor(sched, model, &plan).try_run();
+    match replay {
+        Ok(r) if format!("{r:?}") == reference_dbg => {}
+        Ok(r) => {
+            return Err(violation(
+                sched,
+                None,
+                "replay_determinism",
+                format!(
+                    "re-run diverged: {} ns vs {} ns total",
+                    r.total_time_ns(),
+                    reference.total_time_ns()
+                ),
+            ))
+        }
+        Err(e) => {
+            return Err(violation(
+                sched,
+                None,
+                "replay_determinism",
+                format!("re-run failed: {e}"),
+            ))
+        }
+    }
+
+    // Whole-run invariant: WAL recovery from the scripted crash replays to
+    // the same report.
+    let crash_recovered = match sched.crash {
+        None => None,
+        Some(crash) => Some(run_crash_leg(sched, model, &plan, crash, &reference_dbg)?),
+    };
+
+    Ok(SoakRow {
+        schedule: sched.clone(),
+        rounds: reference.rounds.len(),
+        degraded_rounds: reference.fault.degraded_rounds,
+        epoch_commits: reference.epoch_commits,
+        epoch_rollbacks: reference.epoch_rollbacks,
+        migration_retries: reference.fault.migration_retries,
+        failed_pages: reference.fault.failed_pages,
+        crash_recovered,
+    })
+}
+
+/// Supervised crash → WAL restore → replay; the resumed report must equal
+/// the uninterrupted reference bit for bit. Returns whether the scripted
+/// crash actually fired (a round without a migration batch can leave a
+/// mid-migration point unreached — the supervised run then completes and
+/// must already match).
+fn run_crash_leg(
+    sched: &SoakSchedule,
+    model: &PerformanceModel,
+    plan: &FaultPlan,
+    crash: SoakCrash,
+    reference_dbg: &str,
+) -> Result<bool, SoakViolation> {
+    let wal_path = std::env::temp_dir().join(format!(
+        "merch-soak-{}-{}-{}.wal",
+        std::process::id(),
+        sched.case,
+        sched.seed
+    ));
+    let crash_plan = plan.clone().with_fault(crash.fault());
+    let machinery = |detail: String| violation(sched, None, "crash_recovery_machinery", detail);
+    let mut wal =
+        Wal::create(&wal_path).map_err(|e| machinery(format!("WAL create failed: {e}")))?;
+    let mut ex = fresh_executor(sched, model, &crash_plan);
+    let outcome = ex.run_supervised(&mut wal);
+    drop(ex);
+    drop(wal);
+    let (resumed_dbg, fired) = match outcome {
+        Ok(report) => (format!("{report:?}"), false),
+        Err(_) => {
+            let ck = Wal::latest(&wal_path)
+                .map_err(|e| machinery(format!("WAL read failed: {e}")))?
+                .ok_or_else(|| machinery("no durable checkpoint after crash".to_string()))?;
+            let workload = sched.app.build(sched.seed);
+            let policy = build_policy(
+                PolicyKind::Merchandiser,
+                model,
+                workload.as_ref(),
+                sched.seed,
+            );
+            let mut ex = Executor::resume(ck, workload, policy)
+                .map_err(|e| machinery(format!("resume failed: {e}")))?;
+            let resumed = ex
+                .try_run()
+                .map_err(|e| machinery(format!("resumed run failed: {e}")))?;
+            (format!("{resumed:?}"), true)
+        }
+    };
+    let _ = std::fs::remove_file(&wal_path);
+    if resumed_dbg != reference_dbg {
+        return Err(violation(
+            sched,
+            None,
+            "crash_replay_determinism",
+            format!(
+                "{} recovery diverged from the uninterrupted run",
+                crash.label()
+            ),
+        ));
+    }
+    Ok(fired)
+}
+
+/// Shrink a violating schedule against `fails` (true = still violates):
+/// first try dropping whole fault dimensions, then bisect the surviving
+/// rates down. `fails` is the oracle re-run during a real soak and an
+/// arbitrary predicate in tests.
+pub fn shrink_schedule(
+    sched: &SoakSchedule,
+    fails: impl Fn(&SoakSchedule) -> bool,
+) -> SoakSchedule {
+    let mut best = sched.clone();
+    // Phase 1: drop dimensions wholesale (ddmin over the fault axes).
+    let without: [fn(&mut SoakSchedule); 6] = [
+        |s| s.fail_rate = 0.0,
+        |s| s.pte_dropout = 0.0,
+        |s| s.pmc_dropout = 0.0,
+        |s| {
+            s.pressure_bytes = 0;
+            s.pressure_period = 0;
+        },
+        |s| s.blackout = 0.0,
+        |s| s.crash = None,
+    ];
+    for drop_dim in without {
+        let mut cand = best.clone();
+        drop_dim(&mut cand);
+        if cand != best && fails(&cand) {
+            best = cand;
+        }
+    }
+    // Phase 2: bisect each surviving rate toward zero (≤ 8 halvings keeps
+    // the shrink bounded; the last still-failing value wins).
+    type RateAxis = (fn(&SoakSchedule) -> f64, fn(&mut SoakSchedule, f64));
+    let rates: [RateAxis; 4] = [
+        (|s| s.fail_rate, |s, v| s.fail_rate = v),
+        (|s| s.pte_dropout, |s, v| s.pte_dropout = v),
+        (|s| s.pmc_dropout, |s, v| s.pmc_dropout = v),
+        (|s| s.blackout, |s, v| s.blackout = v),
+    ];
+    for (get, set) in rates {
+        for _ in 0..8 {
+            let half = get(&best) * 0.5;
+            if half <= 0.0 {
+                break;
+            }
+            let mut cand = best.clone();
+            set(&mut cand, half);
+            if fails(&cand) {
+                best = cand;
+            } else {
+                break;
+            }
+        }
+    }
+    // Pressure bytes bisect in pages.
+    for _ in 0..8 {
+        let half = best.pressure_bytes / 2 / PAGE_SIZE * PAGE_SIZE;
+        if half == 0 && best.pressure_bytes == 0 {
+            break;
+        }
+        let mut cand = best.clone();
+        cand.pressure_bytes = half;
+        if cand != best && fails(&cand) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// A soak failure: the violation, the schedule that showed it, and the
+/// shrunken reproducer.
+#[derive(Debug, Clone)]
+pub struct SoakFailure {
+    /// The first violation observed.
+    pub violation: SoakViolation,
+    /// The schedule as generated.
+    pub original: SoakSchedule,
+    /// The minimized schedule (still violating when the shrink re-runs
+    /// could reproduce; otherwise equal to `original`).
+    pub minimized: SoakSchedule,
+}
+
+impl SoakFailure {
+    /// Render the reproducer file: the minimized schedule plus the
+    /// violation context as comments.
+    pub fn reproducer(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "# soak invariant violation: {} (case {}, round {})",
+            self.violation.invariant,
+            self.violation.case,
+            self.violation
+                .round
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        )
+        .expect("writing to String cannot fail");
+        writeln!(out, "# {}", self.violation.detail).expect("writing to String cannot fail");
+        out.push_str(&self.minimized.encode());
+        out
+    }
+}
+
+/// Outcome of a soak batch.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// Per-case statistics, input order, cases that ran to a verdict.
+    pub rows: Vec<SoakRow>,
+    /// First violation (by case order), shrunk, if any case tripped.
+    pub failure: Option<SoakFailure>,
+}
+
+/// True when the schedule still violates some invariant (a panic inside
+/// the harness counts — the reproducer must survive harness bugs too).
+fn schedule_fails(sched: &SoakSchedule, model: &PerformanceModel) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_schedule(sched, model).is_err()
+    }))
+    .unwrap_or(true)
+}
+
+/// Run `cases` seeded schedules on the sweep worker pool; on the first
+/// violation (or a cell panic), shrink and report.
+pub fn soak(model: &PerformanceModel, master_seed: u64, cases: u64) -> SoakOutcome {
+    let scheds: Vec<SoakSchedule> = (0..cases)
+        .map(|c| SoakSchedule::generate(master_seed, c))
+        .collect();
+    let (slots, abort) = match crate::par::try_par_map(scheds.clone(), |s| run_schedule(&s, model))
+    {
+        Ok(done) => (done.into_iter().map(Some).collect::<Vec<_>>(), None),
+        Err((partial, abort)) => (partial, Some(abort)),
+    };
+    let mut rows = Vec::new();
+    let mut first: Option<(SoakSchedule, SoakViolation)> = None;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(row)) => rows.push(row),
+            Some(Err(v)) if first.is_none() => first = Some((scheds[i].clone(), v)),
+            Some(Err(_)) | None => {}
+        }
+    }
+    if first.is_none() {
+        if let Some(a) = abort {
+            let sched = scheds[a.cell].clone();
+            let v = violation(&sched, None, "no_harness_panic", a.message);
+            first = Some((sched, v));
+        }
+    }
+    let failure = first.map(|(original, violation)| {
+        let minimized = shrink_schedule(&original, |s| schedule_fails(s, model));
+        SoakFailure {
+            violation,
+            original,
+            minimized,
+        }
+    });
+    SoakOutcome { rows, failure }
+}
+
+/// Replay one reproducer file: decode the schedule and run it through the
+/// same oracle.
+pub fn soak_replay(text: &str, model: &PerformanceModel) -> Result<SoakRow, String> {
+    let sched = SoakSchedule::decode(text)?;
+    run_schedule(&sched, model).map_err(|v| {
+        format!(
+            "invariant `{}` violated at round {} — {}",
+            v.invariant,
+            v.round.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            v.detail
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let a: Vec<SoakSchedule> = (0..12).map(|c| SoakSchedule::generate(7, c)).collect();
+        let b: Vec<SoakSchedule> = (0..12).map(|c| SoakSchedule::generate(7, c)).collect();
+        assert_eq!(a, b);
+        // Cases differ from each other and crash cases appear exactly at
+        // every third index.
+        assert!(a
+            .windows(2)
+            .any(|w| w[0].app != w[1].app || w[0].fail_rate != w[1].fail_rate));
+        for (c, s) in a.iter().enumerate() {
+            assert_eq!(s.crash.is_some(), c % 3 == 2, "case {c}");
+        }
+        // A different master seed draws a different batch.
+        let other = SoakSchedule::generate(8, 0);
+        assert_ne!(a[0], other);
+    }
+
+    #[test]
+    fn reproducer_roundtrips() {
+        for case in 0..9 {
+            let s = SoakSchedule::generate(3, case);
+            let text = s.encode();
+            assert_eq!(SoakSchedule::decode(&text).unwrap(), s, "{text}");
+        }
+        // Comment and blank lines (the failure context) are skipped.
+        let s = SoakSchedule::generate(3, 2);
+        let annotated = format!("# violation: xyz\n\n{}", s.encode());
+        assert_eq!(SoakSchedule::decode(&annotated).unwrap(), s);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(SoakSchedule::decode("").is_err());
+        assert!(SoakSchedule::decode("merchsoak 9\n").is_err());
+        let good = SoakSchedule::generate(1, 0).encode();
+        let bad_app: String = good
+            .lines()
+            .map(|l| {
+                if l.starts_with("app ") {
+                    "app NoSuchApp".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(SoakSchedule::decode(&bad_app).is_err());
+        assert!(SoakSchedule::decode(&good.replacen("faults", "faulty", 1)).is_err());
+    }
+
+    #[test]
+    fn shrink_drops_irrelevant_dimensions_and_bisects() {
+        let mut sched = SoakSchedule::generate(5, 2);
+        sched.fail_rate = 0.4;
+        sched.pte_dropout = 0.48;
+        sched.pmc_dropout = 0.3;
+        sched.pressure_bytes = 32 * PAGE_SIZE;
+        sched.blackout = 0.2;
+        assert!(sched.crash.is_some());
+        // Synthetic oracle: the "bug" needs only pte_dropout >= 0.1.
+        let min = shrink_schedule(&sched, |s| s.pte_dropout >= 0.1);
+        assert_eq!(min.fail_rate, 0.0);
+        assert_eq!(min.pmc_dropout, 0.0);
+        assert_eq!(min.pressure_bytes, 0);
+        assert_eq!(min.blackout, 0.0);
+        assert_eq!(min.crash, None);
+        assert!(
+            (0.1..0.2).contains(&min.pte_dropout),
+            "bisection must stop just above the threshold, got {}",
+            min.pte_dropout
+        );
+        // The minimized schedule still fails its oracle.
+        assert!(min.pte_dropout >= 0.1);
+    }
+
+    #[test]
+    fn shrink_keeps_required_composition() {
+        let mut sched = SoakSchedule::generate(5, 0);
+        sched.fail_rate = 0.4;
+        sched.pmc_dropout = 0.4;
+        sched.pte_dropout = 0.4;
+        // The "bug" needs BOTH migration failures and PMC dropout.
+        let min = shrink_schedule(&sched, |s| s.fail_rate > 0.05 && s.pmc_dropout > 0.05);
+        assert!(min.fail_rate > 0.05);
+        assert!(min.pmc_dropout > 0.05);
+        assert_eq!(min.pte_dropout, 0.0, "the irrelevant dimension is dropped");
+    }
+}

@@ -135,6 +135,14 @@ impl AccessEstimator {
         self.version
     }
 
+    /// Invalidate every memo keyed on this estimator's version without
+    /// changing any estimate — the drift sentinel's cache-flush hook:
+    /// after a trip, cached quantifications and time curves must not
+    /// outlive the suspicion that produced them.
+    pub fn bump_version(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
     /// Mean caching-effect α over all objects — the per-application
     /// statistic §7.3 reports ("The average values of α are: 1.9, 4.3, 2.4,
     /// 5.7, and 2.6 ..."): how many program-level accesses each main-memory

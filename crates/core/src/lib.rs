@@ -30,6 +30,7 @@ pub mod estimator;
 pub mod homog;
 pub mod perfmodel;
 pub mod policy;
+pub mod sentinel;
 pub mod training;
 
 pub use allocator::{plan_dram_accesses, AllocatorInput, AllocatorPlan, TaskInput};
@@ -39,4 +40,5 @@ pub use estimator::{AccessEstimator, ObjectEstimate};
 pub use homog::HomogeneousPredictor;
 pub use perfmodel::PerformanceModel;
 pub use policy::MerchandiserPolicy;
+pub use sentinel::{DriftSentinel, SentinelConfig, SentinelVerdict, TaskSample};
 pub use training::{generate_code_samples, train_correlation_function, TrainingArtifacts};

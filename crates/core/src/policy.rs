@@ -16,7 +16,7 @@
 //!   quota; afterwards, counter measurements refine α for random-pattern
 //!   objects.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -38,6 +38,7 @@ use crate::allocator::{
 use crate::estimator::AccessEstimator;
 use crate::homog::HomogeneousPredictor;
 use crate::perfmodel::{CompiledPerformanceModel, Eq2Model, PerformanceModel};
+use crate::sentinel::{DriftSentinel, TaskSample};
 
 /// Look up a per-object hint by exact name, by the stem before the first
 /// `_`, or by the stem with a trailing task index removed (`fields0` →
@@ -139,6 +140,10 @@ pub struct MerchandiserPolicy {
     /// Wall-clock time of the last online prediction + planning pass —
     /// the §7.2 overhead figure (0.031 ms on the paper's machine).
     pub last_prediction_wall_ns: f64,
+    /// Drift sentinel: per-task/per-class EWMA of the prediction error
+    /// with a hysteresis band, driving sample quarantine, PMC
+    /// re-collection, α re-refinement and the degradation-ladder steps.
+    pub sentinel: DriftSentinel,
     alpha_table: AlphaTable,
     state: Vec<TaskState>,
     base_works: Vec<TaskWork>,
@@ -159,6 +164,9 @@ pub struct MerchandiserPolicy {
     /// Cross-round memo of per-task time curves (self-validating via
     /// per-task keys). Transient, like the quantification cache.
     curve_cache: CurveCache,
+    /// Tasks whose PMC profile was quarantined by the sentinel and still
+    /// awaits a (possibly partial) re-collection.
+    pending_recollect: BTreeSet<usize>,
 }
 
 impl MerchandiserPolicy {
@@ -184,6 +192,7 @@ impl MerchandiserPolicy {
             last_plan: None,
             prediction_log: Vec::new(),
             last_prediction_wall_ns: 0.0,
+            sentinel: DriftSentinel::default(),
             alpha_table: AlphaTable::new(),
             state: Vec::new(),
             base_works: Vec::new(),
@@ -193,6 +202,7 @@ impl MerchandiserPolicy {
             degraded: false,
             compiled: None,
             curve_cache: CurveCache::default(),
+            pending_recollect: BTreeSet::new(),
         }
     }
 
@@ -305,6 +315,79 @@ impl MerchandiserPolicy {
                 }
             })
             .collect();
+    }
+
+    /// Pattern class of task `i` for the sentinel's per-class EWMA: the
+    /// most drift-prone pattern family among the task's objects (random
+    /// and input-dependent stencils carry online-refined α, so their
+    /// predictions drift first).
+    fn task_class(&self, i: usize) -> &'static str {
+        fn rank(c: &str) -> u32 {
+            match c {
+                "random" => 4,
+                "stencil" => 3,
+                "strided" => 2,
+                "stream" => 1,
+                _ => 0,
+            }
+        }
+        let Some(ts) = self.state.get(i) else {
+            return "unknown";
+        };
+        let mut best = "unknown";
+        for e in ts.estimator.objects.values() {
+            let c = match e.pattern {
+                AccessPattern::Random => "random",
+                AccessPattern::Stencil { .. } => "stencil",
+                AccessPattern::Strided { .. } => "strided",
+                AccessPattern::Stream => "stream",
+            };
+            if rank(c) > rank(best) {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Heal quarantined PMC profiles: re-collect the sentinel-flagged
+    /// tasks' events against this round's works with a round-salted
+    /// generator (a re-collection is a fresh measurement, not a replay of
+    /// the base sample). The merge is per event — the base measurement
+    /// stays canonical where present, holes adopt the first re-read that
+    /// survives the injected dropout — so under sustained dropout at rate
+    /// p the probability an event is still missing after k heal passes is
+    /// p^(k+1): profiles converge back to complete instead of flapping.
+    fn heal_quarantined(&mut self, sys: &mut HmSystem, round: usize, works: &[TaskWork]) {
+        use merch_profiling::pmc::NUM_EVENTS;
+        let pmc = PmcGenerator::new(
+            self.seed ^ 0x50C0 ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let all_sizes: Vec<u64> = sys.objects().iter().map(|o| o.size).collect();
+        let concurrency = works.len().max(1);
+        let pending: Vec<usize> = self.pending_recollect.iter().copied().collect();
+        for i in pending {
+            let (Some(ts), Some(work)) = (self.state.get_mut(i), works.get(i)) else {
+                self.pending_recollect.remove(&i);
+                continue;
+            };
+            let mut fresh = pmc.collect(&sys.config, work, &all_sizes, concurrency);
+            if let Some(inj) = sys.fault_injector_mut() {
+                for e in 0..NUM_EVENTS {
+                    if inj.drop_pmc_event(work.task, e) {
+                        fresh.mark_missing(e);
+                    }
+                }
+            }
+            for e in 0..NUM_EVENTS {
+                if ts.events.values[e].is_nan() && !fresh.values[e].is_nan() {
+                    ts.events.values[e] = fresh.values[e];
+                }
+            }
+            self.sentinel.recollections += 1;
+            if ts.events.is_complete() {
+                self.pending_recollect.remove(&i);
+            }
+        }
     }
 
     /// Equation 1 totals and the homogeneous PM-/DRAM-only predictions for
@@ -810,6 +893,11 @@ impl PlacementPolicy for MerchandiserPolicy {
             self.hot_page_fallback(sys);
             return;
         }
+        // Drift healing: re-collect quarantined PMC profiles now that a
+        // full planning round (with its works) is available.
+        if !self.pending_recollect.is_empty() {
+            self.heal_quarantined(sys, round, works);
+        }
         // Missing PMC events (sample dropout during base profiling)
         // silently downgrade Equation 2 to linear interpolation for the
         // affected tasks; surface that in the round report.
@@ -941,13 +1029,73 @@ impl PlacementPolicy for MerchandiserPolicy {
         self.last_plan = Some(plan);
     }
 
-    fn after_round(&mut self, sys: &mut HmSystem, round: usize, _report: &RoundReport) {
+    fn after_round(&mut self, sys: &mut HmSystem, round: usize, report: &RoundReport) {
         if round == 0 && !self.base_works.is_empty() {
             let concurrency = self.base_works.len();
             self.collect_base(sys, concurrency);
             sys.reset_profiling_counters();
             return;
         }
+        // Drift sentinel: compare this round's logged predictions (when it
+        // went through the full planning path) against the observed times.
+        let quarantine: BTreeSet<usize> =
+            match self.prediction_log.last().filter(|(r, _)| *r == round) {
+                None => {
+                    // A fallback rung produced no prediction: freeze the
+                    // sentinel's streaks instead of feeding it stale data.
+                    self.sentinel.skip_round();
+                    BTreeSet::new()
+                }
+                Some((_, preds)) => {
+                    let samples: Vec<TaskSample<'_>> = report
+                        .tasks
+                        .iter()
+                        .filter_map(|t| {
+                            let predicted_ns = *preds.get(t.task)?;
+                            Some(TaskSample {
+                                task: t.task,
+                                class: self.task_class(t.task),
+                                predicted_ns,
+                                observed_ns: t.time_ns,
+                            })
+                        })
+                        .collect();
+                    let verdict = self.sentinel.observe_round(&samples);
+                    if verdict.trip_edge {
+                        // One-shot re-refinement actions on the rising
+                        // edge: quarantine this round's counter samples
+                        // for the drifting tasks, schedule a PMC
+                        // re-collection, restart their α refiners, and
+                        // discard every memoised quantification.
+                        for &t in &verdict.drifting_tasks {
+                            self.pending_recollect.insert(t);
+                            if let Some(ts) = self.state.get_mut(t) {
+                                for e in ts.estimator.objects.values_mut() {
+                                    if e.refiner.is_some() {
+                                        e.refiner = Some(AlphaRefiner::new());
+                                    }
+                                }
+                                ts.estimator.bump_version();
+                                self.sentinel.version_bumps += 1;
+                            }
+                        }
+                    }
+                    if verdict.step_down {
+                        // Sustained drift: the base profiles can no longer
+                        // be trusted — step the ladder down to the
+                        // hot-page rung for the next rounds, exactly like
+                        // the straggler watchdog's escalation. The ladder
+                        // steps back up once the sentinel confirms enough
+                        // clean planned rounds.
+                        self.watchdog_fallback_rounds = self.watchdog_fallback_span;
+                    }
+                    if verdict.trip_edge {
+                        verdict.drifting_tasks.iter().copied().collect()
+                    } else {
+                        BTreeSet::new()
+                    }
+                }
+            };
         // Online α refinement: read counter-sampled per-object access
         // counts for this round and fold them into each sharer's refiner.
         if !self.refine_alpha {
@@ -969,10 +1117,18 @@ impl PlacementPolicy for MerchandiserPolicy {
             let sharers = self.sharer_count(&name).max(1);
             let share = count / sharers as f64;
             if share > 0.0 {
-                for ts in &mut self.state {
-                    if ts.objects.iter().any(|(id, _)| *id == oid) {
-                        ts.estimator.observe(&name, size, share);
+                for (i, ts) in self.state.iter_mut().enumerate() {
+                    if !ts.objects.iter().any(|(id, _)| *id == oid) {
+                        continue;
                     }
+                    if quarantine.contains(&i) {
+                        // Trip-edge round: this task's counter samples are
+                        // the very ones that exposed the drift — drop them
+                        // instead of folding suspect observations into α.
+                        self.sentinel.quarantined_samples += 1;
+                        continue;
+                    }
+                    ts.estimator.observe(&name, size, share);
                 }
             }
         }
@@ -982,7 +1138,7 @@ impl PlacementPolicy for MerchandiserPolicy {
     fn save_state(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        out.push_str("merchpolicy 1\n");
+        out.push_str("merchpolicy 2\n");
         writeln!(out, "degraded {}", u8::from(self.degraded))
             .expect("writing to String cannot fail");
         writeln!(
@@ -1024,6 +1180,13 @@ impl PlacementPolicy for MerchandiserPolicy {
                 out.push('\n');
             }
         }
+        self.sentinel.encode_state(&mut out);
+        write!(out, "pending {}", self.pending_recollect.len())
+            .expect("writing to String cannot fail");
+        for t in &self.pending_recollect {
+            write!(out, " {t}").expect("writing to String cannot fail");
+        }
+        out.push('\n');
         writeln!(out, "tasks {}", self.state.len()).expect("writing to String cannot fail");
         for (i, ts) in self.state.iter().enumerate() {
             Self::encode_task(&mut out, i, ts);
@@ -1041,7 +1204,7 @@ impl PlacementPolicy for MerchandiserPolicy {
         let mut r = Reader::new(blob);
         let t = r.line("merchpolicy", 1)?;
         let version = p_u32(t[0])?;
-        if version != 1 {
+        if version != 2 {
             return Err(corrupt(&format!(
                 "unsupported merchandiser state version {version}"
             )));
@@ -1105,6 +1268,16 @@ impl PlacementPolicy for MerchandiserPolicy {
                 rounds,
             })
         };
+        let sentinel = DriftSentinel::decode_state(&mut r)?;
+        let t = r.line("pending", 1)?;
+        let np = p_usize(t[0])?;
+        if t.len() < 1 + np {
+            return Err(corrupt("truncated pending-recollect list"));
+        }
+        let pending_recollect: BTreeSet<usize> = t[1..1 + np]
+            .iter()
+            .map(|s| p_usize(s))
+            .collect::<Result<_, _>>()?;
         let t = r.line("tasks", 1)?;
         let n = p_usize(t[0])?;
         let mut state = Vec::with_capacity(n);
@@ -1117,6 +1290,8 @@ impl PlacementPolicy for MerchandiserPolicy {
         self.watchdog_strikes = strikes;
         self.prediction_log = prediction_log;
         self.last_plan = last_plan;
+        self.sentinel = sentinel;
+        self.pending_recollect = pending_recollect;
         self.state = state;
         self.base_works.clear();
         Ok(())
@@ -1462,6 +1637,149 @@ mod tests {
         assert!(run.rounds[2].degraded, "mismatched round must be degraded");
         assert!(!run.rounds[1].degraded);
         assert_eq!(run.fault.degraded_rounds, 1);
+    }
+
+    /// Two random-pattern tasks whose access counts burst ×4 on rounds
+    /// 1..=3 and then return to the base-profiled level: the canonical
+    /// drift scenario (input-dependent behaviour diverging from the base
+    /// profile, then settling).
+    struct BurstTasks {
+        rounds: usize,
+    }
+
+    impl Workload for BurstTasks {
+        fn name(&self) -> &str {
+            "burst-tasks"
+        }
+        fn object_specs(&self) -> Vec<ObjectSpec> {
+            vec![
+                ObjectSpec::new("a", 256 * PAGE_SIZE).owned_by(0),
+                ObjectSpec::new("b", 256 * PAGE_SIZE).owned_by(1),
+            ]
+        }
+        fn num_tasks(&self) -> usize {
+            2
+        }
+        fn num_instances(&self) -> usize {
+            self.rounds
+        }
+        fn instance(&mut self, round: usize, sys: &HmSystem) -> Vec<TaskWork> {
+            let a = sys.object_by_name("a").unwrap();
+            let b = sys.object_by_name("b").unwrap();
+            let scale = if (1..=3).contains(&round) { 4.0 } else { 1.0 };
+            vec![
+                TaskWork::new(0).with_phase(Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                    a,
+                    5e5 * scale,
+                    8,
+                    AccessPattern::Random,
+                    0.1,
+                ))),
+                TaskWork::new(1).with_phase(Phase::new("w", 0.0).with_access(ObjectAccess::new(
+                    b,
+                    2e6 * scale,
+                    8,
+                    AccessPattern::Random,
+                    0.1,
+                ))),
+            ]
+        }
+    }
+
+    /// Satellite: the §8 ladder's step-UP path. After a watchdog
+    /// escalation the policy rides the hot-page rung for exactly
+    /// `watchdog_fallback_span` rounds, then steps back up to full
+    /// planning on its own once the fallback expires.
+    #[test]
+    fn watchdog_escalation_steps_ladder_down_then_back_up() {
+        let policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
+        let mut ex = Executor::new(
+            HmSystem::new(small_config(), 3),
+            TwoTasks { rounds: 6 },
+            policy,
+        );
+        ex.step().unwrap(); // round 0: base profiling
+        let planned = ex.step().unwrap().unwrap().degraded; // round 1: full plan
+        assert!(!planned);
+        // Three straggler strikes: the first two attempt emergency
+        // promotion, the third escalates to the degradation ladder.
+        for _ in 0..2 {
+            let _ = ex.policy.on_straggler(&mut ex.sys, 1, 0, 2.0, 1.0);
+        }
+        assert!(!ex.policy.on_straggler(&mut ex.sys, 1, 0, 2.0, 1.0));
+        assert_eq!(
+            ex.policy.watchdog_fallback_rounds,
+            ex.policy.watchdog_fallback_span
+        );
+        // The next `watchdog_fallback_span` rounds ride the hot-page rung…
+        for _ in 0..ex.policy.watchdog_fallback_span {
+            let degraded = ex.step().unwrap().unwrap().degraded;
+            assert!(degraded, "fallback rounds must be flagged degraded");
+        }
+        // …then the ladder steps back up: planning resumes cleanly.
+        let report = ex.step().unwrap().unwrap();
+        let (degraded, round) = (report.degraded, report.round);
+        assert!(!degraded, "round {round} should have stepped back up");
+        assert_eq!(ex.policy.watchdog_fallback_rounds, 0);
+        assert!(ex.policy.last_plan.is_some());
+        assert_eq!(
+            ex.policy.prediction_log.last().map(|(r, _)| *r),
+            Some(round),
+            "recovered round must carry a fresh prediction"
+        );
+    }
+
+    /// Acceptance: a seeded run with sustained PMC dropout plus a
+    /// mid-run behaviour burst. The sentinel must trip on the drift,
+    /// quarantine and re-collect the affected profiles, step the ladder
+    /// down while the drift sustains, and step it back up after the
+    /// behaviour settles.
+    #[test]
+    fn sentinel_steps_ladder_down_and_back_up_under_drift() {
+        use merch_hm::FaultPlan;
+        let mut sys = HmSystem::new(small_config(), 3);
+        // Sustained PMC dropout: every collection (base and the sentinel's
+        // re-collections alike) loses each counter with p = 0.5.
+        sys.set_fault_plan(
+            FaultPlan::none()
+                .with_seed(11)
+                .with_sample_dropout(0.0, 0.5),
+        )
+        .unwrap();
+        let mut policy = MerchandiserPolicy::new(linear_model(), pattern_map(), BTreeMap::new(), 3);
+        // Bands tuned to this seeded workload: the ×4 burst drives the
+        // per-task EWMA to ≈ 0.7, the settled post-burst error sits just
+        // under 0.3 while the reset α refiners re-converge.
+        policy.sentinel = DriftSentinel::new(crate::sentinel::SentinelConfig {
+            ewma_beta: 0.2,
+            band_hi: 0.5,
+            band_lo: 0.3,
+            sustain_rounds: 2,
+            clean_rounds: 2,
+        });
+        let mut ex = Executor::new(sys, BurstTasks { rounds: 12 }, policy);
+        let run = ex.run();
+        assert_eq!(run.rounds.len(), 12);
+        let s = &ex.policy.sentinel;
+        assert!(
+            s.ladder_steps_down >= 1,
+            "sustained drift must step the ladder down: {s:?}"
+        );
+        assert!(
+            s.ladder_steps_up >= 1,
+            "settled behaviour must step the ladder back up: {s:?}"
+        );
+        // The trip edge quarantined that round's counter samples and
+        // invalidated the drifting tasks' caches…
+        assert!(s.quarantined_samples >= 1, "{s:?}");
+        assert!(s.version_bumps >= 1, "{s:?}");
+        // …and the dropped PMC events were re-collected until healed.
+        assert!(s.recollections >= 1, "{s:?}");
+        assert!(s.class_error("random").is_some());
+        // The step-down rounds show up as degraded hot-page rounds.
+        assert!(run.rounds.iter().any(|r| r.degraded));
+        // After the ladder stepped back up the final round plans cleanly.
+        assert!(!s.tripped(), "sentinel must have recovered: {s:?}");
     }
 
     #[test]

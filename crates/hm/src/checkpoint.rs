@@ -44,7 +44,9 @@ use crate::system::{HmError, HmSystem};
 use crate::telemetry::BandwidthTimeline;
 
 /// Version of the checkpoint payload format this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added the transactional-epoch counters (`syscounters` gained
+/// commit/rollback totals, `round` lines gained per-round counts).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Retries after a failed WAL write attempt before the checkpoint is
 /// skipped for this round (the run continues; only recovery granularity
@@ -209,7 +211,7 @@ impl Checkpoint {
         for r in &self.completed {
             writeln!(
                 out,
-                "round {} {} {} {} {} {} {} {:?} {:?} {}",
+                "round {} {} {} {} {} {} {} {} {} {:?} {:?} {}",
                 r.round,
                 r.migration_pages,
                 r.migration_attempts,
@@ -217,6 +219,8 @@ impl Checkpoint {
                 r.degraded as u8,
                 r.straggler_events,
                 r.watchdog_pages,
+                r.epoch_commits,
+                r.epoch_rollbacks,
                 r.migration_ns,
                 r.round_time_ns,
                 r.tasks.len()
@@ -269,8 +273,8 @@ impl Checkpoint {
         let n_rounds = p_usize(t[0])?;
         let mut completed = Vec::with_capacity(n_rounds);
         for _ in 0..n_rounds {
-            let t = r.line("round", 10)?;
-            let n_tasks = p_usize(t[9])?;
+            let t = r.line("round", 12)?;
+            let n_tasks = p_usize(t[11])?;
             let mut tasks = Vec::with_capacity(n_tasks);
             for _ in 0..n_tasks {
                 let tt = r.line("task", 8)?;
@@ -296,8 +300,10 @@ impl Checkpoint {
                 degraded: p_bool(t[4])?,
                 straggler_events: p_u64(t[5])?,
                 watchdog_pages: p_u64(t[6])?,
-                migration_ns: p_f64(t[7])?,
-                round_time_ns: p_f64(t[8])?,
+                epoch_commits: p_u64(t[7])?,
+                epoch_rollbacks: p_u64(t[8])?,
+                migration_ns: p_f64(t[9])?,
+                round_time_ns: p_f64(t[10])?,
             });
         }
         let t = r.line("policy", 1)?;
@@ -437,11 +443,29 @@ impl Wal {
     /// Scan a WAL file and return the last record that frames, checksums,
     /// and decodes cleanly — tolerating a torn tail from the crash.
     /// `Ok(None)` when the file is missing or holds no valid record.
+    /// A dropped tail is reported through the telemetry warning channel
+    /// (see [`latest_with_warning`](Self::latest_with_warning)).
     pub fn latest(path: impl AsRef<Path>) -> Result<Option<Checkpoint>, HmError> {
+        let (best, warning) = Self::latest_with_warning(path)?;
+        if let Some(w) = warning {
+            w.emit();
+        }
+        Ok(best)
+    }
+
+    /// [`latest`](Self::latest), additionally returning a structured
+    /// [`Warning`](crate::telemetry::Warning) when recovery had to drop a
+    /// torn or garbled tail — the round the surviving checkpoint resumes
+    /// at and how many bytes were discarded, instead of silent truncation.
+    /// Mid-file records that merely fail their checksum or decode are
+    /// skipped (the scan continues) and are not tail drops.
+    pub fn latest_with_warning(
+        path: impl AsRef<Path>,
+    ) -> Result<(Option<Checkpoint>, Option<crate::telemetry::Warning>), HmError> {
         let path = path.as_ref();
         let data = match std::fs::read_to_string(path) {
             Ok(d) => d,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((None, None)),
             Err(e) => {
                 return Err(HmError::CheckpointIo(format!(
                     "read {}: {e}",
@@ -450,19 +474,24 @@ impl Wal {
             }
         };
         let mut best = None;
+        let mut dropped: Option<(u64, &'static str)> = None;
         let mut rest = data.as_str();
         while let Some(nl) = rest.find('\n') {
             let header = &rest[..nl];
             let after = &rest[nl + 1..];
             let toks: Vec<&str> = header.split_whitespace().collect();
             if toks.len() != 4 || toks[0] != "record" {
-                break; // unframed garbage: nothing after it is trustworthy
+                // Unframed garbage: nothing after it is trustworthy.
+                dropped = Some((rest.len() as u64, "unframed garbage"));
+                break;
             }
             let Ok(len) = toks[2].parse::<usize>() else {
+                dropped = Some((rest.len() as u64, "bad frame length"));
                 break;
             };
             if after.len() < len {
-                break; // torn tail
+                dropped = Some((rest.len() as u64, "truncated payload"));
+                break;
             }
             let payload = &after[..len];
             if format!("{:016x}", fnv1a64(payload.as_bytes())) == toks[3] {
@@ -472,7 +501,20 @@ impl Wal {
             }
             rest = &after[len..];
         }
-        Ok(best)
+        if dropped.is_none() && !rest.is_empty() {
+            // Leftover bytes without even a newline: a torn header.
+            dropped = Some((rest.len() as u64, "torn frame header"));
+        }
+        let round = best.as_ref().map(|ck| ck.next_round as u64).unwrap_or(0);
+        let warning =
+            dropped.map(
+                |(dropped_bytes, reason)| crate::telemetry::Warning::WalTornTail {
+                    round,
+                    dropped_bytes,
+                    reason: reason.to_string(),
+                },
+            );
+        Ok((best, warning))
     }
 }
 
@@ -532,6 +574,8 @@ mod tests {
                 degraded: true,
                 straggler_events: 1,
                 watchdog_pages: 4,
+                epoch_commits: 1,
+                epoch_rollbacks: 1,
                 migration_ns: 5000.0,
                 round_time_ns: 6234.5,
             }],
@@ -566,7 +610,7 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let ck = sample_checkpoint();
-        let text = ck.encode().replacen("merchckpt 1", "merchckpt 99", 1);
+        let text = ck.encode().replacen("merchckpt 2", "merchckpt 99", 1);
         assert!(matches!(
             Checkpoint::decode(&text),
             Err(HmError::CheckpointCorrupt(_))
@@ -606,8 +650,42 @@ mod tests {
         f.write_all(b"record 1 10000 0123456789abcdef\ntruncated...")
             .unwrap();
         drop(f);
-        let latest = Wal::latest(&path).unwrap().unwrap();
-        assert_eq!(latest.next_round, ck.next_round);
+        let (latest, warning) = Wal::latest_with_warning(&path).unwrap();
+        assert_eq!(latest.unwrap().next_round, ck.next_round);
+        // The dropped tail is reported as a structured warning, not
+        // silently truncated: surviving round, dropped byte count, reason.
+        let crate::telemetry::Warning::WalTornTail {
+            round,
+            dropped_bytes,
+            reason,
+        } = warning.expect("a torn tail must warn");
+        assert_eq!(round, ck.next_round as u64);
+        assert_eq!(
+            dropped_bytes,
+            ("record 1 10000 0123456789abcdef\ntruncated...").len() as u64
+        );
+        assert_eq!(reason, "truncated payload");
+        // `latest` itself still recovers (and emits the warning).
+        assert_eq!(
+            Wal::latest(&path).unwrap().unwrap().next_round,
+            ck.next_round
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_wal_yields_no_warning() {
+        let dir = std::env::temp_dir().join(format!("merch-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean_no_warning.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        // Empty WAL: no records, no warning.
+        let (none, warning) = Wal::latest_with_warning(&path).unwrap();
+        assert!(none.is_none() && warning.is_none());
+        wal.append(&sample_checkpoint(), None).unwrap();
+        let (some, warning) = Wal::latest_with_warning(&path).unwrap();
+        assert!(some.is_some());
+        assert!(warning.is_none(), "a clean WAL must not warn");
         std::fs::remove_file(&path).ok();
     }
 

@@ -37,6 +37,7 @@ pub mod backoff;
 pub mod checkpoint;
 pub mod config;
 pub mod cost;
+pub mod epoch;
 pub mod fault;
 pub mod object;
 pub mod page;
@@ -54,12 +55,13 @@ pub use backoff::Backoff;
 pub use checkpoint::{Checkpoint, Wal, WalStats, CHECKPOINT_VERSION};
 pub use config::{HmConfig, Tier, TierParams};
 pub use cost::{phase_cost_detail, PhaseCostDetail, Regime};
+pub use epoch::{decode_journal, EpochIntent, EpochOutcome, EPOCH_JOURNAL_VERSION};
 pub use fault::{CrashPoint, FaultInjector, FaultKind, FaultPlan, FaultStats, FaultSummary};
 pub use object::{DataObject, ObjectId, ObjectSpec};
 pub use page::{PageId, PageInfo, PageTable, PAGE_SIZE};
 pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult, WatchdogConfig};
 pub use system::HmSystem;
-pub use telemetry::BandwidthTimeline;
+pub use telemetry::{BandwidthTimeline, Warning};
 pub use topk::{cold_pages_top_k, hot_pages_top_k};
 pub use trace::{memory_accesses, ObjectAccess, Phase, TaskWork};
 pub use workload::{TaskId, Workload};

@@ -197,6 +197,11 @@ pub struct RoundReport {
     /// re-planning (charged to the straggler's corrected time, not to
     /// `migration_ns`).
     pub watchdog_pages: u64,
+    /// Migration epochs committed in this round (0 or 1: one epoch wraps
+    /// the round's `before_round` migration batch).
+    pub epoch_commits: u64,
+    /// Migration epochs rolled back in this round (0 or 1).
+    pub epoch_rollbacks: u64,
     /// Migration overhead, ns.
     pub migration_ns: f64,
     /// Round wall time: slowest task + migration overhead, ns.
@@ -248,6 +253,10 @@ pub struct RunReport {
     /// Fault accounting: injected faults survived and how the run coped.
     /// All-zero when no fault plan is armed.
     pub fault: crate::fault::FaultSummary,
+    /// Migration epochs that committed over the run.
+    pub epoch_commits: u64,
+    /// Migration epochs that ended torn and were rolled back over the run.
+    pub epoch_rollbacks: u64,
 }
 
 impl RunReport {
@@ -468,20 +477,30 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
     /// Run every remaining task instance; `Err(HmError::Crashed)` when a
     /// scripted crash fault fires mid-run.
     pub fn try_run(&mut self) -> Result<RunReport, crate::system::HmError> {
-        let rounds = self.workload.num_instances();
-        while self.next_round < rounds {
-            let report = self.run_round(self.next_round)?;
-            if self.sys.crashed() {
-                // The crash latched inside `after_round` migrations: the
-                // process died before this round's report was persisted.
-                return Err(crate::system::HmError::Crashed {
-                    round: self.next_round as u64,
-                });
-            }
-            self.completed.push(report);
-            self.next_round += 1;
-        }
+        while self.step()?.is_some() {}
         Ok(self.report())
+    }
+
+    /// Execute exactly one round and record its report. Returns `Ok(None)`
+    /// when every round has already run — the round-granular stepping API
+    /// behind `try_run` and the chaos-soak oracle (which inspects system
+    /// invariants between rounds). `Err(HmError::Crashed)` when a scripted
+    /// crash fault fires inside the round.
+    pub fn step(&mut self) -> Result<Option<&RoundReport>, crate::system::HmError> {
+        if self.next_round >= self.workload.num_instances() {
+            return Ok(None);
+        }
+        let report = self.run_round(self.next_round)?;
+        if self.sys.crashed() {
+            // The crash latched inside `after_round` migrations: the
+            // process died before this round's report was persisted.
+            return Err(crate::system::HmError::Crashed {
+                round: self.next_round as u64,
+            });
+        }
+        self.completed.push(report);
+        self.next_round += 1;
+        Ok(self.completed.last())
     }
 
     /// Supervised run: append a checkpoint record to `wal` at every round
@@ -495,18 +514,9 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         &mut self,
         wal: &mut crate::checkpoint::Wal,
     ) -> Result<RunReport, crate::system::HmError> {
-        let rounds = self.workload.num_instances();
         let ck = self.checkpoint();
         wal.append(&ck, self.sys.fault_injector())?;
-        while self.next_round < rounds {
-            let report = self.run_round(self.next_round)?;
-            if self.sys.crashed() {
-                return Err(crate::system::HmError::Crashed {
-                    round: self.next_round as u64,
-                });
-            }
-            self.completed.push(report);
-            self.next_round += 1;
+        while self.step()?.is_some() {
             let ck = self.checkpoint();
             wal.append(&ck, self.sys.fault_injector())?;
         }
@@ -514,7 +524,7 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
     }
 
     /// Assemble the [`RunReport`] from the rounds completed so far.
-    fn report(&self) -> RunReport {
+    pub fn report(&self) -> RunReport {
         let stats = self.sys.fault_stats();
         let fault = crate::fault::FaultSummary {
             migration_attempts: self.sys.total_migration_attempts,
@@ -534,6 +544,8 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             avg_dram_gbps: self.timeline.avg_dram_gbps(),
             avg_pm_gbps: self.timeline.avg_pm_gbps(),
             fault,
+            epoch_commits: self.sys.epoch_commits,
+            epoch_rollbacks: self.sys.epoch_rollbacks,
         }
     }
 
@@ -574,14 +586,27 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         let attempts_before = self.sys.total_migration_attempts;
         let failed_before = self.sys.fault_stats().failed_pages;
         self.sys.begin_round(round as u64);
+        // The policy's migration batch runs inside a transactional epoch:
+        // a torn batch (mid-migration crash, failure burst) rolls back to
+        // the pre-epoch page table instead of committing a half-placement.
+        // Pressure evictions (above) and watchdog/after_round moves (below)
+        // are deliberately outside the epoch.
+        self.sys.begin_epoch(round as u64);
         self.policy.before_round(&mut self.sys, round, &works);
+        let epoch_outcome = self.sys.end_epoch();
         if self.sys.crashed() {
             // Scripted mid-migration crash: the batch died partway; the
-            // post-crash state is discarded by recovery.
+            // epoch above already rolled it back, and the post-crash state
+            // is discarded by recovery anyway.
             return Err(crate::system::HmError::Crashed {
                 round: round as u64,
             });
         }
+        let (epoch_commits, epoch_rollbacks) = match epoch_outcome {
+            crate::epoch::EpochOutcome::Committed => (1, 0),
+            crate::epoch::EpochOutcome::RolledBack => (0, 1),
+            crate::epoch::EpochOutcome::Clean => (0, 0),
+        };
         let migration_pages = self.sys.total_migrations - migrations_before;
         let migration_attempts = self.sys.total_migration_attempts - attempts_before;
         let failed_pages = self.sys.fault_stats().failed_pages - failed_before;
@@ -712,6 +737,8 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             degraded: self.policy.degraded(),
             straggler_events,
             watchdog_pages,
+            epoch_commits,
+            epoch_rollbacks,
             migration_ns,
             round_time_ns: round_time,
         };

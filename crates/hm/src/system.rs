@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{HmConfig, Tier};
+use crate::epoch::{EpochOutcome, EpochState};
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::object::{DataObject, ObjectId, ObjectSpec};
 use crate::page::{page_weights, PageId, PageTable, PAGE_SIZE};
@@ -110,8 +111,16 @@ pub struct HmSystem {
     /// Cumulative simulated backoff delay (ns) spent between migration
     /// retry attempts (zero without injected failures).
     pub total_backoff_ns: f64,
+    /// Migration epochs that ended with their moves kept.
+    pub epoch_commits: u64,
+    /// Migration epochs that ended torn and were rolled back.
+    pub epoch_rollbacks: u64,
     seed: u64,
     fault: Option<FaultInjector>,
+    /// In-flight transactional migration epoch, if one is open.
+    epoch: Option<EpochState>,
+    /// WAL-framed intent journal of the most recently ended epoch.
+    last_epoch_journal: String,
 }
 
 impl HmSystem {
@@ -126,8 +135,12 @@ impl HmSystem {
             total_migrations: 0,
             total_migration_attempts: 0,
             total_backoff_ns: 0.0,
+            epoch_commits: 0,
+            epoch_rollbacks: 0,
             seed,
             fault: None,
+            epoch: None,
+            last_epoch_journal: String::new(),
         }
     }
 
@@ -215,6 +228,59 @@ impl HmSystem {
             fault.note_pressure_evictions(evicted);
         }
         evicted
+    }
+
+    /// Open a transactional migration epoch for `round`. Until
+    /// [`end_epoch`](Self::end_epoch), every page move journals its intent
+    /// and (on first touch) the page's pre-epoch `(tier, migrations)` into
+    /// an undo map.
+    pub fn begin_epoch(&mut self, round: u64) {
+        self.epoch = Some(EpochState::new(round));
+    }
+
+    /// Close the open epoch. The epoch is *torn* when the scripted crash
+    /// latched inside it or a `MigrationFailed` burst abandoned more pages
+    /// than it moved; a torn epoch rolls every touched page back to its
+    /// pre-epoch state (bitwise-identical page table, aggregates
+    /// re-flushed) and counts a rollback. A clean epoch that touched pages
+    /// commits; one that touched nothing is [`EpochOutcome::Clean`].
+    /// Physical history (attempt counters, backoff, fault statistics) is
+    /// never rewound — those costs were really paid.
+    pub fn end_epoch(&mut self) -> EpochOutcome {
+        let Some(ep) = self.epoch.take() else {
+            return EpochOutcome::Clean;
+        };
+        let torn = self.crashed() || ep.pages_failed > ep.pages_moved;
+        let outcome = if torn {
+            for (&page, &(tier, migrations)) in ep.undo.iter() {
+                self.page_table.set_tier(page, tier);
+                self.page_table.get_mut(page).migrations = migrations;
+            }
+            self.page_table.flush_aggregates();
+            self.epoch_rollbacks += 1;
+            EpochOutcome::RolledBack
+        } else if ep.undo.is_empty() {
+            EpochOutcome::Clean
+        } else {
+            self.epoch_commits += 1;
+            EpochOutcome::Committed
+        };
+        self.last_epoch_journal = ep.journal(outcome);
+        outcome
+    }
+
+    /// The WAL-framed intent journal of the most recently ended epoch
+    /// (empty before the first epoch ends).
+    pub fn last_epoch_journal(&self) -> &str {
+        &self.last_epoch_journal
+    }
+
+    /// Journal a migration intent into the open epoch, if any.
+    fn journal_intent(&mut self, id: PageId, to: Tier) {
+        if let Some(epoch) = self.epoch.as_mut() {
+            let p = self.page_table.get(id);
+            epoch.note_intent(id, p.tier(), to, p.migrations);
+        }
     }
 
     /// Allocate an object on `tier` (software solutions allocate on PM and
@@ -404,6 +470,7 @@ impl HmSystem {
     /// [`try_migrate_page`](Self::try_migrate_page) without the aggregate
     /// flush — batched callers flush once after the whole batch.
     fn migrate_page_inner(&mut self, id: PageId, to: Tier) -> Result<(), HmError> {
+        self.journal_intent(id, to);
         let max_retries = self.fault.as_ref().map(|f| f.max_retries()).unwrap_or(0);
         let mut backoff = crate::backoff::Backoff::new(max_retries, self.seed ^ id.rotate_left(23));
         loop {
@@ -422,11 +489,17 @@ impl HmSystem {
                 self.page_table.set_tier(id, to);
                 self.page_table.get_mut(id).migrations += 1;
                 self.total_migrations += 1;
+                if let Some(ep) = self.epoch.as_mut() {
+                    ep.pages_moved += 1;
+                }
                 return Ok(());
             }
             if !backoff.retry() {
                 if let Some(f) = self.fault.as_mut() {
                     f.note_failed_page();
+                }
+                if let Some(ep) = self.epoch.as_mut() {
+                    ep.pages_failed += 1;
                 }
                 return Err(HmError::MigrationFailed {
                     page: id,
@@ -456,10 +529,14 @@ impl HmSystem {
             .collect();
         let mut evicted = 0;
         for (id, _) in crate::topk::cold_pages_top_k(dram_pages, n as usize) {
+            self.journal_intent(id, Tier::Pm);
             self.page_table.set_tier(id, Tier::Pm);
             self.page_table.get_mut(id).migrations += 1;
             self.total_migrations += 1;
             self.total_migration_attempts += 1;
+            if let Some(ep) = self.epoch.as_mut() {
+                ep.pages_moved += 1;
+            }
             evicted += 1;
         }
         evicted
@@ -543,8 +620,13 @@ impl HmSystem {
         }
         writeln!(
             out,
-            "syscounters {} {} {:?} {}",
-            self.total_migrations, self.total_migration_attempts, self.total_backoff_ns, self.seed
+            "syscounters {} {} {:?} {} {} {}",
+            self.total_migrations,
+            self.total_migration_attempts,
+            self.total_backoff_ns,
+            self.seed,
+            self.epoch_commits,
+            self.epoch_rollbacks
         )
         .expect("writing to String cannot fail");
         writeln!(out, "objects {}", self.objects.len()).expect("writing to String cannot fail");
@@ -620,9 +702,10 @@ impl HmSystem {
             page_migration_ns,
             migration_parallelism,
         };
-        let t = r.line("syscounters", 4)?;
+        let t = r.line("syscounters", 6)?;
         let (total_migrations, total_migration_attempts, total_backoff_ns, seed) =
             (p_u64(t[0])?, p_u64(t[1])?, p_f64(t[2])?, p_u64(t[3])?);
+        let (epoch_commits, epoch_rollbacks) = (p_u64(t[4])?, p_u64(t[5])?);
         let t = r.line("objects", 1)?;
         let num_objects = p_usize(t[0])?;
         let mut objects = Vec::with_capacity(num_objects);
@@ -679,8 +762,14 @@ impl HmSystem {
             total_migrations,
             total_migration_attempts,
             total_backoff_ns,
+            epoch_commits,
+            epoch_rollbacks,
             seed,
             fault,
+            // Epochs never span a round boundary, so a checkpoint (taken at
+            // boundaries only) always restores with no epoch in flight.
+            epoch: None,
+            last_epoch_journal: String::new(),
         })
     }
 }
@@ -766,6 +855,69 @@ mod tests {
         sys.place_everything(Tier::Pm);
         assert_eq!(sys.dram_fraction(id), 0.0);
         assert_eq!(sys.total_migrations, 8);
+    }
+
+    #[test]
+    fn epoch_commits_when_clean() {
+        use crate::epoch::{decode_journal, EpochOutcome};
+        let mut sys = tiny_system();
+        let id = sys
+            .allocate(&ObjectSpec::new("X", 4 * PAGE_SIZE), Tier::Pm)
+            .unwrap();
+        sys.begin_epoch(0);
+        assert_eq!(sys.end_epoch(), EpochOutcome::Clean);
+        assert_eq!((sys.epoch_commits, sys.epoch_rollbacks), (0, 0));
+        sys.begin_epoch(1);
+        let out = sys.migrate_object_pages(id, Tier::Dram, 2);
+        assert_eq!(out.pages_moved, 2);
+        assert_eq!(sys.end_epoch(), EpochOutcome::Committed);
+        assert_eq!((sys.epoch_commits, sys.epoch_rollbacks), (1, 0));
+        assert!(sys.dram_fraction(id) > 0.0, "committed moves are kept");
+        let (round, outcome, intents) = decode_journal(sys.last_epoch_journal()).unwrap();
+        assert_eq!(round, 1);
+        assert_eq!(outcome, EpochOutcome::Committed);
+        assert_eq!(intents.len(), 2);
+    }
+
+    #[test]
+    fn torn_epoch_rolls_back_bitwise() {
+        use crate::epoch::{decode_journal, EpochOutcome};
+        use crate::fault::FaultPlan;
+        let mut sys = tiny_system();
+        let id = sys
+            .allocate(
+                &ObjectSpec::new("X", 8 * PAGE_SIZE).with_skew(1.2),
+                Tier::Pm,
+            )
+            .unwrap();
+        sys.migrate_object_pages(id, Tier::Dram, 3);
+        let before = format!("{:?}", sys.page_table());
+        sys.begin_epoch(4);
+        // One move succeeds, then a failure burst abandons more pages than
+        // the epoch managed to move: the epoch is torn.
+        let ok = sys.migrate_object_pages(id, Tier::Dram, 1);
+        assert_eq!(ok.pages_moved, 1);
+        sys.set_fault_plan(
+            FaultPlan::none()
+                .with_seed(2)
+                .with_migration_failures(1.0, 1),
+        )
+        .unwrap();
+        let burst = sys.migrate_object_pages(id, Tier::Dram, 2);
+        assert_eq!(burst.pages_moved, 0);
+        assert_eq!(burst.pages_failed, 2);
+        assert_eq!(sys.end_epoch(), EpochOutcome::RolledBack);
+        assert_eq!((sys.epoch_commits, sys.epoch_rollbacks), (0, 1));
+        // The page table is bitwise identical to the pre-epoch snapshot;
+        // the successful move inside the torn epoch was undone too.
+        assert_eq!(format!("{:?}", sys.page_table()), before);
+        assert!(sys.page_table().aggregates_clean());
+        // Physical history stays charged.
+        assert!(sys.total_migration_attempts > 4);
+        let (round, outcome, intents) = decode_journal(sys.last_epoch_journal()).unwrap();
+        assert_eq!(round, 4);
+        assert_eq!(outcome, EpochOutcome::RolledBack);
+        assert_eq!(intents.len(), 3);
     }
 
     #[test]

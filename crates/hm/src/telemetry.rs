@@ -8,6 +8,47 @@ use serde::{Deserialize, Serialize};
 
 use crate::system::HmError;
 
+/// A structured, non-fatal runtime warning surfaced through the telemetry
+/// channel instead of being silently swallowed. Rendered as one
+/// `key=value` line on stderr by [`emit`](Warning::emit) so log scrapers
+/// can parse it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// WAL recovery dropped a torn or garbled tail while restoring the
+    /// last durable checkpoint.
+    WalTornTail {
+        /// `next_round` of the surviving checkpoint (0 when none survived).
+        round: u64,
+        /// Bytes discarded from the tail of the WAL file.
+        dropped_bytes: u64,
+        /// Why the frame scan stopped (truncated payload, bad length, ...).
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Warning::WalTornTail {
+                round,
+                dropped_bytes,
+                reason,
+            } => write!(
+                f,
+                "wal-torn-tail round={round} dropped_bytes={dropped_bytes} reason=\"{reason}\""
+            ),
+        }
+    }
+}
+
+impl Warning {
+    /// Emit the warning on the telemetry channel (stderr), one structured
+    /// line.
+    pub fn emit(&self) {
+        eprintln!("warning: {self}");
+    }
+}
+
 /// A recorded bandwidth sample.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct BandwidthSample {

@@ -33,6 +33,8 @@ fn round(times: &[f64]) -> RoundReport {
         degraded: false,
         straggler_events: 0,
         watchdog_pages: 0,
+        epoch_commits: 0,
+        epoch_rollbacks: 0,
         migration_ns: 0.0,
         round_time_ns: times.iter().cloned().fold(0.0, f64::max),
     }
@@ -59,6 +61,8 @@ fn run_report_aggregates() {
         avg_dram_gbps: 0.0,
         avg_pm_gbps: 0.0,
         fault: Default::default(),
+        epoch_commits: 0,
+        epoch_rollbacks: 0,
     };
     assert_eq!(report.total_time_ns(), 6.0);
     // Both rounds have the same 1:2 spread → acv equals either round's cv.
@@ -77,6 +81,8 @@ fn empty_run_report_is_zero() {
         avg_dram_gbps: 0.0,
         avg_pm_gbps: 0.0,
         fault: Default::default(),
+        epoch_commits: 0,
+        epoch_rollbacks: 0,
     };
     assert_eq!(report.total_time_ns(), 0.0);
     assert_eq!(report.acv(), 0.0);
