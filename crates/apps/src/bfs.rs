@@ -56,7 +56,7 @@ impl BfsApp {
         let graph = symmetrize(&rmat(scale, edges_per_vertex, seed));
         // Deterministic sources with non-trivial degree (so BFS expands).
         let mut sources = Vec::new();
-        let mut v = (seed as usize * 7919) % graph.n;
+        let mut v = (seed as usize).wrapping_mul(7919) % graph.n;
         while sources.len() < rounds {
             if graph.degree(v) > 2 {
                 sources.push(v as u32);

@@ -1,10 +1,10 @@
 //! `repro` — regenerate every table and figure of the Merchandiser paper.
 //!
 //! ```text
-//! repro [--seed N] [--quick] [--jobs N] [--model-cache FILE]
+//! repro [--seed N] [--quick] [--smoke] [--jobs N] [--model-cache FILE]
 //!       [--replay FILE] <experiment>...
 //! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead
-//!              ablation cxl landscape motivation faults recover soak all
+//!              ablation cxl landscape motivation faults recover soak serve all
 //! ```
 //!
 //! Sweeps run their independent (app × policy × seed) cells on a worker
@@ -20,7 +20,13 @@
 //! on any mismatch. `soak` (also not part of `all`) runs seeded randomized
 //! fault schedules through the invariant oracle; on a violation it writes a
 //! minimized reproducer file and exits non-zero, and `--replay <file>` runs
-//! such a reproducer back.
+//! such a reproducer back. `serve` (also not part of `all`) runs the
+//! multi-tenant placement service through seeded capacity and overload
+//! scenarios — chaos co-tenants included — and verifies replay determinism,
+//! per-tenant isolation against solo baselines, quota enforcement, and
+//! priority-ordered shedding; any violation exits non-zero. `--smoke`
+//! shrinks the serve sweep for CI, and `--replay <file> serve` replays a
+//! `merchserve` scenario file.
 //!
 //! Output is TSV on stdout, one block per experiment, in the same
 //! rows/series the paper reports. Seeds are fixed by default so runs are
@@ -37,6 +43,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut quick = false;
+    let mut smoke = false;
     let mut model_cache: Option<std::path::PathBuf> = None;
     let mut replay: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -53,6 +60,10 @@ fn main() {
                 };
             }
             "--quick" => quick = true,
+            "--smoke" => {
+                smoke = true;
+                quick = true;
+            }
             "--jobs" => {
                 match it.next().and_then(|s| s.parse::<usize>().ok()) {
                     Some(n) if n >= 1 => merch_bench::par::set_sweep_jobs(n),
@@ -85,7 +96,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--quick] [--jobs N] [--replay FILE] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|soak|all>..."
+            "usage: repro [--seed N] [--quick] [--smoke] [--jobs N] [--replay FILE] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|soak|serve|all>..."
         );
         std::process::exit(2);
     }
@@ -132,6 +143,7 @@ fn main() {
                 | "faults"
                 | "recover"
                 | "soak"
+                | "serve"
         )
     });
     // Experiments that need the full training artifacts (Table 3 rows,
@@ -551,6 +563,65 @@ fn main() {
                         .unwrap();
                     }
                 }
+                "serve" => {
+                    let art = artifacts.as_ref().unwrap();
+                    if let Some(path) = &replay {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("error: cannot read scenario {}: {e}", path.display());
+                                std::process::exit(2);
+                            }
+                        };
+                        writeln!(out, "\n# Placement service — replaying {}", path.display())
+                            .unwrap();
+                        match merch_bench::serve::serve_replay(&text, &art.model) {
+                            Ok(row) => {
+                                write_serve_scenario(&mut out, &row);
+                                if !row.violations.is_empty() {
+                                    out.flush().unwrap();
+                                    std::process::exit(1);
+                                }
+                                writeln!(out, "# replayed scenario holds every gate").unwrap();
+                            }
+                            Err(msg) => {
+                                writeln!(out, "# SERVE REPLAY ERROR: {msg}").unwrap();
+                                out.flush().unwrap();
+                                std::process::exit(2);
+                            }
+                        }
+                    } else {
+                        writeln!(
+                            out,
+                            "\n# Placement service — seeded multi-tenant scenarios (smoke={smoke})"
+                        )
+                        .unwrap();
+                        let rows = merch_bench::serve::serve(&art.model, seed, smoke);
+                        let mut violated = false;
+                        for row in &rows {
+                            write_serve_scenario(&mut out, row);
+                            if !row.violations.is_empty() {
+                                violated = true;
+                                let path = format!("serve-repro-{seed}-{}.txt", row.scenario.label);
+                                if let Err(e) = std::fs::write(&path, row.scenario.encode()) {
+                                    eprintln!("error: cannot write scenario {path}: {e}");
+                                } else {
+                                    writeln!(
+                                        out,
+                                        "# scenario written to {path}; replay with: repro --replay {path} serve"
+                                    )
+                                    .unwrap();
+                                }
+                            }
+                        }
+                        if violated {
+                            out.flush().unwrap();
+                            std::process::exit(1);
+                        }
+                        writeln!(out, "# all {} serve scenarios hold every gate", rows.len())
+                            .unwrap();
+                    }
+                }
                 "cxl" => {
                     writeln!(
                         out,
@@ -575,6 +646,80 @@ fn main() {
             eprintln!("error: experiment `{w}` aborted: {msg}");
             std::process::exit(1);
         }
+    }
+}
+
+fn serve_status(s: &merch_hm::TenantStatus) -> String {
+    use merch_hm::{ShedReason, TenantStatus};
+    match s {
+        TenantStatus::Queued => "queued".to_string(),
+        TenantStatus::Running => "running".to_string(),
+        TenantStatus::Completed => "completed".to_string(),
+        TenantStatus::Quarantined { round } => format!("quarantined@{round}"),
+        TenantStatus::Shed(ShedReason::QueueFull) => "shed:queue-full".to_string(),
+        TenantStatus::Shed(ShedReason::DeadlineExpired) => "shed:deadline".to_string(),
+        TenantStatus::Shed(ShedReason::CapacityExceeded) => "shed:capacity".to_string(),
+    }
+}
+
+fn write_serve_scenario(out: &mut impl Write, row: &merch_bench::serve::ServeRow) {
+    let scn = &row.scenario;
+    let rep = &row.report;
+    writeln!(
+        out,
+        "# scenario {} — seed {}, pool {} pages, queue bound {}, {} tenants",
+        scn.label,
+        scn.seed,
+        scn.pool_pages,
+        scn.queue_bound,
+        scn.tenants.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "tenant\tapp\tpolicy\tprio\tweight\tquota_pages\tgranted_pages\tsqueezed\tchaos\tstatus\twait_ms\tservice_ms\trounds\tdeadline_missed\tretry_responses"
+    )
+    .unwrap();
+    for (t, r) in scn.tenants.iter().zip(&rep.tenants) {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{}/{}\t{}\t{}",
+            r.name,
+            t.app.name(),
+            t.policy.name(),
+            r.priority,
+            r.weight,
+            r.requested_quota / merch_hm::PAGE_SIZE,
+            r.granted_quota / merch_hm::PAGE_SIZE,
+            if r.squeezed { "yes" } else { "no" },
+            t.chaos_case
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            serve_status(&r.status),
+            r.wait_ns / 1e6,
+            r.service_ns / 1e6,
+            r.rounds_done,
+            r.rounds_total,
+            if r.deadline_missed { "yes" } else { "no" },
+            r.retry_responses
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "# rollup: admitted {}, completed {}, quarantined {}, shed {}, squeezed {}, deadline misses {}, quota violations {}, Jain fairness {:.3}",
+        rep.admitted,
+        rep.completed,
+        rep.quarantined,
+        rep.shed,
+        rep.squeezed,
+        rep.deadline_misses,
+        rep.quota_violations,
+        rep.fairness_jain
+    )
+    .unwrap();
+    for v in &row.violations {
+        writeln!(out, "# SERVE VIOLATION: {v}").unwrap();
     }
 }
 

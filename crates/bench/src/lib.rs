@@ -3,6 +3,8 @@
 
 pub mod experiments;
 pub mod par;
+pub mod replay;
+pub mod serve;
 pub mod soak;
 pub mod stats;
 

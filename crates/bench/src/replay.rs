@@ -1,0 +1,241 @@
+//! Shared framing reader for replayable artifact files (`merchsoak`
+//! reproducers, `merchserve` scenarios).
+//!
+//! Both formats are line-oriented: a magic + version header, then tagged
+//! records (`tag tok tok ...`). Blank lines and `#` comments (the context
+//! the soak shrinker appends) are ignored everywhere. The reader's whole
+//! point is *diagnostics*: every error names the 1-based line it came
+//! from, and typed accessors name the field, so a malformed or
+//! version-mismatched file fails with `line 4, field `seed`: bad integer
+//! `x7`` instead of a generic parse error.
+
+/// One parsed record: its source line number and the tokens after the tag.
+#[derive(Debug, Clone)]
+pub struct Record<'a> {
+    /// 1-based line number in the source file.
+    pub line_no: usize,
+    toks: Vec<&'a str>,
+}
+
+impl<'a> Record<'a> {
+    /// Number of tokens after the tag.
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// Is the record empty (tag only)?
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+
+    /// Raw token `i`; errors name the field when it is absent.
+    pub fn tok(&self, i: usize, field: &str) -> Result<&'a str, String> {
+        self.toks
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("line {}: missing field `{field}` (token {i})", self.line_no))
+    }
+
+    /// Parse token `i` as `u64`.
+    pub fn u64(&self, i: usize, field: &str) -> Result<u64, String> {
+        let s = self.tok(i, field)?;
+        s.parse::<u64>()
+            .map_err(|_| format!("line {}, field `{field}`: bad integer `{s}`", self.line_no))
+    }
+
+    /// Parse token `i` as `u32`.
+    pub fn u32(&self, i: usize, field: &str) -> Result<u32, String> {
+        let s = self.tok(i, field)?;
+        s.parse::<u32>()
+            .map_err(|_| format!("line {}, field `{field}`: bad integer `{s}`", self.line_no))
+    }
+
+    /// Parse token `i` as `u8`.
+    pub fn u8(&self, i: usize, field: &str) -> Result<u8, String> {
+        let s = self.tok(i, field)?;
+        s.parse::<u8>()
+            .map_err(|_| format!("line {}, field `{field}`: bad integer `{s}`", self.line_no))
+    }
+
+    /// Parse token `i` as `f64` (accepts `inf`/`NaN` spellings `{:?}`
+    /// emits, since that is what the encoders write).
+    pub fn f64(&self, i: usize, field: &str) -> Result<f64, String> {
+        let s = self.tok(i, field)?;
+        s.parse::<f64>()
+            .map_err(|_| format!("line {}, field `{field}`: bad float `{s}`", self.line_no))
+    }
+}
+
+/// Line-oriented reader over a framed artifact file.
+#[derive(Debug)]
+pub struct FramedReader<'a> {
+    /// What kind of artifact this is, for error prose ("soak reproducer").
+    kind: &'static str,
+    /// Remaining (line_no, content) pairs, comments and blanks stripped.
+    lines: std::vec::IntoIter<(usize, &'a str)>,
+    /// Line number of the last record handed out (for EOF diagnostics).
+    last_line_no: usize,
+    version: u32,
+}
+
+impl<'a> FramedReader<'a> {
+    /// Open `text`, checking the `magic version` header. `supported` lists
+    /// the versions this build reads. A wrong magic names what was found
+    /// instead — catching e.g. a serve scenario fed to `--replay ... soak`.
+    pub fn new(
+        kind: &'static str,
+        text: &'a str,
+        magic: &str,
+        supported: &[u32],
+    ) -> Result<Self, String> {
+        let lines: Vec<(usize, &'a str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let Some(&(line_no, header)) = lines.first() else {
+            return Err(format!("{kind}: empty file (missing `{magic}` header)"));
+        };
+        let mut toks = header.split_whitespace();
+        let found = toks.next().unwrap_or("");
+        if found != magic {
+            return Err(format!(
+                "{kind} line {line_no}: expected `{magic}` header, found `{found}`"
+            ));
+        }
+        let vtok = toks
+            .next()
+            .ok_or_else(|| format!("{kind} line {line_no}: `{magic}` header missing a version"))?;
+        let version: u32 = vtok.parse().map_err(|_| {
+            format!("{kind} line {line_no}: bad version `{vtok}` in `{magic}` header")
+        })?;
+        if !supported.contains(&version) {
+            let reads = supported
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            return Err(format!(
+                "{kind} line {line_no}: unsupported {magic} version {version} (this build reads {reads})"
+            ));
+        }
+        let mut it = lines.into_iter();
+        it.next(); // consume the header
+        Ok(Self {
+            kind,
+            lines: it,
+            last_line_no: line_no,
+            version,
+        })
+    }
+
+    /// The version the header declared.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The tag of the next record, without consuming it.
+    pub fn peek_tag(&self) -> Option<&'a str> {
+        self.lines
+            .as_slice()
+            .first()
+            .and_then(|(_, l)| l.split_whitespace().next())
+    }
+
+    /// Next record, asserting its tag and a minimum token count (after the
+    /// tag).
+    pub fn record(&mut self, tag: &str, min_tokens: usize) -> Result<Record<'a>, String> {
+        let Some((line_no, line)) = self.lines.next() else {
+            return Err(format!(
+                "{} line {}: missing `{tag}` record (end of file)",
+                self.kind,
+                self.last_line_no + 1
+            ));
+        };
+        self.last_line_no = line_no;
+        let mut toks = line.split_whitespace();
+        let found = toks.next().unwrap_or("");
+        if found != tag {
+            return Err(format!(
+                "{} line {line_no}: expected `{tag}`, found `{found}`",
+                self.kind
+            ));
+        }
+        let toks: Vec<&str> = toks.collect();
+        if toks.len() < min_tokens {
+            return Err(format!(
+                "{} line {line_no}: `{tag}` needs {min_tokens} field(s), has {}",
+                self.kind,
+                toks.len()
+            ));
+        }
+        Ok(Record { line_no, toks })
+    }
+
+    /// Assert the file has no further records.
+    pub fn finish(mut self) -> Result<(), String> {
+        match self.lines.next() {
+            None => Ok(()),
+            Some((line_no, line)) => Err(format!(
+                "{} line {line_no}: trailing content `{line}`",
+                self.kind
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_checks_name_the_line() {
+        let err = FramedReader::new("soak reproducer", "", "merchsoak", &[1]).unwrap_err();
+        assert!(err.contains("empty file"), "{err}");
+        let err =
+            FramedReader::new("soak reproducer", "merchserve 1\n", "merchsoak", &[1]).unwrap_err();
+        assert!(
+            err.contains("line 1") && err.contains("`merchserve`"),
+            "{err}"
+        );
+        let err =
+            FramedReader::new("soak reproducer", "merchsoak 9\n", "merchsoak", &[1]).unwrap_err();
+        assert!(
+            err.contains("unsupported merchsoak version 9") && err.contains("reads 1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn records_report_line_and_field() {
+        let text = "# comment\nmerchsoak 1\n\ncase 7\nseed x7\n";
+        let mut r = FramedReader::new("soak reproducer", text, "merchsoak", &[1]).unwrap();
+        let c = r.record("case", 1).unwrap();
+        assert_eq!(c.line_no, 4);
+        assert_eq!(c.u64(0, "case").unwrap(), 7);
+        let s = r.record("seed", 1).unwrap();
+        let err = s.u64(0, "seed").unwrap_err();
+        assert!(
+            err.contains("line 5") && err.contains("`seed`") && err.contains("`x7`"),
+            "{err}"
+        );
+        let err = r.record("app", 1).unwrap_err();
+        assert!(err.contains("line 6") && err.contains("`app`"), "{err}");
+    }
+
+    #[test]
+    fn wrong_tag_and_arity_diagnosed() {
+        let text = "merchsoak 1\nfaulty 1 2\n";
+        let mut r = FramedReader::new("soak reproducer", text, "merchsoak", &[1]).unwrap();
+        let err = r.record("faults", 7).unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("expected `faults`") && err.contains("`faulty`"),
+            "{err}"
+        );
+        let text = "merchsoak 1\nfaults 1 2\n";
+        let mut r = FramedReader::new("soak reproducer", text, "merchsoak", &[1]).unwrap();
+        let err = r.record("faults", 7).unwrap_err();
+        assert!(err.contains("needs 7 field(s), has 2"), "{err}");
+    }
+}

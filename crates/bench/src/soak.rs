@@ -164,6 +164,17 @@ impl SoakSchedule {
             .with_telemetry_blackout(self.blackout)
     }
 
+    /// The fault plan *with* the scripted crash armed, when the schedule
+    /// carries one. The serve harness runs chaos tenants under this plan so
+    /// a scripted crash actually quarantines the tenant; the soak harness
+    /// instead arms the crash separately for its supervised recovery leg.
+    pub fn armed_plan(&self) -> FaultPlan {
+        match self.crash {
+            Some(c) => self.plan().with_fault(c.fault()),
+            None => self.plan(),
+        }
+    }
+
     /// Serialize as a reproducer file.
     pub fn encode(&self) -> String {
         let mut out = String::new();
@@ -197,62 +208,54 @@ impl SoakSchedule {
 
     /// Parse a reproducer file written by [`encode`](Self::encode). Lines
     /// starting with `#` (the violation context the dumper appends) and
-    /// blank lines are ignored.
+    /// blank lines are ignored. Malformed or version-mismatched files fail
+    /// with a line/field diagnostic from the shared
+    /// [`FramedReader`](crate::replay::FramedReader).
     pub fn decode(text: &str) -> Result<Self, String> {
-        let mut lines = text
-            .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'));
-        let mut field = |tag: &str, n: usize| -> Result<Vec<String>, String> {
-            let line = lines
-                .next()
-                .ok_or_else(|| format!("missing `{tag}` line"))?;
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            if toks.first() != Some(&tag) || toks.len() < n + 1 {
-                return Err(format!("expected `{tag}` with {n} field(s), got `{line}`"));
-            }
-            Ok(toks[1..].iter().map(|s| s.to_string()).collect())
-        };
-        let p_u64 = |s: &str| {
-            s.parse::<u64>()
-                .map_err(|e| format!("bad integer {s}: {e}"))
-        };
-        let p_f64 = |s: &str| s.parse::<f64>().map_err(|e| format!("bad float {s}: {e}"));
-        let header = field("merchsoak", 1)?;
-        if header[0] != "1" {
-            return Err(format!("unsupported soak reproducer version {}", header[0]));
-        }
-        let case = p_u64(&field("case", 1)?[0])?;
-        let seed = p_u64(&field("seed", 1)?[0])?;
-        let app_name = field("app", 1)?[0].clone();
+        use crate::replay::FramedReader;
+        let mut r = FramedReader::new("soak reproducer", text, "merchsoak", &[1])?;
+        let case = r.record("case", 1)?.u64(0, "case")?;
+        let seed = r.record("seed", 1)?.u64(0, "seed")?;
+        let app_rec = r.record("app", 1)?;
+        let app_name = app_rec.tok(0, "app")?;
         let app = *AppKind::all()
             .iter()
             .find(|a| a.name() == app_name)
-            .ok_or_else(|| format!("unknown app {app_name}"))?;
-        let f = field("faults", 7)?;
-        let crash_toks = field("crash", 1)?;
-        let crash = match crash_toks[0].as_str() {
+            .ok_or_else(|| {
+                format!(
+                    "soak reproducer line {}, field `app`: unknown app `{app_name}`",
+                    app_rec.line_no
+                )
+            })?;
+        let f = r.record("faults", 7)?;
+        let c = r.record("crash", 1)?;
+        let crash = match c.tok(0, "crash kind")? {
             "none" => None,
             "boundary" => Some(SoakCrash::Boundary {
-                round: p_u64(crash_toks.get(1).ok_or("boundary needs a round")?)?,
+                round: c.u64(1, "round")?,
             }),
             "midmig" => Some(SoakCrash::MidMigration {
-                round: p_u64(crash_toks.get(1).ok_or("midmig needs a round")?)?,
-                after_attempts: p_u64(crash_toks.get(2).ok_or("midmig needs attempts")?)?,
+                round: c.u64(1, "round")?,
+                after_attempts: c.u64(2, "after_attempts")?,
             }),
-            other => return Err(format!("bad crash spec `{other}`")),
+            other => {
+                return Err(format!(
+                    "soak reproducer line {}, field `crash kind`: bad crash spec `{other}`",
+                    c.line_no
+                ))
+            }
         };
         Ok(Self {
             case,
             seed,
             app,
-            fail_rate: p_f64(&f[0])?,
-            retries: p_u64(&f[1])? as u32,
-            pte_dropout: p_f64(&f[2])?,
-            pmc_dropout: p_f64(&f[3])?,
-            pressure_bytes: p_u64(&f[4])?,
-            pressure_period: p_u64(&f[5])?,
-            blackout: p_f64(&f[6])?,
+            fail_rate: f.f64(0, "fail_rate")?,
+            retries: f.u32(1, "retries")?,
+            pte_dropout: f.f64(2, "pte_dropout")?,
+            pmc_dropout: f.f64(3, "pmc_dropout")?,
+            pressure_bytes: f.u64(4, "pressure_bytes")?,
+            pressure_period: f.u64(5, "pressure_period")?,
+            blackout: f.f64(6, "blackout")?,
             crash,
         })
     }

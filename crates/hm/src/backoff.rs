@@ -35,6 +35,13 @@ pub struct Backoff {
     max_retries: u32,
     attempt: u32,
     seed: u64,
+    /// Hard ceiling on [`delay_ns`](Self::delay_ns), in integer ns. `None`
+    /// (the default) leaves the exponential envelope uncapped, which keeps
+    /// every pre-existing call site (page migration, WAL writes)
+    /// bit-identical. The admission controller caps its retry-after
+    /// schedule so a repeatedly rejected tenant is never told to wait
+    /// unboundedly long.
+    cap_ns: Option<u64>,
 }
 
 /// Base delay of the exponential backoff schedule, ns (one page-fault
@@ -50,7 +57,16 @@ impl Backoff {
             max_retries,
             attempt: 0,
             seed,
+            cap_ns: None,
         }
+    }
+
+    /// Cap [`delay_ns`](Self::delay_ns) at `cap_ns`. The jittered
+    /// exponential schedule is computed first and then clamped, so delays
+    /// below the cap are bit-identical to the uncapped schedule.
+    pub fn with_cap_ns(mut self, cap_ns: u64) -> Self {
+        self.cap_ns = Some(cap_ns);
+        self
     }
 
     /// Index of the current attempt (0 = first try).
@@ -68,14 +84,20 @@ impl Backoff {
 
     /// Simulated delay before the *current* attempt, ns: exponential in the
     /// attempt index with a deterministic jitter factor in `[0.5, 1.5)`
-    /// drawn from (seed, attempt). The first attempt waits nothing.
+    /// drawn from (seed, attempt), clamped to the hard cap when one is set
+    /// via [`with_cap_ns`](Self::with_cap_ns). The first attempt waits
+    /// nothing.
     pub fn delay_ns(&self) -> f64 {
         if self.attempt == 0 {
             return 0.0;
         }
         let h = mix64(self.seed ^ ((self.attempt as u64) << 32));
         let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        BACKOFF_BASE_NS * (1u64 << (self.attempt - 1).min(16)) as f64 * (0.5 + u)
+        let d = BACKOFF_BASE_NS * (1u64 << (self.attempt - 1).min(16)) as f64 * (0.5 + u);
+        match self.cap_ns {
+            Some(cap) => d.min(cap as f64),
+            None => d,
+        }
     }
 }
 
@@ -110,6 +132,32 @@ mod tests {
             let scale = BACKOFF_BASE_NS * (1u64 << (a - 1)) as f64;
             assert!(d >= 0.5 * scale && d < 1.5 * scale, "attempt {a}: {d}");
         }
+    }
+
+    #[test]
+    fn cap_clamps_late_attempts_only() {
+        let cap = 4_000u64;
+        for a in 1..12u32 {
+            let mut free = Backoff::new(16, 9);
+            let mut capped = Backoff::new(16, 9).with_cap_ns(cap);
+            for _ in 0..a {
+                free.retry();
+                capped.retry();
+            }
+            let (df, dc) = (free.delay_ns(), capped.delay_ns());
+            if df <= cap as f64 {
+                // Below the cap the schedules are bit-identical.
+                assert_eq!(df, dc, "attempt {a}");
+            } else {
+                assert_eq!(dc, cap as f64, "attempt {a}");
+            }
+        }
+        // The envelope eventually exceeds the cap, so the clamp is live.
+        let mut b = Backoff::new(16, 9).with_cap_ns(cap);
+        for _ in 0..10 {
+            b.retry();
+        }
+        assert_eq!(b.delay_ns(), cap as f64);
     }
 
     #[test]

@@ -46,7 +46,9 @@ use crate::telemetry::BandwidthTimeline;
 /// Version of the checkpoint payload format this build reads and writes.
 /// Version 2 added the transactional-epoch counters (`syscounters` gained
 /// commit/rollback totals, `round` lines gained per-round counts).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// Version 3 added the `dramquota` line (per-tenant service quotas survive
+/// checkpoint/restore).
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Retries after a failed WAL write attempt before the checkpoint is
 /// skipped for this round (the run continues; only recovery granularity
@@ -610,7 +612,7 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let ck = sample_checkpoint();
-        let text = ck.encode().replacen("merchckpt 2", "merchckpt 99", 1);
+        let text = ck.encode().replacen("merchckpt 3", "merchckpt 99", 1);
         assert!(matches!(
             Checkpoint::decode(&text),
             Err(HmError::CheckpointCorrupt(_))

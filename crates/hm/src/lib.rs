@@ -29,9 +29,13 @@
 //! * [`topk`] — deterministic top-k hot/cold page selection shared by
 //!   migration, eviction, and every policy ranking;
 //! * [`backoff`] — bounded retry with deterministic jitter, shared by page
-//!   migration and checkpoint writes;
+//!   migration, checkpoint writes, and admission retry-after responses;
 //! * [`fault`] — deterministic fault injection (migration failures, sample
-//!   dropout, co-tenant pressure, telemetry blackout, scripted crashes).
+//!   dropout, co-tenant pressure, telemetry blackout, scripted crashes);
+//! * [`service`] — placement-as-a-service: a multi-tenant registry with
+//!   per-tenant DRAM quotas, bounded-queue admission control, deficit
+//!   round-robin scheduling, hard fault isolation, and per-tenant SLO
+//!   reports.
 
 pub mod backoff;
 pub mod checkpoint;
@@ -42,6 +46,7 @@ pub mod fault;
 pub mod object;
 pub mod page;
 pub mod runtime;
+pub mod service;
 pub mod system;
 pub mod telemetry;
 pub mod topk;
@@ -60,6 +65,10 @@ pub use fault::{CrashPoint, FaultInjector, FaultKind, FaultPlan, FaultStats, Fau
 pub use object::{DataObject, ObjectId, ObjectSpec};
 pub use page::{PageId, PageInfo, PageTable, PAGE_SIZE};
 pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult, WatchdogConfig};
+pub use service::{
+    PlacementService, ServiceConfig, ServiceReport, ShedReason, SubmitOutcome, TenantId, TenantJob,
+    TenantReport, TenantSpec, TenantStatus,
+};
 pub use system::HmSystem;
 pub use telemetry::{BandwidthTimeline, Warning};
 pub use topk::{cold_pages_top_k, hot_pages_top_k};

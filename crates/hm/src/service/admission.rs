@@ -1,0 +1,178 @@
+//! Admission control: bounded submission queue, priority-ordered grants
+//! with overload squeezing, deadline shedding, and `Backoff`-driven
+//! retry-after responses.
+//!
+//! The controller never lets the sum of outstanding grants exceed the
+//! pool, so quota isolation is enforced *before* any tenant runs: a
+//! tenant's `HmSystem` gets its grant as a hard
+//! [`dram_quota`](crate::system::HmSystem::set_dram_quota) and the
+//! scheduler never has to claw memory back mid-round.
+
+use crate::backoff::Backoff;
+
+use super::tenant::{ShedReason, Tenant, TenantId, TenantStatus};
+
+/// Outcome of a submission attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitOutcome {
+    /// Registered and queued for admission.
+    Enqueued(TenantId),
+    /// Refused. `retry_after_ns` is the deterministic backoff the service
+    /// suggests before resubmitting (`f64::INFINITY` when retrying can
+    /// never help, e.g. the floor exceeds the pool).
+    Rejected {
+        /// Registry handle of the refused tenant (its record is kept for
+        /// the report).
+        id: TenantId,
+        /// Why it was refused.
+        reason: ShedReason,
+        /// Suggested wait before resubmission, ns.
+        retry_after_ns: f64,
+    },
+}
+
+/// One admission grant produced by [`AdmissionController::admit_pass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Admitted tenant.
+    pub id: TenantId,
+    /// Granted DRAM bytes (≤ requested quota, ≥ squeeze floor).
+    pub granted: u64,
+}
+
+/// Bounded-queue admission controller.
+#[derive(Debug)]
+pub struct AdmissionController {
+    /// Pool size, bytes.
+    pub total_dram_bytes: u64,
+    /// Submission-queue bound.
+    pub max_queue: usize,
+    /// Hard cap on suggested retry-after delays, ns.
+    pub retry_cap_ns: u64,
+    /// Retry budget encoded in retry-after responses.
+    pub max_retries: u32,
+    /// Seed for the deterministic retry-after jitter.
+    pub seed: u64,
+    /// Queued tenants, submission order.
+    queue: Vec<TenantId>,
+}
+
+impl AdmissionController {
+    /// A controller over a pool of `total_dram_bytes`.
+    pub fn new(total_dram_bytes: u64, max_queue: usize, retry_cap_ns: u64, seed: u64) -> Self {
+        Self {
+            total_dram_bytes,
+            max_queue,
+            retry_cap_ns,
+            max_retries: 8,
+            seed,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Queued tenant count.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Deterministic retry-after for a tenant's `attempt`-th rejection:
+    /// the shared [`Backoff`] schedule (seeded by service seed × tenant id)
+    /// clamped to the hard cap.
+    pub fn retry_after_ns(&self, id: TenantId, attempt: u32) -> f64 {
+        let mut b = Backoff::new(self.max_retries, self.seed ^ (id.0 as u64).rotate_left(17))
+            .with_cap_ns(self.retry_cap_ns);
+        for _ in 0..attempt.max(1) {
+            b.retry();
+        }
+        b.delay_ns()
+    }
+
+    /// Offer tenant `id` (already registered in `tenants`) to the queue.
+    /// A full queue sheds strictly by priority: the offer displaces the
+    /// lowest-priority queued tenant only if it outranks it; otherwise the
+    /// offer itself is refused with a retry-after.
+    pub fn offer(&mut self, tenants: &mut [Tenant], id: TenantId) -> SubmitOutcome {
+        let spec = &tenants[id.0 as usize].spec;
+        if spec.min_dram_quota > self.total_dram_bytes {
+            tenants[id.0 as usize].status = TenantStatus::Shed(ShedReason::CapacityExceeded);
+            return SubmitOutcome::Rejected {
+                id,
+                reason: ShedReason::CapacityExceeded,
+                retry_after_ns: f64::INFINITY,
+            };
+        }
+        if self.queue.len() < self.max_queue {
+            self.queue.push(id);
+            tenants[id.0 as usize].status = TenantStatus::Queued;
+            return SubmitOutcome::Enqueued(id);
+        }
+        // Full queue: find the weakest queued tenant (lowest priority,
+        // most recent submission losing ties).
+        let victim = self
+            .queue
+            .iter()
+            .copied()
+            .min_by_key(|q| (tenants[q.0 as usize].spec.priority, std::cmp::Reverse(q.0)))
+            .expect("full queue is non-empty");
+        let offer_priority = tenants[id.0 as usize].spec.priority;
+        if offer_priority > tenants[victim.0 as usize].spec.priority {
+            self.queue.retain(|&q| q != victim);
+            self.shed(tenants, victim, ShedReason::QueueFull);
+            self.queue.push(id);
+            tenants[id.0 as usize].status = TenantStatus::Queued;
+            return SubmitOutcome::Enqueued(id);
+        }
+        let t = &mut tenants[id.0 as usize];
+        t.retry_responses += 1;
+        t.status = TenantStatus::Shed(ShedReason::QueueFull);
+        let retry_after_ns = self.retry_after_ns(id, t.retry_responses);
+        SubmitOutcome::Rejected {
+            id,
+            reason: ShedReason::QueueFull,
+            retry_after_ns,
+        }
+    }
+
+    /// Shed queued tenants whose deadline has passed on the virtual clock.
+    pub fn shed_expired(&mut self, tenants: &mut [Tenant], now_ns: f64) -> Vec<TenantId> {
+        let expired: Vec<TenantId> = self
+            .queue
+            .iter()
+            .copied()
+            .filter(|q| now_ns >= tenants[q.0 as usize].spec.deadline_ns)
+            .collect();
+        for &id in &expired {
+            self.queue.retain(|&q| q != id);
+            self.shed(tenants, id, ShedReason::DeadlineExpired);
+        }
+        expired
+    }
+
+    /// One admission pass: walk the queue strictly by (priority desc,
+    /// submission order asc) and grant from `free_dram`. A tenant that
+    /// fits gets its full quota; under overload it is squeezed down to —
+    /// but never below — its declared floor. Tenants that do not fit stay
+    /// queued (they may fit after a completion releases its grant).
+    pub fn admit_pass(&mut self, tenants: &mut [Tenant], mut free_dram: u64) -> Vec<Admission> {
+        let mut order = self.queue.clone();
+        order.sort_by_key(|q| (std::cmp::Reverse(tenants[q.0 as usize].spec.priority), q.0));
+        let mut granted = Vec::new();
+        for id in order {
+            let spec = &tenants[id.0 as usize].spec;
+            if spec.min_dram_quota > free_dram {
+                continue;
+            }
+            let grant = spec.dram_quota.min(free_dram);
+            free_dram -= grant;
+            self.queue.retain(|&q| q != id);
+            granted.push(Admission { id, granted: grant });
+        }
+        granted
+    }
+
+    fn shed(&self, tenants: &mut [Tenant], id: TenantId, reason: ShedReason) {
+        let t = &mut tenants[id.0 as usize];
+        t.status = TenantStatus::Shed(reason);
+        t.retry_responses += 1;
+    }
+}

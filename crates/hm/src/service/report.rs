@@ -1,0 +1,190 @@
+//! Per-tenant SLO accounting and the service-level rollup.
+//!
+//! Every number here is derived from deterministic inputs (virtual clock,
+//! round reports, grant decisions), so replaying a scenario with the same
+//! seed reproduces every report bit-exactly — `{:?}` equality over
+//! [`TenantReport`]s is the replay oracle the bench harness uses.
+
+use serde::{Deserialize, Serialize};
+
+use super::tenant::{Tenant, TenantStatus};
+use crate::fault::FaultSummary;
+
+/// SLO report for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Registry handle.
+    pub id: u32,
+    /// Tenant name.
+    pub name: String,
+    /// Declared priority class.
+    pub priority: u8,
+    /// Declared DRR weight.
+    pub weight: u32,
+    /// Final lifecycle state.
+    pub status: TenantStatus,
+    /// Requested DRAM quota, bytes.
+    pub requested_quota: u64,
+    /// Granted DRAM bytes (0 when never admitted).
+    pub granted_quota: u64,
+    /// Was the grant squeezed below the request?
+    pub squeezed: bool,
+    /// Virtual submission time, ns.
+    pub submitted_at_ns: f64,
+    /// Virtual admission time, ns (`-1.0` when never admitted).
+    pub admitted_at_ns: f64,
+    /// Virtual completion/quarantine time, ns (`-1.0` when neither).
+    pub finished_at_ns: f64,
+    /// Queue wait: admission − submission, ns (0 when never admitted).
+    pub wait_ns: f64,
+    /// Declared deadline, ns (infinite when none).
+    pub deadline_ns: f64,
+    /// Did the tenant miss its deadline (finished late, or shed/queued past
+    /// it)?
+    pub deadline_missed: bool,
+    /// Rounds completed under the service.
+    pub rounds_done: u64,
+    /// Rounds the workload declares in total.
+    pub rounds_total: u64,
+    /// Total round time served, ns.
+    pub service_ns: f64,
+    /// Rounds the tenant's policy spent in a degraded (ladder fallback)
+    /// mode — per-tenant by construction, since the ladder lives in the
+    /// tenant's own policy instance.
+    pub degraded_rounds: u64,
+    /// Straggler-watchdog firings across the tenant's rounds.
+    pub straggler_events: u64,
+    /// Migration epochs committed / rolled back inside this tenant.
+    pub epoch_commits: u64,
+    /// See [`epoch_commits`](Self::epoch_commits).
+    pub epoch_rollbacks: u64,
+    /// Fault accounting from the tenant's own injector (all-zero without a
+    /// chaos plan).
+    pub fault: FaultSummary,
+    /// Rounds where DRAM residency exceeded the grant (isolation invariant:
+    /// must be 0).
+    pub quota_violations: u64,
+    /// Retry-after responses issued to this tenant at submission time.
+    pub retry_responses: u32,
+}
+
+impl TenantReport {
+    /// Build the report for one registry record against the current
+    /// virtual clock.
+    pub fn from_tenant(t: &Tenant, now_ns: f64) -> Self {
+        let run = t.job.run_report();
+        let admitted = t.admitted_at_ns.unwrap_or(-1.0);
+        let finished = t.finished_at_ns.unwrap_or(-1.0);
+        let deadline_missed = match t.status {
+            TenantStatus::Completed => finished > t.spec.deadline_ns,
+            TenantStatus::Shed(_) | TenantStatus::Quarantined { .. } => {
+                t.spec.deadline_ns.is_finite()
+            }
+            TenantStatus::Queued | TenantStatus::Running => now_ns > t.spec.deadline_ns,
+        };
+        Self {
+            id: t.id.0,
+            name: t.spec.name.clone(),
+            priority: t.spec.priority,
+            weight: t.spec.weight,
+            status: t.status,
+            requested_quota: t.spec.dram_quota,
+            granted_quota: t.granted_quota.unwrap_or(0),
+            squeezed: t.granted_quota.is_some_and(|g| g < t.spec.dram_quota),
+            submitted_at_ns: t.submitted_at_ns,
+            admitted_at_ns: admitted,
+            finished_at_ns: finished,
+            wait_ns: t
+                .admitted_at_ns
+                .map_or(0.0, |a| (a - t.submitted_at_ns).max(0.0)),
+            deadline_ns: t.spec.deadline_ns,
+            deadline_missed,
+            rounds_done: t.rounds_done,
+            rounds_total: t.job.rounds_total() as u64,
+            service_ns: t.service_ns,
+            degraded_rounds: run.fault.degraded_rounds,
+            straggler_events: run.rounds.iter().map(|r| r.straggler_events).sum(),
+            epoch_commits: run.epoch_commits,
+            epoch_rollbacks: run.epoch_rollbacks,
+            fault: run.fault,
+            quota_violations: t.quota_violations,
+            retry_responses: t.retry_responses,
+        }
+    }
+}
+
+/// Service-level rollup across every submitted tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Final virtual clock, ns (total round time served across tenants).
+    pub clock_ns: f64,
+    /// Per-tenant reports, in submission order.
+    pub tenants: Vec<TenantReport>,
+    /// Tenants that were admitted at some point.
+    pub admitted: u64,
+    /// Tenants that ran to completion.
+    pub completed: u64,
+    /// Tenants quarantined by a fault.
+    pub quarantined: u64,
+    /// Tenants shed (queue-full, deadline, or capacity).
+    pub shed: u64,
+    /// Admitted tenants whose grant was squeezed below the request.
+    pub squeezed: u64,
+    /// Tenants that missed their deadline.
+    pub deadline_misses: u64,
+    /// Total quota violations (isolation invariant: must be 0).
+    pub quota_violations: u64,
+    /// Jain fairness index of weight-normalised service time across
+    /// tenants that received any service: 1.0 = perfectly proportional.
+    pub fairness_jain: f64,
+}
+
+impl ServiceReport {
+    /// Roll up the registry.
+    pub fn from_tenants(tenants: &[Tenant], now_ns: f64) -> Self {
+        let reports: Vec<TenantReport> = tenants
+            .iter()
+            .map(|t| TenantReport::from_tenant(t, now_ns))
+            .collect();
+        let shares: Vec<f64> = reports
+            .iter()
+            .filter(|r| r.service_ns > 0.0)
+            .map(|r| r.service_ns / r.weight as f64)
+            .collect();
+        Self {
+            clock_ns: now_ns,
+            admitted: reports.iter().filter(|r| r.admitted_at_ns >= 0.0).count() as u64,
+            completed: reports
+                .iter()
+                .filter(|r| r.status == TenantStatus::Completed)
+                .count() as u64,
+            quarantined: reports
+                .iter()
+                .filter(|r| matches!(r.status, TenantStatus::Quarantined { .. }))
+                .count() as u64,
+            shed: reports
+                .iter()
+                .filter(|r| matches!(r.status, TenantStatus::Shed(_)))
+                .count() as u64,
+            squeezed: reports.iter().filter(|r| r.squeezed).count() as u64,
+            deadline_misses: reports.iter().filter(|r| r.deadline_missed).count() as u64,
+            quota_violations: reports.iter().map(|r| r.quota_violations).sum(),
+            fairness_jain: jain_index(&shares),
+            tenants: reports,
+        }
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1.0 when all shares are
+/// equal, `1/n` when one tenant hoards everything. 1.0 for empty input.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sq)
+}

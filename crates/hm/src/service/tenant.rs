@@ -1,0 +1,185 @@
+//! Tenant identity, declared resource contract, and lifecycle state.
+//!
+//! A *tenant* is one submitted job: a workload + policy pair with a
+//! declared DRAM quota, a scheduling weight, a priority class, and an
+//! optional completion deadline. The registry owns every tenant ever
+//! submitted — including rejected and shed ones — so the final
+//! [`ServiceReport`](crate::service::ServiceReport) accounts for the whole
+//! offered load, not just the admitted survivors.
+
+use serde::{Deserialize, Serialize};
+
+use super::TenantJob;
+
+/// Dense tenant handle, assigned in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+/// Declared resource contract of a submitted tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Human-readable tenant name (unique per scenario by convention).
+    pub name: String,
+    /// Deficit-round-robin weight (service share is proportional to this;
+    /// must be ≥ 1).
+    pub weight: u32,
+    /// Priority class: under overload, lower-priority tenants are squeezed
+    /// or shed first. Higher numbers are more important.
+    pub priority: u8,
+    /// Requested DRAM quota, bytes.
+    pub dram_quota: u64,
+    /// Squeeze floor, bytes: the admission controller may grant as little
+    /// as this under overload. Must be ≤ `dram_quota`; equal means the
+    /// tenant is unsqueezable.
+    pub min_dram_quota: u64,
+    /// Completion deadline on the service's virtual clock, ns.
+    /// `f64::INFINITY` means no deadline. A tenant still queued at its
+    /// deadline is shed; a running tenant that finishes late is recorded
+    /// as a deadline miss in its [`TenantReport`](super::TenantReport).
+    pub deadline_ns: f64,
+}
+
+impl TenantSpec {
+    /// A spec with the given name and quota, weight 1, priority 0, an
+    /// unsqueezable floor, and no deadline.
+    pub fn new(name: impl Into<String>, dram_quota: u64) -> Self {
+        Self {
+            name: name.into(),
+            weight: 1,
+            priority: 0,
+            dram_quota,
+            min_dram_quota: dram_quota,
+            deadline_ns: f64::INFINITY,
+        }
+    }
+
+    /// Set the DRR weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the priority class.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the squeeze floor.
+    pub fn with_min_quota(mut self, min_dram_quota: u64) -> Self {
+        self.min_dram_quota = min_dram_quota;
+        self
+    }
+
+    /// Set the completion deadline (virtual ns).
+    pub fn with_deadline_ns(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// Contract sanity: weight ≥ 1, floor ≤ quota, deadline not NaN.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.weight == 0 {
+            return Err(format!("tenant {}: weight must be >= 1", self.name));
+        }
+        if self.min_dram_quota > self.dram_quota {
+            return Err(format!(
+                "tenant {}: min_dram_quota {} exceeds dram_quota {}",
+                self.name, self.min_dram_quota, self.dram_quota
+            ));
+        }
+        if self.deadline_ns.is_nan() {
+            return Err(format!("tenant {}: deadline is NaN", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// Why a tenant was refused or evicted from the submission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The bounded submission queue was full and the tenant did not outrank
+    /// any queued tenant (or was displaced by a higher-priority arrival).
+    QueueFull,
+    /// The tenant was still queued when its deadline passed.
+    DeadlineExpired,
+    /// The tenant's squeeze floor exceeds the whole pool — it can never be
+    /// admitted; retrying is pointless.
+    CapacityExceeded,
+}
+
+/// Lifecycle state of a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantStatus {
+    /// Waiting in the submission queue for a grant.
+    Queued,
+    /// Admitted and being scheduled.
+    Running,
+    /// All rounds executed.
+    Completed,
+    /// A fault (scripted crash or unrecoverable error) fired inside this
+    /// tenant's round; its grant was released and no further rounds run.
+    /// Only this tenant is affected — co-tenants keep their own ladder
+    /// rung, sentinel state, and checkpoint blobs.
+    Quarantined {
+        /// Round in which the fault fired.
+        round: u64,
+    },
+    /// Refused admission or evicted from the queue.
+    Shed(ShedReason),
+}
+
+/// One registry record: contract, lifecycle, accounting, and the boxed
+/// executor driving the tenant's rounds.
+pub struct Tenant {
+    /// Handle (index into the registry).
+    pub id: TenantId,
+    /// Declared contract.
+    pub spec: TenantSpec,
+    /// Lifecycle state.
+    pub status: TenantStatus,
+    /// Bytes actually granted at admission (`None` until admitted; kept
+    /// after completion for the report).
+    pub granted_quota: Option<u64>,
+    /// Virtual time of submission, ns.
+    pub submitted_at_ns: f64,
+    /// Virtual time of admission, ns.
+    pub admitted_at_ns: Option<f64>,
+    /// Virtual time of completion (or quarantine), ns.
+    pub finished_at_ns: Option<f64>,
+    /// DRR deficit counter, ns of service credit.
+    pub deficit_ns: f64,
+    /// Total round time served to this tenant, ns.
+    pub service_ns: f64,
+    /// Rounds completed under the service.
+    pub rounds_done: u64,
+    /// Rounds where DRAM residency exceeded the grant (must stay 0; a
+    /// non-zero count is an isolation-invariant violation).
+    pub quota_violations: u64,
+    /// Retry-after responses issued to this tenant at submission time.
+    pub retry_responses: u32,
+    /// The tenant's executor. Present from submission until the registry
+    /// is dropped (quarantined tenants keep theirs for the post-mortem
+    /// report).
+    pub job: Box<dyn TenantJob>,
+}
+
+impl Tenant {
+    /// Is this tenant eligible for the scheduler?
+    pub fn runnable(&self) -> bool {
+        self.status == TenantStatus::Running
+    }
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("id", &self.id)
+            .field("spec", &self.spec)
+            .field("status", &self.status)
+            .field("granted_quota", &self.granted_quota)
+            .field("service_ns", &self.service_ns)
+            .field("rounds_done", &self.rounds_done)
+            .finish_non_exhaustive()
+    }
+}

@@ -117,6 +117,16 @@ pub struct HmSystem {
     pub epoch_rollbacks: u64,
     seed: u64,
     fault: Option<FaultInjector>,
+    /// Service-imposed cap on DRAM bytes this system may hold resident.
+    /// `None` (the default) leaves the configured tier capacity as the only
+    /// limit. The multi-tenant service sets this at admission time so one
+    /// tenant can never spill into a co-tenant's share of the pool.
+    dram_quota: Option<u64>,
+    /// Co-tenant pressure reservation for the current round, read from the
+    /// fault injector exactly once per round boundary. Quota math, the
+    /// eviction budget, and [`free_bytes`](Self::free_bytes) all consume
+    /// this one cached value, so they can never disagree mid-round.
+    round_pressure: u64,
     /// In-flight transactional migration epoch, if one is open.
     epoch: Option<EpochState>,
     /// WAL-framed intent journal of the most recently ended epoch.
@@ -139,6 +149,8 @@ impl HmSystem {
             epoch_rollbacks: 0,
             seed,
             fault: None,
+            dram_quota: None,
+            round_pressure: 0,
             epoch: None,
             last_epoch_journal: String::new(),
         }
@@ -160,7 +172,33 @@ impl HmSystem {
         } else {
             Some(FaultInjector::new(plan))
         };
+        self.round_pressure = self.fault.as_ref().map_or(0, |f| f.current_pressure());
         Ok(())
+    }
+
+    /// Cap the DRAM bytes this system may hold resident (`None` removes the
+    /// cap). Enforced at allocation and migration time via
+    /// [`free_bytes`](Self::free_bytes) and at round boundaries via
+    /// [`begin_round`](Self::begin_round), which evicts LFU overflow when a
+    /// quota shrinks below current residency (the service "squeeze" path).
+    pub fn set_dram_quota(&mut self, quota: Option<u64>) {
+        self.dram_quota = quota;
+    }
+
+    /// The service-imposed DRAM quota, if one is set.
+    pub fn dram_quota(&self) -> Option<u64> {
+        self.dram_quota
+    }
+
+    /// DRAM capacity actually available this round: the configured tier
+    /// capacity, capped by the service quota, minus the round's co-tenant
+    /// pressure reservation.
+    pub fn effective_dram_capacity(&self) -> u64 {
+        let mut cap = self.config.dram.capacity;
+        if let Some(q) = self.dram_quota {
+            cap = cap.min(q);
+        }
+        cap.saturating_sub(self.round_pressure)
     }
 
     /// The active fault plan, if any.
@@ -204,28 +242,32 @@ impl HmSystem {
         }
     }
 
-    /// Start round `round`: advance the injector's clock and apply
-    /// co-tenant DRAM pressure by evicting LFU pages until the pressure
-    /// reservation fits. Returns pages evicted for pressure (charged as
-    /// migration overhead by the caller via `total_migration_attempts`).
+    /// Start round `round`: advance the injector's clock, hoist the round's
+    /// co-tenant pressure into the cached round context, and evict LFU
+    /// pages until DRAM residency fits the effective budget (quota and
+    /// pressure combined). Returns pages evicted (charged as migration
+    /// overhead by the caller via `total_migration_attempts`).
     pub fn begin_round(&mut self, round: u64) -> u64 {
-        let Some(fault) = self.fault.as_mut() else {
-            return 0;
-        };
-        fault.begin_round(round);
-        let pressure = fault.current_pressure();
-        if pressure == 0 {
+        if let Some(fault) = self.fault.as_mut() {
+            fault.begin_round(round);
+        }
+        // One pressure read per round: quota math, the eviction budget
+        // below, and every `free_bytes` call this round share this value.
+        self.round_pressure = self.fault.as_ref().map_or(0, |f| f.current_pressure());
+        if self.round_pressure == 0 && self.dram_quota.is_none() {
             return 0;
         }
-        let budget = self.config.dram.capacity.saturating_sub(pressure);
+        let budget = self.effective_dram_capacity();
         let used = self.page_table.bytes_in(Tier::Dram);
         let overflow_pages = used.saturating_sub(budget).div_ceil(PAGE_SIZE);
         if overflow_pages == 0 {
             return 0;
         }
         let evicted = self.evict_lfu_dram_pages(overflow_pages, None);
-        if let Some(fault) = self.fault.as_mut() {
-            fault.note_pressure_evictions(evicted);
+        if self.round_pressure > 0 {
+            if let Some(fault) = self.fault.as_mut() {
+                fault.note_pressure_evictions(evicted);
+            }
         }
         evicted
     }
@@ -361,15 +403,16 @@ impl HmSystem {
         &mut self.page_table
     }
 
-    /// Free bytes on `tier`. DRAM capacity shrinks by any co-tenant
-    /// pressure the fault plan applies during the current round.
+    /// Free bytes on `tier`. DRAM capacity shrinks by the service quota
+    /// (when set) and by the round's cached co-tenant pressure reservation
+    /// — the same [`effective_dram_capacity`](Self::effective_dram_capacity)
+    /// the round-boundary eviction budget uses, so the two never disagree
+    /// mid-round.
     pub fn free_bytes(&self, tier: Tier) -> u64 {
-        let mut cap = self.config.tier(tier).capacity;
-        if tier == Tier::Dram {
-            if let Some(fault) = &self.fault {
-                cap = cap.saturating_sub(fault.current_pressure());
-            }
-        }
+        let cap = match tier {
+            Tier::Dram => self.effective_dram_capacity(),
+            Tier::Pm => self.config.pm.capacity,
+        };
         cap.saturating_sub(self.page_table.bytes_in(tier))
     }
 
@@ -629,6 +672,8 @@ impl HmSystem {
             self.epoch_rollbacks
         )
         .expect("writing to String cannot fail");
+        let quota = self.dram_quota.map(|q| q as i64).unwrap_or(-1);
+        writeln!(out, "dramquota {quota}").expect("writing to String cannot fail");
         writeln!(out, "objects {}", self.objects.len()).expect("writing to String cannot fail");
         for o in &self.objects {
             let owner = o.owner_task.map(|t| t as i64).unwrap_or(-1);
@@ -706,6 +751,9 @@ impl HmSystem {
         let (total_migrations, total_migration_attempts, total_backoff_ns, seed) =
             (p_u64(t[0])?, p_u64(t[1])?, p_f64(t[2])?, p_u64(t[3])?);
         let (epoch_commits, epoch_rollbacks) = (p_u64(t[4])?, p_u64(t[5])?);
+        let t = r.line("dramquota", 1)?;
+        let quota: i64 = t[0].parse().map_err(|_| corrupt("bad dram quota"))?;
+        let dram_quota = (quota >= 0).then_some(quota as u64);
         let t = r.line("objects", 1)?;
         let num_objects = p_usize(t[0])?;
         let mut objects = Vec::with_capacity(num_objects);
@@ -754,6 +802,9 @@ impl HmSystem {
         } else {
             None
         };
+        // Re-hoist the restored round's pressure so post-restore quota math
+        // matches what the pre-crash run saw mid-round.
+        let round_pressure = fault.as_ref().map_or(0, |f| f.current_pressure());
         Ok(Self {
             config,
             page_table,
@@ -766,6 +817,8 @@ impl HmSystem {
             epoch_rollbacks,
             seed,
             fault,
+            dram_quota,
+            round_pressure,
             // Epochs never span a round boundary, so a checkpoint (taken at
             // boundaries only) always restores with no epoch in flight.
             epoch: None,
@@ -781,6 +834,49 @@ mod tests {
     fn tiny_system() -> HmSystem {
         // 16 pages of DRAM, 128 pages of PM.
         HmSystem::new(HmConfig::calibrated(16 * PAGE_SIZE, 128 * PAGE_SIZE), 42)
+    }
+
+    #[test]
+    fn dram_quota_caps_allocation_and_free_bytes() {
+        let mut sys = tiny_system(); // 16 DRAM pages
+        sys.set_dram_quota(Some(4 * PAGE_SIZE));
+        assert_eq!(sys.free_bytes(Tier::Dram), 4 * PAGE_SIZE);
+        assert!(sys
+            .allocate(&ObjectSpec::new("big", 5 * PAGE_SIZE), Tier::Dram)
+            .is_err());
+        sys.allocate(&ObjectSpec::new("a", 4 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        assert_eq!(sys.free_bytes(Tier::Dram), 0);
+        // Lifting the quota restores the configured capacity.
+        sys.set_dram_quota(None);
+        assert_eq!(sys.free_bytes(Tier::Dram), 12 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn shrinking_quota_squeezes_residency_at_round_start() {
+        let mut sys = tiny_system();
+        sys.allocate(&ObjectSpec::new("a", 6 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        sys.set_dram_quota(Some(2 * PAGE_SIZE));
+        let evicted = sys.begin_round(0);
+        assert_eq!(evicted, 4);
+        assert_eq!(sys.page_table().bytes_in(Tier::Dram), 2 * PAGE_SIZE);
+        // Steady state: the next round has nothing left to evict.
+        assert_eq!(sys.begin_round(1), 0);
+    }
+
+    #[test]
+    fn quota_survives_state_roundtrip() {
+        let mut sys = tiny_system();
+        sys.set_dram_quota(Some(8 * PAGE_SIZE));
+        sys.allocate(&ObjectSpec::new("a", 3 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        let mut text = String::new();
+        sys.encode_state(&mut text);
+        let mut r = crate::checkpoint::Reader::new(&text);
+        let back = HmSystem::decode_state(&mut r).unwrap();
+        assert_eq!(back.dram_quota(), Some(8 * PAGE_SIZE));
+        assert_eq!(back.free_bytes(Tier::Dram), 5 * PAGE_SIZE);
     }
 
     #[test]
