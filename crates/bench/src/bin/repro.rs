@@ -4,7 +4,8 @@
 //! repro [--seed N] [--quick] [--smoke] [--jobs N] [--model-cache FILE]
 //!       [--replay FILE] <experiment>...
 //! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead
-//!              ablation cxl landscape motivation faults recover soak serve all
+//!              ablation cxl landscape motivation faults recover soak serve
+//!              device all
 //! ```
 //!
 //! Sweeps run their independent (app × policy × seed) cells on a worker
@@ -26,7 +27,14 @@
 //! per-tenant isolation against solo baselines, quota enforcement, and
 //! priority-ordered shedding; any violation exits non-zero. `--smoke`
 //! shrinks the serve sweep for CI, and `--replay <file> serve` replays a
-//! `merchserve` scenario file.
+//! `merchserve` scenario file. `device` (also not part of `all`) sweeps
+//! seeded device-fault scenarios — ECC-UE page poisoning, tier degradation
+//! windows, permanent DRAM offlining — through both the runtime (with a
+//! crash/checkpoint-recovery leg) and the placement service's capacity-loss
+//! renegotiation, checking zero poisoned-frame residencies, exact capacity
+//! accounting, bitwise replay determinism, and priority-ordered grant
+//! renegotiation; a violation dumps a replayable `merchdevice` scenario and
+//! exits non-zero.
 //!
 //! Output is TSV on stdout, one block per experiment, in the same
 //! rows/series the paper reports. Seeds are fixed by default so runs are
@@ -96,7 +104,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--quick] [--smoke] [--jobs N] [--replay FILE] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|soak|serve|all>..."
+            "usage: repro [--seed N] [--quick] [--smoke] [--jobs N] [--replay FILE] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|soak|serve|device|all>..."
         );
         std::process::exit(2);
     }
@@ -144,6 +152,7 @@ fn main() {
                 | "recover"
                 | "soak"
                 | "serve"
+                | "device"
         )
     });
     // Experiments that need the full training artifacts (Table 3 rows,
@@ -622,6 +631,76 @@ fn main() {
                             .unwrap();
                     }
                 }
+                "device" => {
+                    let art = artifacts.as_ref().unwrap();
+                    if let Some(path) = &replay {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("error: cannot read scenario {}: {e}", path.display());
+                                std::process::exit(2);
+                            }
+                        };
+                        writeln!(out, "\n# Device faults — replaying {}", path.display()).unwrap();
+                        match merch_bench::device::device_replay(&text, &art.model) {
+                            Ok(row) => {
+                                write_device_header(&mut out);
+                                write_device_row(&mut out, &row);
+                                if !row.violations.is_empty() {
+                                    out.flush().unwrap();
+                                    std::process::exit(1);
+                                }
+                                writeln!(out, "# replayed scenario holds every device invariant")
+                                    .unwrap();
+                            }
+                            Err(msg) => {
+                                writeln!(out, "# DEVICE REPLAY ERROR: {msg}").unwrap();
+                                out.flush().unwrap();
+                                std::process::exit(2);
+                            }
+                        }
+                    } else {
+                        writeln!(
+                            out,
+                            "\n# Device fault domain — page poisoning, degradation windows, capacity offlining (smoke={smoke})"
+                        )
+                        .unwrap();
+                        write_device_header(&mut out);
+                        let rows = merch_bench::device::device(&art.model, seed, smoke);
+                        let mut violated = false;
+                        for row in &rows {
+                            write_device_row(&mut out, row);
+                            if !row.violations.is_empty() {
+                                violated = true;
+                                let path = format!("device-repro-{seed}-{}.txt", row.scenario.case);
+                                let mut text = String::new();
+                                for v in &row.violations {
+                                    text.push_str(&format!("# device invariant violation: {v}\n"));
+                                }
+                                text.push_str(&row.scenario.encode());
+                                if let Err(e) = std::fs::write(&path, text) {
+                                    eprintln!("error: cannot write scenario {path}: {e}");
+                                } else {
+                                    writeln!(
+                                        out,
+                                        "# scenario written to {path}; replay with: repro --replay {path} device"
+                                    )
+                                    .unwrap();
+                                }
+                            }
+                        }
+                        if violated {
+                            out.flush().unwrap();
+                            std::process::exit(1);
+                        }
+                        writeln!(
+                            out,
+                            "# all {} device scenarios hold every invariant",
+                            rows.len()
+                        )
+                        .unwrap();
+                    }
+                }
                 "cxl" => {
                     writeln!(
                         out,
@@ -720,6 +799,59 @@ fn write_serve_scenario(out: &mut impl Write, row: &merch_bench::serve::ServeRow
     .unwrap();
     for v in &row.violations {
         writeln!(out, "# SERVE VIOLATION: {v}").unwrap();
+    }
+}
+
+fn write_device_header(out: &mut impl Write) {
+    writeln!(
+        out,
+        "case\tapp\tseed\tpoison_rate\tdegrade\toffline\trounds\tpoisoned\twindow_rounds\tofflined_kib\tcrash\tkept\tsqueezed\tdisplaced\tshed\tquota_violations"
+    )
+    .unwrap();
+}
+
+fn write_device_row(out: &mut impl Write, r: &merch_bench::device::DeviceRow) {
+    let s = &r.scenario;
+    let degrade = if s.degrade_lat_mult == 1.0 && s.degrade_bw_mult == 1.0 {
+        "-".to_string()
+    } else {
+        format!(
+            "{:?}x{:.2}/{:.2}@{}",
+            s.degrade_tier, s.degrade_lat_mult, s.degrade_bw_mult, s.degrade_period
+        )
+    };
+    let offline = if s.offline_pages == 0 {
+        "-".to_string()
+    } else {
+        format!("{}p@{}", s.offline_pages, s.offline_round)
+    };
+    writeln!(
+        out,
+        "{}\t{}\t{}\t{:.2}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        s.case,
+        s.app.name(),
+        s.seed,
+        s.poison_rate,
+        degrade,
+        offline,
+        r.rounds,
+        r.pages_poisoned,
+        r.degraded_window_rounds,
+        r.offlined_bytes / 1024,
+        if r.crash_fired {
+            "recovered"
+        } else {
+            "unfired"
+        },
+        r.renegotiation.kept.len(),
+        r.renegotiation.squeezed.len(),
+        r.renegotiation.displaced.len(),
+        r.renegotiation.shed.len(),
+        r.service.quota_violations
+    )
+    .unwrap();
+    for v in &r.violations {
+        writeln!(out, "# DEVICE VIOLATION: {v}").unwrap();
     }
 }
 

@@ -1,13 +1,74 @@
 //! Shared framing reader for replayable artifact files (`merchsoak`
-//! reproducers, `merchserve` scenarios).
+//! reproducers, `merchserve` scenarios, `merchdevice` scenarios).
 //!
-//! Both formats are line-oriented: a magic + version header, then tagged
+//! All formats are line-oriented: a magic + version header, then tagged
 //! records (`tag tok tok ...`). Blank lines and `#` comments (the context
 //! the soak shrinker appends) are ignored everywhere. The reader's whole
 //! point is *diagnostics*: every error names the 1-based line it came
 //! from, and typed accessors name the field, so a malformed or
 //! version-mismatched file fails with `line 4, field `seed`: bad integer
-//! `x7`` instead of a generic parse error.
+//! `x7`` instead of a generic parse error. A recognized magic with an
+//! unsupported version is rejected with the dedicated
+//! [`ReplayError::UnsupportedVersion`], which carries the observed and
+//! supported versions as data — callers can tell "you need a newer build"
+//! apart from "this file is garbage" without parsing prose.
+
+/// Why a replayable artifact failed to open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The header is missing, has the wrong magic, or is unparseable — the
+    /// file is not (a readable prefix of) the expected format at all.
+    Malformed(String),
+    /// The magic matched but the declared version is one this build does
+    /// not read: the file is genuine, just from a different format epoch.
+    UnsupportedVersion {
+        /// Artifact kind, for prose ("soak reproducer").
+        kind: &'static str,
+        /// The magic that matched ("merchsoak", "merchserve",
+        /// "merchdevice").
+        magic: String,
+        /// 1-based line of the header.
+        line_no: usize,
+        /// The version the file declared.
+        observed: u32,
+        /// Versions this build reads.
+        supported: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Malformed(msg) => f.write_str(msg),
+            ReplayError::UnsupportedVersion {
+                kind,
+                magic,
+                line_no,
+                observed,
+                supported,
+            } => {
+                let reads = supported
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(
+                    f,
+                    "{kind} line {line_no}: unsupported {magic} version {observed} \
+                     (this build reads {reads})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<ReplayError> for String {
+    fn from(e: ReplayError) -> String {
+        e.to_string()
+    }
+}
 
 /// One parsed record: its source line number and the tokens after the tag.
 #[derive(Debug, Clone)]
@@ -87,7 +148,7 @@ impl<'a> FramedReader<'a> {
         text: &'a str,
         magic: &str,
         supported: &[u32],
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ReplayError> {
         let lines: Vec<(usize, &'a str)> = text
             .lines()
             .enumerate()
@@ -95,30 +156,35 @@ impl<'a> FramedReader<'a> {
             .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
             .collect();
         let Some(&(line_no, header)) = lines.first() else {
-            return Err(format!("{kind}: empty file (missing `{magic}` header)"));
+            return Err(ReplayError::Malformed(format!(
+                "{kind}: empty file (missing `{magic}` header)"
+            )));
         };
         let mut toks = header.split_whitespace();
         let found = toks.next().unwrap_or("");
         if found != magic {
-            return Err(format!(
+            return Err(ReplayError::Malformed(format!(
                 "{kind} line {line_no}: expected `{magic}` header, found `{found}`"
-            ));
+            )));
         }
-        let vtok = toks
-            .next()
-            .ok_or_else(|| format!("{kind} line {line_no}: `{magic}` header missing a version"))?;
+        let vtok = toks.next().ok_or_else(|| {
+            ReplayError::Malformed(format!(
+                "{kind} line {line_no}: `{magic}` header missing a version"
+            ))
+        })?;
         let version: u32 = vtok.parse().map_err(|_| {
-            format!("{kind} line {line_no}: bad version `{vtok}` in `{magic}` header")
+            ReplayError::Malformed(format!(
+                "{kind} line {line_no}: bad version `{vtok}` in `{magic}` header"
+            ))
         })?;
         if !supported.contains(&version) {
-            let reads = supported
-                .iter()
-                .map(|v| v.to_string())
-                .collect::<Vec<_>>()
-                .join(", ");
-            return Err(format!(
-                "{kind} line {line_no}: unsupported {magic} version {version} (this build reads {reads})"
-            ));
+            return Err(ReplayError::UnsupportedVersion {
+                kind,
+                magic: magic.to_string(),
+                line_no,
+                observed: version,
+                supported: supported.to_vec(),
+            });
         }
         let mut it = lines.into_iter();
         it.next(); // consume the header
@@ -191,20 +257,56 @@ mod tests {
 
     #[test]
     fn header_checks_name_the_line() {
-        let err = FramedReader::new("soak reproducer", "", "merchsoak", &[1]).unwrap_err();
+        let err = FramedReader::new("soak reproducer", "", "merchsoak", &[1])
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("empty file"), "{err}");
-        let err =
-            FramedReader::new("soak reproducer", "merchserve 1\n", "merchsoak", &[1]).unwrap_err();
+        let err = FramedReader::new("soak reproducer", "merchserve 1\n", "merchsoak", &[1])
+            .unwrap_err()
+            .to_string();
         assert!(
             err.contains("line 1") && err.contains("`merchserve`"),
             "{err}"
         );
-        let err =
-            FramedReader::new("soak reproducer", "merchsoak 9\n", "merchsoak", &[1]).unwrap_err();
+        let err = FramedReader::new("soak reproducer", "merchsoak 9\n", "merchsoak", &[1])
+            .unwrap_err()
+            .to_string();
         assert!(
             err.contains("unsupported merchsoak version 9") && err.contains("reads 1"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn unsupported_version_is_typed_with_observed_and_supported() {
+        for (kind, magic) in [
+            ("soak reproducer", "merchsoak"),
+            ("serve scenario", "merchserve"),
+            ("device scenario", "merchdevice"),
+        ] {
+            let text = format!("{magic} 9\n");
+            let err = FramedReader::new(kind, &text, magic, &[1, 2]).unwrap_err();
+            assert_eq!(
+                err,
+                ReplayError::UnsupportedVersion {
+                    kind,
+                    magic: magic.to_string(),
+                    line_no: 1,
+                    observed: 9,
+                    supported: vec![1, 2],
+                }
+            );
+            let prose = String::from(err);
+            assert!(
+                prose.contains(&format!("unsupported {magic} version 9"))
+                    && prose.contains("reads 1, 2"),
+                "{prose}"
+            );
+            // A wrong magic is Malformed, not UnsupportedVersion: the file
+            // is not this format at all, so versions are beside the point.
+            let err = FramedReader::new(kind, "merchckpt 4\n", magic, &[1, 2]).unwrap_err();
+            assert!(matches!(err, ReplayError::Malformed(_)), "{err:?}");
+        }
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //!
 //! `repro soak` generates a batch of [`SoakSchedule`]s — each composes the
 //! existing fault dimensions (migration failures, PTE/PMC sample dropout,
-//! co-tenant DRAM pressure, telemetry blackout, optionally a scripted
-//! crash) over one application — and drives every schedule through
+//! co-tenant DRAM pressure, telemetry blackout, device faults — page
+//! poisoning, tier degradation windows, DRAM offlining — optionally a
+//! scripted crash) over one application — and drives every schedule through
 //! `Executor::step`, checking the system invariants between rounds:
 //!
-//! 1. DRAM residency never exceeds the configured capacity;
+//! 1. DRAM residency never exceeds the *physical* capacity (configured
+//!    minus offlined and quarantined frames), and no quarantined page is
+//!    ever resident on DRAM;
 //! 2. the O(1) tier counters equal a from-scratch recount, on both tiers;
 //! 3. the per-object residency aggregates are clean and the O(1)
 //!    fast-path `weighted_fraction_in` equals the page scan bit for bit;
@@ -107,6 +110,20 @@ pub struct SoakSchedule {
     pub pressure_period: u64,
     /// Telemetry bin blackout probability.
     pub blackout: f64,
+    /// Probability a round suffers an ECC-UE page-poisoning strike.
+    pub poison_rate: f64,
+    /// Tier the degradation window slows.
+    pub degrade_tier: Tier,
+    /// Degradation duty period, rounds (0 = constant while enabled).
+    pub degrade_period: u64,
+    /// Latency multiplier inside the window (1.0 disables with `bw` 1.0).
+    pub degrade_lat_mult: f64,
+    /// Bandwidth multiplier inside the window.
+    pub degrade_bw_mult: f64,
+    /// Round the DRAM offlining strikes at.
+    pub offline_round: u64,
+    /// DRAM bytes permanently offlined (0 disables).
+    pub offline_bytes: u64,
     /// Scripted crash, if the case soaks the WAL recovery path too.
     pub crash: Option<SoakCrash>,
 }
@@ -137,17 +154,57 @@ impl SoakSchedule {
         } else {
             None
         };
+        let fail_rate = rate(next(), 0.5);
+        let retries = (next() % 3) as u32;
+        let pte_dropout = rate(next(), 0.5);
+        let pmc_dropout = rate(next(), 0.5);
+        let pressure_bytes = (next() % 9) * 64 * PAGE_SIZE;
+        let pressure_period = next() % 5;
+        let blackout = rate(next(), 0.3);
+        // Device fault dimension (drawn last so the draws above stay
+        // seed-stable across the format bump). Roughly half the cases arm
+        // a degradation window and a third arm an offlining, so device
+        // faults compose with — rather than dominate — the older axes.
+        let poison_rate = rate(next(), 0.3);
+        let degrade_tier = if next() % 2 == 0 {
+            Tier::Pm
+        } else {
+            Tier::Dram
+        };
+        let degrade_period = next() % 5;
+        let degrade_draw = next();
+        let (degrade_lat_mult, degrade_bw_mult) = if degrade_draw % 2 == 0 {
+            (1.0, 1.0)
+        } else {
+            (
+                1.0 + (degrade_draw >> 8) as f64 % 101.0 / 100.0,
+                1.0 - (next() % 51) as f64 / 100.0,
+            )
+        };
+        let offline_round = 1 + next() % 3;
+        let offline_bytes = if next() % 3 == 0 {
+            (1 + next() % 8) * PAGE_SIZE
+        } else {
+            0
+        };
         Self {
             case,
             seed: master_seed ^ mix64(case),
             app,
-            fail_rate: rate(next(), 0.5),
-            retries: (next() % 3) as u32,
-            pte_dropout: rate(next(), 0.5),
-            pmc_dropout: rate(next(), 0.5),
-            pressure_bytes: (next() % 9) * 64 * PAGE_SIZE,
-            pressure_period: next() % 5,
-            blackout: rate(next(), 0.3),
+            fail_rate,
+            retries,
+            pte_dropout,
+            pmc_dropout,
+            pressure_bytes,
+            pressure_period,
+            blackout,
+            poison_rate,
+            degrade_tier,
+            degrade_period,
+            degrade_lat_mult,
+            degrade_bw_mult,
+            offline_round,
+            offline_bytes,
             crash,
         }
     }
@@ -162,6 +219,14 @@ impl SoakSchedule {
             .with_sample_dropout(self.pte_dropout, self.pmc_dropout)
             .with_dram_pressure(self.pressure_bytes, self.pressure_period)
             .with_telemetry_blackout(self.blackout)
+            .with_page_poison(self.poison_rate)
+            .with_degradation(
+                self.degrade_tier,
+                self.degrade_period,
+                self.degrade_lat_mult,
+                self.degrade_bw_mult,
+            )
+            .with_dram_offlining(self.offline_round, self.offline_bytes)
     }
 
     /// The fault plan *with* the scripted crash armed, when the schedule
@@ -178,7 +243,7 @@ impl SoakSchedule {
     /// Serialize as a reproducer file.
     pub fn encode(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "merchsoak 1").expect("writing to String cannot fail");
+        writeln!(out, "merchsoak 2").expect("writing to String cannot fail");
         writeln!(out, "case {}", self.case).expect("writing to String cannot fail");
         writeln!(out, "seed {}", self.seed).expect("writing to String cannot fail");
         writeln!(out, "app {}", self.app.name()).expect("writing to String cannot fail");
@@ -192,6 +257,18 @@ impl SoakSchedule {
             self.pressure_bytes,
             self.pressure_period,
             self.blackout
+        )
+        .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "device {:?} {:?} {} {:?} {:?} {} {}",
+            self.poison_rate,
+            self.degrade_tier,
+            self.degrade_period,
+            self.degrade_lat_mult,
+            self.degrade_bw_mult,
+            self.offline_round,
+            self.offline_bytes
         )
         .expect("writing to String cannot fail");
         match self.crash {
@@ -213,7 +290,7 @@ impl SoakSchedule {
     /// [`FramedReader`](crate::replay::FramedReader).
     pub fn decode(text: &str) -> Result<Self, String> {
         use crate::replay::FramedReader;
-        let mut r = FramedReader::new("soak reproducer", text, "merchsoak", &[1])?;
+        let mut r = FramedReader::new("soak reproducer", text, "merchsoak", &[1, 2])?;
         let case = r.record("case", 1)?.u64(0, "case")?;
         let seed = r.record("seed", 1)?.u64(0, "seed")?;
         let app_rec = r.record("app", 1)?;
@@ -228,6 +305,32 @@ impl SoakSchedule {
                 )
             })?;
         let f = r.record("faults", 7)?;
+        // Version 1 predates the device fault dimension: default it off so
+        // pre-bump reproducer files keep replaying bit-identically.
+        let device = if r.version() >= 2 {
+            let d = r.record("device", 7)?;
+            let tier = match d.tok(1, "degrade_tier")? {
+                "Pm" => Tier::Pm,
+                "Dram" => Tier::Dram,
+                other => {
+                    return Err(format!(
+                        "soak reproducer line {}, field `degrade_tier`: unknown tier `{other}`",
+                        d.line_no
+                    ))
+                }
+            };
+            (
+                d.f64(0, "poison_rate")?,
+                tier,
+                d.u64(2, "degrade_period")?,
+                d.f64(3, "degrade_lat_mult")?,
+                d.f64(4, "degrade_bw_mult")?,
+                d.u64(5, "offline_round")?,
+                d.u64(6, "offline_bytes")?,
+            )
+        } else {
+            (0.0, Tier::Pm, 0, 1.0, 1.0, 0, 0)
+        };
         let c = r.record("crash", 1)?;
         let crash = match c.tok(0, "crash kind")? {
             "none" => None,
@@ -256,6 +359,13 @@ impl SoakSchedule {
             pressure_bytes: f.u64(4, "pressure_bytes")?,
             pressure_period: f.u64(5, "pressure_period")?,
             blackout: f.f64(6, "blackout")?,
+            poison_rate: device.0,
+            degrade_tier: device.1,
+            degrade_period: device.2,
+            degrade_lat_mult: device.3,
+            degrade_bw_mult: device.4,
+            offline_round: device.5,
+            offline_bytes: device.6,
             crash,
         })
     }
@@ -321,16 +431,28 @@ fn check_round(
 ) -> Result<(), SoakViolation> {
     let r = Some(round.round as u64);
     let dram = sys.page_table().bytes_in(Tier::Dram);
-    if dram > sys.config.dram.capacity {
+    let physical = sys.physical_dram_capacity();
+    if dram > physical {
         return Err(violation(
             sched,
             r,
             "dram_capacity",
             format!(
-                "{dram} B resident > {} B capacity",
+                "{dram} B resident > {physical} B physical capacity \
+                 ({} B configured, minus offlined and quarantined frames)",
                 sys.config.dram.capacity
             ),
         ));
+    }
+    for id in sys.page_table().quarantined() {
+        if sys.page_table().get(id).tier() == Tier::Dram {
+            return Err(violation(
+                sched,
+                r,
+                "no_poisoned_residency",
+                format!("quarantined page {id} resident on DRAM"),
+            ));
+        }
     }
     for tier in [Tier::Dram, Tier::Pm] {
         let fast = sys.page_table().bytes_in(tier);
@@ -567,7 +689,7 @@ pub fn shrink_schedule(
 ) -> SoakSchedule {
     let mut best = sched.clone();
     // Phase 1: drop dimensions wholesale (ddmin over the fault axes).
-    let without: [fn(&mut SoakSchedule); 6] = [
+    let without: [fn(&mut SoakSchedule); 9] = [
         |s| s.fail_rate = 0.0,
         |s| s.pte_dropout = 0.0,
         |s| s.pmc_dropout = 0.0,
@@ -576,6 +698,13 @@ pub fn shrink_schedule(
             s.pressure_period = 0;
         },
         |s| s.blackout = 0.0,
+        |s| s.poison_rate = 0.0,
+        |s| {
+            s.degrade_period = 0;
+            s.degrade_lat_mult = 1.0;
+            s.degrade_bw_mult = 1.0;
+        },
+        |s| s.offline_bytes = 0,
         |s| s.crash = None,
     ];
     for drop_dim in without {
@@ -588,11 +717,12 @@ pub fn shrink_schedule(
     // Phase 2: bisect each surviving rate toward zero (≤ 8 halvings keeps
     // the shrink bounded; the last still-failing value wins).
     type RateAxis = (fn(&SoakSchedule) -> f64, fn(&mut SoakSchedule, f64));
-    let rates: [RateAxis; 4] = [
+    let rates: [RateAxis; 5] = [
         (|s| s.fail_rate, |s, v| s.fail_rate = v),
         (|s| s.pte_dropout, |s, v| s.pte_dropout = v),
         (|s| s.pmc_dropout, |s, v| s.pmc_dropout = v),
         (|s| s.blackout, |s, v| s.blackout = v),
+        (|s| s.poison_rate, |s, v| s.poison_rate = v),
     ];
     for (get, set) in rates {
         for _ in 0..8 {
@@ -764,6 +894,35 @@ mod tests {
         let s = SoakSchedule::generate(3, 2);
         let annotated = format!("# violation: xyz\n\n{}", s.encode());
         assert_eq!(SoakSchedule::decode(&annotated).unwrap(), s);
+    }
+
+    #[test]
+    fn v1_reproducers_decode_with_device_faults_off() {
+        let s = SoakSchedule::generate(3, 1);
+        // Rewrite the v2 encoding as the v1 format: old header, no device
+        // record. Decode must default the device dimension to "off".
+        let v1: String = s
+            .encode()
+            .lines()
+            .filter(|l| !l.starts_with("device "))
+            .map(|l| {
+                if l.starts_with("merchsoak ") {
+                    "merchsoak 1".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let decoded = SoakSchedule::decode(&v1).unwrap();
+        assert_eq!(decoded.poison_rate, 0.0);
+        assert_eq!(decoded.degrade_lat_mult, 1.0);
+        assert_eq!(decoded.degrade_bw_mult, 1.0);
+        assert_eq!(decoded.offline_bytes, 0);
+        // The pre-device axes round-trip untouched.
+        assert_eq!(decoded.seed, s.seed);
+        assert_eq!(decoded.fail_rate, s.fail_rate);
+        assert_eq!(decoded.crash, s.crash);
     }
 
     #[test]

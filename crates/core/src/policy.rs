@@ -229,6 +229,23 @@ impl MerchandiserPolicy {
         self.compiled.as_ref().map(Eq2Model::fingerprint)
     }
 
+    /// Per-tier §5.2 endpoint scale factors `(pm_scale, dram_scale)` under
+    /// the current device degradation window. A degraded tier serves its
+    /// accesses slower by roughly the latency multiplier, and slower still
+    /// when the bandwidth cut dominates — `lat_mult.max(1/bw_mult)` takes
+    /// the worse of the two. `None` when no window is open, so the
+    /// fault-free planning path never touches the endpoints (bitwise
+    /// identity).
+    fn degradation_scales(sys: &HmSystem) -> Option<(f64, f64)> {
+        sys.degradation().map(|(tier, lat_mult, bw_mult)| {
+            let s = lat_mult.max(1.0 / bw_mult);
+            match tier {
+                Tier::Pm => (s, 1.0),
+                Tier::Dram => (1.0, s),
+            }
+        })
+    }
+
     /// Pattern of `name` (exact or by stem for per-task instances),
     /// defaulting to random for unknown objects (§4 "Handling unknown
     /// patterns").
@@ -428,9 +445,17 @@ impl MerchandiserPolicy {
     /// path — compiled f(·) plus the cross-round curve cache — which emits
     /// plans bitwise identical to the interpreted reference.
     fn plan(&mut self, sys: &HmSystem) -> (AllocatorPlan, Vec<TaskInput>) {
+        // Open degradation window: Algorithm 1 re-plans under the degraded
+        // curve — the affected tier's homogeneous endpoints are scaled so
+        // every f(·) evaluation sees the hardware as it currently is.
+        let scales = Self::degradation_scales(sys);
         let mut tasks: Vec<TaskInput> = Vec::with_capacity(self.state.len());
         for i in 0..self.state.len() {
-            let (pm_only_ns, dram_only_ns, total) = self.quantify(sys, i);
+            let (mut pm_only_ns, mut dram_only_ns, total) = self.quantify(sys, i);
+            if let Some((pm_s, dram_s)) = scales {
+                pm_only_ns *= pm_s;
+                dram_only_ns *= dram_s;
+            }
             let ts = &self.state[i];
             let bytes: u64 = ts
                 .objects
@@ -457,7 +482,10 @@ impl MerchandiserPolicy {
         let mut cache = std::mem::take(&mut self.curve_cache);
         let input = AllocatorInput {
             tasks,
-            dram_capacity: ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64,
+            // Physical capacity, not nameplate: quarantined frames and
+            // offlined regions are gone, so the plan must not budget them.
+            dram_capacity: ((sys.physical_dram_capacity() as f64) * (1.0 - self.dram_reserve))
+                as u64,
             model: self.compiled.as_ref().expect("ensure_compiled filled it"),
             step: self.step,
         };
@@ -486,7 +514,7 @@ impl MerchandiserPolicy {
         use merch_hm::page::PAGE_SIZE;
         let mut claimed: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         let mut claimed_bytes = 0u64;
-        let capacity = ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64;
+        let capacity = ((sys.physical_dram_capacity() as f64) * (1.0 - self.dram_reserve)) as u64;
 
         // Each task's DC_i quota splits proportionally between its private
         // data and its share of the shared objects. Shared quotas pool —
@@ -625,7 +653,7 @@ impl MerchandiserPolicy {
     /// bottom rung of the degradation ladder when task profiles are missing
     /// or stale.
     fn hot_page_fallback(&self, sys: &mut HmSystem) {
-        let capacity = ((sys.config.dram.capacity as f64) * (1.0 - self.dram_reserve)) as u64;
+        let capacity = ((sys.physical_dram_capacity() as f64) * (1.0 - self.dram_reserve)) as u64;
         let pages: Vec<(u64, f64)> = sys
             .page_table()
             .iter()
@@ -919,6 +947,7 @@ impl PlacementPolicy for MerchandiserPolicy {
         // plan()), not on the placement being scored — compute them once
         // instead of once per scoring pass.
         type TaskQuant = (Vec<(ObjectId, f64)>, f64, f64);
+        let scales = Self::degradation_scales(sys);
         let quants: Vec<TaskQuant> = self
             .state
             .iter()
@@ -932,7 +961,14 @@ impl PlacementPolicy for MerchandiserPolicy {
                     })
                     .collect();
                 let q = ts.quant.as_ref().expect("plan() fills the quant cache");
-                (est, q.pm_only_ns, q.dram_only_ns)
+                let (mut pm_only_ns, mut dram_only_ns) = (q.pm_only_ns, q.dram_only_ns);
+                // Scoring and the logged deadlines see the same degraded
+                // endpoints as Algorithm 1 above.
+                if let Some((pm_s, dram_s)) = scales {
+                    pm_only_ns *= pm_s;
+                    dram_only_ns *= dram_s;
+                }
+                (est, pm_only_ns, dram_only_ns)
             })
             .collect();
 
@@ -1038,7 +1074,14 @@ impl PlacementPolicy for MerchandiserPolicy {
         }
         // Drift sentinel: compare this round's logged predictions (when it
         // went through the full planning path) against the observed times.
-        let quarantine: BTreeSet<usize> =
+        // A degradation-window edge is excluded first: the round's Eq. 2
+        // endpoints were rescaled by an *approximate* hardware factor, so
+        // its error sample says "the hardware shifted", not "the model is
+        // wrong" — streaks freeze and the shift is counted instead.
+        let quarantine: BTreeSet<usize> = if sys.degradation_shifted() {
+            self.sentinel.note_hardware_shift();
+            BTreeSet::new()
+        } else {
             match self.prediction_log.last().filter(|(r, _)| *r == round) {
                 None => {
                     // A fallback rung produced no prediction: freeze the
@@ -1095,7 +1138,8 @@ impl PlacementPolicy for MerchandiserPolicy {
                         BTreeSet::new()
                     }
                 }
-            };
+            }
+        };
         // Online α refinement: read counter-sampled per-object access
         // counts for this round and fold them into each sharer's refiner.
         if !self.refine_alpha {
@@ -1138,7 +1182,7 @@ impl PlacementPolicy for MerchandiserPolicy {
     fn save_state(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        out.push_str("merchpolicy 2\n");
+        out.push_str("merchpolicy 3\n");
         writeln!(out, "degraded {}", u8::from(self.degraded))
             .expect("writing to String cannot fail");
         writeln!(
@@ -1204,7 +1248,7 @@ impl PlacementPolicy for MerchandiserPolicy {
         let mut r = Reader::new(blob);
         let t = r.line("merchpolicy", 1)?;
         let version = p_u32(t[0])?;
-        if version != 2 {
+        if version != 3 {
             return Err(corrupt(&format!(
                 "unsupported merchandiser state version {version}"
             )));
@@ -1333,7 +1377,13 @@ impl PlacementPolicy for MerchandiserPolicy {
         // it the DRAM it already holds plus whatever is free. The base
         // quantification comes from the per-task cache.
         let miss = (observed_ns / deadline_ns.max(1e-9)).max(1.0);
-        let (pm_only_ns, dram_only_ns, total) = self.quantify(sys, task);
+        let (mut pm_only_ns, mut dram_only_ns, total) = self.quantify(sys, task);
+        // The deadline that fired was planned under the degraded curve (if a
+        // window is open) — the emergency re-plan must see the same one.
+        if let Some((pm_s, dram_s)) = Self::degradation_scales(sys) {
+            pm_only_ns *= pm_s;
+            dram_only_ns *= dram_s;
+        }
         self.ensure_compiled();
         let ts = &self.state[task];
         let (mut bytes, mut resident) = (0u64, 0u64);

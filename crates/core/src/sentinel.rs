@@ -123,6 +123,10 @@ pub struct DriftSentinel {
     pub ladder_steps_down: u64,
     /// Times sustained health stepped the ladder back up.
     pub ladder_steps_up: u64,
+    /// Rounds attributed to a *hardware* shift (a device degradation window
+    /// opening or closing) rather than model drift — see
+    /// [`note_hardware_shift`](Self::note_hardware_shift).
+    pub hardware_shifts: u64,
 }
 
 impl Default for DriftSentinel {
@@ -147,6 +151,7 @@ impl DriftSentinel {
             version_bumps: 0,
             ladder_steps_down: 0,
             ladder_steps_up: 0,
+            hardware_shifts: 0,
         }
     }
 
@@ -186,6 +191,17 @@ impl DriftSentinel {
     /// the streaks (deliberately a no-op — the point is that callers state
     /// the case explicitly rather than silently feeding stale samples).
     pub fn skip_round(&mut self) {}
+
+    /// The memory *hardware* shifted this round (a device degradation
+    /// window opened or closed): the predictions the round was planned
+    /// under describe a machine that no longer exists, so the error sample
+    /// says nothing about the model. Streaks freeze exactly as in
+    /// [`skip_round`](Self::skip_round) — the round neither earns nor loses
+    /// trust — and the shift is counted so reports can distinguish "the
+    /// model is wrong" from "the hardware got slower".
+    pub fn note_hardware_shift(&mut self) {
+        self.hardware_shifts += 1;
+    }
 
     /// Fold one planned round's samples into the EWMAs and advance the
     /// state machine.
@@ -273,12 +289,13 @@ impl DriftSentinel {
         .expect("writing to String cannot fail");
         writeln!(
             out,
-            "scnt {} {} {} {} {}",
+            "scnt {} {} {} {} {} {}",
             self.quarantined_samples,
             self.recollections,
             self.version_bumps,
             self.ladder_steps_down,
-            self.ladder_steps_up
+            self.ladder_steps_up,
+            self.hardware_shifts
         )
         .expect("writing to String cannot fail");
         writeln!(out, "sterr {}", self.task_err.len()).expect("writing to String cannot fail");
@@ -304,13 +321,14 @@ impl DriftSentinel {
         let t = r.line("sstate", 4)?;
         let (tripped, awaiting) = (p_bool(t[0])?, p_bool(t[1])?);
         let (drift_streak, clean_streak) = (p_u32(t[2])?, p_u32(t[3])?);
-        let t = r.line("scnt", 5)?;
+        let t = r.line("scnt", 6)?;
         let counters = [
             p_u64(t[0])?,
             p_u64(t[1])?,
             p_u64(t[2])?,
             p_u64(t[3])?,
             p_u64(t[4])?,
+            p_u64(t[5])?,
         ];
         let t = r.line("sterr", 1)?;
         let n = p_usize(t[0])?;
@@ -339,6 +357,7 @@ impl DriftSentinel {
             version_bumps: counters[2],
             ladder_steps_down: counters[3],
             ladder_steps_up: counters[4],
+            hardware_shifts: counters[5],
         })
     }
 }
@@ -421,6 +440,20 @@ mod tests {
         s.skip_round();
         let v = s.observe_round(&[sample(0, 0.9)]);
         // Second *planned* drifting round → step down now, not earlier.
+        assert!(v.step_down);
+        assert_eq!(s.ladder_steps_down, 1);
+    }
+
+    #[test]
+    fn hardware_shifts_freeze_streaks_and_are_counted() {
+        let mut s = DriftSentinel::new(cfg());
+        s.observe_round(&[sample(0, 0.9)]);
+        // A degradation-window edge between the two drifting rounds is a
+        // hardware event, not evidence of model drift: streaks freeze.
+        s.note_hardware_shift();
+        s.note_hardware_shift();
+        assert_eq!(s.hardware_shifts, 2);
+        let v = s.observe_round(&[sample(0, 0.9)]);
         assert!(v.step_down);
         assert_eq!(s.ladder_steps_down, 1);
     }

@@ -48,7 +48,10 @@ use crate::telemetry::BandwidthTimeline;
 /// commit/rollback totals, `round` lines gained per-round counts).
 /// Version 3 added the `dramquota` line (per-tenant service quotas survive
 /// checkpoint/restore).
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// Version 4 added the device fault domain: the `offlined` line and the
+/// `quarantine` page set, plus the widened `faultplan` / `faultstats`
+/// lines (poisoning, degradation windows, capacity offlining).
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// Retries after a failed WAL write attempt before the checkpoint is
 /// skipped for this round (the run continues; only recovery granularity
@@ -536,7 +539,10 @@ mod tests {
             FaultPlan::none()
                 .with_seed(3)
                 .with_migration_failures(0.2, 2)
-                .with_dram_pressure(2 * PAGE_SIZE, 3),
+                .with_dram_pressure(2 * PAGE_SIZE, 3)
+                .with_page_poison(0.1)
+                .with_degradation(crate::config::Tier::Pm, 4, 1.5, 0.75)
+                .with_dram_offlining(5, 2 * PAGE_SIZE),
         )
         .unwrap();
         let a = sys
@@ -548,6 +554,10 @@ mod tests {
         sys.begin_round(2);
         sys.record_accesses(a, 123.456);
         sys.migrate_object_pages(a, crate::config::Tier::Dram, 2);
+        // Device fault state: a poisoned frame and some offlined capacity
+        // must round-trip bit-exact through the v4 payload.
+        sys.poison_page(1);
+        sys.offline_dram(2 * PAGE_SIZE);
         let mut timeline = BandwidthTimeline::new(100.0);
         timeline.record_interval(0.0, 250.0, 1000.0, 500.0);
         timeline.advance(250.0);
@@ -612,7 +622,7 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let ck = sample_checkpoint();
-        let text = ck.encode().replacen("merchckpt 3", "merchckpt 99", 1);
+        let text = ck.encode().replacen("merchckpt 4", "merchckpt 99", 1);
         assert!(matches!(
             Checkpoint::decode(&text),
             Err(HmError::CheckpointCorrupt(_))

@@ -158,6 +158,25 @@ impl HmConfig {
     pub fn scaled(dram_capacity: u64) -> Self {
         Self::calibrated(dram_capacity, dram_capacity * 8)
     }
+
+    /// A copy of this configuration with one tier degraded: latencies
+    /// multiplied by `lat_mult` and bandwidths by `bw_mult`. Models a
+    /// thermal/contention degradation window (ECC scrubbing storms, patrol
+    /// reads, media wear-leveling) during which a device serves requests
+    /// slower without losing capacity. Capacity is intentionally untouched —
+    /// capacity loss is a separate fault dimension (offlining).
+    pub fn degraded(&self, tier: Tier, lat_mult: f64, bw_mult: f64) -> Self {
+        let mut c = self.clone();
+        let t = match tier {
+            Tier::Dram => &mut c.dram,
+            Tier::Pm => &mut c.pm,
+        };
+        t.latency_seq_ns *= lat_mult;
+        t.latency_rand_ns *= lat_mult;
+        t.read_bw_gbps *= bw_mult;
+        t.write_bw_gbps *= bw_mult;
+        c
+    }
 }
 
 impl Default for HmConfig {
@@ -214,6 +233,22 @@ mod tests {
         let optane = HmConfig::calibrated(256 << 20, 2 << 30);
         assert!(cxl.pm.latency_rand_ns < optane.pm.latency_rand_ns);
         assert!(cxl.pm.read_bw_gbps > optane.pm.read_bw_gbps);
+    }
+
+    #[test]
+    fn degraded_scales_one_tier_only() {
+        let base = HmConfig::default();
+        let d = base.degraded(Tier::Pm, 2.0, 0.5);
+        assert!((d.pm.latency_seq_ns - base.pm.latency_seq_ns * 2.0).abs() < 1e-9);
+        assert!((d.pm.latency_rand_ns - base.pm.latency_rand_ns * 2.0).abs() < 1e-9);
+        assert!((d.pm.read_bw_gbps - base.pm.read_bw_gbps * 0.5).abs() < 1e-9);
+        assert!((d.pm.write_bw_gbps - base.pm.write_bw_gbps * 0.5).abs() < 1e-9);
+        assert_eq!(d.pm.capacity, base.pm.capacity);
+        // The other tier is bitwise untouched.
+        assert_eq!(format!("{:?}", d.dram), format!("{:?}", base.dram));
+        // Identity multipliers are bitwise a no-op.
+        let id = base.degraded(Tier::Dram, 1.0, 1.0);
+        assert_eq!(format!("{id:?}"), format!("{base:?}"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::config::Tier;
 use crate::page::PageId;
 use crate::system::HmError;
 
@@ -35,6 +36,7 @@ mod domain {
     pub const PMC: u64 = 0x504D_4320; // "PMC "
     pub const TELEMETRY: u64 = 0x5445_4C45; // "TELE"
     pub const CHECKPOINT: u64 = 0x434B_5054; // "CKPT"
+    pub const DEVICE: u64 = 0x4445_5649; // "DEVI"
 }
 
 /// Where inside a round a [`FaultKind::Crash`] strikes.
@@ -97,6 +99,27 @@ pub struct FaultPlan {
     /// never in [`FaultStats`], so a supervised run's report stays
     /// bit-identical to an unsupervised one).
     pub checkpoint_write_fail_rate: f64,
+    /// Probability per round that an uncorrectable ECC error poisons one
+    /// DRAM-resident frame. The victim page is quarantined (permanently
+    /// pinned off DRAM), a repair cost is charged, and the dead frame
+    /// shrinks physical DRAM capacity by one page.
+    pub page_poison_rate: f64,
+    /// Tier whose device degrades during degradation windows.
+    pub degrade_tier: Tier,
+    /// Degradation duty cycle: the window is open on rounds `r` with
+    /// `r % period < ceil(period / 2)`. `0` means degraded for the whole
+    /// run. Only meaningful when a multiplier is non-trivial.
+    pub degrade_period_rounds: u64,
+    /// Latency multiplier applied to `degrade_tier` inside a window (≥ 1).
+    pub degrade_lat_mult: f64,
+    /// Bandwidth multiplier applied to `degrade_tier` inside a window
+    /// (in `(0, 1]`).
+    pub degrade_bw_mult: f64,
+    /// Round at which DRAM capacity offlining strikes (a DIMM/rank dies).
+    /// Only meaningful when `offline_bytes > 0`.
+    pub offline_round: u64,
+    /// DRAM bytes permanently offlined at `offline_round`.
+    pub offline_bytes: u64,
     /// Scripted terminal fault, if any (see [`FaultKind`]).
     pub crash: Option<FaultKind>,
 }
@@ -120,6 +143,13 @@ impl FaultPlan {
             pressure_period_rounds: 0,
             telemetry_blackout: 0.0,
             checkpoint_write_fail_rate: 0.0,
+            page_poison_rate: 0.0,
+            degrade_tier: Tier::Pm,
+            degrade_period_rounds: 0,
+            degrade_lat_mult: 1.0,
+            degrade_bw_mult: 1.0,
+            offline_round: 0,
+            offline_bytes: 0,
             crash: None,
         }
     }
@@ -132,7 +162,15 @@ impl FaultPlan {
             && self.dram_pressure_bytes == 0
             && self.telemetry_blackout == 0.0
             && self.checkpoint_write_fail_rate == 0.0
+            && self.page_poison_rate == 0.0
+            && !self.degradation_enabled()
+            && self.offline_bytes == 0
             && self.crash.is_none()
+    }
+
+    /// True when a degradation window would change tier parameters at all.
+    pub fn degradation_enabled(&self) -> bool {
+        self.degrade_lat_mult != 1.0 || self.degrade_bw_mult != 1.0
     }
 
     /// Set the fault seed.
@@ -177,6 +215,35 @@ impl FaultPlan {
         self
     }
 
+    /// Poison one DRAM-resident frame per round with probability `rate`.
+    pub fn with_page_poison(mut self, rate: f64) -> Self {
+        self.page_poison_rate = rate;
+        self
+    }
+
+    /// Degrade `tier` by `lat_mult`× latency and `bw_mult`× bandwidth on a
+    /// duty cycle of `period` rounds (`0` = degraded for the whole run).
+    pub fn with_degradation(
+        mut self,
+        tier: Tier,
+        period: u64,
+        lat_mult: f64,
+        bw_mult: f64,
+    ) -> Self {
+        self.degrade_tier = tier;
+        self.degrade_period_rounds = period;
+        self.degrade_lat_mult = lat_mult;
+        self.degrade_bw_mult = bw_mult;
+        self
+    }
+
+    /// Permanently offline `bytes` of DRAM at the start of `round`.
+    pub fn with_dram_offlining(mut self, round: u64, bytes: u64) -> Self {
+        self.offline_round = round;
+        self.offline_bytes = bytes;
+        self
+    }
+
     /// Arm a scripted terminal fault (currently: [`FaultKind::Crash`]).
     pub fn with_fault(mut self, kind: FaultKind) -> Self {
         self.crash = Some(kind);
@@ -195,12 +262,25 @@ impl FaultPlan {
                 "checkpoint_write_fail_rate",
                 self.checkpoint_write_fail_rate,
             ),
+            ("page_poison_rate", self.page_poison_rate),
         ] {
             if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
                 return Err(HmError::InvalidConfig(format!(
                     "fault plan: {name} = {rate} is not a probability"
                 )));
             }
+        }
+        if !(self.degrade_lat_mult >= 1.0 && self.degrade_lat_mult.is_finite()) {
+            return Err(HmError::InvalidConfig(format!(
+                "fault plan: degrade_lat_mult = {} must be a finite multiplier >= 1",
+                self.degrade_lat_mult
+            )));
+        }
+        if !(self.degrade_bw_mult > 0.0 && self.degrade_bw_mult <= 1.0) {
+            return Err(HmError::InvalidConfig(format!(
+                "fault plan: degrade_bw_mult = {} must be in (0, 1]",
+                self.degrade_bw_mult
+            )));
         }
         Ok(())
     }
@@ -221,6 +301,12 @@ pub struct FaultStats {
     pub blacked_out_bins: u64,
     /// DRAM pages evicted to make room for co-tenant pressure.
     pub pressure_evictions: u64,
+    /// DRAM frames poisoned by ECC-UE strikes (and quarantined).
+    pub pages_poisoned: u64,
+    /// Rounds executed inside an open degradation window.
+    pub degraded_window_rounds: u64,
+    /// DRAM bytes permanently offlined so far.
+    pub offlined_bytes: u64,
 }
 
 /// Fault accounting carried by a `RunReport`: the injector's counters plus
@@ -243,6 +329,12 @@ pub struct FaultSummary {
     pub pressure_evictions: u64,
     /// Rounds the policy ran in a degraded mode (fallback placement).
     pub degraded_rounds: u64,
+    /// DRAM frames poisoned and quarantined.
+    pub pages_poisoned: u64,
+    /// Rounds executed inside an open device-degradation window.
+    pub degraded_window_rounds: u64,
+    /// DRAM bytes permanently offlined.
+    pub offlined_bytes: u64,
 }
 
 /// Stateful injector owned by the `HmSystem`. Holds the plan, the current
@@ -459,6 +551,65 @@ impl FaultInjector {
         self.stats.pressure_evictions += pages;
     }
 
+    /// Does an ECC-UE strike poison a DRAM frame in `round`? Pure in
+    /// (plan seed, round); at most one strike per round.
+    pub fn poison_strikes(&self, round: u64) -> bool {
+        self.chance(self.plan.page_poison_rate, domain::DEVICE, round, 0)
+    }
+
+    /// Which of the `resident` DRAM-resident pages (in page-id order) the
+    /// strike hits. Pure in (plan seed, round, resident).
+    pub fn poison_victim_index(&self, round: u64, resident: u64) -> u64 {
+        debug_assert!(resident > 0);
+        mix64(self.plan.seed ^ mix64(domain::DEVICE ^ mix64(round) ^ 0x5649_4354)) % resident
+    }
+
+    /// Record a frame poisoned and quarantined.
+    pub fn note_poisoned_page(&mut self) {
+        self.stats.pages_poisoned += 1;
+    }
+
+    /// The device degradation active in `round`, if any: `(tier,
+    /// latency multiplier, bandwidth multiplier)`. Pure in (plan, round) —
+    /// never stateful, so crash-resume replays windows bit-identically.
+    pub fn current_degradation(&self, round: u64) -> Option<(Tier, f64, f64)> {
+        if !self.plan.degradation_enabled() {
+            return None;
+        }
+        let period = self.plan.degrade_period_rounds;
+        if period == 0 || round % period < period.div_ceil(2) {
+            Some((
+                self.plan.degrade_tier,
+                self.plan.degrade_lat_mult,
+                self.plan.degrade_bw_mult,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Record a round executed inside an open degradation window.
+    pub fn note_window_round(&mut self) {
+        self.stats.degraded_window_rounds += 1;
+    }
+
+    /// DRAM bytes that must be offline once `round` has begun. Monotone in
+    /// `round` (offlining is permanent), so the caller applies the
+    /// difference against what it already offlined — idempotent across
+    /// checkpoint/resume.
+    pub fn offline_due(&self, round: u64) -> u64 {
+        if self.plan.offline_bytes > 0 && round >= self.plan.offline_round {
+            self.plan.offline_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Record DRAM bytes newly offlined.
+    pub fn note_offlined(&mut self, bytes: u64) {
+        self.stats.offlined_bytes += bytes;
+    }
+
     /// Serialize the injector for a checkpoint: the plan, the round clock,
     /// the per-round draw cursors, the crash latch, and the statistics.
     pub fn encode_state(&self, out: &mut String) {
@@ -477,7 +628,7 @@ impl FaultInjector {
         };
         writeln!(
             out,
-            "faultplan {} {:?} {} {:?} {:?} {} {} {:?} {:?} {crash}",
+            "faultplan {} {:?} {} {:?} {:?} {} {} {:?} {:?} {:?} {} {} {:?} {:?} {} {} {crash}",
             p.seed,
             p.migration_fail_rate,
             p.migration_max_retries,
@@ -487,6 +638,16 @@ impl FaultInjector {
             p.pressure_period_rounds,
             p.telemetry_blackout,
             p.checkpoint_write_fail_rate,
+            p.page_poison_rate,
+            match p.degrade_tier {
+                Tier::Dram => "D",
+                Tier::Pm => "P",
+            },
+            p.degrade_period_rounds,
+            p.degrade_lat_mult,
+            p.degrade_bw_mult,
+            p.offline_round,
+            p.offline_bytes,
         )
         .expect("writing to String cannot fail");
         writeln!(
@@ -498,13 +659,16 @@ impl FaultInjector {
         let s = &self.stats;
         writeln!(
             out,
-            "faultstats {} {} {} {} {} {}",
+            "faultstats {} {} {} {} {} {} {} {} {}",
             s.migration_retries,
             s.failed_pages,
             s.dropped_pte_samples,
             s.dropped_pmc_events,
             s.blacked_out_bins,
-            s.pressure_evictions
+            s.pressure_evictions,
+            s.pages_poisoned,
+            s.degraded_window_rounds,
+            s.offlined_bytes
         )
         .expect("writing to String cannot fail");
     }
@@ -512,8 +676,8 @@ impl FaultInjector {
     /// Restore an injector serialized by [`encode_state`](Self::encode_state).
     pub fn decode_state(r: &mut crate::checkpoint::Reader<'_>) -> Result<Self, HmError> {
         use crate::checkpoint::{corrupt, p_bool, p_f64, p_u32, p_u64};
-        let t = r.line("faultplan", 9)?;
-        let crash = match &t[9..] {
+        let t = r.line("faultplan", 16)?;
+        let crash = match &t[16..] {
             ["none"] => None,
             ["boundary", round] => Some(FaultKind::Crash {
                 round: p_u64(round)?,
@@ -527,6 +691,11 @@ impl FaultInjector {
             }),
             _ => return Err(corrupt("bad crash spec in faultplan")),
         };
+        let degrade_tier = match t[10] {
+            "D" => Tier::Dram,
+            "P" => Tier::Pm,
+            other => return Err(corrupt(&format!("bad degrade tier {other:?} in faultplan"))),
+        };
         let plan = FaultPlan {
             seed: p_u64(t[0])?,
             migration_fail_rate: p_f64(t[1])?,
@@ -537,13 +706,20 @@ impl FaultInjector {
             pressure_period_rounds: p_u64(t[6])?,
             telemetry_blackout: p_f64(t[7])?,
             checkpoint_write_fail_rate: p_f64(t[8])?,
+            page_poison_rate: p_f64(t[9])?,
+            degrade_tier,
+            degrade_period_rounds: p_u64(t[11])?,
+            degrade_lat_mult: p_f64(t[12])?,
+            degrade_bw_mult: p_f64(t[13])?,
+            offline_round: p_u64(t[14])?,
+            offline_bytes: p_u64(t[15])?,
             crash,
         };
         plan.validate()?;
         let t = r.line("faultstate", 4)?;
         let (round, pte_draws, migration_calls, crashed) =
             (p_u64(t[0])?, p_u64(t[1])?, p_u64(t[2])?, p_bool(t[3])?);
-        let t = r.line("faultstats", 6)?;
+        let t = r.line("faultstats", 9)?;
         let stats = FaultStats {
             migration_retries: p_u64(t[0])?,
             failed_pages: p_u64(t[1])?,
@@ -551,6 +727,9 @@ impl FaultInjector {
             dropped_pmc_events: p_u64(t[3])?,
             blacked_out_bins: p_u64(t[4])?,
             pressure_evictions: p_u64(t[5])?,
+            pages_poisoned: p_u64(t[6])?,
+            degraded_window_rounds: p_u64(t[7])?,
+            offlined_bytes: p_u64(t[8])?,
         };
         Ok(Self {
             plan,
@@ -579,6 +758,9 @@ mod tests {
         assert!(!inj.drop_pmc_event(0, 5));
         assert!(!inj.blackout_bin(9));
         assert_eq!(inj.current_pressure(), 0);
+        assert!(!inj.poison_strikes(3));
+        assert_eq!(inj.current_degradation(3), None);
+        assert_eq!(inj.offline_due(3), 0);
         assert_eq!(inj.stats(), FaultStats::default());
     }
 
@@ -643,6 +825,57 @@ mod tests {
         assert!(matches!(bad.validate(), Err(HmError::InvalidConfig(_))));
         let nan = FaultPlan::none().with_telemetry_blackout(f64::NAN);
         assert!(nan.validate().is_err());
+        let speedup = FaultPlan::none().with_degradation(Tier::Pm, 0, 0.5, 1.0);
+        assert!(speedup.validate().is_err());
+        let zero_bw = FaultPlan::none().with_degradation(Tier::Pm, 0, 1.0, 0.0);
+        assert!(zero_bw.validate().is_err());
+        let poison = FaultPlan::none().with_page_poison(2.0);
+        assert!(poison.validate().is_err());
+    }
+
+    #[test]
+    fn degradation_window_duty_cycle() {
+        let plan = FaultPlan::none().with_degradation(Tier::Dram, 4, 1.5, 0.75);
+        assert!(!plan.is_none());
+        plan.validate().unwrap();
+        let inj = FaultInjector::new(plan);
+        let open: Vec<bool> = (0..8)
+            .map(|r| inj.current_degradation(r).is_some())
+            .collect();
+        assert_eq!(
+            open,
+            vec![true, true, false, false, true, true, false, false]
+        );
+        assert_eq!(inj.current_degradation(0), Some((Tier::Dram, 1.5, 0.75)));
+        // Constant degradation: period 0 keeps the window open forever.
+        let constant =
+            FaultInjector::new(FaultPlan::none().with_degradation(Tier::Pm, 0, 2.0, 0.5));
+        assert!((0..16).all(|r| constant.current_degradation(r).is_some()));
+    }
+
+    #[test]
+    fn poison_and_offline_draws_are_deterministic() {
+        let plan = FaultPlan::none()
+            .with_seed(7)
+            .with_page_poison(0.5)
+            .with_dram_offlining(3, 1 << 20);
+        plan.validate().unwrap();
+        assert!(!plan.is_none());
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let mut strikes = 0;
+        for r in 0..64 {
+            assert_eq!(a.poison_strikes(r), b.poison_strikes(r));
+            if a.poison_strikes(r) {
+                strikes += 1;
+                assert_eq!(a.poison_victim_index(r, 37), b.poison_victim_index(r, 37));
+                assert!(a.poison_victim_index(r, 37) < 37);
+            }
+        }
+        assert!(strikes > 10, "poison rate 0.5 hit only {strikes}/64 rounds");
+        assert_eq!(a.offline_due(2), 0);
+        assert_eq!(a.offline_due(3), 1 << 20);
+        assert_eq!(a.offline_due(60), 1 << 20);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! [`PageTable::set_weight`] so the aggregates can never silently drift
 //! from the pages.
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 
 use crate::config::Tier;
@@ -125,6 +127,12 @@ pub struct PageTable {
     /// cannot represent (non-dense object ids). All fraction queries then
     /// take the scan path; tier counters stay exact regardless.
     irregular: bool,
+    /// Pages whose DRAM frame was poisoned by an uncorrectable ECC error.
+    /// Quarantined pages are permanently pinned off DRAM; the set is part
+    /// of the derived `Debug` output, so every bitwise page-table
+    /// comparison (epoch rollback, replay determinism) covers it. Ordered
+    /// so serialization is canonical.
+    quarantine: BTreeSet<PageId>,
 }
 
 impl PageTable {
@@ -343,6 +351,36 @@ impl PageTable {
         }
     }
 
+    /// Quarantine page `id`: its DRAM frame is dead and the page may never
+    /// reside on DRAM again. Returns `true` when the page was newly
+    /// quarantined. Does not move the page — the system remaps it via
+    /// [`set_tier`](Self::set_tier) and charges the repair cost.
+    pub fn quarantine_page(&mut self, id: PageId) -> bool {
+        debug_assert!((id as usize) < self.pages.len());
+        self.quarantine.insert(id)
+    }
+
+    /// Is page `id` quarantined (its DRAM frame poisoned)?
+    pub fn is_quarantined(&self, id: PageId) -> bool {
+        self.quarantine.contains(&id)
+    }
+
+    /// Quarantined pages in ascending page-id order.
+    pub fn quarantined(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.quarantine.iter().copied()
+    }
+
+    /// Number of quarantined pages.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantine.len() as u64
+    }
+
+    /// Bytes of DRAM lost to poisoned frames (each dead frame shrinks the
+    /// physical pool by one page).
+    pub fn quarantine_bytes(&self) -> u64 {
+        self.quarantine.len() as u64 * PAGE_SIZE
+    }
+
     /// Bytes of the whole table resident in `tier`. O(1) from the
     /// incremental tier counters.
     pub fn bytes_in(&self, tier: Tier) -> u64 {
@@ -493,6 +531,26 @@ mod tests {
         assert!(pt.get(0).access_count > 0.0);
         pt.record_accesses(0..2, 10.0);
         assert!(pt.get(0).accessed);
+    }
+
+    #[test]
+    fn quarantine_set_is_ordered_and_visible_in_debug() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Dram, vec![0.5, 0.3, 0.2]);
+        assert!(!pt.is_quarantined(1));
+        assert_eq!(pt.quarantine_bytes(), 0);
+        assert!(pt.quarantine_page(2));
+        assert!(pt.quarantine_page(1));
+        assert!(!pt.quarantine_page(1), "double-quarantine must be a no-op");
+        assert!(pt.is_quarantined(1) && pt.is_quarantined(2));
+        assert_eq!(pt.quarantined().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(pt.quarantined_count(), 2);
+        assert_eq!(pt.quarantine_bytes(), 2 * PAGE_SIZE);
+        // The set is part of the bitwise page-table fingerprint.
+        let with = format!("{pt:?}");
+        let mut clean = PageTable::default();
+        clean.extend_for_object(ObjectId(0), Tier::Dram, vec![0.5, 0.3, 0.2]);
+        assert_ne!(with, format!("{clean:?}"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::Tier;
+use crate::config::{HmConfig, Tier};
 use crate::cost::{migration_time_ns, task_cost, PhaseCost, PlacementView};
 use crate::object::ObjectId;
 use crate::system::HmSystem;
@@ -535,6 +535,9 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             blacked_out_bins: stats.blacked_out_bins,
             pressure_evictions: stats.pressure_evictions,
             degraded_rounds: self.completed.iter().filter(|r| r.degraded).count() as u64,
+            pages_poisoned: stats.pages_poisoned,
+            degraded_window_rounds: stats.degraded_window_rounds,
+            offlined_bytes: stats.offlined_bytes,
         };
         RunReport {
             workload: self.workload.name().to_string(),
@@ -610,10 +613,16 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         let migration_pages = self.sys.total_migrations - migrations_before;
         let migration_attempts = self.sys.total_migration_attempts - attempts_before;
         let failed_pages = self.sys.fault_stats().failed_pages - failed_before;
-        let migration_ns = migration_time_ns(&self.sys.config, migration_attempts);
+        // Tasks (and any in-round corrective costing below) execute under the
+        // round's *active* configuration: when a device degradation window is
+        // open, the degraded tier's latency/bandwidth curve applies for the
+        // whole round. With no window open this is a clone of `sys.config`,
+        // so the no-fault path stays bit-identical.
+        let active = self.sys.active_config();
+        let migration_ns = migration_time_ns(&active, migration_attempts);
 
         // Execute all tasks in parallel (real threads, simulated time).
-        let mut results = execute_tasks(&self.sys, &self.policy, &works, concurrency);
+        let mut results = execute_tasks(&self.sys, &active, &self.policy, &works, concurrency);
 
         // Record page-level accesses for the profilers.
         for (work, res) in works.iter().zip(&results) {
@@ -663,14 +672,14 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
                             .on_straggler(&mut self.sys, round, task, observed, deadline);
                     watchdog_pages = self.sys.total_migration_attempts - attempts_before;
                     if acted && watchdog_pages > 0 {
-                        let correction_ns = migration_time_ns(&self.sys.config, watchdog_pages);
+                        let correction_ns = migration_time_ns(&active, watchdog_pages);
                         let new_cost = {
                             let policy_ref = PolicyRef(&self.policy);
                             let view = PolicyView {
                                 sys: &self.sys,
                                 policy: &policy_ref,
                             };
-                            task_cost(&self.sys.config, &works[i], &view, concurrency)
+                            task_cost(&active, &works[i], &view, concurrency)
                         };
                         // The straggler ran `detect_ns` before the watchdog
                         // fired; the remaining fraction re-runs at the
@@ -747,9 +756,12 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
     }
 }
 
-/// Evaluate all task costs in parallel on real worker threads.
+/// Evaluate all task costs in parallel on real worker threads. `config` is
+/// the round's active configuration — `sys.config` possibly degraded by an
+/// open device fault window.
 fn execute_tasks<P: PlacementPolicy + Sync>(
     sys: &HmSystem,
+    config: &HmConfig,
     policy: &P,
     works: &[TaskWork],
     concurrency: usize,
@@ -770,7 +782,7 @@ fn execute_tasks<P: PlacementPolicy + Sync>(
             let view = &view;
             s.spawn(move |_| {
                 for (w, slot) in w_chunk.iter().zip(r_chunk.iter_mut()) {
-                    let cost = task_cost(&sys.config, w, view, concurrency);
+                    let cost = task_cost(config, w, view, concurrency);
                     *slot = Some(TaskResult {
                         task: w.task,
                         time_ns: cost.time_ns,

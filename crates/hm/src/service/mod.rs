@@ -134,6 +134,27 @@ impl ServiceConfig {
     }
 }
 
+/// Outcome of a capacity-loss renegotiation pass
+/// ([`PlacementService::offline_dram`]): what happened to every grant that
+/// was outstanding when the pool shrank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Renegotiation {
+    /// Bytes actually removed from the pool (≤ requested: the pool cannot
+    /// go below zero).
+    pub offlined_bytes: u64,
+    /// Tenants whose full grant still fits — untouched.
+    pub kept: Vec<TenantId>,
+    /// Tenants squeezed to a smaller grant (new grant, ≥ their floor).
+    pub squeezed: Vec<(TenantId, u64)>,
+    /// Tenants whose floor no longer fits the remaining pool: displaced
+    /// back to the admission queue with the suggested capped-Backoff
+    /// retry-after, ns.
+    pub displaced: Vec<(TenantId, f64)>,
+    /// Displaced tenants that could not even be requeued (their floor
+    /// exceeds the shrunk pool, or the queue shed them).
+    pub shed: Vec<TenantId>,
+}
+
 /// The multi-tenant placement service: registry + admission + scheduler +
 /// SLO accounting over one shared pool.
 pub struct PlacementService {
@@ -225,23 +246,104 @@ impl PlacementService {
     /// is a pure function of the submitted specs and each tenant's own
     /// round times.
     pub fn run(&mut self) -> ServiceReport {
-        loop {
-            self.admission
-                .shed_expired(&mut self.tenants, self.clock_ns);
-            self.admit_ready();
-            let Some(id) = self.scheduler.pick(&mut self.tenants) else {
-                if self.admission.queue_len() == 0 {
-                    break;
-                }
-                // Nothing running but tenants remain queued: the next
-                // admission pass over the fully free pool must admit the
-                // highest-priority one (its floor fits the pool — checked
-                // at submission).
-                continue;
-            };
-            self.step_tenant(id);
-        }
+        while self.step() {}
         self.report()
+    }
+
+    /// One service iteration: shed expired queued tenants, run an admission
+    /// pass over the free pool, and execute one round of the scheduler's
+    /// pick. Returns `false` once nothing is queued or running — the
+    /// round-granular stepping API behind [`run`](Self::run), exposed so
+    /// harnesses can inject mid-run events (capacity offlining, probes)
+    /// between rounds.
+    pub fn step(&mut self) -> bool {
+        self.admission
+            .shed_expired(&mut self.tenants, self.clock_ns);
+        self.admit_ready();
+        let Some(id) = self.scheduler.pick(&mut self.tenants) else {
+            // Nothing running. If tenants remain queued, the next admission
+            // pass over the fully free pool must admit the highest-priority
+            // one (its floor fits the pool — checked at submission).
+            return self.admission.queue_len() != 0;
+        };
+        self.step_tenant(id);
+        true
+    }
+
+    /// Sum of grants held by currently running tenants. Never exceeds
+    /// [`ServiceConfig::total_dram_bytes`], including across
+    /// [`offline_dram`](Self::offline_dram) shrinks.
+    pub fn outstanding_grants(&self) -> u64 {
+        self.outstanding_grants
+    }
+
+    /// A permanent mid-run capacity loss: `bytes` of the shared DRAM pool
+    /// go away (a failed DIMM, rack-scale page retirement, the host
+    /// reclaiming memory). The pool shrinks and every *running* grant is
+    /// renegotiated strictly by (priority desc, submission order asc):
+    /// higher-priority tenants keep as much of their grant as still fits,
+    /// lower-priority ones are squeezed down to — never below — their
+    /// declared floor, and tenants whose floor no longer fits are displaced
+    /// back to the admission queue with a capped
+    /// [`Backoff`](crate::backoff::Backoff) retry-after (re-admitted when a
+    /// completion frees capacity; shed outright when their floor exceeds
+    /// the shrunk pool). On return `outstanding grants ≤ shrunk pool` —
+    /// quotas are never silently violated.
+    pub fn offline_dram(&mut self, bytes: u64) -> Renegotiation {
+        let lost = bytes.min(self.config.total_dram_bytes);
+        self.config.total_dram_bytes -= lost;
+        self.admission.total_dram_bytes = self.config.total_dram_bytes;
+        let mut out = Renegotiation {
+            offlined_bytes: lost,
+            ..Renegotiation::default()
+        };
+        let mut running: Vec<TenantId> = self
+            .tenants
+            .iter()
+            .filter(|t| matches!(t.status, TenantStatus::Running))
+            .map(|t| t.id)
+            .collect();
+        running.sort_by_key(|id| {
+            (
+                std::cmp::Reverse(self.tenants[id.0 as usize].spec.priority),
+                id.0,
+            )
+        });
+        let mut remaining = self.config.total_dram_bytes;
+        let mut outstanding = 0u64;
+        for id in running {
+            let t = &mut self.tenants[id.0 as usize];
+            let old = t.granted_quota.unwrap_or(0);
+            if t.spec.min_dram_quota <= remaining {
+                // Grants were ≥ the floor when issued, so the squeeze
+                // below never cuts under it.
+                let grant = old.min(remaining);
+                remaining -= grant;
+                outstanding += grant;
+                if grant == old {
+                    out.kept.push(id);
+                } else {
+                    t.granted_quota = Some(grant);
+                    t.job.set_dram_quota(Some(grant));
+                    out.squeezed.push((id, grant));
+                }
+            } else {
+                // Displaced: the grant is revoked in full. The zero quota
+                // stays in force while the tenant waits; re-admission
+                // installs the new grant.
+                t.granted_quota = None;
+                t.job.set_dram_quota(Some(0));
+                t.retry_responses += 1;
+                let attempt = t.retry_responses;
+                let retry_after_ns = self.admission.retry_after_ns(id, attempt);
+                match self.admission.offer(&mut self.tenants, id) {
+                    SubmitOutcome::Enqueued(_) => out.displaced.push((id, retry_after_ns)),
+                    SubmitOutcome::Rejected { .. } => out.shed.push(id),
+                }
+            }
+        }
+        self.outstanding_grants = outstanding;
+        out
     }
 
     /// Current rollup (callable mid-run from tests).
@@ -479,6 +581,113 @@ mod tests {
         assert_eq!(rep.tenants[1].status, TenantStatus::Completed);
         assert_eq!(rep.tenants[1].rounds_done, 3);
         assert_eq!(rep.quarantined, 1);
+    }
+
+    #[test]
+    fn offline_renegotiates_grants_priority_ordered() {
+        // Pool 40 pages: hi (quota 16, floor 8, prio 9) and lo (quota 16,
+        // floor 8, prio 1) both run with full grants. Offlining 16 pages
+        // shrinks the pool to 24: hi keeps its 16, lo is squeezed to the
+        // remaining 8 — exactly its floor, honored.
+        let mut svc = PlacementService::new(ServiceConfig::new(40 * PAGE_SIZE).with_seed(7));
+        svc.submit(
+            spec("hi", 16)
+                .with_priority(9)
+                .with_min_quota(8 * PAGE_SIZE),
+            job(2, 4, 1),
+        )
+        .unwrap();
+        svc.submit(
+            spec("lo", 16)
+                .with_priority(1)
+                .with_min_quota(8 * PAGE_SIZE),
+            job(2, 4, 2),
+        )
+        .unwrap();
+        assert!(svc.step());
+        assert_eq!(svc.outstanding_grants(), 32 * PAGE_SIZE);
+        let ren = svc.offline_dram(16 * PAGE_SIZE);
+        assert_eq!(ren.offlined_bytes, 16 * PAGE_SIZE);
+        assert_eq!(ren.kept, vec![TenantId(0)]);
+        assert_eq!(ren.squeezed, vec![(TenantId(1), 8 * PAGE_SIZE)]);
+        assert!(ren.displaced.is_empty() && ren.shed.is_empty());
+        assert_eq!(svc.outstanding_grants(), 24 * PAGE_SIZE);
+        assert!(svc.outstanding_grants() <= svc.config().total_dram_bytes);
+        let rep = svc.run();
+        assert_eq!(rep.completed, 2);
+        assert_eq!(rep.quota_violations, 0);
+    }
+
+    #[test]
+    fn offline_displaces_with_capped_retry_after_and_sheds_impossible_floors() {
+        // Pool 32 pages, both tenants hold 16. Offlining 26 pages leaves 6:
+        // hi is squeezed to its floor (4 ≤ 6 → grant 6), lo's floor of 8
+        // exceeds the remainder (0) *and* the shrunk pool — shed outright
+        // with no retry that could ever help.
+        let mut svc = PlacementService::new(ServiceConfig::new(32 * PAGE_SIZE).with_seed(7));
+        svc.submit(
+            spec("hi", 16)
+                .with_priority(9)
+                .with_min_quota(4 * PAGE_SIZE),
+            job(2, 4, 1),
+        )
+        .unwrap();
+        svc.submit(
+            spec("lo", 16)
+                .with_priority(1)
+                .with_min_quota(8 * PAGE_SIZE),
+            job(2, 4, 2),
+        )
+        .unwrap();
+        assert!(svc.step());
+        let ren = svc.offline_dram(26 * PAGE_SIZE);
+        assert_eq!(ren.squeezed, vec![(TenantId(0), 6 * PAGE_SIZE)]);
+        assert_eq!(ren.shed, vec![TenantId(1)]);
+        assert!(svc.outstanding_grants() <= svc.config().total_dram_bytes);
+        let rep = svc.run();
+        assert_eq!(rep.tenants[0].status, TenantStatus::Completed);
+        assert_eq!(
+            rep.tenants[1].status,
+            TenantStatus::Shed(ShedReason::CapacityExceeded)
+        );
+        assert!(rep.tenants[1].retry_responses >= 1);
+        assert_eq!(rep.quota_violations, 0);
+    }
+
+    #[test]
+    fn displaced_tenant_requeues_and_completes_after_capacity_frees() {
+        // Pool 32 pages; lo's floor (12) fits the shrunk pool of 20 but not
+        // what remains after hi keeps 16 — displaced back to the queue with
+        // a finite capped retry-after, then re-admitted once hi completes.
+        let mut svc = PlacementService::new(ServiceConfig::new(32 * PAGE_SIZE).with_seed(7));
+        svc.submit(
+            spec("hi", 16)
+                .with_priority(9)
+                .with_min_quota(8 * PAGE_SIZE),
+            job(2, 2, 1),
+        )
+        .unwrap();
+        svc.submit(
+            spec("lo", 16)
+                .with_priority(1)
+                .with_min_quota(12 * PAGE_SIZE),
+            job(2, 2, 2),
+        )
+        .unwrap();
+        assert!(svc.step());
+        let ren = svc.offline_dram(12 * PAGE_SIZE);
+        assert_eq!(ren.kept, vec![TenantId(0)]);
+        assert_eq!(ren.displaced.len(), 1);
+        let (id, retry_after_ns) = ren.displaced[0];
+        assert_eq!(id, TenantId(1));
+        assert!(retry_after_ns.is_finite() && retry_after_ns > 0.0);
+        assert!(retry_after_ns <= svc.config().retry_cap_ns as f64);
+        assert_eq!(svc.outstanding_grants(), 16 * PAGE_SIZE);
+        let rep = svc.run();
+        assert_eq!(rep.completed, 2);
+        assert_eq!(rep.quota_violations, 0);
+        // The re-admitted grant fits the shrunk pool.
+        assert_eq!(rep.tenants[1].granted_quota, 16 * PAGE_SIZE);
     }
 
     #[test]

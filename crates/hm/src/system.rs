@@ -127,6 +127,18 @@ pub struct HmSystem {
     /// eviction budget, and [`free_bytes`](Self::free_bytes) all consume
     /// this one cached value, so they can never disagree mid-round.
     round_pressure: u64,
+    /// DRAM bytes permanently offlined (a DIMM/rank died). Persistent and
+    /// monotone: unlike pressure, offlined capacity never comes back.
+    offlined_bytes: u64,
+    /// Device degradation active this round (`(tier, latency multiplier,
+    /// bandwidth multiplier)`), hoisted from the injector once per round
+    /// boundary like `round_pressure`. Transient: recomputed by
+    /// `begin_round` (and on restore), pure in (plan, round).
+    degrade: Option<(Tier, f64, f64)>,
+    /// Did the degradation window open or close at this round's boundary?
+    /// Pure in (plan, round) — never stateful history, so crash-resume
+    /// replays window edges bit-identically.
+    degrade_shifted: bool,
     /// In-flight transactional migration epoch, if one is open.
     epoch: Option<EpochState>,
     /// WAL-framed intent journal of the most recently ended epoch.
@@ -151,6 +163,9 @@ impl HmSystem {
             fault: None,
             dram_quota: None,
             round_pressure: 0,
+            offlined_bytes: 0,
+            degrade: None,
+            degrade_shifted: false,
             epoch: None,
             last_epoch_journal: String::new(),
         }
@@ -190,15 +205,67 @@ impl HmSystem {
         self.dram_quota
     }
 
-    /// DRAM capacity actually available this round: the configured tier
-    /// capacity, capped by the service quota, minus the round's co-tenant
-    /// pressure reservation.
+    /// DRAM capacity physically present: the configured capacity minus
+    /// permanently offlined bytes minus frames dead to ECC poisoning. Each
+    /// subtraction saturates, so over-shrinking floors at zero instead of
+    /// wrapping.
+    pub fn physical_dram_capacity(&self) -> u64 {
+        self.config
+            .dram
+            .capacity
+            .saturating_sub(self.offlined_bytes)
+            .saturating_sub(self.page_table.quarantine_bytes())
+    }
+
+    /// DRAM capacity actually available this round. The shrink ordering is
+    /// load-bearing: physical losses first (offlining, poisoned frames —
+    /// those bytes do not exist), then the service quota caps what is left
+    /// (a quota can never grant dead capacity), then the round's co-tenant
+    /// pressure reservation subtracts last, saturating at zero.
     pub fn effective_dram_capacity(&self) -> u64 {
-        let mut cap = self.config.dram.capacity;
+        let mut cap = self.physical_dram_capacity();
         if let Some(q) = self.dram_quota {
             cap = cap.min(q);
         }
         cap.saturating_sub(self.round_pressure)
+    }
+
+    /// DRAM bytes permanently offlined so far.
+    pub fn offlined_dram_bytes(&self) -> u64 {
+        self.offlined_bytes
+    }
+
+    /// Permanently remove `bytes` of DRAM capacity (the OS offlined a
+    /// DIMM/rank after an error storm). Monotone and irreversible; the
+    /// cumulative offlined total is clamped to the configured capacity.
+    /// Overflowing residency is evicted at the next round boundary.
+    pub fn offline_dram(&mut self, bytes: u64) {
+        self.offlined_bytes = self
+            .offlined_bytes
+            .saturating_add(bytes)
+            .min(self.config.dram.capacity);
+    }
+
+    /// The device degradation active this round, if any: `(tier, latency
+    /// multiplier, bandwidth multiplier)`.
+    pub fn degradation(&self) -> Option<(Tier, f64, f64)> {
+        self.degrade
+    }
+
+    /// Did the degradation window open or close at this round's boundary?
+    pub fn degradation_shifted(&self) -> bool {
+        self.degrade_shifted
+    }
+
+    /// The tier configuration tasks actually execute under this round: the
+    /// base configuration with the active degradation window applied.
+    /// Without an open window this is a bitwise-identical clone, keeping
+    /// the no-fault path byte-for-byte unchanged.
+    pub fn active_config(&self) -> HmConfig {
+        match self.degrade {
+            Some((tier, lat, bw)) => self.config.degraded(tier, lat, bw),
+            None => self.config.clone(),
+        }
     }
 
     /// The active fault plan, if any.
@@ -243,10 +310,12 @@ impl HmSystem {
     }
 
     /// Start round `round`: advance the injector's clock, hoist the round's
-    /// co-tenant pressure into the cached round context, and evict LFU
-    /// pages until DRAM residency fits the effective budget (quota and
-    /// pressure combined). Returns pages evicted (charged as migration
-    /// overhead by the caller via `total_migration_attempts`).
+    /// co-tenant pressure into the cached round context, land the round's
+    /// device faults (degradation window state, newly due offlining, ECC
+    /// poison strike), and evict LFU pages until DRAM residency fits the
+    /// effective budget (physical losses, quota and pressure combined).
+    /// Returns pages evicted (charged as migration overhead by the caller
+    /// via `total_migration_attempts`).
     pub fn begin_round(&mut self, round: u64) -> u64 {
         if let Some(fault) = self.fault.as_mut() {
             fault.begin_round(round);
@@ -254,7 +323,15 @@ impl HmSystem {
         // One pressure read per round: quota math, the eviction budget
         // below, and every `free_bytes` call this round share this value.
         self.round_pressure = self.fault.as_ref().map_or(0, |f| f.current_pressure());
-        if self.round_pressure == 0 && self.dram_quota.is_none() {
+        // Device faults land before the epoch opens, so quarantine and
+        // offlining are stable for the whole round and never part of a
+        // rollback.
+        self.advance_device_clock(round);
+        if self.round_pressure == 0
+            && self.dram_quota.is_none()
+            && self.offlined_bytes == 0
+            && self.page_table.quarantined_count() == 0
+        {
             return 0;
         }
         let budget = self.effective_dram_capacity();
@@ -270,6 +347,89 @@ impl HmSystem {
             }
         }
         evicted
+    }
+
+    /// Advance the device-fault clock at the `round` boundary: refresh the
+    /// degradation-window state, apply newly due capacity offlining, and
+    /// land this round's ECC-UE poison strike (if any) on a DRAM-resident
+    /// victim. Every decision is pure in (plan, round, placement), so
+    /// replays and crash-resumes are bit-identical.
+    fn advance_device_clock(&mut self, round: u64) {
+        let (now, prev) = match self.fault.as_ref() {
+            Some(f) => (
+                f.current_degradation(round),
+                if round == 0 {
+                    None
+                } else {
+                    f.current_degradation(round - 1)
+                },
+            ),
+            None => {
+                self.degrade = None;
+                self.degrade_shifted = false;
+                return;
+            }
+        };
+        self.degrade = now;
+        self.degrade_shifted = now != prev;
+        if now.is_some() {
+            if let Some(f) = self.fault.as_mut() {
+                f.note_window_round();
+            }
+        }
+        // Capacity offlining: monotone in the round, applied as the
+        // difference against what is already offline — idempotent across
+        // checkpoint/resume.
+        let due = self
+            .fault
+            .as_ref()
+            .map_or(0, |f| f.offline_due(round))
+            .min(self.config.dram.capacity);
+        if due > self.offlined_bytes {
+            let newly = due - self.offlined_bytes;
+            self.offlined_bytes = due;
+            if let Some(f) = self.fault.as_mut() {
+                f.note_offlined(newly);
+            }
+        }
+        // Poison strike: at most one DRAM-resident frame per round, the
+        // victim drawn over the residents in ascending page-id order.
+        if self.fault.as_ref().is_some_and(|f| f.poison_strikes(round)) {
+            let residents: Vec<PageId> = self
+                .page_table
+                .iter()
+                .filter(|(_, p)| p.tier() == Tier::Dram)
+                .map(|(id, _)| id)
+                .collect();
+            if !residents.is_empty() {
+                let idx = self
+                    .fault
+                    .as_ref()
+                    .map_or(0, |f| f.poison_victim_index(round, residents.len() as u64));
+                self.poison_page(residents[idx as usize]);
+            }
+        }
+    }
+
+    /// Poison page `victim`: quarantine it (its DRAM frame is dead and the
+    /// page may never reside on DRAM again), remap it to PM, and charge the
+    /// remap as one migration attempt so the ECC repair cost lands in this
+    /// round's migration overhead. Idempotent for an already-quarantined
+    /// page.
+    pub fn poison_page(&mut self, victim: PageId) {
+        if !self.page_table.quarantine_page(victim) {
+            return;
+        }
+        if self.page_table.get(victim).tier() == Tier::Dram {
+            self.page_table.set_tier(victim, Tier::Pm);
+            self.page_table.get_mut(victim).migrations += 1;
+            self.total_migrations += 1;
+            self.total_migration_attempts += 1;
+            self.page_table.flush_aggregates();
+        }
+        if let Some(f) = self.fault.as_mut() {
+            f.note_poisoned_page();
+        }
     }
 
     /// Open a transactional migration epoch for `round`. Until
@@ -295,6 +455,15 @@ impl HmSystem {
         let torn = self.crashed() || ep.pages_failed > ep.pages_moved;
         let outcome = if torn {
             for (&page, &(tier, migrations)) in ep.undo.iter() {
+                // A torn epoch must never resurrect a poisoned frame:
+                // quarantine is monotone state outside the transaction, so
+                // a quarantined page stays pinned to PM regardless of the
+                // tier its undo entry recorded.
+                let tier = if self.page_table.is_quarantined(page) {
+                    Tier::Pm
+                } else {
+                    tier
+                };
                 self.page_table.set_tier(page, tier);
                 self.page_table.get_mut(page).migrations = migrations;
             }
@@ -480,6 +649,13 @@ impl HmSystem {
             if self.page_table.get(id).tier() == to {
                 continue;
             }
+            // A quarantined page is permanently pinned off DRAM; its
+            // promotion is silently filtered rather than failed — failures
+            // tear migration epochs, and a dead frame is not a transient
+            // fault the epoch could undo.
+            if to == Tier::Dram && self.page_table.is_quarantined(id) {
+                continue;
+            }
             if to == Tier::Dram && self.free_bytes(Tier::Dram) < PAGE_SIZE {
                 let evicted = self.evict_lfu_inner(1, Some(id));
                 outcome.pages_evicted += evicted;
@@ -513,6 +689,12 @@ impl HmSystem {
     /// [`try_migrate_page`](Self::try_migrate_page) without the aggregate
     /// flush — batched callers flush once after the whole batch.
     fn migrate_page_inner(&mut self, id: PageId, to: Tier) -> Result<(), HmError> {
+        // Defense in depth for direct callers: promoting a quarantined
+        // page is a silent no-op (batched callers filter earlier and never
+        // reach here).
+        if to == Tier::Dram && self.page_table.is_quarantined(id) {
+            return Ok(());
+        }
         self.journal_intent(id, to);
         let max_retries = self.fault.as_ref().map(|f| f.max_retries()).unwrap_or(0);
         let mut backoff = crate::backoff::Backoff::new(max_retries, self.seed ^ id.rotate_left(23));
@@ -674,6 +856,7 @@ impl HmSystem {
         .expect("writing to String cannot fail");
         let quota = self.dram_quota.map(|q| q as i64).unwrap_or(-1);
         writeln!(out, "dramquota {quota}").expect("writing to String cannot fail");
+        writeln!(out, "offlined {}", self.offlined_bytes).expect("writing to String cannot fail");
         writeln!(out, "objects {}", self.objects.len()).expect("writing to String cannot fail");
         for o in &self.objects {
             let owner = o.owner_task.map(|t| t as i64).unwrap_or(-1);
@@ -702,6 +885,12 @@ impl HmSystem {
             )
             .expect("writing to String cannot fail");
         }
+        write!(out, "quarantine {}", self.page_table.quarantined_count())
+            .expect("writing to String cannot fail");
+        for id in self.page_table.quarantined() {
+            write!(out, " {id}").expect("writing to String cannot fail");
+        }
+        writeln!(out).expect("writing to String cannot fail");
         match &self.fault {
             None => writeln!(out, "fault 0").expect("writing to String cannot fail"),
             Some(inj) => {
@@ -754,6 +943,8 @@ impl HmSystem {
         let t = r.line("dramquota", 1)?;
         let quota: i64 = t[0].parse().map_err(|_| corrupt("bad dram quota"))?;
         let dram_quota = (quota >= 0).then_some(quota as u64);
+        let t = r.line("offlined", 1)?;
+        let offlined_bytes = p_u64(t[0])?;
         let t = r.line("objects", 1)?;
         let num_objects = p_usize(t[0])?;
         let mut objects = Vec::with_capacity(num_objects);
@@ -796,6 +987,18 @@ impl HmSystem {
             ));
         }
         page_table.flush_aggregates();
+        let t = r.line("quarantine", 1)?;
+        let num_quarantined = p_usize(t[0])?;
+        if t.len() != 1 + num_quarantined {
+            return Err(corrupt("quarantine id count mismatch"));
+        }
+        for tok in &t[1..] {
+            let id = p_u64(tok)?;
+            if id as usize >= num_pages {
+                return Err(corrupt("quarantined page id out of range"));
+            }
+            page_table.quarantine_page(id);
+        }
         let t = r.line("fault", 1)?;
         let fault = if p_bool(t[0])? {
             Some(FaultInjector::decode_state(r)?)
@@ -805,6 +1008,21 @@ impl HmSystem {
         // Re-hoist the restored round's pressure so post-restore quota math
         // matches what the pre-crash run saw mid-round.
         let round_pressure = fault.as_ref().map_or(0, |f| f.current_pressure());
+        // Re-hoist the degradation-window state the same way (pure in
+        // (plan, round), so this matches what the pre-crash run saw).
+        let (degrade, degrade_shifted) = match fault.as_ref() {
+            Some(f) => {
+                let round = f.round();
+                let now = f.current_degradation(round);
+                let prev = if round == 0 {
+                    None
+                } else {
+                    f.current_degradation(round - 1)
+                };
+                (now, now != prev)
+            }
+            None => (None, false),
+        };
         Ok(Self {
             config,
             page_table,
@@ -819,6 +1037,9 @@ impl HmSystem {
             fault,
             dram_quota,
             round_pressure,
+            offlined_bytes,
+            degrade,
+            degrade_shifted,
             // Epochs never span a round boundary, so a checkpoint (taken at
             // boundaries only) always restores with no epoch in flight.
             epoch: None,
@@ -1014,6 +1235,162 @@ mod tests {
         assert_eq!(round, 4);
         assert_eq!(outcome, EpochOutcome::RolledBack);
         assert_eq!(intents.len(), 3);
+    }
+
+    #[test]
+    fn poisoned_page_is_pinned_off_dram_and_shrinks_physical_capacity() {
+        let mut sys = tiny_system();
+        let id = sys
+            .allocate(&ObjectSpec::new("X", 4 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        sys.poison_page(1);
+        assert!(sys.page_table().is_quarantined(1));
+        assert_eq!(sys.page_table().get(1).tier(), Tier::Pm);
+        assert_eq!(sys.physical_dram_capacity(), 15 * PAGE_SIZE);
+        // The repair remap was charged as migration overhead.
+        assert_eq!(sys.total_migration_attempts, 1);
+        // Double-poisoning is a no-op.
+        sys.poison_page(1);
+        assert_eq!(sys.total_migration_attempts, 1);
+        // Promotion back is silently filtered, not failed.
+        let out = sys.migrate_pages([1u64], Tier::Dram);
+        assert_eq!((out.pages_moved, out.pages_failed), (0, 0));
+        assert_eq!(sys.page_table().get(1).tier(), Tier::Pm);
+        let out = sys.migrate_object_pages(id, Tier::Dram, 4);
+        assert_eq!(out.pages_moved, 0);
+        assert_eq!(sys.page_table().get(1).tier(), Tier::Pm);
+        // Direct single-page promotion is a silent no-op too.
+        sys.try_migrate_page(1, Tier::Dram).unwrap();
+        assert_eq!(sys.page_table().get(1).tier(), Tier::Pm);
+    }
+
+    #[test]
+    fn torn_epoch_never_resurrects_a_poisoned_frame() {
+        use crate::epoch::EpochOutcome;
+        use crate::fault::FaultPlan;
+        let mut sys = tiny_system();
+        sys.allocate(&ObjectSpec::new("X", 4 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        sys.begin_epoch(0);
+        // Demote page 2 inside the epoch (undo records tier = DRAM), then
+        // the strike lands on its frame while the epoch is open.
+        let moved = sys.migrate_pages([2u64], Tier::Pm);
+        assert_eq!(moved.pages_moved, 1);
+        sys.poison_page(2);
+        // Tear the epoch: a failure burst abandons more pages than moved.
+        sys.set_fault_plan(
+            FaultPlan::none()
+                .with_seed(1)
+                .with_migration_failures(1.0, 1),
+        )
+        .unwrap();
+        let burst = sys.migrate_pages([0u64, 1u64], Tier::Pm);
+        assert_eq!(burst.pages_failed, 2);
+        assert_eq!(sys.end_epoch(), EpochOutcome::RolledBack);
+        // Rollback restored pages 0/1 but must not resurrect page 2's dead
+        // frame: its undo entry said DRAM, quarantine pins it to PM.
+        assert_eq!(sys.page_table().get(0).tier(), Tier::Dram);
+        assert_eq!(sys.page_table().get(2).tier(), Tier::Pm);
+        assert!(sys.page_table().is_quarantined(2));
+        assert!(sys.page_table().aggregates_clean());
+    }
+
+    #[test]
+    fn combined_capacity_shrink_ordering_never_underflows() {
+        use crate::fault::FaultPlan;
+        let mut sys = tiny_system(); // 16 DRAM pages
+        sys.allocate(&ObjectSpec::new("a", 4 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        sys.offline_dram(8 * PAGE_SIZE);
+        sys.poison_page(0);
+        // Physical losses first: 16 − 8 offlined − 1 poisoned frame.
+        assert_eq!(sys.physical_dram_capacity(), 7 * PAGE_SIZE);
+        // The quota caps what is left — a quota above physical is inert…
+        sys.set_dram_quota(Some(10 * PAGE_SIZE));
+        assert_eq!(sys.effective_dram_capacity(), 7 * PAGE_SIZE);
+        // …and one below physical bites.
+        sys.set_dram_quota(Some(5 * PAGE_SIZE));
+        assert_eq!(sys.effective_dram_capacity(), 5 * PAGE_SIZE);
+        // Pressure subtracts last and saturates instead of wrapping.
+        sys.set_fault_plan(FaultPlan::none().with_dram_pressure(6 * PAGE_SIZE, 0))
+            .unwrap();
+        assert_eq!(sys.effective_dram_capacity(), 0);
+        assert_eq!(sys.free_bytes(Tier::Dram), 0);
+        sys.set_dram_quota(None);
+        assert_eq!(sys.effective_dram_capacity(), PAGE_SIZE);
+        // Over-shrinking the physical pool floors at zero, never wraps.
+        sys.offline_dram(u64::MAX);
+        assert_eq!(sys.offlined_dram_bytes(), 16 * PAGE_SIZE);
+        assert_eq!(sys.physical_dram_capacity(), 0);
+        assert_eq!(sys.effective_dram_capacity(), 0);
+        assert_eq!(sys.free_bytes(Tier::Dram), 0);
+    }
+
+    #[test]
+    fn begin_round_applies_device_faults_deterministically() {
+        use crate::fault::FaultPlan;
+        let mut sys = tiny_system();
+        sys.allocate(&ObjectSpec::new("a", 8 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        sys.set_fault_plan(
+            FaultPlan::none()
+                .with_seed(9)
+                .with_page_poison(1.0)
+                .with_dram_offlining(2, 4 * PAGE_SIZE)
+                .with_degradation(Tier::Dram, 4, 2.0, 0.5),
+        )
+        .unwrap();
+        sys.begin_round(0);
+        assert_eq!(sys.fault_stats().pages_poisoned, 1);
+        assert_eq!(sys.offlined_dram_bytes(), 0);
+        assert_eq!(sys.degradation(), Some((Tier::Dram, 2.0, 0.5)));
+        assert!(sys.degradation_shifted(), "window opened at round 0");
+        let active = sys.active_config();
+        assert!((active.dram.latency_seq_ns - sys.config.dram.latency_seq_ns * 2.0).abs() < 1e-9);
+        assert!((active.dram.read_bw_gbps - sys.config.dram.read_bw_gbps * 0.5).abs() < 1e-9);
+        assert!((active.pm.latency_seq_ns - sys.config.pm.latency_seq_ns).abs() < 1e-9);
+        sys.begin_round(1);
+        assert!(!sys.degradation_shifted(), "window stayed open");
+        sys.begin_round(2);
+        assert_eq!(sys.degradation(), None);
+        assert!(sys.degradation_shifted(), "window closed at round 2");
+        // Offlining struck at round 2 and is idempotent afterwards.
+        assert_eq!(sys.offlined_dram_bytes(), 4 * PAGE_SIZE);
+        sys.begin_round(3);
+        assert_eq!(sys.offlined_dram_bytes(), 4 * PAGE_SIZE);
+        assert_eq!(sys.fault_stats().offlined_bytes, 4 * PAGE_SIZE);
+        assert_eq!(sys.fault_stats().pages_poisoned, 4);
+        assert_eq!(sys.fault_stats().degraded_window_rounds, 2);
+        // Residency always fits the shrunk physical pool.
+        assert!(sys.page_table().bytes_in(Tier::Dram) <= sys.physical_dram_capacity());
+        // And no poisoned page sits on DRAM.
+        assert!(sys
+            .page_table()
+            .quarantined()
+            .all(|id| sys.page_table().get(id).tier() == Tier::Pm));
+    }
+
+    #[test]
+    fn device_state_survives_state_roundtrip() {
+        let mut sys = tiny_system();
+        sys.allocate(&ObjectSpec::new("a", 4 * PAGE_SIZE), Tier::Dram)
+            .unwrap();
+        sys.offline_dram(3 * PAGE_SIZE);
+        sys.poison_page(1);
+        sys.poison_page(3);
+        let mut text = String::new();
+        sys.encode_state(&mut text);
+        let mut r = crate::checkpoint::Reader::new(&text);
+        let back = HmSystem::decode_state(&mut r).unwrap();
+        assert_eq!(back.offlined_dram_bytes(), 3 * PAGE_SIZE);
+        assert!(back.page_table().is_quarantined(1));
+        assert!(back.page_table().is_quarantined(3));
+        assert_eq!(back.physical_dram_capacity(), sys.physical_dram_capacity());
+        // Bitwise: quarantine is part of the page table's Debug output.
+        assert_eq!(
+            format!("{:?}", back.page_table()),
+            format!("{:?}", sys.page_table())
+        );
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Device fault-domain properties (DESIGN.md §14): checkpoint v4 carries
+//! the poisoned-page quarantine and the offlined-capacity ledger
+//! bit-identically, quarantined frames are never resident on DRAM, and a
+//! crash landing inside a degradation window resumes through the WAL to a
+//! bit-identical run (the planner re-derives the same degraded-curve plan).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use merchandiser_suite::core::perfmodel::PerformanceModel;
+use merchandiser_suite::core::policy::MerchandiserPolicy;
+use merchandiser_suite::hm::checkpoint::Reader;
+use merchandiser_suite::hm::page::PAGE_SIZE;
+use merchandiser_suite::hm::runtime::Executor;
+use merchandiser_suite::hm::workload::testutil::SkewedWorkload;
+use merchandiser_suite::hm::{
+    CrashPoint, FaultKind, FaultPlan, HmConfig, HmSystem, ObjectSpec, Tier, Wal,
+};
+use merchandiser_suite::models::{GradientBoostedRegressor, Regressor};
+use merchandiser_suite::patterns::ObjectPatternMap;
+
+fn linear_model() -> PerformanceModel {
+    let mut f = GradientBoostedRegressor::new(1, 0.1, 1, 0);
+    f.fit(&[vec![0.0; 9], vec![1.0; 9]], &[1.0, 1.0]);
+    PerformanceModel { f, num_events: 8 }
+}
+
+fn app() -> SkewedWorkload {
+    SkewedWorkload {
+        tasks: 2,
+        rounds: 4,
+        base_accesses: 1e5,
+        obj_bytes: 32 * PAGE_SIZE,
+    }
+}
+
+fn system(plan: &FaultPlan, seed: u64) -> HmSystem {
+    let mut sys = HmSystem::new(HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE), seed);
+    sys.set_fault_plan(plan.clone()).unwrap();
+    sys
+}
+
+fn policy(seed: u64) -> MerchandiserPolicy {
+    MerchandiserPolicy::new(
+        linear_model(),
+        ObjectPatternMap::new(),
+        Default::default(),
+        seed,
+    )
+}
+
+/// Unique WAL path per invocation (tests run concurrently).
+fn wal_path() -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("merch-device-test-{}-{n}.wal", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Checkpoint v4's system section round-trips the quarantine set, the
+    /// offlined-bytes ledger, and every derived capacity figure
+    /// bit-identically, whatever mix of promotions, poisonings, and
+    /// offlinings preceded the snapshot.
+    #[test]
+    fn checkpoint_roundtrips_quarantine_and_offline_state(
+        seed in any::<u64>(),
+        pages in 8u64..16,
+        skew in 1.0f64..2.0,
+        promoted in 0u64..8,
+        poisoned in 0usize..5,
+        offline_pages in 0u64..4,
+    ) {
+        let mut sys = HmSystem::new(
+            HmConfig::calibrated(24 * PAGE_SIZE, 1024 * PAGE_SIZE),
+            seed,
+        );
+        let id = sys
+            .allocate(
+                &ObjectSpec::new("X", pages * PAGE_SIZE).with_skew(skew),
+                Tier::Pm,
+            )
+            .unwrap();
+        sys.migrate_object_pages(id, Tier::Dram, promoted);
+        let victims: Vec<_> = sys.objects()[0].pages().take(poisoned).collect();
+        for v in victims {
+            sys.poison_page(v);
+        }
+        sys.offline_dram(offline_pages * PAGE_SIZE);
+
+        let mut text = String::new();
+        sys.encode_state(&mut text);
+        let back = HmSystem::decode_state(&mut Reader::new(&text)).unwrap();
+
+        prop_assert_eq!(
+            format!("{:?}", back.page_table()),
+            format!("{:?}", sys.page_table())
+        );
+        prop_assert_eq!(
+            back.page_table().quarantined().collect::<Vec<_>>(),
+            sys.page_table().quarantined().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(back.offlined_dram_bytes(), sys.offlined_dram_bytes());
+        prop_assert_eq!(back.physical_dram_capacity(), sys.physical_dram_capacity());
+        prop_assert_eq!(back.effective_dram_capacity(), sys.effective_dram_capacity());
+        // A second encode of the decoded system is byte-identical.
+        let mut text2 = String::new();
+        back.encode_state(&mut text2);
+        prop_assert_eq!(text2, text);
+    }
+
+    /// After any run under a device fault plan, no quarantined frame is
+    /// resident on DRAM and the capacity ledger is exact: physical capacity
+    /// equals configured minus offlined minus quarantined, and residency
+    /// fits under it.
+    #[test]
+    fn poisoned_frames_never_resident_and_accounting_exact(
+        seed in 0u64..1000,
+        fault_seed in any::<u64>(),
+        poison_rate in 0.2f64..1.0,
+        period in 0u64..3,
+        lat in 1.1f64..2.0,
+        offline_pages in 0u64..4,
+    ) {
+        let plan = FaultPlan::none()
+            .with_seed(fault_seed)
+            .with_page_poison(poison_rate)
+            .with_degradation(Tier::Dram, period, lat, 0.8)
+            .with_dram_offlining(1, offline_pages * PAGE_SIZE);
+        let mut ex = Executor::new(system(&plan, seed), app(), policy(seed));
+        let report = ex.run();
+        let sys = &ex.sys;
+        for id in sys.page_table().quarantined() {
+            prop_assert_ne!(sys.page_table().get(id).tier(), Tier::Dram);
+        }
+        let expected = sys
+            .config
+            .dram
+            .capacity
+            .saturating_sub(sys.offlined_dram_bytes())
+            .saturating_sub(sys.page_table().quarantine_bytes());
+        prop_assert_eq!(sys.physical_dram_capacity(), expected);
+        prop_assert!(sys.page_table().bytes_in(Tier::Dram) <= sys.physical_dram_capacity());
+        prop_assert_eq!(report.fault.pages_poisoned, sys.page_table().quarantined_count());
+        prop_assert!(report.total_time_ns().is_finite());
+    }
+
+    /// A crash at any round boundary of a run whose rounds sit inside (and
+    /// cross) a degradation window — with poisoning and offlining armed too
+    /// — restores from the WAL and replays to a RunReport bit-identical to
+    /// the uninterrupted run: checkpoint v4 carries enough device state
+    /// that the planner re-plans under the same degraded curve.
+    #[test]
+    fn crash_resume_mid_degradation_window_replays_identically(
+        seed in 0u64..1000,
+        fault_seed in any::<u64>(),
+        crash_round in 0u64..4,
+        dram_side in any::<bool>(),
+        period in 0u64..3,
+        lat in 1.1f64..2.0,
+        bw in 0.5f64..1.0,
+        poison_rate in 0.0f64..0.5,
+        offline_pages in 0u64..3,
+    ) {
+        let tier = if dram_side { Tier::Dram } else { Tier::Pm };
+        let base = FaultPlan::none()
+            .with_seed(fault_seed)
+            .with_page_poison(poison_rate)
+            .with_degradation(tier, period, lat, bw)
+            .with_dram_offlining(1, offline_pages * PAGE_SIZE);
+        let mut reference_ex = Executor::new(system(&base, seed), app(), policy(seed));
+        let reference = reference_ex.run();
+        let reference_dbg = format!("{reference:?}");
+        // The plan really opens a window during the run.
+        prop_assert!(reference.fault.degraded_window_rounds >= 1);
+
+        let crash_plan = base.clone().with_fault(FaultKind::Crash {
+            round: crash_round,
+            point: CrashPoint::BetweenRounds,
+        });
+        let path = wal_path();
+        let mut wal = Wal::create(&path).unwrap();
+        let mut ex = Executor::new(system(&crash_plan, seed), app(), policy(seed));
+        let outcome = ex.run_supervised(&mut wal);
+        drop(wal);
+        let resumed_dbg = match outcome {
+            Ok(report) => format!("{report:?}"),
+            Err(_) => {
+                let ck = Wal::latest(&path).unwrap().expect("checkpoint durable");
+                let mut ex = Executor::resume(ck, app(), policy(seed)).unwrap();
+                format!("{:?}", ex.try_run().unwrap())
+            }
+        };
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(resumed_dbg, reference_dbg);
+    }
+}
+
+/// Deterministic witness that the properties above are not vacuous: a
+/// certain-poison plan quarantines at least one frame during the run, and
+/// the quarantine survives a WAL crash-resume.
+#[test]
+fn certain_poison_plan_quarantines_and_survives_resume() {
+    let seed = 13;
+    let plan = FaultPlan::none()
+        .with_seed(7)
+        .with_page_poison(1.0)
+        .with_degradation(Tier::Dram, 2, 1.5, 0.7)
+        .with_dram_offlining(2, 2 * PAGE_SIZE);
+    let mut reference_ex = Executor::new(system(&plan, seed), app(), policy(seed));
+    let reference = reference_ex.run();
+    assert!(
+        reference.fault.pages_poisoned >= 1,
+        "a certain-poison plan must strike; got {:?}",
+        reference.fault
+    );
+    assert!(reference.fault.degraded_window_rounds >= 1);
+    assert_eq!(reference.fault.offlined_bytes, 2 * PAGE_SIZE);
+
+    let crash_plan = plan.with_fault(FaultKind::Crash {
+        round: 2,
+        point: CrashPoint::BetweenRounds,
+    });
+    let path = wal_path();
+    let mut wal = Wal::create(&path).unwrap();
+    let mut ex = Executor::new(system(&crash_plan, seed), app(), policy(seed));
+    let outcome = ex.run_supervised(&mut wal);
+    drop(wal);
+    assert!(outcome.is_err(), "the scripted crash must fire");
+    let ck = Wal::latest(&path).unwrap().expect("checkpoint durable");
+    let mut ex = Executor::resume(ck, app(), policy(seed)).unwrap();
+    let resumed = ex.try_run().unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(format!("{resumed:?}"), format!("{reference:?}"));
+    for id in ex.sys.page_table().quarantined() {
+        assert_ne!(
+            ex.sys.page_table().get(id).tier(),
+            Tier::Dram,
+            "resume resurrected a poisoned frame onto DRAM"
+        );
+    }
+}
