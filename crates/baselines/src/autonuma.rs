@@ -64,9 +64,7 @@ impl PlacementPolicy for AutoNumaPolicy {
 
         let mut faulted = BTreeSet::new();
         for id in pm_pages {
-            let p = sys.page_table_mut().get_mut(id);
-            if p.accessed {
-                p.accessed = false;
+            if sys.page_table_mut().take_accessed(id) {
                 faulted.insert(id);
             }
         }

@@ -73,7 +73,8 @@ impl MemoryOptimizerPolicy {
                 // Keep the hotness estimate on the promoted page: sampling
                 // reset its counter, and a freshly promoted hot page must
                 // not look cold to the next tick's eviction scan.
-                sys.page_table_mut().get_mut(s.page).access_count = s.estimated_accesses;
+                sys.page_table_mut()
+                    .set_access_count(s.page, s.estimated_accesses);
                 dram_cold.insert(0, (s.page, s.estimated_accesses));
                 continue;
             }
@@ -83,7 +84,8 @@ impl MemoryOptimizerPolicy {
             if s.estimated_accesses > cold_count * self.swap_margin + 1.0 {
                 sys.migrate_pages([cold_id], Tier::Pm);
                 sys.migrate_pages([s.page], Tier::Dram);
-                sys.page_table_mut().get_mut(s.page).access_count = s.estimated_accesses;
+                sys.page_table_mut()
+                    .set_access_count(s.page, s.estimated_accesses);
                 dram_cold.pop();
                 dram_cold.insert(0, (s.page, s.estimated_accesses));
             } else {

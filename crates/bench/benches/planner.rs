@@ -5,8 +5,8 @@
 //! depth 3 — the Table 3 winner's shape).
 //!
 //! `harness = false`: plain main with its own timing loop so the measured
-//! means can be written to `BENCH_planner.json` (the serde stub cannot
-//! serialise, so the JSON is hand-formatted). `--smoke` (or
+//! means can be written to `BENCH_planner.json` through the bench
+//! registry (the serde stub cannot serialise). `--smoke` (or
 //! `MERCH_BENCH_SMOKE=1`) shrinks the sizes for the CI compile-and-run
 //! check and skips the JSON unless `MERCH_BENCH_OUT` is set. The bitwise
 //! equalities — compiled vs interpreted inference, fast-path vs reference
@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use merch_bench::registry::{self, BenchRow};
 use merch_models::{GradientBoostedRegressor, Regressor};
 use merch_profiling::PmcEvents;
 use merchandiser::allocator::{
@@ -23,17 +24,13 @@ use merchandiser::allocator::{
 };
 use merchandiser::perfmodel::{CompiledPerformanceModel, PerformanceModel};
 
-/// One fast-path-vs-baseline comparison at one task count.
-struct Row {
-    name: &'static str,
-    tasks: usize,
-    baseline_us: f64,
-    engine_us: f64,
-}
-
-impl Row {
-    fn speedup(&self) -> f64 {
-        self.baseline_us / self.engine_us.max(1e-9)
+fn row(name: &str, tasks: usize, baseline_us: f64, engine_us: f64) -> BenchRow {
+    BenchRow {
+        bench: "planner".to_string(),
+        name: name.to_string(),
+        size: tasks as u64,
+        baseline_us,
+        engine_us,
     }
 }
 
@@ -140,7 +137,7 @@ fn bench_inference(
     compiled: &CompiledPerformanceModel,
     n: usize,
     iters: u32,
-) -> Row {
+) -> BenchRow {
     let tasks = make_tasks(n);
     let rs: Vec<f64> = (0..=20).map(|k| k as f64 * 0.05).collect();
     for t in &tasks {
@@ -177,12 +174,7 @@ fn bench_inference(
             std::hint::black_box(acc);
         },
     );
-    Row {
-        name: "eq2_inference_r_grid",
-        tasks: n,
-        baseline_us,
-        engine_us,
-    }
+    row("eq2_inference_r_grid", n, baseline_us, engine_us)
 }
 
 /// Algorithm 1 cold: scan-based reference on the interpreted model vs the
@@ -193,7 +185,7 @@ fn bench_alg1_cold(
     compiled: &CompiledPerformanceModel,
     n: usize,
     iters: u32,
-) -> Row {
+) -> BenchRow {
     let tasks = make_tasks(n);
     let reference = plan_dram_accesses_reference(&input(&tasks, model));
     let mut cache = CurveCache::default();
@@ -212,12 +204,7 @@ fn bench_alg1_cold(
             ));
         },
     );
-    Row {
-        name: "alg1_cold",
-        tasks: n,
-        baseline_us,
-        engine_us,
-    }
+    row("alg1_cold", n, baseline_us, engine_us)
 }
 
 /// Algorithm 1 warm: the per-round steady state, where policy inputs are
@@ -228,7 +215,7 @@ fn bench_alg1_warm(
     compiled: &CompiledPerformanceModel,
     n: usize,
     iters: u32,
-) -> Row {
+) -> BenchRow {
     let tasks = make_tasks(n);
     let reference = plan_dram_accesses_reference(&input(&tasks, model));
     let mut cache = CurveCache::default();
@@ -253,12 +240,7 @@ fn bench_alg1_warm(
             ));
         },
     );
-    Row {
-        name: "alg1_warm",
-        tasks: n,
-        baseline_us,
-        engine_us,
-    }
+    row("alg1_warm", n, baseline_us, engine_us)
 }
 
 fn main() {
@@ -284,38 +266,17 @@ fn main() {
         println!(
             "{:<24} {:>8} {:>14.2} {:>14.2} {:>8.1}x",
             r.name,
-            r.tasks,
+            r.size,
             r.baseline_us,
             r.engine_us,
             r.speedup()
         );
     }
-    // The PR's acceptance gate: >= 3x on the combined Algorithm 1 +
+    // The registry gate: >= 3x on the combined Algorithm 1 +
     // model-inference path at 100 tasks (the steady-state planning pass).
-    for r in rows.iter().filter(|r| r.name == "alg1_warm") {
-        if r.tasks >= 100 && !smoke {
-            assert!(
-                r.speedup() >= 3.0,
-                "planner speedup {:.1}x below the 3x budget at {} tasks",
-                r.speedup(),
-                r.tasks
-            );
-        }
-    }
+    registry::enforce(&rows);
 
-    let mut json = String::from("{\n  \"bench\": \"planner\",\n  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"tasks\": {}, \"baseline_us\": {:.3}, \"engine_us\": {:.3}, \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.tasks,
-            r.baseline_us,
-            r.engine_us,
-            r.speedup(),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    let json = registry::emit_json("planner", &rows);
     let out = std::env::var("MERCH_BENCH_OUT").ok().map(Into::into).or({
         if smoke {
             None

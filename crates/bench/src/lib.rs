@@ -4,6 +4,7 @@
 pub mod device;
 pub mod experiments;
 pub mod par;
+pub mod registry;
 pub mod replay;
 pub mod serve;
 pub mod soak;

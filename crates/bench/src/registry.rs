@@ -1,0 +1,299 @@
+//! Bench-result registry: one schema for every bench, plus the regression
+//! gates CI holds them to (ROADMAP item 5 seed).
+//!
+//! Every bench binary emits the same row shape — `(bench, name, size,
+//! baseline_us, engine_us, speedup)` — through [`emit_json`], and `repro
+//! bench` aggregates the per-bench JSON artifacts into `BENCH_all.json`,
+//! re-checking every row against [`default_gates`]. The vendored `serde`
+//! is a no-op stub, so both the emitter and the parser are hand-rolled
+//! against exactly this format:
+//!
+//! ```json
+//! {
+//!   "bench": "page_engine",
+//!   "results": [
+//!     {"name": "...", "size": 10000, "baseline_us": 1.0,
+//!      "engine_us": 0.1, "speedup": 10.0}
+//!   ]
+//! }
+//! ```
+//!
+//! A gate is a predicate over rows selected by `(bench, name prefix, min
+//! size)`: a minimum speedup, an absolute engine-time ceiling, or both.
+//! Gates bind in smoke mode too — the CI bench-smoke job runs the page
+//! engine at 10^7 pages precisely so the ≥5x migrate/record floors and
+//! the absolute round-time ceilings are exercised on every PR, not just
+//! on full bench runs.
+
+/// One engine-vs-baseline measurement at one problem size. `size` is the
+/// bench's natural scale unit (pages for the page engine, tasks for the
+/// planner). `baseline_us == 0.0` marks an engine-only row (no per-page
+/// baseline exists at that scale); such rows report `speedup` 0 and are
+/// only ever gated on absolute engine time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Which bench produced the row (`page_engine`, `planner`, ...).
+    pub bench: String,
+    /// The measured path, e.g. `migrate_1pct`.
+    pub name: String,
+    /// Problem size (pages, tasks, ...).
+    pub size: u64,
+    /// Mean microseconds per iteration for the replaced baseline.
+    pub baseline_us: f64,
+    /// Mean microseconds per iteration for the engine under test.
+    pub engine_us: f64,
+}
+
+impl BenchRow {
+    /// Baseline-over-engine speedup; 0 for engine-only rows.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline_us <= 0.0 {
+            0.0
+        } else {
+            self.baseline_us / self.engine_us.max(1e-9)
+        }
+    }
+}
+
+/// Render rows as the registry JSON document for one bench.
+pub fn emit_json(bench: &str, rows: &[BenchRow]) -> String {
+    let mut json = format!("{{\n  \"bench\": \"{bench}\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"size\": {}, \"baseline_us\": {:.3}, \"engine_us\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.size,
+            r.baseline_us,
+            r.engine_us,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Extract the string value of `"key": "..."` from one JSON object body.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract the numeric value of `"key": <number>` from one object body.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a registry JSON document back into rows. Accepts exactly the
+/// [`emit_json`] shape (plus the pre-registry `"pages"`/`"tasks"` size
+/// keys, so older committed artifacts still aggregate). Errors carry the
+/// offending fragment.
+pub fn parse_json(text: &str) -> Result<Vec<BenchRow>, String> {
+    let bench = str_field(text, "bench").ok_or("missing top-level \"bench\" field")?;
+    let results_at = text
+        .find("\"results\"")
+        .ok_or("missing \"results\" array")?;
+    let mut rows = Vec::new();
+    let mut rest = &text[results_at..];
+    // The emitter writes one result object per line; scan brace pairs.
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or_else(|| format!("unclosed object near: {:.60}", &rest[open..]))?;
+        let obj = &rest[open..open + close + 1];
+        let name =
+            str_field(obj, "name").ok_or_else(|| format!("row without \"name\": {obj:.80}"))?;
+        let size = num_field(obj, "size")
+            .or_else(|| num_field(obj, "pages"))
+            .or_else(|| num_field(obj, "tasks"))
+            .ok_or_else(|| format!("row without a size field: {obj:.80}"))?;
+        let baseline_us = num_field(obj, "baseline_us")
+            .ok_or_else(|| format!("row without \"baseline_us\": {obj:.80}"))?;
+        let engine_us = num_field(obj, "engine_us")
+            .ok_or_else(|| format!("row without \"engine_us\": {obj:.80}"))?;
+        rows.push(BenchRow {
+            bench: bench.clone(),
+            name,
+            size: size as u64,
+            baseline_us,
+            engine_us,
+        });
+        rest = &rest[open + close + 1..];
+    }
+    Ok(rows)
+}
+
+/// A regression threshold over the rows a `(bench, name prefix, min size)`
+/// selector matches.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Bench the gate applies to.
+    pub bench: &'static str,
+    /// Row-name prefix the gate applies to.
+    pub name_prefix: &'static str,
+    /// Rows below this size are exempt (small sizes are noise-bound).
+    pub min_size: u64,
+    /// Minimum acceptable speedup (0.0 = no relative gate). Skipped for
+    /// engine-only rows, which have no baseline to be relative to.
+    pub min_speedup: f64,
+    /// Maximum acceptable engine time in microseconds (`INFINITY` = no
+    /// absolute gate).
+    pub max_engine_us: f64,
+}
+
+/// The regression floors the suite currently holds its benches to.
+pub fn default_gates() -> Vec<Gate> {
+    vec![
+        // Top-k selection: ≥5x over the full stable sort at 1e5+ pages.
+        Gate {
+            bench: "page_engine",
+            name_prefix: "topk",
+            min_size: 100_000,
+            min_speedup: 5.0,
+            max_engine_us: f64::INFINITY,
+        },
+        // Batch migration over extents: ≥5x over the per-page loop at
+        // 1e6+ pages (was ~1.2x on the per-page Vec engine).
+        Gate {
+            bench: "page_engine",
+            name_prefix: "migrate",
+            min_size: 1_000_000,
+            min_speedup: 5.0,
+            max_engine_us: f64::INFINITY,
+        },
+        // Record/quantify sweep: same ≥5x floor at 1e6+ pages.
+        Gate {
+            bench: "page_engine",
+            name_prefix: "record",
+            min_size: 1_000_000,
+            min_speedup: 5.0,
+            max_engine_us: f64::INFINITY,
+        },
+        // A full placement round over 1e8 pages must stay interactive:
+        // single-digit seconds, gated absolutely (engine-only row).
+        Gate {
+            bench: "page_engine",
+            name_prefix: "full_round",
+            min_size: 100_000_000,
+            min_speedup: 0.0,
+            max_engine_us: 10_000_000.0,
+        },
+        // Planner steady state: ≥3x at 100+ tasks (PR 7 floor).
+        Gate {
+            bench: "planner",
+            name_prefix: "alg1_warm",
+            min_size: 100,
+            min_speedup: 3.0,
+            max_engine_us: f64::INFINITY,
+        },
+    ]
+}
+
+/// Check `rows` against `gates`; returns one human-readable violation per
+/// failing row (empty = all gates hold).
+pub fn check(rows: &[BenchRow], gates: &[Gate]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for g in gates {
+        for r in rows.iter().filter(|r| {
+            r.bench == g.bench && r.name.starts_with(g.name_prefix) && r.size >= g.min_size
+        }) {
+            if g.min_speedup > 0.0 && r.baseline_us > 0.0 && r.speedup() < g.min_speedup {
+                violations.push(format!(
+                    "{}/{} @ {}: speedup {:.2}x below the {:.1}x floor",
+                    r.bench,
+                    r.name,
+                    r.size,
+                    r.speedup(),
+                    g.min_speedup
+                ));
+            }
+            if r.engine_us > g.max_engine_us {
+                violations.push(format!(
+                    "{}/{} @ {}: engine {:.0} us over the {:.0} us ceiling",
+                    r.bench, r.name, r.size, r.engine_us, g.max_engine_us
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Assert all gates hold for one bench's fresh rows — the in-bench gate
+/// every bench binary runs before writing its artifact, so a regression
+/// fails the bench run itself, not just the later aggregation.
+pub fn enforce(rows: &[BenchRow]) {
+    let violations = check(rows, &default_gates());
+    assert!(
+        violations.is_empty(),
+        "bench regression gates failed:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bench: &str, name: &str, size: u64, baseline_us: f64, engine_us: f64) -> BenchRow {
+        BenchRow {
+            bench: bench.into(),
+            name: name.into(),
+            size,
+            baseline_us,
+            engine_us,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let rows = vec![
+            row("page_engine", "migrate_1pct", 1_000_000, 120.0, 3.5),
+            row("page_engine", "full_round", 100_000_000, 0.0, 2.5e6),
+        ];
+        let back = parse_json(&emit_json("page_engine", &rows)).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn legacy_pages_and_tasks_keys_still_parse() {
+        let legacy = r#"{
+  "bench": "planner",
+  "results": [
+    {"name": "alg1_warm", "tasks": 100, "baseline_us": 30.0, "engine_us": 5.0, "speedup": 6.00}
+  ]
+}"#;
+        let rows = parse_json(legacy).unwrap();
+        assert_eq!(rows[0].size, 100);
+        assert_eq!(rows[0].speedup(), 6.0);
+    }
+
+    #[test]
+    fn gates_catch_regressions_and_ceilings() {
+        let ok = vec![
+            row("page_engine", "migrate_1pct", 1_000_000, 120.0, 3.5),
+            row("page_engine", "migrate_1pct", 10_000, 1.0, 1.0), // below min_size
+            row("page_engine", "full_round", 100_000_000, 0.0, 2.5e6),
+        ];
+        assert!(check(&ok, &default_gates()).is_empty());
+        let slow = vec![row("page_engine", "migrate_1pct", 1_000_000, 10.0, 9.0)];
+        assert_eq!(check(&slow, &default_gates()).len(), 1);
+        let over = vec![row("page_engine", "full_round", 100_000_000, 0.0, 2.0e7)];
+        let v = check(&over, &default_gates());
+        assert!(v.len() == 1 && v[0].contains("ceiling"), "{v:?}");
+    }
+
+    #[test]
+    fn engine_only_rows_skip_speedup_gates() {
+        let rows = vec![row("page_engine", "migrate_1pct", 1_000_000, 0.0, 50.0)];
+        assert!(check(&rows, &default_gates()).is_empty());
+    }
+}

@@ -476,16 +476,11 @@ fn check_round(
     }
     for o in sys.objects() {
         let fast = sys.page_table().weighted_fraction_in(o.pages(), Tier::Dram);
-        let mut total = 0.0;
-        let mut in_tier = 0.0;
-        for id in o.pages() {
-            let p = sys.page_table().get(id);
-            total += p.weight();
-            if p.tier() == Tier::Dram {
-                in_tier += p.weight();
-            }
-        }
-        let scan = if total > 0.0 { in_tier / total } else { 0.0 };
+        // The full run scan (streak-spec accumulation) must agree with the
+        // O(1) aggregate fast path bit for bit.
+        let scan = sys
+            .page_table()
+            .scan_weighted_fraction_in(o.pages(), Tier::Dram);
         if fast.to_bits() != scan.to_bits() {
             return Err(violation(
                 sched,

@@ -51,7 +51,16 @@ use crate::telemetry::BandwidthTimeline;
 /// Version 4 added the device fault domain: the `offlined` line and the
 /// `quarantine` page set, plus the widened `faultplan` / `faultstats`
 /// lines (poisoning, degradation windows, capacity offlining).
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// Version 5 replaced the per-page `pages` / `p` section with the extent
+/// framing `extents <runs> <pages>` + one `x` line per run (run starts are
+/// implicit in page order), matching the run-length page engine.
+///
+/// Decoding accepts every version `1 ..= CHECKPOINT_VERSION`; encoding
+/// always writes the current version. One back-compat caveat: a v1–v3
+/// payload whose fault injector was *armed* (`fault 1`) predates the v4
+/// widened `faultplan` / `faultstats` lines and does not decode;
+/// `fault 0` payloads of every version decode.
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// Retries after a failed WAL write attempt before the checkpoint is
 /// skipped for this round (the run continues; only recovery granularity
@@ -265,21 +274,24 @@ impl Checkpoint {
         let mut r = Reader::new(text);
         let t = r.line("merchckpt", 1)?;
         let version = p_u32(t[0])?;
-        if version != CHECKPOINT_VERSION {
+        if version == 0 || version > CHECKPOINT_VERSION {
             return Err(HmError::CheckpointCorrupt(format!(
-                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+                "unsupported checkpoint version {version} (this build reads 1..={CHECKPOINT_VERSION})"
             )));
         }
         let t = r.line("cursor", 2)?;
         let (next_round, blackout_cursor) = (p_usize(t[0])?, p_usize(t[1])?);
-        let sys = HmSystem::decode_state(&mut r)?;
+        let sys = HmSystem::decode_state_versioned(&mut r, version)?;
         let timeline = BandwidthTimeline::decode_state(&mut r)?;
         let t = r.line("completed", 1)?;
         let n_rounds = p_usize(t[0])?;
+        // v1 round lines predate the per-round epoch counters: 10 tokens,
+        // with migration_ns / round_time_ns / n_tasks shifted down two.
+        let round_tokens = if version >= 2 { 12 } else { 10 };
         let mut completed = Vec::with_capacity(n_rounds);
         for _ in 0..n_rounds {
-            let t = r.line("round", 12)?;
-            let n_tasks = p_usize(t[11])?;
+            let t = r.line("round", round_tokens)?;
+            let n_tasks = p_usize(t[round_tokens - 1])?;
             let mut tasks = Vec::with_capacity(n_tasks);
             for _ in 0..n_tasks {
                 let tt = r.line("task", 8)?;
@@ -296,6 +308,11 @@ impl Checkpoint {
                     },
                 });
             }
+            let (epoch_commits, epoch_rollbacks) = if version >= 2 {
+                (p_u64(t[7])?, p_u64(t[8])?)
+            } else {
+                (0, 0)
+            };
             completed.push(RoundReport {
                 round: p_usize(t[0])?,
                 tasks,
@@ -305,10 +322,10 @@ impl Checkpoint {
                 degraded: p_bool(t[4])?,
                 straggler_events: p_u64(t[5])?,
                 watchdog_pages: p_u64(t[6])?,
-                epoch_commits: p_u64(t[7])?,
-                epoch_rollbacks: p_u64(t[8])?,
-                migration_ns: p_f64(t[9])?,
-                round_time_ns: p_f64(t[10])?,
+                epoch_commits,
+                epoch_rollbacks,
+                migration_ns: p_f64(t[round_tokens - 3])?,
+                round_time_ns: p_f64(t[round_tokens - 2])?,
             });
         }
         let t = r.line("policy", 1)?;
@@ -525,6 +542,7 @@ impl Wal {
 
 #[cfg(test)]
 mod tests {
+    use std::fmt::Write as _;
     use std::io::Write as _;
 
     use super::*;
@@ -619,10 +637,86 @@ mod tests {
         }
     }
 
+    /// Rewrite a v5 payload into the framing an older build would have
+    /// written: expand `extents`/`x` run lines back to `pages`/`p` per-page
+    /// lines (v4), then progressively strip `quarantine`+`offlined` (v3),
+    /// `dramquota` (v2), and the epoch counters in `syscounters` and
+    /// `round` lines (v1).
+    fn downgrade(text: &str, version: u32) -> String {
+        let mut out = String::new();
+        for line in text.lines() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks[0] {
+                "merchckpt" => writeln!(out, "merchckpt {version}").unwrap(),
+                "extents" => writeln!(out, "pages {}", toks[2]).unwrap(),
+                "x" => {
+                    let len: u64 = toks[1].parse().unwrap();
+                    for _ in 0..len {
+                        writeln!(out, "p {}", toks[2..].join(" ")).unwrap();
+                    }
+                }
+                "quarantine" | "offlined" if version < 4 => {}
+                "dramquota" if version < 3 => {}
+                "syscounters" if version < 2 => {
+                    writeln!(out, "syscounters {}", toks[1..5].join(" ")).unwrap()
+                }
+                "round" if version < 2 => {
+                    let mut t = toks[1..].to_vec();
+                    t.remove(7); // epoch_commits
+                    t.remove(7); // epoch_rollbacks
+                    writeln!(out, "round {}", t.join(" ")).unwrap()
+                }
+                _ => writeln!(out, "{line}").unwrap(),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn legacy_versions_still_decode() {
+        // Fault-free, quarantine-free system: the one shape every legacy
+        // version can represent (v1–v3 fault-armed payloads predate the
+        // v4 fault-line widening and are documented as undecodable).
+        let mut ck = sample_checkpoint();
+        ck.sys = HmSystem::new(HmConfig::calibrated(16 * PAGE_SIZE, 128 * PAGE_SIZE), 7);
+        let a = ck
+            .sys
+            .allocate(
+                &ObjectSpec::new("legacy", 3 * PAGE_SIZE).with_skew(1.1),
+                crate::config::Tier::Pm,
+            )
+            .unwrap();
+        ck.sys.begin_round(1);
+        ck.sys.record_accesses(a, 55.5);
+        ck.sys.migrate_object_pages(a, crate::config::Tier::Dram, 2);
+        let v5 = ck.encode();
+        for version in 1..=4u32 {
+            let legacy = downgrade(&v5, version);
+            let back = Checkpoint::decode(&legacy)
+                .unwrap_or_else(|e| panic!("v{version} payload must decode: {e:?}"));
+            // Page-table state is bit-identical however it was framed.
+            assert_eq!(
+                format!("{:?}", back.sys.page_table()),
+                format!("{:?}", ck.sys.page_table()),
+                "v{version} page table"
+            );
+            assert_eq!(back.next_round, ck.next_round, "v{version} cursor");
+            assert_eq!(back.completed.len(), ck.completed.len());
+            let (r0, o0) = (&back.completed[0], &ck.completed[0]);
+            assert_eq!(r0.migration_pages, o0.migration_pages, "v{version}");
+            assert_eq!(r0.round_time_ns, o0.round_time_ns, "v{version}");
+            // Fields a version predates come back zeroed, not garbled.
+            let want_epochs = if version >= 2 { o0.epoch_commits } else { 0 };
+            assert_eq!(r0.epoch_commits, want_epochs, "v{version} epochs");
+            // Re-encoding always upgrades to the current framing.
+            assert!(back.encode().starts_with("merchckpt 5\n"));
+        }
+    }
+
     #[test]
     fn version_mismatch_rejected() {
         let ck = sample_checkpoint();
-        let text = ck.encode().replacen("merchckpt 4", "merchckpt 99", 1);
+        let text = ck.encode().replacen("merchckpt 5", "merchckpt 99", 1);
         assert!(matches!(
             Checkpoint::decode(&text),
             Err(HmError::CheckpointCorrupt(_))

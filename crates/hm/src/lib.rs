@@ -11,8 +11,10 @@
 //! Components:
 //!
 //! * [`config`] — tier parameters and the calibrated defaults;
-//! * [`object`]/[`page`] — data objects, 4 KiB pages, per-page access
-//!   weights and counters (the emulated PTE accessed bits);
+//! * [`object`]/[`page`] — data objects and the extent page table: 4 KiB
+//!   pages with access weights and counters (the emulated PTE accessed
+//!   bits) stored as contiguous same-state runs, sharded by page range so
+//!   round phases parallelise with deterministic merges;
 //! * [`system`] — [`system::HmSystem`]: allocation, placement, migration
 //!   with capacity management, page-level profiling state;
 //! * [`trace`] — phase-level access summaries emitted by workloads and the
@@ -63,7 +65,10 @@ pub use cost::{phase_cost_detail, PhaseCostDetail, Regime};
 pub use epoch::{decode_journal, EpochIntent, EpochOutcome, EPOCH_JOURNAL_VERSION};
 pub use fault::{CrashPoint, FaultInjector, FaultKind, FaultPlan, FaultStats, FaultSummary};
 pub use object::{DataObject, ObjectId, ObjectSpec};
-pub use page::{PageId, PageInfo, PageTable, PAGE_SIZE};
+pub use page::{
+    engine_jobs, set_engine_jobs, PageId, PageInfo, PageTable, RefTable, Run, PAGE_SIZE,
+    SHARD_PAGES,
+};
 pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult, WatchdogConfig};
 pub use service::{
     PlacementService, ServiceConfig, ServiceReport, ShedReason, SubmitOutcome, TenantId, TenantJob,
@@ -71,6 +76,8 @@ pub use service::{
 };
 pub use system::HmSystem;
 pub use telemetry::{BandwidthTimeline, Warning};
-pub use topk::{cold_pages_top_k, hot_pages_top_k};
+pub use topk::{
+    cold_pages_top_k, expand_cold_runs_top_k, expand_hot_runs_top_k, hot_pages_top_k, CandidateRun,
+};
 pub use trace::{memory_accesses, ObjectAccess, Phase, TaskWork};
 pub use workload::{TaskId, Workload};

@@ -1,4 +1,4 @@
-//! Pages and the emulated page table.
+//! Pages and the emulated page table — extent/run-length edition.
 //!
 //! Each 4 KiB page carries the state real tiering systems read and write:
 //! current tier, an *accessed* bit (the PTE bit profilers scan and reset),
@@ -7,15 +7,30 @@
 //! objects, skewed for random-pattern objects with hot entries) — this is
 //! what makes hot-page detection meaningful in the emulation.
 //!
-//! The table keeps incremental accounting alongside the flat page vector:
-//! exact per-tier page counters (so `bytes_in` is O(1)) and per-object
-//! weighted-residency aggregates (so `weighted_fraction_in` over a whole
-//! object is O(1) between placement changes). Tier and weight are therefore
-//! private — all writes go through [`PageTable::set_tier`] /
-//! [`PageTable::set_weight`] so the aggregates can never silently drift
-//! from the pages.
+//! Instead of one `PageInfo` per page, the table stores maximal *runs*:
+//! contiguous page ranges whose full state (object, tier, weight bits,
+//! accessed, access-count bits, migration count) is bitwise identical.
+//! Uniform objects start as a handful of runs regardless of size, batch
+//! migrations split and re-merge runs instead of writing every page, and
+//! whole-table sweeps (record, age, reset) cost O(runs), not O(pages).
+//!
+//! The run space is sharded by page range ([`SHARD_PAGES`] pages per
+//! shard; runs never cross a shard boundary) so round phases can run in
+//! parallel across shards. Every parallel phase merges its per-shard
+//! results in ascending shard order, which keeps all outputs byte-identical
+//! to the sequential engine regardless of the job count.
+//!
+//! Weighted sums follow one fixed *streak* specification everywhere (see
+//! [`PageTable::scan_weight_sums`]): within each shard, maximal
+//! (weight-bits, tier)-equal streaks contribute `weight * streak_len`, and
+//! per-shard partial sums fold in shard order. The per-page [`RefTable`]
+//! oracle implements the identical spec, so extent-engine outputs can be
+//! compared bitwise against a straightforward per-page model in tests and
+//! benches.
 
 use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -28,8 +43,47 @@ pub const PAGE_SIZE: u64 = 4096;
 /// Pages per 2 MiB huge region (Thermostat samples one 4 KiB page per 2 MiB).
 pub const PAGES_PER_HUGE_REGION: u64 = (2 << 20) / PAGE_SIZE;
 
+/// Pages per extent shard. Runs never cross a shard boundary and weighted
+/// streak sums break here, so per-shard partials are independent of how
+/// work is divided among threads. 2^16 pages = 256 MiB of address space
+/// per shard; every unit-test-sized table fits in one shard, where the
+/// engine is exactly the serial specification.
+pub const SHARD_PAGES: u64 = 1 << 16;
+
+/// Shard spans below this stay sequential — thread spawn overhead would
+/// dominate.
+const PAR_MIN_SHARDS: usize = 8;
+
+/// In auto mode (`set_engine_jobs(0)`), spans whose total run count is
+/// below this also stay sequential: spawning the worker pool costs tens
+/// of microseconds, while scanning a well-coalesced span costs tens of
+/// nanoseconds per run, so parallelism only pays once the span carries
+/// real work. An explicit `set_engine_jobs(n >= 2)` bypasses the work
+/// estimate — the `--jobs`-independence tests force both paths that way,
+/// and results are identical on either path by construction.
+const PAR_MIN_RUNS: usize = 16_384;
+
 /// Global page identifier.
 pub type PageId = u64;
+
+static ENGINE_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker count for parallel shard phases (0 = auto-detect).
+/// Mirrors `merch_bench::par::set_sweep_jobs`; the engine lives below that
+/// crate in the dependency graph, so it carries its own knob.
+pub fn set_engine_jobs(jobs: usize) {
+    ENGINE_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Effective worker count for parallel shard phases.
+pub fn engine_jobs() -> usize {
+    match ENGINE_JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
 
 fn tier_idx(tier: Tier) -> usize {
     match tier {
@@ -39,7 +93,7 @@ fn tier_idx(tier: Tier) -> usize {
 }
 
 /// Per-page metadata (an emulated PTE plus profiling counters).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PageInfo {
     /// Object the page belongs to.
     pub object: ObjectId,
@@ -89,32 +143,225 @@ impl PageInfo {
             migrations,
         }
     }
+
+    /// Bitwise state equality — the run-coalescing relation: two pages are
+    /// mergeable exactly when every field (floats compared by bits) matches.
+    pub fn bits_eq(&self, o: &PageInfo) -> bool {
+        self.object == o.object
+            && self.tier == o.tier
+            && self.weight.to_bits() == o.weight.to_bits()
+            && self.accessed == o.accessed
+            && self.access_count.to_bits() == o.access_count.to_bits()
+            && self.migrations == o.migrations
+    }
+}
+
+/// One extent: `len` contiguous pages starting at `start` whose full state
+/// is bitwise identical. Runs are maximal (always coalesced) within their
+/// shard, which makes the table representation — and therefore its derived
+/// `Debug` output — canonical for a given page-level state.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Run {
+    /// First page of the run.
+    pub start: PageId,
+    /// Pages in the run (≥ 1).
+    pub len: u64,
+    /// Shared state of every page in the run.
+    pub info: PageInfo,
+}
+
+impl Run {
+    /// One-past-the-end page id.
+    pub fn end(&self) -> PageId {
+        self.start + self.len
+    }
+}
+
+fn push_run(out: &mut Vec<Run>, start: PageId, len: u64, info: PageInfo) {
+    if len == 0 {
+        return;
+    }
+    if let Some(last) = out.last_mut() {
+        if last.end() == start && last.info.bits_eq(&info) {
+            last.len += len;
+            return;
+        }
+    }
+    out.push(Run { start, len, info });
+}
+
+/// One shard: the runs covering `[si * SHARD_PAGES, (si + 1) * SHARD_PAGES)`.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+struct Shard {
+    runs: Vec<Run>,
+}
+
+/// Rebuild a shard's run vector applying `f` to every run-segment
+/// overlapping `range`. `f` sees the segment's (uniform) state and length;
+/// because every mutation the engine performs depends only on the page's
+/// prior state, one application per segment equals one application per
+/// page. Output is re-coalesced, so the representation stays canonical.
+fn shard_apply(runs: &mut Vec<Run>, range: &Range<PageId>, f: &mut dyn FnMut(&mut PageInfo, u64)) {
+    let mut out = Vec::with_capacity(runs.len() + 2);
+    for r in runs.iter() {
+        let lo = r.start.max(range.start);
+        let hi = r.end().min(range.end);
+        if lo >= hi {
+            push_run(&mut out, r.start, r.len, r.info);
+            continue;
+        }
+        push_run(&mut out, r.start, lo - r.start, r.info);
+        let mut info = r.info;
+        f(&mut info, hi - lo);
+        push_run(&mut out, lo, hi - lo, info);
+        push_run(&mut out, hi, r.end() - hi, r.info);
+    }
+    *runs = out;
+}
+
+/// Per-page variant of [`shard_apply`] for mutations that differ page to
+/// page (weight reassignment). Segments outside `range` pass through as
+/// whole runs; inside, `f` runs once per page.
+fn shard_apply_paged(
+    runs: &mut Vec<Run>,
+    range: &Range<PageId>,
+    f: &mut dyn FnMut(&mut PageInfo, PageId),
+) {
+    let mut out = Vec::with_capacity(runs.len() + 2);
+    for r in runs.iter() {
+        let lo = r.start.max(range.start);
+        let hi = r.end().min(range.end);
+        if lo >= hi {
+            push_run(&mut out, r.start, r.len, r.info);
+            continue;
+        }
+        push_run(&mut out, r.start, lo - r.start, r.info);
+        for id in lo..hi {
+            let mut info = r.info;
+            f(&mut info, id);
+            push_run(&mut out, id, 1, info);
+        }
+        push_run(&mut out, hi, r.end() - hi, r.info);
+    }
+    *runs = out;
+}
+
+/// Streak-spec weighted sums over one shard's runs clipped to `range`:
+/// maximal (weight-bits, tier)-equal streaks contribute `w * len`, folded
+/// in run order. Returns `(total, in_[tier])`.
+fn shard_weight_sums(runs: &[Run], range: &Range<PageId>) -> (f64, [f64; 2]) {
+    let mut total = 0.0;
+    let mut in_ = [0.0; 2];
+    let mut cur: Option<(u64, Tier, u64)> = None; // (weight bits, tier, pages)
+    let flush = |cur: &mut Option<(u64, Tier, u64)>, total: &mut f64, in_: &mut [f64; 2]| {
+        if let Some((wb, t, l)) = cur.take() {
+            let c = f64::from_bits(wb) * l as f64;
+            *total += c;
+            in_[tier_idx(t)] += c;
+        }
+    };
+    for r in runs {
+        let lo = r.start.max(range.start);
+        let hi = r.end().min(range.end);
+        if lo >= hi {
+            continue;
+        }
+        let key = (r.info.weight.to_bits(), r.info.tier);
+        match &mut cur {
+            Some((wb, t, l)) if *wb == key.0 && *t == key.1 => *l += hi - lo,
+            _ => {
+                flush(&mut cur, &mut total, &mut in_);
+                cur = Some((key.0, key.1, hi - lo));
+            }
+        }
+    }
+    flush(&mut cur, &mut total, &mut in_);
+    (total, in_)
+}
+
+/// Run `f` over each shard of `shards` on up to `jobs` workers, returning
+/// per-shard results in ascending shard order (index passed to `f` is the
+/// offset within `shards`). Deterministic: the work split never affects
+/// the result order.
+fn par_map_mut<T: Send>(
+    shards: &mut [Shard],
+    jobs: usize,
+    f: &(dyn Fn(usize, &mut Shard) -> T + Sync),
+) -> Vec<T> {
+    let n = shards.len();
+    let chunk = n.div_ceil(jobs.max(1)).max(1);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    crossbeam::thread::scope(|scope| {
+        for (ci, (sh, slots)) in shards
+            .chunks_mut(chunk)
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            scope.spawn(move |_| {
+                for (j, (shard, slot)) in sh.iter_mut().zip(slots.iter_mut()).enumerate() {
+                    *slot = Some(f(ci * chunk + j, shard));
+                }
+            });
+        }
+    })
+    .expect("extent shard worker panicked");
+    out.into_iter()
+        .map(|o| o.expect("every shard visited"))
+        .collect()
+}
+
+/// Read-only sibling of [`par_map_mut`].
+fn par_map_ref<T: Send>(
+    shards: &[Shard],
+    jobs: usize,
+    f: &(dyn Fn(usize, &Shard) -> T + Sync),
+) -> Vec<T> {
+    let n = shards.len();
+    let chunk = n.div_ceil(jobs.max(1)).max(1);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    crossbeam::thread::scope(|scope| {
+        for (ci, (sh, slots)) in shards.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+            scope.spawn(move |_| {
+                for (j, (shard, slot)) in sh.iter().zip(slots.iter_mut()).enumerate() {
+                    *slot = Some(f(ci * chunk + j, shard));
+                }
+            });
+        }
+    })
+    .expect("extent shard worker panicked");
+    out.into_iter()
+        .map(|o| o.expect("every shard visited"))
+        .collect()
 }
 
 /// Per-object weighted-residency aggregate: the running sums
 /// `weighted_fraction_in` needs, maintained incrementally so whole-object
-/// queries skip the page scan.
+/// queries skip the run scan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ObjAgg {
     /// First page of the object's range.
     first_page: PageId,
     /// Pages in the object's range.
     num_pages: u64,
-    /// Sum of page weights over the range, accumulated in page-id order.
+    /// Streak-spec weight total over the range (see
+    /// [`PageTable::scan_weight_sums`]).
     weight_total: f64,
-    /// Per-tier weight sums (indexed by `tier_idx`), each accumulated in
-    /// page-id order over the pages of that tier — bitwise identical to
-    /// the sums a fresh range scan produces.
+    /// Per-tier streak-spec weight sums (indexed by `tier_idx`) — bitwise
+    /// identical to what a fresh [`PageTable::scan_weight_sums`] returns.
     weight_in: [f64; 2],
     /// True when a tier/weight write invalidated the float sums.
     dirty: bool,
 }
 
-/// The emulated page table: flat vector of [`PageInfo`] indexed by
-/// [`PageId`], plus incremental tier accounting.
+/// The emulated page table: sharded run-length extents plus incremental
+/// tier accounting.
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct PageTable {
-    pages: Vec<PageInfo>,
+    shards: Vec<Shard>,
+    /// Total mapped pages.
+    num_pages: u64,
     /// Pages resident per tier (indexed by `tier_idx`). Exact integers,
     /// updated eagerly on every tier change — `bytes_in` never scans.
     tier_pages: [u64; 2],
@@ -130,49 +377,71 @@ pub struct PageTable {
     /// Pages whose DRAM frame was poisoned by an uncorrectable ECC error.
     /// Quarantined pages are permanently pinned off DRAM; the set is part
     /// of the derived `Debug` output, so every bitwise page-table
-    /// comparison (epoch rollback, replay determinism) covers it. Ordered
-    /// so serialization is canonical.
+    /// comparison (epoch rollback, replay determinism) covers it. In run
+    /// terms a quarantined page is a punch-out: batch promotions split
+    /// around it and leave it behind on PM. Ordered so serialization is
+    /// canonical.
     quarantine: BTreeSet<PageId>,
+}
+
+fn shard_of(id: PageId) -> usize {
+    (id / SHARD_PAGES) as usize
 }
 
 impl PageTable {
     /// Number of pages.
     pub fn len(&self) -> usize {
-        self.pages.len()
+        self.num_pages as usize
     }
 
     /// True when no pages are mapped.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.num_pages == 0
     }
 
-    /// Append pages for a new object; returns the first new page id.
-    pub fn extend_for_object(
-        &mut self,
-        object: ObjectId,
-        tier: Tier,
-        weights: impl IntoIterator<Item = f64>,
-    ) -> PageId {
-        let first = self.pages.len() as PageId;
-        let mut weight_total = 0.0;
-        for w in weights {
-            self.pages.push(PageInfo {
-                object,
-                tier,
-                weight: w,
-                accessed: false,
-                access_count: 0.0,
-                migrations: 0,
-            });
-            weight_total += w;
+    /// Number of extents currently in the table (fragmentation gauge;
+    /// 1 run per object per shard when fully coalesced).
+    pub fn num_extents(&self) -> usize {
+        self.shards.iter().map(|s| s.runs.len()).sum()
+    }
+
+    /// Inclusive shard span of a non-empty range, clamped to the table.
+    fn shard_span(&self, range: &Range<PageId>) -> Option<(usize, usize)> {
+        if range.start >= range.end || self.shards.is_empty() {
+            return None;
         }
-        let num_pages = self.pages.len() as PageId - first;
-        self.tier_pages[tier_idx(tier)] += num_pages;
+        let s0 = shard_of(range.start).min(self.shards.len() - 1);
+        let s1 = shard_of(range.end - 1).min(self.shards.len() - 1);
+        Some((s0, s1))
+    }
+
+    /// Append one page with arbitrary state, coalescing with the shard's
+    /// last run when possible.
+    fn append_page(&mut self, info: PageInfo) {
+        let id = self.num_pages;
+        let si = shard_of(id);
+        if si == self.shards.len() {
+            self.shards.push(Shard::default());
+        }
+        let runs = &mut self.shards[si].runs;
+        if let Some(last) = runs.last_mut() {
+            if last.end() == id && last.info.bits_eq(&info) {
+                last.len += 1;
+                self.num_pages += 1;
+                return;
+            }
+        }
+        runs.push(Run {
+            start: id,
+            len: 1,
+            info,
+        });
+        self.num_pages += 1;
+    }
+
+    fn push_object_agg(&mut self, object: ObjectId, first: PageId, num_pages: u64) {
         if object.0 as usize == self.aggs.len() {
-            // All pages start on one tier, so that tier's in-order sum is
-            // exactly the in-order total.
-            let mut weight_in = [0.0; 2];
-            weight_in[tier_idx(tier)] = weight_total;
+            let (weight_total, weight_in) = self.scan_weight_sums(first..first + num_pages);
             self.aggs.push(ObjAgg {
                 first_page: first,
                 num_pages,
@@ -183,6 +452,66 @@ impl PageTable {
         } else {
             self.irregular = true;
         }
+    }
+
+    /// Append pages for a new object; returns the first new page id.
+    pub fn extend_for_object(
+        &mut self,
+        object: ObjectId,
+        tier: Tier,
+        weights: impl IntoIterator<Item = f64>,
+    ) -> PageId {
+        let first = self.num_pages;
+        for w in weights {
+            self.append_page(PageInfo {
+                object,
+                tier,
+                weight: w,
+                accessed: false,
+                access_count: 0.0,
+                migrations: 0,
+            });
+        }
+        let num_pages = self.num_pages - first;
+        self.tier_pages[tier_idx(tier)] += num_pages;
+        self.push_object_agg(object, first, num_pages);
+        first
+    }
+
+    /// Append `num_pages` uniform-weight pages for a new object without
+    /// materializing a per-page weight vector: O(num_pages / SHARD_PAGES)
+    /// runs. State-identical to `extend_for_object` with a repeated
+    /// `weight` — the fast path `allocate` takes for unskewed objects.
+    pub fn extend_uniform_for_object(
+        &mut self,
+        object: ObjectId,
+        tier: Tier,
+        num_pages: u64,
+        weight: f64,
+    ) -> PageId {
+        let first = self.num_pages;
+        let info = PageInfo {
+            object,
+            tier,
+            weight,
+            accessed: false,
+            access_count: 0.0,
+            migrations: 0,
+        };
+        let end = first + num_pages;
+        let mut id = first;
+        while id < end {
+            let si = shard_of(id);
+            if si == self.shards.len() {
+                self.shards.push(Shard::default());
+            }
+            let len = ((si as u64 + 1) * SHARD_PAGES).min(end) - id;
+            push_run(&mut self.shards[si].runs, id, len, info);
+            id += len;
+        }
+        self.num_pages = end;
+        self.tier_pages[tier_idx(tier)] += num_pages;
+        self.push_object_agg(object, first, num_pages);
         first
     }
 
@@ -191,7 +520,7 @@ impl PageTable {
     /// Call [`flush_aggregates`](Self::flush_aggregates) once after the
     /// last page so whole-object queries regain their O(1) path.
     pub fn push_raw(&mut self, page: PageInfo) {
-        let id = self.pages.len() as PageId;
+        let id = self.num_pages;
         self.tier_pages[tier_idx(page.tier)] += 1;
         let oi = page.object.0 as usize;
         if oi == self.aggs.len() {
@@ -210,24 +539,153 @@ impl PageTable {
         } else {
             self.irregular = true;
         }
-        self.pages.push(page);
+        self.append_page(page);
     }
 
-    /// Immutable page lookup.
-    pub fn get(&self, id: PageId) -> &PageInfo {
-        &self.pages[id as usize]
+    /// Restore one whole run (checkpoint v5 decode): `len` pages sharing
+    /// `info`, appended at the current end of the table. Aggregate
+    /// bookkeeping matches `len` consecutive [`push_raw`](Self::push_raw)
+    /// calls.
+    pub fn push_raw_run(&mut self, len: u64, info: PageInfo) {
+        let first = self.num_pages;
+        self.tier_pages[tier_idx(info.tier)] += len;
+        let oi = info.object.0 as usize;
+        if oi == self.aggs.len() {
+            self.aggs.push(ObjAgg {
+                first_page: first,
+                num_pages: len,
+                weight_total: 0.0,
+                weight_in: [0.0; 2],
+                dirty: true,
+            });
+            self.dirty.push(info.object.0);
+        } else if oi + 1 == self.aggs.len()
+            && self.aggs[oi].first_page + self.aggs[oi].num_pages == first
+        {
+            self.aggs[oi].num_pages += len;
+        } else if len > 0 {
+            self.irregular = true;
+        }
+        let end = first + len;
+        let mut id = first;
+        while id < end {
+            let si = shard_of(id);
+            if si == self.shards.len() {
+                self.shards.push(Shard::default());
+            }
+            let seg = ((si as u64 + 1) * SHARD_PAGES).min(end) - id;
+            push_run(&mut self.shards[si].runs, id, seg, info);
+            id += seg;
+        }
+        self.num_pages = end;
     }
 
-    /// Mutable page lookup (profiling state only — tier and weight are
-    /// private and writable solely through [`set_tier`](Self::set_tier) /
-    /// [`set_weight`](Self::set_weight)).
-    pub fn get_mut(&mut self, id: PageId) -> &mut PageInfo {
-        &mut self.pages[id as usize]
+    /// Page state by value (`PageInfo` is `Copy`; mutation goes through
+    /// the targeted mutators so runs and counters stay consistent).
+    pub fn get(&self, id: PageId) -> PageInfo {
+        assert!(id < self.num_pages, "page {id} out of bounds");
+        let runs = &self.shards[shard_of(id)].runs;
+        let i = runs.partition_point(|r| r.end() <= id);
+        runs[i].info
     }
 
-    /// Iterate over `(PageId, &PageInfo)`.
-    pub fn iter(&self) -> impl Iterator<Item = (PageId, &PageInfo)> {
-        self.pages.iter().enumerate().map(|(i, p)| (i as PageId, p))
+    /// Iterate over `(PageId, PageInfo)` by value, in page order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, PageInfo)> + '_ {
+        self.runs()
+            .flat_map(|r| (r.start..r.end()).map(move |id| (id, r.info)))
+    }
+
+    /// Iterate all runs in page order.
+    pub fn runs(&self) -> impl Iterator<Item = Run> + '_ {
+        self.shards.iter().flat_map(|s| s.runs.iter().copied())
+    }
+
+    /// Iterate runs clipped to `range`, in page order.
+    pub fn runs_in(&self, range: Range<PageId>) -> impl Iterator<Item = Run> + '_ {
+        let (s0, s1) = self.shard_span(&range).map_or((0, 0), |(a, b)| (a, b + 1));
+        self.shards[s0..s1].iter().flat_map(move |sh| {
+            let (start, end) = (range.start, range.end);
+            sh.runs.iter().filter_map(move |r| {
+                let lo = r.start.max(start);
+                let hi = r.end().min(end);
+                (lo < hi).then(|| Run {
+                    start: lo,
+                    len: hi - lo,
+                    info: r.info,
+                })
+            })
+        })
+    }
+
+    /// `idx`-th page (ascending id order) currently resident in `tier` —
+    /// an O(runs) order-statistic walk replacing O(pages) resident-list
+    /// materialization (fault-victim selection).
+    pub fn nth_page_in_tier(&self, tier: Tier, mut idx: u64) -> Option<PageId> {
+        for r in self.runs() {
+            if r.info.tier == tier {
+                if idx < r.len {
+                    return Some(r.start + idx);
+                }
+                idx -= r.len;
+            }
+        }
+        None
+    }
+
+    /// Pages currently resident in `tier` (O(1) from the counters).
+    pub fn pages_in(&self, tier: Tier) -> u64 {
+        self.tier_pages[tier_idx(tier)]
+    }
+
+    /// Sequential split-apply-coalesce over every run segment in `range`.
+    fn apply(&mut self, range: Range<PageId>, mut f: impl FnMut(&mut PageInfo, u64)) {
+        let Some((s0, s1)) = self.shard_span(&range) else {
+            return;
+        };
+        for si in s0..=s1 {
+            shard_apply(&mut self.shards[si].runs, &range, &mut f);
+        }
+    }
+
+    /// Worker count a parallel phase over shards `s0..=s1` should use;
+    /// `<= 1` means stay on the sequential path. Explicit job counts are
+    /// honoured as set; auto mode additionally requires enough total runs
+    /// in the span ([`PAR_MIN_RUNS`]) to amortize the pool spawn.
+    fn span_jobs(&self, s0: usize, s1: usize) -> usize {
+        if s1 - s0 + 1 < PAR_MIN_SHARDS {
+            return 1;
+        }
+        match ENGINE_JOBS.load(Ordering::Relaxed) {
+            0 => {
+                let runs: usize = self.shards[s0..=s1].iter().map(|s| s.runs.len()).sum();
+                if runs < PAR_MIN_RUNS {
+                    1
+                } else {
+                    engine_jobs()
+                }
+            }
+            n => n,
+        }
+    }
+
+    /// Parallel split-apply-coalesce for state-pure mutations (the new
+    /// value of a page depends only on its prior state). Falls back to the
+    /// sequential path for small spans or `jobs <= 1`; results are
+    /// identical either way because shards are independent.
+    fn apply_par(&mut self, range: Range<PageId>, f: impl Fn(&mut PageInfo, u64) + Sync) {
+        let Some((s0, s1)) = self.shard_span(&range) else {
+            return;
+        };
+        let jobs = self.span_jobs(s0, s1);
+        if jobs <= 1 {
+            for si in s0..=s1 {
+                shard_apply(&mut self.shards[si].runs, &range, &mut |p, l| f(p, l));
+            }
+            return;
+        }
+        par_map_mut(&mut self.shards[s0..=s1], jobs, &|_, sh| {
+            shard_apply(&mut sh.runs, &range, &mut |p, l| f(p, l));
+        });
     }
 
     fn mark_dirty(&mut self, object: ObjectId) {
@@ -244,43 +702,217 @@ impl PageTable {
     /// Move page `id` to `to`, keeping the tier counters exact and marking
     /// the owning object's aggregate for recomputation.
     pub fn set_tier(&mut self, id: PageId, to: Tier) {
-        let p = &mut self.pages[id as usize];
-        if p.tier == to {
-            return;
+        let mut changed: Option<(Tier, ObjectId)> = None;
+        self.apply(id..id + 1, |p, _| {
+            if p.tier != to {
+                changed = Some((p.tier, p.object));
+                p.tier = to;
+            }
+        });
+        if let Some((from, object)) = changed {
+            self.tier_pages[tier_idx(from)] -= 1;
+            self.tier_pages[tier_idx(to)] += 1;
+            self.mark_dirty(object);
         }
-        self.tier_pages[tier_idx(p.tier)] -= 1;
-        self.tier_pages[tier_idx(to)] += 1;
-        p.tier = to;
-        let object = p.object;
-        self.mark_dirty(object);
+    }
+
+    /// Batch tier move: every page of `range` not already on `to` moves in
+    /// one extent split/merge sweep. Per-shard (tier-delta, dirty-object)
+    /// results merge in shard order, so counters and aggregates end up
+    /// exactly as the equivalent per-page [`set_tier`](Self::set_tier)
+    /// loop would leave them.
+    pub fn set_tier_range(&mut self, range: Range<PageId>, to: Tier) {
+        let Some((s0, s1)) = self.shard_span(&range) else {
+            return;
+        };
+        let jobs = self.span_jobs(s0, s1);
+        let per_shard: Vec<([u64; 2], BTreeSet<u32>)> = if jobs <= 1 {
+            (s0..=s1)
+                .map(|si| {
+                    let mut from_counts = [0u64; 2];
+                    let mut objs = BTreeSet::new();
+                    shard_apply(&mut self.shards[si].runs, &range, &mut |p, len| {
+                        if p.tier != to {
+                            from_counts[tier_idx(p.tier)] += len;
+                            objs.insert(p.object.0);
+                            p.tier = to;
+                        }
+                    });
+                    (from_counts, objs)
+                })
+                .collect()
+        } else {
+            par_map_mut(&mut self.shards[s0..=s1], jobs, &|_, sh| {
+                let mut from_counts = [0u64; 2];
+                let mut objs = BTreeSet::new();
+                shard_apply(&mut sh.runs, &range, &mut |p, len| {
+                    if p.tier != to {
+                        from_counts[tier_idx(p.tier)] += len;
+                        objs.insert(p.object.0);
+                        p.tier = to;
+                    }
+                });
+                (from_counts, objs)
+            })
+        };
+        for (from_counts, objs) in per_shard {
+            let moved = from_counts[0] + from_counts[1];
+            self.tier_pages[0] -= from_counts[0];
+            self.tier_pages[1] -= from_counts[1];
+            self.tier_pages[tier_idx(to)] += moved;
+            for o in objs {
+                self.mark_dirty(ObjectId(o));
+            }
+        }
     }
 
     /// Overwrite page `id`'s weight, marking the owning object's aggregate
     /// for recomputation.
     pub fn set_weight(&mut self, id: PageId, weight: f64) {
-        let p = &mut self.pages[id as usize];
-        p.weight = weight;
-        let object = p.object;
-        self.mark_dirty(object);
+        let mut object = None;
+        self.apply(id..id + 1, |p, _| {
+            p.weight = weight;
+            object = Some(p.object);
+        });
+        if let Some(object) = object {
+            self.mark_dirty(object);
+        }
     }
 
-    /// Recompute every dirty object aggregate by rescanning its range in
-    /// page-id order. Batched callers (migration loops) call this once at
-    /// the end; a query against a still-dirty object falls back to the
-    /// scan and stays correct either way.
+    /// Overwrite the weights of `first..first + weights.len()` in one
+    /// per-page sweep (weight reassignment) — equivalent to a
+    /// [`set_weight`](Self::set_weight) loop, one run rebuild per shard.
+    pub fn set_weights_range(&mut self, first: PageId, weights: &[f64]) {
+        let range = first..first + weights.len() as u64;
+        let mut objs = BTreeSet::new();
+        let Some((s0, s1)) = self.shard_span(&range) else {
+            return;
+        };
+        for si in s0..=s1 {
+            shard_apply_paged(&mut self.shards[si].runs, &range, &mut |p, id| {
+                p.weight = weights[(id - first) as usize];
+                objs.insert(p.object.0);
+            });
+        }
+        for o in objs {
+            self.mark_dirty(ObjectId(o));
+        }
+    }
+
+    /// Clear page `id`'s profiling state (PTE-scan reset).
+    pub fn reset_page_profiling(&mut self, id: PageId) {
+        self.apply(id..id + 1, |p, _| {
+            p.accessed = false;
+            p.access_count = 0.0;
+        });
+    }
+
+    /// Read-and-clear the accessed bit (DAMON / AutoNUMA sampling).
+    pub fn take_accessed(&mut self, id: PageId) -> bool {
+        let mut was = false;
+        self.apply(id..id + 1, |p, _| {
+            was = p.accessed;
+            p.accessed = false;
+        });
+        was
+    }
+
+    /// Overwrite page `id`'s access counter (profiler estimates).
+    pub fn set_access_count(&mut self, id: PageId, count: f64) {
+        self.apply(id..id + 1, |p, _| p.access_count = count);
+    }
+
+    /// Restore page `id`'s migration counter (epoch rollback).
+    pub fn set_migrations(&mut self, id: PageId, migrations: u32) {
+        self.apply(id..id + 1, |p, _| p.migrations = migrations);
+    }
+
+    /// Increment page `id`'s migration counter (poison remap accounting).
+    pub fn bump_migrations(&mut self, id: PageId) {
+        self.apply(id..id + 1, |p, _| p.migrations += 1);
+    }
+
+    /// Increment the migration counter of every page in `range`
+    /// (batch-migration bookkeeping).
+    pub fn bump_migrations_range(&mut self, range: Range<PageId>) {
+        self.apply_par(range, |p, _| p.migrations += 1);
+    }
+
+    /// Scale every access counter by `factor` (aging sweep). O(runs),
+    /// parallel across shards on large tables.
+    pub fn age_access_counts(&mut self, factor: f64) {
+        self.apply_par(0..self.num_pages, |p, _| p.access_count *= factor);
+    }
+
+    /// Clear every accessed bit and counter (start-of-interval reset).
+    pub fn reset_profiling_counters(&mut self) {
+        self.apply_par(0..self.num_pages, |p, _| {
+            p.accessed = false;
+            p.access_count = 0.0;
+        });
+    }
+
+    /// Record `accesses` object-level accesses over the page range
+    /// `range`, distributing them by page weight. The accessed bit is only
+    /// set when at least half an access is expected to land on the page
+    /// this interval — a page touched once every hundred rounds does not
+    /// have its PTE bit set every round on real hardware. Each run is
+    /// updated once (share depends only on weight), parallel across shards.
+    pub fn record_accesses(&mut self, range: Range<PageId>, accesses: f64) {
+        self.apply_par(range, |p, _| {
+            let share = accesses * p.weight;
+            if share > 0.0 {
+                p.access_count += share;
+                if share >= 0.5 {
+                    p.accessed = true;
+                }
+            }
+        });
+    }
+
+    /// Streak-spec weighted sums over `range`: per shard (ascending),
+    /// maximal (weight-bits, tier)-equal streaks contribute
+    /// `weight * streak_len`; per-shard partials fold in shard order. This
+    /// one specification defines every weighted sum in the engine — the
+    /// aggregates, the fraction queries, and the [`RefTable`] oracle all
+    /// produce bitwise-identical values, independent of run fragmentation
+    /// (streaks ignore object and run boundaries) and of the job count
+    /// (partials always fold in shard order).
+    pub fn scan_weight_sums(&self, range: Range<PageId>) -> (f64, [f64; 2]) {
+        let Some((s0, s1)) = self.shard_span(&range) else {
+            return (0.0, [0.0; 2]);
+        };
+        let jobs = self.span_jobs(s0, s1);
+        let partials: Vec<(f64, [f64; 2])> = if jobs <= 1 {
+            (s0..=s1)
+                .map(|si| shard_weight_sums(&self.shards[si].runs, &range))
+                .collect()
+        } else {
+            par_map_ref(&self.shards[s0..=s1], jobs, &|_, sh| {
+                shard_weight_sums(&sh.runs, &range)
+            })
+        };
+        let mut total = 0.0;
+        let mut in_ = [0.0; 2];
+        for (t, i2) in partials {
+            total += t;
+            in_[0] += i2[0];
+            in_[1] += i2[1];
+        }
+        (total, in_)
+    }
+
+    /// Recompute every dirty object aggregate from its range. Batched
+    /// callers (migration loops) call this once at the end; a query
+    /// against a still-dirty object falls back to the scan and stays
+    /// correct either way.
     pub fn flush_aggregates(&mut self) {
         while let Some(oi) = self.dirty.pop() {
             let Some(a) = self.aggs.get(oi as usize) else {
                 continue;
             };
-            let (first, num) = (a.first_page, a.num_pages);
-            let mut weight_total = 0.0;
-            let mut weight_in = [0.0; 2];
-            for id in first..first + num {
-                let p = &self.pages[id as usize];
-                weight_total += p.weight;
-                weight_in[tier_idx(p.tier)] += p.weight;
-            }
+            let range = a.first_page..a.first_page + a.num_pages;
+            let (weight_total, weight_in) = self.scan_weight_sums(range);
             let a = &mut self.aggs[oi as usize];
             a.weight_total = weight_total;
             a.weight_in = weight_in;
@@ -298,32 +930,15 @@ impl PageTable {
         self.dirty.is_empty() && !self.irregular
     }
 
-    /// Record `accesses` object-level accesses over the page range
-    /// `range`, distributing them by page weight. The accessed bit is only
-    /// set when at least half an access is expected to land on the page
-    /// this interval — a page touched once every hundred rounds does not
-    /// have its PTE bit set every round on real hardware.
-    pub fn record_accesses(&mut self, range: std::ops::Range<PageId>, accesses: f64) {
-        for id in range {
-            let p = &mut self.pages[id as usize];
-            let share = accesses * p.weight;
-            if share > 0.0 {
-                p.access_count += share;
-                if share >= 0.5 {
-                    p.accessed = true;
-                }
-            }
-        }
-    }
-
     /// Weighted fraction of the range currently resident in `tier`. O(1)
     /// when the range is exactly one object with a clean aggregate (the
-    /// policy's per-object queries); otherwise falls back to the scan,
-    /// which accumulates in the same page-id order and therefore returns
-    /// the bitwise-identical value.
-    pub fn weighted_fraction_in(&self, range: std::ops::Range<PageId>, tier: Tier) -> f64 {
-        if !self.irregular && range.start < range.end && (range.start as usize) < self.pages.len() {
-            let oi = self.pages[range.start as usize].object.0 as usize;
+    /// policy's per-object queries); otherwise falls back to
+    /// [`scan_weight_sums`](Self::scan_weight_sums), which implements the
+    /// same specification and therefore returns the bitwise-identical
+    /// value.
+    pub fn weighted_fraction_in(&self, range: Range<PageId>, tier: Tier) -> f64 {
+        if !self.irregular && range.start < range.end && range.start < self.num_pages {
+            let oi = self.get(range.start).object.0 as usize;
             if let Some(a) = self.aggs.get(oi) {
                 if !a.dirty && a.first_page == range.start && a.num_pages == range.end - range.start
                 {
@@ -335,17 +950,15 @@ impl PageTable {
                 }
             }
         }
-        let mut total = 0.0;
-        let mut in_tier = 0.0;
-        for id in range {
-            let p = &self.pages[id as usize];
-            total += p.weight;
-            if p.tier == tier {
-                in_tier += p.weight;
-            }
-        }
+        self.scan_weighted_fraction_in(range, tier)
+    }
+
+    /// Forced-scan fraction (no aggregate fast path) — the reference the
+    /// fast path is tested against.
+    pub fn scan_weighted_fraction_in(&self, range: Range<PageId>, tier: Tier) -> f64 {
+        let (total, in_) = self.scan_weight_sums(range);
         if total > 0.0 {
-            in_tier / total
+            in_[tier_idx(tier)] / total
         } else {
             0.0
         }
@@ -356,7 +969,7 @@ impl PageTable {
     /// quarantined. Does not move the page — the system remaps it via
     /// [`set_tier`](Self::set_tier) and charges the repair cost.
     pub fn quarantine_page(&mut self, id: PageId) -> bool {
-        debug_assert!((id as usize) < self.pages.len());
+        debug_assert!(id < self.num_pages);
         self.quarantine.insert(id)
     }
 
@@ -368,6 +981,18 @@ impl PageTable {
     /// Quarantined pages in ascending page-id order.
     pub fn quarantined(&self) -> impl Iterator<Item = PageId> + '_ {
         self.quarantine.iter().copied()
+    }
+
+    /// Any quarantined page inside `range`? Batch promotions use this to
+    /// decide whether a contiguous group needs per-page punch-outs.
+    pub fn quarantined_in(&self, range: Range<PageId>) -> bool {
+        self.quarantine.range(range.clone()).next().is_some()
+    }
+
+    /// Quarantined pages inside `range`, ascending (batch-promotion
+    /// punch-outs).
+    pub fn quarantined_in_range(&self, range: Range<PageId>) -> impl Iterator<Item = PageId> + '_ {
+        self.quarantine.range(range).copied()
     }
 
     /// Number of quarantined pages.
@@ -387,11 +1012,235 @@ impl PageTable {
         self.tier_pages[tier_idx(tier)] * PAGE_SIZE
     }
 
-    /// From-scratch recount of [`bytes_in`](Self::bytes_in) — the O(n)
-    /// scan the incremental counters replaced, kept for verification
-    /// (proptests, benches).
+    /// From-scratch recount of [`bytes_in`](Self::bytes_in) — verification
+    /// only (proptests, benches, explicit oracle checks); release hot
+    /// paths must rely on the incremental counters instead. O(runs) now,
+    /// but still a full-table walk.
     pub fn recount_bytes_in(&self, tier: Tier) -> u64 {
+        self.runs()
+            .filter(|r| r.info.tier == tier)
+            .map(|r| r.len)
+            .sum::<u64>()
+            * PAGE_SIZE
+    }
+
+    /// Debug-only structural verification: counters match a recount, runs
+    /// are sorted, in-shard, maximal (coalesced) and cover exactly
+    /// `0..len`. A no-op in release builds — this is the "O(pages)
+    /// verification scans stay off hot paths" contract.
+    pub fn debug_verify(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for tier in [Tier::Dram, Tier::Pm] {
+                debug_assert_eq!(self.bytes_in(tier), self.recount_bytes_in(tier));
+            }
+            let mut expect = 0u64;
+            for (si, sh) in self.shards.iter().enumerate() {
+                let mut prev: Option<&Run> = None;
+                for r in &sh.runs {
+                    debug_assert_eq!(r.start, expect, "gap before run");
+                    debug_assert!(r.len > 0);
+                    debug_assert_eq!(shard_of(r.start), si);
+                    debug_assert_eq!(shard_of(r.end() - 1), si, "run crosses shard");
+                    if let Some(p) = prev {
+                        debug_assert!(!p.info.bits_eq(&r.info), "uncoalesced neighbors");
+                    }
+                    expect = r.end();
+                    prev = Some(r);
+                }
+            }
+            debug_assert_eq!(expect, self.num_pages);
+        }
+    }
+}
+
+/// Per-page reference model implementing the identical observable
+/// semantics as [`PageTable`] — the retained oracle the extent engine is
+/// compared against bitwise in proptests and benches. Deliberately
+/// simple: a flat `Vec<PageInfo>` with O(pages) everything.
+#[derive(Debug, Default, Clone)]
+pub struct RefTable {
+    pages: Vec<PageInfo>,
+    quarantine: BTreeSet<PageId>,
+}
+
+impl RefTable {
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Mirror of [`PageTable::extend_for_object`].
+    pub fn extend_for_object(
+        &mut self,
+        object: ObjectId,
+        tier: Tier,
+        weights: impl IntoIterator<Item = f64>,
+    ) -> PageId {
+        let first = self.pages.len() as PageId;
+        for w in weights {
+            self.pages.push(PageInfo {
+                object,
+                tier,
+                weight: w,
+                accessed: false,
+                access_count: 0.0,
+                migrations: 0,
+            });
+        }
+        first
+    }
+
+    /// Page state by value.
+    pub fn get(&self, id: PageId) -> PageInfo {
+        self.pages[id as usize]
+    }
+
+    /// Mirror of [`PageTable::set_tier`].
+    pub fn set_tier(&mut self, id: PageId, to: Tier) {
+        self.pages[id as usize].tier = to;
+    }
+
+    /// Per-page equivalent of [`PageTable::set_tier_range`].
+    pub fn set_tier_range(&mut self, range: Range<PageId>, to: Tier) {
+        for id in range {
+            self.pages[id as usize].tier = to;
+        }
+    }
+
+    /// Mirror of [`PageTable::set_weight`].
+    pub fn set_weight(&mut self, id: PageId, weight: f64) {
+        self.pages[id as usize].weight = weight;
+    }
+
+    /// Mirror of [`PageTable::record_accesses`].
+    pub fn record_accesses(&mut self, range: Range<PageId>, accesses: f64) {
+        for id in range {
+            let p = &mut self.pages[id as usize];
+            let share = accesses * p.weight;
+            if share > 0.0 {
+                p.access_count += share;
+                if share >= 0.5 {
+                    p.accessed = true;
+                }
+            }
+        }
+    }
+
+    /// Mirror of [`PageTable::age_access_counts`].
+    pub fn age_access_counts(&mut self, factor: f64) {
+        for p in &mut self.pages {
+            p.access_count *= factor;
+        }
+    }
+
+    /// Mirror of [`PageTable::reset_profiling_counters`].
+    pub fn reset_profiling_counters(&mut self) {
+        for p in &mut self.pages {
+            p.accessed = false;
+            p.access_count = 0.0;
+        }
+    }
+
+    /// Mirror of [`PageTable::bump_migrations_range`].
+    pub fn bump_migrations_range(&mut self, range: Range<PageId>) {
+        for id in range {
+            self.pages[id as usize].migrations += 1;
+        }
+    }
+
+    /// Mirror of [`PageTable::quarantine_page`].
+    pub fn quarantine_page(&mut self, id: PageId) -> bool {
+        self.quarantine.insert(id)
+    }
+
+    /// Per-page recount of bytes resident in `tier`.
+    pub fn bytes_in(&self, tier: Tier) -> u64 {
         self.pages.iter().filter(|p| p.tier == tier).count() as u64 * PAGE_SIZE
+    }
+
+    /// The streak-spec weighted sums over the per-page vector: streaks of
+    /// equal (weight-bits, tier) break at `SHARD_PAGES` boundaries and
+    /// contribute `w * len`, per-shard partials folding in shard order —
+    /// exactly [`PageTable::scan_weight_sums`], derived from pages instead
+    /// of runs.
+    pub fn scan_weight_sums(&self, range: Range<PageId>) -> (f64, [f64; 2]) {
+        let mut total = 0.0;
+        let mut in_ = [0.0; 2];
+        let start = range.start.min(self.pages.len() as u64);
+        let end = range.end.min(self.pages.len() as u64);
+        let mut shard = start / SHARD_PAGES;
+        while shard * SHARD_PAGES < end {
+            let lo = start.max(shard * SHARD_PAGES);
+            let hi = end.min((shard + 1) * SHARD_PAGES);
+            let mut st = 0.0;
+            let mut si2 = [0.0; 2];
+            let mut cur: Option<(u64, Tier, u64)> = None;
+            for id in lo..hi {
+                let p = &self.pages[id as usize];
+                let key = (p.weight.to_bits(), p.tier);
+                match &mut cur {
+                    Some((wb, t, l)) if *wb == key.0 && *t == key.1 => *l += 1,
+                    _ => {
+                        if let Some((wb, t, l)) = cur.take() {
+                            let c = f64::from_bits(wb) * l as f64;
+                            st += c;
+                            si2[tier_idx(t)] += c;
+                        }
+                        cur = Some((key.0, key.1, 1));
+                    }
+                }
+            }
+            if let Some((wb, t, l)) = cur.take() {
+                let c = f64::from_bits(wb) * l as f64;
+                st += c;
+                si2[tier_idx(t)] += c;
+            }
+            total += st;
+            in_[0] += si2[0];
+            in_[1] += si2[1];
+            shard += 1;
+        }
+        (total, in_)
+    }
+
+    /// Mirror of [`PageTable::scan_weighted_fraction_in`].
+    pub fn scan_weighted_fraction_in(&self, range: Range<PageId>, tier: Tier) -> f64 {
+        let (total, in_) = self.scan_weight_sums(range);
+        if total > 0.0 {
+            in_[tier_idx(tier)] / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Assert bitwise page-level equality with an extent table: every
+    /// page's full state, the tier counters and the quarantine set.
+    pub fn assert_matches(&self, pt: &PageTable) {
+        assert_eq!(self.pages.len(), pt.len(), "page count");
+        let mut n = 0u64;
+        for (id, info) in pt.iter() {
+            assert!(
+                self.pages[id as usize].bits_eq(&info),
+                "page {id} diverged: ref {:?} vs extent {info:?}",
+                self.pages[id as usize]
+            );
+            n += 1;
+        }
+        assert_eq!(n, self.pages.len() as u64, "extent iteration covers table");
+        for tier in [Tier::Dram, Tier::Pm] {
+            assert_eq!(self.bytes_in(tier), pt.bytes_in(tier), "{tier:?} bytes");
+        }
+        assert_eq!(
+            self.quarantine.iter().copied().collect::<Vec<_>>(),
+            pt.quarantined().collect::<Vec<_>>(),
+            "quarantine set"
+        );
     }
 }
 
@@ -486,6 +1335,7 @@ mod tests {
         // Counters always exact, flushed or not.
         assert_eq!(pt.bytes_in(Tier::Dram), pt.recount_bytes_in(Tier::Dram));
         assert_eq!(pt.bytes_in(Tier::Pm), pt.recount_bytes_in(Tier::Pm));
+        pt.debug_verify();
     }
 
     #[test]
@@ -546,6 +1396,7 @@ mod tests {
         assert_eq!(pt.quarantined().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(pt.quarantined_count(), 2);
         assert_eq!(pt.quarantine_bytes(), 2 * PAGE_SIZE);
+        assert!(pt.quarantined_in(0..3) && !pt.quarantined_in(0..1));
         // The set is part of the bitwise page-table fingerprint.
         let with = format!("{pt:?}");
         let mut clean = PageTable::default();
@@ -562,5 +1413,115 @@ mod tests {
         pt.flush_aggregates();
         assert_eq!(pt.weighted_fraction_in(0..2, Tier::Dram), 0.5);
         assert_eq!(pt.bytes_in(Tier::Dram), PAGE_SIZE);
+    }
+
+    #[test]
+    fn uniform_object_coalesces_to_one_run() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Pm, vec![0.125; 8]);
+        assert_eq!(pt.num_extents(), 1);
+        // Mid-range migration splits, reverting re-merges.
+        pt.set_tier_range(3..5, Tier::Dram);
+        assert_eq!(pt.num_extents(), 3);
+        assert_eq!(pt.bytes_in(Tier::Dram), 2 * PAGE_SIZE);
+        pt.set_tier_range(3..5, Tier::Pm);
+        assert_eq!(pt.num_extents(), 1);
+        pt.debug_verify();
+    }
+
+    #[test]
+    fn extend_uniform_matches_vector_extend() {
+        let n = 1000u64;
+        let w = 1.0 / n as f64;
+        let mut a = PageTable::default();
+        a.extend_for_object(ObjectId(0), Tier::Pm, vec![w; n as usize]);
+        let mut b = PageTable::default();
+        b.extend_uniform_for_object(ObjectId(0), Tier::Pm, n, w);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn set_tier_range_matches_per_page_loop() {
+        let build = || {
+            let mut pt = PageTable::default();
+            pt.extend_for_object(ObjectId(0), Tier::Pm, page_weights(100, 1.3, 9));
+            pt.extend_for_object(ObjectId(1), Tier::Pm, vec![0.01; 100]);
+            pt
+        };
+        let mut batch = build();
+        let mut loopy = build();
+        batch.set_tier_range(37..141, Tier::Dram);
+        for id in 37..141 {
+            loopy.set_tier(id, Tier::Dram);
+        }
+        batch.flush_aggregates();
+        loopy.flush_aggregates();
+        assert_eq!(format!("{batch:?}"), format!("{loopy:?}"));
+        batch.debug_verify();
+    }
+
+    #[test]
+    fn nth_page_in_tier_walks_runs() {
+        let mut pt = PageTable::default();
+        pt.extend_for_object(ObjectId(0), Tier::Pm, vec![0.1; 10]);
+        pt.set_tier_range(2..4, Tier::Dram);
+        pt.set_tier_range(7..9, Tier::Dram);
+        assert_eq!(pt.nth_page_in_tier(Tier::Dram, 0), Some(2));
+        assert_eq!(pt.nth_page_in_tier(Tier::Dram, 2), Some(7));
+        assert_eq!(pt.nth_page_in_tier(Tier::Dram, 3), Some(8));
+        assert_eq!(pt.nth_page_in_tier(Tier::Dram, 4), None);
+        assert_eq!(pt.nth_page_in_tier(Tier::Pm, 2), Some(4));
+    }
+
+    #[test]
+    fn runs_never_cross_shard_boundaries_and_sums_are_job_independent() {
+        let n = SHARD_PAGES * 2 + 17;
+        let mut pt = PageTable::default();
+        pt.extend_uniform_for_object(ObjectId(0), Tier::Pm, n, 1.0 / n as f64);
+        assert_eq!(pt.num_extents(), 3);
+        pt.set_tier_range(SHARD_PAGES - 5..SHARD_PAGES + 5, Tier::Dram);
+        pt.debug_verify();
+        let mut reference = RefTable::default();
+        reference.extend_for_object(ObjectId(0), Tier::Pm, vec![1.0 / n as f64; n as usize]);
+        reference.set_tier_range(SHARD_PAGES - 5..SHARD_PAGES + 5, Tier::Dram);
+        let spec = reference.scan_weight_sums(0..n);
+        let prev = engine_jobs();
+        for jobs in [1, 2, 7] {
+            set_engine_jobs(jobs);
+            let got = pt.scan_weight_sums(0..n);
+            assert_eq!(got.0.to_bits(), spec.0.to_bits(), "jobs={jobs}");
+            assert_eq!(got.1[0].to_bits(), spec.1[0].to_bits(), "jobs={jobs}");
+            assert_eq!(got.1[1].to_bits(), spec.1[1].to_bits(), "jobs={jobs}");
+        }
+        set_engine_jobs(prev);
+        reference.assert_matches(&pt);
+    }
+
+    #[test]
+    fn ref_table_tracks_engine_through_mixed_ops() {
+        let mut pt = PageTable::default();
+        let mut rt = RefTable::default();
+        let w = page_weights(50, 1.1, 3);
+        pt.extend_for_object(ObjectId(0), Tier::Pm, w.clone());
+        rt.extend_for_object(ObjectId(0), Tier::Pm, w);
+        pt.set_tier_range(10..30, Tier::Dram);
+        rt.set_tier_range(10..30, Tier::Dram);
+        pt.record_accesses(0..50, 64.0);
+        rt.record_accesses(0..50, 64.0);
+        pt.age_access_counts(0.5);
+        rt.age_access_counts(0.5);
+        pt.bump_migrations_range(10..30);
+        rt.bump_migrations_range(10..30);
+        pt.quarantine_page(12);
+        rt.quarantine_page(12);
+        pt.set_tier(12, Tier::Pm);
+        rt.set_tier(12, Tier::Pm);
+        pt.flush_aggregates();
+        rt.assert_matches(&pt);
+        let f = pt.weighted_fraction_in(0..50, Tier::Dram);
+        assert_eq!(
+            f.to_bits(),
+            rt.scan_weighted_fraction_in(0..50, Tier::Dram).to_bits()
+        );
     }
 }

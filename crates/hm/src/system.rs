@@ -395,18 +395,20 @@ impl HmSystem {
         // Poison strike: at most one DRAM-resident frame per round, the
         // victim drawn over the residents in ascending page-id order.
         if self.fault.as_ref().is_some_and(|f| f.poison_strikes(round)) {
-            let residents: Vec<PageId> = self
-                .page_table
-                .iter()
-                .filter(|(_, p)| p.tier() == Tier::Dram)
-                .map(|(id, _)| id)
-                .collect();
-            if !residents.is_empty() {
+            // The victim draw is over DRAM residents in ascending page-id
+            // order; an O(runs) order-statistic walk finds the idx-th
+            // resident without materializing the resident list.
+            let residents = self.page_table.pages_in(Tier::Dram);
+            if residents > 0 {
                 let idx = self
                     .fault
                     .as_ref()
-                    .map_or(0, |f| f.poison_victim_index(round, residents.len() as u64));
-                self.poison_page(residents[idx as usize]);
+                    .map_or(0, |f| f.poison_victim_index(round, residents));
+                let victim = self
+                    .page_table
+                    .nth_page_in_tier(Tier::Dram, idx)
+                    .expect("resident count covers idx");
+                self.poison_page(victim);
             }
         }
     }
@@ -422,7 +424,7 @@ impl HmSystem {
         }
         if self.page_table.get(victim).tier() == Tier::Dram {
             self.page_table.set_tier(victim, Tier::Pm);
-            self.page_table.get_mut(victim).migrations += 1;
+            self.page_table.bump_migrations(victim);
             self.total_migrations += 1;
             self.total_migration_attempts += 1;
             self.page_table.flush_aggregates();
@@ -465,7 +467,7 @@ impl HmSystem {
                     tier
                 };
                 self.page_table.set_tier(page, tier);
-                self.page_table.get_mut(page).migrations = migrations;
+                self.page_table.set_migrations(page, migrations);
             }
             self.page_table.flush_aggregates();
             self.epoch_rollbacks += 1;
@@ -619,15 +621,19 @@ impl HmSystem {
             return MigrationOutcome::default();
         };
         let range = o.pages();
-        let candidates: Vec<(PageId, f64)> = range
-            .filter(|&id| self.page_table.get(id).tier() != to)
-            .map(|id| (id, self.page_table.get(id).weight()))
+        // Candidates at run granularity: one entry per extent not already
+        // on `to`, scored by page weight (uniform within an extent).
+        let candidates: Vec<crate::topk::CandidateRun> = self
+            .page_table
+            .runs_in(range)
+            .filter(|r| r.info.tier() != to)
+            .map(|r| (r.start, r.len, r.info.weight()))
             .collect();
         // Hottest first when promoting to DRAM; coldest first when demoting.
         // total_cmp: page weights are runtime data, a NaN must not panic.
         let candidates = match to {
-            Tier::Dram => crate::topk::hot_pages_top_k(candidates, max_pages as usize),
-            Tier::Pm => crate::topk::cold_pages_top_k(candidates, max_pages as usize),
+            Tier::Dram => crate::topk::expand_hot_runs_top_k(candidates, max_pages as usize),
+            Tier::Pm => crate::topk::expand_cold_runs_top_k(candidates, max_pages as usize),
         };
         self.migrate_pages(candidates.iter().map(|&(id, _)| id), to)
     }
@@ -645,35 +651,154 @@ impl HmSystem {
         to: Tier,
     ) -> MigrationOutcome {
         let mut outcome = MigrationOutcome::default();
-        for id in pages {
-            if self.page_table.get(id).tier() == to {
-                continue;
-            }
-            // A quarantined page is permanently pinned off DRAM; its
-            // promotion is silently filtered rather than failed — failures
-            // tear migration epochs, and a dead frame is not a transient
-            // fault the epoch could undo.
-            if to == Tier::Dram && self.page_table.is_quarantined(id) {
-                continue;
-            }
-            if to == Tier::Dram && self.free_bytes(Tier::Dram) < PAGE_SIZE {
-                let evicted = self.evict_lfu_inner(1, Some(id));
-                outcome.pages_evicted += evicted;
-                if self.free_bytes(Tier::Dram) < PAGE_SIZE {
-                    break; // nothing evictable; stop migrating
+        if self.fault.is_none() {
+            // Fault-free fast path: fold maximal ascending-contiguous id
+            // groups out of the stream and apply each as extent
+            // splits/merges. Group boundaries preserve the stream's
+            // processing order, so counters, journal entries and final
+            // placement are bitwise what the per-page loop produces.
+            let mut cur: Option<(PageId, PageId)> = None;
+            let mut ok = true;
+            for id in pages {
+                match &mut cur {
+                    Some((_, b)) if *b == id => *b += 1,
+                    _ => {
+                        if let Some((a, b)) = cur.take() {
+                            ok = self.migrate_contiguous(a..b, to, &mut outcome);
+                            if !ok {
+                                break;
+                            }
+                        }
+                        cur = Some((id, id + 1));
+                    }
                 }
             }
-            match self.migrate_page_inner(id, to) {
-                Ok(()) => outcome.pages_moved += 1,
-                Err(HmError::MigrationFailed { .. }) => outcome.pages_failed += 1,
-                // Scripted crash: the batch dies mid-flight; the pages not
-                // reached stay put and the caller observes `crashed()`.
-                Err(HmError::Crashed { .. }) => break,
-                Err(_) => unreachable!("migrate_page_inner fails with MigrationFailed or Crashed"),
+            if ok {
+                if let Some((a, b)) = cur.take() {
+                    self.migrate_contiguous(a..b, to, &mut outcome);
+                }
+            }
+        } else {
+            // Fault plan armed: retries, scripted crashes and failure
+            // draws are strictly per-page state machines — keep the
+            // original loop verbatim.
+            for id in pages {
+                if !self.migrate_one(id, to, &mut outcome) {
+                    break;
+                }
             }
         }
         self.page_table.flush_aggregates();
+        // Debug builds re-verify the extent structure after every batch;
+        // release builds pay nothing (the no-O(pages)-on-hot-paths rule).
+        self.page_table.debug_verify();
         outcome
+    }
+
+    /// One iteration of the per-page migration loop. Returns `false` when
+    /// the batch must stop (nothing evictable, or a scripted crash).
+    fn migrate_one(&mut self, id: PageId, to: Tier, outcome: &mut MigrationOutcome) -> bool {
+        if self.page_table.get(id).tier() == to {
+            return true;
+        }
+        // A quarantined page is permanently pinned off DRAM; its
+        // promotion is silently filtered rather than failed — failures
+        // tear migration epochs, and a dead frame is not a transient
+        // fault the epoch could undo.
+        if to == Tier::Dram && self.page_table.is_quarantined(id) {
+            return true;
+        }
+        if to == Tier::Dram && self.free_bytes(Tier::Dram) < PAGE_SIZE {
+            let evicted = self.evict_lfu_inner(1, Some(id));
+            outcome.pages_evicted += evicted;
+            if self.free_bytes(Tier::Dram) < PAGE_SIZE {
+                return false; // nothing evictable; stop migrating
+            }
+        }
+        match self.migrate_page_inner(id, to) {
+            Ok(()) => outcome.pages_moved += 1,
+            Err(HmError::MigrationFailed { .. }) => outcome.pages_failed += 1,
+            // Scripted crash: the batch dies mid-flight; the pages not
+            // reached stay put and the caller observes `crashed()`.
+            Err(HmError::Crashed { .. }) => return false,
+            Err(_) => unreachable!("migrate_page_inner fails with MigrationFailed or Crashed"),
+        }
+        true
+    }
+
+    /// Migrate one ascending-contiguous id group as whole extents. Only
+    /// callable fault-free; falls back to [`migrate_one`](Self::migrate_one)
+    /// when a promotion needs interleaved LFU evictions. Returns `false`
+    /// when the whole migration must stop.
+    fn migrate_contiguous(
+        &mut self,
+        range: std::ops::Range<PageId>,
+        to: Tier,
+        outcome: &mut MigrationOutcome,
+    ) -> bool {
+        debug_assert!(self.fault.is_none());
+        // Segments that actually move: runs not already on `to`, with
+        // quarantined pages punched out of promotions (silently skipped,
+        // exactly as the per-page loop skips them before journaling).
+        let mut segs: Vec<(PageId, u64, Tier, u32)> = Vec::new();
+        for r in self.page_table.runs_in(range.clone()) {
+            if r.info.tier() == to {
+                continue;
+            }
+            let (from, migrations) = (r.info.tier(), r.info.migrations);
+            if to == Tier::Dram {
+                let mut lo = r.start;
+                for q in self
+                    .page_table
+                    .quarantined_in_range(r.start..r.end())
+                    .collect::<Vec<_>>()
+                {
+                    if q > lo {
+                        segs.push((lo, q - lo, from, migrations));
+                    }
+                    lo = q + 1;
+                }
+                if r.end() > lo {
+                    segs.push((lo, r.end() - lo, from, migrations));
+                }
+            } else {
+                segs.push((r.start, r.len, from, migrations));
+            }
+        }
+        let moving: u64 = segs.iter().map(|&(_, len, _, _)| len).sum();
+        if moving == 0 {
+            return true;
+        }
+        if to == Tier::Dram && self.free_bytes(Tier::Dram) < moving * PAGE_SIZE {
+            // The per-page loop would interleave LFU evictions with the
+            // moves; that ordering is load-bearing (evictions see the
+            // partially-promoted table), so take the slow path.
+            for id in range {
+                if !self.migrate_one(id, to, outcome) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        for &(start, len, from, migrations) in &segs {
+            // Journal per page in ascending order — the order (and the
+            // pre-move state) the per-page loop would journal.
+            if let Some(ep) = self.epoch.as_mut() {
+                for id in start..start + len {
+                    ep.note_intent(id, from, to, migrations);
+                }
+                ep.pages_moved += len;
+            }
+            self.page_table.set_tier_range(start..start + len, to);
+            self.page_table.bump_migrations_range(start..start + len);
+            self.total_migrations += len;
+            self.total_migration_attempts += len;
+            // `total_backoff_ns` is untouched: the first (only) fault-free
+            // attempt has zero delay, and adding 0.0 to the non-negative
+            // accumulator is a bitwise no-op.
+            outcome.pages_moved += len;
+        }
+        true
     }
 
     /// Move one page to `to` with bounded retry under fault injection.
@@ -712,7 +837,7 @@ impl HmSystem {
                 .is_some_and(|f| f.migration_attempt_fails(id, backoff.attempt()));
             if !failed {
                 self.page_table.set_tier(id, to);
-                self.page_table.get_mut(id).migrations += 1;
+                self.page_table.bump_migrations(id);
                 self.total_migrations += 1;
                 if let Some(ep) = self.epoch.as_mut() {
                     ep.pages_moved += 1;
@@ -746,17 +871,31 @@ impl HmSystem {
     /// [`evict_lfu_dram_pages`](Self::evict_lfu_dram_pages) without the
     /// aggregate flush, for use inside migration batches.
     fn evict_lfu_inner(&mut self, n: u64, protect: Option<PageId>) -> u64 {
-        let dram_pages: Vec<(PageId, f64)> = self
-            .page_table
-            .iter()
-            .filter(|(id, p)| p.tier() == Tier::Dram && Some(*id) != protect)
-            .map(|(id, p)| (id, p.access_count))
-            .collect();
+        // DRAM-resident candidates at run granularity, splitting the run
+        // containing `protect` around it.
+        let mut dram_runs: Vec<crate::topk::CandidateRun> = Vec::new();
+        for r in self.page_table.runs() {
+            if r.info.tier() != Tier::Dram {
+                continue;
+            }
+            let score = r.info.access_count;
+            match protect {
+                Some(p) if p >= r.start && p < r.end() => {
+                    if p > r.start {
+                        dram_runs.push((r.start, p - r.start, score));
+                    }
+                    if p + 1 < r.end() {
+                        dram_runs.push((p + 1, r.end() - (p + 1), score));
+                    }
+                }
+                _ => dram_runs.push((r.start, r.len, score)),
+            }
+        }
         let mut evicted = 0;
-        for (id, _) in crate::topk::cold_pages_top_k(dram_pages, n as usize) {
+        for (id, _) in crate::topk::expand_cold_runs_top_k(dram_runs, n as usize) {
             self.journal_intent(id, Tier::Pm);
             self.page_table.set_tier(id, Tier::Pm);
-            self.page_table.get_mut(id).migrations += 1;
+            self.page_table.bump_migrations(id);
             self.total_migrations += 1;
             self.total_migration_attempts += 1;
             if let Some(ep) = self.epoch.as_mut() {
@@ -771,8 +910,7 @@ impl HmSystem {
     /// DRAM-only baselines). Ignores capacity errors on purpose: baseline
     /// setup is all-or-nothing and checked by the caller via `free_bytes`.
     pub fn place_everything(&mut self, tier: Tier) {
-        let all: Vec<PageId> = self.page_table.iter().map(|(id, _)| id).collect();
-        self.migrate_pages(all, tier);
+        self.migrate_pages(0..self.page_table.len() as PageId, tier);
     }
 
     /// Re-draw the hot-page weight distribution of `object` with a new
@@ -784,10 +922,7 @@ impl HmSystem {
             return;
         };
         let weights = crate::page::page_weights(o.num_pages, skew, seed);
-        let first = o.first_page;
-        for (k, w) in weights.into_iter().enumerate() {
-            self.page_table.set_weight(first + k as u64, w);
-        }
+        self.page_table.set_weights_range(o.first_page, &weights);
         self.page_table.flush_aggregates();
     }
 
@@ -804,18 +939,12 @@ impl HmSystem {
     /// Multiply every page's access counter by `factor` (hotness aging, as
     /// tiering daemons do when they periodically clear PTE bits).
     pub fn age_access_counts(&mut self, factor: f64) {
-        for id in 0..self.page_table.len() as PageId {
-            self.page_table.get_mut(id).access_count *= factor;
-        }
+        self.page_table.age_access_counts(factor);
     }
 
     /// Clear all page access counters and accessed bits (between rounds).
     pub fn reset_profiling_counters(&mut self) {
-        for id in 0..self.page_table.len() as PageId {
-            let p = self.page_table.get_mut(id);
-            p.accessed = false;
-            p.access_count = 0.0;
-        }
+        self.page_table.reset_profiling_counters();
     }
 
     /// Serialize the full placement state for a checkpoint: configuration,
@@ -871,12 +1000,24 @@ impl HmSystem {
             )
             .expect("writing to String cannot fail");
         }
-        writeln!(out, "pages {}", self.page_table.len()).expect("writing to String cannot fail");
-        for (_, p) in self.page_table.iter() {
+        // Format v5: the page table persists as extents — one `x` line per
+        // run (`len object tier weight accessed count migrations`; starts
+        // are implicit, runs are written in page order). A 1e8-page table
+        // with a handful of objects checkpoints in a few hundred bytes.
+        writeln!(
+            out,
+            "extents {} {}",
+            self.page_table.num_extents(),
+            self.page_table.len()
+        )
+        .expect("writing to String cannot fail");
+        for r in self.page_table.runs() {
+            let p = &r.info;
             let tier = if p.tier() == Tier::Dram { "D" } else { "P" };
             writeln!(
                 out,
-                "p {} {tier} {:?} {} {:?} {}",
+                "x {} {} {tier} {:?} {} {:?} {}",
+                r.len,
                 p.object.0,
                 p.weight(),
                 p.accessed as u8,
@@ -902,6 +1043,21 @@ impl HmSystem {
 
     /// Restore a system serialized by [`encode_state`](Self::encode_state).
     pub fn decode_state(r: &mut crate::checkpoint::Reader<'_>) -> Result<Self, HmError> {
+        Self::decode_state_versioned(r, crate::checkpoint::CHECKPOINT_VERSION)
+    }
+
+    /// Restore a system block written by checkpoint format `version`
+    /// (1 ..= [`CHECKPOINT_VERSION`](crate::checkpoint::CHECKPOINT_VERSION)).
+    /// The reader has no lookahead, so dispatch is strictly by version:
+    /// v1 has 4-token `syscounters` and no epoch counters, `dramquota`
+    /// appears in v3, `offlined`/`quarantine` in v4, and v5 replaces the
+    /// per-page `pages`/`p` section with `extents`/`x` run lines. One
+    /// caveat survives from v4's widened fault lines: a v1–v3 payload with
+    /// an *armed* fault injector does not decode (`fault 0` always does).
+    pub fn decode_state_versioned(
+        r: &mut crate::checkpoint::Reader<'_>,
+        version: u32,
+    ) -> Result<Self, HmError> {
         use crate::checkpoint::{corrupt, p_bool, p_f64, p_u32, p_u64, p_usize, unesc};
         use crate::config::TierParams;
         let t = r.line("hmconfig", 5)?;
@@ -936,15 +1092,30 @@ impl HmSystem {
             page_migration_ns,
             migration_parallelism,
         };
-        let t = r.line("syscounters", 6)?;
+        let t = r.line("syscounters", if version >= 2 { 6 } else { 4 })?;
         let (total_migrations, total_migration_attempts, total_backoff_ns, seed) =
             (p_u64(t[0])?, p_u64(t[1])?, p_f64(t[2])?, p_u64(t[3])?);
-        let (epoch_commits, epoch_rollbacks) = (p_u64(t[4])?, p_u64(t[5])?);
-        let t = r.line("dramquota", 1)?;
-        let quota: i64 = t[0].parse().map_err(|_| corrupt("bad dram quota"))?;
-        let dram_quota = (quota >= 0).then_some(quota as u64);
-        let t = r.line("offlined", 1)?;
-        let offlined_bytes = p_u64(t[0])?;
+        // v2 added the transactional-epoch counters.
+        let (epoch_commits, epoch_rollbacks) = if version >= 2 {
+            (p_u64(t[4])?, p_u64(t[5])?)
+        } else {
+            (0, 0)
+        };
+        // v3 added per-tenant DRAM quotas.
+        let dram_quota = if version >= 3 {
+            let t = r.line("dramquota", 1)?;
+            let quota: i64 = t[0].parse().map_err(|_| corrupt("bad dram quota"))?;
+            (quota >= 0).then_some(quota as u64)
+        } else {
+            None
+        };
+        // v4 added permanent capacity offlining.
+        let offlined_bytes = if version >= 4 {
+            let t = r.line("offlined", 1)?;
+            p_u64(t[0])?
+        } else {
+            0
+        };
         let t = r.line("objects", 1)?;
         let num_objects = p_usize(t[0])?;
         let mut objects = Vec::with_capacity(num_objects);
@@ -967,37 +1138,73 @@ impl HmSystem {
                 owner_task: (owner >= 0).then_some(owner as usize),
             });
         }
-        let t = r.line("pages", 1)?;
-        let num_pages = p_usize(t[0])?;
         let mut page_table = PageTable::default();
-        for _ in 0..num_pages {
-            let t = r.line("p", 6)?;
-            let tier = match t[1] {
-                "D" => Tier::Dram,
-                "P" => Tier::Pm,
-                _ => return Err(corrupt("bad page tier")),
-            };
-            page_table.push_raw(crate::page::PageInfo::restore(
-                ObjectId(p_u32(t[0])?),
-                tier,
-                p_f64(t[2])?,
-                p_bool(t[3])?,
-                p_f64(t[4])?,
-                p_u32(t[5])?,
-            ));
+        let num_pages;
+        if version >= 5 {
+            // v5: extent framing — `extents <runs> <pages>` then one `x`
+            // line per run, starts implicit in page order.
+            let t = r.line("extents", 2)?;
+            let num_runs = p_usize(t[0])?;
+            num_pages = p_usize(t[1])?;
+            for _ in 0..num_runs {
+                let t = r.line("x", 7)?;
+                let len = p_u64(t[0])?;
+                let tier = match t[2] {
+                    "D" => Tier::Dram,
+                    "P" => Tier::Pm,
+                    _ => return Err(corrupt("bad extent tier")),
+                };
+                page_table.push_raw_run(
+                    len,
+                    crate::page::PageInfo::restore(
+                        ObjectId(p_u32(t[1])?),
+                        tier,
+                        p_f64(t[3])?,
+                        p_bool(t[4])?,
+                        p_f64(t[5])?,
+                        p_u32(t[6])?,
+                    ),
+                );
+            }
+            if page_table.len() != num_pages {
+                return Err(corrupt("extent lengths do not sum to the page count"));
+            }
+        } else {
+            // v1–v4: one `p` line per page.
+            let t = r.line("pages", 1)?;
+            num_pages = p_usize(t[0])?;
+            for _ in 0..num_pages {
+                let t = r.line("p", 6)?;
+                let tier = match t[1] {
+                    "D" => Tier::Dram,
+                    "P" => Tier::Pm,
+                    _ => return Err(corrupt("bad page tier")),
+                };
+                page_table.push_raw(crate::page::PageInfo::restore(
+                    ObjectId(p_u32(t[0])?),
+                    tier,
+                    p_f64(t[2])?,
+                    p_bool(t[3])?,
+                    p_f64(t[4])?,
+                    p_u32(t[5])?,
+                ));
+            }
         }
         page_table.flush_aggregates();
-        let t = r.line("quarantine", 1)?;
-        let num_quarantined = p_usize(t[0])?;
-        if t.len() != 1 + num_quarantined {
-            return Err(corrupt("quarantine id count mismatch"));
-        }
-        for tok in &t[1..] {
-            let id = p_u64(tok)?;
-            if id as usize >= num_pages {
-                return Err(corrupt("quarantined page id out of range"));
+        // v4 added the poisoned-frame quarantine set.
+        if version >= 4 {
+            let t = r.line("quarantine", 1)?;
+            let num_quarantined = p_usize(t[0])?;
+            if t.len() != 1 + num_quarantined {
+                return Err(corrupt("quarantine id count mismatch"));
             }
-            page_table.quarantine_page(id);
+            for tok in &t[1..] {
+                let id = p_u64(tok)?;
+                if id as usize >= num_pages {
+                    return Err(corrupt("quarantined page id out of range"));
+                }
+                page_table.quarantine_page(id);
+            }
         }
         let t = r.line("fault", 1)?;
         let fault = if p_bool(t[0])? {

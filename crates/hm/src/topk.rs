@@ -47,6 +47,52 @@ pub fn cold_pages_top_k(items: Vec<(PageId, f64)>, k: usize) -> Vec<(PageId, f64
     select(items, k, colder)
 }
 
+/// A run of candidate pages: `len` contiguous pages from `start`, all
+/// sharing `score` (weights and counters are uniform within an extent).
+pub type CandidateRun = (PageId, u64, f64);
+
+/// Rank whole runs by `cmp` on `(start, score)` and expand the winners to
+/// exactly `k` `(page, score)` pairs, ascending ids within each run.
+///
+/// This reproduces the per-page selection bit for bit: pages of one run
+/// share a score, so the per-page total order (score, then ascending id)
+/// lists each run's pages contiguously and orders runs exactly as `cmp`
+/// orders `(start, score)`. Because every run holds at least one page, the
+/// best `k` runs always cover the best `k` pages — selection cost is
+/// O(runs + k log k) instead of O(pages).
+fn expand_runs(mut runs: Vec<CandidateRun>, k: usize, cmp: Cmp) -> Vec<(PageId, f64)> {
+    if k == 0 || runs.is_empty() {
+        return Vec::new();
+    }
+    let by = move |a: &CandidateRun, b: &CandidateRun| cmp(&(a.0, a.2), &(b.0, b.2));
+    if k < runs.len() {
+        runs.select_nth_unstable_by(k, by);
+        runs.truncate(k);
+    }
+    runs.sort_unstable_by(by);
+    let total: u64 = runs.iter().map(|&(_, len, _)| len).sum();
+    let mut out = Vec::with_capacity(k.min(total as usize));
+    'fill: for (start, len, score) in runs {
+        for id in start..start + len {
+            out.push((id, score));
+            if out.len() == k {
+                break 'fill;
+            }
+        }
+    }
+    out
+}
+
+/// Run-granular [`hot_pages_top_k`]: identical output, O(runs) selection.
+pub fn expand_hot_runs_top_k(runs: Vec<CandidateRun>, k: usize) -> Vec<(PageId, f64)> {
+    expand_runs(runs, k, hotter)
+}
+
+/// Run-granular [`cold_pages_top_k`]: identical output, O(runs) selection.
+pub fn expand_cold_runs_top_k(runs: Vec<CandidateRun>, k: usize) -> Vec<(PageId, f64)> {
+    expand_runs(runs, k, colder)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +159,41 @@ mod tests {
             v.iter().map(|&(id, s)| (id, s.to_bits())).collect()
         };
         assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn run_expansion_matches_per_page_selection() {
+        // Random run lengths with forced score ties across runs.
+        let mut runs: Vec<CandidateRun> = Vec::new();
+        let mut next_id = 0u64;
+        for i in 0..200u64 {
+            let mut z = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            let len = 1 + z % 7;
+            let score = if i % 4 == 0 {
+                0.25
+            } else {
+                (z % 1000) as f64 / 1000.0
+            };
+            runs.push((next_id, len, score));
+            next_id += len + z % 2; // occasional gaps, as filters produce
+        }
+        let pages: Vec<(PageId, f64)> = runs
+            .iter()
+            .flat_map(|&(s, l, sc)| (s..s + l).map(move |id| (id, sc)))
+            .collect();
+        for k in [0usize, 1, 5, 100, 500, 5000] {
+            assert_eq!(
+                expand_hot_runs_top_k(runs.clone(), k),
+                hot_pages_top_k(pages.clone(), k),
+                "hot k={k}"
+            );
+            assert_eq!(
+                expand_cold_runs_top_k(runs.clone(), k),
+                cold_pages_top_k(pages.clone(), k),
+                "cold k={k}"
+            );
+        }
     }
 
     #[test]

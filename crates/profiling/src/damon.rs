@@ -125,10 +125,8 @@ impl DamonProfiler {
             }
             let end = r.end.min(n);
             let page = r.start + self.rng.gen_range(0..(end - r.start).max(1));
-            let info = sys.page_table_mut().get_mut(page);
-            if info.accessed {
+            if sys.page_table_mut().take_accessed(page) {
                 r.nr_accesses = r.nr_accesses.saturating_add(1);
-                info.accessed = false;
             }
         }
     }

@@ -82,9 +82,7 @@ impl ThermostatProfiler {
                 if !dropped {
                     samples.push(sample);
                 }
-                let p = sys.page_table_mut().get_mut(pick);
-                p.accessed = false;
-                p.access_count = 0.0;
+                sys.page_table_mut().reset_page_profiling(pick);
             }
             start = end;
         }
@@ -152,9 +150,7 @@ impl SamplingHotPageProfiler {
                     out.push(sample);
                 }
             }
-            let p = sys.page_table_mut().get_mut(id);
-            p.accessed = false;
-            p.access_count = 0.0;
+            sys.page_table_mut().reset_page_profiling(id);
         }
         out.sort_by(|a, b| b.estimated_accesses.total_cmp(&a.estimated_accesses));
         out

@@ -1,15 +1,26 @@
-//! Property-based tests for the incremental page-engine accounting: after
-//! *any* interleaving of allocate / migrate / evict / age / record /
-//! re-weight / crash-replay operations, the O(1) per-tier byte counters
-//! must equal a from-scratch recount, and the per-object weighted-fraction
-//! fast path must be bitwise identical to the full range scan it replaced
-//! — both before a flush (dirty aggregates fall back to the scan) and
-//! after one (the fast path actually fires).
+//! Property-based tests for the extent page engine: after *any*
+//! interleaving of allocate / migrate / evict / age / record / re-weight /
+//! poison / offline / epoch-boundary / crash-replay operations, the O(1)
+//! per-tier byte counters must equal a from-scratch recount, and the
+//! per-object weighted-fraction fast path must be bitwise identical to the
+//! documented streak-spec scan — both before a flush (dirty aggregates
+//! fall back to the scan) and after one (the fast path actually fires).
+//!
+//! Two further disciplines guard the extent representation itself:
+//! the engine must stay bitwise-equal to the retained per-page
+//! [`RefTable`] model under random split/merge/poison interleavings, and
+//! every weighted sum must come out bit-identical whatever `--jobs` value
+//! the sharded phases run under (per-shard partials folded in shard
+//! order are the only accumulation order that exists).
 
 use proptest::prelude::*;
 
 use merchandiser_suite::hm::checkpoint::Reader;
-use merchandiser_suite::hm::{HmConfig, HmSystem, ObjectSpec, Tier, PAGE_SIZE};
+use merchandiser_suite::hm::page::page_weights;
+use merchandiser_suite::hm::{
+    set_engine_jobs, FaultPlan, HmConfig, HmSystem, ObjectId, ObjectSpec, PageTable, RefTable,
+    Tier, PAGE_SIZE, SHARD_PAGES,
+};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -31,6 +42,13 @@ enum Op {
     Reweight { obj: u8, skew_centi: u16, seed: u16 },
     /// Exponential aging of the LFU counters.
     Age,
+    /// ECC poison strike: quarantine a frame (extent punch-out).
+    Poison { idx: u16 },
+    /// Permanently offline a slice of DRAM capacity.
+    Offline,
+    /// Close the open migration epoch (commit or rollback) and open a new
+    /// one — rollbacks restore the extent table bitwise.
+    EpochBoundary,
     /// Crash: encode the full state, decode into a fresh system.
     CrashReplay,
 }
@@ -59,21 +77,46 @@ fn arb_op() -> impl Strategy<Value = Op> {
             seed
         }),
         Just(Op::Age),
+        (any::<u16>()).prop_map(|idx| Op::Poison { idx }),
+        Just(Op::Offline),
+        Just(Op::EpochBoundary),
         Just(Op::CrashReplay),
     ]
 }
 
-/// The scan `weighted_fraction_in` performed before the per-object
-/// aggregates existed, replicated exactly (same accumulation order).
+/// The engine's weighted-sum streak spec, replicated independently over
+/// per-page `get()` reads: within each shard, maximal streaks of pages
+/// sharing `(weight bits, tier)` contribute `weight * len` to shard-local
+/// partials, and the partials fold into the totals in shard order. This is
+/// the *only* accumulation order the engine is allowed to produce,
+/// whatever the run layout or job count.
 fn scan_fraction(sys: &HmSystem, range: std::ops::Range<u64>, tier: Tier) -> f64 {
     let pt = sys.page_table();
     let (mut total, mut inn) = (0.0f64, 0.0f64);
-    for id in range {
-        let p = pt.get(id);
-        total += p.weight();
-        if p.tier() == tier {
-            inn += p.weight();
+    let mut id = range.start;
+    while id < range.end {
+        let chunk_end = ((id / SHARD_PAGES + 1) * SHARD_PAGES).min(range.end);
+        let (mut t, mut i) = (0.0f64, 0.0f64);
+        while id < chunk_end {
+            let p = pt.get(id);
+            let (wb, tr) = (p.weight().to_bits(), p.tier());
+            let mut len = 1u64;
+            while id + len < chunk_end {
+                let q = pt.get(id + len);
+                if q.weight().to_bits() != wb || q.tier() != tr {
+                    break;
+                }
+                len += 1;
+            }
+            let contrib = f64::from_bits(wb) * len as f64;
+            t += contrib;
+            if tr == tier {
+                i += contrib;
+            }
+            id += len;
         }
+        total += t;
+        inn += i;
     }
     if total <= 0.0 {
         0.0
@@ -124,7 +167,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The incremental counters always equal a from-scratch recount after
-    /// arbitrary operation interleavings, including crash-replay.
+    /// arbitrary operation interleavings, including quarantine punch-outs,
+    /// capacity offlining, epoch rollbacks, and crash-replay through the
+    /// v5 extent checkpoint.
     #[test]
     fn incremental_accounting_matches_recount(ops in proptest::collection::vec(arb_op(), 1..40), seed in any::<u64>()) {
         let mut cfg = HmConfig::default();
@@ -132,6 +177,19 @@ proptest! {
         cfg.dram.capacity = 64 * PAGE_SIZE;
         cfg.pm.capacity = 2048 * PAGE_SIZE;
         let mut sys = HmSystem::new(cfg, seed);
+        // Odd seeds arm migration-failure faults: failure bursts abandon
+        // pages mid-epoch, so EpochBoundary exercises real rollbacks (the
+        // per-page migration path). Even seeds stay fault-free and keep
+        // the batch extent-migration path under test.
+        if seed % 2 == 1 {
+            sys.set_fault_plan(
+                FaultPlan::none()
+                    .with_seed(seed ^ 0x5eed)
+                    .with_migration_failures(0.3, 3),
+            )
+            .unwrap();
+        }
+        sys.begin_epoch(0);
         let mut n_alloc = 0u32;
         for (step, op) in ops.iter().cloned().enumerate() {
             match op {
@@ -177,7 +235,20 @@ proptest! {
                     }
                 }
                 Op::Age => sys.age_access_counts(0.5),
+                Op::Poison { idx } => {
+                    let len = sys.page_table().len() as u64;
+                    if len > 0 {
+                        sys.poison_page(idx as u64 % len);
+                    }
+                }
+                Op::Offline => sys.offline_dram(3 * PAGE_SIZE),
+                Op::EpochBoundary => {
+                    let _ = sys.end_epoch();
+                    sys.begin_epoch(step as u64);
+                }
                 Op::CrashReplay => {
+                    // Round boundaries close the epoch before checkpointing.
+                    let _ = sys.end_epoch();
                     let mut text = String::new();
                     sys.encode_state(&mut text);
                     let mut r = Reader::new(&text);
@@ -189,10 +260,227 @@ proptest! {
                             sys.page_table().bytes_in(tier)
                         );
                     }
+                    prop_assert_eq!(
+                        format!("{:?}", restored.page_table()),
+                        format!("{:?}", sys.page_table())
+                    );
                     sys = restored;
+                    sys.begin_epoch(step as u64);
                 }
             }
             check_invariants(&mut sys, &format!("step {step}"));
         }
+        let _ = sys.end_epoch();
+        check_invariants(&mut sys, "final");
+    }
+}
+
+/// Extent-table operations mirrored against the per-page reference model.
+#[derive(Debug, Clone)]
+enum TOp {
+    /// Append a new object's pages (uniform runs or skewed per-page).
+    Extend {
+        pages: u64,
+        uniform: bool,
+        dram: bool,
+        wseed: u16,
+    },
+    /// Batch tier flip over an arbitrary range (extent split/merge).
+    SetTierRange { lo: u16, n: u16, dram: bool },
+    /// Single-page weight change (splits a run out of an extent).
+    SetWeight { idx: u16, wmilli: u16 },
+    /// Profiling sweep over a range.
+    Record { lo: u16, n: u16, accesses_deci: u32 },
+    /// Exponential aging of every counter.
+    Age,
+    /// Clear all profiling state (round boundary).
+    Reset,
+    /// Migration-counter bump over a range (journal replay shape).
+    Bump { lo: u16, n: u16 },
+    /// Quarantine punch-out of a single frame.
+    Poison { idx: u16 },
+}
+
+fn arb_top() -> impl Strategy<Value = TOp> {
+    prop_oneof![
+        (1u64..120, any::<bool>(), any::<bool>(), any::<u16>()).prop_map(
+            |(pages, uniform, dram, wseed)| TOp::Extend {
+                pages,
+                uniform,
+                dram,
+                wseed
+            }
+        ),
+        (any::<u16>(), 1u16..90, any::<bool>()).prop_map(|(lo, n, dram)| TOp::SetTierRange {
+            lo,
+            n,
+            dram
+        }),
+        (any::<u16>(), 1u16..2000).prop_map(|(idx, wmilli)| TOp::SetWeight { idx, wmilli }),
+        (any::<u16>(), 1u16..90, 1u32..5000).prop_map(|(lo, n, accesses_deci)| TOp::Record {
+            lo,
+            n,
+            accesses_deci
+        }),
+        Just(TOp::Age),
+        Just(TOp::Reset),
+        (any::<u16>(), 1u16..90).prop_map(|(lo, n)| TOp::Bump { lo, n }),
+        (any::<u16>()).prop_map(|idx| TOp::Poison { idx }),
+    ]
+}
+
+/// Apply one [`TOp`] to both the extent engine and the per-page model.
+fn apply_top(pt: &mut PageTable, rt: &mut RefTable, op: &TOp, n_objs: &mut u32) {
+    let len = pt.len() as u64;
+    let clip = |lo: u16, n: u16| {
+        let lo = lo as u64 % len;
+        lo..(lo + n as u64).min(len)
+    };
+    match *op {
+        TOp::Extend {
+            pages,
+            uniform,
+            dram,
+            wseed,
+        } => {
+            let tier = if dram { Tier::Dram } else { Tier::Pm };
+            let obj = ObjectId(*n_objs);
+            *n_objs += 1;
+            if uniform {
+                let w = 1.0 / pages as f64;
+                pt.extend_uniform_for_object(obj, tier, pages, w);
+                rt.extend_for_object(obj, tier, std::iter::repeat_n(w, pages as usize));
+            } else {
+                let ws = page_weights(pages, 1.3, wseed as u64);
+                pt.extend_for_object(obj, tier, ws.iter().copied());
+                rt.extend_for_object(obj, tier, ws.iter().copied());
+            }
+        }
+        TOp::SetTierRange { lo, n, dram } if len > 0 => {
+            let to = if dram { Tier::Dram } else { Tier::Pm };
+            pt.set_tier_range(clip(lo, n), to);
+            rt.set_tier_range(clip(lo, n), to);
+        }
+        TOp::SetWeight { idx, wmilli } if len > 0 => {
+            let w = wmilli as f64 / 1000.0;
+            pt.set_weight(idx as u64 % len, w);
+            rt.set_weight(idx as u64 % len, w);
+        }
+        TOp::Record {
+            lo,
+            n,
+            accesses_deci,
+        } if len > 0 => {
+            let acc = accesses_deci as f64 / 10.0;
+            pt.record_accesses(clip(lo, n), acc);
+            rt.record_accesses(clip(lo, n), acc);
+        }
+        TOp::Age => {
+            pt.age_access_counts(0.5);
+            rt.age_access_counts(0.5);
+        }
+        TOp::Reset => {
+            pt.reset_profiling_counters();
+            rt.reset_profiling_counters();
+        }
+        TOp::Bump { lo, n } if len > 0 => {
+            pt.bump_migrations_range(clip(lo, n));
+            rt.bump_migrations_range(clip(lo, n));
+        }
+        TOp::Poison { idx } if len > 0 => {
+            pt.quarantine_page(idx as u64 % len);
+            rt.quarantine_page(idx as u64 % len);
+        }
+        _ => {} // range op against an empty table: nothing to do
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random split/merge/poison interleavings leave the extent engine
+    /// bitwise-equal to the flat per-page reference model: every page's
+    /// full state, the tier byte counters, the quarantine set, and the
+    /// streak-spec weighted sums.
+    #[test]
+    fn extent_engine_matches_per_page_model(ops in proptest::collection::vec(arb_top(), 1..48)) {
+        let mut pt = PageTable::default();
+        let mut rt = RefTable::default();
+        let mut n_objs = 0u32;
+        for (step, op) in ops.iter().enumerate() {
+            apply_top(&mut pt, &mut rt, op, &mut n_objs);
+            rt.assert_matches(&pt);
+            let len = pt.len() as u64;
+            if len > 0 {
+                // Weighted sums over a full and a partial range, bitwise.
+                for range in [0..len, len / 3..(2 * len / 3).max(len / 3 + 1)] {
+                    let (gt, gin) = pt.scan_weight_sums(range.clone());
+                    let (wt, win) = rt.scan_weight_sums(range);
+                    prop_assert_eq!(gt.to_bits(), wt.to_bits(), "total @ step {}", step);
+                    prop_assert_eq!(gin[0].to_bits(), win[0].to_bits(), "dram @ step {}", step);
+                    prop_assert_eq!(gin[1].to_bits(), win[1].to_bits(), "pm @ step {}", step);
+                }
+            }
+        }
+        // The structural invariants hold at the end of every interleaving.
+        pt.debug_verify();
+    }
+
+    /// Shard-merge determinism: the same operation sequence on a
+    /// multi-shard table produces byte-identical state and bit-identical
+    /// weighted sums whatever `--jobs` value the engine runs under.
+    #[test]
+    fn weighted_sums_independent_of_job_count(
+        ops in proptest::collection::vec(arb_top(), 1..16),
+        probe in any::<u32>(),
+    ) {
+        // Big enough that the parallel path actually engages (at least
+        // PAR_MIN_SHARDS shards), cheap because uniform runs coalesce.
+        const N: u64 = SHARD_PAGES * 9 + 123;
+        // Stretch each op's u16-sized anchor and length over the full
+        // multi-shard span so splits land in every shard, deterministically
+        // from the proptest inputs.
+        let span = |lo: u16, n: u16| {
+            let lo = (lo as u64 * 48_271 + probe as u64) % N;
+            lo..(lo + n as u64 * 701).min(N)
+        };
+        let mut outputs: Vec<(String, u64, u64, u64)> = Vec::new();
+        for jobs in [1usize, 3, 8] {
+            set_engine_jobs(jobs);
+            let mut pt = PageTable::default();
+            pt.extend_uniform_for_object(ObjectId(0), Tier::Pm, N, 1.0 / N as f64);
+            for op in &ops {
+                match *op {
+                    TOp::SetTierRange { lo, n, dram } => {
+                        let to = if dram { Tier::Dram } else { Tier::Pm };
+                        pt.set_tier_range(span(lo, n), to);
+                    }
+                    TOp::Record { lo, n, accesses_deci } => {
+                        pt.record_accesses(span(lo, n), accesses_deci as f64 / 10.0);
+                    }
+                    TOp::Bump { lo, n } => pt.bump_migrations_range(span(lo, n)),
+                    TOp::SetWeight { idx, wmilli } => {
+                        pt.set_weight(span(idx, 1).start, wmilli as f64 / 1000.0);
+                    }
+                    TOp::Poison { idx } => {
+                        pt.quarantine_page(span(idx, 1).start);
+                    }
+                    TOp::Age => pt.age_access_counts(0.5),
+                    TOp::Reset => pt.reset_profiling_counters(),
+                    // Keep the table at exactly N pages across job counts.
+                    TOp::Extend { .. } => {}
+                }
+            }
+            let (total, by_tier) = pt.scan_weight_sums(0..pt.len() as u64);
+            outputs.push((
+                format!("{pt:?}"),
+                total.to_bits(),
+                by_tier[0].to_bits(),
+                by_tier[1].to_bits(),
+            ));
+        }
+        set_engine_jobs(0); // back to auto for the rest of the binary
+        prop_assert_eq!(&outputs[0], &outputs[1], "jobs=1 vs jobs=3");
+        prop_assert_eq!(&outputs[0], &outputs[2], "jobs=1 vs jobs=8");
     }
 }
