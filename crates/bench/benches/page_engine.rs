@@ -14,7 +14,15 @@
 //! floors are exercised on every PR — and skips the JSON unless
 //! `MERCH_BENCH_OUT` is set, so a smoke run never clobbers the committed
 //! full-run numbers. Engine-only rows (no per-page baseline fits at 1e8)
-//! carry `baseline_us = 0` and are gated on absolute time instead.
+//! omit `baseline_us` ("not run") and are gated on absolute time instead.
+//!
+//! Two row families stress the run arena directly: `frag_round` runs the
+//! full placement round over a fragmentation-adversarial table (tier
+//! alternating every page — one run per page, ~max run count, nothing
+//! coalesces), and `--huge` (or `MERCH_BENCH_HUGE=1`) extends the matrix
+//! to 1e9 pages — 32 GB of run nodes for the adversarial table, so the
+//! tier stays off CI and is run locally; the registry gates its rows
+//! whenever they are present in the artifact.
 
 use std::time::Instant;
 
@@ -25,7 +33,7 @@ use merch_hm::{hot_pages_top_k, ObjectId, PageId, PageTable, RefTable, Tier};
 /// (1e8 pages of `PageInfo` would be multiple GiB).
 const MAX_BASELINE_PAGES: u64 = 10_000_000;
 
-fn row(name: &str, size: u64, baseline_us: f64, engine_us: f64) -> BenchRow {
+fn row(name: &str, size: u64, baseline_us: Option<f64>, engine_us: f64) -> BenchRow {
     BenchRow {
         bench: "page_engine".to_string(),
         name: name.to_string(),
@@ -95,13 +103,17 @@ fn bench_topk(n: u64, iters: u32) -> BenchRow {
     let engine_us = time_us(iters, || {
         std::hint::black_box(hot_pages_top_k(items.clone(), k));
     });
-    row("topk_hot_1pct", n, baseline_us, engine_us)
+    row("topk_hot_1pct", n, Some(baseline_us), engine_us)
 }
 
 /// Migrate a contiguous 1 % batch (the shape object-granular promotion
 /// produces) and answer the per-tier byte query: one extent split/merge +
 /// O(1) counters vs the per-page tier writes of the old `Vec` engine.
 fn bench_migrate(n: u64, iters: u32) -> BenchRow {
+    // The engine side is a microsecond-scale op at every size (a couple
+    // of shard rebuilds); a handful of iterations is noise-bound, so take
+    // more samples than the size-matrix default asks for.
+    let iters = iters.max(25);
     let mut pt = build_table(n);
     let batch = 0..(n / 100).max(1);
     let engine_us = time_us(iters, || {
@@ -127,9 +139,9 @@ fn bench_migrate(n: u64, iters: u32) -> BenchRow {
         // Both sides ran the identical op sequence: the end states must be
         // bitwise equal — the timed comparison is also the oracle check.
         rt.assert_matches(&pt);
-        us
+        Some(us)
     } else {
-        0.0
+        None
     };
     row("migrate_1pct", n, baseline_us, engine_us)
 }
@@ -157,9 +169,9 @@ fn bench_record(n: u64, iters: u32) -> BenchRow {
             rt.scan_weighted_fraction_in(0..n, Tier::Dram).to_bits(),
             "fast path must be bitwise identical to the per-page scan"
         );
-        us
+        Some(us)
     } else {
-        0.0
+        None
     };
     row("record_sweep_fraction_query", n, baseline_us, engine_us)
 }
@@ -230,12 +242,65 @@ fn bench_full_round(n: u64, iters: u32) -> BenchRow {
         }
         rt.assert_matches(&pt);
     }
-    row("full_round", n, 0.0, engine_us)
+    row("full_round", n, None, engine_us)
+}
+
+/// The fragmentation-adversarial table: tier alternating every page, one
+/// run per page — the run arena's worst case (~max node count, every
+/// whole-table op walks every node).
+fn build_frag_table(n: u64) -> PageTable {
+    let mut pt = PageTable::default();
+    pt.extend_alternating_for_object(ObjectId(0), [Tier::Pm, Tier::Dram], n, 1.0 / n as f64);
+    assert_eq!(pt.num_extents() as u64, n, "adversarial build must not coalesce");
+    pt
+}
+
+/// The full placement round over the adversarial table. Engine-only (the
+/// per-page model does the same O(n) work here, so there is no replaced
+/// baseline to compare against — this row exists to bound the arena's
+/// worst case absolutely), but bitwise-checked against the reference
+/// model at oracle sizes.
+fn bench_frag_round(n: u64, iters: u32) -> BenchRow {
+    let mut pt = build_frag_table(n);
+    let blocks = hot_blocks(n);
+    let mut flip = false;
+    let engine_us = time_us(iters, || {
+        flip = !flip;
+        engine_round(
+            &mut pt,
+            n,
+            &blocks,
+            if flip { Tier::Dram } else { Tier::Pm },
+        );
+    });
+    if n <= 1_000_000 {
+        let mut rt = RefTable::default();
+        rt.extend_for_object(
+            ObjectId(0),
+            Tier::Pm,
+            std::iter::repeat_n(1.0 / n as f64, n as usize),
+        );
+        for id in (1..n).step_by(2) {
+            rt.set_tier(id, Tier::Dram);
+        }
+        for i in 0..iters + 1 {
+            ref_round(
+                &mut rt,
+                n,
+                &blocks,
+                if i % 2 == 0 { Tier::Dram } else { Tier::Pm },
+            );
+        }
+        rt.assert_matches(&pt);
+    }
+    row("frag_round", n, None, engine_us)
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("MERCH_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let huge = std::env::args().any(|a| a == "--huge")
+        || std::env::var("MERCH_BENCH_HUGE").is_ok_and(|v| v != "0");
     // (pages, iters): fewer iterations at the scales where one iteration
     // is already statistically meaningful.
     let sizes: &[(u64, u32)] = if smoke {
@@ -249,6 +314,14 @@ fn main() {
             (100_000_000, 2),
         ]
     };
+    // The adversarial table costs O(pages) nodes (32 B each), so its
+    // matrix stops an order of magnitude short of the uniform one unless
+    // --huge asks for the 1e9 / 32 GB tier.
+    let frag_sizes: &[(u64, u32)] = if smoke {
+        &[(10_000_000, 2)]
+    } else {
+        &[(1_000_000, 5), (10_000_000, 2), (100_000_000, 1)]
+    };
 
     let mut rows = Vec::new();
     for &(n, iters) in sizes {
@@ -260,19 +333,28 @@ fn main() {
         rows.push(bench_record(n, iters));
         rows.push(bench_full_round(n, iters));
     }
+    for &(n, iters) in frag_sizes {
+        rows.push(bench_frag_round(n, iters));
+    }
+    if huge {
+        rows.push(bench_full_round(1_000_000_000, 1));
+        rows.push(bench_frag_round(1_000_000_000, 1));
+    }
 
     println!(
         "{:<28} {:>12} {:>14} {:>14} {:>9}",
         "benchmark", "pages", "baseline_us", "engine_us", "speedup"
     );
     for r in &rows {
+        // "n/a": the baseline was not run at this size (engine-only row),
+        // which is not the same thing as it measuring 0.
+        let (baseline, speedup) = match (r.baseline_us, r.speedup()) {
+            (Some(b), Some(s)) => (format!("{b:.2}"), format!("{s:.1}x")),
+            _ => ("n/a".into(), "n/a".into()),
+        };
         println!(
-            "{:<28} {:>12} {:>14.2} {:>14.2} {:>8.1}x",
-            r.name,
-            r.size,
-            r.baseline_us,
-            r.engine_us,
-            r.speedup()
+            "{:<28} {:>12} {:>14} {:>14.2} {:>9}",
+            r.name, r.size, baseline, r.engine_us, speedup
         );
     }
     // The registry gates are the acceptance criteria: ≥5x top-k at 1e5+,

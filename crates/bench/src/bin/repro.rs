@@ -86,6 +86,10 @@ fn main() {
                         // The page engine's sharded round phases honour the
                         // same worker count as the sweep pool.
                         merch_hm::set_engine_jobs(n);
+                        // And the unified scheduler itself: tenant rounds
+                        // in `serve` run concurrently at --jobs >= 2, on
+                        // the same pool the sweeps and shard phases use.
+                        merch_sched::set_pool_jobs(n);
                     }
                     _ => {
                         eprintln!("error: --jobs takes an integer >= 1");
@@ -728,7 +732,7 @@ fn main() {
                         .map(Into::into)
                         .unwrap_or_else(|_| ".".into());
                     let files: Vec<std::path::PathBuf> = if bench_files.is_empty() {
-                        ["BENCH_page_engine.json", "BENCH_planner.json"]
+                        ["BENCH_page_engine.json", "BENCH_planner.json", "BENCH_serve.json"]
                             .iter()
                             .map(|f| dir.join(f))
                             .filter(|p| p.exists())
@@ -766,15 +770,16 @@ fn main() {
                         }
                     }
                     for r in &all {
+                        // Engine-only rows: the baseline was not run at
+                        // that size, so print "n/a", not a fake 0.00.
+                        let (baseline, speedup) = match (r.baseline_us, r.speedup()) {
+                            (Some(b), Some(s)) => (format!("{b:.2}"), format!("{s:.2}")),
+                            _ => ("n/a".into(), "n/a".into()),
+                        };
                         writeln!(
                             out,
-                            "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
-                            r.bench,
-                            r.name,
-                            r.size,
-                            r.baseline_us,
-                            r.engine_us,
-                            r.speedup()
+                            "{}\t{}\t{}\t{}\t{:.2}\t{}",
+                            r.bench, r.name, r.size, baseline, r.engine_us, speedup
                         )
                         .unwrap();
                     }

@@ -1,12 +1,17 @@
-//! Deterministic worker pool for the sweep driver.
+//! Deterministic sweep driver on the unified scheduler.
 //!
 //! Every sweep in [`crate::experiments`] is a cross product of independent
 //! (application × policy × seed) cells: each cell builds its own
 //! [`merch_hm::HmSystem`], workload and policy from the seed, so cells share
 //! no mutable state and their results do not depend on scheduling.
-//! [`par_map`] runs the cells on a pool of worker threads and returns the
-//! results **in input order**, so the emitted tables are byte-identical to a
-//! sequential sweep no matter how the OS interleaves the workers.
+//! [`par_map`] runs the cells as [`merch_sched::TaskClass::Sweep`] tasks on
+//! the process-wide [`merch_sched`] pool — the same pool that executes
+//! tenant rounds and page-engine shard phases, so a sweep whose cells fan
+//! out shard work never oversubscribes the machine — and returns the
+//! results **in input order**, so the emitted tables are byte-identical to
+//! a sequential sweep no matter how the OS interleaves the workers. All
+//! waiting is condvar-based (the pool parks idle workers and wakes them on
+//! submission); nothing sleep-polls.
 //!
 //! A panic inside a cell aborts the sweep, but not anonymously: the pool
 //! catches it, stops handing out further cells, and re-raises a panic that
@@ -38,15 +43,11 @@ pub fn sweep_jobs() -> usize {
 }
 
 /// Best-effort extraction of a panic payload's message (`panic!` with a
-/// format string yields `String`, with a literal yields `&str`).
+/// format string yields `String`, with a literal yields `&str`). Shared
+/// with the scheduler, whose re-raised payloads already carry the failing
+/// task's class label (`sweep-cell` / `tenant-round` / `shard-phase`).
 pub fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = p.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = p.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+    merch_sched::payload_msg(p)
 }
 
 /// The first failing cell of an aborted sweep: its input index and the
@@ -104,35 +105,40 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::SeqCst);
-                if i >= work.len() {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("each cell is claimed exactly once");
-                match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                    Ok(r) => *slots[i].lock().expect("result slot poisoned") = Some(r),
-                    Err(p) => {
-                        let mut fail = failure.lock().expect("failure slot poisoned");
-                        if fail.is_none() {
-                            *fail = Some((i, payload_msg(p.as_ref())));
-                        }
-                        // Park the cursor past the end so no worker starts
-                        // another cell of a doomed sweep.
-                        cursor.store(work.len(), Ordering::SeqCst);
-                        break;
-                    }
-                }
-            });
+    let puller = || loop {
+        let i = cursor.fetch_add(1, Ordering::SeqCst);
+        if i >= work.len() {
+            break;
         }
-    })
-    .expect("workers catch cell panics, so the scope itself cannot fail");
+        let item = work[i]
+            .lock()
+            .expect("work slot poisoned")
+            .take()
+            .expect("each cell is claimed exactly once");
+        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(r) => *slots[i].lock().expect("result slot poisoned") = Some(r),
+            Err(p) => {
+                let mut fail = failure.lock().expect("failure slot poisoned");
+                if fail.is_none() {
+                    *fail = Some((i, payload_msg(p.as_ref())));
+                }
+                // Park the cursor past the end so no worker starts
+                // another cell of a doomed sweep.
+                cursor.store(work.len(), Ordering::SeqCst);
+                break;
+            }
+        }
+    };
+    merch_sched::ensure_workers(jobs - 1);
+    merch_sched::scope(merch_sched::TaskClass::Sweep, |scope| {
+        // `jobs - 1` queued pullers plus the submitting thread running one
+        // inline: at most `jobs` concurrent cell executors, even when the
+        // pool is shared with deeper task classes.
+        for _ in 1..jobs {
+            scope.spawn(puller);
+        }
+        puller();
+    });
     let done: Vec<Option<R>> = slots
         .into_iter()
         .map(|m| m.into_inner().expect("result slot poisoned"))

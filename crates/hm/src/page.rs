@@ -177,135 +177,363 @@ impl Run {
     }
 }
 
-fn push_run(out: &mut Vec<Run>, start: PageId, len: u64, info: PageInfo) {
-    if len == 0 {
-        return;
+/// Arena handle sentinel: no node.
+const NIL: u32 = u32::MAX;
+
+/// One arena node: a run's full page state plus its intrusive `next` link.
+/// Run *starts* are implicit — traversal accumulates lengths from the
+/// shard's base page — which packs a node into 32 bytes. At the
+/// fragmentation-adversarial limit (one run per page) a 1e9-page table
+/// costs ~32 GB of run store, where boxed `Vec<Run>` shards (48-byte runs
+/// plus growth slack) would not fit the machine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct RunNode {
+    /// Fraction of the object's accesses landing on each page of the run.
+    weight: f64,
+    /// Accumulated access count since the last profiler reset.
+    access_count: f64,
+    /// Owning object (dense `ObjectId` payload).
+    object: u32,
+    /// Lifetime migration count.
+    migrations: u32,
+    /// Next run of the shard in page order (live nodes) or next free node
+    /// (free-listed nodes); `NIL` terminates both chains.
+    next: u32,
+    /// Run length minus one (1..=`SHARD_PAGES` pages, exactly a u16).
+    len_m1: u16,
+    /// Bit 0: `tier_idx` of the run's tier; bit 1: the PTE accessed bit.
+    flags: u8,
+    _pad: u8,
+}
+
+impl RunNode {
+    fn new(len: u64, info: &PageInfo) -> Self {
+        debug_assert!((1..=SHARD_PAGES).contains(&len));
+        Self {
+            weight: info.weight,
+            access_count: info.access_count,
+            object: info.object.0,
+            migrations: info.migrations,
+            next: NIL,
+            len_m1: (len - 1) as u16,
+            flags: tier_idx(info.tier) as u8 | ((info.accessed as u8) << 1),
+            _pad: 0,
+        }
     }
-    if let Some(last) = out.last_mut() {
-        if last.end() == start && last.info.bits_eq(&info) {
-            last.len += len;
+
+    fn len(&self) -> u64 {
+        self.len_m1 as u64 + 1
+    }
+
+    fn info(&self) -> PageInfo {
+        PageInfo {
+            object: ObjectId(self.object),
+            tier: if self.flags & 1 == 0 { Tier::Dram } else { Tier::Pm },
+            weight: self.weight,
+            accessed: self.flags & 2 != 0,
+            access_count: self.access_count,
+            migrations: self.migrations,
+        }
+    }
+
+    /// Bitwise-state match against a `PageInfo` — the coalescing relation,
+    /// [`PageInfo::bits_eq`] expressed against the packed node fields.
+    fn matches(&self, info: &PageInfo) -> bool {
+        self.object == info.object.0
+            && self.flags == (tier_idx(info.tier) as u8 | ((info.accessed as u8) << 1))
+            && self.weight.to_bits() == info.weight.to_bits()
+            && self.access_count.to_bits() == info.access_count.to_bits()
+            && self.migrations == info.migrations
+    }
+}
+
+/// One shard: the runs covering `[base, base + SHARD_PAGES)`, stored in a
+/// compact index-linked arena. Live runs form a singly-linked chain from
+/// `head` in page order; reclaimed nodes form a free list that is reused
+/// before the backing vector grows, so steady-state rebuild phases
+/// allocate nothing.
+#[derive(Clone, Serialize, Deserialize)]
+struct Shard {
+    /// First page id of the shard's range.
+    base: PageId,
+    /// First live run, or `NIL` when the shard is empty.
+    head: u32,
+    /// Last live run (append coalescing), or `NIL`.
+    tail: u32,
+    /// Head of the free list.
+    free: u32,
+    /// Live run count.
+    live: u32,
+    /// Pages covered by live runs (the append cursor within the shard).
+    used: u64,
+    /// Node arena.
+    nodes: Vec<RunNode>,
+}
+
+impl std::fmt::Debug for Shard {
+    /// Canonical logical view. Node order, free-listed garbage, and vector
+    /// capacity are representation details that differ between op
+    /// histories; every bitwise table comparison in the workspace goes
+    /// through `{:?}`, so only the (always-coalesced, therefore canonical)
+    /// run content may appear — in the exact shape the pre-arena
+    /// `Vec<Run>` shard derived.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("runs", &self.runs_vec())
+            .finish()
+    }
+}
+
+/// Iterator over a shard's live runs, reconstructing absolute starts.
+struct ShardRuns<'a> {
+    sh: &'a Shard,
+    cur: u32,
+    start: PageId,
+}
+
+impl Iterator for ShardRuns<'_> {
+    type Item = Run;
+    fn next(&mut self) -> Option<Run> {
+        if self.cur == NIL {
+            return None;
+        }
+        let n = &self.sh.nodes[self.cur as usize];
+        let run = Run {
+            start: self.start,
+            len: n.len(),
+            info: n.info(),
+        };
+        self.start += n.len();
+        self.cur = n.next;
+        Some(run)
+    }
+}
+
+impl Shard {
+    fn new(base: PageId) -> Self {
+        Self {
+            base,
+            head: NIL,
+            tail: NIL,
+            free: NIL,
+            live: 0,
+            used: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, node: RunNode) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            self.free = self.nodes[i as usize].next;
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, i: u32) {
+        self.nodes[i as usize].next = self.free;
+        self.free = i;
+    }
+
+    /// Append `len` pages of `info` at the shard's current end, coalescing
+    /// into the tail run when the state matches. All appends — allocation,
+    /// checkpoint restore, and chain rebuilds — are contiguous in page
+    /// order, so tail coalescing is exactly the old `push_run` relation.
+    fn push_seg(&mut self, len: u64, info: &PageInfo) {
+        if len == 0 {
             return;
         }
-    }
-    out.push(Run { start, len, info });
-}
-
-/// One shard: the runs covering `[si * SHARD_PAGES, (si + 1) * SHARD_PAGES)`.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
-struct Shard {
-    runs: Vec<Run>,
-}
-
-/// Rebuild a shard's run vector applying `f` to every run-segment
-/// overlapping `range`. `f` sees the segment's (uniform) state and length;
-/// because every mutation the engine performs depends only on the page's
-/// prior state, one application per segment equals one application per
-/// page. Output is re-coalesced, so the representation stays canonical.
-fn shard_apply(runs: &mut Vec<Run>, range: &Range<PageId>, f: &mut dyn FnMut(&mut PageInfo, u64)) {
-    let mut out = Vec::with_capacity(runs.len() + 2);
-    for r in runs.iter() {
-        let lo = r.start.max(range.start);
-        let hi = r.end().min(range.end);
-        if lo >= hi {
-            push_run(&mut out, r.start, r.len, r.info);
-            continue;
-        }
-        push_run(&mut out, r.start, lo - r.start, r.info);
-        let mut info = r.info;
-        f(&mut info, hi - lo);
-        push_run(&mut out, lo, hi - lo, info);
-        push_run(&mut out, hi, r.end() - hi, r.info);
-    }
-    *runs = out;
-}
-
-/// Per-page variant of [`shard_apply`] for mutations that differ page to
-/// page (weight reassignment). Segments outside `range` pass through as
-/// whole runs; inside, `f` runs once per page.
-fn shard_apply_paged(
-    runs: &mut Vec<Run>,
-    range: &Range<PageId>,
-    f: &mut dyn FnMut(&mut PageInfo, PageId),
-) {
-    let mut out = Vec::with_capacity(runs.len() + 2);
-    for r in runs.iter() {
-        let lo = r.start.max(range.start);
-        let hi = r.end().min(range.end);
-        if lo >= hi {
-            push_run(&mut out, r.start, r.len, r.info);
-            continue;
-        }
-        push_run(&mut out, r.start, lo - r.start, r.info);
-        for id in lo..hi {
-            let mut info = r.info;
-            f(&mut info, id);
-            push_run(&mut out, id, 1, info);
-        }
-        push_run(&mut out, hi, r.end() - hi, r.info);
-    }
-    *runs = out;
-}
-
-/// Streak-spec weighted sums over one shard's runs clipped to `range`:
-/// maximal (weight-bits, tier)-equal streaks contribute `w * len`, folded
-/// in run order. Returns `(total, in_[tier])`.
-fn shard_weight_sums(runs: &[Run], range: &Range<PageId>) -> (f64, [f64; 2]) {
-    let mut total = 0.0;
-    let mut in_ = [0.0; 2];
-    let mut cur: Option<(u64, Tier, u64)> = None; // (weight bits, tier, pages)
-    let flush = |cur: &mut Option<(u64, Tier, u64)>, total: &mut f64, in_: &mut [f64; 2]| {
-        if let Some((wb, t, l)) = cur.take() {
-            let c = f64::from_bits(wb) * l as f64;
-            *total += c;
-            in_[tier_idx(t)] += c;
-        }
-    };
-    for r in runs {
-        let lo = r.start.max(range.start);
-        let hi = r.end().min(range.end);
-        if lo >= hi {
-            continue;
-        }
-        let key = (r.info.weight.to_bits(), r.info.tier);
-        match &mut cur {
-            Some((wb, t, l)) if *wb == key.0 && *t == key.1 => *l += hi - lo,
-            _ => {
-                flush(&mut cur, &mut total, &mut in_);
-                cur = Some((key.0, key.1, hi - lo));
+        debug_assert!(self.used + len <= SHARD_PAGES, "segment crosses shard");
+        self.used += len;
+        if self.tail != NIL {
+            let t = &mut self.nodes[self.tail as usize];
+            if t.matches(info) {
+                t.len_m1 = (t.len() + len - 1) as u16;
+                return;
             }
         }
+        let i = self.alloc(RunNode::new(len, info));
+        if self.tail == NIL {
+            self.head = i;
+        } else {
+            self.nodes[self.tail as usize].next = i;
+        }
+        self.tail = i;
+        self.live += 1;
     }
-    flush(&mut cur, &mut total, &mut in_);
-    (total, in_)
+
+    /// Iterate live runs in page order.
+    fn iter(&self) -> ShardRuns<'_> {
+        ShardRuns {
+            sh: self,
+            cur: self.head,
+            start: self.base,
+        }
+    }
+
+    /// Materialized run list (canonical `Debug` rendering).
+    fn runs_vec(&self) -> Vec<Run> {
+        self.iter().collect()
+    }
+
+    /// Shard-local page lookup: O(runs in shard) chain walk (the arena
+    /// trades the old binary search for 32-byte nodes; no hot path does
+    /// per-page lookups).
+    fn get(&self, id: PageId) -> PageInfo {
+        for r in self.iter() {
+            if id < r.end() {
+                debug_assert!(id >= r.start);
+                return r.info;
+            }
+        }
+        panic!("page {id} beyond shard end");
+    }
+
+    /// Rebuild the live chain applying `f` to every run segment
+    /// overlapping `range` (extent split-apply-coalesce). `f` sees the
+    /// segment's (uniform) state and length; because every mutation the
+    /// engine performs depends only on the page's prior state, one
+    /// application per segment equals one application per page. Consumed
+    /// nodes are released before the rebuilt segments allocate, so the
+    /// arena reuses them in place.
+    fn apply(&mut self, range: &Range<PageId>, f: &mut dyn FnMut(&mut PageInfo, u64)) {
+        let (mut cur, mut start) = (self.head, self.base);
+        self.head = NIL;
+        self.tail = NIL;
+        self.live = 0;
+        self.used = 0;
+        while cur != NIL {
+            let node = self.nodes[cur as usize];
+            self.release(cur);
+            cur = node.next;
+            let (r_start, r_len) = (start, node.len());
+            start += r_len;
+            let info = node.info();
+            let lo = r_start.max(range.start);
+            let hi = (r_start + r_len).min(range.end);
+            if lo >= hi {
+                self.push_seg(r_len, &info);
+                continue;
+            }
+            self.push_seg(lo - r_start, &info);
+            let mut mid = info;
+            f(&mut mid, hi - lo);
+            self.push_seg(hi - lo, &mid);
+            self.push_seg(r_start + r_len - hi, &info);
+        }
+    }
+
+    /// Per-page variant of [`Shard::apply`] for mutations that differ page
+    /// to page (weight reassignment). Segments outside `range` pass
+    /// through as whole runs; inside, `f` runs once per page.
+    fn apply_paged(&mut self, range: &Range<PageId>, f: &mut dyn FnMut(&mut PageInfo, PageId)) {
+        let (mut cur, mut start) = (self.head, self.base);
+        self.head = NIL;
+        self.tail = NIL;
+        self.live = 0;
+        self.used = 0;
+        while cur != NIL {
+            let node = self.nodes[cur as usize];
+            self.release(cur);
+            cur = node.next;
+            let (r_start, r_len) = (start, node.len());
+            start += r_len;
+            let info = node.info();
+            let lo = r_start.max(range.start);
+            let hi = (r_start + r_len).min(range.end);
+            if lo >= hi {
+                self.push_seg(r_len, &info);
+                continue;
+            }
+            self.push_seg(lo - r_start, &info);
+            for id in lo..hi {
+                let mut m = info;
+                f(&mut m, id);
+                self.push_seg(1, &m);
+            }
+            self.push_seg(r_start + r_len - hi, &info);
+        }
+    }
+
+    /// Streak-spec weighted sums over this shard's runs clipped to
+    /// `range`: maximal (weight-bits, tier)-equal streaks contribute
+    /// `w * len`, folded in run order. Returns `(total, in_[tier])`.
+    fn weight_sums(&self, range: &Range<PageId>) -> (f64, [f64; 2]) {
+        let mut total = 0.0;
+        let mut in_ = [0.0; 2];
+        let mut cur: Option<(u64, Tier, u64)> = None; // (weight bits, tier, pages)
+        let flush = |cur: &mut Option<(u64, Tier, u64)>, total: &mut f64, in_: &mut [f64; 2]| {
+            if let Some((wb, t, l)) = cur.take() {
+                let c = f64::from_bits(wb) * l as f64;
+                *total += c;
+                in_[tier_idx(t)] += c;
+            }
+        };
+        for r in self.iter() {
+            let lo = r.start.max(range.start);
+            let hi = r.end().min(range.end);
+            if lo >= hi {
+                continue;
+            }
+            let key = (r.info.weight.to_bits(), r.info.tier);
+            match &mut cur {
+                Some((wb, t, l)) if *wb == key.0 && *t == key.1 => *l += hi - lo,
+                _ => {
+                    flush(&mut cur, &mut total, &mut in_);
+                    cur = Some((key.0, key.1, hi - lo));
+                }
+            }
+        }
+        flush(&mut cur, &mut total, &mut in_);
+        (total, in_)
+    }
 }
 
-/// Run `f` over each shard of `shards` on up to `jobs` workers, returning
+/// Run `f` over each shard of `shards` on up to `jobs` executors, returning
 /// per-shard results in ascending shard order (index passed to `f` is the
 /// offset within `shards`). Deterministic: the work split never affects
 /// the result order.
+///
+/// Shard phases run as [`TaskClass::Shard`] tasks on the unified
+/// [`merch_sched`] pool: `jobs - 1` chunks are queued and the submitting
+/// thread runs the first chunk itself (then helps drain queued shard
+/// tasks inside the scope wait), so an explicit `jobs` means at most
+/// `jobs` concurrent chunk executors and N tenants each fanning out M
+/// shards share one pool instead of oversubscribing N*M threads.
 fn par_map_mut<T: Send>(
     shards: &mut [Shard],
     jobs: usize,
     f: &(dyn Fn(usize, &mut Shard) -> T + Sync),
 ) -> Vec<T> {
+    use merch_sched::TaskClass;
     let n = shards.len();
     let chunk = n.div_ceil(jobs.max(1)).max(1);
+    merch_sched::ensure_workers(jobs.saturating_sub(1));
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    crossbeam::thread::scope(|scope| {
-        for (ci, (sh, slots)) in shards
+    merch_sched::scope(TaskClass::Shard, |scope| {
+        let mut chunks = shards
             .chunks_mut(chunk)
             .zip(out.chunks_mut(chunk))
-            .enumerate()
-        {
-            scope.spawn(move |_| {
+            .enumerate();
+        let first = chunks.next();
+        for (ci, (sh, slots)) in chunks {
+            scope.spawn(move || {
                 for (j, (shard, slot)) in sh.iter_mut().zip(slots.iter_mut()).enumerate() {
                     *slot = Some(f(ci * chunk + j, shard));
                 }
             });
         }
-    })
-    .expect("extent shard worker panicked");
+        if let Some((ci, (sh, slots))) = first {
+            for (j, (shard, slot)) in sh.iter_mut().zip(slots.iter_mut()).enumerate() {
+                *slot = Some(f(ci * chunk + j, shard));
+            }
+        }
+    });
     out.into_iter()
         .map(|o| o.expect("every shard visited"))
         .collect()
@@ -317,20 +545,28 @@ fn par_map_ref<T: Send>(
     jobs: usize,
     f: &(dyn Fn(usize, &Shard) -> T + Sync),
 ) -> Vec<T> {
+    use merch_sched::TaskClass;
     let n = shards.len();
     let chunk = n.div_ceil(jobs.max(1)).max(1);
+    merch_sched::ensure_workers(jobs.saturating_sub(1));
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    crossbeam::thread::scope(|scope| {
-        for (ci, (sh, slots)) in shards.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
-            scope.spawn(move |_| {
+    merch_sched::scope(TaskClass::Shard, |scope| {
+        let mut chunks = shards.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate();
+        let first = chunks.next();
+        for (ci, (sh, slots)) in chunks {
+            scope.spawn(move || {
                 for (j, (shard, slot)) in sh.iter().zip(slots.iter_mut()).enumerate() {
                     *slot = Some(f(ci * chunk + j, shard));
                 }
             });
         }
-    })
-    .expect("extent shard worker panicked");
+        if let Some((ci, (sh, slots))) = first {
+            for (j, (shard, slot)) in sh.iter().zip(slots.iter_mut()).enumerate() {
+                *slot = Some(f(ci * chunk + j, shard));
+            }
+        }
+    });
     out.into_iter()
         .map(|o| o.expect("every shard visited"))
         .collect()
@@ -402,7 +638,7 @@ impl PageTable {
     /// Number of extents currently in the table (fragmentation gauge;
     /// 1 run per object per shard when fully coalesced).
     pub fn num_extents(&self) -> usize {
-        self.shards.iter().map(|s| s.runs.len()).sum()
+        self.shards.iter().map(|s| s.live as usize).sum()
     }
 
     /// Inclusive shard span of a non-empty range, clamped to the table.
@@ -421,21 +657,9 @@ impl PageTable {
         let id = self.num_pages;
         let si = shard_of(id);
         if si == self.shards.len() {
-            self.shards.push(Shard::default());
+            self.shards.push(Shard::new(si as u64 * SHARD_PAGES));
         }
-        let runs = &mut self.shards[si].runs;
-        if let Some(last) = runs.last_mut() {
-            if last.end() == id && last.info.bits_eq(&info) {
-                last.len += 1;
-                self.num_pages += 1;
-                return;
-            }
-        }
-        runs.push(Run {
-            start: id,
-            len: 1,
-            info,
-        });
+        self.shards[si].push_seg(1, &info);
         self.num_pages += 1;
     }
 
@@ -503,14 +727,56 @@ impl PageTable {
         while id < end {
             let si = shard_of(id);
             if si == self.shards.len() {
-                self.shards.push(Shard::default());
+                self.shards.push(Shard::new(si as u64 * SHARD_PAGES));
             }
             let len = ((si as u64 + 1) * SHARD_PAGES).min(end) - id;
-            push_run(&mut self.shards[si].runs, id, len, info);
+            self.shards[si].push_seg(len, &info);
             id += len;
         }
         self.num_pages = end;
         self.tier_pages[tier_idx(tier)] += num_pages;
+        self.push_object_agg(object, first, num_pages);
+        first
+    }
+
+    /// Append `num_pages` uniform-weight pages for a new object with the
+    /// tier alternating every page (even offsets on `tiers[0]`, odd on
+    /// `tiers[1]`): no two neighbours coalesce, so the table holds one run
+    /// *per page* — the fragmentation-adversarial worst case for run
+    /// storage, which the compact node arena exists to hold at scale.
+    /// Bench/test builder; state-identical to [`extend_for_object`]
+    /// (tier `tiers[0]`) followed by a [`set_tier`] of every odd page to
+    /// `tiers[1]`.
+    ///
+    /// [`extend_for_object`]: Self::extend_for_object
+    /// [`set_tier`]: Self::set_tier
+    pub fn extend_alternating_for_object(
+        &mut self,
+        object: ObjectId,
+        tiers: [Tier; 2],
+        num_pages: u64,
+        weight: f64,
+    ) -> PageId {
+        let first = self.num_pages;
+        let infos = tiers.map(|tier| PageInfo {
+            object,
+            tier,
+            weight,
+            accessed: false,
+            access_count: 0.0,
+            migrations: 0,
+        });
+        for id in first..first + num_pages {
+            let si = shard_of(id);
+            if si == self.shards.len() {
+                self.shards.push(Shard::new(si as u64 * SHARD_PAGES));
+            }
+            self.shards[si].push_seg(1, &infos[((id - first) & 1) as usize]);
+        }
+        self.num_pages = first + num_pages;
+        let even = num_pages.div_ceil(2);
+        self.tier_pages[tier_idx(tiers[0])] += even;
+        self.tier_pages[tier_idx(tiers[1])] += num_pages - even;
         self.push_object_agg(object, first, num_pages);
         first
     }
@@ -571,10 +837,10 @@ impl PageTable {
         while id < end {
             let si = shard_of(id);
             if si == self.shards.len() {
-                self.shards.push(Shard::default());
+                self.shards.push(Shard::new(si as u64 * SHARD_PAGES));
             }
             let seg = ((si as u64 + 1) * SHARD_PAGES).min(end) - id;
-            push_run(&mut self.shards[si].runs, id, seg, info);
+            self.shards[si].push_seg(seg, &info);
             id += seg;
         }
         self.num_pages = end;
@@ -584,9 +850,7 @@ impl PageTable {
     /// the targeted mutators so runs and counters stay consistent).
     pub fn get(&self, id: PageId) -> PageInfo {
         assert!(id < self.num_pages, "page {id} out of bounds");
-        let runs = &self.shards[shard_of(id)].runs;
-        let i = runs.partition_point(|r| r.end() <= id);
-        runs[i].info
+        self.shards[shard_of(id)].get(id)
     }
 
     /// Iterate over `(PageId, PageInfo)` by value, in page order.
@@ -597,7 +861,7 @@ impl PageTable {
 
     /// Iterate all runs in page order.
     pub fn runs(&self) -> impl Iterator<Item = Run> + '_ {
-        self.shards.iter().flat_map(|s| s.runs.iter().copied())
+        self.shards.iter().flat_map(|s| s.iter())
     }
 
     /// Iterate runs clipped to `range`, in page order.
@@ -605,7 +869,7 @@ impl PageTable {
         let (s0, s1) = self.shard_span(&range).map_or((0, 0), |(a, b)| (a, b + 1));
         self.shards[s0..s1].iter().flat_map(move |sh| {
             let (start, end) = (range.start, range.end);
-            sh.runs.iter().filter_map(move |r| {
+            sh.iter().filter_map(move |r| {
                 let lo = r.start.max(start);
                 let hi = r.end().min(end);
                 (lo < hi).then(|| Run {
@@ -643,7 +907,7 @@ impl PageTable {
             return;
         };
         for si in s0..=s1 {
-            shard_apply(&mut self.shards[si].runs, &range, &mut f);
+            self.shards[si].apply(&range, &mut f);
         }
     }
 
@@ -657,7 +921,7 @@ impl PageTable {
         }
         match ENGINE_JOBS.load(Ordering::Relaxed) {
             0 => {
-                let runs: usize = self.shards[s0..=s1].iter().map(|s| s.runs.len()).sum();
+                let runs: usize = self.shards[s0..=s1].iter().map(|s| s.live as usize).sum();
                 if runs < PAR_MIN_RUNS {
                     1
                 } else {
@@ -679,12 +943,12 @@ impl PageTable {
         let jobs = self.span_jobs(s0, s1);
         if jobs <= 1 {
             for si in s0..=s1 {
-                shard_apply(&mut self.shards[si].runs, &range, &mut |p, l| f(p, l));
+                self.shards[si].apply(&range, &mut |p, l| f(p, l));
             }
             return;
         }
         par_map_mut(&mut self.shards[s0..=s1], jobs, &|_, sh| {
-            shard_apply(&mut sh.runs, &range, &mut |p, l| f(p, l));
+            sh.apply(&range, &mut |p, l| f(p, l));
         });
     }
 
@@ -731,7 +995,7 @@ impl PageTable {
                 .map(|si| {
                     let mut from_counts = [0u64; 2];
                     let mut objs = BTreeSet::new();
-                    shard_apply(&mut self.shards[si].runs, &range, &mut |p, len| {
+                    self.shards[si].apply(&range, &mut |p, len| {
                         if p.tier != to {
                             from_counts[tier_idx(p.tier)] += len;
                             objs.insert(p.object.0);
@@ -745,7 +1009,7 @@ impl PageTable {
             par_map_mut(&mut self.shards[s0..=s1], jobs, &|_, sh| {
                 let mut from_counts = [0u64; 2];
                 let mut objs = BTreeSet::new();
-                shard_apply(&mut sh.runs, &range, &mut |p, len| {
+                sh.apply(&range, &mut |p, len| {
                     if p.tier != to {
                         from_counts[tier_idx(p.tier)] += len;
                         objs.insert(p.object.0);
@@ -789,7 +1053,7 @@ impl PageTable {
             return;
         };
         for si in s0..=s1 {
-            shard_apply_paged(&mut self.shards[si].runs, &range, &mut |p, id| {
+            self.shards[si].apply_paged(&range, &mut |p, id| {
                 p.weight = weights[(id - first) as usize];
                 objs.insert(p.object.0);
             });
@@ -885,12 +1149,10 @@ impl PageTable {
         let jobs = self.span_jobs(s0, s1);
         let partials: Vec<(f64, [f64; 2])> = if jobs <= 1 {
             (s0..=s1)
-                .map(|si| shard_weight_sums(&self.shards[si].runs, &range))
+                .map(|si| self.shards[si].weight_sums(&range))
                 .collect()
         } else {
-            par_map_ref(&self.shards[s0..=s1], jobs, &|_, sh| {
-                shard_weight_sums(&sh.runs, &range)
-            })
+            par_map_ref(&self.shards[s0..=s1], jobs, &|_, sh| sh.weight_sums(&range))
         };
         let mut total = 0.0;
         let mut in_ = [0.0; 2];
@@ -938,7 +1200,13 @@ impl PageTable {
     /// value.
     pub fn weighted_fraction_in(&self, range: Range<PageId>, tier: Tier) -> f64 {
         if !self.irregular && range.start < range.end && range.start < self.num_pages {
-            let oi = self.get(range.start).object.0 as usize;
+            // Regular layouts keep `aggs` sorted by `first_page`, so the
+            // owning object comes from a binary search over the aggregates
+            // — O(log objects) instead of an O(runs-in-shard) chain walk.
+            let oi = self
+                .aggs
+                .partition_point(|a| a.first_page <= range.start)
+                .wrapping_sub(1);
             if let Some(a) = self.aggs.get(oi) {
                 if !a.dirty && a.first_page == range.start && a.num_pages == range.end - range.start
                 {
@@ -1036,8 +1304,10 @@ impl PageTable {
             }
             let mut expect = 0u64;
             for (si, sh) in self.shards.iter().enumerate() {
-                let mut prev: Option<&Run> = None;
-                for r in &sh.runs {
+                debug_assert_eq!(sh.base, si as u64 * SHARD_PAGES);
+                let mut prev: Option<Run> = None;
+                let mut live = 0u32;
+                for r in sh.iter() {
                     debug_assert_eq!(r.start, expect, "gap before run");
                     debug_assert!(r.len > 0);
                     debug_assert_eq!(shard_of(r.start), si);
@@ -1047,7 +1317,20 @@ impl PageTable {
                     }
                     expect = r.end();
                     prev = Some(r);
+                    live += 1;
                 }
+                debug_assert_eq!(live, sh.live, "live-run counter drift");
+                debug_assert_eq!(sh.used, expect - sh.base, "used-pages cursor drift");
+                // The arena never leaks: every node is either on the live
+                // chain or on the free list.
+                let mut free = 0usize;
+                let mut cur = sh.free;
+                while cur != NIL {
+                    free += 1;
+                    debug_assert!(free <= sh.nodes.len(), "free-list cycle");
+                    cur = sh.nodes[cur as usize].next;
+                }
+                debug_assert_eq!(live as usize + free, sh.nodes.len(), "leaked arena node");
             }
             debug_assert_eq!(expect, self.num_pages);
         }
@@ -1312,6 +1595,45 @@ mod tests {
         let f = pt.weighted_fraction_in(0..3, Tier::Dram);
         assert!((f - 0.3).abs() < 1e-12);
         assert_eq!(pt.bytes_in(Tier::Dram), PAGE_SIZE);
+    }
+
+    #[test]
+    fn alternating_extend_matches_per_page_migrations() {
+        let n = 37u64;
+        let mut adv = PageTable::default();
+        adv.extend_alternating_for_object(ObjectId(0), [Tier::Pm, Tier::Dram], n, 1.0 / n as f64);
+        // Maximum fragmentation: one run per page, nothing coalesces.
+        assert_eq!(adv.num_extents() as u64, n);
+        let mut slow = PageTable::default();
+        slow.extend_uniform_for_object(ObjectId(0), Tier::Pm, n, 1.0 / n as f64);
+        for id in (1..n).step_by(2) {
+            slow.set_tier(id, Tier::Dram);
+        }
+        adv.flush_aggregates();
+        slow.flush_aggregates();
+        assert_eq!(format!("{adv:?}"), format!("{slow:?}"));
+        adv.debug_verify();
+        // Same-tier striping degenerates to the fully-coalesced layout.
+        let mut uni = PageTable::default();
+        uni.extend_alternating_for_object(ObjectId(0), [Tier::Pm, Tier::Pm], 10, 0.1);
+        assert_eq!(uni.num_extents(), 1);
+    }
+
+    #[test]
+    fn alternating_extend_spills_across_shards() {
+        // One page past a shard boundary: the second shard's base and the
+        // parity (relative to the object start, not the shard) must hold.
+        let n = SHARD_PAGES + 3;
+        let mut adv = PageTable::default();
+        adv.extend_alternating_for_object(ObjectId(0), [Tier::Pm, Tier::Dram], n, 1.0 / n as f64);
+        assert_eq!(adv.num_extents() as u64, n);
+        for id in [0, 1, SHARD_PAGES - 1, SHARD_PAGES, SHARD_PAGES + 1, n - 1] {
+            let want = if id % 2 == 0 { Tier::Pm } else { Tier::Dram };
+            assert_eq!(adv.get(id).tier(), want, "page {id}");
+        }
+        assert_eq!(adv.bytes_in(Tier::Pm), adv.recount_bytes_in(Tier::Pm));
+        assert_eq!(adv.bytes_in(Tier::Dram), adv.recount_bytes_in(Tier::Dram));
+        adv.debug_verify();
     }
 
     #[test]

@@ -31,6 +31,20 @@
 //! grant, no matter what crashes, sentinel trips, or epoch rollbacks its
 //! co-tenants suffer. A faulted tenant is quarantined — its grant returns
 //! to the pool and nothing else changes.
+//!
+//! **Concurrent rounds.** When the unified scheduler is configured with
+//! more than one job ([`merch_sched::set_pool_jobs`]), [`PlacementService::run`]
+//! executes tenant rounds concurrently: each admitted tenant becomes a
+//! [`merch_sched::TaskClass::Tenant`] *runner* task that owns the tenant's
+//! job outright and streams per-round results into a pipe, while the
+//! unchanged serial control loop (shed → admit → DRR pick → charge)
+//! consumes the pipes in exactly the order the serial `step()` loop would
+//! have produced. Because a tenant's round stream is a pure function of
+//! (workload, policy, seed, grant) — the isolation model above — the
+//! streamed results are the results the control loop would have computed
+//! inline, and the final [`ServiceReport`] is **bitwise identical** at any
+//! job count. Runners never touch shared state; the control loop never
+//! touches a running tenant's job.
 
 pub mod admission;
 pub mod report;
@@ -42,6 +56,10 @@ pub use report::{jain_index, ServiceReport, TenantReport};
 pub use scheduler::DrrScheduler;
 pub use tenant::{ShedReason, Tenant, TenantId, TenantSpec, TenantStatus};
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
 use crate::runtime::{Executor, PlacementPolicy, RoundReport, RunReport};
 use crate::system::HmError;
 use crate::workload::Workload;
@@ -49,8 +67,9 @@ use crate::Tier;
 
 /// Object-safe view of one tenant's executor, so the service can drive
 /// heterogeneous (workload, policy) pairs through one registry. Blanket-
-/// implemented for every [`Executor`].
-pub trait TenantJob {
+/// implemented for every [`Executor`]. `Send` so a concurrent
+/// [`PlacementService::run`] can hand the job to a runner task.
+pub trait TenantJob: Send {
     /// Execute one round. `Ok(None)` when every round has already run;
     /// `Err` quarantines the tenant (scripted crash, unrecoverable fault).
     fn step(&mut self) -> Result<Option<RoundReport>, HmError>;
@@ -84,6 +103,71 @@ impl<W: Workload, P: PlacementPolicy + Sync> TenantJob for Executor<W, P> {
     }
     fn run_report(&self) -> RunReport {
         self.report()
+    }
+}
+
+/// One round outcome, as observed by the accounting loop: everything
+/// [`PlacementService::consume_entry`] reads from a tenant's job after a
+/// step, snapshotted so a runner task can compute it remotely.
+enum StepEntry {
+    /// A round ran: its report, the tenant's post-round DRAM residency
+    /// (the quota-invariant probe), and whether it was the final round.
+    Round {
+        round: RoundReport,
+        resident: u64,
+        done: bool,
+    },
+    /// `step()` returned `Ok(None)`: every round had already run.
+    Exhausted,
+    /// The tenant faulted; it will be quarantined.
+    Fault(HmError),
+    /// The job panicked (a bug, not a modeled fault): carried to the
+    /// control loop so it re-raises where the serial path would have,
+    /// instead of deadlocking a pipe that will never fill.
+    Panicked(String),
+}
+
+/// Execute one round of `job` and snapshot the outcome — the execution
+/// half of the old `step_tenant`, shared by the serial path (inline) and
+/// the concurrent runners (on worker tasks).
+fn step_entry(job: &mut dyn TenantJob) -> StepEntry {
+    match job.step() {
+        Ok(Some(round)) => {
+            let resident = job.dram_resident_bytes();
+            let done = job.rounds_done() >= job.rounds_total();
+            StepEntry::Round {
+                round,
+                resident,
+                done,
+            }
+        }
+        Ok(None) => StepEntry::Exhausted,
+        Err(e) => StepEntry::Fault(e),
+    }
+}
+
+/// Placeholder occupying a tenant's registry slot while a runner task owns
+/// the real job. Never stepped or reported against: the control loop only
+/// touches a running tenant's job through its pipe, and the real job is
+/// handed back before `run` returns.
+struct ParkedJob;
+
+impl TenantJob for ParkedJob {
+    fn step(&mut self) -> Result<Option<RoundReport>, HmError> {
+        unreachable!("parked tenant job stepped")
+    }
+    fn rounds_total(&self) -> usize {
+        0
+    }
+    fn rounds_done(&self) -> usize {
+        0
+    }
+    fn dram_resident_bytes(&self) -> u64 {
+        0
+    }
+    fn set_dram_quota(&mut self, _quota: Option<u64>) {}
+    fn run_report(&self) -> RunReport {
+        unreachable!("parked tenant job queried")
     }
 }
 
@@ -245,8 +329,17 @@ impl PlacementService {
     /// or shed) and return the final rollup. Deterministic: the interleaving
     /// is a pure function of the submitted specs and each tenant's own
     /// round times.
+    ///
+    /// With [`merch_sched::pool_jobs`] `> 1` the rounds of different
+    /// tenants execute concurrently on the unified scheduler pool; the
+    /// report is bitwise identical to the sequential run either way (see
+    /// the module docs for the argument).
     pub fn run(&mut self) -> ServiceReport {
-        while self.step() {}
+        if merch_sched::pool_jobs() > 1 {
+            self.run_concurrent();
+        } else {
+            while self.step() {}
+        }
         self.report()
     }
 
@@ -371,30 +464,131 @@ impl PlacementService {
     /// Run one round of tenant `id`, charge its deficit, probe the quota
     /// invariant, and retire it on completion or fault.
     fn step_tenant(&mut self, id: TenantId) {
-        let t = &mut self.tenants[id.0 as usize];
-        match t.job.step() {
-            Ok(Some(round)) => {
+        let entry = step_entry(self.tenants[id.0 as usize].job.as_mut());
+        self.consume_entry(id, entry);
+    }
+
+    /// Apply one round outcome to the service state — the accounting half
+    /// of [`step_tenant`](Self::step_tenant), shared verbatim between the
+    /// sequential loop (which computes entries inline) and the concurrent
+    /// loop (which consumes them from runner pipes), so both paths perform
+    /// the identical field updates in the identical order.
+    fn consume_entry(&mut self, id: TenantId, entry: StepEntry) {
+        match entry {
+            StepEntry::Round {
+                round,
+                resident,
+                done,
+            } => {
+                let t = &mut self.tenants[id.0 as usize];
                 let dt = round.round_time_ns;
                 t.rounds_done += 1;
                 if let Some(granted) = t.granted_quota {
-                    if t.job.dram_resident_bytes() > granted {
+                    if resident > granted {
                         t.quota_violations += 1;
                     }
                 }
-                let done = t.job.rounds_done() >= t.job.rounds_total();
                 self.clock_ns += dt;
                 self.scheduler.charge(&mut self.tenants, id, dt);
                 if done {
                     self.retire(id, TenantStatus::Completed);
                 }
             }
-            Ok(None) => self.retire(id, TenantStatus::Completed),
-            Err(HmError::Crashed { round }) => {
+            StepEntry::Exhausted => self.retire(id, TenantStatus::Completed),
+            StepEntry::Fault(HmError::Crashed { round }) => {
                 self.retire(id, TenantStatus::Quarantined { round });
             }
-            Err(_) => {
+            StepEntry::Fault(_) => {
                 let round = self.tenants[id.0 as usize].rounds_done;
                 self.retire(id, TenantStatus::Quarantined { round });
+            }
+            StepEntry::Panicked(msg) => panic!("tenant-round task panicked: {msg}"),
+        }
+    }
+
+    /// The concurrent twin of the `while self.step() {}` loop: identical
+    /// shed/admit/pick/charge control flow, but each admitted tenant's job
+    /// moves onto a [`merch_sched::TaskClass::Tenant`] runner task that
+    /// streams its round outcomes into a per-tenant pipe, so rounds of
+    /// different tenants overlap while the control loop consumes the
+    /// streams in exact serial order. Runner tasks own their job outright
+    /// (the registry holds a parked placeholder meanwhile) and return it
+    /// through a hand-back slot once the stream ends, so post-run report
+    /// queries see the same executors the serial path would leave behind.
+    fn run_concurrent(&mut self) {
+        use merch_sched::TaskClass;
+        let n = self.tenants.len();
+        let pipes: Vec<Mutex<VecDeque<StepEntry>>> =
+            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+        let handback: Vec<Mutex<Option<Box<dyn TenantJob>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let mut launched = vec![false; n];
+        merch_sched::ensure_workers(merch_sched::pool_jobs().saturating_sub(1));
+        merch_sched::scope(TaskClass::Tenant, |scope| loop {
+            self.admission
+                .shed_expired(&mut self.tenants, self.clock_ns);
+            self.admit_ready();
+            for t in self.tenants.iter_mut() {
+                let i = t.id.0 as usize;
+                if matches!(t.status, TenantStatus::Running) && !launched[i] {
+                    launched[i] = true;
+                    // The grant is installed on the job (`admit_ready`), so
+                    // the runner computes the exact stream the serial loop
+                    // would; grants never change mid-`run`.
+                    let mut job = std::mem::replace(&mut t.job, Box::new(ParkedJob));
+                    let (pipe, slot) = (&pipes[i], &handback[i]);
+                    scope.spawn(move || {
+                        loop {
+                            let entry = match catch_unwind(AssertUnwindSafe(|| step_entry(
+                                job.as_mut(),
+                            ))) {
+                                Ok(entry) => entry,
+                                Err(p) => {
+                                    StepEntry::Panicked(merch_sched::payload_msg(p.as_ref()))
+                                }
+                            };
+                            let last = !matches!(entry, StepEntry::Round { done: false, .. });
+                            pipe.lock().unwrap_or_else(|e| e.into_inner()).push_back(entry);
+                            merch_sched::notify();
+                            if last {
+                                break;
+                            }
+                        }
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(job);
+                    });
+                }
+            }
+            let Some(id) = self.scheduler.pick(&mut self.tenants) else {
+                if self.admission.queue_len() == 0 {
+                    break;
+                }
+                // Queued tenants remain; the next admission pass over the
+                // fully free pool admits the highest-priority one.
+                continue;
+            };
+            let pipe = &pipes[id.0 as usize];
+            let entry = {
+                let mut ready = || !pipe.lock().unwrap_or_else(|e| e.into_inner()).is_empty();
+                if !ready() {
+                    // Blocks condvar-style, executing queued tenant-round
+                    // (and deeper) tasks while this tenant's next round is
+                    // still in flight.
+                    merch_sched::help_until(TaskClass::Tenant, &mut ready);
+                }
+                pipe.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front()
+                    .expect("runner streams one entry per picked round")
+            };
+            self.consume_entry(id, entry);
+        });
+        for t in self.tenants.iter_mut() {
+            if let Some(job) = handback[t.id.0 as usize]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+            {
+                t.job = job;
             }
         }
     }

@@ -1,7 +1,9 @@
 //! Multi-tenant placement-service properties (DESIGN.md §13): quota
 //! residency holds under random tenant mixes and interleavings, a crashing
 //! co-tenant never perturbs anyone else's placement output (bitwise vs a
-//! solo run), and DRR service shares converge to the declared weights.
+//! solo run), DRR service shares converge to the declared weights, and the
+//! concurrent tenant-round executor (DESIGN.md §16) reproduces the serial
+//! DRR loop bit for bit at every job count.
 
 use proptest::prelude::*;
 
@@ -166,6 +168,69 @@ proptest! {
                 "tenant {i} diverged from its solo baseline"
             );
         }
+    }
+}
+
+/// Serializes tests that flip the process-global scheduler job count.
+static POOL_JOBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Concurrent tenant rounds are bitwise invisible: running the same
+    /// tenant mix — chaos co-tenant with a scripted crash (between rounds
+    /// or mid-migration), flaky migrations, and DRAM pressure included —
+    /// at scheduler jobs 2 and 8 yields a `ServiceReport` and per-tenant
+    /// run reports `{:?}`-identical to the serial (jobs = 1) DRR loop.
+    #[test]
+    fn concurrent_rounds_bitwise_match_serial(
+        draws in proptest::collection::vec(arb_tenant(), 2..6),
+        faulted in 0usize..8,
+        crash_round in 0u64..3,
+        mid_migration in 0u8..2,
+        pool_pages in 24u64..64,
+        seed in 0u64..1_000,
+    ) {
+        let _g = POOL_JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let faulted = faulted % draws.len();
+        let run_at = |jobs: usize| {
+            merch_sched::set_pool_jobs(jobs);
+            let mut svc = PlacementService::new(
+                ServiceConfig::new(pool_pages * PAGE_SIZE).with_seed(seed),
+            );
+            for (i, d) in draws.iter().enumerate() {
+                let plan = (i == faulted).then(|| {
+                    let point = if mid_migration == 1 {
+                        CrashPoint::MidMigration { after_attempts: 1 }
+                    } else {
+                        CrashPoint::BetweenRounds
+                    };
+                    let mut p = FaultPlan::none().with_fault(FaultKind::Crash {
+                        round: crash_round,
+                        point,
+                    });
+                    p.seed = seed ^ 0xC4A5;
+                    p.migration_fail_rate = 0.3;
+                    p.dram_pressure_bytes = 4 * PAGE_SIZE;
+                    p.pressure_period_rounds = 2;
+                    p
+                });
+                let tier = if i.is_multiple_of(2) { Tier::Dram } else { Tier::Pm };
+                let job = executor(d.4, d.5, d.6, tier, plan);
+                svc.submit(spec(i, d), Box::new(job)).unwrap();
+            }
+            let rep = svc.run();
+            merch_sched::set_pool_jobs(0);
+            let runs: Vec<String> = (0..draws.len())
+                .map(|i| format!("{:?}", svc.tenant_run_report(TenantId(i as u32))))
+                .collect();
+            (format!("{rep:?}"), runs)
+        };
+        let serial = run_at(1);
+        let two = run_at(2);
+        let eight = run_at(8);
+        prop_assert_eq!(&two, &serial, "jobs=2 diverged from the serial loop");
+        prop_assert_eq!(&eight, &serial, "jobs=8 diverged from the serial loop");
     }
 }
 
