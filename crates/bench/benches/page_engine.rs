@@ -251,7 +251,11 @@ fn bench_full_round(n: u64, iters: u32) -> BenchRow {
 fn build_frag_table(n: u64) -> PageTable {
     let mut pt = PageTable::default();
     pt.extend_alternating_for_object(ObjectId(0), [Tier::Pm, Tier::Dram], n, 1.0 / n as f64);
-    assert_eq!(pt.num_extents() as u64, n, "adversarial build must not coalesce");
+    assert_eq!(
+        pt.num_extents() as u64,
+        n,
+        "adversarial build must not coalesce"
+    );
     pt
 }
 

@@ -60,7 +60,7 @@ fn job(i: usize, seed: u64) -> Executor<SkewedWorkload, StaticPolicy> {
         seed ^ i as u64,
     );
     if i % 7 == 3 {
-        let point = if i % 2 == 0 {
+        let point = if i.is_multiple_of(2) {
             CrashPoint::MidMigration { after_attempts: 1 }
         } else {
             CrashPoint::BetweenRounds
@@ -75,7 +75,7 @@ fn job(i: usize, seed: u64) -> Executor<SkewedWorkload, StaticPolicy> {
         p.pressure_period_rounds = 2;
         sys.set_fault_plan(p).expect("plan set before any round");
     }
-    let tier = if i % 2 == 0 { Tier::Dram } else { Tier::Pm };
+    let tier = if i.is_multiple_of(2) { Tier::Dram } else { Tier::Pm };
     Executor::new(sys, app, StaticPolicy { tier })
 }
 
@@ -92,7 +92,8 @@ fn run_service(n: usize, seed: u64) -> (String, Vec<String>) {
             .with_min_quota((4 + (i as u64 % 8)) * PAGE_SIZE)
             .with_weight(1 + (i as u32 % 4))
             .with_priority((i % 8) as u8);
-        svc.submit(spec, Box::new(job(i, seed))).expect("spec is valid");
+        svc.submit(spec, Box::new(job(i, seed)))
+            .expect("spec is valid");
     }
     let report = svc.run();
     let runs = (0..n)

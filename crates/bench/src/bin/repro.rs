@@ -5,7 +5,7 @@
 //!       [--replay FILE] <experiment>...
 //! experiments: table1 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha overhead
 //!              ablation cxl landscape motivation faults recover soak serve
-//!              device bench all
+//!              device contain bench all
 //! ```
 //!
 //! Sweeps run their independent (app × policy × seed) cells on a worker
@@ -34,7 +34,13 @@
 //! renegotiation, checking zero poisoned-frame residencies, exact capacity
 //! accounting, bitwise replay determinism, and priority-ordered grant
 //! renegotiation; a violation dumps a replayable `merchdevice` scenario and
-//! exits non-zero. `bench` (also not part of `all`) aggregates the
+//! exits non-zero. `contain` (also not part of `all`) runs the service's
+//! fault-containment sweep: one tenant panics or stalls under a scripted
+//! fault while its circuit breaker trips, drains, and probes, and the gates
+//! verify survivors stay bitwise identical to a no-fault run, released
+//! grants are re-absorbed, and Half-Open recovery replays deterministically;
+//! a violation dumps a replayable `merchcontain` scenario and exits
+//! non-zero. `bench` (also not part of `all`) aggregates the
 //! per-bench registry artifacts (`BENCH_page_engine.json`,
 //! `BENCH_planner.json`, or explicit `--bench-file` paths) into
 //! `BENCH_all.json` and re-checks every row against the registry's
@@ -129,7 +135,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--quick] [--smoke] [--jobs N] [--replay FILE] [--bench-file FILE] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|soak|serve|device|bench|all>..."
+            "usage: repro [--seed N] [--quick] [--smoke] [--jobs N] [--replay FILE] [--bench-file FILE] <table1|table3|table4|fig3|fig4|fig5|fig6|fig7|alpha|overhead|ablation|cxl|landscape|motivation|faults|recover|soak|serve|device|contain|bench|all>..."
         );
         std::process::exit(2);
     }
@@ -178,6 +184,7 @@ fn main() {
                 | "soak"
                 | "serve"
                 | "device"
+                | "contain"
         )
     });
     // Experiments that need the full training artifacts (Table 3 rows,
@@ -726,17 +733,86 @@ fn main() {
                         .unwrap();
                     }
                 }
+                "contain" => {
+                    let art = artifacts.as_ref().unwrap();
+                    if let Some(path) = &replay {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("error: cannot read scenario {}: {e}", path.display());
+                                std::process::exit(2);
+                            }
+                        };
+                        writeln!(out, "\n# Fault containment — replaying {}", path.display())
+                            .unwrap();
+                        match merch_bench::contain::contain_replay(&text, &art.model) {
+                            Ok(row) => {
+                                write_contain_row(&mut out, &row);
+                                if !row.violations.is_empty() {
+                                    out.flush().unwrap();
+                                    std::process::exit(1);
+                                }
+                                writeln!(out, "# replayed scenario holds every containment gate")
+                                    .unwrap();
+                            }
+                            Err(msg) => {
+                                writeln!(out, "# CONTAIN REPLAY ERROR: {msg}").unwrap();
+                                out.flush().unwrap();
+                                std::process::exit(2);
+                            }
+                        }
+                    } else {
+                        writeln!(
+                            out,
+                            "\n# Fault containment — panic isolation, tenant circuit breakers, supervised draining (smoke={smoke})"
+                        )
+                        .unwrap();
+                        let rows = merch_bench::contain::contain(&art.model, seed, smoke);
+                        let mut violated = false;
+                        for row in &rows {
+                            write_contain_row(&mut out, row);
+                            if !row.violations.is_empty() {
+                                violated = true;
+                                let path =
+                                    format!("contain-repro-{seed}-{}.txt", row.scenario.label);
+                                if let Err(e) = std::fs::write(&path, row.scenario.encode()) {
+                                    eprintln!("error: cannot write scenario {path}: {e}");
+                                } else {
+                                    writeln!(
+                                        out,
+                                        "# scenario written to {path}; replay with: repro --replay {path} contain"
+                                    )
+                                    .unwrap();
+                                }
+                            }
+                        }
+                        if violated {
+                            out.flush().unwrap();
+                            std::process::exit(1);
+                        }
+                        writeln!(
+                            out,
+                            "# all {} containment scenarios hold every gate",
+                            rows.len()
+                        )
+                        .unwrap();
+                    }
+                }
                 "bench" => {
                     use merch_bench::registry;
                     let dir: std::path::PathBuf = std::env::var("MERCH_BENCH_DIR")
                         .map(Into::into)
                         .unwrap_or_else(|_| ".".into());
                     let files: Vec<std::path::PathBuf> = if bench_files.is_empty() {
-                        ["BENCH_page_engine.json", "BENCH_planner.json", "BENCH_serve.json"]
-                            .iter()
-                            .map(|f| dir.join(f))
-                            .filter(|p| p.exists())
-                            .collect()
+                        [
+                            "BENCH_page_engine.json",
+                            "BENCH_planner.json",
+                            "BENCH_serve.json",
+                        ]
+                        .iter()
+                        .map(|f| dir.join(f))
+                        .filter(|p| p.exists())
+                        .collect()
                     } else {
                         bench_files.clone()
                     };
@@ -904,6 +980,68 @@ fn write_serve_scenario(out: &mut impl Write, row: &merch_bench::serve::ServeRow
     .unwrap();
     for v in &row.violations {
         writeln!(out, "# SERVE VIOLATION: {v}").unwrap();
+    }
+}
+
+fn write_contain_row(out: &mut impl Write, row: &merch_bench::contain::ContainRow) {
+    let scn = &row.scenario;
+    let rep = &row.report;
+    let fault = match scn.fault {
+        merch_bench::contain::ContainFault::Panic { round } => format!("panic@{round}"),
+        merch_bench::contain::ContainFault::Stall { round, rounds } => {
+            format!("stall@{round}x{rounds}")
+        }
+    };
+    writeln!(
+        out,
+        "# scenario {} — seed {}, pool {} pages, {} tenants, victim {} ({fault})",
+        scn.label,
+        scn.seed,
+        scn.pool_pages,
+        scn.tenants.len(),
+        scn.tenants[scn.victim].name,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "tenant\tapp\tpolicy\tvictim\tstatus\trounds\ttrips\tpanics\tstalled\tgranted_pages"
+    )
+    .unwrap();
+    for (t, r) in scn.tenants.iter().zip(&rep.tenants) {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}/{}\t{}\t{}\t{}\t{}",
+            r.name,
+            t.app.name(),
+            t.policy.name(),
+            if r.id as usize == scn.victim {
+                "yes"
+            } else {
+                "no"
+            },
+            serve_status(&r.status),
+            r.rounds_done,
+            r.rounds_total,
+            r.breaker_trips,
+            r.fault.tenant_panics,
+            r.fault.stalled_rounds,
+            r.granted_quota / merch_hm::PAGE_SIZE,
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "# rollup: admitted {}, completed {}, quarantined {}, tripped {}, victim trips {}, quota violations {}",
+        rep.admitted,
+        rep.completed,
+        rep.quarantined,
+        rep.tripped,
+        row.victim_trips,
+        rep.quota_violations
+    )
+    .unwrap();
+    for v in &row.violations {
+        writeln!(out, "# CONTAIN VIOLATION: {v}").unwrap();
     }
 }
 

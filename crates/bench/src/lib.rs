@@ -1,6 +1,7 @@
 //! Experiment harness: one function per table/figure of the paper, shared
 //! by the `repro` binary, the criterion benches and the integration tests.
 
+pub mod contain;
 pub mod device;
 pub mod experiments;
 pub mod par;

@@ -334,7 +334,10 @@ mod tests {
         ];
         let text = emit_json("page_engine", &rows);
         // The engine-only row omits the baseline keys instead of writing 0.
-        assert!(!text.lines().any(|l| l.contains("baseline_us\": 0")), "{text}");
+        assert!(
+            !text.lines().any(|l| l.contains("baseline_us\": 0")),
+            "{text}"
+        );
         let back = parse_json(&text).unwrap();
         assert_eq!(back, rows);
     }
@@ -375,7 +378,13 @@ mod tests {
             row("page_engine", "full_round", 100_000_000, None, 2.5e6),
         ];
         assert!(check(&ok, &default_gates()).is_empty());
-        let slow = vec![row("page_engine", "migrate_1pct", 1_000_000, Some(10.0), 9.0)];
+        let slow = vec![row(
+            "page_engine",
+            "migrate_1pct",
+            1_000_000,
+            Some(10.0),
+            9.0,
+        )];
         assert_eq!(check(&slow, &default_gates()).len(), 1);
         let over = vec![row("page_engine", "full_round", 100_000_000, None, 2.0e7)];
         let v = check(&over, &default_gates());

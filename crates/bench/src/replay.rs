@@ -283,6 +283,7 @@ mod tests {
             ("soak reproducer", "merchsoak"),
             ("serve scenario", "merchserve"),
             ("device scenario", "merchdevice"),
+            ("contain scenario", "merchcontain"),
         ] {
             let text = format!("{magic} 9\n");
             let err = FramedReader::new(kind, &text, magic, &[1, 2]).unwrap_err();

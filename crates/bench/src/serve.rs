@@ -34,11 +34,12 @@ use merchandiser::PerformanceModel;
 
 use crate::experiments::{build_policy, AppKind, PolicyKind};
 use crate::par::par_map;
-use crate::replay::FramedReader;
+use crate::replay::{FramedReader, Record};
 use crate::soak::SoakSchedule;
 
-/// splitmix64 finalizer (the crate-wide seeded-draw idiom).
-fn mix64(mut z: u64) -> u64 {
+/// splitmix64 finalizer (the crate-wide seeded-draw idiom). Shared with the
+/// containment sweep, which derives its tenant mixes the same way.
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -105,6 +106,76 @@ impl TenantScenario {
             .with_weight(self.weight)
             .with_priority(self.priority)
             .with_deadline_ns(deadline_ns)
+    }
+
+    /// Serialize as one `tenant ...` scenario-file line (shared between the
+    /// `merchserve` and `merchcontain` framings).
+    pub fn encode_line(&self) -> String {
+        let chaos = self
+            .chaos_case
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        format!(
+            "tenant {} {} {} {} {} {} {} {} {:?} {chaos}",
+            self.name,
+            self.app.name(),
+            self.policy.name(),
+            self.seed,
+            self.weight,
+            self.priority,
+            self.quota_pages,
+            self.min_quota_pages,
+            self.deadline_ms
+        )
+    }
+
+    /// Parse a `tenant ...` record written by
+    /// [`encode_line`](Self::encode_line), with field diagnostics.
+    pub fn decode_record(t: &Record<'_>) -> Result<Self, String> {
+        let app_name = t.tok(1, "app")?;
+        let app = *AppKind::all()
+            .iter()
+            .find(|a| a.name() == app_name)
+            .ok_or_else(|| {
+                format!(
+                    "serve scenario line {}, field `app`: unknown app `{app_name}`",
+                    t.line_no
+                )
+            })?;
+        let policy_name = t.tok(2, "policy")?;
+        let policy = [
+            PolicyKind::PmOnly,
+            PolicyKind::MemoryOptimizer,
+            PolicyKind::Merchandiser,
+            PolicyKind::DamonTier,
+            PolicyKind::AutoNuma,
+        ]
+        .into_iter()
+        .find(|p| p.name() == policy_name)
+        .ok_or_else(|| {
+            format!(
+                "serve scenario line {}, field `policy`: unknown policy `{policy_name}`",
+                t.line_no
+            )
+        })?;
+        let chaos_tok = t.tok(9, "chaos_case")?;
+        let chaos_case = if chaos_tok == "-" {
+            None
+        } else {
+            Some(t.u64(9, "chaos_case")?)
+        };
+        Ok(Self {
+            name: t.tok(0, "name")?.to_string(),
+            app,
+            policy,
+            seed: t.u64(3, "seed")?,
+            weight: t.u32(4, "weight")?,
+            priority: t.u8(5, "priority")?,
+            quota_pages: t.u64(6, "quota_pages")?,
+            min_quota_pages: t.u64(7, "min_quota_pages")?,
+            deadline_ms: t.f64(8, "deadline_ms")?,
+            chaos_case,
+        })
     }
 }
 
@@ -213,24 +284,7 @@ impl ServeScenario {
             .expect("writing to String cannot fail");
         writeln!(out, "tenants {}", self.tenants.len()).expect("writing to String cannot fail");
         for t in &self.tenants {
-            let chaos = t
-                .chaos_case
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "-".to_string());
-            writeln!(
-                out,
-                "tenant {} {} {} {} {} {} {} {} {:?} {chaos}",
-                t.name,
-                t.app.name(),
-                t.policy.name(),
-                t.seed,
-                t.weight,
-                t.priority,
-                t.quota_pages,
-                t.min_quota_pages,
-                t.deadline_ms
-            )
-            .expect("writing to String cannot fail");
+            writeln!(out, "{}", t.encode_line()).expect("writing to String cannot fail");
         }
         out
     }
@@ -248,50 +302,7 @@ impl ServeScenario {
         let mut tenants = Vec::with_capacity(n);
         for _ in 0..n {
             let t = r.record("tenant", 10)?;
-            let app_name = t.tok(1, "app")?;
-            let app = *AppKind::all()
-                .iter()
-                .find(|a| a.name() == app_name)
-                .ok_or_else(|| {
-                    format!(
-                        "serve scenario line {}, field `app`: unknown app `{app_name}`",
-                        t.line_no
-                    )
-                })?;
-            let policy_name = t.tok(2, "policy")?;
-            let policy = [
-                PolicyKind::PmOnly,
-                PolicyKind::MemoryOptimizer,
-                PolicyKind::Merchandiser,
-                PolicyKind::DamonTier,
-                PolicyKind::AutoNuma,
-            ]
-            .into_iter()
-            .find(|p| p.name() == policy_name)
-            .ok_or_else(|| {
-                format!(
-                    "serve scenario line {}, field `policy`: unknown policy `{policy_name}`",
-                    t.line_no
-                )
-            })?;
-            let chaos_tok = t.tok(9, "chaos_case")?;
-            let chaos_case = if chaos_tok == "-" {
-                None
-            } else {
-                Some(t.u64(9, "chaos_case")?)
-            };
-            tenants.push(TenantScenario {
-                name: t.tok(0, "name")?.to_string(),
-                app,
-                policy,
-                seed: t.u64(3, "seed")?,
-                weight: t.u32(4, "weight")?,
-                priority: t.u8(5, "priority")?,
-                quota_pages: t.u64(6, "quota_pages")?,
-                min_quota_pages: t.u64(7, "min_quota_pages")?,
-                deadline_ms: t.f64(8, "deadline_ms")?,
-                chaos_case,
-            });
+            tenants.push(TenantScenario::decode_record(&t)?);
         }
         r.finish()?;
         Ok(Self {

@@ -54,13 +54,18 @@ use crate::telemetry::BandwidthTimeline;
 /// Version 5 replaced the per-page `pages` / `p` section with the extent
 /// framing `extents <runs> <pages>` + one `x` line per run (run starts are
 /// implicit in page order), matching the run-length page engine.
+/// Version 6 added the tenant fault-containment domain: the `breaker` line
+/// (circuit-breaker frame — strikes, window cursor, attempt counter,
+/// open-until step, probe budget, trip count — directly after `cursor`),
+/// the `panic` / `stall` crash specs on `faultplan`, and two appended
+/// tenant-fault counters on `faultstats`.
 ///
 /// Decoding accepts every version `1 ..= CHECKPOINT_VERSION`; encoding
 /// always writes the current version. One back-compat caveat: a v1–v3
 /// payload whose fault injector was *armed* (`fault 1`) predates the v4
 /// widened `faultplan` / `faultstats` lines and does not decode;
 /// `fault 0` payloads of every version decode.
-pub const CHECKPOINT_VERSION: u32 = 5;
+pub const CHECKPOINT_VERSION: u32 = 6;
 
 /// Retries after a failed WAL write attempt before the checkpoint is
 /// skipped for this round (the run continues; only recovery granularity
@@ -193,6 +198,58 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Persistent state of one tenant's three-state circuit breaker
+/// (DESIGN.md §17). The *frame* is plain data so it can live in a
+/// checkpoint; the Closed → Open → Half-Open transition logic lives in
+/// `service::breaker`. Strike windows are measured in the tenant's own
+/// attempt counter (a pure function of its entry stream, identical at any
+/// `--jobs`); only `open_until` is denominated in service steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerFrame {
+    /// Strikes accumulated inside the current window.
+    pub strikes: u32,
+    /// Attempt counter value at which the current strike window opened.
+    pub window_start: u64,
+    /// Rounds this tenant has attempted (successful or struck).
+    pub attempts: u64,
+    /// While Open: the service step at which a Half-Open probe may start.
+    pub open_until: u64,
+    /// While Half-Open: probe rounds left before the breaker re-closes.
+    pub probes_left: u32,
+    /// Times the breaker tripped Closed → Open.
+    pub trips: u32,
+}
+
+impl BreakerFrame {
+    /// Serialize as the checkpoint `breaker` line payload.
+    pub fn encode(&self, out: &mut String) {
+        writeln!(
+            out,
+            "breaker {} {} {} {} {} {}",
+            self.strikes,
+            self.window_start,
+            self.attempts,
+            self.open_until,
+            self.probes_left,
+            self.trips
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Decode the `breaker` line written by [`encode`](Self::encode).
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, HmError> {
+        let t = r.line("breaker", 6)?;
+        Ok(Self {
+            strikes: p_u32(t[0])?,
+            window_start: p_u64(t[1])?,
+            attempts: p_u64(t[2])?,
+            open_until: p_u64(t[3])?,
+            probes_left: p_u32(t[4])?,
+            trips: p_u32(t[5])?,
+        })
+    }
+}
+
 /// A complete supervised-execution snapshot at a round boundary.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
@@ -210,6 +267,10 @@ pub struct Checkpoint {
     /// Opaque policy state (`PlacementPolicy::save_state`), replayed into
     /// `restore_state` on resume. Empty for stateless policies.
     pub policy_state: String,
+    /// Tenant circuit-breaker frame (zeroed outside the service's
+    /// supervised-tenant path; always encoded so payloads stay
+    /// deterministic).
+    pub breaker: BreakerFrame,
 }
 
 impl Checkpoint {
@@ -219,6 +280,7 @@ impl Checkpoint {
         writeln!(out, "merchckpt {CHECKPOINT_VERSION}").expect("writing to String cannot fail");
         writeln!(out, "cursor {} {}", self.next_round, self.blackout_cursor)
             .expect("writing to String cannot fail");
+        self.breaker.encode(&mut out);
         self.sys.encode_state(&mut out);
         self.timeline.encode_state(&mut out);
         writeln!(out, "completed {}", self.completed.len()).expect("writing to String cannot fail");
@@ -281,6 +343,11 @@ impl Checkpoint {
         }
         let t = r.line("cursor", 2)?;
         let (next_round, blackout_cursor) = (p_usize(t[0])?, p_usize(t[1])?);
+        let breaker = if version >= 6 {
+            BreakerFrame::decode(&mut r)?
+        } else {
+            BreakerFrame::default()
+        };
         let sys = HmSystem::decode_state_versioned(&mut r, version)?;
         let timeline = BandwidthTimeline::decode_state(&mut r)?;
         let t = r.line("completed", 1)?;
@@ -346,6 +413,7 @@ impl Checkpoint {
             timeline,
             completed,
             policy_state,
+            breaker,
         })
     }
 }
@@ -610,6 +678,14 @@ mod tests {
                 round_time_ns: 6234.5,
             }],
             policy_state: "alpha 0.5\nquota 17\n".to_string(),
+            breaker: BreakerFrame {
+                strikes: 2,
+                window_start: 5,
+                attempts: 7,
+                open_until: 11,
+                probes_left: 1,
+                trips: 3,
+            },
         }
     }
 
@@ -637,19 +713,24 @@ mod tests {
         }
     }
 
-    /// Rewrite a v5 payload into the framing an older build would have
-    /// written: expand `extents`/`x` run lines back to `pages`/`p` per-page
-    /// lines (v4), then progressively strip `quarantine`+`offlined` (v3),
-    /// `dramquota` (v2), and the epoch counters in `syscounters` and
-    /// `round` lines (v1).
+    /// Rewrite a v6 payload into the framing an older build would have
+    /// written: strip the `breaker` line and the appended tenant-fault
+    /// counters (v5), expand `extents`/`x` run lines back to `pages`/`p`
+    /// per-page lines (v4), then progressively strip
+    /// `quarantine`+`offlined` (v3), `dramquota` (v2), and the epoch
+    /// counters in `syscounters` and `round` lines (v1).
     fn downgrade(text: &str, version: u32) -> String {
         let mut out = String::new();
         for line in text.lines() {
             let toks: Vec<&str> = line.split_whitespace().collect();
             match toks[0] {
                 "merchckpt" => writeln!(out, "merchckpt {version}").unwrap(),
-                "extents" => writeln!(out, "pages {}", toks[2]).unwrap(),
-                "x" => {
+                "breaker" if version < 6 => {}
+                "faultstats" if version < 6 => {
+                    writeln!(out, "faultstats {}", toks[1..10].join(" ")).unwrap()
+                }
+                "extents" if version < 5 => writeln!(out, "pages {}", toks[2]).unwrap(),
+                "x" if version < 5 => {
                     let len: u64 = toks[1].parse().unwrap();
                     for _ in 0..len {
                         writeln!(out, "p {}", toks[2..].join(" ")).unwrap();
@@ -689,9 +770,9 @@ mod tests {
         ck.sys.begin_round(1);
         ck.sys.record_accesses(a, 55.5);
         ck.sys.migrate_object_pages(a, crate::config::Tier::Dram, 2);
-        let v5 = ck.encode();
-        for version in 1..=4u32 {
-            let legacy = downgrade(&v5, version);
+        let v6 = ck.encode();
+        for version in 1..=5u32 {
+            let legacy = downgrade(&v6, version);
             let back = Checkpoint::decode(&legacy)
                 .unwrap_or_else(|e| panic!("v{version} payload must decode: {e:?}"));
             // Page-table state is bit-identical however it was framed.
@@ -708,15 +789,17 @@ mod tests {
             // Fields a version predates come back zeroed, not garbled.
             let want_epochs = if version >= 2 { o0.epoch_commits } else { 0 };
             assert_eq!(r0.epoch_commits, want_epochs, "v{version} epochs");
+            // Breaker frames predate v6 and come back zeroed.
+            assert_eq!(back.breaker, BreakerFrame::default(), "v{version} breaker");
             // Re-encoding always upgrades to the current framing.
-            assert!(back.encode().starts_with("merchckpt 5\n"));
+            assert!(back.encode().starts_with("merchckpt 6\n"));
         }
     }
 
     #[test]
     fn version_mismatch_rejected() {
         let ck = sample_checkpoint();
-        let text = ck.encode().replacen("merchckpt 5", "merchckpt 99", 1);
+        let text = ck.encode().replacen("merchckpt 6", "merchckpt 99", 1);
         assert!(matches!(
             Checkpoint::decode(&text),
             Err(HmError::CheckpointCorrupt(_))
@@ -764,7 +847,10 @@ mod tests {
             round,
             dropped_bytes,
             reason,
-        } = warning.expect("a torn tail must warn");
+        } = warning.expect("a torn tail must warn")
+        else {
+            panic!("expected a torn-tail warning");
+        };
         assert_eq!(round, ck.next_round as u64);
         assert_eq!(
             dropped_bytes,

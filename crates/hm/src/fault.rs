@@ -53,10 +53,25 @@ pub enum CrashPoint {
     },
 }
 
-/// A terminal fault: the process hosting the runtime dies. Unlike the
-/// rate-based faults, a crash is a single scripted event; the run stops
-/// with [`HmError::Crashed`](crate::system::HmError::Crashed) and is
-/// continued via `Executor::resume` from the latest checkpoint.
+/// Wall-time multiplier applied to a round executed inside an open
+/// [`FaultKind::TenantStall`] window. Big enough that any sane
+/// stall-threshold (a small multiple of the tenant's normal round time)
+/// detects it, small enough that clocks never overflow.
+pub const STALL_MULT: f64 = 1024.0;
+
+/// A scripted terminal or behavioural fault. Unlike the rate-based faults,
+/// these are single scripted events keyed to a round:
+///
+/// * [`Crash`](Self::Crash) stops the run with
+///   [`HmError::Crashed`](crate::system::HmError::Crashed) and is continued
+///   via `Executor::resume` from the latest checkpoint.
+/// * [`TenantPanic`](Self::TenantPanic) makes the tenant's job panic at the
+///   round boundary — before any mutation — modelling a poisoned job that
+///   dies inside the pool. The service supervisor contains it (DESIGN.md
+///   §17); it never reaches `HmError`.
+/// * [`TenantStall`](Self::TenantStall) inflates round wall time by
+///   [`STALL_MULT`] for a window of rounds, modelling a hung dependency;
+///   the supervisor's stall threshold converts it into breaker strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Kill the process at `point` of `round`.
@@ -65,6 +80,23 @@ pub enum FaultKind {
         round: u64,
         /// Position within the round.
         point: CrashPoint,
+    },
+    /// Panic the tenant's job at the boundary before `round`, leaving the
+    /// executor exactly at its pre-round state. Non-latching: until
+    /// disarmed (recovery), every attempt to run `round` panics again.
+    TenantPanic {
+        /// Round whose boundary the panic strikes at.
+        round: u64,
+    },
+    /// Stall rounds `round .. round + rounds`: each one's wall time is
+    /// multiplied by [`STALL_MULT`]. *Not* disarmed by recovery — a hung
+    /// dependency stays hung — so a stalled tenant re-strikes until its
+    /// breaker gives up for good.
+    TenantStall {
+        /// First stalled round.
+        round: u64,
+        /// Length of the stall window in rounds.
+        rounds: u64,
     },
 }
 
@@ -244,10 +276,24 @@ impl FaultPlan {
         self
     }
 
-    /// Arm a scripted terminal fault (currently: [`FaultKind::Crash`]).
+    /// Arm a scripted fault (see [`FaultKind`]).
     pub fn with_fault(mut self, kind: FaultKind) -> Self {
         self.crash = Some(kind);
         self
+    }
+
+    /// Panic the tenant's job at the boundary before `round` (shorthand
+    /// for [`with_fault`](Self::with_fault) with
+    /// [`FaultKind::TenantPanic`]).
+    pub fn with_tenant_panic(self, round: u64) -> Self {
+        self.with_fault(FaultKind::TenantPanic { round })
+    }
+
+    /// Stall rounds `round .. round + rounds` by [`STALL_MULT`]×
+    /// (shorthand for [`with_fault`](Self::with_fault) with
+    /// [`FaultKind::TenantStall`]).
+    pub fn with_tenant_stall(self, round: u64, rounds: u64) -> Self {
+        self.with_fault(FaultKind::TenantStall { round, rounds })
     }
 
     /// Check that every rate is a probability and the plan is physically
@@ -307,6 +353,11 @@ pub struct FaultStats {
     pub degraded_window_rounds: u64,
     /// DRAM bytes permanently offlined so far.
     pub offlined_bytes: u64,
+    /// Scripted tenant panics fired (each one left the executor at its
+    /// pre-round boundary state).
+    pub tenant_panics: u64,
+    /// Rounds executed inside an open tenant-stall window.
+    pub stalled_rounds: u64,
 }
 
 /// Fault accounting carried by a `RunReport`: the injector's counters plus
@@ -335,6 +386,10 @@ pub struct FaultSummary {
     pub degraded_window_rounds: u64,
     /// DRAM bytes permanently offlined.
     pub offlined_bytes: u64,
+    /// Scripted tenant panics fired.
+    pub tenant_panics: u64,
+    /// Rounds executed inside an open tenant-stall window.
+    pub stalled_rounds: u64,
 }
 
 /// Stateful injector owned by the `HmSystem`. Holds the plan, the current
@@ -397,10 +452,15 @@ impl FaultInjector {
         self.crashed
     }
 
-    /// Disarm the scripted crash (recovery: the resumed process must not
-    /// die at the same point again).
+    /// Disarm the scripted one-shot faults (recovery: the resumed process
+    /// must not die at the same point again). [`FaultKind::TenantStall`]
+    /// stays armed — a hung dependency is not fixed by restarting the
+    /// victim — which is what lets the supervisor distinguish a
+    /// recoverable panic from a persistently failing tenant.
     pub fn disarm_crash(&mut self) {
-        self.plan.crash = None;
+        if !matches!(self.plan.crash, Some(FaultKind::TenantStall { .. })) {
+            self.plan.crash = None;
+        }
         self.crashed = false;
     }
 
@@ -442,6 +502,41 @@ impl FaultInjector {
             }
         }
         false
+    }
+
+    /// Is a scripted [`FaultKind::TenantPanic`] due at the boundary before
+    /// `round`? Pure and non-latching: the caller panics before mutating
+    /// anything, and until [`disarm_crash`](Self::disarm_crash) clears the
+    /// plan every retry of `round` panics again (strikes accumulate in the
+    /// supervisor's breaker, not here).
+    pub fn panic_due(&self, round: u64) -> bool {
+        matches!(self.plan.crash, Some(FaultKind::TenantPanic { round: r }) if r == round)
+    }
+
+    /// Record a scripted tenant panic about to fire (the executor's only
+    /// pre-panic mutation; deterministic, so checkpoints taken after K
+    /// strikes replay bit-identically).
+    pub fn note_tenant_panic(&mut self) {
+        self.stats.tenant_panics += 1;
+    }
+
+    /// Wall-time multiplier for `round` under an open
+    /// [`FaultKind::TenantStall`] window ([`STALL_MULT`], else 1). Pure in
+    /// (plan, round).
+    pub fn stall_multiplier(&self, round: u64) -> f64 {
+        match self.plan.crash {
+            Some(FaultKind::TenantStall { round: r, rounds })
+                if round >= r && round < r + rounds =>
+            {
+                STALL_MULT
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Record a round executed inside an open tenant-stall window.
+    pub fn note_stalled_round(&mut self) {
+        self.stats.stalled_rounds += 1;
     }
 
     /// Does WAL-write attempt `attempt` of checkpoint record `record`
@@ -625,6 +720,8 @@ impl FaultInjector {
                 round,
                 point: CrashPoint::MidMigration { after_attempts },
             }) => format!("midmig {round} {after_attempts}"),
+            Some(FaultKind::TenantPanic { round }) => format!("panic {round}"),
+            Some(FaultKind::TenantStall { round, rounds }) => format!("stall {round} {rounds}"),
         };
         writeln!(
             out,
@@ -659,7 +756,7 @@ impl FaultInjector {
         let s = &self.stats;
         writeln!(
             out,
-            "faultstats {} {} {} {} {} {} {} {} {}",
+            "faultstats {} {} {} {} {} {} {} {} {} {} {}",
             s.migration_retries,
             s.failed_pages,
             s.dropped_pte_samples,
@@ -668,7 +765,9 @@ impl FaultInjector {
             s.pressure_evictions,
             s.pages_poisoned,
             s.degraded_window_rounds,
-            s.offlined_bytes
+            s.offlined_bytes,
+            s.tenant_panics,
+            s.stalled_rounds
         )
         .expect("writing to String cannot fail");
     }
@@ -688,6 +787,13 @@ impl FaultInjector {
                 point: CrashPoint::MidMigration {
                     after_attempts: p_u64(after)?,
                 },
+            }),
+            ["panic", round] => Some(FaultKind::TenantPanic {
+                round: p_u64(round)?,
+            }),
+            ["stall", round, rounds] => Some(FaultKind::TenantStall {
+                round: p_u64(round)?,
+                rounds: p_u64(rounds)?,
             }),
             _ => return Err(corrupt("bad crash spec in faultplan")),
         };
@@ -730,6 +836,10 @@ impl FaultInjector {
             pages_poisoned: p_u64(t[6])?,
             degraded_window_rounds: p_u64(t[7])?,
             offlined_bytes: p_u64(t[8])?,
+            // v6 appended the tenant-fault counters; pre-v6 frames carry 9
+            // tokens and restore with zeroed counters.
+            tenant_panics: t.get(9).map(|s| p_u64(s)).transpose()?.unwrap_or(0),
+            stalled_rounds: t.get(10).map(|s| p_u64(s)).transpose()?.unwrap_or(0),
         };
         Ok(Self {
             plan,
@@ -876,6 +986,63 @@ mod tests {
         assert_eq!(a.offline_due(2), 0);
         assert_eq!(a.offline_due(3), 1 << 20);
         assert_eq!(a.offline_due(60), 1 << 20);
+    }
+
+    #[test]
+    fn tenant_panic_is_pure_and_disarmable() {
+        let plan = FaultPlan::none().with_tenant_panic(2);
+        assert!(!plan.is_none());
+        plan.validate().unwrap();
+        let mut inj = FaultInjector::new(plan);
+        // Non-latching: repeated probes of the same round all fire, other
+        // rounds never do, and nothing mutates.
+        assert!(!inj.panic_due(1));
+        assert!(inj.panic_due(2));
+        assert!(inj.panic_due(2));
+        assert!(!inj.panic_due(3));
+        assert!(!inj.crashed());
+        inj.note_tenant_panic();
+        assert_eq!(inj.stats().tenant_panics, 1);
+        // Recovery disarms the panic like a crash.
+        inj.disarm_crash();
+        assert!(!inj.panic_due(2));
+    }
+
+    #[test]
+    fn tenant_stall_window_survives_disarm() {
+        let plan = FaultPlan::none().with_tenant_stall(3, 2);
+        assert!(!plan.is_none());
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.stall_multiplier(2), 1.0);
+        assert_eq!(inj.stall_multiplier(3), STALL_MULT);
+        assert_eq!(inj.stall_multiplier(4), STALL_MULT);
+        assert_eq!(inj.stall_multiplier(5), 1.0);
+        // A stall models a hung dependency: recovery does NOT clear it.
+        inj.disarm_crash();
+        assert_eq!(inj.stall_multiplier(3), STALL_MULT);
+        inj.note_stalled_round();
+        assert_eq!(inj.stats().stalled_rounds, 1);
+    }
+
+    #[test]
+    fn tenant_fault_state_roundtrips() {
+        for plan in [
+            FaultPlan::none().with_seed(11).with_tenant_panic(4),
+            FaultPlan::none().with_seed(12).with_tenant_stall(1, 3),
+        ] {
+            let mut inj = FaultInjector::new(plan);
+            inj.begin_round(2);
+            inj.note_tenant_panic();
+            inj.note_stalled_round();
+            let mut text = String::new();
+            inj.encode_state(&mut text);
+            let mut r = crate::checkpoint::Reader::new(&text);
+            let back = FaultInjector::decode_state(&mut r).unwrap();
+            assert_eq!(back, inj);
+            let mut text2 = String::new();
+            back.encode_state(&mut text2);
+            assert_eq!(text2, text);
+        }
     }
 
     #[test]

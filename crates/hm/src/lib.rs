@@ -59,7 +59,7 @@ pub mod workload;
 pub const CACHE_LINE_BYTES: usize = merch_patterns::CACHE_LINE;
 
 pub use backoff::Backoff;
-pub use checkpoint::{Checkpoint, Wal, WalStats, CHECKPOINT_VERSION};
+pub use checkpoint::{BreakerFrame, Checkpoint, Wal, WalStats, CHECKPOINT_VERSION};
 pub use config::{HmConfig, Tier, TierParams};
 pub use cost::{phase_cost_detail, PhaseCostDetail, Regime};
 pub use epoch::{decode_journal, EpochIntent, EpochOutcome, EPOCH_JOURNAL_VERSION};
@@ -71,8 +71,8 @@ pub use page::{
 };
 pub use runtime::{Executor, PlacementPolicy, RoundReport, RunReport, TaskResult, WatchdogConfig};
 pub use service::{
-    PlacementService, ServiceConfig, ServiceReport, ShedReason, SubmitOutcome, TenantId, TenantJob,
-    TenantReport, TenantSpec, TenantStatus,
+    BreakerConfig, BreakerState, PlacementService, ServiceConfig, ServiceReport, ShedReason,
+    SubmitOutcome, TenantId, TenantJob, TenantReport, TenantSpec, TenantStatus,
 };
 pub use system::HmSystem;
 pub use telemetry::{BandwidthTimeline, Warning};

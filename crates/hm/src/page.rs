@@ -228,7 +228,11 @@ impl RunNode {
     fn info(&self) -> PageInfo {
         PageInfo {
             object: ObjectId(self.object),
-            tier: if self.flags & 1 == 0 { Tier::Dram } else { Tier::Pm },
+            tier: if self.flags & 1 == 0 {
+                Tier::Dram
+            } else {
+                Tier::Pm
+            },
             weight: self.weight,
             accessed: self.flags & 2 != 0,
             access_count: self.access_count,
@@ -509,13 +513,13 @@ fn par_map_mut<T: Send>(
     jobs: usize,
     f: &(dyn Fn(usize, &mut Shard) -> T + Sync),
 ) -> Vec<T> {
-    use merch_sched::TaskClass;
+    use merch_sched::{JobOutcome, TaskClass};
     let n = shards.len();
     let chunk = n.div_ceil(jobs.max(1)).max(1);
     merch_sched::ensure_workers(jobs.saturating_sub(1));
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    merch_sched::scope(TaskClass::Shard, |scope| {
+    let ((), outcome) = merch_sched::try_scope(TaskClass::Shard, |scope| {
         let mut chunks = shards
             .chunks_mut(chunk)
             .zip(out.chunks_mut(chunk))
@@ -534,6 +538,18 @@ fn par_map_mut<T: Send>(
             }
         }
     });
+    if matches!(outcome, JobOutcome::Panicked { .. }) {
+        // A panicked chunk task left its untouched slots `None` and their
+        // shards unmodified, so recomputing exactly those on the caller's
+        // thread is byte-identical to a clean parallel pass (slot i
+        // depends only on shard i). A fault that strikes again here
+        // unwinds from the caller — never through the pool.
+        for (i, (shard, slot)) in shards.iter_mut().zip(out.iter_mut()).enumerate() {
+            if slot.is_none() {
+                *slot = Some(f(i, shard));
+            }
+        }
+    }
     out.into_iter()
         .map(|o| o.expect("every shard visited"))
         .collect()
@@ -545,13 +561,13 @@ fn par_map_ref<T: Send>(
     jobs: usize,
     f: &(dyn Fn(usize, &Shard) -> T + Sync),
 ) -> Vec<T> {
-    use merch_sched::TaskClass;
+    use merch_sched::{JobOutcome, TaskClass};
     let n = shards.len();
     let chunk = n.div_ceil(jobs.max(1)).max(1);
     merch_sched::ensure_workers(jobs.saturating_sub(1));
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    merch_sched::scope(TaskClass::Shard, |scope| {
+    let ((), outcome) = merch_sched::try_scope(TaskClass::Shard, |scope| {
         let mut chunks = shards.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate();
         let first = chunks.next();
         for (ci, (sh, slots)) in chunks {
@@ -567,6 +583,15 @@ fn par_map_ref<T: Send>(
             }
         }
     });
+    if matches!(outcome, JobOutcome::Panicked { .. }) {
+        // Sequential fallback for the slots a dead chunk never reached
+        // (see par_map_mut) — read-only here, so trivially identical.
+        for (i, (shard, slot)) in shards.iter().zip(out.iter_mut()).enumerate() {
+            if slot.is_none() {
+                *slot = Some(f(i, shard));
+            }
+        }
+    }
     out.into_iter()
         .map(|o| o.expect("every shard visited"))
         .collect()

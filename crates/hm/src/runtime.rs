@@ -430,6 +430,7 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             timeline,
             completed,
             policy_state,
+            breaker: _,
         } = checkpoint;
         policy.restore_state(&policy_state)?;
         for round in 0..next_round {
@@ -453,6 +454,43 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
         self.next_round
     }
 
+    /// Restore a checkpoint *into this executor* without rebuilding the
+    /// workload: the snapshot must sit at the same round boundary this
+    /// executor sits at (the supervisor checkpoints an Open tenant at its
+    /// boundary — a scripted tenant panic fires before any mutation — so
+    /// the workload cursor is already correct and no fast-forward runs).
+    /// Placement state, telemetry, completed rounds, and the policy blob
+    /// all come from the snapshot; one-shot scripted faults are disarmed
+    /// like [`resume`](Self::resume) does. The service's Half-Open probe
+    /// path uses this to prove the v6 round-trip is bit-identical.
+    pub fn restore_in_place(
+        &mut self,
+        checkpoint: crate::checkpoint::Checkpoint,
+    ) -> Result<(), crate::system::HmError> {
+        let crate::checkpoint::Checkpoint {
+            next_round,
+            blackout_cursor,
+            sys,
+            timeline,
+            completed,
+            policy_state,
+            breaker: _,
+        } = checkpoint;
+        if next_round != self.next_round {
+            return Err(crate::system::HmError::CheckpointCorrupt(format!(
+                "in-place restore at round {} from a checkpoint at round {next_round}",
+                self.next_round
+            )));
+        }
+        self.policy.restore_state(&policy_state)?;
+        self.sys = sys;
+        self.timeline = timeline;
+        self.blackout_cursor = blackout_cursor;
+        self.completed = completed;
+        self.sys.disarm_crash();
+        Ok(())
+    }
+
     /// Snapshot the full supervised-execution state at the current round
     /// boundary.
     pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
@@ -463,6 +501,7 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             timeline: self.timeline.clone(),
             completed: self.completed.clone(),
             policy_state: self.policy.save_state(),
+            breaker: crate::checkpoint::BreakerFrame::default(),
         }
     }
 
@@ -538,6 +577,8 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
             pages_poisoned: stats.pages_poisoned,
             degraded_window_rounds: stats.degraded_window_rounds,
             offlined_bytes: stats.offlined_bytes,
+            tenant_panics: stats.tenant_panics,
+            stalled_rounds: stats.stalled_rounds,
         };
         RunReport {
             workload: self.workload.name().to_string(),
@@ -556,6 +597,14 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
     /// control in tests. `Err(HmError::Crashed)` when a scripted crash
     /// fault fires at this round's boundary or inside its migration batch.
     pub fn run_round(&mut self, round: usize) -> Result<RoundReport, crate::system::HmError> {
+        // Scripted tenant panic: the job dies at this round's boundary,
+        // before any mutation, so the executor the supervisor recovers is
+        // still exactly at its checkpointable boundary state. The one
+        // pre-panic write is the deterministic panic counter.
+        if self.sys.panic_due(round as u64) {
+            self.sys.note_tenant_panic();
+            panic!("scripted tenant panic at round {round}");
+        }
         // Scripted boundary crash: the process dies before any of this
         // round's mutations, so recovery replays the round from scratch.
         if self.sys.crash_at_round_start(round as u64) {
@@ -714,7 +763,15 @@ impl<W: Workload, P: PlacementPolicy + Sync> Executor<W, P> {
                 .record_interval(start, r.time_ns, r.cost.dram_bytes, r.cost.pm_bytes);
             max_time = max_time.max(r.time_ns);
         }
-        let round_time = max_time + migration_ns;
+        let mut round_time = max_time + migration_ns;
+        // Scripted tenant stall: the round hangs for STALL_MULT× its real
+        // time. Inflating before the telemetry advance keeps clocks, bins,
+        // and the report consistent — and deterministic at any `--jobs`.
+        let stall = self.sys.stall_multiplier(round as u64);
+        if stall != 1.0 {
+            round_time *= stall;
+            self.sys.note_stalled_round();
+        }
         self.timeline.advance(round_time);
 
         // Telemetry blackout: bins completed by this round may be lost.

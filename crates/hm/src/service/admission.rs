@@ -107,20 +107,23 @@ impl AdmissionController {
             return SubmitOutcome::Enqueued(id);
         }
         // Full queue: find the weakest queued tenant (lowest priority,
-        // most recent submission losing ties).
+        // most recent submission losing ties). `None` only for a
+        // zero-capacity queue, where there is nobody to displace and the
+        // offer falls through to the rejection path.
         let victim = self
             .queue
             .iter()
             .copied()
-            .min_by_key(|q| (tenants[q.0 as usize].spec.priority, std::cmp::Reverse(q.0)))
-            .expect("full queue is non-empty");
-        let offer_priority = tenants[id.0 as usize].spec.priority;
-        if offer_priority > tenants[victim.0 as usize].spec.priority {
-            self.queue.retain(|&q| q != victim);
-            self.shed(tenants, victim, ShedReason::QueueFull);
-            self.queue.push(id);
-            tenants[id.0 as usize].status = TenantStatus::Queued;
-            return SubmitOutcome::Enqueued(id);
+            .min_by_key(|q| (tenants[q.0 as usize].spec.priority, std::cmp::Reverse(q.0)));
+        if let Some(victim) = victim {
+            let offer_priority = tenants[id.0 as usize].spec.priority;
+            if offer_priority > tenants[victim.0 as usize].spec.priority {
+                self.queue.retain(|&q| q != victim);
+                self.shed(tenants, victim, ShedReason::QueueFull);
+                self.queue.push(id);
+                tenants[id.0 as usize].status = TenantStatus::Queued;
+                return SubmitOutcome::Enqueued(id);
+            }
         }
         let t = &mut tenants[id.0 as usize];
         t.retry_responses += 1;

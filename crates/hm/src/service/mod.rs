@@ -45,21 +45,41 @@
 //! inline, and the final [`ServiceReport`] is **bitwise identical** at any
 //! job count. Runners never touch shared state; the control loop never
 //! touches a running tenant's job.
+//!
+//! **Fault containment** (DESIGN.md §17). A tenant whose round *panics*
+//! (a bug, not a modeled fault) or *stalls* (round time beyond a declared
+//! threshold) no longer tears the whole service down: each tenant carries
+//! a three-state circuit [`breaker`]. Strikes inside a window trip the
+//! breaker Closed → Open — the tenant is suspended at its round boundary,
+//! its executor state checkpointed (v6, breaker frame embedded), and its
+//! grant released back to the pool where the next priority-ordered
+//! admission pass redistributes it, exactly like a
+//! [capacity renegotiation](PlacementService::offline_dram). After a
+//! cool-down the breaker goes Half-Open: the checkpoint is restored
+//! *in place* (proving the v6 round-trip bit-identical), the grant
+//! re-applied, and probe rounds run — clean probes re-close the breaker,
+//! one struck probe re-trips it, and `max_trips` trips quarantine the
+//! tenant for good. Survivors are never perturbed: their round streams
+//! stay bitwise identical to a no-fault run at any job count.
 
 pub mod admission;
+pub mod breaker;
 pub mod report;
 pub mod scheduler;
 pub mod tenant;
 
 pub use admission::{Admission, AdmissionController, SubmitOutcome};
+pub use breaker::{BreakerConfig, BreakerState};
 pub use report::{jain_index, ServiceReport, TenantReport};
 pub use scheduler::DrrScheduler;
 pub use tenant::{ShedReason, Tenant, TenantId, TenantSpec, TenantStatus};
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Mutex;
 
+use crate::checkpoint::BreakerFrame;
 use crate::runtime::{Executor, PlacementPolicy, RoundReport, RunReport};
 use crate::system::HmError;
 use crate::workload::Workload;
@@ -83,6 +103,16 @@ pub trait TenantJob: Send {
     fn set_dram_quota(&mut self, quota: Option<u64>);
     /// Full run report over the rounds completed so far.
     fn run_report(&self) -> RunReport;
+    /// Snapshot the executor at its current round boundary — the
+    /// supervisor's breaker frame embedded — as checkpoint payload text
+    /// (version [`CHECKPOINT_VERSION`](crate::checkpoint::CHECKPOINT_VERSION)).
+    fn checkpoint_text(&self, breaker: &BreakerFrame) -> String;
+    /// Restore a snapshot produced by
+    /// [`checkpoint_text`](Self::checkpoint_text) back into this executor
+    /// (which must sit at the same round boundary) and return the embedded
+    /// breaker frame. One-shot scripted faults are disarmed, so a
+    /// Half-Open probe does not re-panic at the same point.
+    fn restore_text(&mut self, text: &str) -> Result<BreakerFrame, HmError>;
 }
 
 impl<W: Workload, P: PlacementPolicy + Sync> TenantJob for Executor<W, P> {
@@ -103,6 +133,17 @@ impl<W: Workload, P: PlacementPolicy + Sync> TenantJob for Executor<W, P> {
     }
     fn run_report(&self) -> RunReport {
         self.report()
+    }
+    fn checkpoint_text(&self, breaker: &BreakerFrame) -> String {
+        let mut ck = Executor::checkpoint(self);
+        ck.breaker = *breaker;
+        ck.encode()
+    }
+    fn restore_text(&mut self, text: &str) -> Result<BreakerFrame, HmError> {
+        let ck = crate::checkpoint::Checkpoint::decode(text)?;
+        let frame = ck.breaker;
+        Executor::restore_in_place(self, ck)?;
+        Ok(frame)
     }
 }
 
@@ -149,12 +190,14 @@ fn step_entry(job: &mut dyn TenantJob) -> StepEntry {
 /// Placeholder occupying a tenant's registry slot while a runner task owns
 /// the real job. Never stepped or reported against: the control loop only
 /// touches a running tenant's job through its pipe, and the real job is
-/// handed back before `run` returns.
+/// handed back before `run` returns. Every method degrades instead of
+/// panicking — a supervisor bug that reaches a parked job quarantines one
+/// tenant rather than tearing the service down.
 struct ParkedJob;
 
 impl TenantJob for ParkedJob {
     fn step(&mut self) -> Result<Option<RoundReport>, HmError> {
-        unreachable!("parked tenant job stepped")
+        Err(HmError::InvalidConfig("parked tenant job stepped".into()))
     }
     fn rounds_total(&self) -> usize {
         0
@@ -167,7 +210,25 @@ impl TenantJob for ParkedJob {
     }
     fn set_dram_quota(&mut self, _quota: Option<u64>) {}
     fn run_report(&self) -> RunReport {
-        unreachable!("parked tenant job queried")
+        RunReport {
+            workload: "parked".into(),
+            policy: "parked".into(),
+            rounds: Vec::new(),
+            timeline_samples: Vec::new(),
+            avg_dram_gbps: 0.0,
+            avg_pm_gbps: 0.0,
+            fault: crate::fault::FaultSummary::default(),
+            epoch_commits: 0,
+            epoch_rollbacks: 0,
+        }
+    }
+    fn checkpoint_text(&self, _breaker: &BreakerFrame) -> String {
+        String::new()
+    }
+    fn restore_text(&mut self, _text: &str) -> Result<BreakerFrame, HmError> {
+        Err(HmError::CheckpointCorrupt(
+            "parked tenant job restored".into(),
+        ))
     }
 }
 
@@ -184,6 +245,15 @@ pub struct ServiceConfig {
     pub retry_cap_ns: u64,
     /// Seed for the deterministic retry-after jitter.
     pub seed: u64,
+    /// Per-tenant circuit-breaker tuning (defaults: 3 strikes / window 8,
+    /// stall detection off).
+    pub breaker: BreakerConfig,
+    /// When set, an Open tenant's trip checkpoint is also persisted to a
+    /// per-tenant WAL file in this directory (`tenant-<id>.wal`), so a
+    /// service crash while a breaker is Open can recover the suspended
+    /// executor from disk. `None` (the default) keeps the service
+    /// filesystem-free.
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -196,7 +266,27 @@ impl ServiceConfig {
             quantum_ns: 1_000_000.0,
             retry_cap_ns: 10_000_000_000,
             seed: 0,
+            breaker: BreakerConfig::default(),
+            wal_dir: None,
         }
+    }
+
+    /// Set the circuit-breaker tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Treat rounds slower than `ns` as stall strikes.
+    pub fn with_stall_threshold_ns(mut self, ns: f64) -> Self {
+        self.breaker.stall_threshold_ns = ns;
+        self
+    }
+
+    /// Persist trip checkpoints to per-tenant WAL files under `dir`.
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
     }
 
     /// Set the submission-queue bound.
@@ -239,6 +329,24 @@ pub struct Renegotiation {
     pub shed: Vec<TenantId>,
 }
 
+/// What the supervisor must do after consuming one entry — the
+/// job-dependent half of a breaker transition, returned out of
+/// [`PlacementService::consume_entry`] because in the concurrent loop the
+/// tenant's job must first be reclaimed from its runner before it can be
+/// checkpointed or relaunched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ContainAction {
+    /// Nothing job-dependent pending.
+    Proceed,
+    /// A panic strike that did not trip: the tenant stays Running and its
+    /// round must be attempted again (the concurrent loop reclaims the job
+    /// and relaunches the runner; the serial loop just picks again).
+    Relaunch,
+    /// The breaker tripped: checkpoint the job, release the grant, and
+    /// either suspend (Open) or quarantine (`max_trips` reached).
+    Trip,
+}
+
 /// The multi-tenant placement service: registry + admission + scheduler +
 /// SLO accounting over one shared pool.
 pub struct PlacementService {
@@ -250,6 +358,10 @@ pub struct PlacementService {
     clock_ns: f64,
     /// Sum of grants held by currently running tenants.
     outstanding_grants: u64,
+    /// Consumed-entry step counter: advanced once per consumed round
+    /// outcome, identically in the serial and concurrent loops. The only
+    /// service-wide time base the breaker uses (`open_until`).
+    steps: u64,
 }
 
 impl PlacementService {
@@ -269,6 +381,7 @@ impl PlacementService {
             scheduler,
             clock_ns: 0.0,
             outstanding_grants: 0,
+            steps: 0,
         }
     }
 
@@ -320,6 +433,8 @@ impl PlacementService {
             rounds_done: 0,
             quota_violations: 0,
             retry_responses: 0,
+            breaker: BreakerFrame::default(),
+            trip_checkpoint: None,
             job,
         });
         Ok(self.admission.offer(&mut self.tenants, id))
@@ -352,12 +467,23 @@ impl PlacementService {
     pub fn step(&mut self) -> bool {
         self.admission
             .shed_expired(&mut self.tenants, self.clock_ns);
+        self.tick_breakers();
         self.admit_ready();
         let Some(id) = self.scheduler.pick(&mut self.tenants) else {
-            // Nothing running. If tenants remain queued, the next admission
+            // Nothing runnable. If tenants remain queued, the next admission
             // pass over the fully free pool must admit the highest-priority
             // one (its floor fits the pool — checked at submission).
-            return self.admission.queue_len() != 0;
+            if self.admission.queue_len() != 0 {
+                return true;
+            }
+            // Only Open (suspended) tenants remain: fast-forward the step
+            // counter to the earliest probe time so their Half-Open probes
+            // can start — identically to the concurrent loop.
+            if let Some(ff) = self.min_open_until() {
+                self.steps = self.steps.max(ff);
+                return true;
+            }
+            return false;
         };
         self.step_tenant(id);
         true
@@ -462,10 +588,22 @@ impl PlacementService {
     }
 
     /// Run one round of tenant `id`, charge its deficit, probe the quota
-    /// invariant, and retire it on completion or fault.
+    /// invariant, and retire it on completion or fault. Panics are caught
+    /// at the round boundary — exactly where the concurrent runners catch
+    /// them — and fed to the breaker instead of unwinding the service.
     fn step_tenant(&mut self, id: TenantId) {
-        let entry = step_entry(self.tenants[id.0 as usize].job.as_mut());
-        self.consume_entry(id, entry);
+        let entry = {
+            let job = self.tenants[id.0 as usize].job.as_mut();
+            match catch_unwind(AssertUnwindSafe(|| step_entry(job))) {
+                Ok(entry) => entry,
+                Err(p) => StepEntry::Panicked(merch_sched::payload_msg(p.as_ref())),
+            }
+        };
+        if self.consume_entry(id, entry) == ContainAction::Trip {
+            self.trip_tenant(id);
+        }
+        // `Relaunch` needs no work here: the job never left the registry,
+        // so the next pick simply attempts the round again.
     }
 
     /// Apply one round outcome to the service state — the accounting half
@@ -473,7 +611,9 @@ impl PlacementService {
     /// sequential loop (which computes entries inline) and the concurrent
     /// loop (which consumes them from runner pipes), so both paths perform
     /// the identical field updates in the identical order.
-    fn consume_entry(&mut self, id: TenantId, entry: StepEntry) {
+    fn consume_entry(&mut self, id: TenantId, entry: StepEntry) -> ContainAction {
+        self.steps += 1;
+        let bcfg = self.config.breaker;
         match entry {
             StepEntry::Round {
                 round,
@@ -491,19 +631,166 @@ impl PlacementService {
                 self.clock_ns += dt;
                 self.scheduler.charge(&mut self.tenants, id, dt);
                 if done {
+                    // The final round completes the tenant even when it
+                    // stalled: there is nothing left to contain.
                     self.retire(id, TenantStatus::Completed);
+                    return ContainAction::Proceed;
                 }
+                let t = &mut self.tenants[id.0 as usize];
+                if dt > bcfg.stall_threshold_ns && t.breaker.on_strike(&bcfg) {
+                    return ContainAction::Trip;
+                }
+                if dt <= bcfg.stall_threshold_ns {
+                    t.breaker.on_success();
+                }
+                ContainAction::Proceed
             }
-            StepEntry::Exhausted => self.retire(id, TenantStatus::Completed),
+            StepEntry::Exhausted => {
+                self.retire(id, TenantStatus::Completed);
+                ContainAction::Proceed
+            }
             StepEntry::Fault(HmError::Crashed { round }) => {
                 self.retire(id, TenantStatus::Quarantined { round });
+                ContainAction::Proceed
             }
             StepEntry::Fault(_) => {
                 let round = self.tenants[id.0 as usize].rounds_done;
                 self.retire(id, TenantStatus::Quarantined { round });
+                ContainAction::Proceed
             }
-            StepEntry::Panicked(msg) => panic!("tenant-round task panicked: {msg}"),
+            // A panicked round is a strike, not a service teardown: the
+            // pool and the co-tenants keep going; this tenant retries
+            // until its breaker trips.
+            StepEntry::Panicked(msg) => {
+                let t = &mut self.tenants[id.0 as usize];
+                let tripped = t.breaker.on_strike(&bcfg);
+                crate::telemetry::Warning::TenantPanicContained {
+                    tenant: id.0,
+                    strikes: t.breaker.strikes,
+                    msg,
+                }
+                .emit();
+                if tripped {
+                    ContainAction::Trip
+                } else {
+                    ContainAction::Relaunch
+                }
+            }
         }
+    }
+
+    /// The breaker tripped on tenant `id` (its job is back in the
+    /// registry): checkpoint the executor at its round boundary with the
+    /// breaker frame embedded, release the grant back to the pool (the
+    /// next priority-ordered admission pass redistributes it, exactly like
+    /// a capacity renegotiation), and suspend the tenant Open — or
+    /// quarantine it outright once `max_trips` is reached.
+    fn trip_tenant(&mut self, id: TenantId) {
+        let bcfg = self.config.breaker;
+        let i = id.0 as usize;
+        let quarantine = self.tenants[i].breaker.trips >= bcfg.max_trips;
+        if !quarantine {
+            let t = &mut self.tenants[i];
+            t.breaker.open(self.steps, &bcfg);
+            // Snapshot *before* the grant release below, so the
+            // checkpointed system still carries the old quota; the probe
+            // re-applies its (possibly different) grant after restore.
+            let text = t.job.checkpoint_text(&t.breaker);
+            if let Some(dir) = self.config.wal_dir.clone() {
+                self.persist_trip(id, &text, &dir);
+            }
+            self.tenants[i].trip_checkpoint = Some(text);
+        }
+        let t = &mut self.tenants[i];
+        if let Some(g) = t.granted_quota.take() {
+            self.outstanding_grants = self.outstanding_grants.saturating_sub(g);
+        }
+        t.job.set_dram_quota(Some(0));
+        if quarantine {
+            let round = self.tenants[i].rounds_done;
+            self.retire(id, TenantStatus::Quarantined { round });
+        }
+    }
+
+    /// Best-effort durable copy of a trip checkpoint: decode failures or
+    /// I/O errors degrade to in-memory-only supervision (the service keeps
+    /// running; recovery granularity is what suffers).
+    fn persist_trip(&mut self, id: TenantId, text: &str, dir: &std::path::Path) {
+        let Ok(ck) = crate::checkpoint::Checkpoint::decode(text) else {
+            return;
+        };
+        let path = dir.join(format!("tenant-{}.wal", id.0));
+        if let Ok(mut wal) = crate::checkpoint::Wal::create(path) {
+            let _ = wal.append(&ck, None);
+        }
+    }
+
+    /// Start the Half-Open probe of every Open tenant whose cool-down has
+    /// lapsed and whose floor fits the free pool: restore the trip
+    /// checkpoint *in place* (the executor sits at the same round boundary
+    /// it was suspended at, so the round-trip must be bit-identical),
+    /// re-apply a grant after the restore, and mark the probe rounds. A
+    /// tenant whose snapshot is missing or corrupt — or whose floor can
+    /// never fit the (possibly shrunk) pool again — is quarantined instead
+    /// of spinning forever.
+    fn tick_breakers(&mut self) {
+        for i in 0..self.tenants.len() {
+            let id = TenantId(i as u32);
+            {
+                let t = &self.tenants[i];
+                if t.status != TenantStatus::Running || !t.breaker.probe_ready(self.steps) {
+                    continue;
+                }
+            }
+            let spec_floor = self.tenants[i].spec.min_dram_quota;
+            if spec_floor > self.config.total_dram_bytes {
+                // The pool shrank under this tenant's floor while it was
+                // suspended; it can never run again.
+                let round = self.tenants[i].rounds_done;
+                self.retire(id, TenantStatus::Quarantined { round });
+                continue;
+            }
+            let free = self
+                .config
+                .total_dram_bytes
+                .saturating_sub(self.outstanding_grants);
+            if spec_floor > free {
+                // Wait for a completion to free capacity; running tenants
+                // keep making progress meanwhile.
+                continue;
+            }
+            let t = &mut self.tenants[i];
+            let grant = t.spec.dram_quota.min(free);
+            let restored = t
+                .trip_checkpoint
+                .take()
+                .ok_or_else(|| HmError::CheckpointCorrupt("missing trip checkpoint".into()))
+                .and_then(|text| t.job.restore_text(&text));
+            match restored {
+                Ok(frame) => {
+                    // The decoded frame *is* the authoritative breaker
+                    // state — the v6 round-trip just proved itself.
+                    t.breaker = frame;
+                    t.breaker.begin_probe(&self.config.breaker);
+                    t.granted_quota = Some(grant);
+                    t.job.set_dram_quota(Some(grant));
+                    self.outstanding_grants += grant;
+                }
+                Err(_) => {
+                    let round = self.tenants[i].rounds_done;
+                    self.retire(id, TenantStatus::Quarantined { round });
+                }
+            }
+        }
+    }
+
+    /// Earliest Half-Open probe step among Open tenants, if any.
+    fn min_open_until(&self) -> Option<u64> {
+        self.tenants
+            .iter()
+            .filter(|t| t.status == TenantStatus::Running && t.breaker.is_open())
+            .map(|t| t.breaker.open_until)
+            .min()
     }
 
     /// The concurrent twin of the `while self.step() {}` loop: identical
@@ -523,43 +810,73 @@ impl PlacementService {
         let handback: Vec<Mutex<Option<Box<dyn TenantJob>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let mut launched = vec![false; n];
+        let bcfg = self.config.breaker;
         merch_sched::ensure_workers(merch_sched::pool_jobs().saturating_sub(1));
         merch_sched::scope(TaskClass::Tenant, |scope| loop {
             self.admission
                 .shed_expired(&mut self.tenants, self.clock_ns);
+            self.tick_breakers();
             self.admit_ready();
             for t in self.tenants.iter_mut() {
                 let i = t.id.0 as usize;
-                if matches!(t.status, TenantStatus::Running) && !launched[i] {
+                if t.runnable() && !launched[i] {
                     launched[i] = true;
-                    // The grant is installed on the job (`admit_ready`), so
-                    // the runner computes the exact stream the serial loop
-                    // would; grants never change mid-`run`.
+                    // The grant is installed on the job (`admit_ready` or a
+                    // Half-Open restore), so the runner computes the exact
+                    // stream the serial loop would; grants never change
+                    // while a runner generation is live.
                     let mut job = std::mem::replace(&mut t.job, Box::new(ParkedJob));
                     let (pipe, slot) = (&pipes[i], &handback[i]);
+                    // The runner's mirror of the tenant's breaker frame:
+                    // strikes are a pure function of the entry stream, so
+                    // the mirror trips at exactly the entry the control
+                    // loop will trip on — ending the stream there.
+                    let mut mirror = t.breaker;
                     scope.spawn(move || {
                         loop {
-                            let entry = match catch_unwind(AssertUnwindSafe(|| step_entry(
-                                job.as_mut(),
-                            ))) {
+                            let entry = match catch_unwind(AssertUnwindSafe(|| {
+                                step_entry(job.as_mut())
+                            })) {
                                 Ok(entry) => entry,
-                                Err(p) => {
-                                    StepEntry::Panicked(merch_sched::payload_msg(p.as_ref()))
-                                }
+                                Err(p) => StepEntry::Panicked(merch_sched::payload_msg(p.as_ref())),
                             };
-                            let last = !matches!(entry, StepEntry::Round { done: false, .. });
-                            pipe.lock().unwrap_or_else(|e| e.into_inner()).push_back(entry);
+                            let last = match &entry {
+                                StepEntry::Round {
+                                    round, done: false, ..
+                                } => {
+                                    if round.round_time_ns > bcfg.stall_threshold_ns {
+                                        mirror.on_strike(&bcfg)
+                                    } else {
+                                        mirror.on_success();
+                                        false
+                                    }
+                                }
+                                // Completion, fault, and panic all end the
+                                // generation (a panicked job is handed back
+                                // for a breaker-gated relaunch).
+                                _ => true,
+                            };
+                            pipe.lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push_back(entry);
                             merch_sched::notify();
                             if last {
                                 break;
                             }
                         }
                         *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(job);
+                        merch_sched::notify();
                     });
                 }
             }
             let Some(id) = self.scheduler.pick(&mut self.tenants) else {
                 if self.admission.queue_len() == 0 {
+                    // Only Open (suspended) tenants remain: fast-forward to
+                    // the earliest probe step — identically to `step()`.
+                    if let Some(ff) = self.min_open_until() {
+                        self.steps = self.steps.max(ff);
+                        continue;
+                    }
                     break;
                 }
                 // Queued tenants remain; the next admission pass over the
@@ -575,12 +892,36 @@ impl PlacementService {
                     // still in flight.
                     merch_sched::help_until(TaskClass::Tenant, &mut ready);
                 }
-                pipe.lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .pop_front()
-                    .expect("runner streams one entry per picked round")
+                match pipe.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+                    Some(entry) => entry,
+                    // A starved stream here is a supervisor bug; contain it
+                    // to this tenant (quarantine via the fault path) rather
+                    // than unwinding the scope and every live runner.
+                    None => StepEntry::Fault(HmError::InvalidConfig(
+                        "tenant runner stream underflow".into(),
+                    )),
+                }
             };
-            self.consume_entry(id, entry);
+            match self.consume_entry(id, entry) {
+                ContainAction::Proceed => {}
+                action => {
+                    // The runner generation ended with that entry: take the
+                    // job back before relaunching or checkpointing it.
+                    let i = id.0 as usize;
+                    let slot = &handback[i];
+                    let mut returned = || slot.lock().unwrap_or_else(|e| e.into_inner()).is_some();
+                    if !returned() {
+                        merch_sched::help_until(TaskClass::Tenant, &mut returned);
+                    }
+                    if let Some(job) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                        self.tenants[i].job = job;
+                    }
+                    launched[i] = false;
+                    if action == ContainAction::Trip {
+                        self.trip_tenant(id);
+                    }
+                }
+            }
         });
         for t in self.tenants.iter_mut() {
             if let Some(job) = handback[t.id.0 as usize]
@@ -882,6 +1223,163 @@ mod tests {
         assert_eq!(rep.quota_violations, 0);
         // The re-admitted grant fits the shrunk pool.
         assert_eq!(rep.tenants[1].granted_quota, 16 * PAGE_SIZE);
+    }
+
+    /// Build a tenant job with a fault plan armed.
+    fn chaos_job(
+        tasks: usize,
+        rounds: usize,
+        seed: u64,
+        plan: crate::fault::FaultPlan,
+    ) -> Box<dyn TenantJob> {
+        let app = SkewedWorkload {
+            tasks,
+            rounds,
+            base_accesses: 1e5,
+            obj_bytes: 8 * PAGE_SIZE,
+        };
+        let mut sys = HmSystem::new(HmConfig::calibrated(64 * PAGE_SIZE, 1024 * PAGE_SIZE), seed);
+        sys.set_fault_plan(plan).unwrap();
+        Box::new(Executor::new(sys, app, StaticPolicy { tier: Tier::Pm }))
+    }
+
+    #[test]
+    fn panicking_tenant_trips_probes_and_completes() {
+        use crate::fault::FaultPlan;
+        // "victim" panics at round 1 until the breaker trips (3 strikes);
+        // the Half-Open probe restores the round-1 checkpoint with the
+        // one-shot panic disarmed, so the probe replays cleanly and the
+        // tenant runs to completion. "steady" must be untouched.
+        let mut svc = PlacementService::new(ServiceConfig::new(64 * PAGE_SIZE).with_seed(11));
+        svc.submit(
+            spec("victim", 16),
+            chaos_job(2, 4, 9, FaultPlan::none().with_tenant_panic(1)),
+        )
+        .unwrap();
+        svc.submit(spec("steady", 16), job(2, 3, 2)).unwrap();
+        let rep = svc.run();
+        assert_eq!(rep.tenants[0].status, TenantStatus::Completed);
+        assert_eq!(rep.tenants[0].rounds_done, 4);
+        assert_eq!(rep.tenants[0].breaker_trips, 1);
+        assert_eq!(rep.tenants[0].fault.tenant_panics, 3, "one per strike");
+        assert_eq!(rep.tenants[1].status, TenantStatus::Completed);
+        assert_eq!(rep.tenants[1].breaker_trips, 0);
+        assert_eq!(rep.tripped, 1);
+        assert_eq!(rep.quarantined, 0);
+        assert_eq!(rep.quota_violations, 0);
+        // The survivor's rounds are bitwise identical to a solo run.
+        let mut solo = PlacementService::new(ServiceConfig::new(64 * PAGE_SIZE).with_seed(11));
+        solo.submit(spec("steady", 16), job(2, 3, 2)).unwrap();
+        solo.run();
+        assert_eq!(
+            format!("{:?}", svc.tenant_run_report(TenantId(1)).rounds),
+            format!("{:?}", solo.tenant_run_report(TenantId(0)).rounds),
+        );
+    }
+
+    #[test]
+    fn stalling_tenant_is_quarantined_after_max_trips() {
+        use crate::fault::FaultPlan;
+        // A stall fault is *not* disarmed by the probe restore (a hung
+        // dependency stays hung): every probe re-strikes, every re-trip
+        // burns one of `max_trips`, and the tenant ends Quarantined while
+        // the co-tenant completes untouched.
+        let cfg = ServiceConfig::new(64 * PAGE_SIZE)
+            .with_seed(11)
+            // Clean rounds sit near 4e5 ns; a stalled round (1024×
+            // inflation) lands near 4e8 — well past this threshold.
+            .with_stall_threshold_ns(1e8);
+        let mut svc = PlacementService::new(cfg.clone());
+        svc.submit(
+            spec("hung", 16),
+            chaos_job(2, 6, 9, FaultPlan::none().with_tenant_stall(1, 6)),
+        )
+        .unwrap();
+        svc.submit(spec("steady", 16), job(2, 3, 2)).unwrap();
+        let rep = svc.run();
+        assert!(
+            matches!(rep.tenants[0].status, TenantStatus::Quarantined { .. }),
+            "hung tenant must end quarantined, got {:?}",
+            rep.tenants[0].status
+        );
+        assert!(rep.tenants[0].breaker_trips >= cfg.breaker.max_trips);
+        assert!(rep.tenants[0].fault.stalled_rounds > 0);
+        assert_eq!(rep.tenants[1].status, TenantStatus::Completed);
+        assert_eq!(rep.quarantined, 1);
+        // The quarantined grant was re-absorbed: nothing outstanding at
+        // the end, and the service terminated (we got here).
+        assert_eq!(svc.outstanding_grants(), 0);
+    }
+
+    #[test]
+    fn trip_checkpoint_roundtrips_breaker_frame() {
+        use crate::fault::FaultPlan;
+        // Drive the serial loop until the victim trips, then decode its
+        // trip checkpoint: the embedded v6 frame must equal the live one.
+        let mut svc = PlacementService::new(ServiceConfig::new(64 * PAGE_SIZE).with_seed(11));
+        svc.submit(
+            spec("victim", 16),
+            chaos_job(2, 4, 9, FaultPlan::none().with_tenant_panic(1)),
+        )
+        .unwrap();
+        let mut steps = 0;
+        while svc.tenants()[0].trip_checkpoint.is_none() && svc.step() {
+            steps += 1;
+            assert!(steps < 1000, "victim never tripped");
+        }
+        let text = svc.tenants()[0].trip_checkpoint.clone().unwrap();
+        let ck = crate::checkpoint::Checkpoint::decode(&text).unwrap();
+        assert_eq!(ck.breaker, svc.tenants()[0].breaker);
+        assert!(ck.breaker.is_open());
+        assert_eq!(ck.breaker.trips, 1);
+        // The suspended tenant holds no grant while Open.
+        assert_eq!(svc.tenants()[0].granted_quota, None);
+        assert!(!svc.tenants()[0].runnable());
+        // And the run still converges.
+        let rep = svc.run();
+        assert_eq!(rep.completed, 1);
+    }
+
+    #[test]
+    fn wal_dir_persists_trip_checkpoint() {
+        use crate::fault::FaultPlan;
+        let dir = std::env::temp_dir().join(format!("merch-contain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut svc = PlacementService::new(
+            ServiceConfig::new(64 * PAGE_SIZE)
+                .with_seed(11)
+                .with_wal_dir(&dir),
+        );
+        svc.submit(
+            spec("victim", 16),
+            chaos_job(2, 4, 9, FaultPlan::none().with_tenant_panic(1)),
+        )
+        .unwrap();
+        let rep = svc.run();
+        assert_eq!(rep.completed, 1);
+        // The trip checkpoint is durably recoverable from the per-tenant WAL.
+        let path = dir.join("tenant-0.wal");
+        let recovered = crate::checkpoint::Wal::latest(&path).unwrap().unwrap();
+        assert!(recovered.breaker.is_open());
+        assert_eq!(recovered.breaker.trips, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_without_panicking() {
+        let cfg = ServiceConfig::new(64 * PAGE_SIZE).with_max_queue(0);
+        let mut svc = PlacementService::new(cfg);
+        let out = svc.submit(spec("a", 8), job(1, 1, 1)).unwrap();
+        assert!(
+            matches!(
+                out,
+                SubmitOutcome::Rejected {
+                    reason: ShedReason::QueueFull,
+                    ..
+                }
+            ),
+            "zero-capacity queue must reject, got {out:?}"
+        );
     }
 
     #[test]

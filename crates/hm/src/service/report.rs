@@ -66,6 +66,9 @@ pub struct TenantReport {
     pub quota_violations: u64,
     /// Retry-after responses issued to this tenant at submission time.
     pub retry_responses: u32,
+    /// Times this tenant's circuit breaker tripped Closed → Open
+    /// (DESIGN.md §17). 0 for a healthy tenant.
+    pub breaker_trips: u32,
 }
 
 impl TenantReport {
@@ -109,6 +112,7 @@ impl TenantReport {
             fault: run.fault,
             quota_violations: t.quota_violations,
             retry_responses: t.retry_responses,
+            breaker_trips: t.breaker.trips,
         }
     }
 }
@@ -134,6 +138,9 @@ pub struct ServiceReport {
     pub deadline_misses: u64,
     /// Total quota violations (isolation invariant: must be 0).
     pub quota_violations: u64,
+    /// Tenants whose circuit breaker tripped at least once — contained
+    /// faults the service survived without perturbing co-tenants.
+    pub tripped: u64,
     /// Jain fairness index of weight-normalised service time across
     /// tenants that received any service: 1.0 = perfectly proportional.
     pub fairness_jain: f64,
@@ -169,6 +176,7 @@ impl ServiceReport {
             squeezed: reports.iter().filter(|r| r.squeezed).count() as u64,
             deadline_misses: reports.iter().filter(|r| r.deadline_missed).count() as u64,
             quota_violations: reports.iter().map(|r| r.quota_violations).sum(),
+            tripped: reports.iter().filter(|r| r.breaker_trips > 0).count() as u64,
             fairness_jain: jain_index(&shares),
             tenants: reports,
         }

@@ -38,9 +38,13 @@ impl DrrScheduler {
                 .iter()
                 .filter(|t| t.runnable() && t.deficit_ns > 0.0)
                 .max_by(|a, b| {
+                    // Deficits are finite by construction; a NaN (which
+                    // would mean a NaN round time leaked in) degrades to a
+                    // tie, resolved by the deterministic id order below,
+                    // instead of panicking mid-schedule.
                     a.deficit_ns
                         .partial_cmp(&b.deficit_ns)
-                        .expect("deficits are finite")
+                        .unwrap_or(std::cmp::Ordering::Equal)
                         .then(b.id.0.cmp(&a.id.0))
                 })
                 .map(|t| t.id);

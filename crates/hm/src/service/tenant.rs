@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use super::TenantJob;
+use crate::checkpoint::BreakerFrame;
 
 /// Dense tenant handle, assigned in submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -158,6 +159,12 @@ pub struct Tenant {
     pub quota_violations: u64,
     /// Retry-after responses issued to this tenant at submission time.
     pub retry_responses: u32,
+    /// Circuit-breaker state (DESIGN.md §17): strikes, trips, and the
+    /// Open/Half-Open bookkeeping. All-default for a healthy tenant.
+    pub breaker: BreakerFrame,
+    /// Checkpoint payload captured when the breaker last tripped; consumed
+    /// by the Half-Open probe's in-place restore. `None` while Closed.
+    pub trip_checkpoint: Option<String>,
     /// The tenant's executor. Present from submission until the registry
     /// is dropped (quarantined tenants keep theirs for the post-mortem
     /// report).
@@ -165,9 +172,11 @@ pub struct Tenant {
 }
 
 impl Tenant {
-    /// Is this tenant eligible for the scheduler?
+    /// Is this tenant eligible for the scheduler? Running, and not
+    /// suspended by an Open breaker (Half-Open tenants *are* runnable —
+    /// their probe rounds go through the ordinary scheduler).
     pub fn runnable(&self) -> bool {
-        self.status == TenantStatus::Running
+        self.status == TenantStatus::Running && !self.breaker.is_open()
     }
 }
 
@@ -180,6 +189,7 @@ impl std::fmt::Debug for Tenant {
             .field("granted_quota", &self.granted_quota)
             .field("service_ns", &self.service_ns)
             .field("rounds_done", &self.rounds_done)
+            .field("breaker", &self.breaker)
             .finish_non_exhaustive()
     }
 }

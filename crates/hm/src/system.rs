@@ -309,6 +309,34 @@ impl HmSystem {
         }
     }
 
+    /// Is a scripted tenant panic due at the boundary before `round`?
+    /// Pure and non-latching (see `FaultInjector::panic_due`).
+    pub fn panic_due(&self, round: u64) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.panic_due(round))
+    }
+
+    /// Record a scripted tenant panic about to fire.
+    pub fn note_tenant_panic(&mut self) {
+        if let Some(f) = self.fault.as_mut() {
+            f.note_tenant_panic();
+        }
+    }
+
+    /// Wall-time multiplier for `round` under an open tenant-stall window
+    /// (1 when none is armed or open).
+    pub fn stall_multiplier(&self, round: u64) -> f64 {
+        self.fault
+            .as_ref()
+            .map_or(1.0, |f| f.stall_multiplier(round))
+    }
+
+    /// Record a round executed inside an open tenant-stall window.
+    pub fn note_stalled_round(&mut self) {
+        if let Some(f) = self.fault.as_mut() {
+            f.note_stalled_round();
+        }
+    }
+
     /// Start round `round`: advance the injector's clock, hoist the round's
     /// co-tenant pressure into the cached round context, land the round's
     /// device faults (degradation window state, newly due offlining, ECC

@@ -24,6 +24,17 @@ pub enum Warning {
         /// Why the frame scan stopped (truncated payload, bad length, ...).
         reason: String,
     },
+    /// A tenant's round panicked and the service's circuit breaker
+    /// contained it as a strike instead of tearing the pool down
+    /// (DESIGN.md §17).
+    TenantPanicContained {
+        /// Registry handle of the struck tenant.
+        tenant: u32,
+        /// Strike count after this panic (window-relative).
+        strikes: u32,
+        /// The panic payload, for the post-mortem.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for Warning {
@@ -36,6 +47,14 @@ impl std::fmt::Display for Warning {
             } => write!(
                 f,
                 "wal-torn-tail round={round} dropped_bytes={dropped_bytes} reason=\"{reason}\""
+            ),
+            Warning::TenantPanicContained {
+                tenant,
+                strikes,
+                msg,
+            } => write!(
+                f,
+                "tenant-panic-contained tenant={tenant} strikes={strikes} msg=\"{msg}\""
             ),
         }
     }

@@ -38,7 +38,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Scheduling class of a task: its nesting depth in the
@@ -71,6 +71,28 @@ impl TaskClass {
             TaskClass::Shard => "shard-phase",
         }
     }
+}
+
+/// How a scoped task batch ended. [`try_scope`] returns this instead of
+/// re-panicking, so a service-level supervisor can contain a dead job
+/// (quarantine the tenant, keep the pool alive) rather than unwinding the
+/// whole process. Precedence when several things went wrong in one batch:
+/// `Panicked` > `TimedOut` > `Ok`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every task of the batch ran to completion.
+    Ok,
+    /// At least one task panicked; `payload` is the first failure's
+    /// message, already formatted as
+    /// `"<class label> task panicked: <original message>"`.
+    Panicked {
+        /// Formatted first-panic message.
+        payload: String,
+    },
+    /// [`Scope::revoke_queued`] cancelled queued-but-unstarted tasks (the
+    /// supervisor gave up waiting); every task that had already started
+    /// still ran to completion, so borrows stayed sound.
+    TimedOut,
 }
 
 /// Best-effort extraction of a panic payload's message (`panic!` with a
@@ -117,6 +139,8 @@ struct BatchState {
     remaining: AtomicUsize,
     /// First panic of the batch, already formatted with the class label.
     panic: Mutex<Option<String>>,
+    /// Set when [`Scope::revoke_queued`] cancelled pending tasks.
+    revoked: AtomicBool,
 }
 
 struct PoolState {
@@ -175,11 +199,18 @@ pub fn ensure_workers(n: usize) {
         st.workers += k;
         k
     };
-    for _ in 0..to_spawn {
-        std::thread::Builder::new()
+    for spawned in 0..to_spawn {
+        if std::thread::Builder::new()
             .name("merch-sched".into())
             .spawn(worker_loop)
-            .expect("spawning a pool worker");
+            .is_err()
+        {
+            // Thread exhaustion is not fatal: scopes complete via caller
+            // helping. Roll the target back so a later call may retry.
+            let mut st = lock_state(p);
+            st.workers -= to_spawn - spawned;
+            return;
+        }
     }
 }
 
@@ -296,6 +327,28 @@ impl<'s> Scope<'s> {
             p.cond.notify_one();
         }
     }
+
+    /// Cancel every task of this scope that is still queued (not yet
+    /// started). Tasks already running are untouched — the scope still
+    /// waits for them, so borrows stay sound — but the batch's outcome
+    /// becomes [`JobOutcome::TimedOut`] (unless a task also panicked,
+    /// which takes precedence). Used by the service supervisor to drain a
+    /// misbehaving tenant without tearing the pool down.
+    pub fn revoke_queued(&self) {
+        let p = pool();
+        let mut st = lock_state(p);
+        let q = &mut st.queues[self.class.depth()];
+        let before = q.len();
+        q.retain(|t| !Arc::ptr_eq(&t.batch, &self.batch));
+        let removed = before - q.len();
+        drop(st);
+        if removed > 0 {
+            self.batch.revoked.store(true, Ordering::SeqCst);
+            if self.batch.remaining.fetch_sub(removed, Ordering::SeqCst) == removed {
+                notify();
+            }
+        }
+    }
 }
 
 /// Waits for `batch.remaining == 0`, helping with tasks at least as deep
@@ -318,22 +371,21 @@ impl Drop for ScopeGuard<'_> {
     }
 }
 
-/// Open a task scope of the given class: `body` receives a [`Scope`] to
-/// spawn borrowing tasks on, and `scope` returns only after the body *and
-/// every spawned task* completed. The calling thread helps execute pending
-/// tasks (of class depth ≥ `class`) while waiting, so a scope makes
-/// progress even with zero pool workers and nested scopes never deadlock.
+/// Fault-containing variant of [`scope`]: identical semantics — the body
+/// and every spawned task finish (or are revoked) before it returns — but
+/// a task panic is *reported*, not re-propagated. Returns the body's value
+/// alongside the batch's [`JobOutcome`], leaving the pool and its queues
+/// healthy: the dead task's slot was decremented like any other, no lock
+/// stays poisoned, and co-resident batches never observe the failure.
 ///
-/// # Panics
-///
-/// If a spawned task panicked, re-panics with
-/// `"<class label> task panicked: <original message>"` (first failing task
-/// wins). A panic in `body` itself propagates unchanged — after every
-/// already-spawned task has finished.
-pub fn scope<'s, R>(class: TaskClass, body: impl FnOnce(&Scope<'s>) -> R) -> R {
+/// A panic in `body` itself still propagates unchanged — after every
+/// already-spawned task has finished (the containment boundary is the
+/// *task*, not the scope owner).
+pub fn try_scope<'s, R>(class: TaskClass, body: impl FnOnce(&Scope<'s>) -> R) -> (R, JobOutcome) {
     let batch = Arc::new(BatchState {
         remaining: AtomicUsize::new(0),
         panic: Mutex::new(None),
+        revoked: AtomicBool::new(false),
     });
     let result = {
         let guard = ScopeGuard {
@@ -351,10 +403,34 @@ pub fn scope<'s, R>(class: TaskClass, body: impl FnOnce(&Scope<'s>) -> R) -> R {
         r
     };
     let failed = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
-    if let Some(msg) = failed {
-        panic!("{msg}");
+    let outcome = match failed {
+        Some(payload) => JobOutcome::Panicked { payload },
+        None if batch.revoked.load(Ordering::SeqCst) => JobOutcome::TimedOut,
+        None => JobOutcome::Ok,
+    };
+    (result, outcome)
+}
+
+/// Open a task scope of the given class: `body` receives a [`Scope`] to
+/// spawn borrowing tasks on, and `scope` returns only after the body *and
+/// every spawned task* completed. The calling thread helps execute pending
+/// tasks (of class depth ≥ `class`) while waiting, so a scope makes
+/// progress even with zero pool workers and nested scopes never deadlock.
+///
+/// # Panics
+///
+/// If a spawned task panicked, re-panics with
+/// `"<class label> task panicked: <original message>"` (first failing task
+/// wins). A panic in `body` itself propagates unchanged — after every
+/// already-spawned task has finished. Callers that must survive a dead
+/// task use [`try_scope`] instead.
+pub fn scope<'s, R>(class: TaskClass, body: impl FnOnce(&Scope<'s>) -> R) -> R {
+    match try_scope(class, body) {
+        (_, JobOutcome::Panicked { payload }) => panic!("{payload}"),
+        // TimedOut only arises when the body itself called `revoke_queued`
+        // — a deliberate cancellation, not a fault — so the value stands.
+        (r, _) => r,
     }
-    result
 }
 
 #[cfg(test)]
@@ -420,6 +496,81 @@ mod tests {
         let msg = payload_msg(r.expect_err("task panic must propagate").as_ref());
         assert!(msg.contains("shard-phase task panicked"), "{msg}");
         assert!(msg.contains("inner boom"), "{msg}");
+    }
+
+    #[test]
+    fn try_scope_contains_the_panic_and_keeps_the_pool_healthy() {
+        ensure_workers(2);
+        let mut ok = [false; 8];
+        let ((), outcome) = try_scope(TaskClass::Tenant, |s| {
+            s.spawn(|| panic!("contained boom"));
+            for slot in ok.iter_mut() {
+                s.spawn(move || *slot = true);
+            }
+        });
+        match outcome {
+            JobOutcome::Panicked { payload } => {
+                assert!(payload.contains("tenant-round task panicked"), "{payload}");
+                assert!(payload.contains("contained boom"), "{payload}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Surviving tasks of the same batch all ran; a fresh scope on the
+        // same pool still works (no poisoned slots, no stuck deques).
+        assert!(ok.iter().all(|&b| b));
+        let mut after = [0u64; 4];
+        scope(TaskClass::Shard, |s| {
+            for (i, slot) in after.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(after, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn revoke_queued_times_out_without_running_revoked_tasks() {
+        // No helping happens between spawn and revoke (the submitting
+        // thread only helps once it waits), so with the tasks targeted at
+        // a depth no idle worker is guaranteed to drain instantly, at
+        // least the still-queued ones are cancelled. Run with enough
+        // tasks that some are certainly still queued at revoke time.
+        let hits = AtomicU64::new(0);
+        let ((), outcome) = try_scope(TaskClass::Sweep, |s| {
+            for _ in 0..64 {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            s.revoke_queued();
+        });
+        // Workers from other tests may have started a few tasks already;
+        // revocation cancels the rest and reports TimedOut.
+        if outcome == JobOutcome::TimedOut {
+            assert!(hits.load(Ordering::SeqCst) < 64);
+        } else {
+            assert_eq!(outcome, JobOutcome::Ok);
+            assert_eq!(hits.load(Ordering::SeqCst), 64);
+        }
+    }
+
+    #[test]
+    fn panic_beats_timeout_in_outcome_precedence() {
+        ensure_workers(1);
+        let ((), outcome) = try_scope(TaskClass::Shard, |s| {
+            s.spawn(|| panic!("first loss"));
+            // Wait until the panicking task has been consumed, then queue
+            // more and revoke them: the batch both panicked and timed out.
+            wait_batch(TaskClass::Shard, &s.batch);
+            for _ in 0..16 {
+                s.spawn(|| {});
+            }
+            s.revoke_queued();
+        });
+        assert!(
+            matches!(outcome, JobOutcome::Panicked { .. }),
+            "expected Panicked, got {outcome:?}"
+        );
     }
 
     #[test]

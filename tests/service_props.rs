@@ -1,18 +1,21 @@
 //! Multi-tenant placement-service properties (DESIGN.md §13): quota
 //! residency holds under random tenant mixes and interleavings, a crashing
 //! co-tenant never perturbs anyone else's placement output (bitwise vs a
-//! solo run), DRR service shares converge to the declared weights, and the
+//! solo run), DRR service shares converge to the declared weights, the
 //! concurrent tenant-round executor (DESIGN.md §16) reproduces the serial
-//! DRR loop bit for bit at every job count.
+//! DRR loop bit for bit at every job count, and fault containment
+//! (DESIGN.md §17) keeps a panicking tenant's breaker trip invisible to
+//! survivors while its state round-trips through the v6 checkpoint frame.
 
 use proptest::prelude::*;
 
 use merchandiser_suite::hm::page::PAGE_SIZE;
 use merchandiser_suite::hm::runtime::{Executor, StaticPolicy};
+use merchandiser_suite::hm::service::TenantJob;
 use merchandiser_suite::hm::workload::testutil::SkewedWorkload;
 use merchandiser_suite::hm::{
-    CrashPoint, FaultKind, FaultPlan, HmConfig, HmSystem, PlacementService, ServiceConfig,
-    TenantId, TenantSpec, TenantStatus, Tier,
+    BreakerConfig, BreakerFrame, CrashPoint, FaultKind, FaultPlan, HmConfig, HmSystem,
+    PlacementService, ServiceConfig, TenantId, TenantSpec, TenantStatus, Tier,
 };
 
 /// One drawn tenant: (quota_pages, floor_pct, weight, priority, tasks,
@@ -231,6 +234,122 @@ proptest! {
         let eight = run_at(8);
         prop_assert_eq!(&two, &serial, "jobs=2 diverged from the serial loop");
         prop_assert_eq!(&eight, &serial, "jobs=8 diverged from the serial loop");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fault containment (DESIGN.md §17): one tenant panics at a round
+    /// boundary, its circuit breaker trips and recovers through a Half-Open
+    /// probe — and at every job count the outcome is identical: the victim
+    /// completes with exactly one trip, and every survivor's per-round
+    /// output stays bitwise equal to a solo run under the same grant.
+    #[test]
+    fn contained_panic_leaves_survivors_bitwise_solo(
+        draws in proptest::collection::vec(arb_tenant(), 2..5),
+        victim in 0usize..8,
+        panic_round in 0u64..3,
+        seed in 0u64..1_000,
+    ) {
+        let _g = POOL_JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let victim = victim % draws.len();
+        // Capacity pool: everyone admits at full grant, so survivor
+        // divergence can only come from the victim's contained fault.
+        let pool: u64 = draws.iter().map(|d| d.0).sum::<u64>() * PAGE_SIZE;
+        let tier = |i: usize| {
+            if i.is_multiple_of(2) {
+                Tier::Dram
+            } else {
+                Tier::Pm
+            }
+        };
+        let run_at = |jobs: usize| {
+            merch_sched::set_pool_jobs(jobs);
+            let mut svc = PlacementService::new(ServiceConfig::new(pool).with_seed(seed));
+            for (i, d) in draws.iter().enumerate() {
+                // Panic inside the declared rounds, so it always fires.
+                let plan = (i == victim)
+                    .then(|| FaultPlan::none().with_tenant_panic(panic_round % d.5 as u64));
+                let job = executor(d.4, d.5, d.6, tier(i), plan);
+                svc.submit(spec(i, d), Box::new(job)).unwrap();
+            }
+            let rep = svc.run();
+            merch_sched::set_pool_jobs(0);
+            let runs: Vec<String> = (0..draws.len())
+                .map(|i| format!("{:?}", svc.tenant_run_report(TenantId(i as u32))))
+                .collect();
+            (rep, runs)
+        };
+        let (rep, runs) = run_at(1);
+        for jobs in [3usize, 8] {
+            let (rep_j, runs_j) = run_at(jobs);
+            prop_assert_eq!(
+                format!("{:?}", &rep_j), format!("{:?}", &rep),
+                "jobs={} report diverged from the serial loop", jobs
+            );
+            prop_assert_eq!(&runs_j, &runs, "jobs={} runs diverged", jobs);
+        }
+        let vt = &rep.tenants[victim];
+        prop_assert_eq!(vt.status, TenantStatus::Completed);
+        prop_assert_eq!(vt.breaker_trips, 1);
+        prop_assert_eq!(vt.rounds_done, vt.rounds_total);
+        prop_assert!(vt.fault.tenant_panics > 0);
+        prop_assert_eq!(rep.quota_violations, 0);
+        for i in (0..draws.len()).filter(|&i| i != victim) {
+            prop_assert_eq!(rep.tenants[i].status, TenantStatus::Completed);
+            prop_assert_eq!(rep.tenants[i].breaker_trips, 0);
+            let d = &draws[i];
+            let mut solo = executor(d.4, d.5, d.6, tier(i), None);
+            solo.sys.set_dram_quota(Some(rep.tenants[i].granted_quota));
+            let solo_rep = format!("{:?}", solo.try_run().unwrap());
+            prop_assert_eq!(
+                &runs[i], &solo_rep,
+                "tenant {} diverged from its solo baseline", i
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Breaker persistence (DESIGN.md §17): any reachable breaker frame —
+    /// driven by a random strike/success/open history — survives the v6
+    /// checkpoint frame bit-identically, and the restored executor replays
+    /// its remaining rounds bit for bit.
+    #[test]
+    fn breaker_frame_survives_checkpoint_roundtrip(
+        ops in proptest::collection::vec(0u8..4, 0..16),
+        now_step in 0u64..50,
+        stepped in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = BreakerConfig::default();
+        let mut frame = BreakerFrame::default();
+        for op in ops {
+            match op {
+                0 => frame.on_success(),
+                1 => { frame.on_strike(&cfg); }
+                2 => frame.open(now_step, &cfg),
+                _ => frame.begin_probe(&cfg),
+            }
+        }
+        let rounds = 4;
+        let mut ex = executor(2, rounds, seed, Tier::Dram, None);
+        for _ in 0..stepped {
+            ex.step().unwrap();
+        }
+        let text = TenantJob::checkpoint_text(&ex, &frame);
+        let mut ex2 = executor(2, rounds, seed, Tier::Dram, None);
+        for _ in 0..stepped {
+            ex2.step().unwrap();
+        }
+        let back = TenantJob::restore_text(&mut ex2, &text).unwrap();
+        prop_assert_eq!(format!("{frame:?}"), format!("{back:?}"));
+        let a = format!("{:?}", ex.try_run().unwrap());
+        let b = format!("{:?}", ex2.try_run().unwrap());
+        prop_assert_eq!(a, b, "restored executor diverged from the original");
     }
 }
 
